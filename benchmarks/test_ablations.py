@@ -1,0 +1,143 @@
+"""Ablation benchmarks for COPSE design choices (beyond the paper's own
+evaluation; see DESIGN.md section 6).
+
+* SecComp variant: the paper-faithful Aloufi circuit vs our optimized
+  rewrite (XOR combine, triangle scan, constant NOT) — quantifies how
+  much of the comparison cost is the multi-key-compatible formulation.
+* Section 7.2 extensions: server-side replication and codebook
+  shuffling/padding — the privacy hardening's runtime price.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench_harness.runner import InferenceRunner, RunnerConfig, SYSTEM_COPSE
+from repro.core.extensions import (
+    prepare_unreplicated_query,
+    replicate_on_server,
+    shuffle_classification,
+)
+from repro.core.runtime import CopseServer, DataOwner, ModelOwner
+from repro.core.seccomp import VARIANT_ALOUFI, VARIANT_OPTIMIZED
+from repro.fhe.context import FheContext
+from repro.fhe.costmodel import CostModel
+from repro.fhe.params import EncryptionParams
+
+from benchmarks.conftest import workload
+
+
+@pytest.mark.parametrize("variant", [VARIANT_ALOUFI, VARIANT_OPTIMIZED])
+@pytest.mark.parametrize("name", ["prec8", "prec16"])
+def test_ablation_seccomp_variant(benchmark, name, variant):
+    w = workload(name)
+    runner = InferenceRunner(
+        w,
+        RunnerConfig(system=SYSTEM_COPSE, queries=1, seccomp_variant=variant),
+    )
+    record = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    assert record.correct
+    benchmark.extra_info["simulated_ms"] = record.median_ms
+    benchmark.extra_info["comparison_ms"] = round(
+        record.phase_ms["comparison"], 3
+    )
+
+
+def test_ablation_seccomp_speedup_report(benchmark, report_sink):
+    def collect():
+        results = {}
+        for name in ("prec8", "prec16"):
+            w = workload(name)
+            for variant in (VARIANT_ALOUFI, VARIANT_OPTIMIZED):
+                results[(name, variant)] = InferenceRunner(
+                    w,
+                    RunnerConfig(
+                        system=SYSTEM_COPSE, queries=1, seccomp_variant=variant
+                    ),
+                ).run()
+        return results
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for name in ("prec8", "prec16"):
+        aloufi_rec = results[(name, VARIANT_ALOUFI)]
+        optimized_rec = results[(name, VARIANT_OPTIMIZED)]
+        aloufi = aloufi_rec.phase_ms["comparison"]
+        optimized = optimized_rec.phase_ms["comparison"]
+        assert optimized < aloufi
+        rows.append(f"{name}: comparison {aloufi:.2f} -> {optimized:.2f} ms")
+        # The optimized circuit is also shallower, buying noise headroom.
+        assert (
+            optimized_rec.multiplicative_depth
+            < aloufi_rec.multiplicative_depth
+        )
+    report_sink.append(
+        "Ablation: SecComp optimized vs Aloufi\n" + "\n".join(rows)
+    )
+
+
+def _copse_session(name):
+    w = workload(name)
+    compiled = w.compiled
+    ctx = FheContext()
+    keys = ctx.keygen()
+    maurice = ModelOwner(compiled)
+    spec = maurice.query_spec()
+    enc_model = maurice.encrypt_model(ctx, keys.public)
+    return w, compiled, ctx, keys, spec, enc_model
+
+
+def test_ablation_server_side_replication(benchmark, report_sink):
+    """Section 7.2.1: hiding K entirely costs ciphertext replication."""
+    w, compiled, ctx, keys, spec, enc_model = _copse_session("width78")
+    feats = w.query_features(1)[0]
+    sally = CopseServer(ctx)
+    cost_model = CostModel(EncryptionParams.paper_defaults())
+
+    def run():
+        slim = prepare_unreplicated_query(ctx, spec, keys, feats)
+        query = replicate_on_server(
+            ctx, slim, spec.n_features, spec.max_multiplicity
+        )
+        query.public_key = keys.public
+        return sally.classify(enc_model, query)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    bits = ctx.decrypt_bits(result, keys.secret)
+    assert bits == w.forest.label_bitvector(feats)
+
+    replicate_ms = cost_model.phase_sequential_ms(ctx.tracker, "server_replicate")
+    assert replicate_ms > 0
+    benchmark.extra_info["server_replicate_ms"] = round(replicate_ms, 3)
+    report_sink.append(
+        f"Ablation: server-side replication adds {replicate_ms:.2f} ms "
+        f"of ciphertext work per query on width78"
+    )
+
+
+def test_ablation_codebook_shuffle(benchmark):
+    """Section 7.2.2: shuffling + padding is one extra depth-1 product."""
+    w, compiled, ctx, keys, spec, enc_model = _copse_session("width78")
+    feats = w.query_features(1)[0]
+    diane = DataOwner(spec, keys)
+    sally = CopseServer(ctx)
+    query = diane.prepare_query(ctx, feats)
+    result = sally.classify(enc_model, query)
+    depth_before = result.noise.level
+
+    def run():
+        return shuffle_classification(
+            ctx,
+            result,
+            compiled.codebook,
+            rng=np.random.default_rng(0),
+            pad_to=compiled.num_labels + 4,
+            n_label_kinds=len(compiled.label_names),
+        )
+
+    shuffled = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Depth cost: exactly one more constant product level... which is a
+    # const_mult, so the multiplicative level is unchanged.
+    assert shuffled.ciphertext.noise.level == depth_before
+    bits = ctx.decrypt_bits(shuffled.ciphertext, keys.secret)
+    chosen = sorted(shuffled.codebook[i] for i, b in enumerate(bits) if b)
+    assert chosen == sorted(w.forest.classify_per_tree(feats))

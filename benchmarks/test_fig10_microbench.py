@@ -1,0 +1,61 @@
+"""Figure 10: per-phase runtime breakdown of the microbenchmarks.
+
+Paper claims (Section 8.4):
+  (a) depth — comparison and reshaping flat; level processing linear in
+      the number of levels; aggregation logarithmic and negligible;
+  (b) branches — comparison flat; reshaping ~linear in the quantized
+      branching; level processing proportional to branch count;
+  (c) precision — reshaping/levels/aggregation flat; comparison grows
+      superlinearly (p log p).
+"""
+
+import pytest
+
+from repro.bench_harness import experiments
+from repro.bench_harness.runner import InferenceRunner, RunnerConfig, SYSTEM_COPSE
+
+from benchmarks.conftest import workload
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["depth4", "depth5", "depth6", "width55", "width78", "width677",
+     "prec8", "prec16"],
+)
+def test_fig10_phase_breakdown(benchmark, name):
+    w = workload(name)
+    runner = InferenceRunner(w, RunnerConfig(system=SYSTEM_COPSE, queries=1))
+    record = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    assert record.correct
+    for phase, ms in record.phase_ms.items():
+        benchmark.extra_info[f"{phase}_ms"] = round(ms, 3)
+
+
+def test_fig10_tables(benchmark, report_sink):
+    tables = benchmark.pedantic(
+        experiments.figure10, kwargs={"queries": 1}, rounds=1, iterations=1
+    )
+    for table in tables:
+        report_sink.append(table.render())
+    depth_table, width_table, prec_table = tables
+
+    # (a) comparison flat; levels linear in depth; accumulation tiny.
+    comparisons = depth_table.column("comparison_ms")
+    assert max(comparisons) == pytest.approx(min(comparisons), rel=0.01)
+    levels = depth_table.column("levels_ms")
+    assert levels[2] / levels[0] == pytest.approx(6 / 4, rel=0.05)
+    for row in depth_table.rows:
+        assert row[4] < 0.1 * row[5]  # accumulate < 10% of total
+
+    # (b) comparison flat; levels proportional to branches.
+    comparisons = width_table.column("comparison_ms")
+    assert max(comparisons) == pytest.approx(min(comparisons), rel=0.01)
+    levels = width_table.column("levels_ms")
+    assert levels[2] / levels[0] == pytest.approx(2.0, rel=0.05)
+
+    # (c) only comparison moves with precision, superlinearly.
+    comparisons = prec_table.column("comparison_ms")
+    assert comparisons[1] / comparisons[0] > 2.0
+    for column in ("levels_ms", "accumulate_ms"):
+        values = prec_table.column(column)
+        assert values[0] == pytest.approx(values[1], rel=0.01)

@@ -1,0 +1,70 @@
+"""Figure 6: single-threaded COPSE speedup over the Aloufi baseline.
+
+Paper claim: COPSE outperforms the baseline on every model, "ranging from
+5x to over 7x, with a geometric mean of close to 6x"; COPSE microbenchmark
+medians sit between ~40 and ~65 ms and real-world models between ~0.37 and
+~1.5 s.  Our reproduction asserts the same ordering and bands (with the
+documented tolerance — see EXPERIMENTS.md for measured-vs-paper numbers).
+"""
+
+import pytest
+
+from repro.bench_harness import experiments
+from repro.bench_harness.report import geometric_mean
+from repro.bench_harness.runner import (
+    RunnerConfig,
+    InferenceRunner,
+    SYSTEM_BASELINE,
+    SYSTEM_COPSE,
+)
+
+from benchmarks.conftest import BENCH_QUERIES, MICRO_NAMES, REAL_SUBSET, workload
+
+
+@pytest.mark.parametrize("name", MICRO_NAMES + REAL_SUBSET)
+@pytest.mark.parametrize("system", [SYSTEM_COPSE, SYSTEM_BASELINE])
+def test_fig6_inference(benchmark, name, system):
+    """Wall-clock benchmark of one secure inference; simulated FHE time in
+    extra_info."""
+    w = workload(name)
+    config = RunnerConfig(system=system, queries=1)
+    runner = InferenceRunner(w, config)
+
+    record = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    assert record.correct
+    benchmark.extra_info["simulated_ms"] = record.median_ms
+    benchmark.extra_info["system"] = system
+    benchmark.extra_info["model"] = name
+
+
+def test_fig6_table(benchmark, report_sink):
+    """Regenerate the full Figure 6 table and assert the paper's shape."""
+    table = benchmark.pedantic(
+        experiments.figure6, kwargs={"queries": BENCH_QUERIES}, rounds=1,
+        iterations=1,
+    )
+    report_sink.append(table.render())
+
+    speedups = table.column("speedup")
+    assert all(s > 2.5 for s in speedups), "COPSE must win on every model"
+
+    micro = [r[3] for r in table.rows if r[4] == "micro"]
+    real = [r[3] for r in table.rows if r[4] == "real"]
+    # Paper: geomean close to 6x; we document 4.5-5x (see EXPERIMENTS.md)
+    # and gate on a conservative band so regressions are caught.
+    assert 3.5 < geometric_mean(micro) < 8.0
+    assert 3.0 < geometric_mean(real) < 8.0
+
+    # Paper bands for COPSE medians: micro ~40-65 ms, real 0.37-1.6 s.
+    for row in table.rows:
+        _, copse_ms, baseline_ms, _, category = row
+        assert baseline_ms > copse_ms
+        if category == "micro":
+            assert 25 < copse_ms < 95
+        else:
+            assert 250 < copse_ms < 2500
+
+    # prec16 shows the largest microbenchmark speedup (comparison-bound).
+    micro_rows = [r for r in table.rows if r[4] == "micro"]
+    best = max(micro_rows, key=lambda r: r[3])
+    assert best[0] == "prec16"

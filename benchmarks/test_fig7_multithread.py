@@ -1,0 +1,60 @@
+"""Figure 7: multithreaded vs single-threaded COPSE.
+
+Paper claim: parallel speedup is modest for microbenchmarks and much
+larger for the real-world models ("the real-world models are larger, and
+present more parallel work"); multithreaded medians are ~12-17 ms (micro)
+and ~40-123 ms (real-world).
+"""
+
+import pytest
+
+from repro.bench_harness import experiments
+from repro.bench_harness.report import geometric_mean
+from repro.bench_harness.runner import InferenceRunner, RunnerConfig, SYSTEM_COPSE
+from repro.bench_harness.workloads import PAPER_THREAD_COUNT
+
+from benchmarks.conftest import BENCH_QUERIES, MICRO_NAMES, REAL_SUBSET, workload
+
+
+@pytest.mark.parametrize("name", MICRO_NAMES + REAL_SUBSET)
+def test_fig7_multithreaded_inference(benchmark, name):
+    w = workload(name)
+    runner = InferenceRunner(
+        w,
+        RunnerConfig(
+            system=SYSTEM_COPSE, queries=1, threads=PAPER_THREAD_COUNT
+        ),
+    )
+    record = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    assert record.correct
+    benchmark.extra_info["simulated_multithreaded_ms"] = record.median_ms
+    benchmark.extra_info["model"] = name
+
+
+def test_fig7_table(benchmark, report_sink):
+    table = benchmark.pedantic(
+        experiments.figure7, kwargs={"queries": BENCH_QUERIES}, rounds=1,
+        iterations=1,
+    )
+    report_sink.append(table.render())
+
+    micro = [r[3] for r in table.rows if r[4] == "micro"]
+    real = [r[3] for r in table.rows if r[4] == "real"]
+
+    # Real-world models parallelize far better than microbenchmarks.
+    assert geometric_mean(real) > 2 * geometric_mean(micro)
+    # Paper bands (bar annotations): micro ~3.7-3.9x, real ~9-12x.
+    assert 2.0 < geometric_mean(micro) < 6.0
+    assert 7.0 < geometric_mean(real) < 18.0
+
+    # Multithreaded medians in the paper's annotation bands.
+    for row in table.rows:
+        name, _, multi_ms, _, category = row
+        if category == "micro":
+            assert 8 < multi_ms < 30
+        else:
+            assert 25 < multi_ms < 200
+
+    # Larger models achieve larger parallel speedups within a family.
+    assert table.row("income15")[3] > table.row("income5")[3]
+    assert table.row("soccer15")[3] > table.row("soccer5")[3]

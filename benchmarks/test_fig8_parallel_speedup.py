@@ -1,0 +1,32 @@
+"""Figure 8: COPSE vs the baseline, both multithreaded.
+
+Paper claim: COPSE still wins when both systems use 32 threads, but by a
+smaller factor than in Figure 6 — ciphertext packing has already consumed
+parallelism that the baseline can only reach through threads.
+"""
+
+from repro.bench_harness import experiments
+
+from benchmarks.conftest import BENCH_QUERIES
+
+
+def test_fig8_table(benchmark, report_sink):
+    fig8 = benchmark.pedantic(
+        experiments.figure8, kwargs={"queries": BENCH_QUERIES}, rounds=1,
+        iterations=1,
+    )
+    fig6 = experiments.figure6(queries=BENCH_QUERIES)
+    report_sink.append(fig8.render())
+
+    for row in fig8.rows:
+        name, copse_ms, baseline_ms, speedup, _category = row
+        # COPSE still wins on every model...
+        assert speedup > 1.0, f"{name}: baseline must not win"
+        # ... but by less than single-threaded (the paper's observation
+        # that the baseline scales better under threading).
+        assert speedup < fig6.row(name)[3], name
+
+    # The gap narrows more for small models (less residual parallelism).
+    micro = [r[3] for r in fig8.rows if r[4] == "micro"]
+    real = [r[3] for r in fig8.rows if r[4] == "real"]
+    assert max(micro) < max(real)

@@ -1,0 +1,44 @@
+"""Figure 9: plaintext-model (Maurice = Sally) vs encrypted-model setup.
+
+Paper claim: "plaintext models result in substantial speedups of roughly
+1.4x" — the model matrices become constant operands, avoiding
+relinearization.
+"""
+
+import pytest
+
+from repro.bench_harness import experiments
+from repro.bench_harness.report import geometric_mean
+from repro.bench_harness.runner import InferenceRunner, RunnerConfig, SYSTEM_COPSE
+
+from benchmarks.conftest import BENCH_QUERIES, REAL_SUBSET, workload
+
+
+@pytest.mark.parametrize("name", ["width78"] + REAL_SUBSET)
+@pytest.mark.parametrize("encrypted_model", [True, False])
+def test_fig9_inference(benchmark, name, encrypted_model):
+    w = workload(name)
+    runner = InferenceRunner(
+        w,
+        RunnerConfig(
+            system=SYSTEM_COPSE, queries=1, encrypted_model=encrypted_model
+        ),
+    )
+    record = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    assert record.correct
+    benchmark.extra_info["simulated_ms"] = record.median_ms
+    benchmark.extra_info["encrypted_model"] = encrypted_model
+
+
+def test_fig9_table(benchmark, report_sink):
+    table = benchmark.pedantic(
+        experiments.figure9, kwargs={"queries": BENCH_QUERIES}, rounds=1,
+        iterations=1,
+    )
+    report_sink.append(table.render())
+
+    speedups = table.column("speedup")
+    # Every model benefits; the overall effect is the paper's ~1.4x.
+    assert all(s > 1.05 for s in speedups)
+    real = [r[3] for r in table.rows if r[4] == "real"]
+    assert 1.2 < geometric_mean(real) < 1.7

@@ -1,0 +1,70 @@
+"""Table 1: per-step operation counts and multiplicative depths.
+
+The measured counts of every phase must equal our implementation formulas
+exactly, and track the paper's printed formulas within the documented
+deviations (DESIGN.md section 5).
+"""
+
+import pytest
+
+from repro.bench_harness import experiments
+from repro.bench_harness.runner import InferenceRunner, RunnerConfig, SYSTEM_COPSE
+from repro.core.complexity import (
+    impl_comparison,
+    impl_levels_shared,
+    impl_reshuffle,
+    impl_single_level,
+    impl_accumulation,
+    merge_counts,
+    paper_comparison,
+    paper_single_level,
+)
+
+from benchmarks.conftest import workload
+
+
+@pytest.mark.parametrize("name", ["depth4", "width677", "prec16"])
+def test_table1_phase_counts_exact(benchmark, name):
+    w = workload(name)
+    runner = InferenceRunner(w, RunnerConfig(system=SYSTEM_COPSE, queries=1))
+    record = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+
+    m = w.compiled
+    p, b, q, d = m.precision, m.branching, m.quantized_branching, m.max_depth
+    predicted = merge_counts(
+        impl_comparison(p),
+        impl_reshuffle(b, q),
+        impl_levels_shared(b),
+        impl_accumulation(d),
+        *[impl_single_level(b) for _ in range(d)],
+    )
+    assert record.op_counts == predicted
+    for op, count in predicted.items():
+        benchmark.extra_info[op] = count
+
+
+def test_table1_vs_paper_formulas(benchmark, report_sink):
+    tables = benchmark.pedantic(
+        experiments.table1, kwargs={"workload_name": "width78"}, rounds=1,
+        iterations=1,
+    )
+    for table in tables:
+        report_sink.append(table.render())
+
+    w = workload("width78")
+    p = w.compiled.precision
+    b = w.compiled.branching
+
+    ours = impl_comparison(p)
+    papers = paper_comparison(p)
+    # Adds and constant adds match Table 1(a) exactly.
+    assert ours["add"] == papers["add"]
+    assert ours["const_add"] == papers["const_add"]
+    # Multiplies match exactly too (the uniform-scan Aloufi circuit).
+    assert ours["multiply"] == papers["multiply"]
+
+    ours_level = impl_single_level(b)
+    papers_level = paper_single_level(b)
+    assert ours_level["multiply"] == papers_level["multiply"]
+    assert ours_level["rotate"] == papers_level["rotate"]
+    assert abs(ours_level["add"] - papers_level["add"]) <= 1

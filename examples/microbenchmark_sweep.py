@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables from the command line.
+
+Prints the Table 6 microbenchmark suite, the Figure 6 speedup comparison
+on the microbenchmarks, and the Figure 10 per-phase breakdowns.  Pass
+``--full`` to also run the real-world models (income/soccer, slower) and
+the Table 5 parameter sweep.
+
+Run with:  python examples/microbenchmark_sweep.py [--full]
+"""
+
+import sys
+
+from repro.bench_harness import experiments
+from repro.bench_harness.workloads import microbenchmark_workloads
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    micro_names = [w.name for w in microbenchmark_workloads()]
+    names = None if full else micro_names
+
+    print(experiments.table6().render())
+    print()
+
+    print(experiments.figure6(queries=1, workload_names=names).render())
+    print()
+
+    print(experiments.figure7(queries=1, workload_names=names).render())
+    print()
+
+    for table in experiments.figure10(queries=1):
+        print(table.render())
+        print()
+
+    if full:
+        print(experiments.figure8(queries=1).render())
+        print()
+        print(experiments.figure9(queries=1).render())
+        print()
+        print(experiments.table5().render())
+        print()
+
+    print(experiments.table2(workload_name="width78").render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a decision forest and run one secure inference.
+
+The flow mirrors Figure 2 of the paper:
+
+1. Maurice trains (here: generates) a decision forest and compiles it
+   with the COPSE compiler into vectorizable structures.
+2. Diane replicates, pads, bit-slices, and encrypts her feature vector.
+3. Sally evaluates Algorithm 1 entirely over ciphertexts.
+4. Diane decrypts the N-hot classification bitvector.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CopseCompiler, secure_inference
+from repro.forest import random_forest
+
+
+def main() -> None:
+    # A small random forest: two trees with 7 and 8 branches, depth <= 5,
+    # two features, three class labels (the shape of the paper's width78
+    # microbenchmark).
+    rng = np.random.default_rng(2021)
+    forest = random_forest(rng, branches_per_tree=[7, 8], max_depth=5)
+    print("model:", forest.describe())
+
+    # Stage 1: compile to COPSE's vectorizable structures.
+    compiled = CopseCompiler(precision=8).compile(forest)
+    print("compiled:", compiled.describe())
+
+    # Stage 2: run a secure inference end to end (offloading setup:
+    # Maurice = Diane own the keys, Sally computes).
+    features = [137, 42]
+    outcome = secure_inference(compiled, features)
+    result = outcome.result
+
+    print(f"\nquery features: {features}")
+    print(f"classification bitvector: {result.bitvector}")
+    print(f"per-tree labels: {result.chosen_labels}")
+    print(f"plurality vote: {result.plurality_name()}")
+
+    # The plaintext oracle agrees bit for bit.
+    assert result.bitvector == forest.label_bitvector(features)
+    assert result.chosen_labels == forest.classify_per_tree(features)
+    print("\nplaintext oracle agrees: OK")
+
+    # What did the secure evaluation cost?
+    tracker = outcome.tracker
+    counts = {k.value: v for k, v in tracker.total_counts().items()}
+    print(f"\nFHE operation counts: {counts}")
+    print(f"multiplicative depth: {tracker.multiplicative_depth()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""COPSE: vectorized secure evaluation of decision forests.
+
+A complete Python reproduction of *"Vectorized Secure Evaluation of
+Decision Forests"* (Malik, Singhal, Gottfried, Kulkarni — PLDI 2021):
+the COPSE compiler and runtime, a BGV-style FHE simulator substrate with
+ciphertext packing and cost-accurate operation tracking, the Aloufi et
+al. polynomial baseline it is evaluated against, the security/leakage
+analysis of Section 7, and a benchmark harness regenerating every table
+and figure of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CopseCompiler, secure_inference
+    from repro.forest import random_forest
+
+    forest = random_forest(np.random.default_rng(0), [7, 8], max_depth=5)
+    compiled = CopseCompiler(precision=8).compile(forest)
+    outcome = secure_inference(compiled, features=[40, 200])
+    print(outcome.result.chosen_labels, outcome.result.plurality_name())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.errors import (
+    CompileError,
+    CopseError,
+    FheError,
+    KeyMismatchError,
+    ModelError,
+    NoiseBudgetExceededError,
+    RuntimeProtocolError,
+)
+from repro.fhe import EncryptionParams, FheContext, OpTracker, CostModel
+from repro.forest import DecisionForest, DecisionTree
+from repro.core import (
+    CompiledModel,
+    CopseCompiler,
+    CopseServer,
+    DataOwner,
+    ModelOwner,
+    secure_inference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CopseError",
+    "FheError",
+    "ModelError",
+    "CompileError",
+    "RuntimeProtocolError",
+    "KeyMismatchError",
+    "NoiseBudgetExceededError",
+    "EncryptionParams",
+    "FheContext",
+    "OpTracker",
+    "CostModel",
+    "DecisionForest",
+    "DecisionTree",
+    "CompiledModel",
+    "CopseCompiler",
+    "ModelOwner",
+    "DataOwner",
+    "CopseServer",
+    "secure_inference",
+    "__version__",
+]

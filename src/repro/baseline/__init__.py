@@ -1,0 +1,47 @@
+"""The Aloufi et al. polynomial baseline (Sections 2.3.1 and 8.2).
+
+The paper's evaluation baseline is its own reimplementation of Aloufi et
+al.'s "Blindfolded Evaluation of Random Forests": each tree is a vector of
+boolean polynomials over the branch-decision results — one polynomial per
+class-label *bit*, with the bit polynomials packed into SIMD slots so one
+packed operation serves every bit at once.  There is no packing beyond
+that: every branch comparison is its own SecComp invocation, and every
+root-to-leaf path product is evaluated per leaf (pairwise-recursively, so
+the depth stays logarithmic in the path length).
+
+Crucially — as in the paper — the baseline shares the same FHE substrate
+and the same SecComp circuit as COPSE, so the measured gap is the
+restructuring, not the library.
+"""
+
+from repro.baseline.polynomial import LeafTerm, PolynomialModel, TreePolynomial
+from repro.baseline.runtime import (
+    BaselineDataOwner,
+    BaselineEncryptedModel,
+    BaselineEncryptedQuery,
+    BaselineModelOwner,
+    BaselineServer,
+    baseline_inference,
+)
+from repro.baseline.wu_ot import (
+    WuClient,
+    WuOutcome,
+    WuServer,
+    wu_inference,
+)
+
+__all__ = [
+    "LeafTerm",
+    "TreePolynomial",
+    "PolynomialModel",
+    "BaselineModelOwner",
+    "BaselineDataOwner",
+    "BaselineServer",
+    "BaselineEncryptedModel",
+    "BaselineEncryptedQuery",
+    "baseline_inference",
+    "WuServer",
+    "WuClient",
+    "WuOutcome",
+    "wu_inference",
+]

@@ -1,0 +1,144 @@
+"""Boolean path-polynomial representation of decision trees.
+
+Following Bost et al. and Aloufi et al. (Section 2.3.1 of the COPSE
+paper): each tree becomes a polynomial over its branch-decision variables
+in which every leaf contributes one term — the product of the decisions
+along its root-to-leaf path, with decisions on "false" edges complemented:
+
+    tree(x) = SUM_over_leaves  label_bits(leaf) * PROD_over_path  d-or-(1-d)
+
+For any input exactly one path product is 1, so the sum (XOR, over GF(2))
+evaluates to the chosen leaf's label bits.  The per-bit polynomials share
+the decision variables, so the label bits are packed into SIMD slots and
+each packed operation evaluates all bits at once — the only vectorization
+the baseline performs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import CompileError
+from repro.forest.forest import DecisionForest
+from repro.forest.node import Branch, Leaf, Node
+from repro.forest.validate import validate_forest
+
+
+@dataclass(frozen=True)
+class LeafTerm:
+    """One polynomial term: a leaf's label and its path conditions.
+
+    ``path`` holds ``(global_branch_index, on_true_side)`` pairs from the
+    root down; the term's product takes the decision variable directly on
+    true edges and complemented on false edges.
+    """
+
+    label_index: int
+    path: Tuple[Tuple[int, bool], ...]
+
+
+@dataclass(frozen=True)
+class TreePolynomial:
+    """All leaf terms of one tree."""
+
+    terms: Tuple[LeafTerm, ...]
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self.terms)
+
+    def evaluate_plain(self, decisions: List[bool]) -> int:
+        """Reference evaluation over plaintext decision bits (test oracle)."""
+        chosen = None
+        for term in self.terms:
+            if all(
+                decisions[idx] == side for idx, side in term.path
+            ):
+                if chosen is not None:
+                    raise CompileError(
+                        "two polynomial terms fired; paths are not disjoint"
+                    )
+                chosen = term.label_index
+        if chosen is None:
+            raise CompileError("no polynomial term fired; paths do not cover")
+        return chosen
+
+
+@dataclass(frozen=True)
+class PolynomialModel:
+    """A forest compiled to the baseline's polynomial form."""
+
+    precision: int
+    n_features: int
+    n_labels: int
+    label_names: Tuple[str, ...]
+    label_bits: int
+    branch_features: Tuple[int, ...]  # feature index per global branch
+    branch_thresholds: Tuple[int, ...]  # threshold per global branch
+    trees: Tuple[TreePolynomial, ...]
+
+    @property
+    def branching(self) -> int:
+        return len(self.branch_features)
+
+    @property
+    def max_path_length(self) -> int:
+        return max(
+            (len(term.path) for tree in self.trees for term in tree.terms),
+            default=0,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"polynomial model: p={self.precision} b={self.branching} "
+            f"trees={len(self.trees)} label_bits={self.label_bits}"
+        )
+
+
+def label_bit_width(n_labels: int) -> int:
+    """SIMD width of the baseline's packed label-bit slots."""
+    return max(1, int(math.ceil(math.log2(max(2, n_labels)))))
+
+
+def compile_polynomial(forest: DecisionForest, precision: int) -> PolynomialModel:
+    """Compile a forest into the baseline's polynomial representation."""
+    validate_forest(forest, precision=precision)
+    branch_features: List[int] = []
+    branch_thresholds: List[int] = []
+    trees: List[TreePolynomial] = []
+
+    for tree in forest.trees:
+        terms: List[LeafTerm] = []
+
+        def walk(node: Node, path: List[Tuple[int, bool]]) -> None:
+            if isinstance(node, Leaf):
+                terms.append(
+                    LeafTerm(label_index=node.label_index, path=tuple(path))
+                )
+                return
+            assert isinstance(node, Branch)
+            index = len(branch_features)
+            branch_features.append(node.feature)
+            branch_thresholds.append(node.threshold)
+            path.append((index, True))
+            walk(node.true_child, path)
+            path.pop()
+            path.append((index, False))
+            walk(node.false_child, path)
+            path.pop()
+
+        walk(tree.root, [])
+        trees.append(TreePolynomial(terms=tuple(terms)))
+
+    return PolynomialModel(
+        precision=precision,
+        n_features=forest.n_features,
+        n_labels=forest.n_labels,
+        label_names=tuple(forest.label_names),
+        label_bits=label_bit_width(forest.n_labels),
+        branch_features=tuple(branch_features),
+        branch_thresholds=tuple(branch_thresholds),
+        trees=tuple(trees),
+    )

@@ -1,0 +1,304 @@
+"""Runtime for the Aloufi et al. polynomial baseline.
+
+Protocol shape (mirroring the COPSE runtime so the comparison is fair):
+
+* the model owner encrypts, per branch, the threshold's ``p`` bit planes —
+  each replicated across the ``label_bits`` SIMD slots (``b * p``
+  ciphertexts, versus COPSE's ``p``);
+* the data owner encrypts, per *feature*, the value's ``p`` bit planes,
+  also replicated across label-bit slots (``n * p`` ciphertexts);
+* the server runs one SecComp per branch (the baseline's sequential
+  comparisons — no packing across branches), then evaluates every tree's
+  polynomial: per leaf, the path decisions (complemented on false edges)
+  are multiplied pairwise-recursively, the product is ANDed with the
+  leaf's plaintext label bits, and the per-leaf terms are XOR-summed;
+* the result is one ciphertext per tree holding the chosen label's bits,
+  which the data owner decrypts and reassembles.
+
+Tracker phases: ``model_encrypt``, ``data_encrypt``, ``comparison``,
+``polynomial``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RuntimeProtocolError
+from repro.baseline.polynomial import PolynomialModel, compile_polynomial
+from repro.core.seccomp import VARIANT_ALOUFI, secure_compare
+from repro.fhe.ciphertext import Ciphertext, PlainVector
+from repro.fhe.context import FheContext, Vector
+from repro.fhe.keys import KeyPair, PublicKey
+from repro.fhe.params import EncryptionParams
+from repro.fhe.simd import to_bitplanes
+from repro.forest.forest import DecisionForest
+
+PHASE_MODEL_ENCRYPT = "model_encrypt"
+PHASE_DATA_ENCRYPT = "data_encrypt"
+PHASE_COMPARISON = "comparison"
+PHASE_POLYNOMIAL = "polynomial"
+
+
+@dataclass
+class BaselineEncryptedModel:
+    """Per-branch threshold bit planes (ciphertext or plaintext)."""
+
+    model: PolynomialModel
+    branch_planes: List[List[Vector]]  # [branch][bit plane], width label_bits
+
+    @property
+    def is_encrypted(self) -> bool:
+        return isinstance(self.branch_planes[0][0], Ciphertext)
+
+
+@dataclass
+class BaselineEncryptedQuery:
+    """Per-feature bit planes, replicated across label-bit slots."""
+
+    feature_planes: List[List[Ciphertext]]  # [feature][bit plane]
+    public_key: Optional[PublicKey] = None
+
+
+@dataclass
+class BaselineResult:
+    """Decrypted per-tree label choices."""
+
+    labels: List[int]
+    label_names: List[str]
+
+    def plurality(self) -> int:
+        counts: Dict[int, int] = {}
+        for label in self.labels:
+            counts[label] = counts.get(label, 0) + 1
+        return max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+
+class BaselineModelOwner:
+    """Maurice's role in the baseline protocol."""
+
+    def __init__(self, model: PolynomialModel):
+        self.model = model
+
+    def encrypt_model(
+        self, ctx: FheContext, public_key: PublicKey
+    ) -> BaselineEncryptedModel:
+        width = self.model.label_bits
+        with ctx.tracker.phase(PHASE_MODEL_ENCRYPT):
+            branch_planes: List[List[Vector]] = []
+            for threshold in self.model.branch_thresholds:
+                planes = to_bitplanes([threshold] * width, self.model.precision)
+                branch_planes.append(
+                    [
+                        ctx.encrypt(planes[i], public_key)
+                        for i in range(planes.shape[0])
+                    ]
+                )
+        return BaselineEncryptedModel(model=self.model, branch_planes=branch_planes)
+
+    def plaintext_model(self, ctx: FheContext) -> BaselineEncryptedModel:
+        width = self.model.label_bits
+        branch_planes: List[List[Vector]] = []
+        for threshold in self.model.branch_thresholds:
+            planes = to_bitplanes([threshold] * width, self.model.precision)
+            branch_planes.append(
+                [ctx.encode(planes[i]) for i in range(planes.shape[0])]
+            )
+        return BaselineEncryptedModel(model=self.model, branch_planes=branch_planes)
+
+
+class BaselineDataOwner:
+    """Diane's role in the baseline protocol."""
+
+    def __init__(self, model_info: PolynomialModel, keys: KeyPair):
+        # The baseline reveals more to Diane than COPSE does: she needs
+        # per-feature packing (no replication padding hides multiplicity,
+        # but the protocol itself is interactive in the original paper).
+        self.precision = model_info.precision
+        self.n_features = model_info.n_features
+        self.label_bits = model_info.label_bits
+        self.label_names = list(model_info.label_names)
+        self.keys = keys
+
+    def prepare_query(
+        self, ctx: FheContext, features: Sequence[int]
+    ) -> BaselineEncryptedQuery:
+        if len(features) != self.n_features:
+            raise RuntimeProtocolError(
+                f"model expects {self.n_features} features, got {len(features)}"
+            )
+        limit = 1 << self.precision
+        feature_planes: List[List[Ciphertext]] = []
+        with ctx.tracker.phase(PHASE_DATA_ENCRYPT):
+            for value in features:
+                if not 0 <= int(value) < limit:
+                    raise RuntimeProtocolError(
+                        f"feature value {value} does not fit in "
+                        f"{self.precision} unsigned bits"
+                    )
+                planes = to_bitplanes(
+                    [int(value)] * self.label_bits, self.precision
+                )
+                feature_planes.append(
+                    [
+                        ctx.encrypt(planes[i], self.keys.public)
+                        for i in range(planes.shape[0])
+                    ]
+                )
+        return BaselineEncryptedQuery(
+            feature_planes=feature_planes, public_key=self.keys.public
+        )
+
+    def decrypt_result(
+        self, ctx: FheContext, per_tree: Sequence[Ciphertext]
+    ) -> BaselineResult:
+        labels: List[int] = []
+        for ct in per_tree:
+            bits = ctx.decrypt_bits(ct, self.keys.secret)
+            value = 0
+            for bit in bits:  # MSB first
+                value = (value << 1) | bit
+            labels.append(value)
+        return BaselineResult(labels=labels, label_names=self.label_names)
+
+
+class BaselineServer:
+    """Sally's role: per-branch comparison, then polynomial evaluation."""
+
+    def __init__(self, ctx: FheContext, seccomp_variant: str = VARIANT_ALOUFI):
+        self.ctx = ctx
+        self.seccomp_variant = seccomp_variant
+
+    def classify(
+        self, model: BaselineEncryptedModel, query: BaselineEncryptedQuery
+    ) -> List[Ciphertext]:
+        ctx = self.ctx
+        poly = model.model
+        if len(query.feature_planes) != poly.n_features:
+            raise RuntimeProtocolError(
+                f"query has {len(query.feature_planes)} features, model "
+                f"expects {poly.n_features}"
+            )
+
+        with ctx.tracker.phase(PHASE_COMPARISON):
+            not_one = None
+            if self.seccomp_variant == VARIANT_ALOUFI:
+                if query.public_key is None:
+                    raise RuntimeProtocolError(
+                        "the Aloufi SecComp variant needs the query's "
+                        "public key to encrypt the all-ones helper"
+                    )
+                # Encrypted once, reused across every branch comparison.
+                not_one = ctx.encrypt(
+                    ctx.ones(poly.label_bits).to_array(), query.public_key
+                )
+            decisions: List[Ciphertext] = []
+            for branch_idx in range(poly.branching):
+                feature = poly.branch_features[branch_idx]
+                decisions.append(
+                    secure_compare(
+                        ctx,
+                        query.feature_planes[feature],
+                        model.branch_planes[branch_idx],
+                        variant=self.seccomp_variant,
+                        not_one=not_one,
+                    )
+                )
+
+        with ctx.tracker.phase(PHASE_POLYNOMIAL):
+            results = [
+                self._evaluate_tree(tree, decisions, poly, not_one)
+                for tree in poly.trees
+            ]
+        return results
+
+    def _evaluate_tree(
+        self,
+        tree,
+        decisions: List[Ciphertext],
+        poly: PolynomialModel,
+        not_one: Optional[Ciphertext],
+    ) -> Ciphertext:
+        ctx = self.ctx
+        width = poly.label_bits
+        terms: List[Vector] = []
+        for term in tree.terms:
+            factors: List[Vector] = []
+            for branch_idx, on_true in term.path:
+                d = decisions[branch_idx]
+                if on_true:
+                    factors.append(d)
+                elif not_one is not None:
+                    # Multi-key style NOT: add the encrypted all-ones.
+                    factors.append(ctx.add(d, not_one))
+                else:
+                    factors.append(ctx.negate(d))
+            # Pairwise-recursive product: logarithmic multiplicative depth
+            # in the path length (Section 2.3.1).
+            product = ctx.multiply_all(factors)
+            label_bits = _label_bit_vector(term.label_index, width)
+            terms.append(ctx.and_any(product, PlainVector(label_bits)))
+        result = ctx.xor_all(terms)
+        if not isinstance(result, Ciphertext):  # pragma: no cover
+            raise RuntimeProtocolError("baseline tree result must be encrypted")
+        return result
+
+
+def _label_bit_vector(label_index: int, width: int) -> np.ndarray:
+    """A label index as an MSB-first bit vector of the packed width."""
+    bits = np.zeros(width, dtype=np.uint8)
+    for i in range(width):
+        bits[i] = (label_index >> (width - 1 - i)) & 1
+    return bits
+
+
+# ---------------------------------------------------------------------------
+# One-call convenience API
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BaselineOutcome:
+    """End-to-end baseline inference result and its context."""
+
+    result: BaselineResult
+    context: FheContext
+
+    @property
+    def tracker(self):
+        return self.context.tracker
+
+
+def baseline_inference(
+    forest: DecisionForest,
+    features: Sequence[int],
+    precision: int = 8,
+    params: Optional[EncryptionParams] = None,
+    encrypted_model: bool = True,
+    ctx: Optional[FheContext] = None,
+    keys: Optional[KeyPair] = None,
+    seccomp_variant: str = VARIANT_ALOUFI,
+) -> BaselineOutcome:
+    """Run one full baseline inference end to end."""
+    if params is None:
+        params = EncryptionParams.paper_defaults()
+    if ctx is None:
+        ctx = FheContext(params)
+    if keys is None:
+        keys = ctx.keygen()
+
+    poly = compile_polynomial(forest, precision)
+    maurice = BaselineModelOwner(poly)
+    diane = BaselineDataOwner(poly, keys)
+    sally = BaselineServer(ctx, seccomp_variant=seccomp_variant)
+
+    if encrypted_model:
+        enc_model = maurice.encrypt_model(ctx, keys.public)
+    else:
+        enc_model = maurice.plaintext_model(ctx)
+    query = diane.prepare_query(ctx, features)
+    per_tree = sally.classify(enc_model, query)
+    result = diane.decrypt_result(ctx, per_tree)
+    return BaselineOutcome(result=result, context=ctx)

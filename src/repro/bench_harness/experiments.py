@@ -1,0 +1,495 @@
+"""One entry point per artifact of the paper's evaluation (Section 8).
+
+Every function returns :class:`~repro.bench_harness.report.Table` (or a
+list of them) whose rows mirror the corresponding paper figure/table:
+
+========  ==========================================================
+figure6   COPSE vs baseline speedup, single-threaded (5-7x, gm ~6x)
+figure7   multithreaded vs single-threaded COPSE speedup
+figure8   COPSE vs baseline speedup, both multithreaded
+figure9   plaintext-model vs encrypted-model speedup (~1.4x)
+figure10  per-phase runtime breakdowns vs depth / branches / precision
+table1    per-step op counts: measured vs our formulas vs the paper's
+table2    total op counts and multiplicative depth
+table5    encryption-parameter sweep and the dominant setting
+table6    the microbenchmark suite's structural statistics
+========  ==========================================================
+
+Results are memoized per (workload, configuration) within the process, so
+regenerating several figures shares runs.  ``queries`` defaults to 3 to
+keep test/benchmark runs quick; pass ``queries=27`` for the paper's full
+median protocol (the circuits are input-independent, so the timings are
+identical — see runner.py).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.complexity import (
+    CopseComplexity,
+    impl_accumulation,
+    impl_comparison,
+    impl_levels_shared,
+    impl_reshuffle,
+    impl_single_level,
+    merge_counts,
+    paper_accumulation,
+    paper_comparison,
+    paper_single_level,
+    paper_total,
+    paper_total_depth,
+)
+from repro.core.compiler import CopseCompiler
+from repro.fhe.params import EncryptionParams, parameter_grid
+from repro.bench_harness.report import Series, Table, geometric_mean
+from repro.bench_harness.runner import (
+    ExperimentRecord,
+    InferenceRunner,
+    RunnerConfig,
+    SYSTEM_BASELINE,
+    SYSTEM_COPSE,
+)
+from repro.bench_harness.workloads import (
+    MICROBENCHMARKS,
+    PAPER_THREAD_COUNT,
+    Workload,
+    cached_workloads,
+)
+
+_RECORD_CACHE: Dict[Tuple, ExperimentRecord] = {}
+
+
+def _run(
+    workload: Workload,
+    system: str,
+    queries: int,
+    threads: int = 1,
+    encrypted_model: bool = True,
+) -> ExperimentRecord:
+    key = (workload.name, system, queries, threads, encrypted_model)
+    if key not in _RECORD_CACHE:
+        config = RunnerConfig(
+            system=system,
+            queries=queries,
+            threads=threads,
+            encrypted_model=encrypted_model,
+        )
+        _RECORD_CACHE[key] = InferenceRunner(workload, config).run()
+    return _RECORD_CACHE[key]
+
+
+def _workloads(names: Optional[Sequence[str]]) -> List[Workload]:
+    return cached_workloads(names)
+
+
+def _append_geomeans(table: Table, speedup_col: str) -> None:
+    """Add the paper's micro / real-world geomean summary rows."""
+    idx = table.columns.index(speedup_col)
+    micro = [r[idx] for r in table.rows if r[-1] == "micro"]
+    real = [r[idx] for r in table.rows if r[-1] == "real"]
+    if micro:
+        table.add_note(f"geomean (micro-bench): {geometric_mean(micro):.2f}x")
+    if real:
+        table.add_note(f"geomean (real-world): {geometric_mean(real):.2f}x")
+
+
+# ---------------------------------------------------------------------------
+# Figures 6-9
+# ---------------------------------------------------------------------------
+
+
+def figure6(
+    queries: int = 3, workload_names: Optional[Sequence[str]] = None
+) -> Table:
+    """Single-threaded COPSE speedup over the Aloufi baseline."""
+    table = Table(
+        title="Figure 6: COPSE vs Aloufi et al., single-threaded",
+        columns=[
+            "model",
+            "copse_ms",
+            "baseline_ms",
+            "speedup",
+            "category",
+        ],
+    )
+    for workload in _workloads(workload_names):
+        copse = _run(workload, SYSTEM_COPSE, queries)
+        base = _run(workload, SYSTEM_BASELINE, queries)
+        table.add_row(
+            workload.name,
+            copse.median_ms,
+            base.median_ms,
+            base.median_ms / copse.median_ms,
+            workload.category,
+        )
+    _append_geomeans(table, "speedup")
+    return table
+
+
+def figure7(
+    queries: int = 3, workload_names: Optional[Sequence[str]] = None
+) -> Table:
+    """Multithreaded COPSE speedup over single-threaded COPSE."""
+    table = Table(
+        title="Figure 7: COPSE multithreaded vs single-threaded",
+        columns=[
+            "model",
+            "single_ms",
+            "multi_ms",
+            "speedup",
+            "category",
+        ],
+    )
+    for workload in _workloads(workload_names):
+        single = _run(workload, SYSTEM_COPSE, queries, threads=1)
+        multi = _run(
+            workload, SYSTEM_COPSE, queries, threads=PAPER_THREAD_COUNT
+        )
+        table.add_row(
+            workload.name,
+            single.median_ms,
+            multi.median_ms,
+            single.median_ms / multi.median_ms,
+            workload.category,
+        )
+    _append_geomeans(table, "speedup")
+    return table
+
+
+def figure8(
+    queries: int = 3, workload_names: Optional[Sequence[str]] = None
+) -> Table:
+    """COPSE speedup over the baseline when both are multithreaded."""
+    table = Table(
+        title="Figure 8: COPSE vs Aloufi et al., both multithreaded",
+        columns=[
+            "model",
+            "copse_ms",
+            "baseline_ms",
+            "speedup",
+            "category",
+        ],
+    )
+    for workload in _workloads(workload_names):
+        copse = _run(
+            workload, SYSTEM_COPSE, queries, threads=PAPER_THREAD_COUNT
+        )
+        base = _run(
+            workload, SYSTEM_BASELINE, queries, threads=PAPER_THREAD_COUNT
+        )
+        table.add_row(
+            workload.name,
+            copse.median_ms,
+            base.median_ms,
+            base.median_ms / copse.median_ms,
+            workload.category,
+        )
+    _append_geomeans(table, "speedup")
+    return table
+
+
+def figure9(
+    queries: int = 3,
+    workload_names: Optional[Sequence[str]] = None,
+    threads: int = 1,
+) -> Table:
+    """Plaintext-model (Maurice = Sally) vs encrypted-model inference.
+
+    Sequential by default, which reproduces the paper's headline "roughly
+    1.4x" claim; pass ``threads=32`` for the multithreaded variant the
+    paper's bar annotations (~10 ms) correspond to (there, synchronization
+    overhead compresses the microbenchmark ratios toward 1).
+    """
+    table = Table(
+        title="Figure 9: plaintext vs encrypted model inference",
+        columns=[
+            "model",
+            "encrypted_ms",
+            "plaintext_ms",
+            "speedup",
+            "category",
+        ],
+    )
+    for workload in _workloads(workload_names):
+        encrypted = _run(
+            workload, SYSTEM_COPSE, queries, threads=threads, encrypted_model=True
+        )
+        plaintext = _run(
+            workload, SYSTEM_COPSE, queries, threads=threads, encrypted_model=False
+        )
+        table.add_row(
+            workload.name,
+            encrypted.median_ms,
+            plaintext.median_ms,
+            encrypted.median_ms / plaintext.median_ms,
+            workload.category,
+        )
+    _append_geomeans(table, "speedup")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: per-phase breakdowns
+# ---------------------------------------------------------------------------
+
+_FIG10_FAMILIES = {
+    "a (depth)": ("depth4", "depth5", "depth6"),
+    "b (branches)": ("width55", "width78", "width677"),
+    "c (precision)": ("prec8", "prec16"),
+}
+
+_COPSE_PHASE_COLUMNS = ("comparison", "reshuffle", "levels", "accumulate")
+
+
+def figure10(queries: int = 1) -> List[Table]:
+    """Per-phase runtime breakdown across the microbenchmark families."""
+    tables: List[Table] = []
+    for family, names in _FIG10_FAMILIES.items():
+        table = Table(
+            title=f"Figure 10{family}: per-phase runtime (ms)",
+            columns=["model"] + [f"{p}_ms" for p in _COPSE_PHASE_COLUMNS]
+            + ["total_ms"],
+        )
+        for workload in _workloads(names):
+            record = _run(workload, SYSTEM_COPSE, queries)
+            phases = [record.phase_ms[p] for p in _COPSE_PHASE_COLUMNS]
+            table.add_row(workload.name, *phases, sum(phases))
+        tables.append(table)
+    return tables
+
+
+def figure10_series(queries: int = 1) -> List[Series]:
+    """The same data as :func:`figure10`, one series per (family, phase)."""
+    series: List[Series] = []
+    for family, names in _FIG10_FAMILIES.items():
+        for phase in _COPSE_PHASE_COLUMNS:
+            s = Series(
+                name=f"fig10{family}:{phase}",
+                x_label=family,
+                y_label="ms",
+            )
+            for workload in _workloads(names):
+                record = _run(workload, SYSTEM_COPSE, queries)
+                s.add_point(workload.name, record.phase_ms[phase])
+            series.append(s)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Tables 1, 2: complexity validation
+# ---------------------------------------------------------------------------
+
+
+def table1(workload_name: str = "width78", queries: int = 1) -> List[Table]:
+    """Per-step op counts: measured vs implementation vs paper formulas."""
+    workload = _workloads([workload_name])[0]
+    compiled = workload.compiled
+    p = compiled.precision
+    b = compiled.branching
+    q = compiled.quantized_branching
+    d = compiled.max_depth
+
+    rec = _run(workload, SYSTEM_COPSE, queries)
+
+    steps = [
+        (
+            "(a) comparison",
+            "comparison",
+            impl_comparison(p),
+            paper_comparison(p),
+        ),
+        (
+            "(b) one level (x d)",
+            None,
+            impl_single_level(b),
+            paper_single_level(b),
+        ),
+        (
+            "(c) accumulation",
+            "accumulate",
+            impl_accumulation(d),
+            paper_accumulation(d),
+        ),
+    ]
+    tables: List[Table] = []
+    for title, _, impl, paper in steps:
+        table = Table(
+            title=f"Table 1{title} — p={p} b={b} q={q} d={d}",
+            columns=["op", "impl_formula", "paper_formula"],
+        )
+        for op in sorted(set(impl) | set(paper)):
+            table.add_row(op, impl.get(op, 0), paper.get(op, 0))
+        tables.append(table)
+    # Measured per-phase counts for the record.
+    measured = Table(
+        title=f"Table 1 (measured phase counts) — {workload.name}",
+        columns=["phase", "counts"],
+    )
+    for phase, ms in rec.phase_ms.items():
+        measured.add_row(phase, f"{ms:.2f} ms")
+    tables.append(measured)
+    return tables
+
+
+def table2(workload_name: str = "width78", queries: int = 1) -> Table:
+    """Total evaluation complexity: measured vs formulas, plus depth."""
+    workload = _workloads([workload_name])[0]
+    compiled = workload.compiled
+    record = _run(workload, SYSTEM_COPSE, queries)
+    complexity = CopseComplexity(
+        precision=compiled.precision,
+        branching=compiled.branching,
+        quantized_branching=compiled.quantized_branching,
+        max_depth=compiled.max_depth,
+    )
+    impl = complexity.impl_counts()
+    paper = paper_total(
+        compiled.precision,
+        compiled.quantized_branching,
+        compiled.max_depth,
+        compiled.branching,
+    )
+    table = Table(
+        title=f"Table 2: total evaluation complexity — {workload.name}",
+        columns=["op", "measured", "impl_formula", "paper_formula"],
+    )
+    for op in sorted(set(record.op_counts) | set(impl) | set(paper)):
+        table.add_row(
+            op,
+            record.op_counts.get(op, 0),
+            impl.get(op, 0),
+            paper.get(op, 0),
+        )
+    table.add_row(
+        "mult_depth",
+        record.multiplicative_depth,
+        complexity.impl_depth(),
+        paper_total_depth(compiled.precision, compiled.max_depth),
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table 5: encryption-parameter sweep
+# ---------------------------------------------------------------------------
+
+
+def table5(
+    workload_names: Optional[Sequence[str]] = None,
+    min_security: int = 128,
+) -> Table:
+    """Sweep encryption parameters; report feasibility and the winner.
+
+    Feasibility covers every benchmark model (by default the full suite:
+    the deepest circuit is prec16, the widest is income15) — the paper's
+    finding is that a single setting dominates all models.
+    """
+    workloads = _workloads(workload_names)
+    need_depth = max(w.compiled.multiplicative_depth for w in workloads)
+    need_width = max(w.compiled.required_width() for w in workloads)
+
+    table = Table(
+        title="Table 5: encryption-parameter sweep",
+        columns=[
+            "security",
+            "bits",
+            "columns",
+            "depth_cap",
+            "slots",
+            "feasible",
+            "rel_cost",
+        ],
+    )
+    feasible: List[EncryptionParams] = []
+    for params in parameter_grid():
+        ok = (
+            params.security >= min_security
+            and params.supports_depth(need_depth)
+            and params.supports_width(need_width)
+        )
+        if ok:
+            feasible.append(params)
+        table.add_row(
+            params.security,
+            params.bits,
+            params.columns,
+            params.depth_capacity,
+            params.slot_count,
+            "yes" if ok else "no",
+            params.size_factor,
+        )
+    if not feasible:
+        table.add_note("no feasible parameters found")
+        return table
+    best = min(feasible, key=lambda p: (p.size_factor, p.bits, p.columns))
+    table.add_note(
+        f"needs depth {need_depth}, width {need_width}; dominant setting: "
+        f"security={best.security} bits={best.bits} columns={best.columns} "
+        f"(paper: 128 / 400 / 3)"
+    )
+    return table
+
+
+def selected_parameters(
+    workload_names: Optional[Sequence[str]] = None,
+) -> EncryptionParams:
+    """The sweep winner as an :class:`EncryptionParams` (used by tests)."""
+    workloads = _workloads(workload_names)
+    compiler = CopseCompiler()
+    best = None
+    for workload in workloads:
+        choice = compiler.select_parameters(workload.compiled)
+        if best is None or choice.size_factor > best.size_factor:
+            best = choice
+    # The per-model winners can differ; the dominant setting must satisfy
+    # every model, so take the most expensive per-model winner and verify.
+    for workload in workloads:
+        workload.compiled.check_parameters(best)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Table 6: microbenchmark suite
+# ---------------------------------------------------------------------------
+
+
+def table6() -> Table:
+    """The microbenchmark suite: spec vs generated model statistics."""
+    table = Table(
+        title="Table 6: microbenchmark specifications",
+        columns=[
+            "model",
+            "max_depth",
+            "precision",
+            "trees",
+            "branches",
+            "gen_b",
+            "gen_d",
+            "gen_q",
+            "gen_K",
+        ],
+    )
+    for spec in MICROBENCHMARKS:
+        forest = spec.build()
+        table.add_row(
+            spec.name,
+            spec.max_depth,
+            spec.precision,
+            spec.n_trees,
+            spec.total_branches,
+            forest.branching,
+            forest.max_depth,
+            forest.quantized_branching,
+            forest.max_multiplicity,
+        )
+    table.add_note(
+        "spec columns are Table 6 as printed; gen_* are the generated "
+        "forests' statistics (branches and depth match by construction)"
+    )
+    return table
+
+
+def clear_cache() -> None:
+    """Drop memoized experiment records (for isolated test runs)."""
+    _RECORD_CACHE.clear()

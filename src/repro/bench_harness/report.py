@@ -1,0 +1,102 @@
+"""Plain-text rendering of benchmark tables and series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the paper's summary statistic)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class Table:
+    """A fixed-width text table with a title, used by every experiment."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column (for assertions in tests/benches)."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row(self, key: object) -> List[object]:
+        """The first row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row keyed {key!r} in table {self.title!r}")
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in self.columns]] + [
+            [_fmt(c) for c in row] for row in self.rows
+        ]
+        widths = [
+            max(len(r[i]) for r in cells) for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Series:
+    """A named (x, y) series, for the Figure 10 style breakdowns."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: List[tuple] = field(default_factory=list)
+
+    def add_point(self, x: object, y: float) -> None:
+        self.points.append((x, y))
+
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def render(self) -> str:
+        body = ", ".join(f"{x}={y:.2f}" for x, y in self.points)
+        return f"{self.name} [{self.y_label} vs {self.x_label}]: {body}"
+
+
+def render_all(tables: Sequence[Table], title: Optional[str] = None) -> str:
+    parts = []
+    if title:
+        parts.append(f"### {title} ###")
+    for table in tables:
+        parts.append(table.render())
+    return "\n\n".join(parts)

@@ -1,0 +1,214 @@
+"""Experiment runner: the paper's 27-query median protocol.
+
+One :class:`InferenceRunner` runs one (workload, system, configuration)
+combination: it compiles/encrypts the model once, executes the query
+batch, verifies every result against the plaintext oracle, and derives
+simulated timings from the recorded operation DAG via the cost model.
+
+Because the circuits are input-independent (noninterference — verified by
+the security tests), every query of a batch produces the identical
+operation trace, so the median simulated time equals any single query's
+time; the runner still executes the full batch to exercise correctness on
+many inputs, and reports the median as the paper does.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.baseline.polynomial import compile_polynomial
+from repro.baseline.runtime import (
+    BaselineDataOwner,
+    BaselineModelOwner,
+    BaselineServer,
+)
+from repro.core.runtime import (
+    CopseServer,
+    DataOwner,
+    INFERENCE_PHASES,
+    ModelOwner,
+)
+from repro.core.seccomp import VARIANT_ALOUFI
+from repro.fhe.context import FheContext
+from repro.fhe.costmodel import CostModel
+from repro.fhe.params import EncryptionParams
+from repro.fhe.tracker import OpTracker
+from repro.bench_harness.workloads import PAPER_QUERY_COUNT, Workload
+
+SYSTEM_COPSE = "copse"
+SYSTEM_BASELINE = "baseline"
+
+BASELINE_PHASES = ("comparison", "polynomial")
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Configuration for one experiment run."""
+
+    system: str = SYSTEM_COPSE
+    encrypted_model: bool = True
+    threads: int = 1
+    params: EncryptionParams = field(default_factory=EncryptionParams.paper_defaults)
+    seccomp_variant: str = VARIANT_ALOUFI
+    queries: int = PAPER_QUERY_COUNT
+    query_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.system not in (SYSTEM_COPSE, SYSTEM_BASELINE):
+            raise ValidationError(
+                f"unknown system {self.system!r}; choose "
+                f"{SYSTEM_COPSE!r} or {SYSTEM_BASELINE!r}"
+            )
+        if self.threads < 1:
+            raise ValidationError(f"threads must be >= 1, got {self.threads}")
+        if self.queries < 1:
+            raise ValidationError(f"queries must be >= 1, got {self.queries}")
+
+
+@dataclass
+class ExperimentRecord:
+    """The measurements from one (workload, configuration) run."""
+
+    workload: str
+    config: RunnerConfig
+    median_ms: float
+    per_query_ms: List[float]
+    phase_ms: Dict[str, float]
+    op_counts: Dict[str, int]
+    multiplicative_depth: int
+    work_ms: float
+    span_ms: float
+    correct: bool
+
+    @property
+    def system(self) -> str:
+        return self.config.system
+
+
+class InferenceRunner:
+    """Runs one workload under one configuration and reports timings."""
+
+    def __init__(self, workload: Workload, config: RunnerConfig):
+        self.workload = workload
+        self.config = config
+        self.cost_model = CostModel(config.params)
+
+    def run(self) -> ExperimentRecord:
+        if self.config.system == SYSTEM_COPSE:
+            return self._run_copse()
+        return self._run_baseline()
+
+    # ------------------------------------------------------------------
+
+    def _run_copse(self) -> ExperimentRecord:
+        cfg = self.config
+        workload = self.workload
+        compiled = workload.compiled
+        compiled.check_parameters(cfg.params)
+
+        queries = workload.query_features(cfg.queries, cfg.query_seed)
+        per_query_ms: List[float] = []
+        correct = True
+        last_tracker: Optional[OpTracker] = None
+
+        for features in queries:
+            ctx = FheContext(cfg.params)
+            keys = ctx.keygen()
+            maurice = ModelOwner(compiled)
+            diane = DataOwner(maurice.query_spec(), keys)
+            sally = CopseServer(ctx, seccomp_variant=cfg.seccomp_variant)
+            if cfg.encrypted_model:
+                enc_model = maurice.encrypt_model(ctx, keys.public)
+            else:
+                enc_model = maurice.plaintext_model(ctx)
+            query = diane.prepare_query(ctx, features)
+            encrypted = sally.classify(enc_model, query)
+            result = diane.decrypt_result(ctx, encrypted)
+            expected = workload.forest.label_bitvector(features)
+            correct = correct and (result.bitvector == expected)
+            per_query_ms.append(self._time(ctx.tracker, INFERENCE_PHASES))
+            last_tracker = ctx.tracker
+
+        return self._record(per_query_ms, last_tracker, INFERENCE_PHASES, correct)
+
+    def _run_baseline(self) -> ExperimentRecord:
+        cfg = self.config
+        workload = self.workload
+        poly = compile_polynomial(workload.forest, workload.precision)
+
+        queries = workload.query_features(cfg.queries, cfg.query_seed)
+        per_query_ms: List[float] = []
+        correct = True
+        last_tracker: Optional[OpTracker] = None
+
+        for features in queries:
+            ctx = FheContext(cfg.params)
+            keys = ctx.keygen()
+            maurice = BaselineModelOwner(poly)
+            diane = BaselineDataOwner(poly, keys)
+            sally = BaselineServer(ctx, seccomp_variant=cfg.seccomp_variant)
+            if cfg.encrypted_model:
+                enc_model = maurice.encrypt_model(ctx, keys.public)
+            else:
+                enc_model = maurice.plaintext_model(ctx)
+            query = diane.prepare_query(ctx, features)
+            per_tree = sally.classify(enc_model, query)
+            result = diane.decrypt_result(ctx, per_tree)
+            expected = workload.forest.classify_per_tree(features)
+            correct = correct and (result.labels == expected)
+            per_query_ms.append(self._time(ctx.tracker, BASELINE_PHASES))
+            last_tracker = ctx.tracker
+
+        return self._record(per_query_ms, last_tracker, BASELINE_PHASES, correct)
+
+    # ------------------------------------------------------------------
+
+    def _time(self, tracker: OpTracker, phases: Sequence[str]) -> float:
+        if self.config.threads > 1:
+            return self.cost_model.multithreaded_ms(
+                tracker, threads=self.config.threads, phases=phases
+            )
+        return self.cost_model.sequential_ms(tracker, phases=phases)
+
+    def _record(
+        self,
+        per_query_ms: List[float],
+        tracker: OpTracker,
+        phases: Sequence[str],
+        correct: bool,
+    ) -> ExperimentRecord:
+        phase_ms = {
+            phase: self.cost_model.phase_sequential_ms(tracker, phase)
+            for phase in phases
+        }
+        work, span = tracker.work_and_span(self.cost_model.cost_of, phases)
+        counts: Dict[str, int] = {}
+        for phase in phases:
+            for kind, n in tracker.phase_stats(phase).counts.items():
+                counts[kind.value] = counts.get(kind.value, 0) + n
+        return ExperimentRecord(
+            workload=self.workload.name,
+            config=self.config,
+            median_ms=statistics.median(per_query_ms),
+            per_query_ms=per_query_ms,
+            phase_ms=phase_ms,
+            op_counts=counts,
+            multiplicative_depth=tracker.multiplicative_depth(),
+            work_ms=work,
+            span_ms=span,
+            correct=correct,
+        )
+
+
+def run_workload(
+    workload: Workload,
+    system: str = SYSTEM_COPSE,
+    queries: int = 3,
+    **config_kwargs,
+) -> ExperimentRecord:
+    """Convenience wrapper with a small default query count for tests."""
+    config = RunnerConfig(system=system, queries=queries, **config_kwargs)
+    return InferenceRunner(workload, config).run()

@@ -1,0 +1,192 @@
+"""Command-line interface for the COPSE reproduction.
+
+Mirrors the workflow of the original system's compiler binary plus the
+evaluation harness::
+
+    python -m repro info model.txt             # model statistics + leakage
+    python -m repro compile model.txt -o staged.py   # staging compiler
+    python -m repro classify model.txt --features 40,200
+    python -m repro bench fig6 --workloads depth4,width78
+    python -m repro sweep                      # Table 5 parameter sweep
+
+``model.txt`` is the paper's Section 5 serialization (see
+``repro.forest.serialize``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import CopseError
+from repro.core.codegen import generate_module_source
+from repro.core.compiler import CopseCompiler
+from repro.core.runtime import secure_inference
+from repro.forest.serialize import loads_forest
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COPSE: vectorized secure evaluation of decision forests",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print model statistics and leakage")
+    info.add_argument("model", help="serialized model file (Section 5 format)")
+    info.add_argument("--precision", type=int, default=8)
+
+    compile_cmd = sub.add_parser(
+        "compile", help="stage a model into a specialized Python module"
+    )
+    compile_cmd.add_argument("model")
+    compile_cmd.add_argument("-o", "--output", required=True)
+    compile_cmd.add_argument("--precision", type=int, default=8)
+
+    classify = sub.add_parser(
+        "classify", help="run one secure inference end to end"
+    )
+    classify.add_argument("model")
+    classify.add_argument(
+        "--features", required=True,
+        help="comma-separated integer feature values",
+    )
+    classify.add_argument("--precision", type=int, default=8)
+    classify.add_argument(
+        "--plaintext-model", action="store_true",
+        help="Maurice-equals-Sally configuration (model not encrypted)",
+    )
+
+    bench = sub.add_parser("bench", help="regenerate a paper figure/table")
+    bench.add_argument(
+        "artifact",
+        choices=["fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table6"],
+    )
+    bench.add_argument(
+        "--workloads",
+        help="comma-separated workload names (default: microbenchmarks "
+        "for figures, width78 for table2)",
+    )
+    bench.add_argument("--queries", type=int, default=1)
+
+    sub.add_parser("sweep", help="run the Table 5 parameter sweep")
+
+    return parser
+
+
+def _load_compiled(path: str, precision: int):
+    with open(path) as handle:
+        forest = loads_forest(handle.read())
+    compiled = CopseCompiler(precision=precision).compile(forest)
+    return forest, compiled
+
+
+def _cmd_info(args) -> int:
+    forest, compiled = _load_compiled(args.model, args.precision)
+    print(forest.describe())
+    print(compiled.describe())
+    params = CopseCompiler().select_parameters(compiled)
+    print("selected parameters:", params.describe())
+    print(
+        "revealed to the evaluator: q="
+        f"{compiled.quantized_branching} b={compiled.branching} "
+        f"d={compiled.max_depth}; revealed to the client: "
+        f"K={compiled.max_multiplicity}"
+    )
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    _, compiled = _load_compiled(args.model, args.precision)
+    source = generate_module_source(compiled)
+    with open(args.output, "w") as handle:
+        handle.write(source)
+    print(
+        f"staged {compiled.describe()}\n"
+        f"-> {args.output} ({len(source.splitlines())} lines)"
+    )
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    forest, compiled = _load_compiled(args.model, args.precision)
+    try:
+        features = [int(v) for v in args.features.split(",")]
+    except ValueError:
+        print(f"error: features must be integers, got {args.features!r}",
+              file=sys.stderr)
+        return 2
+    outcome = secure_inference(
+        compiled, features, encrypted_model=not args.plaintext_model
+    )
+    result = outcome.result
+    expected = forest.label_bitvector(features)
+    print(f"features: {features}")
+    print(f"per-tree labels: "
+          f"{[result.label_names[l] for l in result.chosen_labels]}")
+    print(f"plurality: {result.plurality_name()}")
+    print(f"oracle agreement: "
+          f"{'ok' if result.bitvector == expected else 'MISMATCH'}")
+    return 0 if result.bitvector == expected else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench_harness import experiments
+
+    names: Optional[List[str]] = None
+    if args.workloads:
+        names = args.workloads.split(",")
+
+    if args.artifact == "fig10":
+        for table in experiments.figure10(queries=args.queries):
+            print(table.render())
+            print()
+        return 0
+    if args.artifact == "table2":
+        workload = names[0] if names else "width78"
+        print(experiments.table2(workload_name=workload).render())
+        return 0
+    if args.artifact == "table6":
+        print(experiments.table6().render())
+        return 0
+
+    fn = {
+        "fig6": experiments.figure6,
+        "fig7": experiments.figure7,
+        "fig8": experiments.figure8,
+        "fig9": experiments.figure9,
+    }[args.artifact]
+    print(fn(queries=args.queries, workload_names=names).render())
+    return 0
+
+
+def _cmd_sweep(_args) -> int:
+    from repro.bench_harness import experiments
+
+    print(experiments.table5().render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "compile": _cmd_compile,
+        "classify": _cmd_classify,
+        "bench": _cmd_bench,
+        "sweep": _cmd_sweep,
+    }
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CopseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

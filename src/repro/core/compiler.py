@@ -1,0 +1,244 @@
+"""The COPSE compiler: decision forest -> vectorizable compiled model.
+
+The paper's compiler (Section 5) is a *staging metacompiler*: stage one
+translates a serialized forest into a C++ program embedding the
+vectorizable structures, which then links against the runtime.  Here,
+stage one produces a :class:`CompiledModel` — the same structures as
+first-class objects — and :mod:`repro.core.codegen` optionally renders it
+into a specialized Python module (the staging artifact).
+
+A compiled model contains exactly the data of Section 4.2:
+
+* the padded threshold vector as ``p`` MSB-first bit planes,
+* the ``b x q`` reshuffling matrix in generalized-diagonal form,
+* ``d`` level matrices (``labels x b``) in generalized-diagonal form,
+* ``d`` level masks,
+* the codebook mapping result slots to class labels (Section 7.2.2), and
+* the model statistics (``b``, ``q``, ``K``, ``d``) that Section 7.1's
+  leakage analysis tracks.
+
+Compilation also selects encryption parameters for the model (the staging
+specialization of Section 5): it checks the chosen parameters support the
+circuit's multiplicative depth and vector widths, and can search the sweep
+grid for the cheapest feasible set (the Table 5 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.core.analysis import ModelAnalysis
+from repro.core.complexity import copse_total_depth
+from repro.core.structures import (
+    DiagonalMatrix,
+    build_all_levels,
+    build_all_masks,
+    build_reshuffle_matrix,
+    build_threshold_planes,
+)
+from repro.fhe.params import EncryptionParams
+from repro.forest.forest import DecisionForest
+from repro.forest.serialize import loads_forest
+from repro.forest.validate import validate_forest
+
+
+@dataclass
+class CompiledModel:
+    """A decision forest compiled to COPSE's vectorizable structures."""
+
+    precision: int
+    n_features: int
+    branching: int  # b
+    quantized_branching: int  # q
+    max_multiplicity: int  # K
+    max_depth: int  # d
+    num_labels: int  # leaves (classification-bitvector width)
+    label_names: List[str]
+    codebook: List[int]  # result slot -> class-label index
+    threshold_planes: np.ndarray  # (p, q) uint8, MSB first
+    reshuffle: DiagonalMatrix  # b x q
+    level_matrices: List[DiagonalMatrix]  # d entries, labels x b
+    level_masks: List[np.ndarray]  # d entries, length labels
+    source_forest: Optional[DecisionForest] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        p, q = self.threshold_planes.shape
+        if p != self.precision or q != self.quantized_branching:
+            raise CompileError(
+                f"threshold planes {self.threshold_planes.shape} inconsistent "
+                f"with precision {self.precision} and q {self.quantized_branching}"
+            )
+        if len(self.level_matrices) != self.max_depth:
+            raise CompileError(
+                f"{len(self.level_matrices)} level matrices for depth "
+                f"{self.max_depth}"
+            )
+        if len(self.level_masks) != self.max_depth:
+            raise CompileError(
+                f"{len(self.level_masks)} level masks for depth {self.max_depth}"
+            )
+
+    @property
+    def multiplicative_depth(self) -> int:
+        """Depth of the full inference circuit (our implementation)."""
+        return copse_total_depth(self.precision, self.max_depth)
+
+    def required_width(self) -> int:
+        """Widest packed vector the circuit manipulates."""
+        return max(self.quantized_branching, self.num_labels, self.branching)
+
+    def check_parameters(
+        self, params: EncryptionParams, allow_bootstrapping: bool = False
+    ) -> None:
+        """Raise unless ``params`` can evaluate this model's circuit.
+
+        With ``allow_bootstrapping`` the depth requirement drops to the
+        deepest *segment* between bootstrap points (the comparison
+        circuit on one side, the reshuffle/levels/accumulation pipeline
+        on the other) instead of the whole circuit.
+        """
+        needed = self.multiplicative_depth
+        if allow_bootstrapping:
+            needed = self.segment_depth()
+        if not params.supports_depth(needed):
+            raise CompileError(
+                f"model needs multiplicative depth {needed}"
+                f"{' (with bootstrapping)' if allow_bootstrapping else ''} "
+                f"but {params.describe()} supports only {params.depth_capacity}"
+            )
+        width = self.required_width()
+        if not params.supports_width(width):
+            raise CompileError(
+                f"model needs {width} SIMD slots but {params.describe()} "
+                f"provides {params.slot_count}"
+            )
+
+    def segment_depth(self) -> int:
+        """Deepest circuit segment when bootstrapping after comparison."""
+        import math
+
+        from repro.core.seccomp import seccomp_depth
+
+        log_d = int(math.ceil(math.log2(self.max_depth))) if self.max_depth > 1 else 0
+        return max(seccomp_depth(self.precision), 2 + log_d)
+
+    def describe(self) -> str:
+        return (
+            f"compiled model: p={self.precision} b={self.branching} "
+            f"q={self.quantized_branching} K={self.max_multiplicity} "
+            f"d={self.max_depth} labels={self.num_labels} "
+            f"depth={self.multiplicative_depth}"
+        )
+
+
+@dataclass
+class CopseCompiler:
+    """Forest-to-structures compiler front end.
+
+    Parameters
+    ----------
+    precision:
+        Fixed-point precision ``p`` (bits per threshold/feature).
+    multiplicity_bound:
+        Optional upper bound to reveal instead of the exact maximum
+        multiplicity ``K`` (the Section 7.2.1 privacy knob).  Must be at
+        least the true ``K``; extra slots are filled with sentinels and
+        removed by the reshuffling matrix like any other padding.
+    """
+
+    precision: int = 8
+    multiplicity_bound: Optional[int] = None
+
+    def compile(self, forest: DecisionForest) -> CompiledModel:
+        """Compile a forest into the vectorizable structures."""
+        if self.precision < 1:
+            raise CompileError(f"precision must be >= 1, got {self.precision}")
+        validate_forest(forest, precision=self.precision)
+        analysis = ModelAnalysis(forest)
+        if self.multiplicity_bound is not None:
+            true_k = analysis.max_multiplicity
+            if self.multiplicity_bound < true_k:
+                raise CompileError(
+                    f"multiplicity bound {self.multiplicity_bound} is below "
+                    f"the model's true maximum multiplicity {true_k}"
+                )
+            analysis = _BoundedAnalysis(forest, self.multiplicity_bound)
+
+        return CompiledModel(
+            precision=self.precision,
+            n_features=forest.n_features,
+            branching=analysis.branching,
+            quantized_branching=analysis.quantized_branching,
+            max_multiplicity=analysis.max_multiplicity,
+            max_depth=analysis.max_depth,
+            num_labels=analysis.num_labels,
+            label_names=list(forest.label_names),
+            codebook=analysis.codebook(),
+            threshold_planes=build_threshold_planes(analysis, self.precision),
+            reshuffle=build_reshuffle_matrix(analysis),
+            level_matrices=build_all_levels(analysis),
+            level_masks=build_all_masks(analysis),
+            source_forest=forest,
+        )
+
+    def compile_serialized(self, text: str) -> CompiledModel:
+        """Compile directly from the Section 5 text format."""
+        return self.compile(loads_forest(text))
+
+    def select_parameters(
+        self,
+        model: CompiledModel,
+        grid: Optional[Sequence[EncryptionParams]] = None,
+        min_security: int = 128,
+    ) -> EncryptionParams:
+        """Choose the cheapest feasible parameters for a compiled model.
+
+        This is the staging compiler's parameter autotuning (Section 5 /
+        Table 5): every grid point that meets the security floor and can
+        evaluate the circuit is ranked by ciphertext size, and the
+        cheapest wins.
+        """
+        from repro.fhe.params import parameter_grid
+
+        candidates = list(grid) if grid is not None else list(parameter_grid())
+        feasible = []
+        for params in candidates:
+            if params.security < min_security:
+                continue
+            try:
+                model.check_parameters(params)
+            except CompileError:
+                continue
+            feasible.append(params)
+        if not feasible:
+            raise CompileError(
+                f"no feasible encryption parameters for {model.describe()} "
+                f"at security >= {min_security}"
+            )
+        return min(feasible, key=lambda p: (p.size_factor, p.bits, p.columns))
+
+
+class _BoundedAnalysis(ModelAnalysis):
+    """Analysis that reports an inflated maximum multiplicity.
+
+    Implements the Section 7.2.1 option of revealing only an upper bound
+    on ``K``: the threshold vector is padded to ``bound`` per feature, so
+    Diane learns ``bound`` rather than the true maximum multiplicity, at
+    the cost of a slightly wider reshuffling matrix.
+    """
+
+    def __init__(self, forest: DecisionForest, bound: int):
+        self._bound = bound
+        super().__init__(forest)
+
+    @property
+    def max_multiplicity(self) -> int:
+        return self._bound
+
+    @property
+    def quantized_branching(self) -> int:
+        return self._bound * self.forest.n_features

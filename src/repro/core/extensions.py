@@ -1,0 +1,184 @@
+"""Section 7.2 design-space options: privacy/performance trade-offs.
+
+The paper describes (but does not enable by default) several hardening
+options; all are implemented here so the trade-offs can be measured:
+
+* **multiplicity upper bound** (Section 7.2.1) — compile with
+  ``CopseCompiler(multiplicity_bound=...)``; Diane learns only the bound,
+  and the reshuffling multiply grows with the looseness of the bound;
+* **server-side replication** (Section 7.2.1) — Diane sends each feature
+  once; Sally replicates directly on ciphertext via a plaintext
+  replication matrix, so no multiplicity information leaks at all, at the
+  cost of ``q``-diagonal ciphertext work per bit plane;
+* **codebook shuffling** (Section 7.2.2) — Sally applies a random
+  permutation (a plaintext matrix / ciphertext vector product) to the
+  result bitvector and the codebook, hiding label order;
+* **codebook padding** (Section 7.2.2) — folded into the shuffle: the
+  permutation matrix is widened with rows that land on no real slot,
+  appending dummy labels whose result bits are always 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RuntimeProtocolError
+from repro.core.matmul import halevi_shoup_matvec
+from repro.core.runtime import (
+    EncryptedModel,
+    EncryptedQuery,
+    PHASE_DATA_ENCRYPT,
+    QuerySpec,
+)
+from repro.core.structures import DiagonalMatrix
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import FheContext
+from repro.fhe.keys import KeyPair
+from repro.fhe.simd import to_bitplanes
+
+
+# ---------------------------------------------------------------------------
+# Server-side replication (no multiplicity leak)
+# ---------------------------------------------------------------------------
+
+
+def build_replication_matrix(n_features: int, multiplicity: int) -> DiagonalMatrix:
+    """The ``q x n`` matrix that replicates each feature ``K`` times."""
+    q = n_features * multiplicity
+    dense = np.zeros((q, n_features), dtype=np.uint8)
+    for feature in range(n_features):
+        for copy in range(multiplicity):
+            dense[feature * multiplicity + copy, feature] = 1
+    return DiagonalMatrix.from_dense(dense)
+
+
+def prepare_unreplicated_query(
+    ctx: FheContext,
+    spec: QuerySpec,
+    keys: KeyPair,
+    features: Sequence[int],
+) -> EncryptedQuery:
+    """Diane's query without replication: one slot per feature.
+
+    Used with :func:`replicate_on_server`; Diane never learns ``K``.
+    """
+    if len(features) != spec.n_features:
+        raise RuntimeProtocolError(
+            f"model expects {spec.n_features} features, got {len(features)}"
+        )
+    limit = 1 << spec.precision
+    for value in features:
+        if not 0 <= int(value) < limit:
+            raise RuntimeProtocolError(
+                f"feature value {value} does not fit in "
+                f"{spec.precision} unsigned bits"
+            )
+    planes = to_bitplanes([int(v) for v in features], spec.precision)
+    with ctx.tracker.phase(PHASE_DATA_ENCRYPT):
+        encrypted = [
+            ctx.encrypt(planes[i], keys.public) for i in range(planes.shape[0])
+        ]
+    return EncryptedQuery(planes=encrypted)
+
+
+def replicate_on_server(
+    ctx: FheContext,
+    query: EncryptedQuery,
+    n_features: int,
+    multiplicity: int,
+) -> EncryptedQuery:
+    """Sally's ciphertext replication of an unreplicated query.
+
+    Each bit plane is multiplied by the plaintext replication matrix —
+    the "much more expensive" ciphertext equivalent of Diane's free
+    plaintext replication that Section 7.2.1 describes.
+    """
+    if query.width != n_features:
+        raise RuntimeProtocolError(
+            f"expected an unreplicated query of width {n_features}, "
+            f"got {query.width}"
+        )
+    matrix = build_replication_matrix(n_features, multiplicity)
+    diagonals = [ctx.encode(matrix.diagonal(i)) for i in range(matrix.num_diagonals)]
+    q = n_features * multiplicity
+    with ctx.tracker.phase("server_replicate"):
+        planes: List[Ciphertext] = []
+        for plane in query.planes:
+            replicated = halevi_shoup_matvec(
+                ctx, diagonals, rows=q, cols=n_features, vector=plane
+            )
+            if not isinstance(replicated, Ciphertext):  # pragma: no cover
+                raise RuntimeProtocolError("replicated plane must be encrypted")
+            planes.append(replicated)
+    return EncryptedQuery(planes=planes)
+
+
+# ---------------------------------------------------------------------------
+# Codebook shuffling and padding
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShuffledResult:
+    """A shuffled (optionally padded) result with its matching codebook."""
+
+    ciphertext: Ciphertext
+    codebook: List[int]
+
+
+def shuffle_classification(
+    ctx: FheContext,
+    result: Ciphertext,
+    codebook: Sequence[int],
+    rng: np.random.Generator,
+    pad_to: Optional[int] = None,
+    n_label_kinds: Optional[int] = None,
+) -> ShuffledResult:
+    """Permute (and optionally pad) the classification bitvector.
+
+    The permutation is applied as a plaintext-matrix/ciphertext-vector
+    product, and the same permutation is applied to the codebook, so
+    Diane's decoding is unaffected while the label order (and, with
+    padding, the per-label leaf counts) are hidden.
+
+    ``pad_to`` extends the result with dummy slots that are always 0 and
+    whose codebook entries are random labels; per the paper, padding is
+    folded into the shuffle at no extra multiplicative depth.
+    """
+    n = result.length
+    if len(codebook) != n:
+        raise RuntimeProtocolError(
+            f"codebook length {len(codebook)} does not match the result "
+            f"width {n}"
+        )
+    out_n = n if pad_to is None else pad_to
+    if out_n < n:
+        raise RuntimeProtocolError(
+            f"cannot pad a {n}-slot result down to {out_n} slots"
+        )
+    kinds = n_label_kinds if n_label_kinds is not None else (max(codebook) + 1)
+
+    permutation = rng.permutation(out_n)
+    dense = np.zeros((out_n, n), dtype=np.uint8)
+    new_codebook: List[int] = [0] * out_n
+    for out_slot in range(out_n):
+        source = int(permutation[out_slot])
+        if source < n:
+            dense[out_slot, source] = 1
+            new_codebook[out_slot] = int(codebook[source])
+        else:
+            # A dummy slot: no source, result bit is always 0, and the
+            # codebook entry is a random plausible label.
+            new_codebook[out_slot] = int(rng.integers(0, kinds))
+    matrix = DiagonalMatrix.from_dense(dense)
+    diagonals = [ctx.encode(matrix.diagonal(i)) for i in range(matrix.num_diagonals)]
+    with ctx.tracker.phase("shuffle_result"):
+        shuffled = halevi_shoup_matvec(
+            ctx, diagonals, rows=out_n, cols=n, vector=result
+        )
+    if not isinstance(shuffled, Ciphertext):  # pragma: no cover
+        raise RuntimeProtocolError("shuffled result must be encrypted")
+    return ShuffledResult(ciphertext=shuffled, codebook=new_codebook)

@@ -1,0 +1,84 @@
+"""Fixed-point codec: real-valued data -> the unsigned integer domain.
+
+Section 4.1.2: "Rather than try to securely perform bit operations on
+floating point numbers, we instead represent decision thresholds as
+fixed-point values with the precision p known at compile-time."
+
+The codec maps a real interval ``[lo, hi]`` affinely onto ``[0, 2^p - 1]``.
+Order is preserved, so a threshold comparison in the fixed-point domain
+agrees with the real-valued comparison up to quantization — and because
+*both* the model thresholds and the query features pass through the same
+codec, the plaintext oracle and the secure evaluation agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import PrecisionError
+
+
+@dataclass(frozen=True)
+class FixedPointCodec:
+    """Affine quantizer onto ``p``-bit unsigned fixed point."""
+
+    precision: int
+    lo: float = 0.0
+    hi: float = 255.0
+
+    def __post_init__(self) -> None:
+        if self.precision < 1 or self.precision > 62:
+            raise PrecisionError(
+                f"precision must be between 1 and 62 bits, got {self.precision}"
+            )
+        if not self.hi > self.lo:
+            raise PrecisionError(
+                f"invalid codec range [{self.lo}, {self.hi}]"
+            )
+
+    @property
+    def max_code(self) -> int:
+        return (1 << self.precision) - 1
+
+    def encode(self, value: float) -> int:
+        """Quantize one real value; raise if it falls outside the range."""
+        if not self.lo <= value <= self.hi:
+            raise PrecisionError(
+                f"value {value} outside the codec range [{self.lo}, {self.hi}]"
+            )
+        scaled = (value - self.lo) / (self.hi - self.lo) * self.max_code
+        return int(round(scaled))
+
+    def encode_many(self, values: Sequence[float]) -> List[int]:
+        return [self.encode(v) for v in values]
+
+    def decode(self, code: int) -> float:
+        """Map a fixed-point code back to the midpoint real value."""
+        if not 0 <= code <= self.max_code:
+            raise PrecisionError(
+                f"code {code} outside [0, {self.max_code}] for "
+                f"{self.precision}-bit fixed point"
+            )
+        return self.lo + code / self.max_code * (self.hi - self.lo)
+
+    def check_code(self, code: int) -> int:
+        """Validate an already-quantized value fits the precision."""
+        if not 0 <= code <= self.max_code:
+            raise PrecisionError(
+                f"fixed-point value {code} does not fit in "
+                f"{self.precision} unsigned bits"
+            )
+        return int(code)
+
+    @staticmethod
+    def for_data(precision: int, *columns: Sequence[float]) -> "FixedPointCodec":
+        """Build a codec spanning the range of the provided data columns."""
+        values = np.concatenate([np.asarray(c, dtype=float) for c in columns])
+        lo = float(values.min())
+        hi = float(values.max())
+        if hi <= lo:
+            hi = lo + 1.0
+        return FixedPointCodec(precision=precision, lo=lo, hi=hi)

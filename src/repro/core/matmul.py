@@ -1,0 +1,81 @@
+"""Halevi-Shoup diagonal matrix-vector multiplication (Section 4.1.2).
+
+To multiply an ``m x n`` boolean matrix by a packed length-``n`` vector,
+the ``i``-th generalized diagonal is multiplied slot-wise with the vector
+rotated left by ``i`` slots, and the per-diagonal products are XOR-summed:
+
+    (Mv)[j] = XOR_i  d_i[j] AND v[(j + i) mod n]
+
+When ``m > n`` the rotated vector is cyclically extended to ``m`` slots;
+when ``m < n`` it is truncated after rotating.  The multiplicative depth is
+a constant 1 regardless of matrix size — the property that lets COPSE keep
+its whole circuit at depth ``2 log p + log d + 2``.
+
+The matrix may be held in plaintext (Maurice = Sally: the model never
+leaves the server) or as a vector of ciphertext diagonals (the offloading
+configuration); both paths share this implementation via the context's
+mixed-operand combinators.
+
+For COPSE's matrices every row has at most one set bit, so the XOR-sum
+never cancels a true result — GF(2) addition coincides with the integer
+sum the construction intends.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import CompileError
+from repro.fhe.ciphertext import Ciphertext, PlainVector
+from repro.fhe.context import FheContext, Vector
+
+
+def halevi_shoup_matvec(
+    ctx: FheContext,
+    diagonals: Sequence[Vector],
+    rows: int,
+    cols: int,
+    vector: Ciphertext,
+) -> Vector:
+    """Multiply a diagonal-form matrix by a packed ciphertext vector.
+
+    ``diagonals`` holds the ``cols`` generalized diagonals (each of logical
+    length ``rows``), as plaintext or ciphertext vectors.
+    """
+    if len(diagonals) != cols:
+        raise CompileError(
+            f"a {rows}x{cols} matrix has {cols} generalized diagonals, "
+            f"got {len(diagonals)}"
+        )
+    if vector.length != cols:
+        raise CompileError(
+            f"matrix with {cols} columns applied to a vector of length "
+            f"{vector.length}"
+        )
+    products: List[Vector] = []
+    for i, diagonal in enumerate(diagonals):
+        if len(diagonal) != rows:
+            raise CompileError(
+                f"diagonal {i} has length {len(diagonal)}, expected {rows}"
+            )
+        rotated = ctx.rotate(vector, i) if i else vector
+        if rows > cols:
+            rotated = ctx.cyclic_extend(rotated, rows)
+        elif rows < cols:
+            rotated = ctx.truncate(rotated, rows)
+        products.append(ctx.and_any(diagonal, rotated))
+    return ctx.xor_all(products)
+
+
+def encode_diagonals(ctx: FheContext, diagonals) -> List[PlainVector]:
+    """Encode a DiagonalMatrix's rows of diagonals as plaintext vectors."""
+    return [ctx.encode(diagonals[i]) for i in range(diagonals.shape[0])]
+
+
+def encrypt_diagonals(ctx: FheContext, diagonals, public_key) -> List[Ciphertext]:
+    """Encrypt a DiagonalMatrix's diagonals (one ciphertext per column).
+
+    This is why Section 7.1 notes the evaluator learns the column count of
+    every encrypted matrix: it sees one ciphertext per diagonal.
+    """
+    return [ctx.encrypt(diagonals[i], public_key) for i in range(diagonals.shape[0])]

@@ -1,0 +1,282 @@
+"""SecComp: packed lexicographic comparison (Section 4.1.2).
+
+Compares two fixed-point vectors held in the "transposed" bit-plane
+representation: operand ``x`` (Diane's replicated features) is ``p``
+ciphertexts, operand ``y`` (the padded thresholds) is ``p`` plaintext or
+ciphertext vectors, each of width ``k`` (one slot per padded branch).
+The output is a single packed vector whose slot ``j`` holds the decision
+bit ``x[j] < y[j]``.
+
+Both circuits implement the standard lexicographic comparator
+
+    lt = OR_i ( NOT x_i AND y_i ) AND PROD_{j < i} eq_j
+    eq_j = NOT (x_j XOR y_j)
+
+with Hillis-Steele prefix products (depth ``log p`` instead of ``p``).
+Two variants are provided:
+
+* ``VARIANT_ALOUFI`` (default) — faithful to Aloufi et al.'s circuit as
+  the paper counts it (Table 1a): ``NOT x`` is a homomorphic addition
+  with an *encrypted* all-ones vector (their multi-key setting cannot
+  fold constants), the prefix scan runs *uniform* rounds (every round
+  multiplies all ``p`` planes, identity-multiplying the low positions by
+  the ones vector — the natural packed-SIMD formulation), and the final
+  combine is a genuine OR tree (``a OR b = a XOR b XOR ab``).  Counts:
+
+      Add        = 4p - 2                    (diffs, NOTs, OR-tree XORs)
+      Const Add  = p                         (the eq NOTs)
+      Multiply   = p ceil(log2 p) + 3p - 2   (scan + lts + guards + ORs)
+      depth      = 2 ceil(log2 p) + 1
+
+  matching the paper's Table 1a exactly.
+
+* ``VARIANT_OPTIMIZED`` — our cheaper rewrite used as an ablation:
+  ``NOT x AND y`` becomes ``y XOR (x AND y)`` (no encrypted ones needed)
+  and the OR collapses to XOR because the first-difference terms are
+  mutually exclusive:
+
+      Add        = 3p - 1
+      Const Add  = p
+      Multiply   = p log2 p + p
+      depth      = ceil(log2 p) + 1
+
+The Aloufi variant needs an encrypted all-ones vector (``not_one``);
+callers hold the public key and pass it in (the runtimes encrypt it once
+and reuse it across invocations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import CompileError
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import FheContext, Vector
+
+VARIANT_ALOUFI = "aloufi"
+VARIANT_OPTIMIZED = "optimized"
+SECCOMP_VARIANTS = (VARIANT_ALOUFI, VARIANT_OPTIMIZED)
+
+
+def secure_compare(
+    ctx: FheContext,
+    x_planes: Sequence[Ciphertext],
+    y_planes: Sequence[Vector],
+    variant: str = VARIANT_OPTIMIZED,
+    not_one: Optional[Ciphertext] = None,
+) -> Ciphertext:
+    """Packed ``x < y`` over MSB-first bit planes.
+
+    ``x_planes`` must be ciphertexts (the features are always encrypted);
+    ``y_planes`` may be plaintext (Maurice = Sally) or ciphertext.  For
+    ``VARIANT_ALOUFI``, ``not_one`` must be an encrypted all-ones vector
+    of the operand width.
+    """
+    p = len(x_planes)
+    if p == 0 or len(y_planes) != p:
+        raise CompileError(
+            f"operands disagree on precision: {p} vs {len(y_planes)} planes"
+        )
+    width = x_planes[0].length
+    for plane in list(x_planes) + list(y_planes):
+        if len(plane) != width:
+            raise CompileError(
+                f"all bit planes must share width {width}, got {len(plane)}"
+            )
+    if variant == VARIANT_ALOUFI:
+        if not_one is None:
+            raise CompileError(
+                "the Aloufi SecComp variant needs an encrypted all-ones "
+                "vector (not_one); encrypt ctx.ones(width) under the "
+                "query key and pass it in"
+            )
+        if not_one.length != width:
+            raise CompileError(
+                f"not_one has width {not_one.length}, operands have {width}"
+            )
+        return _compare_aloufi(ctx, x_planes, y_planes, not_one)
+    if variant == VARIANT_OPTIMIZED:
+        return _compare_optimized(ctx, x_planes, y_planes)
+    raise CompileError(
+        f"unknown SecComp variant {variant!r}; choose from {SECCOMP_VARIANTS}"
+    )
+
+
+def _compare_aloufi(
+    ctx: FheContext,
+    x_planes: Sequence[Ciphertext],
+    y_planes: Sequence[Vector],
+    not_one: Ciphertext,
+) -> Ciphertext:
+    p = len(x_planes)
+    # diff_i = x_i XOR y_i ; eq_i = NOT diff_i (plaintext NOT)
+    diffs = [ctx.xor_any(x_planes[i], y_planes[i]) for i in range(p)]
+    eqs = [ctx.negate(d) for d in diffs]
+    # NOT x_i via the encrypted ones vector (multi-key style), then AND y_i.
+    not_xs = [ctx.add(x_planes[i], not_one) for i in range(p)]
+    lts = [ctx.and_any(not_xs[i], y_planes[i]) for i in range(p)]
+
+    prefixes = _uniform_prefix_products(ctx, eqs, not_one)
+    terms: List[Vector] = [lts[0]]
+    for i in range(1, p):
+        terms.append(ctx.and_any(lts[i], prefixes[i]))
+
+    result = _or_tree(ctx, terms)
+    if not isinstance(result, Ciphertext):  # pragma: no cover - x is cipher
+        raise CompileError("comparison of ciphertext features must be encrypted")
+    return result
+
+
+def _compare_optimized(
+    ctx: FheContext,
+    x_planes: Sequence[Ciphertext],
+    y_planes: Sequence[Vector],
+) -> Ciphertext:
+    p = len(x_planes)
+    diffs = [ctx.xor_any(x_planes[i], y_planes[i]) for i in range(p)]
+    eqs = [ctx.negate(d) for d in diffs]
+    # lt_i = (NOT x_i) AND y_i = y_i XOR (x_i AND y_i)
+    lts = [
+        ctx.xor_any(y_planes[i], ctx.and_any(x_planes[i], y_planes[i]))
+        for i in range(p)
+    ]
+    prefixes = _exclusive_prefix_products(ctx, eqs)
+    terms: List[Vector] = [lts[0]]
+    for i in range(1, p):
+        terms.append(ctx.and_any(lts[i], prefixes[i]))
+    # The terms are mutually exclusive (only the first differing bit can
+    # fire), so OR degenerates to XOR.
+    result = ctx.xor_all(terms)
+    if not isinstance(result, Ciphertext):  # pragma: no cover - x is cipher
+        raise CompileError("comparison of ciphertext features must be encrypted")
+    return result
+
+
+def _exclusive_prefix_products(
+    ctx: FheContext, eqs: Sequence[Vector]
+) -> List[Vector]:
+    """``prefix[i] = eq_0 AND ... AND eq_{i-1}`` via a Hillis-Steele scan.
+
+    ``prefix[0]`` is never used by the callers (the first term has no
+    guard); the inclusive scan is shifted by one position.  This is the
+    triangle-optimized scan of the optimized variant: positions below the
+    round's offset are copied, not multiplied.
+    """
+    p = len(eqs)
+    scan: List[Vector] = list(eqs)
+    offset = 1
+    while offset < p:
+        nxt = list(scan)
+        for i in range(offset, p):
+            nxt[i] = ctx.and_any(scan[i], scan[i - offset])
+        scan = nxt
+        offset *= 2
+    return [scan[0]] + scan[: p - 1]
+
+
+def _uniform_prefix_products(
+    ctx: FheContext, eqs: Sequence[Vector], not_one: Ciphertext
+) -> List[Vector]:
+    """Inclusive prefix scan with uniform rounds (the Aloufi formulation).
+
+    Every round multiplies all ``p`` positions; positions whose shifted
+    partner falls off the front are multiplied by the encrypted all-ones
+    vector instead of being copied.  This is how the scan looks when each
+    round is one packed SIMD step, and it is what makes the multiply
+    count ``p ceil(log2 p)`` rather than ``p log2 p - p + 1``.
+    """
+    p = len(eqs)
+    scan: List[Vector] = list(eqs)
+    offset = 1
+    while offset < p:
+        nxt: List[Vector] = []
+        for i in range(p):
+            partner = scan[i - offset] if i >= offset else not_one
+            nxt.append(ctx.and_any(scan[i], partner))
+        scan = nxt
+        offset *= 2
+    return [scan[0]] + scan[: p - 1]
+
+
+def _or_tree(ctx: FheContext, terms: Sequence[Vector]) -> Vector:
+    """Balanced OR: ``a OR b = a XOR b XOR (a AND b)``, depth log n."""
+    layer = list(terms)
+    while len(layer) > 1:
+        nxt: List[Vector] = []
+        for i in range(0, len(layer) - 1, 2):
+            a, b = layer[i], layer[i + 1]
+            nxt.append(ctx.xor_any(ctx.xor_any(a, b), ctx.and_any(a, b)))
+        if len(layer) % 2 == 1:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+# ---------------------------------------------------------------------------
+# Analytic counts (asserted exactly by the tests; see complexity.py)
+# ---------------------------------------------------------------------------
+
+
+def _scan_offsets(p: int) -> List[int]:
+    offsets = []
+    offset = 1
+    while offset < p:
+        offsets.append(offset)
+        offset *= 2
+    return offsets
+
+
+def _scan_multiplies(p: int) -> int:
+    return sum(p - offset for offset in _scan_offsets(p))
+
+
+def _or_tree_internal_nodes(p: int) -> int:
+    """Number of pairwise ORs in a balanced OR over ``p`` terms."""
+    return max(0, p - 1)
+
+
+def seccomp_multiply_count(p: int, variant: str = VARIANT_ALOUFI) -> int:
+    """Packed multiplies per SecComp invocation for precision ``p``."""
+    if p <= 0:
+        raise CompileError(f"precision must be positive, got {p}")
+    if p == 1:
+        return 1  # the single lt term in both variants
+    if variant == VARIANT_ALOUFI:
+        # Uniform scan (p per round) + lts + guards + OR-tree ANDs; for a
+        # power-of-two p this is the paper's p log p + 3p - 2 exactly.
+        rounds = len(_scan_offsets(p))
+        return p * rounds + p + (p - 1) + _or_tree_internal_nodes(p)
+    if variant == VARIANT_OPTIMIZED:
+        return _scan_multiplies(p) + p + (p - 1)  # scan + lts + guards
+    raise CompileError(f"unknown SecComp variant {variant!r}")
+
+
+def seccomp_add_count(p: int, variant: str = VARIANT_ALOUFI) -> int:
+    """Packed additions per SecComp invocation for precision ``p``."""
+    if variant == VARIANT_ALOUFI:
+        if p == 1:
+            return 2  # diff, NOT x
+        return 4 * p - 2  # p diffs, p NOTs, 2(p-1) OR-tree XORs
+    if variant == VARIANT_OPTIMIZED:
+        if p == 1:
+            return 2  # diff, lt combine
+        return 3 * p - 1  # p diffs, p lt combines, p-1 final XORs
+    raise CompileError(f"unknown SecComp variant {variant!r}")
+
+
+def seccomp_const_add_count(p: int, variant: str = VARIANT_ALOUFI) -> int:
+    """Constant additions (the eq NOTs) per invocation."""
+    return p
+
+
+def seccomp_depth(p: int, variant: str = VARIANT_ALOUFI) -> int:
+    """Multiplicative depth of one SecComp invocation."""
+    if p == 1:
+        return 1
+    log_p = int(math.ceil(math.log2(p)))
+    if variant == VARIANT_ALOUFI:
+        return 2 * log_p + 1  # scan + guard + OR tree
+    if variant == VARIANT_OPTIMIZED:
+        return log_p + 1
+    raise CompileError(f"unknown SecComp variant {variant!r}")

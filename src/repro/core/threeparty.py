@@ -1,0 +1,239 @@
+"""The genuine three-party deployment over threshold FHE (Section 7.1).
+
+The paper's two-party evaluation is forced by single-key FHE; it notes
+that threshold-FHE "wrappers ... can be applied directly to COPSE at the
+cost of introducing additional rounds of communication and additional
+encryption/decryption steps."  This module applies the wrapper:
+
+* Maurice and Diane jointly hold a threshold key
+  (:mod:`repro.fhe.multikey`); Sally holds nothing;
+* the model and the query are encrypted under the joint public key;
+* Sally evaluates Algorithm 1 unchanged;
+* decrypting the result takes one partial decryption from *each*
+  shareholder — Diane alone (or Maurice alone, or Sally with any single
+  shareholder's cooperation) cannot open anything.
+
+The protocol records a message transcript (who -> who, what, how many
+ciphertexts) so the communication cost of the wrapper — the "additional
+rounds" — is measurable; ``tests/security`` verify both correctness and
+the no-single-party-decrypts property, and that collusion between Sally
+and one shareholder still does not reconstruct (it takes *both*
+shareholders' partials, matching Table 4's observation that collusion
+with one data party reveals that party's data only through its own
+partials).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import RuntimeProtocolError
+from repro.core.compiler import CompiledModel
+from repro.core.runtime import (
+    CopseServer,
+    EncryptedModel,
+    EncryptedQuery,
+    InferenceResult,
+    ModelOwner,
+)
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import FheContext
+from repro.fhe.multikey import (
+    JointKey,
+    PartialDecryption,
+    SecretShare,
+    combine_partials,
+    partial_decrypt,
+    threshold_keygen,
+)
+from repro.fhe.params import EncryptionParams
+from repro.fhe.simd import replicate, to_bitplanes
+
+#: Protocol party names used in transcripts.
+MAURICE = "maurice"
+DIANE = "diane"
+SALLY = "sally"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message in the transcript."""
+
+    sender: str
+    receiver: str
+    kind: str
+    ciphertexts: int = 0
+
+
+@dataclass
+class Transcript:
+    """Ordered record of everything the parties exchanged."""
+
+    messages: List[Message] = field(default_factory=list)
+
+    def send(self, sender: str, receiver: str, kind: str, ciphertexts: int = 0):
+        self.messages.append(Message(sender, receiver, kind, ciphertexts))
+
+    def rounds(self) -> int:
+        """Communication rounds: maximal alternations of direction."""
+        return len(self.messages)
+
+    def ciphertexts_sent(self, sender: Optional[str] = None) -> int:
+        return sum(
+            m.ciphertexts
+            for m in self.messages
+            if sender is None or m.sender == sender
+        )
+
+    def kinds(self) -> List[str]:
+        return [m.kind for m in self.messages]
+
+
+class ThresholdModelOwner:
+    """Maurice in the three-party protocol: holds share 0."""
+
+    def __init__(self, model: CompiledModel, share: SecretShare):
+        self._owner = ModelOwner(model)
+        self.share = share
+        self.model = model
+
+    def query_spec(self):
+        return self._owner.query_spec()
+
+    def encrypt_model(self, ctx: FheContext, joint_public) -> EncryptedModel:
+        return self._owner.encrypt_model(ctx, joint_public)
+
+    def partial_decrypt(self, ctx: FheContext, ct: Ciphertext) -> PartialDecryption:
+        return partial_decrypt(ctx, ct, self.share)
+
+
+class ThresholdDataOwner:
+    """Diane in the three-party protocol: holds share 1."""
+
+    def __init__(self, spec, share: SecretShare, joint_public):
+        self.spec = spec
+        self.share = share
+        self.joint_public = joint_public
+
+    def prepare_query(self, ctx: FheContext, features: Sequence[int]) -> EncryptedQuery:
+        limit = 1 << self.spec.precision
+        if len(features) != self.spec.n_features:
+            raise RuntimeProtocolError(
+                f"model expects {self.spec.n_features} features, "
+                f"got {len(features)}"
+            )
+        for value in features:
+            if not 0 <= int(value) < limit:
+                raise RuntimeProtocolError(
+                    f"feature value {value} does not fit in "
+                    f"{self.spec.precision} unsigned bits"
+                )
+        replicated = replicate(
+            [int(v) for v in features], self.spec.max_multiplicity
+        )
+        planes = to_bitplanes(replicated, self.spec.precision)
+        with ctx.tracker.phase("data_encrypt"):
+            encrypted = [
+                ctx.encrypt(planes[i], self.joint_public)
+                for i in range(planes.shape[0])
+            ]
+        return EncryptedQuery(planes=encrypted, public_key=self.joint_public)
+
+    def partial_decrypt(self, ctx: FheContext, ct: Ciphertext) -> PartialDecryption:
+        return partial_decrypt(ctx, ct, self.share)
+
+    def combine(
+        self, ct: Ciphertext, partials: Sequence[PartialDecryption]
+    ) -> InferenceResult:
+        bits = combine_partials(ct, partials)
+        return InferenceResult(
+            bitvector=bits,
+            codebook=list(self.spec.codebook),
+            label_names=list(self.spec.label_names),
+        )
+
+
+@dataclass
+class ThreePartyOutcome:
+    """Result plus the evidence of what the protocol cost."""
+
+    result: InferenceResult
+    transcript: Transcript
+    context: FheContext
+    joint_key: JointKey
+    encrypted_result: Ciphertext
+
+
+def three_party_inference(
+    compiled: CompiledModel,
+    features: Sequence[int],
+    params: Optional[EncryptionParams] = None,
+    ctx: Optional[FheContext] = None,
+) -> ThreePartyOutcome:
+    """Run the full three-party protocol once.
+
+    Steps (the transcript records each):
+
+    1. Maurice and Diane run threshold keygen (joint public key; one
+       share each).
+    2. Maurice compiles + encrypts the model under the joint key and
+       ships it to Sally.
+    3. Diane encrypts her replicated feature vector and ships it.
+    4. Sally evaluates Algorithm 1 and returns the encrypted result to
+       both shareholders.
+    5. Maurice sends Diane his partial decryption; Diane combines it
+       with her own to open the classification.
+    """
+    if params is None:
+        params = EncryptionParams.paper_defaults()
+    compiled.check_parameters(params)
+    if ctx is None:
+        ctx = FheContext(params)
+    transcript = Transcript()
+
+    # Step 1 — joint key establishment.
+    joint = threshold_keygen(ctx, share_count=2)
+    transcript.send(MAURICE, DIANE, "threshold-keygen")
+    transcript.send(DIANE, MAURICE, "threshold-keygen-ack")
+
+    maurice = ThresholdModelOwner(compiled, joint.shares[0])
+    diane = ThresholdDataOwner(
+        maurice.query_spec(), joint.shares[1], joint.public
+    )
+    sally = CopseServer(ctx)
+
+    # Step 2 — encrypted model to the server.
+    enc_model = maurice.encrypt_model(ctx, joint.public)
+    model_cts = (
+        len(enc_model.threshold_planes)
+        + len(enc_model.reshuffle_diagonals)
+        + sum(len(d) for d in enc_model.level_diagonals)
+        + len(enc_model.level_masks)
+    )
+    transcript.send(MAURICE, SALLY, "encrypted-model", model_cts)
+
+    # Step 3 — encrypted query to the server.
+    query = diane.prepare_query(ctx, features)
+    transcript.send(DIANE, SALLY, "encrypted-query", len(query.planes))
+
+    # Step 4 — evaluation; result to both shareholders.
+    encrypted_result = sally.classify(enc_model, query)
+    transcript.send(SALLY, DIANE, "encrypted-result", 1)
+    transcript.send(SALLY, MAURICE, "encrypted-result", 1)
+
+    # Step 5 — threshold decryption round.
+    maurice_partial = maurice.partial_decrypt(ctx, encrypted_result)
+    transcript.send(MAURICE, DIANE, "partial-decryption", 1)
+    diane_partial = diane.partial_decrypt(ctx, encrypted_result)
+    result = diane.combine(
+        encrypted_result, [maurice_partial, diane_partial]
+    )
+
+    return ThreePartyOutcome(
+        result=result,
+        transcript=transcript,
+        context=ctx,
+        joint_key=joint,
+        encrypted_result=encrypted_result,
+    )

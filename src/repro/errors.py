@@ -1,0 +1,93 @@
+"""Exception hierarchy for the COPSE reproduction.
+
+Every error raised by this package derives from :class:`CopseError`, so
+downstream users can catch a single type.  Subsystems define narrower
+classes: the FHE substrate raises :class:`FheError` subclasses, the model
+layer raises :class:`ModelError` subclasses, and the compiler/runtime raise
+:class:`CompileError` / :class:`RuntimeProtocolError`.
+"""
+
+from __future__ import annotations
+
+
+class CopseError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# FHE substrate errors
+# ---------------------------------------------------------------------------
+
+
+class FheError(CopseError):
+    """Base class for errors raised by the FHE simulator."""
+
+
+class ParameterError(FheError):
+    """Invalid or inconsistent encryption parameters."""
+
+
+class KeyMismatchError(FheError):
+    """An operation combined ciphertexts under different keys, or a
+    decryption was attempted with the wrong secret key."""
+
+
+class NoiseBudgetExceededError(FheError):
+    """The ciphertext noise exceeded the capacity of the modulus chain.
+
+    In a real BGV implementation this manifests as a decryption failure;
+    the simulator raises eagerly at the operation that exhausts the budget
+    so circuits that would not decrypt are rejected deterministically.
+    """
+
+
+class SlotCapacityError(FheError):
+    """A plaintext vector does not fit in the available SIMD slots."""
+
+
+class DomainError(FheError):
+    """A plaintext value lies outside the plaintext domain (GF(2))."""
+
+
+# ---------------------------------------------------------------------------
+# Model-layer errors
+# ---------------------------------------------------------------------------
+
+
+class ModelError(CopseError):
+    """Base class for decision-forest model errors."""
+
+
+class SerializationError(ModelError):
+    """A serialized model could not be parsed."""
+
+
+class ValidationError(ModelError):
+    """A decision forest failed structural validation."""
+
+
+class TrainingError(ModelError):
+    """Model training could not proceed (e.g. empty dataset)."""
+
+
+# ---------------------------------------------------------------------------
+# Compiler / runtime errors
+# ---------------------------------------------------------------------------
+
+
+class CompileError(CopseError):
+    """The COPSE compiler rejected a model."""
+
+
+class PrecisionError(CompileError):
+    """A threshold or feature does not fit in the chosen fixed-point
+    precision."""
+
+
+class RuntimeProtocolError(CopseError):
+    """A party performed a protocol step out of order or with data it does
+    not own (e.g. Sally attempting to decrypt)."""
+
+
+class LeakageError(CopseError):
+    """A security-analysis query was malformed (unknown scenario, etc.)."""

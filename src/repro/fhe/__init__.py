@@ -1,0 +1,72 @@
+"""BGV-style leveled FHE simulator with ciphertext packing.
+
+This subpackage stands in for HElib in the original COPSE stack.  It is a
+*functional and cost-accurate* simulator, not a cryptographic library: the
+plaintext values are retained inside :class:`~repro.fhe.ciphertext.Ciphertext`
+objects (tagged with the encrypting key so wrong-key use fails), while every
+homomorphic operation is
+
+* executed with packed-vector semantics (slot-wise XOR / AND over GF(2),
+  cyclic rotation),
+* charged against a noise budget derived from the modulus-chain size, so a
+  circuit whose multiplicative depth exceeds what the parameters support
+  fails deterministically, exactly where a real BGV evaluation would stop
+  decrypting, and
+* recorded in an operation DAG (:class:`~repro.fhe.tracker.OpTracker`) from
+  which the cost model derives sequential time (total work) and multithreaded
+  time (work–span scheduling), reproducing the paper's performance shapes.
+
+Public API::
+
+    from repro.fhe import EncryptionParams, FheContext
+
+    params = EncryptionParams.paper_defaults()
+    ctx = FheContext(params)
+    keys = ctx.keygen()
+    ct = ctx.encrypt([1, 0, 1, 1], keys.public)
+    ct2 = ctx.multiply(ct, ct)
+    bits = ctx.decrypt(ct2, keys.secret)
+"""
+
+from repro.fhe.params import EncryptionParams, PAPER_PARAMS
+from repro.fhe.noise import NoiseModel, NoiseState
+from repro.fhe.keys import KeyPair, PublicKey, SecretKey
+from repro.fhe.ciphertext import Ciphertext, PlainVector
+from repro.fhe.context import FheContext
+from repro.fhe.tracker import OpKind, OpTracker, PhaseStats
+from repro.fhe.costmodel import CostModel, TimingEstimate
+from repro.fhe.ahe import AheCiphertext, AheContext
+from repro.fhe.multikey import (
+    JointKey,
+    PartialDecryption,
+    SecretShare,
+    combine_partials,
+    partial_decrypt,
+    threshold_keygen,
+)
+
+__all__ = [
+    "EncryptionParams",
+    "PAPER_PARAMS",
+    "NoiseModel",
+    "NoiseState",
+    "KeyPair",
+    "PublicKey",
+    "SecretKey",
+    "Ciphertext",
+    "PlainVector",
+    "FheContext",
+    "OpKind",
+    "OpTracker",
+    "PhaseStats",
+    "CostModel",
+    "TimingEstimate",
+    "AheContext",
+    "AheCiphertext",
+    "JointKey",
+    "SecretShare",
+    "PartialDecryption",
+    "threshold_keygen",
+    "partial_decrypt",
+    "combine_partials",
+]

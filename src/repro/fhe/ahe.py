@@ -1,0 +1,121 @@
+"""Additively homomorphic encryption (Paillier-style simulator).
+
+Wu et al.'s decision-tree protocol (Section 2.3.1 of the COPSE paper)
+does not need fully homomorphic encryption: the server only ever computes
+affine functions of the client's encrypted features, so an *additive*
+scheme suffices.  This module is the simulator's stand-in for Paillier:
+
+* ciphertexts hold a single integer modulo ``modulus``;
+* ``add`` / ``add_plain`` — homomorphic addition;
+* ``mul_plain`` — multiplication by a plaintext scalar;
+
+with the same structural key discipline as the packed scheme (wrong-key
+decryption raises) and operation recording on the shared tracker, so AHE
+work appears in the same cost accounting as FHE work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DomainError, KeyMismatchError
+from repro.fhe.keys import KeyPair, PublicKey, SecretKey
+from repro.fhe.tracker import OpKind, OpTracker
+
+_AHE_CT_COUNTER = itertools.count(1)
+
+#: Default plaintext modulus: comfortably above any blinded difference of
+#: fixed-point values (Paillier moduli are thousands of bits; only the
+#: arithmetic matters here).
+DEFAULT_MODULUS = 1 << 62
+
+
+@dataclass(frozen=True)
+class AheCiphertext:
+    """One additively homomorphic ciphertext (a single integer)."""
+
+    _value: int
+    key_id: int
+    ciphertext_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AheCiphertext(id={self.ciphertext_id}, key={self.key_id}, <encrypted>)"
+
+
+class AheContext:
+    """Evaluation context for the additive scheme."""
+
+    def __init__(
+        self,
+        tracker: Optional[OpTracker] = None,
+        modulus: int = DEFAULT_MODULUS,
+    ):
+        if modulus < 4:
+            raise DomainError(f"modulus {modulus} is too small")
+        self.tracker = tracker if tracker is not None else OpTracker()
+        self.modulus = modulus
+
+    def keygen(self) -> KeyPair:
+        return KeyPair.generate(security=128)
+
+    def encrypt(self, value: int, public_key: PublicKey) -> AheCiphertext:
+        self.tracker.record(OpKind.AHE_ENCRYPT)
+        return AheCiphertext(
+            _value=int(value) % self.modulus,
+            key_id=public_key.key_id,
+            ciphertext_id=next(_AHE_CT_COUNTER),
+        )
+
+    def decrypt(self, ct: AheCiphertext, secret_key: SecretKey) -> int:
+        if secret_key.key_id != ct.key_id:
+            raise KeyMismatchError(
+                f"secret key {secret_key.key_id} cannot decrypt an AHE "
+                f"ciphertext under key {ct.key_id}"
+            )
+        self.tracker.record(OpKind.AHE_DECRYPT)
+        return ct._value
+
+    def decrypt_signed(self, ct: AheCiphertext, secret_key: SecretKey) -> int:
+        """Decrypt into the centered range ``(-m/2, m/2]`` (for signs)."""
+        value = self.decrypt(ct, secret_key)
+        if value > self.modulus // 2:
+            value -= self.modulus
+        return value
+
+    # ------------------------------------------------------------------
+    # Homomorphic operations
+    # ------------------------------------------------------------------
+
+    def add(self, a: AheCiphertext, b: AheCiphertext) -> AheCiphertext:
+        if a.key_id != b.key_id:
+            raise KeyMismatchError(
+                f"cannot add AHE ciphertexts under keys {a.key_id} and "
+                f"{b.key_id}"
+            )
+        self.tracker.record(OpKind.AHE_ADD)
+        return AheCiphertext(
+            _value=(a._value + b._value) % self.modulus,
+            key_id=a.key_id,
+            ciphertext_id=next(_AHE_CT_COUNTER),
+        )
+
+    def add_plain(self, a: AheCiphertext, value: int) -> AheCiphertext:
+        self.tracker.record(OpKind.AHE_ADD)
+        return AheCiphertext(
+            _value=(a._value + int(value)) % self.modulus,
+            key_id=a.key_id,
+            ciphertext_id=next(_AHE_CT_COUNTER),
+        )
+
+    def mul_plain(self, a: AheCiphertext, scalar: int) -> AheCiphertext:
+        self.tracker.record(OpKind.AHE_MUL_PLAIN)
+        return AheCiphertext(
+            _value=(a._value * int(scalar)) % self.modulus,
+            key_id=a.key_id,
+            ciphertext_id=next(_AHE_CT_COUNTER),
+        )
+
+    def negate(self, a: AheCiphertext) -> AheCiphertext:
+        return self.mul_plain(a, -1)

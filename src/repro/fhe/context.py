@@ -1,0 +1,325 @@
+"""The FHE evaluation context: the simulator's analogue of an HElib context.
+
+A :class:`FheContext` owns the encryption parameters, the noise model, and
+an operation tracker, and exposes the primitive operations of Section 6 of
+the paper:
+
+* ``encrypt`` / ``decrypt``
+* ``add`` (slot-wise XOR of two ciphertexts)
+* ``const_add`` (XOR with an encoded plaintext vector)
+* ``multiply`` (slot-wise AND of two ciphertexts; costs one level)
+* ``const_mult`` (AND with an encoded plaintext vector; no relinearization)
+* ``rotate`` (cyclic rotation by a constant number of slots)
+
+plus convenience combinators used throughout the compiler and runtime:
+mixed plain/cipher dispatch (``xor_any`` / ``and_any``), cyclic extension
+and truncation for the Halevi-Shoup matrix product, and a balanced
+``multiply_all`` product tree (log-depth accumulation, Section 4.3).
+
+Every operation validates key consistency and logical lengths, updates the
+per-ciphertext noise state (raising the moment the modulus chain would be
+exhausted), and records itself in the tracker's dependency DAG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import (
+    DomainError,
+    KeyMismatchError,
+    SlotCapacityError,
+)
+from repro.fhe.ciphertext import BitsLike, Ciphertext, PlainVector, coerce_bits
+from repro.fhe.keys import KeyPair, PublicKey, SecretKey
+from repro.fhe.noise import NoiseModel
+from repro.fhe.params import EncryptionParams
+from repro.fhe.tracker import OpKind, OpTracker
+
+Vector = Union[Ciphertext, PlainVector]
+
+
+class FheContext:
+    """Evaluation context binding parameters, noise model, and tracker."""
+
+    def __init__(
+        self,
+        params: Optional[EncryptionParams] = None,
+        tracker: Optional[OpTracker] = None,
+    ):
+        self.params = params if params is not None else EncryptionParams.paper_defaults()
+        self.tracker = tracker if tracker is not None else OpTracker()
+        self.noise_model = NoiseModel(self.params)
+
+    # ------------------------------------------------------------------
+    # Keys, encoding, encryption
+    # ------------------------------------------------------------------
+
+    def keygen(self) -> KeyPair:
+        """Generate a fresh key pair at this context's security level."""
+        return KeyPair.generate(self.params.security)
+
+    def encode(self, bits: BitsLike) -> PlainVector:
+        """Encode a bit vector as a plaintext packed vector."""
+        vec = PlainVector(bits)
+        self._check_width(vec.length)
+        return vec
+
+    def encrypt(self, bits: BitsLike, public_key: PublicKey) -> Ciphertext:
+        """Encrypt a packed bit vector under ``public_key``."""
+        arr = coerce_bits(bits)
+        self._check_width(arr.size)
+        node_id = self.tracker.record(OpKind.ENCRYPT)
+        return Ciphertext(
+            slots=arr.copy(),
+            length=arr.size,
+            key_id=public_key.key_id,
+            noise=self.noise_model.fresh(),
+            node_id=node_id,
+        )
+
+    def encrypt_plain(self, plain: PlainVector, public_key: PublicKey) -> Ciphertext:
+        """Encrypt an already-encoded plaintext vector."""
+        return self.encrypt(plain.to_array(), public_key)
+
+    def decrypt(self, ct: Ciphertext, secret_key: SecretKey) -> np.ndarray:
+        """Decrypt a ciphertext; fails on key mismatch or exhausted noise."""
+        if secret_key.key_id != ct.key_id:
+            raise KeyMismatchError(
+                f"secret key {secret_key.key_id} cannot decrypt a ciphertext "
+                f"under key {ct.key_id}"
+            )
+        self.noise_model.check_decryptable(ct.noise)
+        self.tracker.record(OpKind.DECRYPT, parents=(ct.node_id,))
+        return ct._payload()[: ct.length].copy()
+
+    def decrypt_bits(self, ct: Ciphertext, secret_key: SecretKey) -> List[int]:
+        """Decrypt to a list of Python ints (convenience)."""
+        return [int(b) for b in self.decrypt(ct, secret_key)]
+
+    # ------------------------------------------------------------------
+    # Primitive homomorphic operations
+    # ------------------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Slot-wise XOR of two ciphertexts (the paper's *Add*)."""
+        self._check_compatible(a, b)
+        noise = self.noise_model.after_add(a.noise, b.noise)
+        data = np.bitwise_xor(a._payload()[: a.length], b._payload()[: b.length])
+        node_id = self.tracker.record(OpKind.ADD, parents=(a.node_id, b.node_id))
+        return self._wrap(data, a.key_id, noise, node_id)
+
+    def const_add(self, a: Ciphertext, plain: PlainVector) -> Ciphertext:
+        """XOR with a plaintext vector (the paper's *Constant Add*)."""
+        self._check_plain_length(a, plain)
+        noise = self.noise_model.after_const_add(a.noise)
+        data = np.bitwise_xor(a._payload()[: a.length], plain.to_array())
+        node_id = self.tracker.record(OpKind.CONST_ADD, parents=(a.node_id,))
+        return self._wrap(data, a.key_id, noise, node_id)
+
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Slot-wise AND of two ciphertexts (the paper's *Multiply*).
+
+        Consumes one multiplicative level (relinearize + modulus switch).
+        """
+        self._check_compatible(a, b)
+        noise = self.noise_model.after_multiply(a.noise, b.noise)
+        data = np.bitwise_and(a._payload()[: a.length], b._payload()[: b.length])
+        node_id = self.tracker.record(OpKind.MULTIPLY, parents=(a.node_id, b.node_id))
+        return self._wrap(data, a.key_id, noise, node_id)
+
+    def const_mult(self, a: Ciphertext, plain: PlainVector) -> Ciphertext:
+        """AND with a plaintext vector (plaintext-model configurations)."""
+        self._check_plain_length(a, plain)
+        noise = self.noise_model.after_const_mult(a.noise)
+        data = np.bitwise_and(a._payload()[: a.length], plain.to_array())
+        node_id = self.tracker.record(OpKind.CONST_MULT, parents=(a.node_id,))
+        return self._wrap(data, a.key_id, noise, node_id)
+
+    def rotate(self, a: Ciphertext, amount: int) -> Ciphertext:
+        """Cyclic left rotation by ``amount`` slots (costs a key switch)."""
+        if amount == 0:
+            return a
+        noise = self.noise_model.after_rotate(a.noise)
+        data = np.roll(a._payload()[: a.length], -amount)
+        node_id = self.tracker.record(OpKind.ROTATE, parents=(a.node_id,))
+        return self._wrap(data, a.key_id, noise, node_id)
+
+    def bootstrap(self, a: Ciphertext) -> Ciphertext:
+        """Homomorphically re-encrypt, resetting the noise (Section 2.2.1).
+
+        The ciphertext must still be decryptable: bootstrapping happens
+        *before* the modulus chain runs out, not after.  The operation is
+        two orders of magnitude more expensive than a multiply (see the
+        cost model), which is why the paper's parameter sweep prefers a
+        longer chain.
+        """
+        self.noise_model.check_decryptable(a.noise)
+        data = a._payload()[: a.length].copy()
+        node_id = self.tracker.record(OpKind.BOOTSTRAP, parents=(a.node_id,))
+        # A bootstrapped ciphertext is almost fresh: the re-encryption
+        # circuit itself leaves a small noise residue.
+        from repro.fhe.noise import NoiseState
+
+        return self._wrap(data, a.key_id, NoiseState(level=0, slack=0.1), node_id)
+
+    def depth_headroom(self, a: Ciphertext) -> int:
+        """Multiplicative levels remaining before ``a`` stops decrypting."""
+        return self.noise_model.capacity - a.noise.effective_depth
+
+    # ------------------------------------------------------------------
+    # Shape helpers for the Halevi-Shoup matrix product
+    # ------------------------------------------------------------------
+
+    def cyclic_extend(self, a: Ciphertext, length: int) -> Ciphertext:
+        """Tile a ciphertext's logical vector cyclically to ``length`` slots.
+
+        Used when a matrix has more rows than columns (Section 4.1.2: "v is
+        cyclically extended").  In HElib this is rotations and additions
+        under masks; we charge one rotation when actual work is done.
+        """
+        if length == a.length:
+            return a
+        if length < a.length:
+            raise SlotCapacityError(
+                f"cyclic_extend target {length} is shorter than the vector "
+                f"({a.length}); use truncate instead"
+            )
+        self._check_width(length)
+        reps = -(-length // a.length)
+        data = np.tile(a._payload()[: a.length], reps)[:length]
+        noise = self.noise_model.after_rotate(a.noise)
+        node_id = self.tracker.record(OpKind.ROTATE, parents=(a.node_id,))
+        return self._wrap(data, a.key_id, noise, node_id)
+
+    def truncate(self, a: Ciphertext, length: int) -> Ciphertext:
+        """Restrict the logical length (free: slots beyond are ignored)."""
+        if length == a.length:
+            return a
+        if length > a.length:
+            raise SlotCapacityError(
+                f"cannot truncate a vector of length {a.length} to {length}"
+            )
+        data = a._payload()[:length].copy()
+        return self._wrap(data, a.key_id, a.noise, a.node_id)
+
+    # ------------------------------------------------------------------
+    # Mixed plain/cipher dispatch
+    # ------------------------------------------------------------------
+
+    def xor_any(self, a: Vector, b: Vector) -> Vector:
+        """XOR where either operand may be plaintext.
+
+        plain (+) plain stays plaintext and costs nothing — this is how the
+        plaintext-model configuration (Maurice = Sally, Section 8.3) gets
+        its speedup.
+        """
+        if isinstance(a, Ciphertext) and isinstance(b, Ciphertext):
+            return self.add(a, b)
+        if isinstance(a, Ciphertext):
+            return self.const_add(a, b)
+        if isinstance(b, Ciphertext):
+            return self.const_add(b, a)
+        return PlainVector(np.bitwise_xor(a.to_array(), b.to_array()))
+
+    def and_any(self, a: Vector, b: Vector) -> Vector:
+        """AND where either operand may be plaintext."""
+        if isinstance(a, Ciphertext) and isinstance(b, Ciphertext):
+            return self.multiply(a, b)
+        if isinstance(a, Ciphertext):
+            return self.const_mult(a, b)
+        if isinstance(b, Ciphertext):
+            return self.const_mult(b, a)
+        return PlainVector(np.bitwise_and(a.to_array(), b.to_array()))
+
+    def rotate_any(self, a: Vector, amount: int) -> Vector:
+        """Rotation where the operand may be plaintext (then free)."""
+        if isinstance(a, Ciphertext):
+            return self.rotate(a, amount)
+        return a.rotated(amount)
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+
+    def multiply_all(self, vectors: Sequence[Vector]) -> Vector:
+        """Balanced product tree: AND of all vectors in log depth.
+
+        This is the accumulation step of Algorithm 1 (``MultAll``); the
+        balanced pairing keeps the multiplicative depth at ``ceil(log2 n)``
+        rather than ``n - 1``.
+        """
+        if not vectors:
+            raise DomainError("multiply_all requires at least one vector")
+        layer = list(vectors)
+        while len(layer) > 1:
+            nxt: List[Vector] = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(self.and_any(layer[i], layer[i + 1]))
+            if len(layer) % 2 == 1:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    def xor_all(self, vectors: Sequence[Vector]) -> Vector:
+        """XOR of all vectors (balanced for symmetry; XOR is depth-free)."""
+        if not vectors:
+            raise DomainError("xor_all requires at least one vector")
+        layer = list(vectors)
+        while len(layer) > 1:
+            nxt: List[Vector] = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(self.xor_any(layer[i], layer[i + 1]))
+            if len(layer) % 2 == 1:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    def ones(self, length: int) -> PlainVector:
+        """All-ones plaintext vector (the constant for logical NOT)."""
+        self._check_width(length)
+        return PlainVector(np.ones(length, dtype=np.uint8))
+
+    def zeros(self, length: int) -> PlainVector:
+        """All-zeros plaintext vector."""
+        self._check_width(length)
+        return PlainVector(np.zeros(length, dtype=np.uint8))
+
+    def negate(self, a: Vector) -> Vector:
+        """Logical NOT: XOR with the all-ones constant."""
+        return self.xor_any(a, self.ones(len(a)))
+
+    # ------------------------------------------------------------------
+    # Internal checks
+    # ------------------------------------------------------------------
+
+    def _wrap(self, data: np.ndarray, key_id, noise, node_id) -> Ciphertext:
+        return Ciphertext(
+            slots=data, length=data.size, key_id=key_id, noise=noise, node_id=node_id
+        )
+
+    def _check_width(self, width: int) -> None:
+        if not self.params.supports_width(width):
+            raise SlotCapacityError(
+                f"vector of width {width} does not fit in "
+                f"{self.params.slot_count} SIMD slots ({self.params.describe()})"
+            )
+
+    def _check_compatible(self, a: Ciphertext, b: Ciphertext) -> None:
+        if a.key_id != b.key_id:
+            raise KeyMismatchError(
+                f"cannot combine ciphertexts under keys {a.key_id} and {b.key_id}"
+            )
+        if a.length != b.length:
+            raise SlotCapacityError(
+                f"cannot combine ciphertexts of lengths {a.length} and {b.length}"
+            )
+
+    def _check_plain_length(self, a: Ciphertext, plain: PlainVector) -> None:
+        if a.length != plain.length:
+            raise SlotCapacityError(
+                f"ciphertext length {a.length} does not match plaintext "
+                f"length {plain.length}"
+            )

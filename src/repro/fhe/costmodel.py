@@ -1,0 +1,163 @@
+"""Calibrated cost model: operation counts -> simulated milliseconds.
+
+The original COPSE evaluation ran HElib/NTL on a 32-core Xeon E5-4650 and
+reported wall-clock medians.  Our substrate executes the same circuits but
+in a Python simulator, so raw wall-clock would reflect numpy overheads, not
+FHE behaviour.  Instead, each primitive operation is charged a cost
+calibrated against published BGV timings (ciphertext multiplies dominate;
+rotations cost a key switch; additions are cheap), scaled by the
+ciphertext ``size_factor`` of the active parameters.
+
+Sequential time is total work.  Multithreaded time uses the classic
+work–span (Brent) bound over the recorded operation DAG, plus a per-barrier
+synchronization charge:
+
+    T_P = span + (work - span) / P_eff + sync_ms * barriers
+
+* ``P_eff`` — effective parallelism.  FHE workloads are memory-bandwidth
+  bound, so 32 hardware threads do not yield 32x; the paper's own numbers
+  imply an effective parallelism in the low tens.  Calibrated to 16.
+* ``barriers`` — topological levels of the DAG; an NTL-style thread pool
+  joins after each parallel region.
+
+Calibration targets (see EXPERIMENTS.md) are the bar annotations of
+Figures 6-9: microbenchmarks ~40-65 ms single-threaded under COPSE,
+real-world models 0.3-1.5 s, 5-7x over the Aloufi baseline, parallel
+speedups ~4x (micro) and ~9-12x (real-world).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.fhe.params import EncryptionParams
+from repro.fhe.tracker import OpKind, OpTracker
+
+#: Per-operation base costs in milliseconds at the reference parameters
+#: (security 128, 400 bits, 3 columns).  Ratios follow published BGV
+#: microbenchmarks: ct-ct multiply (with relinearization) is the expensive
+#: primitive; rotation costs a key switch (~1/4 of a multiply); plaintext
+#: multiply avoids relinearization; additions are noise-level cheap.
+DEFAULT_OP_COSTS_MS: Dict[OpKind, float] = {
+    OpKind.ENCRYPT: 1.8,
+    OpKind.DECRYPT: 0.9,
+    OpKind.ADD: 0.012,
+    OpKind.CONST_ADD: 0.006,
+    OpKind.MULTIPLY: 0.30,
+    OpKind.CONST_MULT: 0.19,
+    # A rotation is a key switch (~a quarter of a multiply), but every
+    # rotation in this system rotates the *same* ciphertext by many
+    # amounts (the Halevi-Shoup product and the shared branch-vector
+    # rotations) — the exact pattern HElib's hoisting optimization
+    # amortizes.  0.045 ms reflects the hoisted cost.
+    OpKind.ROTATE: 0.045,
+    # Homomorphic re-encryption is two orders of magnitude above a
+    # multiply — the reason the paper prefers deeper modulus chains over
+    # bootstrapping (Section 2.2.1).
+    OpKind.BOOTSTRAP: 30.0,
+    # Paillier-style AHE primitives (the Wu et al. protocol): encryption
+    # and decryption are modular exponentiations; homomorphic addition is
+    # a modular multiply; plaintext scaling is an exponentiation.
+    OpKind.AHE_ENCRYPT: 0.9,
+    OpKind.AHE_DECRYPT: 0.9,
+    OpKind.AHE_ADD: 0.004,
+    OpKind.AHE_MUL_PLAIN: 0.12,
+}
+
+#: Effective parallelism of a 32-thread NTL pool on memory-bound FHE ops.
+DEFAULT_EFFECTIVE_PARALLELISM = 16.0
+
+#: Synchronization cost per DAG barrier (thread-pool fork/join), ms.
+DEFAULT_SYNC_MS = 0.22
+
+
+@dataclass(frozen=True)
+class TimingEstimate:
+    """Simulated timings for one recorded circuit (or circuit phase)."""
+
+    work_ms: float
+    span_ms: float
+    barriers: int
+    sequential_ms: float
+    multithreaded_ms: float
+
+    @property
+    def parallel_speedup(self) -> float:
+        if self.multithreaded_ms <= 0:
+            return float("inf")
+        return self.sequential_ms / self.multithreaded_ms
+
+
+@dataclass
+class CostModel:
+    """Maps recorded operations to simulated execution time."""
+
+    params: EncryptionParams
+    op_costs_ms: Dict[OpKind, float] = field(
+        default_factory=lambda: dict(DEFAULT_OP_COSTS_MS)
+    )
+    effective_parallelism: float = DEFAULT_EFFECTIVE_PARALLELISM
+    sync_ms: float = DEFAULT_SYNC_MS
+
+    def cost_of(self, kind: OpKind) -> float:
+        """Cost of one operation in ms, scaled for the active parameters."""
+        return self.op_costs_ms[kind] * self.params.size_factor
+
+    # ------------------------------------------------------------------
+
+    def sequential_ms(self, tracker: OpTracker, phases=None) -> float:
+        """Single-threaded execution time: the total work."""
+        if phases is not None:
+            return sum(self.phase_sequential_ms(tracker, p) for p in phases)
+        total = 0.0
+        for kind, count in tracker.total_counts().items():
+            total += self.cost_of(kind) * count
+        return total
+
+    def phase_sequential_ms(self, tracker: OpTracker, phase: str) -> float:
+        """Single-threaded time attributed to one algorithm phase."""
+        total = 0.0
+        for kind, count in tracker.phase_stats(phase).counts.items():
+            total += self.cost_of(kind) * count
+        return total
+
+    def multithreaded_ms(
+        self, tracker: OpTracker, threads: Optional[int] = None, phases=None
+    ) -> float:
+        """Work-span estimate of multithreaded execution time."""
+        estimate = self.estimate(tracker, threads, phases)
+        return estimate.multithreaded_ms
+
+    def estimate(
+        self,
+        tracker: OpTracker,
+        threads: Optional[int] = None,
+        phases=None,
+    ) -> TimingEstimate:
+        """Full timing estimate (work, span, and both execution modes).
+
+        ``phases`` restricts the estimate to the named tracker phases —
+        the benchmark harness passes the four inference stages so that
+        one-time model/data encryption is excluded, as in the paper's
+        reported query times.
+        """
+        p_eff = self.effective_parallelism
+        if threads is not None:
+            p_eff = min(p_eff, float(threads))
+        p_eff = max(p_eff, 1.0)
+        work, span = tracker.work_and_span(self.cost_of, phases)
+        barriers = tracker.dag_level_count(phases)
+        sequential = work
+        multithreaded = span + (work - span) / p_eff + self.sync_ms * barriers
+        # A thread pool can never beat sequential execution by more than the
+        # available work allows, nor lose to it (a 1-thread pool degenerates
+        # to sequential execution minus the barrier overhead).
+        multithreaded = min(max(multithreaded, span), sequential + self.sync_ms * barriers)
+        return TimingEstimate(
+            work_ms=work,
+            span_ms=span,
+            barriers=barriers,
+            sequential_ms=sequential,
+            multithreaded_ms=multithreaded,
+        )

@@ -1,0 +1,68 @@
+"""Key material for the simulated FHE scheme.
+
+Keys carry no actual lattice material — the simulator's ciphertexts keep
+their payload internally — but the *discipline* of asymmetric keys is
+enforced: every ciphertext records the identifier of the public key that
+encrypted it, homomorphic operations refuse to combine ciphertexts under
+different keys, and decryption demands the matching secret key.  This is
+what lets the test suite exercise the protocol errors of Section 7 of the
+paper (e.g. Sally must not be able to decrypt).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_KEY_COUNTER = itertools.count(1)
+
+
+def _next_key_id() -> int:
+    return next(_KEY_COUNTER)
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Public encryption key.  Safe to hand to any party."""
+
+    key_id: int
+    security: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PublicKey(id={self.key_id}, security={self.security})"
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """Secret decryption key.  Only the key owner should hold this."""
+
+    key_id: int
+    security: int
+
+    def matches(self, public: PublicKey) -> bool:
+        """Whether this secret key decrypts ciphertexts under ``public``."""
+        return self.key_id == public.key_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SecretKey(id={self.key_id}, <redacted>)"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A matched public/secret key pair produced by key generation."""
+
+    public: PublicKey
+    secret: SecretKey = field(repr=False)
+
+    @staticmethod
+    def generate(security: int) -> "KeyPair":
+        """Generate a fresh key pair at the given security level."""
+        key_id = _next_key_id()
+        return KeyPair(
+            public=PublicKey(key_id=key_id, security=security),
+            secret=SecretKey(key_id=key_id, security=security),
+        )
+
+    @property
+    def key_id(self) -> int:
+        return self.public.key_id

@@ -1,0 +1,211 @@
+"""Threshold (shared-key) FHE: the Section 7.1 extension.
+
+Single-key FHE forces COPSE into two-party deployments: whoever holds the
+secret key can decrypt everything under it, so Maurice and Diane cannot
+both keep secrets from each other unless they are the same party.  The
+paper points at threshold FHE (Asharov et al.) as the fix: a *joint* key
+pair whose secret key is additively shared between the data and model
+owners, so decryption requires a round of partial decryptions from every
+shareholder.
+
+This module provides the simulator's analogue:
+
+* :func:`threshold_keygen` — create a joint public key plus one
+  :class:`SecretShare` per shareholder.  No complete secret-key object
+  ever exists.
+* :func:`partial_decrypt` — a shareholder's decryption contribution for
+  one ciphertext: an XOR fragment of the plaintext.
+* :func:`combine_partials` — the final reconstruction, requiring a
+  partial from *every* share under the matching key.
+
+Ciphertexts under a joint key are ordinary
+:class:`~repro.fhe.ciphertext.Ciphertext` objects — homomorphic
+evaluation is unchanged, exactly the "wrapper" property the paper
+describes; the added cost is protocol rounds, which
+:mod:`repro.core.threeparty` tracks.
+
+Like the rest of the FHE simulator, secrecy here is *structural* rather
+than cryptographic: the single-key path enforces "wrong key cannot
+decrypt" by key-id checks, and the threshold path enforces "no subset of
+shareholders can decrypt" by fragment accounting — ``combine_partials``
+refuses incomplete share sets, and any strict subset of fragments XORs to
+a padded value, not the plaintext.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import KeyMismatchError, RuntimeProtocolError
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import FheContext
+from repro.fhe.keys import PublicKey
+from repro.fhe.tracker import OpKind
+
+
+@dataclass(frozen=True)
+class SecretShare:
+    """One additive share of a joint secret key."""
+
+    key_id: int
+    index: int
+    share_count: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SecretShare(key={self.key_id}, index={self.index}/"
+            f"{self.share_count}, <redacted>)"
+        )
+
+
+@dataclass(frozen=True)
+class JointKey:
+    """A joint key pair: one public key, ``n`` secret shares."""
+
+    public: PublicKey
+    shares: List[SecretShare] = field(repr=False)
+
+    @property
+    def share_count(self) -> int:
+        return len(self.shares)
+
+
+@dataclass(frozen=True)
+class PartialDecryption:
+    """One shareholder's decryption contribution for one ciphertext."""
+
+    key_id: int
+    share_index: int
+    share_count: int
+    ciphertext_id: int
+    fragment: np.ndarray = field(repr=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartialDecryption(key={self.key_id}, "
+            f"share={self.share_index}/{self.share_count}, "
+            f"ct={self.ciphertext_id}, <fragment redacted>)"
+        )
+
+
+def threshold_keygen(ctx: FheContext, share_count: int = 2) -> JointKey:
+    """Generate a joint key with ``share_count`` additive secret shares.
+
+    In a real threshold scheme this is an interactive protocol between
+    the shareholders; the simulator mints an ordinary context key and
+    hands out share handles.
+    """
+    if share_count < 2:
+        raise RuntimeProtocolError(
+            f"a threshold key needs at least 2 shares, got {share_count}"
+        )
+    pair = ctx.keygen()
+    shares = [
+        SecretShare(key_id=pair.key_id, index=i, share_count=share_count)
+        for i in range(share_count)
+    ]
+    return JointKey(public=pair.public, shares=shares)
+
+
+def _pad_for(share: SecretShare, ct: Ciphertext, length: int) -> np.ndarray:
+    """The pseudorandom pad cancelling between share ``i`` and share 0.
+
+    Models the smudging-noise terms of a real threshold decryption: the
+    pads of shares ``1..n-1`` each cancel against the designated share's
+    contribution, so only the full set reconstructs.
+    """
+    digest = hashlib.sha256(
+        b"copse-threshold-pad"
+        + share.key_id.to_bytes(8, "little")
+        + share.index.to_bytes(4, "little")
+        + ct.ciphertext_id.to_bytes(8, "little")
+    ).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=length, dtype=np.uint8)
+
+
+def partial_decrypt(
+    ctx: FheContext, ct: Ciphertext, share: SecretShare
+) -> PartialDecryption:
+    """Produce one shareholder's partial decryption of ``ct``.
+
+    Share ``i > 0`` contributes its pad; share 0 contributes the payload
+    XOR-folded under every other share's pad.  XORing all
+    ``share_count`` fragments cancels the pads and yields the plaintext;
+    any strict subset leaves at least one pad (or omits the payload)
+    standing.
+    """
+    if share.key_id != ct.key_id:
+        raise KeyMismatchError(
+            f"share for key {share.key_id} cannot open a ciphertext under "
+            f"key {ct.key_id}"
+        )
+    ctx.noise_model.check_decryptable(ct.noise)
+    ctx.tracker.record(OpKind.DECRYPT, parents=(ct.node_id,))
+    if share.index == 0:
+        fragment = ct._payload()[: ct.length].copy()
+        for other_index in range(1, share.share_count):
+            other = SecretShare(
+                key_id=share.key_id,
+                index=other_index,
+                share_count=share.share_count,
+            )
+            fragment ^= _pad_for(other, ct, ct.length)
+    else:
+        fragment = _pad_for(share, ct, ct.length)
+    return PartialDecryption(
+        key_id=share.key_id,
+        share_index=share.index,
+        share_count=share.share_count,
+        ciphertext_id=ct.ciphertext_id,
+        fragment=fragment,
+    )
+
+
+def combine_partials(
+    ct: Ciphertext, partials: Sequence[PartialDecryption]
+) -> List[int]:
+    """Reconstruct the plaintext from a full set of partial decryptions.
+
+    Raises unless exactly one partial per share index is present, all for
+    this ciphertext under its key.
+    """
+    if not partials:
+        raise RuntimeProtocolError("no partial decryptions supplied")
+    share_count = partials[0].share_count
+    seen = {}
+    for partial in partials:
+        if partial.key_id != ct.key_id:
+            raise KeyMismatchError(
+                f"partial for key {partial.key_id} does not match the "
+                f"ciphertext's key {ct.key_id}"
+            )
+        if partial.ciphertext_id != ct.ciphertext_id:
+            raise RuntimeProtocolError(
+                "partial decryption is for a different ciphertext"
+            )
+        if partial.share_count != share_count:
+            raise RuntimeProtocolError(
+                "partial decryptions disagree on the share count"
+            )
+        if partial.share_index in seen:
+            raise RuntimeProtocolError(
+                f"duplicate partial for share {partial.share_index}"
+            )
+        seen[partial.share_index] = partial
+    missing = set(range(share_count)) - set(seen)
+    if missing:
+        raise RuntimeProtocolError(
+            f"incomplete partial decryptions: missing shares "
+            f"{sorted(missing)}; threshold decryption needs every "
+            f"shareholder"
+        )
+    acc = np.zeros(ct.length, dtype=np.uint8)
+    for partial in seen.values():
+        acc ^= partial.fragment
+    return [int(b) for b in acc]

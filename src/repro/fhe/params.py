@@ -1,0 +1,174 @@
+"""Encryption parameters for the BGV-style simulator.
+
+The paper (Table 5) configures HElib with three knobs:
+
+* **security parameter** — bits of security; larger means bigger ciphertexts
+  (slower) and a deeper tolerable circuit for a fixed modulus chain,
+* **bits** — the size of the modulus chain, which bounds the multiplicative
+  depth the circuit may reach before decryption fails,
+* **columns** — the number of columns in the key-switching matrices, which
+  in HElib constrains the available SIMD vector widths.
+
+The paper's sweep found one dominant setting: security 128, 400 bits,
+3 columns.  :func:`EncryptionParams.paper_defaults` returns exactly that.
+
+This module converts those knobs into simulator-level quantities:
+
+* ``slot_count`` — SIMD width of one ciphertext (``SLOTS_PER_COLUMN`` per
+  key-switching column, mirroring how HElib's width options grow with the
+  column count),
+* ``depth_capacity`` — how many multiplicative levels the modulus chain
+  supports (see :mod:`repro.fhe.noise`),
+* ``size_factor`` — relative ciphertext size, which the cost model uses to
+  scale per-operation costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+#: SIMD slots contributed by each key-switching column.  HElib's usable
+#: slot count depends on the factorization of the cyclotomic ring; 320 is
+#: chosen so the Table 5 sweep's feasibility frontier (3 columns needed
+#: for the largest real-world model, income15, whose padded threshold
+#: vector is ~730 slots wide) matches the paper's chosen parameters.  See
+#: EXPERIMENTS.md.
+SLOTS_PER_COLUMN = 320
+
+#: Modulus bits consumed before any multiplication happens (key material,
+#: fresh-encryption noise).
+BASE_NOISE_BITS = 64
+
+#: Extra modulus bits consumed by one multiplicative level at the reference
+#: security level (128).  Stronger security consumes more bits per level.
+BITS_PER_LEVEL_AT_128 = 24
+
+#: Reference values used to normalize the cost model's ``size_factor``.
+REFERENCE_SECURITY = 128
+REFERENCE_BITS = 400
+REFERENCE_COLUMNS = 3
+
+#: Security levels the simulator accepts (mirroring common lattice presets).
+SUPPORTED_SECURITY_LEVELS = (80, 128, 192, 256)
+
+
+@dataclass(frozen=True)
+class EncryptionParams:
+    """Immutable encryption-parameter set.
+
+    Parameters
+    ----------
+    security:
+        Bits of security.  Must be one of :data:`SUPPORTED_SECURITY_LEVELS`.
+    bits:
+        Size of the modulus chain in bits.  Bounds multiplicative depth.
+    columns:
+        Number of key-switching columns.  Determines the SIMD slot count.
+    """
+
+    security: int = 128
+    bits: int = 400
+    columns: int = 3
+
+    def __post_init__(self) -> None:
+        if self.security not in SUPPORTED_SECURITY_LEVELS:
+            raise ParameterError(
+                f"unsupported security level {self.security}; "
+                f"choose one of {SUPPORTED_SECURITY_LEVELS}"
+            )
+        if self.bits <= BASE_NOISE_BITS:
+            raise ParameterError(
+                f"modulus chain of {self.bits} bits is too small; "
+                f"at least {BASE_NOISE_BITS + 1} bits are required"
+            )
+        if self.columns < 1:
+            raise ParameterError("at least one key-switching column is required")
+        if self.columns > 16:
+            raise ParameterError("more than 16 key-switching columns is unsupported")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        """SIMD width of a single packed ciphertext."""
+        return SLOTS_PER_COLUMN * self.columns
+
+    @property
+    def bits_per_level(self) -> float:
+        """Modulus bits consumed per multiplicative level.
+
+        Scales linearly with the security level: stronger security needs a
+        larger ciphertext modulus per level of homomorphic capacity.
+        """
+        return BITS_PER_LEVEL_AT_128 * (self.security / REFERENCE_SECURITY)
+
+    @property
+    def depth_capacity(self) -> int:
+        """Maximum multiplicative depth the modulus chain supports."""
+        usable = self.bits - BASE_NOISE_BITS
+        return max(0, int(usable / self.bits_per_level))
+
+    @property
+    def size_factor(self) -> float:
+        """Relative ciphertext size versus the paper's Table 5 setting.
+
+        Ciphertext size (and hence per-operation cost) grows with both the
+        modulus-chain length and the ring dimension implied by the security
+        level and slot count.
+        """
+        bits_ratio = self.bits / REFERENCE_BITS
+        ring_ratio = (self.security / REFERENCE_SECURITY) * (
+            self.columns / REFERENCE_COLUMNS
+        )
+        return bits_ratio * ring_ratio
+
+    # ------------------------------------------------------------------
+    # Presets and sweeps
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def paper_defaults() -> "EncryptionParams":
+        """The dominant parameter set from Table 5 of the paper."""
+        return EncryptionParams(security=128, bits=400, columns=3)
+
+    def supports_depth(self, depth: int) -> bool:
+        """Whether a circuit of the given multiplicative depth decrypts."""
+        return depth <= self.depth_capacity
+
+    def supports_width(self, width: int) -> bool:
+        """Whether a logical vector of ``width`` slots fits in a ciphertext."""
+        return 0 < width <= self.slot_count
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by reports and examples)."""
+        return (
+            f"security={self.security} bits={self.bits} columns={self.columns} "
+            f"(slots={self.slot_count}, depth capacity={self.depth_capacity})"
+        )
+
+
+#: Singleton instance of the paper's Table 5 parameters.
+PAPER_PARAMS = EncryptionParams.paper_defaults()
+
+
+def parameter_grid(
+    security_levels=(80, 128, 192),
+    bits_options=(200, 300, 400, 500, 600),
+    columns_options=(1, 2, 3, 4),
+):
+    """Enumerate the sweep grid used by the Table 5 reproduction.
+
+    Yields every valid :class:`EncryptionParams` combination; invalid
+    combinations (none with the default grid) are skipped.
+    """
+    for security in security_levels:
+        for bits in bits_options:
+            for columns in columns_options:
+                try:
+                    yield EncryptionParams(security, bits, columns)
+                except ParameterError:
+                    continue

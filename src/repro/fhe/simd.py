@@ -1,0 +1,72 @@
+"""Bit-slicing helpers: the "transposed" fixed-point representation.
+
+Section 4.1.2 of the paper: a vector of ``k`` fixed-point values with
+precision ``p`` is stored as ``p`` bitvectors of length ``k``, where
+bitvector ``i`` holds the ``i``-th bit of every element.  We store planes
+most-significant-bit first, so lexicographic comparison of the planes is
+numeric comparison of the (unsigned) values — exactly what SecComp needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import DomainError
+
+
+def to_bitplanes(values: Sequence[int], precision: int) -> np.ndarray:
+    """Transpose unsigned integers into MSB-first bit planes.
+
+    Returns a ``(precision, k)`` uint8 array whose row ``i`` is the
+    ``(precision - 1 - i)``-th bit of each value: row 0 is the MSB plane.
+
+    Raises :class:`~repro.errors.DomainError` if any value does not fit in
+    ``precision`` unsigned bits.
+    """
+    if precision <= 0:
+        raise DomainError(f"precision must be positive, got {precision}")
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise DomainError("expected a non-empty 1-D integer vector")
+    if np.any(arr < 0):
+        raise DomainError("bit-sliced values must be unsigned")
+    limit = 1 << precision
+    if np.any(arr >= limit):
+        too_big = int(arr[arr >= limit][0])
+        raise DomainError(
+            f"value {too_big} does not fit in {precision} unsigned bits"
+        )
+    planes = np.empty((precision, arr.size), dtype=np.uint8)
+    for i in range(precision):
+        shift = precision - 1 - i
+        planes[i] = (arr >> shift) & 1
+    return planes
+
+
+def from_bitplanes(planes: np.ndarray) -> List[int]:
+    """Inverse of :func:`to_bitplanes`: reassemble the integer vector."""
+    arr = np.asarray(planes, dtype=np.int64)
+    if arr.ndim != 2:
+        raise DomainError(f"expected a 2-D plane array, got shape {arr.shape}")
+    precision, _ = arr.shape
+    values = np.zeros(arr.shape[1], dtype=np.int64)
+    for i in range(precision):
+        shift = precision - 1 - i
+        values |= (arr[i] & 1) << shift
+    return [int(v) for v in values]
+
+
+def replicate(values: Sequence[int], multiplicity: int) -> List[int]:
+    """Replicate each element ``multiplicity`` times, preserving order.
+
+    This is Diane's Step 0 preprocessing: ``[x, y]`` with multiplicity 3
+    becomes ``[x, x, x, y, y, y]``.
+    """
+    if multiplicity <= 0:
+        raise DomainError(f"multiplicity must be positive, got {multiplicity}")
+    out: List[int] = []
+    for v in values:
+        out.extend([v] * multiplicity)
+    return out

@@ -1,0 +1,51 @@
+"""Decision-forest models: representation, training, generation, I/O.
+
+This subpackage is the model substrate the COPSE compiler consumes:
+
+* :mod:`repro.forest.node` / :mod:`repro.forest.tree` /
+  :mod:`repro.forest.forest` — the in-memory model (branches compare a
+  feature against an integer threshold; the *true* child is taken when
+  ``feature < threshold``), with plaintext inference used as the
+  correctness oracle for all secure evaluations;
+* :mod:`repro.forest.serialize` — the paper's Section 5 text format;
+* :mod:`repro.forest.train` — a from-scratch CART / random-forest trainer
+  (standing in for scikit-learn, which the paper used);
+* :mod:`repro.forest.synthetic` — random model generation, including the
+  Table 6 microbenchmark suite;
+* :mod:`repro.forest.datasets` — synthetic stand-ins for the mldata.io
+  ``census_income`` and ``soccer_international_history`` datasets;
+* :mod:`repro.forest.validate` — structural validation.
+"""
+
+from repro.forest.node import Branch, Leaf, Node
+from repro.forest.tree import DecisionTree
+from repro.forest.forest import DecisionForest
+from repro.forest.serialize import dumps_forest, loads_forest
+from repro.forest.train import CartTrainer, RandomForestTrainer
+from repro.forest.synthetic import (
+    MICROBENCHMARKS,
+    MicrobenchmarkSpec,
+    random_forest,
+    random_tree,
+)
+from repro.forest.datasets import make_income_dataset, make_soccer_dataset
+from repro.forest.validate import validate_forest
+
+__all__ = [
+    "Node",
+    "Branch",
+    "Leaf",
+    "DecisionTree",
+    "DecisionForest",
+    "dumps_forest",
+    "loads_forest",
+    "CartTrainer",
+    "RandomForestTrainer",
+    "random_tree",
+    "random_forest",
+    "MicrobenchmarkSpec",
+    "MICROBENCHMARKS",
+    "make_income_dataset",
+    "make_soccer_dataset",
+    "validate_forest",
+]

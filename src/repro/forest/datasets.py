@@ -1,0 +1,185 @@
+"""Synthetic stand-ins for the paper's real-world datasets.
+
+The paper trains its income5/15 and soccer5/15 models on two mldata.io
+datasets (``census_income``, ``soccer_international_history``) that are not
+redistributable and not reachable offline.  These generators produce
+datasets with the same *shape*: the census stand-in has 14 mixed
+categorical/continuous features and a binary target; the soccer stand-in
+has 9 match-history features and a 3-way outcome.  Targets follow latent
+rule structure (not pure noise) so CART learns trees of realistic size.
+
+All features are emitted already quantized to unsigned ``precision``-bit
+integers, the domain the secure pipeline computes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+INCOME_FEATURE_NAMES: Tuple[str, ...] = (
+    "age",
+    "workclass",
+    "education_num",
+    "marital_status",
+    "occupation",
+    "relationship",
+    "race",
+    "sex",
+    "capital_gain",
+    "capital_loss",
+    "hours_per_week",
+    "native_region",
+    "fnlwgt_bucket",
+    "investment_flag",
+)
+
+INCOME_LABELS: Tuple[str, ...] = ("under_50k", "over_50k")
+
+SOCCER_FEATURE_NAMES: Tuple[str, ...] = (
+    "home_rank",
+    "away_rank",
+    "rank_gap",
+    "home_recent_goals",
+    "away_recent_goals",
+    "home_win_streak",
+    "away_win_streak",
+    "neutral_venue",
+    "tournament_stage",
+)
+
+SOCCER_LABELS: Tuple[str, ...] = ("home_win", "draw", "away_win")
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A generated dataset: integer features, labels, and names."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    feature_names: Tuple[str, ...]
+    label_names: Tuple[str, ...]
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.features.shape[1])
+
+
+def _quantize(column: np.ndarray, precision: int) -> np.ndarray:
+    """Scale a real-valued column into the unsigned fixed-point domain."""
+    lo = float(column.min())
+    hi = float(column.max())
+    top = (1 << precision) - 1
+    if hi <= lo:
+        return np.zeros(column.shape, dtype=np.int64)
+    scaled = (column - lo) / (hi - lo) * top
+    return np.clip(np.round(scaled), 0, top).astype(np.int64)
+
+
+def make_income_dataset(
+    n_samples: int = 2000,
+    precision: int = 8,
+    seed: Optional[int] = 7,
+) -> Dataset:
+    """Census-income stand-in: 14 features, binary >50k target."""
+    if n_samples < 10:
+        raise TrainingError(f"need at least 10 samples, got {n_samples}")
+    rng = np.random.default_rng(seed)
+
+    age = rng.normal(40, 13, n_samples).clip(17, 90)
+    workclass = rng.integers(0, 8, n_samples).astype(float)
+    education_num = rng.integers(1, 17, n_samples).astype(float)
+    marital = rng.integers(0, 7, n_samples).astype(float)
+    occupation = rng.integers(0, 14, n_samples).astype(float)
+    relationship = rng.integers(0, 6, n_samples).astype(float)
+    race = rng.integers(0, 5, n_samples).astype(float)
+    sex = rng.integers(0, 2, n_samples).astype(float)
+    capital_gain = rng.exponential(900, n_samples).clip(0, 20000)
+    capital_loss = rng.exponential(90, n_samples).clip(0, 4000)
+    hours = rng.normal(41, 11, n_samples).clip(1, 99)
+    region = rng.integers(0, 10, n_samples).astype(float)
+    fnlwgt = rng.integers(0, 20, n_samples).astype(float)
+    invest = (capital_gain > 3000).astype(float)
+
+    columns = [
+        age, workclass, education_num, marital, occupation, relationship,
+        race, sex, capital_gain, capital_loss, hours, region, fnlwgt, invest,
+    ]
+    X = np.stack([_quantize(c, precision) for c in columns], axis=1)
+
+    # Latent income rule: education, hours, age, and capital activity push
+    # the target over the threshold; interactions keep trees non-trivial.
+    score = (
+        0.45 * education_num
+        + 0.10 * hours
+        + 0.06 * age
+        + 1.2 * invest
+        + 0.0006 * capital_gain
+        - 0.0005 * capital_loss
+        + 0.55 * (marital == 2).astype(float)
+        + 0.25 * np.where(occupation >= 10, 1.0, 0.0) * (education_num > 10)
+        + rng.normal(0, 0.9, n_samples)
+    )
+    y = (score > np.quantile(score, 0.70)).astype(np.int64)
+    return Dataset(X, y, INCOME_FEATURE_NAMES, INCOME_LABELS)
+
+
+def make_soccer_dataset(
+    n_samples: int = 2000,
+    precision: int = 8,
+    seed: Optional[int] = 11,
+) -> Dataset:
+    """International-soccer stand-in: 9 features, 3-way match outcome."""
+    if n_samples < 10:
+        raise TrainingError(f"need at least 10 samples, got {n_samples}")
+    rng = np.random.default_rng(seed)
+
+    home_rank = rng.integers(1, 120, n_samples).astype(float)
+    away_rank = rng.integers(1, 120, n_samples).astype(float)
+    rank_gap = away_rank - home_rank
+    home_goals = rng.poisson(1.6, n_samples).astype(float).clip(0, 8)
+    away_goals = rng.poisson(1.4, n_samples).astype(float).clip(0, 8)
+    home_streak = rng.integers(0, 9, n_samples).astype(float)
+    away_streak = rng.integers(0, 9, n_samples).astype(float)
+    neutral = rng.integers(0, 2, n_samples).astype(float)
+    stage = rng.integers(0, 5, n_samples).astype(float)
+
+    columns = [
+        home_rank, away_rank, rank_gap, home_goals, away_goals,
+        home_streak, away_streak, neutral, stage,
+    ]
+    X = np.stack([_quantize(c, precision) for c in columns], axis=1)
+
+    # Latent outcome: ranking gap plus form plus home advantage.
+    advantage = (
+        0.035 * rank_gap
+        + 0.5 * (home_goals - away_goals)
+        + 0.22 * (home_streak - away_streak)
+        + np.where(neutral == 0, 0.45, 0.0)
+        + rng.normal(0, 1.1, n_samples)
+    )
+    y = np.full(n_samples, 1, dtype=np.int64)  # draw
+    y[advantage > 0.8] = 0  # home win
+    y[advantage < -0.8] = 2  # away win
+    return Dataset(X, y, SOCCER_FEATURE_NAMES, SOCCER_LABELS)
+
+
+def dataset_by_name(name: str, **kwargs) -> Dataset:
+    """Lookup helper used by the benchmark workloads."""
+    if name == "income":
+        return make_income_dataset(**kwargs)
+    if name == "soccer":
+        return make_soccer_dataset(**kwargs)
+    raise TrainingError(f"unknown dataset {name!r}; known: income, soccer")
+
+
+def list_datasets() -> List[str]:
+    return ["income", "soccer"]

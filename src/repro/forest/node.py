@@ -1,0 +1,90 @@
+"""Decision-tree nodes.
+
+A tree is built from two node types:
+
+* :class:`Leaf` — carries the index of a class label;
+* :class:`Branch` — carries a feature index and an integer threshold, plus
+  a *true* child and a *false* child.
+
+Decision semantics, fixed once for the whole system (plaintext oracle,
+COPSE masks, and the baseline's polynomials must all agree): the branch
+decision bit is ``feature_value < threshold``; when the bit is 1 the
+*true* child is evaluated, otherwise the *false* child.
+
+Thresholds and feature values are unsigned integers — the model layer is
+already fixed-point.  :mod:`repro.core.fixedpoint` provides the codec that
+maps real-valued data into this domain at a chosen precision, and
+:mod:`repro.forest.train` quantizes continuous features before training so
+the plaintext and secure evaluations agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A leaf node holding a class-label index."""
+
+    label_index: int
+
+    def __post_init__(self) -> None:
+        if self.label_index < 0:
+            raise ValidationError(
+                f"label index must be non-negative, got {self.label_index}"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def level(self) -> int:
+        """A label node has level 0 (Section 4.1.1)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"Leaf(L{self.label_index})"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """An interior node: ``feature < threshold`` selects the true child."""
+
+    feature: int
+    threshold: int
+    true_child: "Node"
+    false_child: "Node"
+
+    def __post_init__(self) -> None:
+        if self.feature < 0:
+            raise ValidationError(
+                f"feature index must be non-negative, got {self.feature}"
+            )
+        if self.threshold < 0:
+            raise ValidationError(
+                f"thresholds are unsigned fixed-point values, got {self.threshold}"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def decide(self, features) -> bool:
+        """Evaluate this branch's decision bit on a feature vector."""
+        return bool(features[self.feature] < self.threshold)
+
+    @property
+    def level(self) -> int:
+        """Number of branches on the longest path to a label, inclusive."""
+        return 1 + max(self.true_child.level, self.false_child.level)
+
+    def __repr__(self) -> str:
+        return f"Branch(x{self.feature} < {self.threshold})"
+
+
+Node = Union[Leaf, Branch]

@@ -1,0 +1,154 @@
+"""The paper's Section 5 serialized model format.
+
+    The format consists of a line defining the label names as strings,
+    followed by a line for each tree in the forest.  Each leaf node
+    outputs the index of the label it corresponds to.  For every branch
+    node, the serialized output contains the index of its feature, the
+    threshold value it's compared to, and the serializations of its left
+    and right subtrees respectively.
+
+Concretely (the paper leaves token syntax open; we fix one):
+
+* line 1 — ``labels: <name> <name> ...``
+* line 2 — ``features: <count>`` (our addition: the arity cannot always be
+  inferred when trailing features are unused)
+* one line per tree — a prefix token stream where a branch is
+  ``b <feature> <threshold> <true-subtree> <false-subtree>`` and a leaf is
+  ``l <label-index>``.
+
+Example — a single-branch tree over 2 features and 2 labels::
+
+    labels: reject accept
+    features: 2
+    b 0 130 l 1 l 0
+
+Round-tripping (``loads_forest(dumps_forest(f))``) preserves structure
+exactly; the property tests verify this on random forests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import SerializationError
+from repro.forest.forest import DecisionForest
+from repro.forest.node import Branch, Leaf, Node
+from repro.forest.tree import DecisionTree
+
+_LABELS_PREFIX = "labels:"
+_FEATURES_PREFIX = "features:"
+
+
+def dumps_forest(forest: DecisionForest) -> str:
+    """Serialize a forest to the text format."""
+    lines = [
+        f"{_LABELS_PREFIX} " + " ".join(forest.label_names),
+        f"{_FEATURES_PREFIX} {forest.n_features}",
+    ]
+    for tree in forest.trees:
+        lines.append(" ".join(_emit(tree.root)))
+    return "\n".join(lines) + "\n"
+
+
+def loads_forest(text: str) -> DecisionForest:
+    """Parse the text format back into a :class:`DecisionForest`."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if len(lines) < 3:
+        raise SerializationError(
+            "expected a labels line, a features line, and at least one tree"
+        )
+    labels = _parse_labels(lines[0])
+    n_features = _parse_features(lines[1])
+    trees = [DecisionTree(root=_parse_tree(line)) for line in lines[2:]]
+    return DecisionForest(trees=trees, label_names=labels, n_features=n_features)
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+
+def _emit(node: Node) -> Iterator[str]:
+    if isinstance(node, Leaf):
+        yield "l"
+        yield str(node.label_index)
+    else:
+        yield "b"
+        yield str(node.feature)
+        yield str(node.threshold)
+        yield from _emit(node.true_child)
+        yield from _emit(node.false_child)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_labels(line: str) -> List[str]:
+    if not line.startswith(_LABELS_PREFIX):
+        raise SerializationError(
+            f"first line must start with {_LABELS_PREFIX!r}, got {line!r}"
+        )
+    names = line[len(_LABELS_PREFIX):].split()
+    if not names:
+        raise SerializationError("the labels line names no labels")
+    return names
+
+
+def _parse_features(line: str) -> int:
+    if not line.startswith(_FEATURES_PREFIX):
+        raise SerializationError(
+            f"second line must start with {_FEATURES_PREFIX!r}, got {line!r}"
+        )
+    body = line[len(_FEATURES_PREFIX):].strip()
+    try:
+        count = int(body)
+    except ValueError as exc:
+        raise SerializationError(f"feature count {body!r} is not an integer") from exc
+    if count <= 0:
+        raise SerializationError(f"feature count must be positive, got {count}")
+    return count
+
+
+def _parse_tree(line: str) -> Node:
+    tokens = line.split()
+    node, rest = _parse_node(tokens, 0)
+    if rest != len(tokens):
+        raise SerializationError(
+            f"trailing tokens after tree: {' '.join(tokens[rest:])!r}"
+        )
+    return node
+
+
+def _parse_node(tokens: List[str], pos: int) -> Tuple[Node, int]:
+    if pos >= len(tokens):
+        raise SerializationError("unexpected end of tree serialization")
+    tag = tokens[pos]
+    if tag == "l":
+        label = _parse_int(tokens, pos + 1, "label index")
+        return Leaf(label_index=label), pos + 2
+    if tag == "b":
+        feature = _parse_int(tokens, pos + 1, "feature index")
+        threshold = _parse_int(tokens, pos + 2, "threshold")
+        true_child, pos2 = _parse_node(tokens, pos + 3)
+        false_child, pos3 = _parse_node(tokens, pos2)
+        return (
+            Branch(
+                feature=feature,
+                threshold=threshold,
+                true_child=true_child,
+                false_child=false_child,
+            ),
+            pos3,
+        )
+    raise SerializationError(f"unknown node tag {tag!r} at token {pos}")
+
+
+def _parse_int(tokens: List[str], pos: int, what: str) -> int:
+    if pos >= len(tokens):
+        raise SerializationError(f"missing {what} at end of tree serialization")
+    try:
+        return int(tokens[pos])
+    except ValueError as exc:
+        raise SerializationError(f"{what} {tokens[pos]!r} is not an integer") from exc

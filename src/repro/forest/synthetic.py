@@ -1,0 +1,215 @@
+"""Random decision-forest generation and the Table 6 microbenchmark suite.
+
+The paper evaluates on eight synthetic microbenchmarks that vary maximum
+depth, branch count, and threshold precision (Table 6); every one has two
+features and three distinct labels, and the ``width`` names encode the
+per-tree branch counts (width78 = trees with 7 and 8 branches).
+
+:func:`random_tree` grows a tree with an *exact* branch count, a depth
+bound, and optionally an exact depth — the generator used both by the
+microbenchmark suite and the property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.forest.forest import DecisionForest
+from repro.forest.node import Branch, Leaf, Node
+from repro.forest.tree import DecisionTree
+
+
+def _subtree_capacity(depth: int) -> int:
+    """Maximum branch count of a tree with at most ``depth`` levels."""
+    if depth >= 62:
+        return 2**62  # effectively unbounded; avoids overflow
+    return (1 << depth) - 1
+
+
+def random_tree(
+    rng: np.random.Generator,
+    n_branches: int,
+    max_depth: int,
+    n_features: int,
+    n_labels: int,
+    precision: int,
+    exact_depth: Optional[int] = None,
+) -> DecisionTree:
+    """Grow a random tree with exactly ``n_branches`` branch nodes.
+
+    ``exact_depth`` forces the longest root-to-leaf path to contain exactly
+    that many branches (used by the depth4/5/6 microbenchmarks).
+    """
+    if n_branches < 1:
+        raise ValidationError("a tree needs at least one branch")
+    if n_branches > _subtree_capacity(max_depth):
+        raise ValidationError(
+            f"{n_branches} branches cannot fit within depth {max_depth}"
+        )
+    must = exact_depth if exact_depth is not None else 0
+    if must > max_depth:
+        raise ValidationError(
+            f"exact depth {must} exceeds the depth bound {max_depth}"
+        )
+    if must > n_branches:
+        raise ValidationError(
+            f"a depth-{must} path needs at least {must} branches, "
+            f"only {n_branches} available"
+        )
+
+    max_threshold = (1 << precision) - 1
+
+    def grow(n: int, budget: int, need: int) -> Node:
+        if n == 0:
+            return Leaf(label_index=int(rng.integers(0, n_labels)))
+        child_cap = _subtree_capacity(budget - 1)
+        remaining = n - 1
+        lo = max(0, remaining - child_cap)
+        hi = min(child_cap, remaining)
+        need_child = max(0, need - 1)
+        deep_on_true = bool(rng.integers(0, 2))
+        if need_child > 0:
+            if deep_on_true:
+                lo = max(lo, need_child)
+            else:
+                hi = min(hi, remaining - need_child)
+        if lo > hi:
+            # The depth requirement conflicts with the random side choice;
+            # flip the deep side (always feasible given the entry checks).
+            deep_on_true = not deep_on_true
+            lo = max(0, remaining - child_cap)
+            hi = min(child_cap, remaining)
+            if deep_on_true:
+                lo = max(lo, need_child)
+            else:
+                hi = min(hi, remaining - need_child)
+        true_count = int(rng.integers(lo, hi + 1))
+        false_count = remaining - true_count
+        return Branch(
+            feature=int(rng.integers(0, n_features)),
+            threshold=int(rng.integers(1, max_threshold + 1)),
+            true_child=grow(
+                true_count, budget - 1, need_child if deep_on_true else 0
+            ),
+            false_child=grow(
+                false_count, budget - 1, 0 if deep_on_true else need_child
+            ),
+        )
+
+    tree = DecisionTree(root=grow(n_branches, max_depth, must))
+    if exact_depth is not None and tree.depth != exact_depth:
+        raise ValidationError(
+            f"generator bug: requested depth {exact_depth}, got {tree.depth}"
+        )
+    return tree
+
+
+def random_forest(
+    rng: np.random.Generator,
+    branches_per_tree: Sequence[int],
+    max_depth: int,
+    n_features: int = 2,
+    n_labels: int = 3,
+    precision: int = 8,
+    force_max_depth: bool = True,
+) -> DecisionForest:
+    """Generate a random forest with the given per-tree branch counts.
+
+    When ``force_max_depth`` is set, the deepest feasible tree is pinned to
+    exactly ``max_depth`` so the forest statistic ``d`` is deterministic.
+    """
+    if not branches_per_tree:
+        raise ValidationError("at least one tree is required")
+    trees: List[DecisionTree] = []
+    # Pin the first tree that can reach max_depth to exactly max_depth.
+    pinned = False
+    for count in branches_per_tree:
+        exact = None
+        if force_max_depth and not pinned and count >= max_depth:
+            exact = max_depth
+            pinned = True
+        trees.append(
+            random_tree(
+                rng,
+                n_branches=count,
+                max_depth=max_depth,
+                n_features=n_features,
+                n_labels=n_labels,
+                precision=precision,
+                exact_depth=exact,
+            )
+        )
+    if force_max_depth and not pinned:
+        raise ValidationError(
+            f"no tree has enough branches to reach depth {max_depth}"
+        )
+    labels = [f"L{i}" for i in range(n_labels)]
+    return DecisionForest(trees=trees, label_names=labels, n_features=n_features)
+
+
+@dataclass(frozen=True)
+class MicrobenchmarkSpec:
+    """One row of Table 6."""
+
+    name: str
+    max_depth: int
+    precision: int
+    tree_branches: Tuple[int, ...]
+    n_features: int = 2
+    n_labels: int = 3
+    seed: int = 0
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.tree_branches)
+
+    @property
+    def total_branches(self) -> int:
+        """The Table 6 "# q of branches" column (total branch count)."""
+        return sum(self.tree_branches)
+
+    def build(self) -> DecisionForest:
+        """Deterministically generate this microbenchmark's forest."""
+        rng = np.random.default_rng(self.seed)
+        return random_forest(
+            rng,
+            branches_per_tree=self.tree_branches,
+            max_depth=self.max_depth,
+            n_features=self.n_features,
+            n_labels=self.n_labels,
+            precision=self.precision,
+        )
+
+
+def _seed_from_name(name: str) -> int:
+    return sum(ord(c) * (i + 1) for i, c in enumerate(name))
+
+
+#: Table 6 — the eight microbenchmark models.  Trees per forest and total
+#: branch counts match the table; per-tree branch splits follow the width
+#: naming convention (width78 = 7- and 8-branch trees).
+MICROBENCHMARKS: Tuple[MicrobenchmarkSpec, ...] = (
+    MicrobenchmarkSpec("depth4", 4, 8, (7, 8), seed=_seed_from_name("depth4")),
+    MicrobenchmarkSpec("depth5", 5, 8, (7, 8), seed=_seed_from_name("depth5")),
+    MicrobenchmarkSpec("depth6", 6, 8, (7, 8), seed=_seed_from_name("depth6")),
+    MicrobenchmarkSpec("width55", 5, 8, (5, 5), seed=_seed_from_name("width55")),
+    MicrobenchmarkSpec("width78", 5, 8, (7, 8), seed=_seed_from_name("width78")),
+    MicrobenchmarkSpec(
+        "width677", 5, 8, (6, 7, 7), seed=_seed_from_name("width677")
+    ),
+    MicrobenchmarkSpec("prec8", 5, 8, (7, 8), seed=_seed_from_name("prec8")),
+    MicrobenchmarkSpec("prec16", 5, 16, (7, 8), seed=_seed_from_name("prec16")),
+)
+
+
+def microbenchmark(name: str) -> MicrobenchmarkSpec:
+    """Look up a Table 6 microbenchmark by name."""
+    for spec in MICROBENCHMARKS:
+        if spec.name == name:
+            return spec
+    known = ", ".join(s.name for s in MICROBENCHMARKS)
+    raise ValidationError(f"unknown microbenchmark {name!r}; known: {known}")

@@ -1,0 +1,249 @@
+"""From-scratch CART and random-forest training.
+
+The paper trains its real-world models with scikit-learn's
+``RandomForestClassifier``; scikit-learn is not available offline, and only
+the *structure* of the trained forests matters to the evaluation (branch
+counts, depths, multiplicities — not accuracies).  This module provides a
+standard CART implementation (Gini impurity, exhaustive threshold search)
+and a bagging random-forest trainer (bootstrap resampling plus per-split
+feature subsampling), sufficient to produce forests with realistic shape
+statistics from the synthetic datasets in :mod:`repro.forest.datasets`.
+
+Features must already be quantized to unsigned integers (fixed-point); the
+datasets module produces them that way, keeping the plaintext oracle and
+the secure evaluation bit-for-bit consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.forest.forest import DecisionForest
+from repro.forest.node import Branch, Leaf, Node
+from repro.forest.tree import DecisionTree
+
+
+def gini_impurity(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions * proportions))
+
+
+@dataclass
+class CartTrainer:
+    """CART decision-tree trainer (Gini criterion, binary splits).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of branches on any root-to-leaf path.
+    min_samples_split:
+        Do not split nodes with fewer samples than this.
+    min_samples_leaf:
+        Reject splits that would create a child smaller than this.
+    max_features:
+        If set, consider only this many randomly chosen features per split
+        (the random-forest trainer uses this for decorrelation).
+    """
+
+    max_depth: int = 8
+    min_samples_split: int = 2
+    min_samples_leaf: int = 1
+    max_features: Optional[int] = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        n_labels: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> DecisionTree:
+        """Fit one tree.  ``features`` is (samples, n_features) ints."""
+        X = np.asarray(features)
+        y = np.asarray(labels)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise TrainingError(
+                f"inconsistent training shapes: X{X.shape}, y{y.shape}"
+            )
+        if X.shape[0] == 0:
+            raise TrainingError("cannot train on an empty dataset")
+        if np.any(X < 0):
+            raise TrainingError("features must be unsigned fixed-point integers")
+        if rng is None:
+            rng = np.random.default_rng()
+        root = self._grow(X, y, n_labels, depth=0, rng=rng)
+        return DecisionTree(root=root)
+
+    # ------------------------------------------------------------------
+
+    def _grow(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_labels: int,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> Node:
+        counts = np.bincount(y, minlength=n_labels)
+        majority = int(np.argmax(counts))
+        if (
+            depth >= self.max_depth
+            or X.shape[0] < self.min_samples_split
+            or counts.max() == X.shape[0]
+        ):
+            return Leaf(label_index=majority)
+
+        split = self._best_split(X, y, n_labels, rng)
+        if split is None:
+            return Leaf(label_index=majority)
+        feature, threshold = split
+        mask = X[:, feature] < threshold
+        true_child = self._grow(X[mask], y[mask], n_labels, depth + 1, rng)
+        false_child = self._grow(X[~mask], y[~mask], n_labels, depth + 1, rng)
+        # A split whose children agree on the label adds a useless branch.
+        if (
+            isinstance(true_child, Leaf)
+            and isinstance(false_child, Leaf)
+            and true_child.label_index == false_child.label_index
+        ):
+            return true_child
+        return Branch(
+            feature=feature,
+            threshold=int(threshold),
+            true_child=true_child,
+            false_child=false_child,
+        )
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_labels: int,
+        rng: np.random.Generator,
+    ) -> Optional[Tuple[int, int]]:
+        n_samples, n_features = X.shape
+        feature_pool = np.arange(n_features)
+        if self.max_features is not None and self.max_features < n_features:
+            feature_pool = rng.choice(n_features, size=self.max_features, replace=False)
+
+        parent_impurity = gini_impurity(np.bincount(y, minlength=n_labels))
+        best: Optional[Tuple[int, int]] = None
+        best_gain = 1e-12  # demand strictly positive improvement
+
+        for feature in feature_pool:
+            column = X[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_labels = y[order]
+            # Prefix class counts let each candidate threshold be scored in
+            # O(n_labels) instead of re-scanning the partition.
+            one_hot = np.zeros((n_samples, n_labels), dtype=np.int64)
+            one_hot[np.arange(n_samples), sorted_labels] = 1
+            prefix = np.cumsum(one_hot, axis=0)
+            total = prefix[-1]
+            for i in range(n_samples - 1):
+                if sorted_vals[i] == sorted_vals[i + 1]:
+                    continue
+                left_n = i + 1
+                right_n = n_samples - left_n
+                if left_n < self.min_samples_leaf or right_n < self.min_samples_leaf:
+                    continue
+                left_counts = prefix[i]
+                right_counts = total - left_counts
+                weighted = (
+                    left_n * gini_impurity(left_counts)
+                    + right_n * gini_impurity(right_counts)
+                ) / n_samples
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    # The integer threshold between two distinct values:
+                    # x < t puts everything <= sorted_vals[i] on the left.
+                    threshold = int(sorted_vals[i]) + 1
+                    best = (int(feature), threshold)
+        return best
+
+
+@dataclass
+class RandomForestTrainer:
+    """Bagging random forest: bootstrap samples + feature subsampling."""
+
+    n_trees: int = 5
+    max_depth: int = 8
+    min_samples_split: int = 2
+    min_samples_leaf: int = 1
+    max_features: Optional[int] = None
+    seed: Optional[int] = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        label_names: Sequence[str],
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> DecisionForest:
+        """Fit a forest; feature matrix must be unsigned-integer valued."""
+        X = np.asarray(features)
+        y = np.asarray(labels)
+        if X.ndim != 2:
+            raise TrainingError(f"feature matrix must be 2-D, got shape {X.shape}")
+        n_labels = len(label_names)
+        if n_labels < 2:
+            raise TrainingError("need at least two labels to classify")
+        if np.any(y >= n_labels) or np.any(y < 0):
+            raise TrainingError("label values must index into label_names")
+        rng = np.random.default_rng(self.seed)
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.sqrt(X.shape[1])))
+        trainer = CartTrainer(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=max_features,
+        )
+        trees: List[DecisionTree] = []
+        n_samples = X.shape[0]
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n_samples, size=n_samples)
+            trees.append(trainer.fit(X[idx], y[idx], n_labels, rng=rng))
+        return DecisionForest(
+            trees=trees,
+            label_names=list(label_names),
+            n_features=X.shape[1],
+            feature_names=list(feature_names) if feature_names else [],
+        )
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split a dataset (helper for the examples)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise TrainingError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    n = X.shape[0]
+    order = rng.permutation(n)
+    cut = int(n * (1.0 - test_fraction))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+
+
+def accuracy(predictions: Sequence[int], truth: Sequence[int]) -> float:
+    """Fraction of matching predictions (helper for the examples)."""
+    if len(predictions) != len(truth):
+        raise TrainingError("prediction/truth length mismatch")
+    if not predictions:
+        return 0.0
+    hits = sum(1 for p, t in zip(predictions, truth) if p == t)
+    return hits / len(predictions)

@@ -1,0 +1,61 @@
+"""Structural validation for decision forests.
+
+The compiler front end calls :func:`validate_forest` before doing any
+analysis, so malformed models fail with a actionable message instead of an
+index error deep inside matrix construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.forest.forest import DecisionForest
+from repro.forest.node import Branch, Leaf
+
+
+def validate_forest(
+    forest: DecisionForest,
+    precision: Optional[int] = None,
+    max_depth_limit: int = 64,
+) -> None:
+    """Validate a forest's structure; raise ``ValidationError`` on problems.
+
+    Checks feature/label index ranges, threshold domain (must fit in
+    ``precision`` unsigned bits when a precision is given), and a sanity
+    bound on depth (pathological chains blow up level-matrix sizes).
+    """
+    if forest.n_features <= 0:
+        raise ValidationError("forest has no features")
+    if forest.n_labels <= 0:
+        raise ValidationError("forest has no labels")
+
+    threshold_limit = (1 << precision) if precision is not None else None
+
+    for t_index, tree in enumerate(forest.trees):
+        if tree.depth > max_depth_limit:
+            raise ValidationError(
+                f"tree {t_index} has depth {tree.depth}, beyond the supported "
+                f"limit of {max_depth_limit}"
+            )
+        for node in tree.preorder():
+            if isinstance(node, Branch):
+                if node.feature >= forest.n_features:
+                    raise ValidationError(
+                        f"tree {t_index}: branch uses feature {node.feature} "
+                        f"but the forest has {forest.n_features} features"
+                    )
+                if threshold_limit is not None and node.threshold >= threshold_limit:
+                    raise ValidationError(
+                        f"tree {t_index}: threshold {node.threshold} does not "
+                        f"fit in {precision} unsigned bits; retrain or "
+                        f"increase the compiler precision"
+                    )
+            elif isinstance(node, Leaf):
+                if node.label_index >= forest.n_labels:
+                    raise ValidationError(
+                        f"tree {t_index}: leaf uses label {node.label_index} "
+                        f"but the forest has {forest.n_labels} labels"
+                    )
+            else:  # pragma: no cover - type system prevents this
+                raise ValidationError(f"unknown node type {type(node)!r}")

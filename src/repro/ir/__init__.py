@@ -1,0 +1,57 @@
+"""An encrypted-vector-arithmetic IR with an optimizer (future work).
+
+The paper's conclusion names this as the next step: "implementing
+COPSE's primitives not in terms of low-level FHE libraries like HElib
+but instead in terms of higher-level FHE-based intermediate languages,
+like EVA, allowing for further tuning and optimization."
+
+This subpackage is that layer, scaled to the simulator:
+
+* :mod:`repro.ir.nodes` — a small SSA graph over packed vectors: inputs
+  (ciphertext or plaintext), constants, XOR/AND (with constant-operand
+  forms), rotation, cyclic extension, truncation;
+* :mod:`repro.ir.builder` — graph construction with the same combinator
+  vocabulary as :class:`~repro.fhe.context.FheContext`, folding
+  plaintext-only operations at build time;
+* :mod:`repro.ir.passes` — the optimizer: rotation fusion, common
+  subexpression elimination, dead-code elimination, plus op-count and
+  multiplicative-depth analyses;
+* :mod:`repro.ir.executor` — runs a graph against a context and input
+  bindings (all costs land in the context's tracker as usual);
+* :mod:`repro.ir.copse_ir` — stages a compiled COPSE model into one
+  inference graph and runs optimized secure inference.
+
+The headline win (measured in ``benchmarks/test_ablation_ir.py``): CSE
+discovers that the cyclic extensions of the rotated branch vector are
+identical across all ``d`` level matrices and shares them, saving
+``(d-1) * b`` rotations beyond even the hand-scheduled runtime.
+"""
+
+from repro.ir.nodes import IrGraph, IrNode, IrOp
+from repro.ir.builder import IrBuilder
+from repro.ir.passes import (
+    analyze_counts,
+    analyze_depth,
+    common_subexpression_elimination,
+    dead_code_elimination,
+    fuse_rotations,
+    optimize,
+)
+from repro.ir.executor import execute
+from repro.ir.copse_ir import build_inference_graph, ir_secure_inference
+
+__all__ = [
+    "IrOp",
+    "IrNode",
+    "IrGraph",
+    "IrBuilder",
+    "optimize",
+    "fuse_rotations",
+    "common_subexpression_elimination",
+    "dead_code_elimination",
+    "analyze_counts",
+    "analyze_depth",
+    "execute",
+    "build_inference_graph",
+    "ir_secure_inference",
+]

@@ -1,0 +1,297 @@
+"""Staging a compiled COPSE model into one IR inference graph.
+
+``build_inference_graph`` emits the whole of Algorithm 1 — SecComp,
+reshuffle product, level products with masks, accumulation — as a single
+graph.  The emission is deliberately *naive about scheduling* (each level
+matrix rotates and extends the branch vector itself, as a direct
+transliteration of the algorithm would); the optimizer then recovers and
+surpasses the hand-written runtime's sharing:
+
+* CSE unifies the per-level rotations of the branch vector (the runtime
+  shares these by hand), and
+* CSE also unifies the per-level *cyclic extensions* of those rotated
+  vectors — which the hand-written runtime recomputes per level —
+  saving ``(d - 1) * b`` rotations.
+
+``ir_secure_inference`` runs the whole pipeline: build, optimize,
+encrypt inputs, execute, decrypt; its results are bit-identical to
+:func:`repro.core.runtime.secure_inference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CompileError, RuntimeProtocolError
+from repro.core.compiler import CompiledModel
+from repro.core.runtime import InferenceResult
+from repro.core.seccomp import (
+    SECCOMP_VARIANTS,
+    VARIANT_ALOUFI,
+    VARIANT_OPTIMIZED,
+)
+from repro.fhe.context import FheContext, Vector
+from repro.fhe.params import EncryptionParams
+from repro.fhe.simd import replicate, to_bitplanes
+from repro.ir.builder import IrBuilder
+from repro.ir.executor import execute
+from repro.ir.nodes import IrGraph
+from repro.ir.passes import optimize
+
+#: Input-name templates shared by the graph builder and the binder.
+FEATURE_PLANE = "feat_plane_{i}"
+THRESHOLD_PLANE = "thresh_plane_{i}"
+RESHUFFLE_DIAG = "reshuffle_diag_{i}"
+LEVEL_DIAG = "level{level}_diag_{i}"
+LEVEL_MASK = "level{level}_mask"
+NOT_ONE = "not_one"
+OUTPUT_LABELS = "labels"
+
+
+def build_inference_graph(
+    model: CompiledModel,
+    encrypted_model: bool = True,
+    variant: str = VARIANT_ALOUFI,
+) -> IrGraph:
+    """Emit Algorithm 1 for ``model`` as an (unoptimized) IR graph."""
+    if variant not in SECCOMP_VARIANTS:
+        raise CompileError(f"unknown SecComp variant {variant!r}")
+    b = IrBuilder()
+    p = model.precision
+    q = model.quantized_branching
+    branches_n = model.branching
+    labels_n = model.num_labels
+    d = model.max_depth
+
+    x_planes = [b.input_ct(FEATURE_PLANE.format(i=i), q) for i in range(p)]
+
+    def model_vector(name: str, bits) -> int:
+        if encrypted_model:
+            return b.input_ct(name, len(bits))
+        return b.const(bits)
+
+    y_planes = [
+        model_vector(THRESHOLD_PLANE.format(i=i), model.threshold_planes[i])
+        for i in range(p)
+    ]
+    not_one = None
+    if variant == VARIANT_ALOUFI:
+        not_one = b.input_ct(NOT_ONE, q)
+
+    decisions = _emit_seccomp(b, x_planes, y_planes, variant, not_one)
+
+    reshuffle_diags = [
+        model_vector(RESHUFFLE_DIAG.format(i=i), model.reshuffle.diagonal(i))
+        for i in range(q)
+    ]
+    branches = _emit_matvec(b, reshuffle_diags, branches_n, q, decisions)
+
+    level_results: List[int] = []
+    for level in range(d):
+        matrix = model.level_matrices[level]
+        diags = [
+            model_vector(
+                LEVEL_DIAG.format(level=level, i=i), matrix.diagonal(i)
+            )
+            for i in range(branches_n)
+        ]
+        product = _emit_matvec(b, diags, labels_n, branches_n, branches)
+        mask = model_vector(
+            LEVEL_MASK.format(level=level), model.level_masks[level]
+        )
+        level_results.append(b.xor(product, mask))
+
+    b.output(OUTPUT_LABELS, b.and_all(level_results))
+    return b.build()
+
+
+def _emit_seccomp(
+    b: IrBuilder,
+    x_planes: Sequence[int],
+    y_planes: Sequence[int],
+    variant: str,
+    not_one: Optional[int],
+) -> int:
+    p = len(x_planes)
+    diffs = [b.xor(x_planes[i], y_planes[i]) for i in range(p)]
+    eqs = [b.negate(diff) for diff in diffs]
+
+    if variant == VARIANT_ALOUFI:
+        assert not_one is not None
+        not_xs = [b.xor(x_planes[i], not_one) for i in range(p)]
+        lts = [b.and_(not_xs[i], y_planes[i]) for i in range(p)]
+        prefixes = _uniform_scan(b, eqs, not_one)
+        terms = [lts[0]] + [
+            b.and_(lts[i], prefixes[i]) for i in range(1, p)
+        ]
+        return _or_tree(b, terms)
+
+    lts = [
+        b.xor(y_planes[i], b.and_(x_planes[i], y_planes[i]))
+        for i in range(p)
+    ]
+    prefixes = _triangle_scan(b, eqs)
+    terms = [lts[0]] + [b.and_(lts[i], prefixes[i]) for i in range(1, p)]
+    return b.xor_all(terms)
+
+
+def _uniform_scan(b: IrBuilder, eqs: Sequence[int], not_one: int) -> List[int]:
+    p = len(eqs)
+    scan = list(eqs)
+    offset = 1
+    while offset < p:
+        scan = [
+            b.and_(scan[i], scan[i - offset] if i >= offset else not_one)
+            for i in range(p)
+        ]
+        offset *= 2
+    return [scan[0]] + scan[: p - 1]
+
+
+def _triangle_scan(b: IrBuilder, eqs: Sequence[int]) -> List[int]:
+    p = len(eqs)
+    scan = list(eqs)
+    offset = 1
+    while offset < p:
+        nxt = list(scan)
+        for i in range(offset, p):
+            nxt[i] = b.and_(scan[i], scan[i - offset])
+        scan = nxt
+        offset *= 2
+    return [scan[0]] + scan[: p - 1]
+
+
+def _or_tree(b: IrBuilder, terms: Sequence[int]) -> int:
+    layer = list(terms)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            x, y = layer[i], layer[i + 1]
+            nxt.append(b.xor(b.xor(x, y), b.and_(x, y)))
+        if len(layer) % 2 == 1:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def _emit_matvec(
+    b: IrBuilder, diagonals: Sequence[int], rows: int, cols: int, vector: int
+) -> int:
+    products = []
+    for i, diagonal in enumerate(diagonals):
+        rotated = b.rotate(vector, i) if i else vector
+        if rows > cols:
+            rotated = b.extend(rotated, rows)
+        elif rows < cols:
+            rotated = b.truncate(rotated, rows)
+        products.append(b.and_(diagonal, rotated))
+    return b.xor_all(products)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end IR inference
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IrInferenceOutcome:
+    """Result of one IR-path secure inference."""
+
+    result: InferenceResult
+    graph: IrGraph
+    context: FheContext
+
+    @property
+    def tracker(self):
+        return self.context.tracker
+
+
+def ir_secure_inference(
+    compiled: CompiledModel,
+    features: Sequence[int],
+    optimize_graph: bool = True,
+    encrypted_model: bool = True,
+    variant: str = VARIANT_ALOUFI,
+    params: Optional[EncryptionParams] = None,
+    graph: Optional[IrGraph] = None,
+) -> IrInferenceOutcome:
+    """Secure inference through the IR pipeline.
+
+    Pass a prebuilt ``graph`` to amortize building/optimizing across
+    queries (the staging pattern: optimize once per model).
+    """
+    if params is None:
+        params = EncryptionParams.paper_defaults()
+    compiled.check_parameters(params)
+    if graph is None:
+        graph = build_inference_graph(compiled, encrypted_model, variant)
+        if optimize_graph:
+            graph = optimize(graph)
+
+    ctx = FheContext(params)
+    keys = ctx.keygen()
+
+    limit = 1 << compiled.precision
+    if len(features) != compiled.n_features:
+        raise RuntimeProtocolError(
+            f"model expects {compiled.n_features} features, "
+            f"got {len(features)}"
+        )
+    for value in features:
+        if not 0 <= int(value) < limit:
+            raise RuntimeProtocolError(
+                f"feature value {value} does not fit in "
+                f"{compiled.precision} unsigned bits"
+            )
+
+    replicated = replicate(
+        [int(v) for v in features], compiled.max_multiplicity
+    )
+    planes = to_bitplanes(replicated, compiled.precision)
+
+    bindings: Dict[str, Vector] = {}
+    with ctx.tracker.phase("data_encrypt"):
+        for i in range(compiled.precision):
+            bindings[FEATURE_PLANE.format(i=i)] = ctx.encrypt(
+                planes[i], keys.public
+            )
+    if NOT_ONE in graph.inputs:
+        bindings[NOT_ONE] = ctx.encrypt(
+            [1] * compiled.quantized_branching, keys.public
+        )
+    if encrypted_model:
+        with ctx.tracker.phase("model_encrypt"):
+            for i in range(compiled.precision):
+                bindings[THRESHOLD_PLANE.format(i=i)] = ctx.encrypt(
+                    compiled.threshold_planes[i], keys.public
+                )
+            for i in range(compiled.quantized_branching):
+                bindings[RESHUFFLE_DIAG.format(i=i)] = ctx.encrypt(
+                    compiled.reshuffle.diagonal(i), keys.public
+                )
+            for level in range(compiled.max_depth):
+                matrix = compiled.level_matrices[level]
+                for i in range(compiled.branching):
+                    bindings[LEVEL_DIAG.format(level=level, i=i)] = (
+                        ctx.encrypt(matrix.diagonal(i), keys.public)
+                    )
+                bindings[LEVEL_MASK.format(level=level)] = ctx.encrypt(
+                    compiled.level_masks[level], keys.public
+                )
+
+    # Inputs that the optimizer may have eliminated need no binding.
+    bindings = {
+        name: value
+        for name, value in bindings.items()
+        if name in graph.inputs
+    }
+    outputs = execute(graph, ctx, bindings, phase="ir_inference")
+    result_ct = outputs[OUTPUT_LABELS]
+    bits = ctx.decrypt_bits(result_ct, keys.secret)
+    result = InferenceResult(
+        bitvector=bits,
+        codebook=list(compiled.codebook),
+        label_names=list(compiled.label_names),
+    )
+    return IrInferenceOutcome(result=result, graph=graph, context=ctx)

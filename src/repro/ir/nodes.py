@@ -1,0 +1,151 @@
+"""IR node and graph types.
+
+The IR is a flat SSA graph: every node is an operation producing one
+packed vector; arguments are node ids of earlier nodes (topological by
+construction).  Nodes are immutable and hashable by their semantic key
+``(op, args, attr)`` — which is exactly what common-subexpression
+elimination deduplicates on.
+
+Node kinds:
+
+=============  ==========================================================
+INPUT_CT       named ciphertext input (bound at execution time)
+INPUT_PT       named plaintext input
+CONST_PT       plaintext constant baked into the graph (``attr`` = bits)
+ADD            ciphertext XOR ciphertext
+CONST_ADD      ciphertext XOR plaintext
+MULTIPLY       ciphertext AND ciphertext
+CONST_MULT     ciphertext AND plaintext
+ROTATE         cyclic left rotation (``attr`` = amount)
+EXTEND         cyclic extension to a longer width (``attr`` = new width)
+TRUNCATE       logical-width restriction (``attr`` = new width)
+=============  ==========================================================
+
+``is_cipher`` tracks whether a node's value is encrypted; plaintext-only
+arithmetic never appears as ADD/MULTIPLY nodes (the builder folds it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+
+
+class IrOp(enum.Enum):
+    INPUT_CT = "input_ct"
+    INPUT_PT = "input_pt"
+    CONST_PT = "const_pt"
+    ADD = "add"
+    CONST_ADD = "const_add"
+    MULTIPLY = "multiply"
+    CONST_MULT = "const_mult"
+    ROTATE = "rotate"
+    EXTEND = "extend"
+    TRUNCATE = "truncate"
+
+
+#: Ops whose result is a ciphertext whenever they appear in a graph.
+_CIPHER_OPS = {
+    IrOp.INPUT_CT,
+    IrOp.ADD,
+    IrOp.CONST_ADD,
+    IrOp.MULTIPLY,
+    IrOp.CONST_MULT,
+}
+
+
+@dataclass(frozen=True)
+class IrNode:
+    """One SSA operation."""
+
+    node_id: int
+    op: IrOp
+    args: Tuple[int, ...]
+    attr: Tuple = ()
+    width: int = 0
+    is_cipher: bool = True
+
+    @property
+    def key(self):
+        """Semantic identity (everything except the node id)."""
+        return (self.op, self.args, self.attr)
+
+
+@dataclass
+class IrGraph:
+    """A whole circuit: nodes in topological order plus named outputs."""
+
+    nodes: List[IrNode] = field(default_factory=list)
+    outputs: Dict[str, int] = field(default_factory=dict)
+    inputs: Dict[str, int] = field(default_factory=dict)
+
+    def node(self, node_id: int) -> IrNode:
+        return self.nodes[node_id]
+
+    def add(self, op: IrOp, args, attr=(), width=0, is_cipher=None) -> int:
+        for a in args:
+            if not 0 <= a < len(self.nodes):
+                raise CompileError(f"IR argument {a} out of range")
+        if is_cipher is None:
+            is_cipher = op in _CIPHER_OPS or any(
+                self.nodes[a].is_cipher for a in args
+            )
+        node = IrNode(
+            node_id=len(self.nodes),
+            op=op,
+            args=tuple(args),
+            attr=tuple(attr),
+            width=width,
+            is_cipher=is_cipher,
+        )
+        self.nodes.append(node)
+        return node.node_id
+
+    def mark_output(self, name: str, node_id: int) -> None:
+        if name in self.outputs:
+            raise CompileError(f"duplicate output name {name!r}")
+        self.node(node_id)  # range check
+        self.outputs[name] = node_id
+
+    def mark_input(self, name: str, node_id: int) -> None:
+        if name in self.inputs:
+            raise CompileError(f"duplicate input name {name!r}")
+        self.inputs[name] = node_id
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def describe(self) -> str:
+        from repro.ir.passes import analyze_counts, analyze_depth
+
+        counts = analyze_counts(self)
+        summary = " ".join(f"{k.value}={v}" for k, v in sorted(
+            counts.items(), key=lambda kv: kv[0].value))
+        return (
+            f"ir graph: nodes={self.num_nodes} outputs={len(self.outputs)} "
+            f"depth={analyze_depth(self)} [{summary}]"
+        )
+
+
+def validate_graph(graph: IrGraph) -> None:
+    """Structural validation: topological args, outputs in range, input
+    nodes actually being input ops."""
+    for node in graph.nodes:
+        for a in node.args:
+            if a >= node.node_id:
+                raise CompileError(
+                    f"node {node.node_id} references later node {a}"
+                )
+    for name, node_id in graph.outputs.items():
+        if not 0 <= node_id < graph.num_nodes:
+            raise CompileError(f"output {name!r} out of range")
+    for name, node_id in graph.inputs.items():
+        op = graph.node(node_id).op
+        if op not in (IrOp.INPUT_CT, IrOp.INPUT_PT):
+            raise CompileError(
+                f"input {name!r} bound to non-input node kind {op.value}"
+            )

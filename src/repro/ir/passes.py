@@ -1,0 +1,177 @@
+"""Optimizer passes and analyses over IR graphs.
+
+All passes are pure graph-to-graph functions; ``optimize`` runs the
+standard pipeline (rotation fusion -> CSE -> DCE) to a fixed point.
+
+* **fuse_rotations** — ``rot(rot(x, a), b)`` becomes ``rot(x, a+b mod w)``
+  and zero rotations disappear (HElib would pay two key switches for the
+  nested form);
+* **common_subexpression_elimination** — nodes with identical
+  ``(op, args, attr)`` merge; commutative ops were argument-ordered by
+  the builder, so ``a XOR b`` and ``b XOR a`` share a key.  This is the
+  pass that discovers COPSE's cross-level sharing: every level matrix
+  extends the same rotated branch vectors, so the per-level extensions
+  collapse to one set;
+* **dead_code_elimination** — drops everything unreachable from outputs.
+
+Analyses: ``analyze_counts`` (ops by kind, the Section 6 work measure),
+``analyze_depth`` (multiplicative depth), ``analyze_cost`` (simulated ms
+under a :class:`~repro.fhe.costmodel.CostModel`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fhe.costmodel import CostModel
+from repro.fhe.tracker import OpKind
+from repro.ir.nodes import IrGraph, IrNode, IrOp
+
+
+def _rebuild(graph: IrGraph, remap: Dict[int, int], nodes: List[IrNode]) -> IrGraph:
+    out = IrGraph(nodes=nodes)
+    out.outputs = {name: remap[nid] for name, nid in graph.outputs.items()}
+    out.inputs = {name: remap[nid] for name, nid in graph.inputs.items()}
+    return out
+
+
+def fuse_rotations(graph: IrGraph) -> IrGraph:
+    """Collapse rotation chains and drop zero rotations."""
+    remap: Dict[int, int] = {}
+    nodes: List[IrNode] = []
+
+    def emit(op, args, attr, width, is_cipher) -> int:
+        node_id = len(nodes)
+        nodes.append(IrNode(node_id, op, tuple(args), tuple(attr), width, is_cipher))
+        return node_id
+
+    for node in graph.nodes:
+        args = tuple(remap[a] for a in node.args)
+        if node.op is IrOp.ROTATE:
+            amount = node.attr[0]
+            target = args[0]
+            # Walk through any rotation already emitted.
+            while nodes[target].op is IrOp.ROTATE:
+                amount += nodes[target].attr[0]
+                target = nodes[target].args[0]
+            amount %= nodes[target].width if nodes[target].width else 1
+            if amount == 0:
+                remap[node.node_id] = target
+                continue
+            remap[node.node_id] = emit(
+                IrOp.ROTATE, (target,), (amount,), node.width, node.is_cipher
+            )
+            continue
+        remap[node.node_id] = emit(
+            node.op, args, node.attr, node.width, node.is_cipher
+        )
+    return _rebuild(graph, remap, nodes)
+
+
+def common_subexpression_elimination(graph: IrGraph) -> IrGraph:
+    """Merge semantically identical nodes (hash-consing)."""
+    remap: Dict[int, int] = {}
+    seen: Dict[tuple, int] = {}
+    nodes: List[IrNode] = []
+    for node in graph.nodes:
+        args = tuple(remap[a] for a in node.args)
+        key = (node.op, args, node.attr)
+        # Distinct named inputs must stay distinct even though their key
+        # includes the name (attr), so this is safe for inputs too.
+        if key in seen:
+            remap[node.node_id] = seen[key]
+            continue
+        node_id = len(nodes)
+        nodes.append(
+            IrNode(node_id, node.op, args, node.attr, node.width, node.is_cipher)
+        )
+        seen[key] = node_id
+        remap[node.node_id] = node_id
+    return _rebuild(graph, remap, nodes)
+
+
+def dead_code_elimination(graph: IrGraph) -> IrGraph:
+    """Drop nodes unreachable from the outputs (inputs are kept: they are
+    part of the graph's interface even if unused)."""
+    live = set(graph.outputs.values()) | set(graph.inputs.values())
+    for node in reversed(graph.nodes):
+        if node.node_id in live:
+            live.update(node.args)
+    remap: Dict[int, int] = {}
+    nodes: List[IrNode] = []
+    for node in graph.nodes:
+        if node.node_id not in live:
+            continue
+        args = tuple(remap[a] for a in node.args)
+        node_id = len(nodes)
+        nodes.append(
+            IrNode(node_id, node.op, args, node.attr, node.width, node.is_cipher)
+        )
+        remap[node.node_id] = node_id
+    return _rebuild(graph, remap, nodes)
+
+
+def optimize(graph: IrGraph, max_iterations: int = 8) -> IrGraph:
+    """Run fuse -> CSE -> DCE to a fixed point."""
+    current = graph
+    for _ in range(max_iterations):
+        before = current.num_nodes
+        current = dead_code_elimination(
+            common_subexpression_elimination(fuse_rotations(current))
+        )
+        if current.num_nodes == before:
+            break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Analyses
+# ---------------------------------------------------------------------------
+
+#: How IR ops map to the tracker's primitive kinds for costing.  EXTEND
+#: and TRUNCATE mirror the context's accounting: extension costs a
+#: rotation, truncation is free.
+_COST_KIND = {
+    IrOp.ADD: OpKind.ADD,
+    IrOp.CONST_ADD: OpKind.CONST_ADD,
+    IrOp.MULTIPLY: OpKind.MULTIPLY,
+    IrOp.CONST_MULT: OpKind.CONST_MULT,
+    IrOp.ROTATE: OpKind.ROTATE,
+    IrOp.EXTEND: OpKind.ROTATE,
+}
+
+
+def analyze_counts(graph: IrGraph) -> Dict[IrOp, int]:
+    """Operation counts by kind (ciphertext operations only)."""
+    counts: Dict[IrOp, int] = {}
+    for node in graph.nodes:
+        if not node.is_cipher:
+            continue
+        if node.op in (IrOp.INPUT_CT, IrOp.CONST_PT, IrOp.INPUT_PT,
+                       IrOp.TRUNCATE):
+            continue
+        counts[node.op] = counts.get(node.op, 0) + 1
+    return counts
+
+
+def analyze_depth(graph: IrGraph) -> int:
+    """Multiplicative depth of the graph."""
+    depth = [0] * graph.num_nodes
+    best = 0
+    for node in graph.nodes:
+        d = max((depth[a] for a in node.args), default=0)
+        if node.op is IrOp.MULTIPLY:
+            d += 1
+        depth[node.node_id] = d
+        best = max(best, d)
+    return best
+
+
+def analyze_cost(graph: IrGraph, cost_model: CostModel) -> float:
+    """Simulated sequential milliseconds of the ciphertext operations."""
+    total = 0.0
+    for op, count in analyze_counts(graph).items():
+        kind = _COST_KIND.get(op)
+        if kind is not None:
+            total += cost_model.cost_of(kind) * count
+    return total

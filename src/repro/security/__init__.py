@@ -1,0 +1,45 @@
+"""Security properties of COPSE deployments (Section 7).
+
+* :mod:`repro.security.parties` — the notional parties and the physical
+  configurations (two-party and three-party, with and without collusion);
+* :mod:`repro.security.leakage` — what each party learns in each
+  configuration, reproducing Tables 3 and 4, plus structural-leakage
+  extraction from actual protocol artifacts (what an evaluator really
+  observes from ciphertext counts and widths);
+* :mod:`repro.security.noninterference` — execution-trace extraction and
+  the input-independence check backing the FHE noninterference claim.
+"""
+
+from repro.security.parties import (
+    COLLUSION_NONE,
+    COLLUSION_S_WITH_D,
+    COLLUSION_S_WITH_M,
+    Party,
+    Scenario,
+    THREE_PARTY_SCENARIOS,
+    TWO_PARTY_SCENARIOS,
+)
+from repro.security.leakage import (
+    LeakageReport,
+    observed_by_server,
+    scenario_leakage,
+)
+from repro.security.noninterference import (
+    check_noninterference,
+    execution_trace,
+)
+
+__all__ = [
+    "Party",
+    "Scenario",
+    "TWO_PARTY_SCENARIOS",
+    "THREE_PARTY_SCENARIOS",
+    "COLLUSION_NONE",
+    "COLLUSION_S_WITH_M",
+    "COLLUSION_S_WITH_D",
+    "LeakageReport",
+    "scenario_leakage",
+    "observed_by_server",
+    "execution_trace",
+    "check_noninterference",
+]

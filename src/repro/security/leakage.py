@@ -1,0 +1,142 @@
+"""Information leakage per deployment configuration (Tables 3 and 4).
+
+Two complementary views:
+
+* :func:`scenario_leakage` — the *specified* leakage: for each scenario,
+  which model statistics each party learns, exactly as the paper's
+  Tables 3 and 4 list them.  The symbols are the Section 4.1.1 model
+  statistics: ``q`` (quantized branching), ``b`` (branching), ``d``
+  (depth), ``K`` (maximum multiplicity), or ``everything`` under
+  collusion.
+
+* :func:`observed_by_server` — the *mechanical* leakage: given an actual
+  :class:`~repro.core.runtime.EncryptedModel`, what the evaluator reads
+  off the ciphertext structure (one ciphertext per matrix diagonal leaks
+  column counts; the level-matrix count leaks the depth).  The tests
+  check the mechanical view matches the specified view — the paper's
+  claim that *only* these statistics leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from repro.errors import LeakageError
+from repro.core.runtime import EncryptedModel
+from repro.security.parties import (
+    COLLUSION_NONE,
+    COLLUSION_S_WITH_D,
+    COLLUSION_S_WITH_M,
+    Party,
+    Scenario,
+)
+
+#: The leakable model statistics, as named in the paper's tables.
+STAT_Q = "q"
+STAT_B = "b"
+STAT_D = "d"
+STAT_K = "K"
+EVERYTHING = "everything"
+
+Leakage = FrozenSet[str]
+
+
+def _fs(*items: str) -> Leakage:
+    return frozenset(items)
+
+
+@dataclass(frozen=True)
+class LeakageReport:
+    """What each notional party learns in one scenario."""
+
+    scenario: Scenario
+    revealed: Dict[Party, Leakage]
+
+    def to_server(self) -> Leakage:
+        return self.revealed[Party.SERVER]
+
+    def to_model_owner(self) -> Leakage:
+        return self.revealed[Party.MODEL_OWNER]
+
+    def to_data_owner(self) -> Leakage:
+        return self.revealed[Party.DATA_OWNER]
+
+
+# The rows of Table 3 (two-party) and Table 4 (three-party), keyed by the
+# scenario name.  Values are (to S, to M, to D).
+_TABLE_3 = {
+    "S, M=D": (_fs(STAT_Q, STAT_B, STAT_D), _fs(), _fs()),
+    "S=M, D": (_fs(), _fs(), _fs(STAT_K, STAT_B)),
+    "S=D, M": (
+        _fs(STAT_Q, STAT_B, STAT_K, STAT_D),
+        _fs(),
+        _fs(STAT_Q, STAT_B, STAT_K),
+    ),
+}
+
+_TABLE_4 = {
+    COLLUSION_NONE: (
+        _fs(STAT_Q, STAT_B, STAT_D, STAT_K),
+        _fs(),
+        _fs(STAT_K, STAT_B),
+    ),
+    COLLUSION_S_WITH_M: (
+        _fs(EVERYTHING),
+        _fs(EVERYTHING),
+        _fs(STAT_K, STAT_B),
+    ),
+    COLLUSION_S_WITH_D: (
+        _fs(EVERYTHING),
+        _fs(),
+        _fs(EVERYTHING),
+    ),
+}
+
+
+def scenario_leakage(scenario: Scenario) -> LeakageReport:
+    """The specified leakage for one scenario (Tables 3 and 4)."""
+    if scenario.is_three_party:
+        row = _TABLE_4.get(scenario.collusion)
+        if row is None:  # pragma: no cover - Scenario validates collusion
+            raise LeakageError(f"unknown collusion {scenario.collusion!r}")
+    else:
+        row = _TABLE_3.get(scenario.name)
+        if row is None:
+            raise LeakageError(
+                f"scenario {scenario.name!r} is not a Table 3 configuration"
+            )
+    to_s, to_m, to_d = row
+    return LeakageReport(
+        scenario=scenario,
+        revealed={
+            Party.SERVER: to_s,
+            Party.MODEL_OWNER: to_m,
+            Party.DATA_OWNER: to_d,
+        },
+    )
+
+
+def observed_by_server(model: EncryptedModel) -> Dict[str, int]:
+    """What an evaluator mechanically learns from an encrypted model.
+
+    Matrices are encrypted as one ciphertext per generalized diagonal, so
+    the evaluator counts: the reshuffle's diagonals reveal ``q``; each
+    level matrix's diagonals reveal ``b``; the number of level matrices
+    reveals ``d``.  (Vector *lengths* are public ciphertext metadata in
+    HElib too.)
+    """
+    if not model.level_diagonals:
+        raise LeakageError("model has no level matrices")
+    return {
+        STAT_Q: len(model.reshuffle_diagonals),
+        STAT_B: len(model.level_diagonals[0]),
+        STAT_D: len(model.level_diagonals),
+    }
+
+
+def observed_by_data_owner(result_length: int, max_multiplicity: int) -> Dict[str, int]:
+    """What Diane learns from the protocol: ``K`` explicitly (Step 0) and
+    the leaf count from the length of the returned classification vector
+    (the paper describes this as learning ``b + 1`` per tree)."""
+    return {STAT_K: max_multiplicity, "result_slots": result_length}

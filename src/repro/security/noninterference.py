@@ -1,0 +1,87 @@
+"""Noninterference checking: the execution trace is input-independent.
+
+Section 2.2.3: FHE's security story requires that nothing about the
+private inputs leak through *publicly observable behaviour* — in
+particular, the sequence, kind, and dependency structure of the
+homomorphic operations must be the same for every input (no branching on
+secret data).  COPSE achieves this by construction; this module verifies
+it empirically by running the full inference pipeline on different
+feature vectors and comparing the recorded operation traces.
+
+The property-based tests in ``tests/security`` drive
+:func:`check_noninterference` with random models and inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import LeakageError
+from repro.core.compiler import CompiledModel
+from repro.core.runtime import secure_inference
+from repro.fhe.context import FheContext
+from repro.fhe.params import EncryptionParams
+
+Trace = List[Tuple[str, str, Tuple[int, ...]]]
+
+
+def execution_trace(
+    compiled: CompiledModel,
+    features: Sequence[int],
+    params: EncryptionParams = None,
+    encrypted_model: bool = True,
+) -> Trace:
+    """The publicly observable operation trace of one secure inference.
+
+    Each entry is ``(operation kind, phase, parent node ids)`` — the
+    full information a timing/schedule observer could collect.  A fresh
+    context (and key pair) is used per call so traces are comparable
+    position by position.
+    """
+    if params is None:
+        params = EncryptionParams.paper_defaults()
+    ctx = FheContext(params)
+    outcome = secure_inference(
+        compiled,
+        features,
+        params=params,
+        encrypted_model=encrypted_model,
+        ctx=ctx,
+    )
+    return outcome.tracker.trace()
+
+
+def check_noninterference(
+    compiled: CompiledModel,
+    feature_sets: Sequence[Sequence[int]],
+    params: EncryptionParams = None,
+    encrypted_model: bool = True,
+) -> None:
+    """Raise :class:`~repro.errors.LeakageError` if any two inputs produce
+    different operation traces.
+
+    All feature vectors must have the model's arity; differing traces
+    would mean the evaluation branches on secret data.
+    """
+    if len(feature_sets) < 2:
+        raise LeakageError(
+            "noninterference needs at least two feature vectors to compare"
+        )
+    reference = execution_trace(
+        compiled, feature_sets[0], params, encrypted_model
+    )
+    for features in feature_sets[1:]:
+        trace = execution_trace(compiled, features, params, encrypted_model)
+        if trace != reference:
+            divergence = _first_divergence(reference, trace)
+            raise LeakageError(
+                f"execution trace depends on the input: traces diverge at "
+                f"operation {divergence} for features {list(features)!r}"
+            )
+
+
+def _first_divergence(a: Trace, b: Trace) -> int:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    return min(len(a), len(b))

@@ -1,0 +1,115 @@
+"""Party and scenario definitions (Sections 3.1 and 7.1).
+
+Three notional parties: the model owner Maurice (``M``), the data owner
+Diane (``D``), and the computational server Sally (``S``).  Because
+single-key FHE is inherently two-party, the paper analyzes configurations
+where two notional parties are one physical party, plus the three-party
+case (with and without collusion) to motivate multi-key/threshold FHE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import LeakageError
+
+
+class Party(enum.Enum):
+    """The notional parties of the protocol."""
+
+    MODEL_OWNER = "M"
+    DATA_OWNER = "D"
+    SERVER = "S"
+
+
+#: Collusion settings for the three-party analysis (Table 4).
+COLLUSION_NONE = "none"
+COLLUSION_S_WITH_M = "S_with_M"
+COLLUSION_S_WITH_D = "S_with_D"
+_COLLUSIONS = (COLLUSION_NONE, COLLUSION_S_WITH_M, COLLUSION_S_WITH_D)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deployment configuration.
+
+    ``merged`` names the pair of notional parties realized by a single
+    physical party (empty for the three-party case); ``collusion`` only
+    applies to three-party scenarios.
+    """
+
+    name: str
+    merged: Tuple[Party, ...] = ()
+    collusion: str = COLLUSION_NONE
+
+    def __post_init__(self) -> None:
+        if self.collusion not in _COLLUSIONS:
+            raise LeakageError(
+                f"unknown collusion setting {self.collusion!r}; "
+                f"choose from {_COLLUSIONS}"
+            )
+        if self.merged and self.collusion != COLLUSION_NONE:
+            raise LeakageError(
+                "collusion settings apply only to three-party scenarios"
+            )
+        if len(self.merged) not in (0, 2):
+            raise LeakageError(
+                f"a scenario merges exactly two notional parties or none, "
+                f"got {len(self.merged)}"
+            )
+
+    @property
+    def is_three_party(self) -> bool:
+        return not self.merged
+
+    def physically_same(self, a: Party, b: Party) -> bool:
+        """Whether two notional parties are the same physical party."""
+        return a == b or (a in self.merged and b in self.merged)
+
+    @property
+    def model_is_plaintext_on_server(self) -> bool:
+        """Whether Sally holds the model in plaintext (Maurice = Sally)."""
+        return self.physically_same(Party.MODEL_OWNER, Party.SERVER)
+
+
+#: The two-party configurations of Table 3, in the paper's row order.
+SCENARIO_OFFLOAD = Scenario(
+    name="S, M=D", merged=(Party.MODEL_OWNER, Party.DATA_OWNER)
+)
+SCENARIO_MODEL_ON_SERVER = Scenario(
+    name="S=M, D", merged=(Party.SERVER, Party.MODEL_OWNER)
+)
+SCENARIO_CLIENT_EVAL = Scenario(
+    name="S=D, M", merged=(Party.SERVER, Party.DATA_OWNER)
+)
+TWO_PARTY_SCENARIOS = (
+    SCENARIO_OFFLOAD,
+    SCENARIO_MODEL_ON_SERVER,
+    SCENARIO_CLIENT_EVAL,
+)
+
+#: The three-party configurations of Table 4, in the paper's row order.
+SCENARIO_THREE_PARTY = Scenario(name="S, M, D, no collusion")
+SCENARIO_THREE_PARTY_SM = Scenario(
+    name="S, M, D, S colludes with M", collusion=COLLUSION_S_WITH_M
+)
+SCENARIO_THREE_PARTY_SD = Scenario(
+    name="S, M, D, S colludes with D", collusion=COLLUSION_S_WITH_D
+)
+THREE_PARTY_SCENARIOS = (
+    SCENARIO_THREE_PARTY,
+    SCENARIO_THREE_PARTY_SM,
+    SCENARIO_THREE_PARTY_SD,
+)
+
+ALL_SCENARIOS = TWO_PARTY_SCENARIOS + THREE_PARTY_SCENARIOS
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for scenario in ALL_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in ALL_SCENARIOS)
+    raise LeakageError(f"unknown scenario {name!r}; known: {known}")

@@ -1,0 +1,161 @@
+"""Tests for the Aloufi et al. polynomial baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.polynomial import (
+    compile_polynomial,
+    label_bit_width,
+)
+from repro.baseline.runtime import (
+    BaselineDataOwner,
+    BaselineModelOwner,
+    BaselineServer,
+    baseline_inference,
+)
+from repro.core.complexity import baseline_comparison
+from repro.core.seccomp import VARIANT_ALOUFI, VARIANT_OPTIMIZED
+from repro.errors import RuntimeProtocolError
+from repro.fhe.context import FheContext
+from repro.fhe.tracker import OpKind
+from repro.forest.synthetic import MICROBENCHMARKS, random_forest
+
+
+class TestPolynomialCompilation:
+    def test_label_bit_width(self):
+        assert label_bit_width(2) == 1
+        assert label_bit_width(3) == 2
+        assert label_bit_width(4) == 2
+        assert label_bit_width(5) == 3
+
+    def test_structure(self, example_forest):
+        poly = compile_polynomial(example_forest, precision=8)
+        assert poly.branching == example_forest.branching
+        assert len(poly.trees) == example_forest.n_trees
+        assert poly.label_bits == 2  # three labels
+        total_terms = sum(tree.num_leaves for tree in poly.trees)
+        assert total_terms == example_forest.num_leaves
+
+    def test_branch_vectors_preorder(self, example_forest):
+        poly = compile_polynomial(example_forest, precision=8)
+        expected_features = []
+        expected_thresholds = []
+        for tree in example_forest.trees:
+            expected_features.extend(tree.feature_indices())
+            expected_thresholds.extend(tree.thresholds())
+        assert list(poly.branch_features) == expected_features
+        assert list(poly.branch_thresholds) == expected_thresholds
+
+    def test_paths_are_disjoint_and_cover(self, example_forest):
+        poly = compile_polynomial(example_forest, precision=8)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            feats = [int(v) for v in rng.integers(0, 256, 2)]
+            decisions = [
+                feats[poly.branch_features[i]] < poly.branch_thresholds[i]
+                for i in range(poly.branching)
+            ]
+            labels = [tree.evaluate_plain(decisions) for tree in poly.trees]
+            assert labels == example_forest.classify_per_tree(feats)
+
+    def test_max_path_length(self, example_forest):
+        poly = compile_polynomial(example_forest, precision=8)
+        assert poly.max_path_length == example_forest.max_depth
+
+
+class TestSecureBaseline:
+    @pytest.mark.parametrize("variant", [VARIANT_ALOUFI, VARIANT_OPTIMIZED])
+    @pytest.mark.parametrize("encrypted_model", [True, False])
+    def test_oracle_agreement(self, example_forest, variant, encrypted_model):
+        rng = np.random.default_rng(1)
+        for _ in range(6):
+            feats = [int(v) for v in rng.integers(0, 256, 2)]
+            out = baseline_inference(
+                example_forest,
+                feats,
+                encrypted_model=encrypted_model,
+                seccomp_variant=variant,
+            )
+            assert out.result.labels == example_forest.classify_per_tree(feats)
+
+    @pytest.mark.parametrize(
+        "spec", MICROBENCHMARKS[:4], ids=lambda s: s.name
+    )
+    def test_microbenchmarks(self, spec):
+        forest = spec.build()
+        rng = np.random.default_rng(2)
+        limit = 1 << spec.precision
+        for _ in range(2):
+            feats = [int(v) for v in rng.integers(0, limit, 2)]
+            out = baseline_inference(forest, feats, precision=spec.precision)
+            assert out.result.labels == forest.classify_per_tree(feats)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_models(self, seed):
+        forest = random_forest(
+            np.random.default_rng(seed), [5, 6], max_depth=4, n_features=3
+        )
+        feats = [
+            int(v) for v in np.random.default_rng(seed + 1).integers(0, 256, 3)
+        ]
+        out = baseline_inference(forest, feats)
+        assert out.result.labels == forest.classify_per_tree(feats)
+
+    def test_plurality(self, example_forest):
+        out = baseline_inference(example_forest, [10, 10])
+        assert out.result.plurality() in out.result.labels
+
+
+class TestBaselineCosts:
+    def test_comparison_counts_scale_with_branches(self, example_forest):
+        out = baseline_inference(example_forest, [1, 2])
+        tracker = out.tracker
+        measured_mult = tracker.phase_stats("comparison").counts.get(
+            OpKind.MULTIPLY, 0
+        )
+        predicted = baseline_comparison(8, example_forest.branching)
+        assert measured_mult == predicted["multiply"]
+
+    def test_model_encryption_is_per_branch(self, example_forest):
+        out = baseline_inference(example_forest, [1, 2])
+        encrypts = out.tracker.phase_stats("model_encrypt").counts[
+            OpKind.ENCRYPT
+        ]
+        # b branches x p bit planes: far more than COPSE's p.
+        assert encrypts == example_forest.branching * 8
+
+    def test_no_rotations(self, example_forest):
+        """The baseline never rotates: its only SIMD axis is label bits."""
+        out = baseline_inference(example_forest, [1, 2])
+        assert out.tracker.count(OpKind.ROTATE) == 0
+
+    def test_depth_logarithmic_in_path_length(self, example_forest):
+        out = baseline_inference(example_forest, [1, 2])
+        from repro.core.seccomp import seccomp_depth
+
+        depth = out.tracker.multiplicative_depth()
+        # SecComp depth plus a log-depth path product and label select.
+        assert depth <= seccomp_depth(8) + 4
+
+
+class TestBaselineProtocolErrors:
+    def test_arity_checked(self, example_forest):
+        with pytest.raises(RuntimeProtocolError):
+            baseline_inference(example_forest, [1])
+
+    def test_domain_checked(self, example_forest):
+        with pytest.raises(RuntimeProtocolError):
+            baseline_inference(example_forest, [300, 0])
+
+    def test_query_feature_count_checked(self, example_forest):
+        poly = compile_polynomial(example_forest, precision=8)
+        ctx = FheContext()
+        keys = ctx.keygen()
+        diane = BaselineDataOwner(poly, keys)
+        query = diane.prepare_query(ctx, [1, 2])
+        query.feature_planes = query.feature_planes[:1]
+        enc_model = BaselineModelOwner(poly).encrypt_model(ctx, keys.public)
+        with pytest.raises(RuntimeProtocolError):
+            BaselineServer(ctx).classify(enc_model, query)

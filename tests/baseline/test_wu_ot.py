@@ -1,0 +1,199 @@
+"""Tests for the Wu et al. OT-based protocol and the AHE substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DomainError, KeyMismatchError, RuntimeProtocolError
+from repro.baseline.wu_ot import (
+    CLIENT,
+    SERVER,
+    WuClient,
+    WuServer,
+    one_of_n_transfer,
+    pad_and_permute,
+    wu_inference,
+)
+from repro.core.threeparty import Transcript
+from repro.fhe.ahe import AheContext
+from repro.fhe.tracker import OpKind
+from repro.forest.synthetic import MICROBENCHMARKS, random_forest
+
+
+class TestAheContext:
+    @pytest.fixture
+    def ahe(self):
+        return AheContext()
+
+    def test_roundtrip(self, ahe):
+        keys = ahe.keygen()
+        ct = ahe.encrypt(1234, keys.public)
+        assert ahe.decrypt(ct, keys.secret) == 1234
+
+    def test_wrong_key_rejected(self, ahe):
+        keys = ahe.keygen()
+        other = ahe.keygen()
+        ct = ahe.encrypt(5, keys.public)
+        with pytest.raises(KeyMismatchError):
+            ahe.decrypt(ct, other.secret)
+
+    def test_additive_homomorphism(self, ahe):
+        keys = ahe.keygen()
+        a = ahe.encrypt(100, keys.public)
+        b = ahe.encrypt(23, keys.public)
+        assert ahe.decrypt(ahe.add(a, b), keys.secret) == 123
+        assert ahe.decrypt(ahe.add_plain(a, -40), keys.secret) == 60
+        assert ahe.decrypt(ahe.mul_plain(a, 3), keys.secret) == 300
+
+    def test_signed_decryption(self, ahe):
+        keys = ahe.keygen()
+        ct = ahe.encrypt(10, keys.public)
+        blinded = ahe.mul_plain(ahe.add_plain(ct, -25), 7)
+        assert ahe.decrypt_signed(blinded, keys.secret) == 7 * (10 - 25)
+
+    def test_cross_key_add_rejected(self, ahe):
+        a = ahe.encrypt(1, ahe.keygen().public)
+        b = ahe.encrypt(1, ahe.keygen().public)
+        with pytest.raises(KeyMismatchError):
+            ahe.add(a, b)
+
+    def test_ops_recorded(self, ahe):
+        keys = ahe.keygen()
+        a = ahe.encrypt(1, keys.public)
+        ahe.mul_plain(ahe.add_plain(a, 1), 2)
+        assert ahe.tracker.count(OpKind.AHE_ENCRYPT) == 1
+        assert ahe.tracker.count(OpKind.AHE_ADD) == 1
+        assert ahe.tracker.count(OpKind.AHE_MUL_PLAIN) == 1
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(DomainError):
+            AheContext(modulus=2)
+
+
+class TestPadding:
+    def test_complete_shape(self, example_tree):
+        padded = pad_and_permute(
+            example_tree.root, example_tree.depth, np.random.default_rng(0)
+        )
+        assert padded.depth == 3
+        assert padded.num_nodes == 7
+        assert padded.num_leaves == 8
+
+    def test_padded_walk_matches_tree(self, example_tree):
+        """Walking the padded tree in plaintext reproduces the original
+        classification for every input — flips, dummies and all."""
+        rng = np.random.default_rng(1)
+        for trial in range(10):
+            padded = pad_and_permute(
+                example_tree.root, example_tree.depth,
+                np.random.default_rng(trial),
+            )
+            for _ in range(20):
+                feats = [int(v) for v in rng.integers(0, 256, 2)]
+                bits = []
+                for i in range(1, padded.num_nodes + 1):
+                    x = feats[padded.features[i]]
+                    t = padded.thresholds[i]
+                    if padded.flips[i]:
+                        bits.append(x >= t)
+                    else:
+                        bits.append(x < t)
+                position = WuClient.leaf_position(padded.depth, bits)
+                assert padded.labels[position] == example_tree.classify(feats)
+
+    def test_depth_too_small_rejected(self, example_tree):
+        with pytest.raises(Exception):
+            pad_and_permute(example_tree.root, 1, np.random.default_rng(0))
+
+
+class TestObliviousTransfer:
+    def test_returns_chosen_item(self):
+        transcript = Transcript()
+        assert one_of_n_transfer(transcript, [10, 20, 30], 1) == 20
+
+    def test_transcript_reveals_nothing_about_choice(self):
+        a, b = Transcript(), Transcript()
+        one_of_n_transfer(a, [10, 20, 30], 0)
+        one_of_n_transfer(b, [10, 20, 30], 2)
+        assert a.messages == b.messages  # sender's view is identical
+
+    def test_out_of_range_choice(self):
+        with pytest.raises(RuntimeProtocolError):
+            one_of_n_transfer(Transcript(), [1, 2], 5)
+
+
+class TestWuProtocol:
+    def test_oracle_agreement(self, example_forest):
+        rng = np.random.default_rng(3)
+        for trial in range(10):
+            feats = [int(v) for v in rng.integers(0, 256, 2)]
+            outcome = wu_inference(example_forest, feats, seed=trial)
+            assert outcome.labels == example_forest.classify_per_tree(feats)
+
+    @pytest.mark.parametrize("spec", MICROBENCHMARKS[:3], ids=lambda s: s.name)
+    def test_microbenchmarks(self, spec):
+        forest = spec.build()
+        rng = np.random.default_rng(9)
+        limit = 1 << spec.precision
+        for _ in range(3):
+            feats = [int(v) for v in rng.integers(0, limit, 2)]
+            outcome = wu_inference(forest, feats, precision=spec.precision)
+            assert outcome.labels == forest.classify_per_tree(feats)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_models(self, seed):
+        forest = random_forest(
+            np.random.default_rng(seed), [5, 6], max_depth=4, n_features=3
+        )
+        feats = [
+            int(v) for v in np.random.default_rng(seed + 1).integers(0, 256, 3)
+        ]
+        outcome = wu_inference(forest, feats, seed=seed)
+        assert outcome.labels == forest.classify_per_tree(feats)
+
+    def test_boundary_values(self, example_forest):
+        """x == t is the flip construction's tricky boundary."""
+        # Thresholds in the example forest: 120, 60, 40, 200, 100, 220.
+        for x in (120, 60, 40, 200, 100, 220, 0, 255):
+            feats = [x, x]
+            outcome = wu_inference(example_forest, feats, seed=0)
+            assert outcome.labels == example_forest.classify_per_tree(feats)
+
+    def test_transcript_structure(self, example_forest):
+        outcome = wu_inference(example_forest, [50, 50], seed=0)
+        kinds = outcome.transcript.kinds()
+        assert kinds[0] == "encrypted-features"
+        assert kinds[1] == "blinded-comparisons"
+        # One OT (two messages) per tree.
+        assert kinds[2:] == ["ot-choice-blinded", "ot-masked-items"] * (
+            example_forest.n_trees
+        )
+
+    def test_comparison_work_is_exponential_in_depth(self, example_forest):
+        """The padded comparison count is sum(2^d_t - 1), the scalability
+        wall the paper attributes to this family of protocols."""
+        outcome = wu_inference(example_forest, [50, 50], seed=0)
+        expected_nodes = sum(
+            (1 << tree.depth) - 1 for tree in example_forest.trees
+        )
+        comparisons = outcome.transcript.messages[1]
+        assert comparisons.ciphertexts == expected_nodes
+        assert outcome.tracker.count(OpKind.AHE_MUL_PLAIN) == expected_nodes
+
+    def test_plurality(self, example_forest):
+        outcome = wu_inference(example_forest, [10, 10], seed=0)
+        assert outcome.plurality() in outcome.labels
+
+    def test_arity_checked(self, example_forest):
+        with pytest.raises(RuntimeProtocolError):
+            wu_inference(example_forest, [1])
+
+    def test_domain_checked(self, example_forest):
+        with pytest.raises(RuntimeProtocolError):
+            wu_inference(example_forest, [300, 0])
+
+    def test_server_reveals_padded_shape_only(self, example_forest):
+        server = WuServer(forest=example_forest, precision=8, seed=0)
+        shape = server.public_shape()
+        assert shape == [tree.depth for tree in example_forest.trees]

@@ -1,0 +1,72 @@
+"""Tests for report rendering helpers and experiment-cache behaviour."""
+
+import math
+
+import pytest
+
+from repro.bench_harness import experiments
+from repro.bench_harness.report import Series, Table, geometric_mean, render_all
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([4.0, 0.0, -1.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_matches_log_definition(self):
+        values = [1.5, 2.5, 10.0, 0.3]
+        expected = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert geometric_mean(values) == pytest.approx(expected)
+
+
+class TestSeries:
+    def test_points_and_render(self):
+        s = Series(name="levels", x_label="depth", y_label="ms")
+        s.add_point("d4", 22.0)
+        s.add_point("d5", 27.5)
+        assert s.ys() == [22.0, 27.5]
+        text = s.render()
+        assert "levels" in text and "d4=22.00" in text
+
+
+class TestTableRendering:
+    def test_alignment_and_floats(self):
+        t = Table(title="X", columns=["name", "value"])
+        t.add_row("long-name-here", 1.23456)
+        t.add_row("a", 1000)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "X"
+        assert "1.23" in text and "1000" in text
+        # All data lines share the header's tabular width.
+        header_len = len(lines[2])
+        assert all(len(l) <= header_len + 2 for l in lines[3:])
+
+    def test_render_all(self):
+        a = Table(title="A", columns=["c"])
+        a.add_row(1)
+        b = Table(title="B", columns=["c"])
+        b.add_row(2)
+        text = render_all([a, b], title="both")
+        assert "### both ###" in text
+        assert "A" in text and "B" in text
+
+
+class TestExperimentCache:
+    def test_records_are_memoized(self):
+        experiments.clear_cache()
+        t1 = experiments.figure6(queries=1, workload_names=["width55"])
+        # Second call hits the cache: identical object values.
+        t2 = experiments.figure6(queries=1, workload_names=["width55"])
+        assert t1.rows == t2.rows
+
+    def test_clear_cache(self):
+        experiments.figure6(queries=1, workload_names=["width55"])
+        experiments.clear_cache()
+        assert experiments._RECORD_CACHE == {}

@@ -1,0 +1,108 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CopseCompiler
+from repro.fhe.context import FheContext
+from repro.fhe.params import EncryptionParams
+from repro.forest.forest import DecisionForest
+from repro.forest.node import Branch, Leaf
+from repro.forest.synthetic import random_forest
+from repro.forest.tree import DecisionTree
+
+
+@pytest.fixture
+def params() -> EncryptionParams:
+    return EncryptionParams.paper_defaults()
+
+
+@pytest.fixture
+def ctx(params) -> FheContext:
+    return FheContext(params)
+
+
+@pytest.fixture
+def keys(ctx):
+    return ctx.keygen()
+
+
+def build_example_tree() -> DecisionTree:
+    """A small fixed tree used across tests (in the spirit of Figure 1).
+
+    Structure (decision = feature < threshold; true child listed first)::
+
+        d0: x1 < 120
+          d1: x0 < 60
+            L0
+            d2: x1 < 40 -> L1 / L2
+          d3: x0 < 200 -> L1 / L0
+    """
+    return DecisionTree(
+        root=Branch(
+            feature=1,
+            threshold=120,
+            true_child=Branch(
+                feature=0,
+                threshold=60,
+                true_child=Leaf(0),
+                false_child=Branch(
+                    feature=1,
+                    threshold=40,
+                    true_child=Leaf(1),
+                    false_child=Leaf(2),
+                ),
+            ),
+            false_child=Branch(
+                feature=0,
+                threshold=200,
+                true_child=Leaf(1),
+                false_child=Leaf(0),
+            ),
+        )
+    )
+
+
+@pytest.fixture
+def example_tree() -> DecisionTree:
+    return build_example_tree()
+
+
+@pytest.fixture
+def example_forest(example_tree) -> DecisionForest:
+    second = DecisionTree(
+        root=Branch(
+            feature=0,
+            threshold=100,
+            true_child=Leaf(2),
+            false_child=Branch(
+                feature=1,
+                threshold=220,
+                true_child=Leaf(0),
+                false_child=Leaf(1),
+            ),
+        )
+    )
+    return DecisionForest(
+        trees=[example_tree, second],
+        label_names=["L0", "L1", "L2"],
+        n_features=2,
+    )
+
+
+@pytest.fixture
+def small_random_forest() -> DecisionForest:
+    return random_forest(
+        np.random.default_rng(7), branches_per_tree=[7, 8], max_depth=5
+    )
+
+
+@pytest.fixture
+def compiled_example(example_forest):
+    return CopseCompiler(precision=8).compile(example_forest)
+
+
+def random_features(rng: np.random.Generator, n: int, precision: int = 8):
+    return [int(v) for v in rng.integers(0, 1 << precision, n)]

@@ -1,0 +1,171 @@
+"""Tests for the Section 4.1.1 model analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.core.analysis import SENTINEL_THRESHOLD, ModelAnalysis
+from repro.forest.synthetic import random_forest
+
+
+@pytest.fixture
+def analysis(example_forest):
+    return ModelAnalysis(example_forest)
+
+
+class TestStatistics:
+    def test_basic_stats(self, analysis):
+        assert analysis.branching == 6
+        assert analysis.num_labels == 8
+        assert analysis.max_multiplicity == 3
+        assert analysis.quantized_branching == 6
+        assert analysis.max_depth == 3
+
+    def test_branch_levels(self, analysis):
+        # Tree 1 preorder: d0 (level 3), d1 (2), d2 (1), d3 (1);
+        # tree 2: root (2), inner (1).
+        assert [analysis.branch_level(i) for i in range(6)] == [3, 2, 1, 1, 2, 1]
+
+    def test_codebook(self, analysis, example_forest):
+        assert analysis.codebook() == [
+            leaf.label_index for leaf in example_forest.all_leaves()
+        ]
+
+    def test_branch_width(self, analysis):
+        assert analysis.branch_width(0) == 5  # tree-1 root spans 5 leaves
+        assert analysis.branch_width(2) == 2
+
+
+class TestThresholdSlots:
+    def test_grouped_by_feature(self, analysis, example_forest):
+        K = analysis.max_multiplicity
+        for i in range(analysis.branching):
+            feature = analysis.branch(i).feature
+            slot = analysis.threshold_slot(i)
+            assert feature * K <= slot < (feature + 1) * K
+
+    def test_slots_unique(self, analysis):
+        slots = [
+            analysis.threshold_slot(i) for i in range(analysis.branching)
+        ]
+        assert len(set(slots)) == len(slots)
+
+    def test_padded_thresholds(self, analysis):
+        padded = analysis.padded_thresholds()
+        assert len(padded) == analysis.quantized_branching
+        for i in range(analysis.branching):
+            slot = analysis.threshold_slot(i)
+            assert padded[slot] == analysis.branch(i).threshold
+
+    def test_sentinel_fills_gaps(self):
+        forest = random_forest(
+            np.random.default_rng(0), [7], max_depth=4, n_features=2
+        )
+        analysis = ModelAnalysis(forest)
+        padded = analysis.padded_thresholds()
+        used = {analysis.threshold_slot(i) for i in range(analysis.branching)}
+        for slot, value in enumerate(padded):
+            if slot not in used:
+                assert value == SENTINEL_THRESHOLD
+
+    def test_replicated_features(self, analysis):
+        assert analysis.replicated_features([7, 9]) == [7, 7, 7, 9, 9, 9]
+
+    def test_replicated_features_arity_checked(self, analysis):
+        with pytest.raises(CompileError):
+            analysis.replicated_features([7])
+
+
+class TestLevelSelection:
+    def test_every_row_selects_an_ancestor(self, analysis, example_forest):
+        for level in range(1, analysis.max_depth + 1):
+            for label_idx, sel in enumerate(analysis.selected_branches(level)):
+                downstream = [
+                    p for p, _ in example_forest.trees[0].downstream_labels(
+                        analysis.branch(sel.branch_index)
+                    )
+                ] if sel.branch_index < 4 else None
+                # The selected branch must be an ancestor: the label is in
+                # its downstream set (checked through the analysis itself).
+                assert label_idx in analysis._downstream(sel.branch_index)
+
+    def test_exact_level_preferred(self, analysis):
+        # At level 1, every label whose ancestors include a level-1 branch
+        # must select it.
+        for label_idx, sel in enumerate(analysis.selected_branches(1)):
+            ancestor_levels = {
+                analysis.branch_level(bi)
+                for bi, _ in analysis._ancestors[label_idx]
+            }
+            if 1 in ancestor_levels:
+                assert analysis.branch_level(sel.branch_index) == 1
+
+    def test_every_branch_appears_in_some_level(self, analysis):
+        seen = set()
+        for level in range(1, analysis.max_depth + 1):
+            for sel in analysis.selected_branches(level):
+                seen.add(sel.branch_index)
+        assert seen == set(range(analysis.branching))
+
+    def test_unique_branch_per_level_label(self, analysis):
+        """The paper's key property: for a given level and label there is
+        a unique controlling branch — selection is deterministic."""
+        for level in range(1, analysis.max_depth + 1):
+            a = analysis.selected_branches(level)
+            b = analysis.selected_branches(level)
+            assert a == b
+
+    def test_level_out_of_range(self, analysis):
+        with pytest.raises(CompileError):
+            analysis.selected_branches(0)
+        with pytest.raises(CompileError):
+            analysis.selected_branches(analysis.max_depth + 1)
+
+    def test_shallow_label_reuses_lower_branch(self):
+        """A label shallower than the forest depth reuses its deepest
+        not-exceeding ancestor at intermediate levels (the d4 case from
+        Figure 1 of the paper)."""
+        forest = random_forest(
+            np.random.default_rng(1), [4, 8], max_depth=5, n_features=2
+        )
+        analysis = ModelAnalysis(forest)
+        for level in range(1, analysis.max_depth + 1):
+            for label_idx, sel in enumerate(analysis.selected_branches(level)):
+                lvl = analysis.branch_level(sel.branch_index)
+                ancestor_levels = sorted(
+                    analysis.branch_level(bi)
+                    for bi, _ in analysis._ancestors[label_idx]
+                )
+                if level in ancestor_levels:
+                    assert lvl == level
+                else:
+                    below = [l for l in ancestor_levels if l < level]
+                    if below:
+                        assert lvl == max(below)
+                    else:
+                        assert lvl == min(ancestor_levels)
+
+
+class TestRandomizedInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_invariants_on_random_forests(self, seed):
+        forest = random_forest(
+            np.random.default_rng(seed),
+            branches_per_tree=[6, 9],
+            max_depth=5,
+            n_features=3,
+        )
+        analysis = ModelAnalysis(forest)
+        assert analysis.quantized_branching >= analysis.branching
+        padded = analysis.padded_thresholds()
+        assert len(padded) == analysis.quantized_branching
+        # Level matrices' defining property: one selected ancestor branch
+        # per (level, label), and coverage of all branches.
+        seen = set()
+        for level in range(1, analysis.max_depth + 1):
+            selections = analysis.selected_branches(level)
+            assert len(selections) == analysis.num_labels
+            for label_idx, sel in enumerate(selections):
+                assert label_idx in analysis._downstream(sel.branch_index)
+                seen.add(sel.branch_index)
+        assert seen == set(range(analysis.branching))

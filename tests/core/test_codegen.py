@@ -1,0 +1,94 @@
+"""Tests for the staging code generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import exec_generated_module, generate_module_source
+from repro.core.compiler import CopseCompiler
+from repro.core.runtime import DataOwner, ModelOwner, secure_inference
+from repro.fhe.context import FheContext
+
+
+@pytest.fixture
+def generated(compiled_example):
+    source = generate_module_source(compiled_example)
+    return exec_generated_module(source)
+
+
+class TestGeneratedSource:
+    def test_source_is_valid_python(self, compiled_example):
+        source = generate_module_source(compiled_example)
+        compile(source, "<generated>", "exec")  # must not raise
+
+    def test_header_documents_model(self, compiled_example):
+        source = generate_module_source(compiled_example)
+        assert "Auto-generated" in source
+        assert f"b={compiled_example.branching}" in source
+
+    def test_exports(self, generated):
+        for name in (
+            "load_model",
+            "encrypt_model",
+            "plaintext_model",
+            "query_spec",
+            "classify",
+        ):
+            assert callable(generated[name])
+
+
+class TestStagedModelFidelity:
+    def test_load_model_reproduces_structures(self, compiled_example, generated):
+        staged = generated["load_model"]()
+        m = compiled_example
+        assert staged.precision == m.precision
+        assert staged.branching == m.branching
+        assert staged.quantized_branching == m.quantized_branching
+        assert staged.codebook == m.codebook
+        assert np.array_equal(staged.threshold_planes, m.threshold_planes)
+        assert np.array_equal(
+            staged.reshuffle.diagonals, m.reshuffle.diagonals
+        )
+        for a, b in zip(staged.level_matrices, m.level_matrices):
+            assert np.array_equal(a.diagonals, b.diagonals)
+        for a, b in zip(staged.level_masks, m.level_masks):
+            assert np.array_equal(a, b)
+
+    def test_generated_classify_matches_interpreter(
+        self, compiled_example, generated, example_forest
+    ):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            feats = [int(v) for v in rng.integers(0, 256, 2)]
+            # Interpreter path.
+            expected = secure_inference(compiled_example, feats).result
+
+            # Generated-module path.
+            ctx = FheContext()
+            keys = ctx.keygen()
+            enc_model = generated["encrypt_model"](ctx, keys.public)
+            diane = DataOwner(generated["query_spec"](), keys)
+            query = diane.prepare_query(ctx, feats)
+            result_ct = generated["classify"](ctx, enc_model, query)
+            got = diane.decrypt_result(ctx, result_ct)
+
+            assert got.bitvector == expected.bitvector
+            assert got.bitvector == example_forest.label_bitvector(feats)
+
+    def test_generated_plaintext_model_path(
+        self, compiled_example, generated, example_forest
+    ):
+        ctx = FheContext()
+        keys = ctx.keygen()
+        enc_model = generated["plaintext_model"](ctx)
+        diane = DataOwner(generated["query_spec"](), keys)
+        query = diane.prepare_query(ctx, [42, 77])
+        result_ct = generated["classify"](ctx, enc_model, query)
+        got = diane.decrypt_result(ctx, result_ct)
+        assert got.bitvector == example_forest.label_bitvector([42, 77])
+
+    def test_roundtrip_through_source_twice(self, compiled_example):
+        """Generating source from a staged model is a fixed point."""
+        source1 = generate_module_source(compiled_example)
+        staged = exec_generated_module(source1)["load_model"]()
+        source2 = generate_module_source(staged)
+        assert source1 == source2

@@ -1,0 +1,168 @@
+"""Tests for the COPSE compiler front end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.core.compiler import CompiledModel, CopseCompiler
+from repro.core.runtime import secure_inference
+from repro.fhe.params import EncryptionParams
+from repro.forest.serialize import dumps_forest
+from repro.forest.synthetic import random_forest
+
+
+class TestCompile:
+    def test_compiled_statistics(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        assert compiled.precision == 8
+        assert compiled.branching == example_forest.branching
+        assert compiled.quantized_branching == (
+            example_forest.quantized_branching
+        )
+        assert compiled.max_multiplicity == example_forest.max_multiplicity
+        assert compiled.max_depth == example_forest.max_depth
+        assert compiled.num_labels == example_forest.num_leaves
+        assert compiled.label_names == example_forest.label_names
+
+    def test_structures_shapes(self, compiled_example):
+        m = compiled_example
+        assert m.threshold_planes.shape == (m.precision, m.quantized_branching)
+        assert m.reshuffle.rows == m.branching
+        assert m.reshuffle.cols == m.quantized_branching
+        assert len(m.level_matrices) == m.max_depth
+        for matrix in m.level_matrices:
+            assert matrix.rows == m.num_labels
+            assert matrix.cols == m.branching
+
+    def test_precision_too_small_rejected(self, example_forest):
+        with pytest.raises(Exception):
+            CopseCompiler(precision=4).compile(example_forest)
+
+    def test_zero_precision_rejected(self, example_forest):
+        with pytest.raises(CompileError):
+            CopseCompiler(precision=0).compile(example_forest)
+
+    def test_compile_serialized(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile_serialized(
+            dumps_forest(example_forest)
+        )
+        assert compiled.branching == example_forest.branching
+
+    def test_describe(self, compiled_example):
+        text = compiled_example.describe()
+        assert "p=8" in text and "b=6" in text
+
+
+class TestMultiplicityBound:
+    def test_bound_inflates_q(self, example_forest):
+        plain = CopseCompiler(precision=8).compile(example_forest)
+        bounded = CopseCompiler(
+            precision=8, multiplicity_bound=10
+        ).compile(example_forest)
+        assert bounded.max_multiplicity == 10
+        assert bounded.quantized_branching == 10 * example_forest.n_features
+        assert bounded.quantized_branching > plain.quantized_branching
+        assert bounded.branching == plain.branching
+
+    def test_bound_below_true_k_rejected(self, example_forest):
+        with pytest.raises(CompileError, match="below"):
+            CopseCompiler(precision=8, multiplicity_bound=2).compile(
+                example_forest
+            )
+
+    def test_bounded_model_still_correct(self, example_forest):
+        """Extra sentinel padding must not change inference results
+        (Section 7.2.1: 'the exact value does not matter')."""
+        bounded = CopseCompiler(
+            precision=8, multiplicity_bound=7
+        ).compile(example_forest)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            feats = [int(v) for v in rng.integers(0, 256, 2)]
+            outcome = secure_inference(bounded, feats)
+            assert outcome.result.bitvector == (
+                example_forest.label_bitvector(feats)
+            )
+
+
+class TestParameterChecking:
+    def test_depth_check(self, example_forest):
+        compiled = CopseCompiler(precision=16).compile(example_forest)
+        with pytest.raises(CompileError, match="depth"):
+            compiled.check_parameters(EncryptionParams(bits=200))
+
+    def test_width_check(self):
+        forest = random_forest(
+            np.random.default_rng(0), [40, 40], max_depth=7, n_features=2
+        )
+        compiled = CopseCompiler(precision=8).compile(forest)
+        # q can exceed one column's 384 slots with unbalanced features.
+        if compiled.required_width() > 384:
+            with pytest.raises(CompileError, match="slots"):
+                compiled.check_parameters(EncryptionParams(columns=1))
+
+    def test_paper_params_accept_microbenchmarks(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        compiled.check_parameters(EncryptionParams.paper_defaults())
+
+
+class TestParameterSelection:
+    def test_selects_feasible_minimum(self, compiled_example):
+        compiler = CopseCompiler(precision=8)
+        best = compiler.select_parameters(compiled_example)
+        assert best.security >= 128
+        compiled_example.check_parameters(best)
+        # The small example model fits a single column and 400 bits.
+        assert best.columns == 1
+        assert best.bits == 400
+
+    def test_min_security_respected(self, compiled_example):
+        compiler = CopseCompiler(precision=8)
+        best = compiler.select_parameters(compiled_example, min_security=192)
+        assert best.security == 192
+
+    def test_infeasible_grid_raises(self, compiled_example):
+        compiler = CopseCompiler(precision=8)
+        grid = [EncryptionParams(security=80, bits=400, columns=1)]
+        with pytest.raises(CompileError, match="feasible"):
+            compiler.select_parameters(compiled_example, grid=grid)
+
+
+class TestCompiledModelValidation:
+    def test_inconsistent_planes_rejected(self, compiled_example):
+        m = compiled_example
+        with pytest.raises(CompileError):
+            CompiledModel(
+                precision=m.precision + 1,  # planes no longer match
+                n_features=m.n_features,
+                branching=m.branching,
+                quantized_branching=m.quantized_branching,
+                max_multiplicity=m.max_multiplicity,
+                max_depth=m.max_depth,
+                num_labels=m.num_labels,
+                label_names=m.label_names,
+                codebook=m.codebook,
+                threshold_planes=m.threshold_planes,
+                reshuffle=m.reshuffle,
+                level_matrices=m.level_matrices,
+                level_masks=m.level_masks,
+            )
+
+    def test_wrong_level_count_rejected(self, compiled_example):
+        m = compiled_example
+        with pytest.raises(CompileError):
+            CompiledModel(
+                precision=m.precision,
+                n_features=m.n_features,
+                branching=m.branching,
+                quantized_branching=m.quantized_branching,
+                max_multiplicity=m.max_multiplicity,
+                max_depth=m.max_depth,
+                num_labels=m.num_labels,
+                label_names=m.label_names,
+                codebook=m.codebook,
+                threshold_planes=m.threshold_planes,
+                reshuffle=m.reshuffle,
+                level_matrices=m.level_matrices[:-1],
+                level_masks=m.level_masks,
+            )

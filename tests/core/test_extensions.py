@@ -1,0 +1,180 @@
+"""Tests for the Section 7.2 privacy/performance extensions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeProtocolError
+from repro.core.compiler import CopseCompiler
+from repro.core.extensions import (
+    build_replication_matrix,
+    prepare_unreplicated_query,
+    replicate_on_server,
+    shuffle_classification,
+)
+from repro.core.runtime import CopseServer, DataOwner, ModelOwner
+from repro.fhe.context import FheContext
+from repro.fhe.tracker import OpKind
+
+
+class TestReplicationMatrix:
+    def test_dense_structure(self):
+        dm = build_replication_matrix(n_features=2, multiplicity=3)
+        dense = dm.to_dense()
+        assert dense.shape == (6, 2)
+        # Rows 0-2 pick feature 0, rows 3-5 pick feature 1.
+        assert dense[:3, 0].tolist() == [1, 1, 1]
+        assert dense[3:, 1].tolist() == [1, 1, 1]
+        assert dense[:3, 1].tolist() == [0, 0, 0]
+
+    def test_replicates_vector(self):
+        ctx = FheContext()
+        keys = ctx.keygen()
+        dm = build_replication_matrix(3, 2)
+        from repro.core.matmul import encode_diagonals, halevi_shoup_matvec
+
+        diagonals = encode_diagonals(ctx, dm.diagonals)
+        vec = ctx.encrypt([1, 0, 1], keys.public)
+        out = halevi_shoup_matvec(ctx, diagonals, rows=6, cols=3, vector=vec)
+        assert ctx.decrypt_bits(out, keys.secret) == [1, 1, 0, 0, 1, 1]
+
+
+class TestServerSideReplication:
+    def test_end_to_end_matches_client_replication(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            feats = [int(v) for v in rng.integers(0, 256, 2)]
+
+            ctx = FheContext()
+            keys = ctx.keygen()
+            maurice = ModelOwner(compiled)
+            spec = maurice.query_spec()
+            sally = CopseServer(ctx)
+            enc_model = maurice.encrypt_model(ctx, keys.public)
+
+            # Diane sends each feature once; Sally replicates on cipher.
+            slim = prepare_unreplicated_query(ctx, spec, keys, feats)
+            assert slim.width == compiled.n_features
+            query = replicate_on_server(
+                ctx, slim, spec.n_features, spec.max_multiplicity
+            )
+            assert query.width == compiled.quantized_branching
+            query.public_key = keys.public
+
+            result_ct = sally.classify(enc_model, query)
+            diane = DataOwner(spec, keys)
+            result = diane.decrypt_result(ctx, result_ct)
+            assert result.bitvector == example_forest.label_bitvector(feats)
+
+    def test_replication_costs_ciphertext_work(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        ctx = FheContext()
+        keys = ctx.keygen()
+        spec = ModelOwner(compiled).query_spec()
+        slim = prepare_unreplicated_query(ctx, spec, keys, [10, 20])
+        before = ctx.tracker.count(OpKind.CONST_MULT)
+        replicate_on_server(ctx, slim, spec.n_features, spec.max_multiplicity)
+        # One plaintext-matrix product per bit plane.
+        assert ctx.tracker.count(OpKind.CONST_MULT) - before == (
+            spec.precision * spec.n_features
+        )
+
+    def test_width_mismatch_rejected(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        ctx = FheContext()
+        keys = ctx.keygen()
+        spec = ModelOwner(compiled).query_spec()
+        slim = prepare_unreplicated_query(ctx, spec, keys, [10, 20])
+        with pytest.raises(RuntimeProtocolError, match="unreplicated"):
+            replicate_on_server(ctx, slim, 5, 3)
+
+    def test_arity_and_domain_checked(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        ctx = FheContext()
+        keys = ctx.keygen()
+        spec = ModelOwner(compiled).query_spec()
+        with pytest.raises(RuntimeProtocolError):
+            prepare_unreplicated_query(ctx, spec, keys, [1, 2, 3])
+        with pytest.raises(RuntimeProtocolError):
+            prepare_unreplicated_query(ctx, spec, keys, [999, 0])
+
+
+class TestCodebookShuffle:
+    def _classify(self, example_forest, feats):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        ctx = FheContext()
+        keys = ctx.keygen()
+        maurice = ModelOwner(compiled)
+        diane = DataOwner(maurice.query_spec(), keys)
+        sally = CopseServer(ctx)
+        enc_model = maurice.encrypt_model(ctx, keys.public)
+        query = diane.prepare_query(ctx, feats)
+        result_ct = sally.classify(enc_model, query)
+        return ctx, keys, diane, result_ct, compiled
+
+    def test_shuffle_preserves_decoded_labels(self, example_forest):
+        feats = [100, 30]
+        ctx, keys, diane, result_ct, compiled = self._classify(
+            example_forest, feats
+        )
+        shuffled = shuffle_classification(
+            ctx,
+            result_ct,
+            compiled.codebook,
+            rng=np.random.default_rng(7),
+        )
+        bits = ctx.decrypt_bits(shuffled.ciphertext, keys.secret)
+        chosen = sorted(
+            shuffled.codebook[i] for i, b in enumerate(bits) if b
+        )
+        assert chosen == sorted(example_forest.classify_per_tree(feats))
+
+    def test_shuffle_changes_slot_order(self, example_forest):
+        ctx, keys, diane, result_ct, compiled = self._classify(
+            example_forest, [100, 30]
+        )
+        shuffled = shuffle_classification(
+            ctx, result_ct, compiled.codebook, rng=np.random.default_rng(3)
+        )
+        assert shuffled.codebook != compiled.codebook
+
+    def test_padding_hides_leaf_counts(self, example_forest):
+        feats = [10, 10]
+        ctx, keys, diane, result_ct, compiled = self._classify(
+            example_forest, feats
+        )
+        padded = shuffle_classification(
+            ctx,
+            result_ct,
+            compiled.codebook,
+            rng=np.random.default_rng(11),
+            pad_to=compiled.num_labels + 5,
+            n_label_kinds=len(compiled.label_names),
+        )
+        bits = ctx.decrypt_bits(padded.ciphertext, keys.secret)
+        assert len(bits) == compiled.num_labels + 5
+        assert sum(bits) == example_forest.n_trees  # dummies stay zero
+        chosen = sorted(padded.codebook[i] for i, b in enumerate(bits) if b)
+        assert chosen == sorted(example_forest.classify_per_tree(feats))
+
+    def test_bad_codebook_length_rejected(self, example_forest):
+        ctx, keys, diane, result_ct, compiled = self._classify(
+            example_forest, [1, 1]
+        )
+        with pytest.raises(RuntimeProtocolError):
+            shuffle_classification(
+                ctx, result_ct, [0, 1], rng=np.random.default_rng(0)
+            )
+
+    def test_pad_shrinking_rejected(self, example_forest):
+        ctx, keys, diane, result_ct, compiled = self._classify(
+            example_forest, [1, 1]
+        )
+        with pytest.raises(RuntimeProtocolError):
+            shuffle_classification(
+                ctx,
+                result_ct,
+                compiled.codebook,
+                rng=np.random.default_rng(0),
+                pad_to=2,
+            )

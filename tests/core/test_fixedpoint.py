@@ -1,0 +1,83 @@
+"""Tests for the fixed-point codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PrecisionError
+from repro.core.fixedpoint import FixedPointCodec
+
+
+class TestCodec:
+    def test_endpoints(self):
+        codec = FixedPointCodec(precision=8, lo=0.0, hi=255.0)
+        assert codec.encode(0.0) == 0
+        assert codec.encode(255.0) == 255
+
+    def test_midpoint(self):
+        codec = FixedPointCodec(precision=8, lo=0.0, hi=2.0)
+        assert codec.encode(1.0) in (127, 128)
+
+    def test_out_of_range_rejected(self):
+        codec = FixedPointCodec(precision=8, lo=0.0, hi=1.0)
+        with pytest.raises(PrecisionError):
+            codec.encode(1.5)
+        with pytest.raises(PrecisionError):
+            codec.encode(-0.1)
+
+    def test_invalid_precision(self):
+        with pytest.raises(PrecisionError):
+            FixedPointCodec(precision=0)
+        with pytest.raises(PrecisionError):
+            FixedPointCodec(precision=63)
+
+    def test_invalid_range(self):
+        with pytest.raises(PrecisionError):
+            FixedPointCodec(precision=8, lo=1.0, hi=1.0)
+
+    def test_decode_bounds(self):
+        codec = FixedPointCodec(precision=4, lo=0.0, hi=15.0)
+        assert codec.decode(0) == 0.0
+        assert codec.decode(15) == 15.0
+        with pytest.raises(PrecisionError):
+            codec.decode(16)
+        with pytest.raises(PrecisionError):
+            codec.decode(-1)
+
+    def test_check_code(self):
+        codec = FixedPointCodec(precision=4)
+        assert codec.check_code(15) == 15
+        with pytest.raises(PrecisionError):
+            codec.check_code(16)
+
+    def test_encode_many(self):
+        codec = FixedPointCodec(precision=8, lo=0.0, hi=255.0)
+        assert codec.encode_many([0.0, 255.0]) == [0, 255]
+
+    def test_for_data(self):
+        codec = FixedPointCodec.for_data(8, [1.0, 5.0], [3.0, 9.0])
+        assert codec.lo == 1.0
+        assert codec.hi == 9.0
+
+    def test_for_data_constant_column(self):
+        codec = FixedPointCodec.for_data(8, [2.0, 2.0])
+        assert codec.hi > codec.lo
+
+    @given(
+        st.floats(min_value=-100.0, max_value=100.0),
+        st.floats(min_value=-100.0, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_order_preserved(self, a, b):
+        codec = FixedPointCodec(precision=10, lo=-100.0, hi=100.0)
+        ca, cb = codec.encode(a), codec.encode(b)
+        if a < b:
+            assert ca <= cb
+        elif a > b:
+            assert ca >= cb
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_within_quantum(self, code):
+        codec = FixedPointCodec(precision=8, lo=0.0, hi=255.0)
+        value = codec.decode(code)
+        assert codec.encode(value) == code

@@ -1,0 +1,113 @@
+"""Tests for the Halevi-Shoup diagonal matrix-vector product."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CompileError
+from repro.core.matmul import (
+    encode_diagonals,
+    encrypt_diagonals,
+    halevi_shoup_matvec,
+)
+from repro.core.structures import DiagonalMatrix
+from repro.fhe.context import FheContext
+from repro.fhe.tracker import OpKind
+
+
+def _secure_matvec(dense, v, plain_matrix, seed_ctx=None):
+    ctx = seed_ctx or FheContext()
+    keys = ctx.keygen()
+    dm = DiagonalMatrix.from_dense(np.asarray(dense, dtype=np.uint8))
+    if plain_matrix:
+        diagonals = encode_diagonals(ctx, dm.diagonals)
+    else:
+        diagonals = encrypt_diagonals(ctx, dm.diagonals, keys.public)
+    vec = ctx.encrypt(np.asarray(v, dtype=np.uint8), keys.public)
+    result = halevi_shoup_matvec(ctx, diagonals, dm.rows, dm.cols, vec)
+    return ctx.decrypt_bits(result, keys.secret), ctx
+
+
+@pytest.mark.parametrize("plain_matrix", [True, False])
+class TestCorrectness:
+    def test_square(self, plain_matrix):
+        dense = [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        out, _ = _secure_matvec(dense, [1, 0, 1], plain_matrix)
+        assert out == [1, 1, 0]
+
+    def test_wide_matrix_truncates(self, plain_matrix):
+        dense = [[1, 0, 0, 0, 1], [0, 1, 0, 1, 0]]
+        v = [1, 1, 0, 0, 1]
+        expected = (np.array(dense) @ np.array(v)) % 2
+        out, _ = _secure_matvec(dense, v, plain_matrix)
+        assert out == expected.tolist()
+
+    def test_tall_matrix_extends(self, plain_matrix):
+        dense = [[1, 0], [0, 1], [1, 1], [0, 0], [1, 0]]
+        v = [1, 1]
+        expected = (np.array(dense) @ np.array(v)) % 2
+        out, _ = _secure_matvec(dense, v, plain_matrix)
+        assert out == expected.tolist()
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy_gf2(self, plain_matrix, m, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.integers(0, 2, (m, n)).astype(np.uint8)
+        v = rng.integers(0, 2, n).astype(np.uint8)
+        expected = (dense.astype(int) @ v) % 2
+        out, _ = _secure_matvec(dense, v, plain_matrix)
+        assert out == expected.tolist()
+
+
+class TestCosts:
+    def test_multiplicative_depth_is_one(self):
+        dense = np.eye(6, dtype=np.uint8)
+        v = [1, 0, 1, 0, 1, 0]
+        out, ctx = _secure_matvec(dense, v, plain_matrix=False)
+        assert ctx.tracker.multiplicative_depth() == 1
+
+    def test_rotation_count(self):
+        """n diagonals need n - 1 rotations (zero rotation elided)."""
+        ctx = FheContext()
+        dense = np.ones((4, 6), dtype=np.uint8)
+        _, ctx = _secure_matvec(dense, [1] * 6, plain_matrix=True, seed_ctx=ctx)
+        assert ctx.tracker.count(OpKind.ROTATE) == 5
+
+    def test_tall_matrix_pays_extensions(self):
+        ctx = FheContext()
+        dense = np.ones((7, 3), dtype=np.uint8)
+        _, ctx = _secure_matvec(dense, [1, 0, 1], plain_matrix=True, seed_ctx=ctx)
+        # 2 rotations (i=1,2) + 3 cyclic extensions recorded as rotations.
+        assert ctx.tracker.count(OpKind.ROTATE) == 5
+
+    def test_plain_matrix_uses_const_mults(self):
+        ctx = FheContext()
+        dense = np.eye(4, dtype=np.uint8)
+        _, ctx = _secure_matvec(dense, [1, 1, 0, 0], plain_matrix=True, seed_ctx=ctx)
+        assert ctx.tracker.count(OpKind.CONST_MULT) == 4
+        assert ctx.tracker.count(OpKind.MULTIPLY) == 0
+
+
+class TestValidation:
+    def test_wrong_diagonal_count(self, ctx, keys):
+        vec = ctx.encrypt([1, 0], keys.public)
+        diagonals = [ctx.encode([1, 1])]
+        with pytest.raises(CompileError, match="diagonals"):
+            halevi_shoup_matvec(ctx, diagonals, rows=2, cols=2, vector=vec)
+
+    def test_wrong_vector_length(self, ctx, keys):
+        vec = ctx.encrypt([1, 0, 1], keys.public)
+        diagonals = [ctx.encode([1, 1]), ctx.encode([1, 1])]
+        with pytest.raises(CompileError, match="columns"):
+            halevi_shoup_matvec(ctx, diagonals, rows=2, cols=2, vector=vec)
+
+    def test_wrong_diagonal_length(self, ctx, keys):
+        vec = ctx.encrypt([1, 0], keys.public)
+        diagonals = [ctx.encode([1, 1, 1]), ctx.encode([1, 1])]
+        with pytest.raises(CompileError, match="length"):
+            halevi_shoup_matvec(ctx, diagonals, rows=2, cols=2, vector=vec)

@@ -1,0 +1,217 @@
+"""Tests for the SecComp comparison circuit (both variants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CompileError
+from repro.core.seccomp import (
+    VARIANT_ALOUFI,
+    VARIANT_OPTIMIZED,
+    seccomp_add_count,
+    seccomp_const_add_count,
+    seccomp_depth,
+    seccomp_multiply_count,
+    secure_compare,
+)
+from repro.fhe.context import FheContext
+from repro.fhe.simd import to_bitplanes
+from repro.fhe.tracker import OpKind
+
+
+def _compare(ctx, keys, xs, ys, precision, variant, plain_y=False):
+    x_planes_arr = to_bitplanes(xs, precision)
+    y_planes_arr = to_bitplanes(ys, precision)
+    x_planes = [
+        ctx.encrypt(x_planes_arr[i], keys.public) for i in range(precision)
+    ]
+    if plain_y:
+        y_planes = [ctx.encode(y_planes_arr[i]) for i in range(precision)]
+    else:
+        y_planes = [
+            ctx.encrypt(y_planes_arr[i], keys.public) for i in range(precision)
+        ]
+    not_one = None
+    if variant == VARIANT_ALOUFI:
+        not_one = ctx.encrypt([1] * len(xs), keys.public)
+    result = secure_compare(ctx, x_planes, y_planes, variant, not_one)
+    return ctx.decrypt_bits(result, keys.secret)
+
+
+@pytest.mark.parametrize("variant", [VARIANT_ALOUFI, VARIANT_OPTIMIZED])
+class TestCorrectness:
+    def test_basic_cases(self, ctx, keys, variant):
+        xs = [0, 5, 5, 255, 100]
+        ys = [1, 5, 6, 0, 200]
+        expected = [1 if x < y else 0 for x, y in zip(xs, ys)]
+        assert _compare(ctx, keys, xs, ys, 8, variant) == expected
+
+    def test_plain_thresholds(self, ctx, keys, variant):
+        xs = [3, 200, 17]
+        ys = [4, 100, 17]
+        expected = [1, 0, 0]
+        assert _compare(ctx, keys, xs, ys, 8, variant, plain_y=True) == expected
+
+    def test_single_bit_precision(self, ctx, keys, variant):
+        xs = [0, 0, 1, 1]
+        ys = [0, 1, 0, 1]
+        assert _compare(ctx, keys, xs, ys, 1, variant) == [0, 1, 0, 0]
+
+    def test_sixteen_bit_precision(self, ctx, keys, variant):
+        xs = [0, 40000, 65535, 1]
+        ys = [65535, 39999, 65535, 2]
+        assert _compare(ctx, keys, xs, ys, 16, variant) == [1, 0, 0, 1]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_numeric_comparison(self, variant, pairs):
+        ctx = FheContext()
+        keys = ctx.keygen()
+        xs = [a for a, _ in pairs]
+        ys = [b for _, b in pairs]
+        expected = [1 if x < y else 0 for x, y in zip(xs, ys)]
+        assert _compare(ctx, keys, xs, ys, 8, variant) == expected
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_odd_precisions(self, variant, precision, seed):
+        rng = np.random.default_rng(seed)
+        limit = 1 << precision
+        xs = [int(v) for v in rng.integers(0, limit, 6)]
+        ys = [int(v) for v in rng.integers(0, limit, 6)]
+        ctx = FheContext()
+        keys = ctx.keygen()
+        expected = [1 if x < y else 0 for x, y in zip(xs, ys)]
+        assert _compare(ctx, keys, xs, ys, precision, variant) == expected
+
+
+class TestOperationCounts:
+    @pytest.mark.parametrize("variant", [VARIANT_ALOUFI, VARIANT_OPTIMIZED])
+    @pytest.mark.parametrize("precision", [1, 2, 4, 8, 16])
+    def test_measured_counts_match_formulas(self, variant, precision):
+        ctx = FheContext()
+        keys = ctx.keygen()
+        xs = [0] * 4
+        ys = [1] * 4
+        x_planes = [
+            ctx.encrypt(row, keys.public)
+            for row in to_bitplanes(xs, precision)
+        ]
+        y_planes = [
+            ctx.encrypt(row, keys.public)
+            for row in to_bitplanes(ys, precision)
+        ]
+        not_one = (
+            ctx.encrypt([1] * 4, keys.public)
+            if variant == VARIANT_ALOUFI
+            else None
+        )
+        before = {
+            kind: ctx.tracker.count(kind)
+            for kind in (OpKind.ADD, OpKind.CONST_ADD, OpKind.MULTIPLY)
+        }
+        secure_compare(ctx, x_planes, y_planes, variant, not_one)
+        measured = {
+            kind: ctx.tracker.count(kind) - before[kind]
+            for kind in before
+        }
+        assert measured[OpKind.ADD] == seccomp_add_count(precision, variant)
+        assert measured[OpKind.CONST_ADD] == seccomp_const_add_count(
+            precision, variant
+        )
+        assert measured[OpKind.MULTIPLY] == seccomp_multiply_count(
+            precision, variant
+        )
+
+    def test_paper_table1a_counts(self):
+        """The Aloufi variant reproduces Table 1a exactly (p a power of 2)."""
+        import math
+
+        for p in (2, 4, 8, 16, 32):
+            log_p = int(math.log2(p))
+            assert seccomp_add_count(p, VARIANT_ALOUFI) == 4 * p - 2
+            assert seccomp_const_add_count(p, VARIANT_ALOUFI) == p
+            assert (
+                seccomp_multiply_count(p, VARIANT_ALOUFI)
+                == p * log_p + 3 * p - 2
+            )
+            assert seccomp_depth(p, VARIANT_ALOUFI) == 2 * log_p + 1
+
+    def test_optimized_is_cheaper(self):
+        for p in (2, 4, 8, 16):
+            assert seccomp_multiply_count(p, VARIANT_OPTIMIZED) < (
+                seccomp_multiply_count(p, VARIANT_ALOUFI)
+            )
+            assert seccomp_depth(p, VARIANT_OPTIMIZED) < seccomp_depth(
+                p, VARIANT_ALOUFI
+            )
+
+    @pytest.mark.parametrize("variant", [VARIANT_ALOUFI, VARIANT_OPTIMIZED])
+    @pytest.mark.parametrize("precision", [2, 4, 8, 16])
+    def test_measured_depth_matches_formula(self, variant, precision):
+        ctx = FheContext()
+        keys = ctx.keygen()
+        x_planes = [
+            ctx.encrypt(row, keys.public)
+            for row in to_bitplanes([1, 3], precision)
+        ]
+        y_planes = [
+            ctx.encrypt(row, keys.public)
+            for row in to_bitplanes([2, 2], precision)
+        ]
+        not_one = (
+            ctx.encrypt([1, 1], keys.public)
+            if variant == VARIANT_ALOUFI
+            else None
+        )
+        result = secure_compare(ctx, x_planes, y_planes, variant, not_one)
+        assert result.noise.level == seccomp_depth(precision, variant)
+
+
+class TestValidation:
+    def test_mismatched_precision_rejected(self, ctx, keys):
+        x = [ctx.encrypt([1, 0], keys.public)]
+        y = [ctx.encrypt([1, 0], keys.public)] * 2
+        with pytest.raises(CompileError):
+            secure_compare(ctx, x, y, VARIANT_OPTIMIZED)
+
+    def test_mismatched_width_rejected(self, ctx, keys):
+        x = [ctx.encrypt([1, 0], keys.public)]
+        y = [ctx.encrypt([1, 0, 1], keys.public)]
+        with pytest.raises(CompileError):
+            secure_compare(ctx, x, y, VARIANT_OPTIMIZED)
+
+    def test_aloufi_requires_not_one(self, ctx, keys):
+        x = [ctx.encrypt([1], keys.public)]
+        y = [ctx.encrypt([0], keys.public)]
+        with pytest.raises(CompileError, match="not_one"):
+            secure_compare(ctx, x, y, VARIANT_ALOUFI)
+
+    def test_not_one_width_checked(self, ctx, keys):
+        x = [ctx.encrypt([1, 0], keys.public)]
+        y = [ctx.encrypt([0, 1], keys.public)]
+        bad = ctx.encrypt([1], keys.public)
+        with pytest.raises(CompileError, match="width"):
+            secure_compare(ctx, x, y, VARIANT_ALOUFI, bad)
+
+    def test_unknown_variant_rejected(self, ctx, keys):
+        x = [ctx.encrypt([1], keys.public)]
+        y = [ctx.encrypt([0], keys.public)]
+        with pytest.raises(CompileError, match="variant"):
+            secure_compare(ctx, x, y, "quantum")
+
+    def test_empty_planes_rejected(self, ctx):
+        with pytest.raises(CompileError):
+            secure_compare(ctx, [], [], VARIANT_OPTIMIZED)

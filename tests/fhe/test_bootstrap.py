@@ -1,0 +1,145 @@
+"""Tests for bootstrapping (Section 2.2.1) and its COPSE integration."""
+
+import pytest
+
+from repro.errors import CompileError, NoiseBudgetExceededError
+from repro.core.compiler import CopseCompiler
+from repro.core.runtime import secure_inference
+from repro.fhe.context import FheContext
+from repro.fhe.costmodel import CostModel
+from repro.fhe.params import EncryptionParams
+from repro.fhe.tracker import OpKind
+
+from tests.conftest import build_example_tree
+
+
+class TestBootstrapPrimitive:
+    def test_resets_noise(self, ctx, keys):
+        a = ctx.encrypt([1, 0, 1], keys.public)
+        b = ctx.encrypt([1, 1, 1], keys.public)
+        for _ in range(5):
+            a = ctx.multiply(a, b)
+        assert a.noise.level == 5
+        refreshed = ctx.bootstrap(a)
+        assert refreshed.noise.level == 0
+        assert ctx.decrypt_bits(refreshed, keys.secret) == [1, 0, 1]
+
+    def test_enables_unbounded_depth(self, keys):
+        """A multiply chain far past the chain capacity succeeds when
+        bootstrapping at the capacity boundary."""
+        params = EncryptionParams(bits=200)  # capacity 5
+        ctx = FheContext(params)
+        pair = ctx.keygen()
+        a = ctx.encrypt([1, 1], pair.public)
+        b = ctx.encrypt([1, 0], pair.public)
+        for _ in range(4 * params.depth_capacity):
+            if ctx.depth_headroom(a) < 1:
+                a = ctx.bootstrap(a)
+            a = ctx.multiply(a, b)
+        assert ctx.decrypt_bits(a, pair.secret) == [1, 0]
+
+    def test_without_bootstrap_same_chain_fails(self):
+        params = EncryptionParams(bits=200)
+        ctx = FheContext(params)
+        pair = ctx.keygen()
+        a = ctx.encrypt([1, 1], pair.public)
+        b = ctx.encrypt([1, 0], pair.public)
+        with pytest.raises(NoiseBudgetExceededError):
+            for _ in range(4 * params.depth_capacity):
+                a = ctx.multiply(a, b)
+
+    def test_cannot_bootstrap_dead_ciphertext(self, ctx, keys):
+        from repro.fhe.noise import NoiseState
+        from repro.fhe.ciphertext import Ciphertext
+        import numpy as np
+
+        dead = Ciphertext(
+            slots=np.array([1], dtype=np.uint8),
+            length=1,
+            key_id=keys.public.key_id,
+            noise=NoiseState(level=ctx.noise_model.capacity + 1),
+            node_id=ctx.tracker.record(OpKind.ENCRYPT),
+        )
+        with pytest.raises(NoiseBudgetExceededError):
+            ctx.bootstrap(dead)
+
+    def test_cost_is_two_orders_above_multiply(self):
+        model = CostModel(EncryptionParams.paper_defaults())
+        assert model.cost_of(OpKind.BOOTSTRAP) >= (
+            50 * model.cost_of(OpKind.MULTIPLY)
+        )
+
+    def test_depth_headroom(self, ctx, keys):
+        a = ctx.encrypt([1], keys.public)
+        assert ctx.depth_headroom(a) == ctx.noise_model.capacity
+        b = ctx.multiply(a, a)
+        assert ctx.depth_headroom(b) == ctx.noise_model.capacity - 1
+
+
+class TestAutoBootstrapInference:
+    @pytest.fixture
+    def deep_compiled(self, example_forest):
+        # prec16's circuit needs depth 14; bits=300 caps at 9.
+        return CopseCompiler(precision=16).compile(example_forest)
+
+    def test_short_chain_rejected_without_bootstrap(self, deep_compiled):
+        short = EncryptionParams(bits=300)
+        with pytest.raises(CompileError, match="depth"):
+            secure_inference(deep_compiled, [10, 10], params=short)
+
+    def test_short_chain_works_with_bootstrap(
+        self, deep_compiled, example_forest
+    ):
+        short = EncryptionParams(bits=300)
+        outcome = secure_inference(
+            deep_compiled, [10, 10], params=short, auto_bootstrap=True
+        )
+        assert outcome.result.bitvector == example_forest.label_bitvector(
+            [10, 10]
+        )
+        assert outcome.tracker.count(OpKind.BOOTSTRAP) == 1
+        assert "bootstrap" in outcome.tracker.phases
+
+    def test_no_bootstrap_when_headroom_sufficient(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        outcome = secure_inference(
+            compiled, [10, 10], auto_bootstrap=True
+        )
+        # Paper parameters have plenty of headroom: no bootstrap fires.
+        assert outcome.tracker.count(OpKind.BOOTSTRAP) == 0
+
+    def test_bootstrap_correct_on_many_inputs(self, deep_compiled, example_forest):
+        import numpy as np
+
+        short = EncryptionParams(bits=300)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            feats = [int(v) for v in rng.integers(0, 65536, 2)]
+            # Features beyond 8 bits are legal at precision 16; the
+            # oracle uses the same integer comparisons.
+            outcome = secure_inference(
+                deep_compiled, feats, params=short, auto_bootstrap=True
+            )
+            assert outcome.result.bitvector == (
+                example_forest.label_bitvector(feats)
+            )
+
+    def test_bootstrapping_not_worth_it_here(self, deep_compiled):
+        """The paper's implicit finding: a longer chain beats
+        bootstrapping.  bits=400 without bootstrapping is cheaper than
+        bits=300 with it, despite the smaller ciphertexts."""
+        short = EncryptionParams(bits=300)
+        long = EncryptionParams(bits=400)
+        with_bootstrap = secure_inference(
+            deep_compiled, [10, 10], params=short, auto_bootstrap=True
+        )
+        without = secure_inference(deep_compiled, [10, 10], params=long)
+
+        phases = ("comparison", "bootstrap", "reshuffle", "levels", "accumulate")
+        cost_short = CostModel(short).sequential_ms(
+            with_bootstrap.tracker, phases=phases
+        )
+        cost_long = CostModel(long).sequential_ms(
+            without.tracker, phases=phases
+        )
+        assert cost_long < cost_short

@@ -1,0 +1,197 @@
+"""Tests for the FHE context: primitive ops, keys, combinators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DomainError,
+    KeyMismatchError,
+    SlotCapacityError,
+)
+from repro.fhe.ciphertext import Ciphertext, PlainVector
+from repro.fhe.context import FheContext
+from repro.fhe.params import EncryptionParams
+from repro.fhe.tracker import OpKind
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, ctx, keys):
+        bits = [1, 0, 1, 1, 0]
+        ct = ctx.encrypt(bits, keys.public)
+        assert ctx.decrypt_bits(ct, keys.secret) == bits
+
+    def test_wrong_key_rejected(self, ctx, keys):
+        other = ctx.keygen()
+        ct = ctx.encrypt([1, 0], keys.public)
+        with pytest.raises(KeyMismatchError):
+            ctx.decrypt(ct, other.secret)
+
+    def test_non_bit_plaintext_rejected(self, ctx, keys):
+        with pytest.raises(DomainError):
+            ctx.encrypt([0, 2, 1], keys.public)
+
+    def test_oversized_vector_rejected(self, ctx, keys):
+        too_wide = [0] * (ctx.params.slot_count + 1)
+        with pytest.raises(SlotCapacityError):
+            ctx.encrypt(too_wide, keys.public)
+
+    def test_ciphertext_repr_redacts_payload(self, ctx, keys):
+        ct = ctx.encrypt([1, 1, 1], keys.public)
+        assert "encrypted" in repr(ct)
+        assert "1, 1, 1" not in repr(ct)
+
+    def test_encrypt_plain_helper(self, ctx, keys):
+        plain = ctx.encode([0, 1, 0])
+        ct = ctx.encrypt_plain(plain, keys.public)
+        assert ctx.decrypt_bits(ct, keys.secret) == [0, 1, 0]
+
+
+class TestHomomorphicOps:
+    def test_add_is_xor(self, ctx, keys):
+        a = ctx.encrypt([1, 0, 1, 0], keys.public)
+        b = ctx.encrypt([1, 1, 0, 0], keys.public)
+        assert ctx.decrypt_bits(ctx.add(a, b), keys.secret) == [0, 1, 1, 0]
+
+    def test_multiply_is_and(self, ctx, keys):
+        a = ctx.encrypt([1, 0, 1, 0], keys.public)
+        b = ctx.encrypt([1, 1, 0, 0], keys.public)
+        assert ctx.decrypt_bits(ctx.multiply(a, b), keys.secret) == [1, 0, 0, 0]
+
+    def test_const_ops(self, ctx, keys):
+        a = ctx.encrypt([1, 0, 1], keys.public)
+        plain = ctx.encode([1, 1, 0])
+        assert ctx.decrypt_bits(ctx.const_add(a, plain), keys.secret) == [0, 1, 1]
+        assert ctx.decrypt_bits(ctx.const_mult(a, plain), keys.secret) == [1, 0, 0]
+
+    def test_rotate_is_cyclic_left(self, ctx, keys):
+        ct = ctx.encrypt([1, 0, 0, 0], keys.public)
+        assert ctx.decrypt_bits(ctx.rotate(ct, 1), keys.secret) == [0, 0, 0, 1]
+        assert ctx.decrypt_bits(ctx.rotate(ct, 3), keys.secret) == [0, 1, 0, 0]
+
+    def test_rotate_zero_is_identity_and_free(self, ctx, keys):
+        ct = ctx.encrypt([1, 0], keys.public)
+        before = ctx.tracker.count(OpKind.ROTATE)
+        assert ctx.rotate(ct, 0) is ct
+        assert ctx.tracker.count(OpKind.ROTATE) == before
+
+    def test_cross_key_ops_rejected(self, ctx, keys):
+        other = ctx.keygen()
+        a = ctx.encrypt([1, 0], keys.public)
+        b = ctx.encrypt([1, 0], other.public)
+        with pytest.raises(KeyMismatchError):
+            ctx.add(a, b)
+        with pytest.raises(KeyMismatchError):
+            ctx.multiply(a, b)
+
+    def test_length_mismatch_rejected(self, ctx, keys):
+        a = ctx.encrypt([1, 0], keys.public)
+        b = ctx.encrypt([1, 0, 1], keys.public)
+        with pytest.raises(SlotCapacityError):
+            ctx.add(a, b)
+
+    def test_multiply_tracks_depth(self, ctx, keys):
+        a = ctx.encrypt([1], keys.public)
+        b = ctx.encrypt([1], keys.public)
+        product = ctx.multiply(a, b)
+        assert product.noise.level == 1
+        deeper = ctx.multiply(product, product)
+        assert deeper.noise.level == 2
+
+
+class TestShapeHelpers:
+    def test_cyclic_extend(self, ctx, keys):
+        ct = ctx.encrypt([1, 0, 1], keys.public)
+        extended = ctx.cyclic_extend(ct, 7)
+        assert ctx.decrypt_bits(extended, keys.secret) == [1, 0, 1, 1, 0, 1, 1]
+
+    def test_cyclic_extend_same_length_is_free(self, ctx, keys):
+        ct = ctx.encrypt([1, 0], keys.public)
+        before = ctx.tracker.count(OpKind.ROTATE)
+        assert ctx.cyclic_extend(ct, 2) is ct
+        assert ctx.tracker.count(OpKind.ROTATE) == before
+
+    def test_cyclic_extend_shrinking_rejected(self, ctx, keys):
+        ct = ctx.encrypt([1, 0, 1], keys.public)
+        with pytest.raises(SlotCapacityError):
+            ctx.cyclic_extend(ct, 2)
+
+    def test_truncate(self, ctx, keys):
+        ct = ctx.encrypt([1, 0, 1, 1], keys.public)
+        assert ctx.decrypt_bits(ctx.truncate(ct, 2), keys.secret) == [1, 0]
+
+    def test_truncate_growing_rejected(self, ctx, keys):
+        ct = ctx.encrypt([1, 0], keys.public)
+        with pytest.raises(SlotCapacityError):
+            ctx.truncate(ct, 3)
+
+
+class TestMixedDispatch:
+    def test_xor_any_all_combinations(self, ctx, keys):
+        ct = ctx.encrypt([1, 0], keys.public)
+        pt = ctx.encode([1, 1])
+        assert ctx.decrypt_bits(ctx.xor_any(ct, ct), keys.secret) == [0, 0]
+        assert ctx.decrypt_bits(ctx.xor_any(ct, pt), keys.secret) == [0, 1]
+        assert ctx.decrypt_bits(ctx.xor_any(pt, ct), keys.secret) == [0, 1]
+        plain = ctx.xor_any(pt, pt)
+        assert isinstance(plain, PlainVector)
+        assert plain.bits() == [0, 0]
+
+    def test_and_any_all_combinations(self, ctx, keys):
+        ct = ctx.encrypt([1, 0], keys.public)
+        pt = ctx.encode([1, 1])
+        assert ctx.decrypt_bits(ctx.and_any(ct, pt), keys.secret) == [1, 0]
+        assert ctx.decrypt_bits(ctx.and_any(pt, ct), keys.secret) == [1, 0]
+        plain = ctx.and_any(pt, pt)
+        assert isinstance(plain, PlainVector)
+        assert plain.bits() == [1, 1]
+
+    def test_rotate_any_plain_is_free(self, ctx):
+        pt = ctx.encode([1, 0, 0])
+        before = ctx.tracker.count(OpKind.ROTATE)
+        rotated = ctx.rotate_any(pt, 1)
+        assert rotated.bits() == [0, 0, 1]
+        assert ctx.tracker.count(OpKind.ROTATE) == before
+
+
+class TestCombinators:
+    def test_multiply_all_matches_reduce(self, ctx, keys):
+        rng = np.random.default_rng(3)
+        vectors = [
+            ctx.encrypt(rng.integers(0, 2, 6), keys.public) for _ in range(5)
+        ]
+        result = ctx.multiply_all(vectors)
+        expected = np.ones(6, dtype=np.uint8)
+        for v in vectors:
+            expected &= np.array(ctx.decrypt(v, keys.secret))
+        assert ctx.decrypt_bits(result, keys.secret) == list(expected)
+
+    def test_multiply_all_depth_is_logarithmic(self, ctx, keys):
+        vectors = [ctx.encrypt([1, 1], keys.public) for _ in range(8)]
+        result = ctx.multiply_all(vectors)
+        assert result.noise.level == 3  # log2(8)
+
+    def test_multiply_all_single(self, ctx, keys):
+        ct = ctx.encrypt([1, 0], keys.public)
+        assert ctx.multiply_all([ct]) is ct
+
+    def test_multiply_all_empty_rejected(self, ctx):
+        with pytest.raises(DomainError):
+            ctx.multiply_all([])
+
+    def test_xor_all(self, ctx, keys):
+        vectors = [
+            ctx.encrypt([1, 0, 0], keys.public),
+            ctx.encrypt([1, 1, 0], keys.public),
+            ctx.encrypt([0, 1, 1], keys.public),
+        ]
+        assert ctx.decrypt_bits(ctx.xor_all(vectors), keys.secret) == [0, 0, 1]
+
+    def test_negate(self, ctx, keys):
+        ct = ctx.encrypt([1, 0, 1], keys.public)
+        assert ctx.decrypt_bits(ctx.negate(ct), keys.secret) == [0, 1, 0]
+        pt = ctx.encode([0, 1])
+        assert ctx.negate(pt).bits() == [1, 0]
+
+    def test_ones_zeros(self, ctx):
+        assert ctx.ones(3).bits() == [1, 1, 1]
+        assert ctx.zeros(2).bits() == [0, 0]

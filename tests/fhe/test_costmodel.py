@@ -1,0 +1,92 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.fhe.costmodel import CostModel, DEFAULT_OP_COSTS_MS
+from repro.fhe.params import EncryptionParams
+from repro.fhe.tracker import OpKind, OpTracker
+
+
+@pytest.fixture
+def model():
+    return CostModel(EncryptionParams.paper_defaults())
+
+
+def _toy_tracker():
+    tracker = OpTracker()
+    with tracker.phase("setup"):
+        a = tracker.record(OpKind.ENCRYPT)
+        b = tracker.record(OpKind.ENCRYPT)
+    with tracker.phase("work"):
+        m = tracker.record(OpKind.MULTIPLY, parents=(a, b))
+        tracker.record(OpKind.MULTIPLY, parents=(a, b))
+        tracker.record(OpKind.ADD, parents=(m,))
+    return tracker
+
+
+class TestCosts:
+    def test_reference_costs_unscaled(self, model):
+        for kind, base in DEFAULT_OP_COSTS_MS.items():
+            assert model.cost_of(kind) == pytest.approx(base)
+
+    def test_costs_scale_with_params(self):
+        big = CostModel(EncryptionParams(bits=600, columns=4))
+        small = CostModel(EncryptionParams.paper_defaults())
+        assert big.cost_of(OpKind.MULTIPLY) > small.cost_of(OpKind.MULTIPLY)
+
+    def test_multiply_dominates(self, model):
+        assert model.cost_of(OpKind.MULTIPLY) > model.cost_of(OpKind.ROTATE)
+        assert model.cost_of(OpKind.ROTATE) > model.cost_of(OpKind.ADD)
+        assert model.cost_of(OpKind.CONST_MULT) < model.cost_of(OpKind.MULTIPLY)
+
+
+class TestEstimates:
+    def test_sequential_is_total_work(self, model):
+        tracker = _toy_tracker()
+        expected = (
+            2 * model.cost_of(OpKind.ENCRYPT)
+            + 2 * model.cost_of(OpKind.MULTIPLY)
+            + model.cost_of(OpKind.ADD)
+        )
+        assert model.sequential_ms(tracker) == pytest.approx(expected)
+
+    def test_phase_filtered_sequential(self, model):
+        tracker = _toy_tracker()
+        work_only = model.sequential_ms(tracker, phases=("work",))
+        expected = 2 * model.cost_of(OpKind.MULTIPLY) + model.cost_of(OpKind.ADD)
+        assert work_only == pytest.approx(expected)
+
+    def test_phase_sequential_single(self, model):
+        tracker = _toy_tracker()
+        assert model.phase_sequential_ms(tracker, "setup") == pytest.approx(
+            2 * model.cost_of(OpKind.ENCRYPT)
+        )
+
+    def test_multithreaded_never_beats_span(self, model):
+        tracker = _toy_tracker()
+        est = model.estimate(tracker, threads=1000)
+        assert est.multithreaded_ms >= est.span_ms
+
+    def test_multithreaded_faster_for_wide_dag(self, model):
+        tracker = OpTracker()
+        a = tracker.record(OpKind.ENCRYPT)
+        for _ in range(500):
+            tracker.record(OpKind.MULTIPLY, parents=(a,))
+        est = model.estimate(tracker, threads=32)
+        assert est.multithreaded_ms < est.sequential_ms
+        assert est.parallel_speedup > 2
+
+    def test_single_thread_cap(self, model):
+        tracker = _toy_tracker()
+        est = model.estimate(tracker, threads=1)
+        # A 1-thread "pool" degenerates to sequential plus barrier cost.
+        assert est.multithreaded_ms >= est.sequential_ms
+
+    def test_estimate_fields_consistent(self, model):
+        tracker = _toy_tracker()
+        est = model.estimate(tracker, threads=8)
+        assert est.work_ms == pytest.approx(model.sequential_ms(tracker))
+        assert est.barriers == tracker.dag_level_count()
+        assert est.parallel_speedup == pytest.approx(
+            est.sequential_ms / est.multithreaded_ms
+        )

@@ -1,0 +1,87 @@
+"""Tests for the BGV-style noise model."""
+
+import pytest
+
+from repro.errors import NoiseBudgetExceededError
+from repro.fhe.noise import NoiseModel, NoiseState
+from repro.fhe.params import EncryptionParams
+
+
+@pytest.fixture
+def model():
+    return NoiseModel(EncryptionParams.paper_defaults())
+
+
+class TestStateCombinators:
+    def test_fresh_state_is_clean(self, model):
+        state = model.fresh()
+        assert state.level == 0
+        assert state.effective_depth == 0
+
+    def test_multiply_consumes_a_level(self, model):
+        a = model.fresh()
+        b = model.fresh()
+        assert model.after_multiply(a, b).level == 1
+
+    def test_multiply_takes_deeper_operand(self, model):
+        deep = NoiseState(level=3)
+        shallow = NoiseState(level=1)
+        assert model.after_multiply(deep, shallow).level == 4
+
+    def test_add_preserves_level(self, model):
+        a = NoiseState(level=2)
+        b = NoiseState(level=1)
+        out = model.after_add(a, b)
+        assert out.level == 2
+        assert out.slack > 0
+
+    def test_rotate_and_const_ops_add_slack_only(self, model):
+        state = model.fresh()
+        for combinator in (
+            model.after_rotate,
+            model.after_const_add,
+            model.after_const_mult,
+        ):
+            out = combinator(state)
+            assert out.level == 0
+            assert out.slack > 0
+
+    def test_slack_accumulates_into_effective_depth(self, model):
+        state = model.fresh()
+        # Rotations add 0.01 slack each; 100 of them consume one level.
+        for _ in range(100):
+            state = model.after_rotate(state)
+        assert state.effective_depth == 1
+
+
+class TestBudgetEnforcement:
+    def test_capacity_matches_params(self, model):
+        assert model.capacity == EncryptionParams.paper_defaults().depth_capacity
+
+    def test_multiplying_past_capacity_raises(self, model):
+        state = model.fresh()
+        other = model.fresh()
+        for _ in range(model.capacity):
+            state = model.after_multiply(state, other)
+        with pytest.raises(NoiseBudgetExceededError):
+            model.after_multiply(state, other)
+
+    def test_check_decryptable_at_capacity(self, model):
+        ok = NoiseState(level=model.capacity)
+        model.check_decryptable(ok)  # no raise
+        bad = NoiseState(level=model.capacity + 1)
+        with pytest.raises(NoiseBudgetExceededError):
+            model.check_decryptable(bad)
+
+    def test_small_params_fail_fast(self):
+        tiny = NoiseModel(EncryptionParams(bits=100))
+        state = tiny.fresh()
+        other = tiny.fresh()
+        with pytest.raises(NoiseBudgetExceededError):
+            for _ in range(tiny.capacity + 1):
+                state = tiny.after_multiply(state, other)
+
+    def test_error_message_is_actionable(self, model):
+        state = NoiseState(level=model.capacity)
+        with pytest.raises(NoiseBudgetExceededError, match="increase `bits`"):
+            model.after_multiply(state, model.fresh())

@@ -1,0 +1,115 @@
+"""Property-based tests for noise accounting and circuit invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NoiseBudgetExceededError
+from repro.fhe.context import FheContext
+from repro.fhe.noise import NoiseModel, NoiseState
+from repro.fhe.params import EncryptionParams
+
+
+@st.composite
+def op_sequences(draw):
+    """Random sequences of homomorphic operation kinds."""
+    return draw(
+        st.lists(
+            st.sampled_from(["add", "const_add", "const_mult", "rotate", "mult"]),
+            min_size=0,
+            max_size=40,
+        )
+    )
+
+
+class TestNoiseProperties:
+    @given(op_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_effective_depth_monotone(self, ops):
+        """No operation ever *reduces* the effective depth."""
+        model = NoiseModel(EncryptionParams(bits=600))  # generous budget
+        state = model.fresh()
+        other = model.fresh()
+        previous = state.effective_depth
+        try:
+            for op in ops:
+                if op == "add":
+                    state = model.after_add(state, other)
+                elif op == "const_add":
+                    state = model.after_const_add(state)
+                elif op == "const_mult":
+                    state = model.after_const_mult(state)
+                elif op == "rotate":
+                    state = model.after_rotate(state)
+                else:
+                    state = model.after_multiply(state, other)
+                assert state.effective_depth >= previous
+                previous = state.effective_depth
+        except NoiseBudgetExceededError:
+            pass  # budget exhaustion is allowed; monotonicity held so far
+
+    @given(op_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_depth_bounded_by_mult_count(self, ops):
+        """Effective depth never exceeds the multiply count plus the
+        slack contribution of the cheap operations."""
+        model = NoiseModel(EncryptionParams(bits=600))
+        state = model.fresh()
+        other = model.fresh()
+        mults = 0
+        try:
+            for op in ops:
+                if op == "mult":
+                    state = model.after_multiply(state, other)
+                    mults += 1
+                elif op == "add":
+                    state = model.after_add(state, other)
+                elif op == "const_add":
+                    state = model.after_const_add(state)
+                elif op == "const_mult":
+                    state = model.after_const_mult(state)
+                else:
+                    state = model.after_rotate(state)
+        except NoiseBudgetExceededError:
+            return
+        # Slack from <= 40 cheap ops is < 1 level at the configured rates.
+        assert state.effective_depth <= mults + 2
+
+    @given(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiply_depth_is_max_plus_one(self, la, lb):
+        model = NoiseModel(EncryptionParams(bits=600))
+        capacity = model.capacity
+        if max(la, lb) + 1 > capacity:
+            with pytest.raises(NoiseBudgetExceededError):
+                model.after_multiply(NoiseState(level=la), NoiseState(level=lb))
+        else:
+            out = model.after_multiply(NoiseState(level=la), NoiseState(level=lb))
+            assert out.level == max(la, lb) + 1
+
+
+class TestCircuitNoiseInvariants:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_measured_level_equals_dag_depth(self, seed):
+        """The per-ciphertext noise level always equals the tracker's
+        multiplicative depth along that ciphertext's history."""
+        rng = np.random.default_rng(seed)
+        ctx = FheContext(EncryptionParams(bits=600))
+        keys = ctx.keygen()
+        pool = [ctx.encrypt(rng.integers(0, 2, 4), keys.public) for _ in range(3)]
+        for _ in range(15):
+            a = pool[rng.integers(0, len(pool))]
+            b = pool[rng.integers(0, len(pool))]
+            choice = rng.integers(0, 3)
+            if choice == 0:
+                pool.append(ctx.add(a, b))
+            elif choice == 1:
+                pool.append(ctx.multiply(a, b))
+            else:
+                pool.append(ctx.rotate(a, int(rng.integers(1, 4))))
+        deepest = max(ct.noise.level for ct in pool)
+        assert deepest == ctx.tracker.multiplicative_depth()

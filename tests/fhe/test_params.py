@@ -1,0 +1,110 @@
+"""Tests for encryption-parameter handling."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fhe.params import (
+    EncryptionParams,
+    PAPER_PARAMS,
+    REFERENCE_BITS,
+    REFERENCE_COLUMNS,
+    REFERENCE_SECURITY,
+    SLOTS_PER_COLUMN,
+    parameter_grid,
+)
+
+
+class TestValidation:
+    def test_paper_defaults(self):
+        assert PAPER_PARAMS.security == 128
+        assert PAPER_PARAMS.bits == 400
+        assert PAPER_PARAMS.columns == 3
+
+    def test_unsupported_security_rejected(self):
+        with pytest.raises(ParameterError):
+            EncryptionParams(security=100)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            EncryptionParams(bits=32)
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(ParameterError):
+            EncryptionParams(columns=0)
+
+    def test_excessive_columns_rejected(self):
+        with pytest.raises(ParameterError):
+            EncryptionParams(columns=64)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_PARAMS.bits = 100  # type: ignore[misc]
+
+
+class TestDerivedQuantities:
+    def test_slot_count_scales_with_columns(self):
+        one = EncryptionParams(columns=1)
+        three = EncryptionParams(columns=3)
+        assert three.slot_count == 3 * one.slot_count
+        assert one.slot_count == SLOTS_PER_COLUMN
+
+    def test_depth_capacity_grows_with_bits(self):
+        small = EncryptionParams(bits=200)
+        large = EncryptionParams(bits=600)
+        assert large.depth_capacity > small.depth_capacity
+
+    def test_depth_capacity_shrinks_with_security(self):
+        weak = EncryptionParams(security=80, bits=400)
+        strong = EncryptionParams(security=192, bits=400)
+        assert weak.depth_capacity > strong.depth_capacity
+
+    def test_paper_depth_capacity_fits_prec16(self):
+        # prec16's circuit needs depth 2*log2(16) + 1 + 2 + log2(5) = 14.
+        assert PAPER_PARAMS.depth_capacity >= 14
+
+    def test_size_factor_reference_is_one(self):
+        reference = EncryptionParams(
+            security=REFERENCE_SECURITY,
+            bits=REFERENCE_BITS,
+            columns=REFERENCE_COLUMNS,
+        )
+        assert reference.size_factor == pytest.approx(1.0)
+
+    def test_size_factor_monotone_in_bits(self):
+        assert (
+            EncryptionParams(bits=600).size_factor
+            > EncryptionParams(bits=400).size_factor
+        )
+
+    def test_supports_depth_and_width(self):
+        assert PAPER_PARAMS.supports_depth(PAPER_PARAMS.depth_capacity)
+        assert not PAPER_PARAMS.supports_depth(PAPER_PARAMS.depth_capacity + 1)
+        assert PAPER_PARAMS.supports_width(1)
+        assert PAPER_PARAMS.supports_width(PAPER_PARAMS.slot_count)
+        assert not PAPER_PARAMS.supports_width(PAPER_PARAMS.slot_count + 1)
+        assert not PAPER_PARAMS.supports_width(0)
+
+    def test_describe_mentions_key_values(self):
+        text = PAPER_PARAMS.describe()
+        assert "128" in text and "400" in text
+
+
+class TestGrid:
+    def test_grid_covers_paper_point(self):
+        grid = list(parameter_grid())
+        assert PAPER_PARAMS in grid
+
+    def test_grid_size(self):
+        grid = list(parameter_grid())
+        assert len(grid) == 3 * 5 * 4
+
+    def test_custom_grid(self):
+        grid = list(
+            parameter_grid(
+                security_levels=(128,),
+                bits_options=(400,),
+                columns_options=(1, 2),
+            )
+        )
+        assert len(grid) == 2
+        assert all(p.security == 128 for p in grid)

@@ -1,0 +1,88 @@
+"""Tests for bit-slicing and replication helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DomainError
+from repro.fhe.simd import from_bitplanes, replicate, to_bitplanes
+
+
+class TestBitplanes:
+    def test_msb_first_layout(self):
+        planes = to_bitplanes([5], 4)  # 0101
+        assert planes[:, 0].tolist() == [0, 1, 0, 1]
+
+    def test_roundtrip_examples(self):
+        values = [0, 1, 127, 128, 255]
+        assert from_bitplanes(to_bitplanes(values, 8)) == values
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(DomainError):
+            to_bitplanes([16], 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DomainError):
+            to_bitplanes([-1], 4)
+
+    def test_zero_precision_rejected(self):
+        with pytest.raises(DomainError):
+            to_bitplanes([0], 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            to_bitplanes([], 4)
+
+    def test_shape(self):
+        planes = to_bitplanes([1, 2, 3], 6)
+        assert planes.shape == (6, 3)
+        assert planes.dtype == np.uint8
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=40)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        assert from_bitplanes(to_bitplanes(values, 8)) == values
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=20)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property_16bit(self, values):
+        assert from_bitplanes(to_bitplanes(values, 16)) == values
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=20)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lexicographic_equals_numeric(self, values):
+        """MSB-first planes compare lexicographically as the values do."""
+        planes = to_bitplanes(values, 8)
+        a, b = values[0], values[1]
+        col_a = tuple(planes[:, 0])
+        col_b = tuple(planes[:, 1])
+        assert (col_a < col_b) == (a < b)
+
+
+class TestReplicate:
+    def test_basic(self):
+        assert replicate([1, 2], 3) == [1, 1, 1, 2, 2, 2]
+
+    def test_multiplicity_one(self):
+        assert replicate([4, 5, 6], 1) == [4, 5, 6]
+
+    def test_zero_multiplicity_rejected(self):
+        with pytest.raises(DomainError):
+            replicate([1], 0)
+
+    @given(
+        st.lists(st.integers(), max_size=10),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_length_property(self, values, k):
+        out = replicate(values, k)
+        assert len(out) == len(values) * k
+        for i, v in enumerate(values):
+            assert out[i * k : (i + 1) * k] == [v] * k

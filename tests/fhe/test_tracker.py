@@ -1,0 +1,137 @@
+"""Tests for operation tracking: counts, phases, DAG analyses."""
+
+import pytest
+
+from repro.fhe.tracker import OpKind, OpTracker, UNSCOPED_PHASE
+
+
+@pytest.fixture
+def tracker():
+    return OpTracker()
+
+
+class TestCounts:
+    def test_record_and_count(self, tracker):
+        tracker.record(OpKind.ENCRYPT)
+        tracker.record(OpKind.ADD, parents=(0,))
+        tracker.record(OpKind.ADD, parents=(0,))
+        assert tracker.count(OpKind.ENCRYPT) == 1
+        assert tracker.count(OpKind.ADD) == 2
+        assert tracker.count(OpKind.MULTIPLY) == 0
+
+    def test_phase_scoping(self, tracker):
+        tracker.record(OpKind.ENCRYPT)
+        with tracker.phase("comparison"):
+            tracker.record(OpKind.MULTIPLY, parents=(0,))
+        with tracker.phase("levels"):
+            tracker.record(OpKind.MULTIPLY, parents=(1,))
+            tracker.record(OpKind.ADD, parents=(2,))
+        assert tracker.count(OpKind.MULTIPLY, "comparison") == 1
+        assert tracker.count(OpKind.MULTIPLY, "levels") == 1
+        assert tracker.count(OpKind.ENCRYPT, UNSCOPED_PHASE) == 1
+        assert tracker.phases == [UNSCOPED_PHASE, "comparison", "levels"]
+
+    def test_nested_phases_attribute_to_innermost(self, tracker):
+        with tracker.phase("outer"):
+            tracker.record(OpKind.ADD)
+            with tracker.phase("inner"):
+                tracker.record(OpKind.MULTIPLY)
+        assert tracker.count(OpKind.ADD, "outer") == 1
+        assert tracker.count(OpKind.MULTIPLY, "inner") == 1
+        assert tracker.count(OpKind.MULTIPLY, "outer") == 0
+
+    def test_total_counts(self, tracker):
+        with tracker.phase("a"):
+            tracker.record(OpKind.ADD)
+        with tracker.phase("b"):
+            tracker.record(OpKind.ADD)
+        assert tracker.total_counts()[OpKind.ADD] == 2
+
+    def test_phase_stats_as_dict(self, tracker):
+        with tracker.phase("x"):
+            tracker.record(OpKind.MULTIPLY)
+            tracker.record(OpKind.ADD)
+        stats = tracker.phase_stats("x")
+        assert stats.as_dict() == {"add": 1, "multiply": 1}
+        assert stats.total_ops == 2
+
+    def test_reset(self, tracker):
+        tracker.record(OpKind.ENCRYPT)
+        tracker.reset()
+        assert tracker.num_nodes == 0
+        assert tracker.total_counts() == {}
+
+
+class TestDagAnalyses:
+    def test_multiplicative_depth_chain(self, tracker):
+        a = tracker.record(OpKind.ENCRYPT)
+        b = tracker.record(OpKind.ENCRYPT)
+        m1 = tracker.record(OpKind.MULTIPLY, parents=(a, b))
+        m2 = tracker.record(OpKind.MULTIPLY, parents=(m1, b))
+        tracker.record(OpKind.ADD, parents=(m2, a))
+        assert tracker.multiplicative_depth() == 2
+
+    def test_depth_ignores_parallel_multiplies(self, tracker):
+        a = tracker.record(OpKind.ENCRYPT)
+        for _ in range(10):
+            tracker.record(OpKind.MULTIPLY, parents=(a, a))
+        assert tracker.multiplicative_depth() == 1
+
+    def test_work_and_span(self, tracker):
+        cost = {OpKind.ENCRYPT: 0.0, OpKind.MULTIPLY: 1.0, OpKind.ADD: 0.5}
+        a = tracker.record(OpKind.ENCRYPT)
+        m1 = tracker.record(OpKind.MULTIPLY, parents=(a,))
+        m2 = tracker.record(OpKind.MULTIPLY, parents=(a,))
+        tracker.record(OpKind.ADD, parents=(m1, m2))
+        work, span = tracker.work_and_span(lambda k: cost[k])
+        assert work == pytest.approx(2.5)
+        # Critical path: encrypt(0) -> multiply(1) -> add(0.5).
+        assert span == pytest.approx(1.5)
+
+    def test_work_and_span_phase_filter(self, tracker):
+        cost = {OpKind.ENCRYPT: 100.0, OpKind.MULTIPLY: 1.0}
+        with tracker.phase("setup"):
+            a = tracker.record(OpKind.ENCRYPT)
+        with tracker.phase("inference"):
+            tracker.record(OpKind.MULTIPLY, parents=(a,))
+        work, span = tracker.work_and_span(
+            lambda k: cost[k], phases=("inference",)
+        )
+        assert work == pytest.approx(1.0)
+        assert span == pytest.approx(1.0)
+
+    def test_dag_level_count(self, tracker):
+        a = tracker.record(OpKind.ENCRYPT)
+        b = tracker.record(OpKind.ADD, parents=(a,))
+        tracker.record(OpKind.ADD, parents=(b,))
+        tracker.record(OpKind.ADD, parents=(a,))  # parallel with b
+        assert tracker.dag_level_count() == 3
+
+    def test_dag_level_count_empty(self, tracker):
+        assert tracker.dag_level_count() == 0
+
+    def test_dag_level_count_phase_filter(self, tracker):
+        with tracker.phase("setup"):
+            a = tracker.record(OpKind.ENCRYPT)
+        with tracker.phase("work"):
+            tracker.record(OpKind.ADD, parents=(a,))
+        assert tracker.dag_level_count(phases=("work",)) == 1
+
+
+class TestTrace:
+    def test_trace_structure(self, tracker):
+        a = tracker.record(OpKind.ENCRYPT)
+        with tracker.phase("comparison"):
+            tracker.record(OpKind.ADD, parents=(a,))
+        trace = tracker.trace()
+        assert trace == [
+            ("encrypt", UNSCOPED_PHASE, ()),
+            ("add", "comparison", (0,)),
+        ]
+
+    def test_trace_is_deterministic_copy(self, tracker):
+        tracker.record(OpKind.ENCRYPT)
+        t1 = tracker.trace()
+        t2 = tracker.trace()
+        assert t1 == t2
+        assert t1 is not t2

@@ -1,0 +1,100 @@
+"""Tests for the synthetic datasets and forest validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError, ValidationError
+from repro.forest.datasets import (
+    INCOME_FEATURE_NAMES,
+    SOCCER_FEATURE_NAMES,
+    dataset_by_name,
+    list_datasets,
+    make_income_dataset,
+    make_soccer_dataset,
+)
+from repro.forest.forest import DecisionForest
+from repro.forest.node import Branch, Leaf
+from repro.forest.train import RandomForestTrainer, accuracy
+from repro.forest.tree import DecisionTree
+from repro.forest.validate import validate_forest
+
+
+class TestIncomeDataset:
+    def test_shape(self):
+        ds = make_income_dataset(n_samples=500)
+        assert ds.features.shape == (500, 14)
+        assert ds.labels.shape == (500,)
+        assert ds.feature_names == INCOME_FEATURE_NAMES
+        assert ds.label_names == ("under_50k", "over_50k")
+
+    def test_quantized_domain(self):
+        ds = make_income_dataset(n_samples=300, precision=8)
+        assert ds.features.min() >= 0
+        assert ds.features.max() <= 255
+
+    def test_deterministic(self):
+        a = make_income_dataset(n_samples=200, seed=3)
+        b = make_income_dataset(n_samples=200, seed=3)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_both_classes_present(self):
+        ds = make_income_dataset(n_samples=500)
+        assert set(np.unique(ds.labels)) == {0, 1}
+
+    def test_learnable(self):
+        ds = make_income_dataset(n_samples=1500)
+        forest = RandomForestTrainer(n_trees=5, max_depth=8, seed=0).fit(
+            ds.features, ds.labels, ds.label_names
+        )
+        preds = [forest.classify(row) for row in ds.features[:300]]
+        majority = max(np.bincount(ds.labels[:300])) / 300
+        assert accuracy(preds, ds.labels[:300]) > majority
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TrainingError):
+            make_income_dataset(n_samples=5)
+
+
+class TestSoccerDataset:
+    def test_shape(self):
+        ds = make_soccer_dataset(n_samples=400)
+        assert ds.features.shape == (400, 9)
+        assert ds.feature_names == SOCCER_FEATURE_NAMES
+        assert ds.label_names == ("home_win", "draw", "away_win")
+
+    def test_three_classes_present(self):
+        ds = make_soccer_dataset(n_samples=600)
+        assert set(np.unique(ds.labels)) == {0, 1, 2}
+
+    def test_lookup(self):
+        assert dataset_by_name("income", n_samples=100).n_features == 14
+        assert dataset_by_name("soccer", n_samples=100).n_features == 9
+        with pytest.raises(TrainingError):
+            dataset_by_name("chess")
+        assert list_datasets() == ["income", "soccer"]
+
+
+class TestValidateForest:
+    def test_valid_forest_passes(self, example_forest):
+        validate_forest(example_forest, precision=8)
+
+    def test_threshold_beyond_precision_rejected(self, example_forest):
+        with pytest.raises(ValidationError, match="does not fit"):
+            validate_forest(example_forest, precision=4)
+
+    def test_no_precision_skips_threshold_check(self, example_forest):
+        validate_forest(example_forest)  # thresholds up to 220, no p check
+
+    def test_depth_limit(self):
+        node = Leaf(0)
+        for i in range(70):
+            node = Branch(0, 1 + (i % 250), node, Leaf(0))
+        deep = DecisionForest(
+            trees=[DecisionTree(root=node)],
+            label_names=["a", "b"],
+            n_features=1,
+        )
+        with pytest.raises(ValidationError, match="depth"):
+            validate_forest(deep, max_depth_limit=64)
+        validate_forest(deep, max_depth_limit=128)

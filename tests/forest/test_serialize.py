@@ -1,0 +1,107 @@
+"""Tests for the Section 5 text serialization format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SerializationError
+from repro.forest.forest import DecisionForest
+from repro.forest.node import Branch, Leaf
+from repro.forest.serialize import dumps_forest, loads_forest
+from repro.forest.synthetic import random_forest
+from repro.forest.tree import DecisionTree
+
+
+def _single_branch_forest():
+    tree = DecisionTree(root=Branch(0, 130, Leaf(1), Leaf(0)))
+    return DecisionForest(
+        trees=[tree], label_names=["reject", "accept"], n_features=2
+    )
+
+
+class TestDumps:
+    def test_header_lines(self):
+        text = dumps_forest(_single_branch_forest())
+        lines = text.strip().splitlines()
+        assert lines[0] == "labels: reject accept"
+        assert lines[1] == "features: 2"
+        assert lines[2] == "b 0 130 l 1 l 0"
+
+    def test_one_line_per_tree(self, example_forest):
+        text = dumps_forest(example_forest)
+        assert len(text.strip().splitlines()) == 2 + example_forest.n_trees
+
+
+class TestLoads:
+    def test_documented_example(self):
+        text = "labels: reject accept\nfeatures: 2\nb 0 130 l 1 l 0\n"
+        forest = loads_forest(text)
+        assert forest.label_names == ["reject", "accept"]
+        assert forest.n_features == 2
+        assert forest.classify([100, 0]) == 1
+        assert forest.classify([200, 0]) == 0
+
+    def test_blank_lines_ignored(self):
+        text = "labels: a b\n\nfeatures: 1\n\nb 0 5 l 0 l 1\n\n"
+        assert loads_forest(text).n_trees == 1
+
+    def test_missing_labels_line(self):
+        with pytest.raises(SerializationError):
+            loads_forest("features: 1\nb 0 5 l 0 l 1\nl 0\n")
+
+    def test_missing_features_line(self):
+        with pytest.raises(SerializationError):
+            loads_forest("labels: a b\nb 0 5 l 0 l 1\nx\n")
+
+    def test_bad_feature_count(self):
+        with pytest.raises(SerializationError):
+            loads_forest("labels: a\nfeatures: zero\nl 0\n")
+        with pytest.raises(SerializationError):
+            loads_forest("labels: a\nfeatures: -1\nl 0\n")
+
+    def test_truncated_tree(self):
+        with pytest.raises(SerializationError):
+            loads_forest("labels: a b\nfeatures: 1\nb 0 5 l 0\n")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SerializationError):
+            loads_forest("labels: a b\nfeatures: 1\nl 0 l 1\n")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            loads_forest("labels: a b\nfeatures: 1\nz 0\n")
+
+    def test_non_integer_field(self):
+        with pytest.raises(SerializationError):
+            loads_forest("labels: a b\nfeatures: 1\nb 0 x l 0 l 1\n")
+
+    def test_too_few_lines(self):
+        with pytest.raises(SerializationError):
+            loads_forest("labels: a\n")
+
+
+class TestRoundtrip:
+    def test_example_forest(self, example_forest):
+        parsed = loads_forest(dumps_forest(example_forest))
+        assert parsed.label_names == example_forest.label_names
+        assert parsed.n_features == example_forest.n_features
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            feats = [int(v) for v in rng.integers(0, 256, 2)]
+            assert parsed.classify_per_tree(feats) == (
+                example_forest.classify_per_tree(feats)
+            )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_forest_roundtrip(self, seed):
+        forest = random_forest(
+            np.random.default_rng(seed),
+            branches_per_tree=[5, 7],
+            max_depth=5,
+        )
+        parsed = loads_forest(dumps_forest(forest))
+        assert dumps_forest(parsed) == dumps_forest(forest)
+        rng = np.random.default_rng(seed + 1)
+        feats = [int(v) for v in rng.integers(0, 256, 2)]
+        assert parsed.classify_per_tree(feats) == forest.classify_per_tree(feats)

@@ -1,0 +1,132 @@
+"""Tests for random model generation and the Table 6 suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.forest.synthetic import (
+    MICROBENCHMARKS,
+    microbenchmark,
+    random_forest,
+    random_tree,
+)
+
+
+class TestRandomTree:
+    def test_exact_branch_count(self):
+        rng = np.random.default_rng(0)
+        tree = random_tree(rng, 9, max_depth=5, n_features=2, n_labels=3, precision=8)
+        assert tree.num_branches == 9
+        assert tree.num_leaves == 10
+
+    def test_depth_bound_respected(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            tree = random_tree(rng, 7, 4, 2, 3, 8)
+            assert tree.depth <= 4
+
+    def test_exact_depth(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            tree = random_tree(rng, 8, 6, 2, 3, 8, exact_depth=6)
+            assert tree.depth == 6
+
+    def test_overfull_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValidationError):
+            random_tree(rng, 16, 4, 2, 3, 8)  # depth-4 cap is 15 branches
+
+    def test_zero_branches_rejected(self):
+        with pytest.raises(ValidationError):
+            random_tree(np.random.default_rng(0), 0, 4, 2, 3, 8)
+
+    def test_impossible_exact_depth_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValidationError):
+            random_tree(rng, 3, 5, 2, 3, 8, exact_depth=4)
+
+    def test_thresholds_fit_precision(self):
+        rng = np.random.default_rng(5)
+        tree = random_tree(rng, 15, 5, 2, 3, precision=4)
+        assert all(1 <= t < 16 for t in tree.thresholds())
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=3, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generation_property(self, seed, branches, depth):
+        if branches > (1 << depth) - 1:
+            branches = (1 << depth) - 1
+        rng = np.random.default_rng(seed)
+        tree = random_tree(rng, branches, depth, 2, 3, 8)
+        assert tree.num_branches == branches
+        assert tree.num_leaves == branches + 1
+        assert 1 <= tree.depth <= depth
+
+
+class TestRandomForest:
+    def test_forest_shape(self):
+        forest = random_forest(
+            np.random.default_rng(0), [5, 7], max_depth=5
+        )
+        assert forest.n_trees == 2
+        assert forest.branching == 12
+        assert forest.max_depth == 5
+
+    def test_max_depth_pinned(self):
+        for seed in range(10):
+            forest = random_forest(
+                np.random.default_rng(seed), [7, 8], max_depth=6
+            )
+            assert forest.max_depth == 6
+
+    def test_unreachable_depth_rejected(self):
+        with pytest.raises(ValidationError):
+            random_forest(np.random.default_rng(0), [2, 2], max_depth=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            random_forest(np.random.default_rng(0), [], max_depth=3)
+
+
+class TestMicrobenchmarks:
+    def test_suite_matches_table6(self):
+        expected = {
+            "depth4": (4, 8, 2, 15),
+            "depth5": (5, 8, 2, 15),
+            "depth6": (6, 8, 2, 15),
+            "width55": (5, 8, 2, 10),
+            "width78": (5, 8, 2, 15),
+            "width677": (5, 8, 3, 20),
+            "prec8": (5, 8, 2, 15),
+            "prec16": (5, 16, 2, 15),
+        }
+        assert len(MICROBENCHMARKS) == 8
+        for spec in MICROBENCHMARKS:
+            depth, precision, trees, branches = expected[spec.name]
+            assert spec.max_depth == depth
+            assert spec.precision == precision
+            assert spec.n_trees == trees
+            assert spec.total_branches == branches
+
+    def test_generated_models_match_spec(self):
+        for spec in MICROBENCHMARKS:
+            forest = spec.build()
+            assert forest.branching == spec.total_branches
+            assert forest.max_depth == spec.max_depth
+            assert forest.n_trees == spec.n_trees
+            assert forest.n_features == 2
+            assert forest.n_labels == 3
+
+    def test_build_is_deterministic(self):
+        from repro.forest.serialize import dumps_forest
+
+        spec = microbenchmark("width78")
+        assert dumps_forest(spec.build()) == dumps_forest(spec.build())
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValidationError):
+            microbenchmark("depth99")

@@ -1,0 +1,155 @@
+"""Tests for the CART / random-forest trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.forest.train import (
+    CartTrainer,
+    RandomForestTrainer,
+    accuracy,
+    gini_impurity,
+    train_test_split,
+)
+
+
+def _separable_dataset(n=400, seed=0):
+    """Two classes cleanly split on feature 0 at value 128."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 256, size=(n, 3))
+    y = (X[:, 0] >= 128).astype(np.int64)
+    return X, y
+
+
+class TestGini:
+    def test_pure_is_zero(self):
+        assert gini_impurity(np.array([10, 0])) == 0.0
+
+    def test_uniform_is_half(self):
+        assert gini_impurity(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert gini_impurity(np.array([0, 0])) == 0.0
+
+    def test_three_way(self):
+        assert gini_impurity(np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestCart:
+    def test_learns_separable_split(self):
+        X, y = _separable_dataset()
+        tree = CartTrainer(max_depth=3).fit(X, y, n_labels=2)
+        assert tree.classify([0, 0, 0]) == 0
+        assert tree.classify([255, 0, 0]) == 1
+        # One split suffices; the useless-branch pruning keeps it small.
+        assert tree.num_branches <= 3
+
+    def test_threshold_semantics_consistent(self):
+        # Training uses x < t like inference; check the split boundary.
+        X = np.array([[10], [20]])
+        y = np.array([0, 1])
+        tree = CartTrainer(max_depth=1).fit(X, y, n_labels=2)
+        assert tree.classify([10]) == 0
+        assert tree.classify([20]) == 1
+
+    def test_max_depth_respected(self):
+        X, y = _separable_dataset(seed=1)
+        y = (X.sum(axis=1) % 3).astype(np.int64)  # hard target -> deep tree
+        tree = CartTrainer(max_depth=4).fit(X, y, n_labels=3)
+        assert tree.depth <= 4
+
+    def test_min_samples_leaf_respected(self):
+        X, y = _separable_dataset(seed=2)
+        big = CartTrainer(max_depth=8, min_samples_leaf=1).fit(X, y, 2)
+        small = CartTrainer(max_depth=8, min_samples_leaf=50).fit(X, y, 2)
+        assert small.num_branches <= big.num_branches
+
+    def test_pure_node_is_leaf(self):
+        X = np.array([[1], [2], [3]])
+        y = np.array([1, 1, 1])
+        tree = CartTrainer().fit(X, y, n_labels=2)
+        assert tree.num_branches == 0
+        assert tree.classify([2]) == 1
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(TrainingError):
+            CartTrainer().fit(np.zeros((0, 2)), np.zeros(0, dtype=int), 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            CartTrainer().fit(np.zeros((3, 2)), np.zeros(5, dtype=int), 2)
+
+    def test_negative_features_rejected(self):
+        with pytest.raises(TrainingError):
+            CartTrainer().fit(np.array([[-1]]), np.array([0]), 2)
+
+
+class TestRandomForest:
+    def test_fit_produces_requested_trees(self):
+        X, y = _separable_dataset()
+        forest = RandomForestTrainer(n_trees=4, seed=1).fit(
+            X, y, label_names=["lo", "hi"]
+        )
+        assert forest.n_trees == 4
+        assert forest.label_names == ["lo", "hi"]
+        assert forest.n_features == 3
+
+    def test_learns_separable_target(self):
+        X, y = _separable_dataset()
+        forest = RandomForestTrainer(n_trees=5, seed=2).fit(
+            X, y, label_names=["lo", "hi"]
+        )
+        preds = [forest.classify(row) for row in X[:100]]
+        assert accuracy(preds, y[:100]) > 0.9
+
+    def test_deterministic_with_seed(self):
+        from repro.forest.serialize import dumps_forest
+
+        X, y = _separable_dataset()
+        a = RandomForestTrainer(n_trees=3, seed=9).fit(X, y, ["a", "b"])
+        b = RandomForestTrainer(n_trees=3, seed=9).fit(X, y, ["a", "b"])
+        assert dumps_forest(a) == dumps_forest(b)
+
+    def test_bad_labels_rejected(self):
+        X, y = _separable_dataset()
+        with pytest.raises(TrainingError):
+            RandomForestTrainer().fit(X, y + 5, label_names=["a", "b"])
+
+    def test_single_label_rejected(self):
+        X, y = _separable_dataset()
+        with pytest.raises(TrainingError):
+            RandomForestTrainer().fit(X, np.zeros_like(y), label_names=["a"])
+
+    def test_max_features_spreads_usage(self):
+        X, y = _separable_dataset(n=600, seed=3)
+        focused = RandomForestTrainer(
+            n_trees=5, seed=4, max_features=3
+        ).fit(X, y, ["a", "b"])
+        spread = RandomForestTrainer(
+            n_trees=5, seed=4, max_features=1
+        ).fit(X, y, ["a", "b"])
+        # Random single-feature selection lowers the max multiplicity
+        # relative to always picking the informative feature.
+        assert (
+            spread.max_multiplicity / max(1, spread.branching)
+            <= focused.max_multiplicity / max(1, focused.branching)
+        )
+
+
+class TestHelpers:
+    def test_train_test_split_shapes(self):
+        X, y = _separable_dataset(n=100)
+        Xtr, ytr, Xte, yte = train_test_split(X, y, test_fraction=0.25, seed=0)
+        assert Xtr.shape[0] == 75 and Xte.shape[0] == 25
+        assert ytr.shape[0] == 75 and yte.shape[0] == 25
+
+    def test_train_test_split_bad_fraction(self):
+        X, y = _separable_dataset(n=10)
+        with pytest.raises(TrainingError):
+            train_test_split(X, y, test_fraction=1.5)
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+        assert accuracy([], []) == 0.0
+        with pytest.raises(TrainingError):
+            accuracy([1], [1, 2])

@@ -1,0 +1,131 @@
+"""Tests reproducing the paper's leakage Tables 3 and 4."""
+
+import pytest
+
+from repro.errors import LeakageError
+from repro.core.compiler import CopseCompiler
+from repro.core.runtime import ModelOwner, secure_inference
+from repro.fhe.context import FheContext
+from repro.security.leakage import (
+    EVERYTHING,
+    STAT_B,
+    STAT_D,
+    STAT_K,
+    STAT_Q,
+    observed_by_data_owner,
+    observed_by_server,
+    scenario_leakage,
+)
+from repro.security.parties import (
+    Party,
+    SCENARIO_CLIENT_EVAL,
+    SCENARIO_MODEL_ON_SERVER,
+    SCENARIO_OFFLOAD,
+    SCENARIO_THREE_PARTY,
+    SCENARIO_THREE_PARTY_SD,
+    SCENARIO_THREE_PARTY_SM,
+    Scenario,
+    scenario_by_name,
+)
+
+
+class TestTable3:
+    def test_offload_row(self):
+        report = scenario_leakage(SCENARIO_OFFLOAD)
+        assert report.to_server() == {STAT_Q, STAT_B, STAT_D}
+        assert report.to_model_owner() == set()
+        assert report.to_data_owner() == set()
+
+    def test_model_on_server_row(self):
+        report = scenario_leakage(SCENARIO_MODEL_ON_SERVER)
+        assert report.to_server() == set()
+        assert report.to_model_owner() == set()
+        assert report.to_data_owner() == {STAT_K, STAT_B}
+
+    def test_client_eval_row(self):
+        report = scenario_leakage(SCENARIO_CLIENT_EVAL)
+        assert report.to_server() == {STAT_Q, STAT_B, STAT_K, STAT_D}
+        assert report.to_data_owner() == {STAT_Q, STAT_B, STAT_K}
+
+
+class TestTable4:
+    def test_no_collusion_row(self):
+        report = scenario_leakage(SCENARIO_THREE_PARTY)
+        assert report.to_server() == {STAT_Q, STAT_B, STAT_D, STAT_K}
+        assert report.to_model_owner() == set()
+        assert report.to_data_owner() == {STAT_K, STAT_B}
+
+    def test_collusion_with_model_owner(self):
+        report = scenario_leakage(SCENARIO_THREE_PARTY_SM)
+        assert report.to_server() == {EVERYTHING}
+        assert report.to_model_owner() == {EVERYTHING}
+        assert report.to_data_owner() == {STAT_K, STAT_B}
+
+    def test_collusion_with_data_owner(self):
+        report = scenario_leakage(SCENARIO_THREE_PARTY_SD)
+        assert report.to_server() == {EVERYTHING}
+        assert report.to_model_owner() == set()
+        assert report.to_data_owner() == {EVERYTHING}
+
+
+class TestScenarioModel:
+    def test_physically_same(self):
+        assert SCENARIO_OFFLOAD.physically_same(
+            Party.MODEL_OWNER, Party.DATA_OWNER
+        )
+        assert not SCENARIO_OFFLOAD.physically_same(
+            Party.MODEL_OWNER, Party.SERVER
+        )
+        assert SCENARIO_THREE_PARTY.is_three_party
+
+    def test_plaintext_model_flag(self):
+        assert SCENARIO_MODEL_ON_SERVER.model_is_plaintext_on_server
+        assert not SCENARIO_OFFLOAD.model_is_plaintext_on_server
+
+    def test_lookup_by_name(self):
+        assert scenario_by_name("S, M=D") is SCENARIO_OFFLOAD
+        with pytest.raises(LeakageError):
+            scenario_by_name("nonsense")
+
+    def test_invalid_scenarios_rejected(self):
+        with pytest.raises(LeakageError):
+            Scenario(name="bad", merged=(Party.SERVER,))
+        with pytest.raises(LeakageError):
+            Scenario(
+                name="bad",
+                merged=(Party.SERVER, Party.MODEL_OWNER),
+                collusion="S_with_M",
+            )
+        with pytest.raises(LeakageError):
+            Scenario(name="bad", collusion="martians")
+
+    def test_unknown_two_party_scenario_has_no_row(self):
+        fake = Scenario(name="S=X, Y", merged=(Party.SERVER, Party.DATA_OWNER))
+        with pytest.raises(LeakageError):
+            scenario_leakage(fake)
+
+
+class TestMechanicalLeakage:
+    """The structural leakage the evaluator actually observes must equal
+    the model statistics Table 3 says it learns — and nothing more."""
+
+    def test_server_observations_match_model_stats(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        ctx = FheContext()
+        keys = ctx.keygen()
+        enc = ModelOwner(compiled).encrypt_model(ctx, keys.public)
+        observed = observed_by_server(enc)
+        assert observed[STAT_Q] == example_forest.quantized_branching
+        assert observed[STAT_B] == example_forest.branching
+        assert observed[STAT_D] == example_forest.max_depth
+        # Exactly the Table 3 offload-row leakage, nothing else.
+        assert set(observed) == scenario_leakage(SCENARIO_OFFLOAD).to_server()
+
+    def test_data_owner_observations(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        outcome = secure_inference(compiled, [10, 10])
+        observed = observed_by_data_owner(
+            len(outcome.result.bitvector), compiled.max_multiplicity
+        )
+        assert observed[STAT_K] == example_forest.max_multiplicity
+        assert observed["result_slots"] == example_forest.num_leaves

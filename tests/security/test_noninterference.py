@@ -1,0 +1,73 @@
+"""Tests for the noninterference (input-independence) property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LeakageError
+from repro.core.compiler import CopseCompiler
+from repro.forest.synthetic import random_forest
+from repro.security.noninterference import (
+    check_noninterference,
+    execution_trace,
+)
+
+
+class TestExecutionTrace:
+    def test_trace_nonempty_and_structured(self, compiled_example):
+        trace = execution_trace(compiled_example, [10, 10])
+        assert len(trace) > 50
+        kinds = {entry[0] for entry in trace}
+        assert "multiply" in kinds and "encrypt" in kinds
+
+    def test_trace_identical_for_different_inputs(self, compiled_example):
+        a = execution_trace(compiled_example, [0, 0])
+        b = execution_trace(compiled_example, [255, 255])
+        assert a == b
+
+    def test_trace_differs_between_models(self, example_forest):
+        c8 = CopseCompiler(precision=8).compile(example_forest)
+        c9 = CopseCompiler(precision=9).compile(example_forest)
+        assert execution_trace(c8, [1, 1]) != execution_trace(c9, [1, 1])
+
+    def test_plaintext_model_trace_also_input_independent(
+        self, compiled_example
+    ):
+        a = execution_trace(compiled_example, [3, 200], encrypted_model=False)
+        b = execution_trace(compiled_example, [250, 7], encrypted_model=False)
+        assert a == b
+
+
+class TestCheckNoninterference:
+    def test_passes_on_copse(self, compiled_example):
+        check_noninterference(
+            compiled_example, [[0, 0], [100, 50], [255, 255]]
+        )
+
+    def test_needs_two_inputs(self, compiled_example):
+        with pytest.raises(LeakageError):
+            check_noninterference(compiled_example, [[0, 0]])
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_property_random_models_and_inputs(self, seed):
+        forest = random_forest(
+            np.random.default_rng(seed), [5, 5], max_depth=4, n_features=2
+        )
+        compiled = CopseCompiler(precision=8).compile(forest)
+        rng = np.random.default_rng(seed + 1)
+        inputs = [
+            [int(v) for v in rng.integers(0, 256, 2)] for _ in range(3)
+        ]
+        check_noninterference(compiled, inputs)
+
+    def test_baseline_is_also_input_independent(self, example_forest):
+        """The baseline pads out every path too — its trace must not
+        depend on the features either."""
+        from repro.baseline.runtime import baseline_inference
+
+        traces = []
+        for feats in ([0, 0], [255, 1], [40, 200]):
+            out = baseline_inference(example_forest, feats)
+            traces.append(out.tracker.trace())
+        assert traces[0] == traces[1] == traces[2]

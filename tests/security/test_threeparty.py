@@ -1,0 +1,194 @@
+"""Tests for threshold FHE and the three-party protocol (Section 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KeyMismatchError, RuntimeProtocolError
+from repro.core.compiler import CopseCompiler
+from repro.core.threeparty import (
+    DIANE,
+    MAURICE,
+    SALLY,
+    three_party_inference,
+)
+from repro.fhe.context import FheContext
+from repro.fhe.multikey import (
+    combine_partials,
+    partial_decrypt,
+    threshold_keygen,
+)
+from repro.forest.synthetic import random_forest
+
+
+@pytest.fixture
+def joint_setup():
+    ctx = FheContext()
+    joint = threshold_keygen(ctx, share_count=2)
+    ct = ctx.encrypt([1, 0, 1, 1, 0], joint.public)
+    return ctx, joint, ct
+
+
+class TestThresholdKeys:
+    def test_keygen_share_structure(self, joint_setup):
+        _, joint, _ = joint_setup
+        assert joint.share_count == 2
+        assert [s.index for s in joint.shares] == [0, 1]
+        assert all(s.key_id == joint.public.key_id for s in joint.shares)
+
+    def test_minimum_share_count(self):
+        ctx = FheContext()
+        with pytest.raises(RuntimeProtocolError):
+            threshold_keygen(ctx, share_count=1)
+
+    def test_three_way_sharing(self):
+        ctx = FheContext()
+        joint = threshold_keygen(ctx, share_count=3)
+        ct = ctx.encrypt([1, 1, 0], joint.public)
+        partials = [
+            partial_decrypt(ctx, ct, share) for share in joint.shares
+        ]
+        assert combine_partials(ct, partials) == [1, 1, 0]
+
+
+class TestPartialDecryption:
+    def test_full_set_reconstructs(self, joint_setup):
+        ctx, joint, ct = joint_setup
+        partials = [
+            partial_decrypt(ctx, ct, share) for share in joint.shares
+        ]
+        assert combine_partials(ct, partials) == [1, 0, 1, 1, 0]
+
+    def test_reconstruction_after_evaluation(self, joint_setup):
+        ctx, joint, ct = joint_setup
+        other = ctx.encrypt([1, 1, 1, 0, 0], joint.public)
+        product = ctx.multiply(ct, other)
+        partials = [
+            partial_decrypt(ctx, product, share) for share in joint.shares
+        ]
+        assert combine_partials(product, partials) == [1, 0, 1, 0, 0]
+
+    def test_single_partial_does_not_reveal_payload(self, joint_setup):
+        ctx, joint, ct = joint_setup
+        payload = [1, 0, 1, 1, 0]
+        for share in joint.shares:
+            partial = partial_decrypt(ctx, ct, share)
+            assert list(partial.fragment) != payload
+
+    def test_missing_share_rejected(self, joint_setup):
+        ctx, joint, ct = joint_setup
+        only_one = [partial_decrypt(ctx, ct, joint.shares[0])]
+        with pytest.raises(RuntimeProtocolError, match="missing shares"):
+            combine_partials(ct, only_one)
+
+    def test_duplicate_share_rejected(self, joint_setup):
+        ctx, joint, ct = joint_setup
+        p = partial_decrypt(ctx, ct, joint.shares[0])
+        with pytest.raises(RuntimeProtocolError, match="duplicate"):
+            combine_partials(ct, [p, p])
+
+    def test_wrong_key_share_rejected(self, joint_setup):
+        ctx, joint, ct = joint_setup
+        other_joint = threshold_keygen(ctx, share_count=2)
+        with pytest.raises(KeyMismatchError):
+            partial_decrypt(ctx, ct, other_joint.shares[0])
+
+    def test_partial_for_other_ciphertext_rejected(self, joint_setup):
+        ctx, joint, ct = joint_setup
+        other_ct = ctx.encrypt([0, 0, 0, 0, 0], joint.public)
+        partials = [
+            partial_decrypt(ctx, other_ct, joint.shares[0]),
+            partial_decrypt(ctx, ct, joint.shares[1]),
+        ]
+        with pytest.raises(RuntimeProtocolError, match="different ciphertext"):
+            combine_partials(ct, partials)
+
+    def test_empty_partials_rejected(self, joint_setup):
+        _, _, ct = joint_setup
+        with pytest.raises(RuntimeProtocolError):
+            combine_partials(ct, [])
+
+    def test_single_key_decrypt_does_not_work_on_joint(self, joint_setup):
+        """No complete secret key exists for a joint key."""
+        ctx, joint, ct = joint_setup
+        outsider = ctx.keygen()
+        with pytest.raises(KeyMismatchError):
+            ctx.decrypt(ct, outsider.secret)
+
+
+class TestThreePartyProtocol:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        forest = random_forest(
+            np.random.default_rng(3), [7, 8], max_depth=5
+        )
+        compiled = CopseCompiler(precision=8).compile(forest)
+        return forest, three_party_inference(compiled, [42, 200])
+
+    def test_correctness(self, outcome):
+        forest, out = outcome
+        assert out.result.bitvector == forest.label_bitvector([42, 200])
+        assert out.result.chosen_labels == forest.classify_per_tree([42, 200])
+
+    def test_transcript_structure(self, outcome):
+        _, out = outcome
+        kinds = out.transcript.kinds()
+        assert kinds == [
+            "threshold-keygen",
+            "threshold-keygen-ack",
+            "encrypted-model",
+            "encrypted-query",
+            "encrypted-result",
+            "encrypted-result",
+            "partial-decryption",
+        ]
+        # The wrapper's price: more messages than the 2-party flow's 3.
+        assert out.transcript.rounds() == 7
+
+    def test_transcript_ciphertext_volumes(self, outcome):
+        forest, out = outcome
+        p, q = 8, forest.quantized_branching
+        b, d = forest.branching, forest.max_depth
+        assert out.transcript.ciphertexts_sent(MAURICE) == (
+            p + q + d * (b + 1) + 1  # model + partial decryption
+        )
+        assert out.transcript.ciphertexts_sent(DIANE) == p
+        assert out.transcript.ciphertexts_sent(SALLY) == 2
+
+    def test_no_single_party_can_decrypt(self, outcome):
+        _, out = outcome
+        ctx = out.context
+        ct = out.encrypted_result
+        # Sally: no shares at all.
+        sally_keys = ctx.keygen()
+        with pytest.raises(KeyMismatchError):
+            ctx.decrypt(ct, sally_keys.secret)
+        # Diane alone: one partial is not enough.
+        diane_partial = partial_decrypt(ctx, ct, out.joint_key.shares[1])
+        with pytest.raises(RuntimeProtocolError):
+            combine_partials(ct, [diane_partial])
+
+    def test_collusion_with_one_shareholder_insufficient(self, outcome):
+        """Even Sally plus one shareholder cannot open the result — it
+        takes both shareholders' partials (Table 4: full compromise needs
+        the colluding pair to include the *other* data party's share)."""
+        _, out = outcome
+        ctx = out.context
+        ct = out.encrypted_result
+        maurice_partial = partial_decrypt(ctx, ct, out.joint_key.shares[0])
+        with pytest.raises(RuntimeProtocolError, match="missing"):
+            combine_partials(ct, [maurice_partial])
+
+    def test_wrong_arity_rejected(self):
+        forest = random_forest(np.random.default_rng(4), [5, 5], max_depth=4)
+        compiled = CopseCompiler(precision=8).compile(forest)
+        with pytest.raises(RuntimeProtocolError):
+            three_party_inference(compiled, [1, 2, 3])
+
+    def test_many_inputs(self):
+        forest = random_forest(np.random.default_rng(5), [6, 6], max_depth=4)
+        compiled = CopseCompiler(precision=8).compile(forest)
+        rng = np.random.default_rng(6)
+        for _ in range(4):
+            feats = [int(v) for v in rng.integers(0, 256, 2)]
+            out = three_party_inference(compiled, feats)
+            assert out.result.bitvector == forest.label_bitvector(feats)

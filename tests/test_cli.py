@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.forest.serialize import dumps_forest
+from repro.forest.synthetic import random_forest
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    forest = random_forest(np.random.default_rng(1), [6, 7], max_depth=4)
+    path = tmp_path / "model.txt"
+    path.write_text(dumps_forest(forest))
+    return str(path), forest
+
+
+class TestInfo:
+    def test_prints_statistics(self, model_file, capsys):
+        path, forest = model_file
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert f"b={forest.branching}" in out
+        assert "selected parameters" in out
+        assert f"K={forest.max_multiplicity}" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/model.txt"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_model(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("this is not a model\n")
+        assert main(["info", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_stages_module(self, model_file, tmp_path, capsys):
+        path, forest = model_file
+        out_path = tmp_path / "staged.py"
+        assert main(["compile", path, "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        source = out_path.read_text()
+        assert "Auto-generated" in source
+        assert "def classify" in source
+
+        # The staged module actually works.
+        from repro.core.codegen import exec_generated_module
+        from repro.core.runtime import DataOwner
+        from repro.fhe.context import FheContext
+
+        staged = exec_generated_module(source)
+        ctx = FheContext()
+        keys = ctx.keygen()
+        enc = staged["encrypt_model"](ctx, keys.public)
+        diane = DataOwner(staged["query_spec"](), keys)
+        query = diane.prepare_query(ctx, [33, 99])
+        result = diane.decrypt_result(
+            ctx, staged["classify"](ctx, enc, query)
+        )
+        assert result.bitvector == forest.label_bitvector([33, 99])
+
+
+class TestClassify:
+    def test_encrypted_model(self, model_file, capsys):
+        path, forest = model_file
+        assert main(["classify", path, "--features", "33,99"]) == 0
+        out = capsys.readouterr().out
+        assert "plurality" in out
+        assert "oracle agreement: ok" in out
+
+    def test_plaintext_model(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["classify", path, "--features", "0,255", "--plaintext-model"]
+        ) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_bad_features(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["classify", path, "--features", "a,b"]) == 2
+
+    def test_out_of_domain_features(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["classify", path, "--features", "999,0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_fig6_subset(self, capsys):
+        assert main(
+            ["bench", "fig6", "--workloads", "width55", "--queries", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "width55" in out
+
+    def test_table6(self, capsys):
+        assert main(["bench", "table6"]) == 0
+        assert "depth4" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["bench", "table2", "--workloads", "width55"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig10(self, capsys):
+        assert main(["bench", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10a" in out and "Figure 10c" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
