@@ -15,6 +15,8 @@ pytest unless ``-s`` is passed).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench_harness.workloads import (
@@ -23,18 +25,26 @@ from repro.bench_harness.workloads import (
     workload_by_name,
 )
 
+#: CI quick mode: set ``REPRO_BENCH_QUICK=1`` to trim the benchmark
+#: suite (single query per run, one real-world model) so the tier-1 job
+#: stays under the workflow time limit.  "0"/"false"/"no" (and unset)
+#: mean full mode.
+QUICK_MODE = os.environ.get("REPRO_BENCH_QUICK", "").lower() not in (
+    "", "0", "false", "no",
+)
+
 #: Query count per benchmark run.  The circuits are input-independent, so
 #: simulated times are identical across queries; 2 exercises correctness
 #: on distinct inputs while keeping the suite quick.  Set to 27 for the
 #: paper's full median protocol.
-BENCH_QUERIES = 2
+BENCH_QUERIES = 1 if QUICK_MODE else 2
 
 MICRO_NAMES = [w.name for w in microbenchmark_workloads()]
 ALL_NAMES = [w.name for w in all_workloads()]
 
 #: The subset of real-world models exercised per-benchmark (the full set
 #: appears in the figure tables, which are computed once per session).
-REAL_SUBSET = ["soccer5", "income15"]
+REAL_SUBSET = ["soccer5"] if QUICK_MODE else ["soccer5", "income15"]
 
 
 REPORT_PATH = "benchmark_report.txt"

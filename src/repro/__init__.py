@@ -19,6 +19,16 @@ Quickstart::
     outcome = secure_inference(compiled, features=[40, 200])
     print(outcome.result.chosen_labels, outcome.result.plurality_name())
 
+At service scale, :class:`repro.serve.CopseService` amortizes one
+compiled+encrypted model across a query stream via cross-query SIMD
+packing::
+
+    from repro import CopseService
+
+    with CopseService(threads=4) as service:
+        service.register_model("demo", forest)
+        results = service.classify_many("demo", [[40, 200], [17, 3]])
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
@@ -42,8 +52,16 @@ from repro.core import (
     ModelOwner,
     secure_inference,
 )
+from repro.serve import (
+    BatchLayout,
+    ClassificationResult,
+    CopseService,
+    ModelRegistry,
+    QueryBatcher,
+    ServiceStats,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CopseError",
@@ -65,5 +83,11 @@ __all__ = [
     "DataOwner",
     "CopseServer",
     "secure_inference",
+    "BatchLayout",
+    "ClassificationResult",
+    "CopseService",
+    "ModelRegistry",
+    "QueryBatcher",
+    "ServiceStats",
     "__version__",
 ]

@@ -450,6 +450,80 @@ def selected_parameters(
 
 
 # ---------------------------------------------------------------------------
+# Serving throughput: batched vs unbatched inference
+# ---------------------------------------------------------------------------
+
+
+def throughput(
+    workload_name: str = "width78",
+    queries: int = 16,
+    threads: int = 2,
+    batch_size: Optional[int] = None,
+) -> Table:
+    """Batched-service throughput versus the unbatched per-query path.
+
+    The unbatched row is the paper's protocol (one ``secure_inference``
+    per query, model re-encrypted every time); the batched row routes the
+    same queries through :class:`repro.serve.CopseService`, which
+    encrypts the model once and packs queries into shared SIMD slots.
+    Both report simulated inference time over the four pipeline stages,
+    so the comparison isolates the packing amortization.
+    """
+    from repro.serve import CopseService
+
+    workload = _workloads([workload_name])[0]
+    unbatched = _run(workload, SYSTEM_COPSE, queries=min(queries, 3))
+
+    with CopseService(threads=threads) as service:
+        registered = service.register_model(
+            workload.name, workload.compiled, max_batch_size=batch_size
+        )
+        feature_lists = workload.query_features(queries)
+        results = service.classify_many(workload.name, feature_lists)
+        stats = service.stats()
+
+    correct = all(r.oracle_ok for r in results)
+    unbatched_qps = (
+        1000.0 / unbatched.median_ms if unbatched.median_ms > 0 else 0.0
+    )
+    table = Table(
+        title=f"Serving throughput — {workload.name} ({queries} queries)",
+        columns=[
+            "mode",
+            "batches",
+            "batch_capacity",
+            "ms_per_query",
+            "queries_per_sec",
+            "oracle",
+        ],
+    )
+    table.add_row(
+        "unbatched",
+        queries,
+        1,
+        unbatched.median_ms,
+        unbatched_qps,
+        "ok" if unbatched.correct else "MISMATCH",
+    )
+    table.add_row(
+        f"batched x{threads} workers",
+        stats.batches,
+        registered.batch_capacity,
+        stats.amortized_ms_per_query,
+        stats.throughput_qps,
+        "ok" if correct else "MISMATCH",
+    )
+    if stats.amortized_ms_per_query > 0:
+        table.add_note(
+            f"amortization: {unbatched.median_ms / stats.amortized_ms_per_query:.1f}x "
+            f"cheaper per query (avg batch fill "
+            f"{stats.avg_batch_fill:.2f}, one-time setup "
+            f"{stats.setup_ms:.0f} ms)"
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
 # Table 6: microbenchmark suite
 # ---------------------------------------------------------------------------
 

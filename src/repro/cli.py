@@ -6,11 +6,15 @@ evaluation harness::
     python -m repro info model.txt             # model statistics + leakage
     python -m repro compile model.txt -o staged.py   # staging compiler
     python -m repro classify model.txt --features 40,200
+    python -m repro batch-classify model.txt --features "40,200;17,3"
+    python -m repro serve model.txt --queries 64 --threads 4
     python -m repro bench fig6 --workloads depth4,width78
     python -m repro sweep                      # Table 5 parameter sweep
 
 ``model.txt`` is the paper's Section 5 serialization (see
-``repro.forest.serialize``).
+``repro.forest.serialize``).  ``batch-classify`` and ``serve`` route
+through :mod:`repro.serve`: the model is compiled and encrypted once and
+the queries share ciphertext slots via cross-query SIMD packing.
 """
 
 from __future__ import annotations
@@ -58,17 +62,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="Maurice-equals-Sally configuration (model not encrypted)",
     )
 
+    batch = sub.add_parser(
+        "batch-classify",
+        help="classify many queries at once via cross-query SIMD packing",
+    )
+    batch.add_argument("model")
+    batch.add_argument(
+        "--features",
+        help="semicolon-separated queries, each a comma-separated integer "
+        "feature list, e.g. '40,200;17,3'",
+    )
+    batch.add_argument(
+        "--features-file",
+        help="file with one comma-separated feature list per line",
+    )
+    batch.add_argument("--precision", type=int, default=8)
+    batch.add_argument("--threads", type=int, default=2)
+    batch.add_argument(
+        "--batch-size", type=int, default=None,
+        help="cap queries packed per ciphertext (default: slot capacity)",
+    )
+    batch.add_argument(
+        "--plaintext-model", action="store_true",
+        help="keep the model in plaintext on the server (Maurice = Sally)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the batched inference service with a synthetic "
+        "query stream and report throughput",
+    )
+    serve.add_argument("model")
+    serve.add_argument("--queries", type=int, default=32)
+    serve.add_argument("--threads", type=int, default=2)
+    serve.add_argument("--batch-size", type=int, default=None)
+    serve.add_argument("--precision", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=1234)
+    serve.add_argument("--plaintext-model", action="store_true")
+
     bench = sub.add_parser("bench", help="regenerate a paper figure/table")
     bench.add_argument(
         "artifact",
-        choices=["fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table6"],
+        choices=[
+            "fig6", "fig7", "fig8", "fig9", "fig10",
+            "table1", "table2", "table6", "throughput",
+        ],
     )
     bench.add_argument(
         "--workloads",
         help="comma-separated workload names (default: microbenchmarks "
         "for figures, width78 for table2)",
     )
-    bench.add_argument("--queries", type=int, default=1)
+    bench.add_argument(
+        "--queries", type=int, default=None,
+        help="queries per run (default: 1, or 16 for throughput)",
+    )
 
     sub.add_parser("sweep", help="run the Table 5 parameter sweep")
 
@@ -131,15 +179,139 @@ def _cmd_classify(args) -> int:
     return 0 if result.bitvector == expected else 1
 
 
+def _parse_query_list(text: str) -> List[List[int]]:
+    """Parse ``'40,200;17,3'`` into a list of integer feature vectors."""
+    queries: List[List[int]] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            queries.append([int(v) for v in chunk.split(",")])
+        except ValueError:
+            raise _FeatureParseError(
+                f"features must be integers, got {chunk!r}"
+            )
+    if not queries:
+        raise _FeatureParseError("no queries given")
+    return queries
+
+
+class _FeatureParseError(ValueError):
+    """Bad ``--features`` input (usage error: exit code 2)."""
+
+
+def _load_queries(args) -> List[List[int]]:
+    if bool(args.features) == bool(args.features_file):
+        raise _FeatureParseError(
+            "provide exactly one of --features or --features-file"
+        )
+    if args.features:
+        return _parse_query_list(args.features)
+    with open(args.features_file) as handle:
+        return _parse_query_list(";".join(handle.read().splitlines()))
+
+
+def _check_service_args(args) -> None:
+    """Usage validation that must run before the model is compiled."""
+    if args.threads < 1:
+        raise _FeatureParseError(f"--threads must be >= 1, got {args.threads}")
+    if args.batch_size is not None and args.batch_size < 1:
+        raise _FeatureParseError(
+            f"--batch-size must be >= 1, got {args.batch_size}"
+        )
+
+
+def _cmd_batch_classify(args) -> int:
+    from repro.serve import CopseService
+
+    # Usage errors are checked before the (expensive) model compilation.
+    _check_service_args(args)
+    queries = _load_queries(args)
+    forest, compiled = _load_compiled(args.model, args.precision)
+    with CopseService(threads=args.threads) as service:
+        service.register_model(
+            "cli",
+            compiled,
+            max_batch_size=args.batch_size,
+            encrypted_model=not args.plaintext_model,
+        )
+        results = service.classify_many("cli", queries)
+        stats = service.stats()
+    all_ok = True
+    for features, res in zip(queries, results):
+        ok = "ok" if res.oracle_ok else "MISMATCH"
+        all_ok = all_ok and bool(res.oracle_ok)
+        print(
+            f"features {features} -> {res.plurality_name()} "
+            f"(batch {res.batch_id}, fill {res.batch_fill}/"
+            f"{res.batch_capacity}, oracle {ok})"
+        )
+    print(stats.render())
+    return 0 if all_ok else 1
+
+
+def _cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.serve import CopseService
+
+    _check_service_args(args)
+    if args.queries < 1:
+        raise _FeatureParseError(f"--queries must be >= 1, got {args.queries}")
+    forest, compiled = _load_compiled(args.model, args.precision)
+    rng = np.random.default_rng(args.seed)
+    limit = 1 << compiled.precision
+    queries = [
+        [int(v) for v in rng.integers(0, limit, compiled.n_features)]
+        for _ in range(args.queries)
+    ]
+    with CopseService(threads=args.threads) as service:
+        registered = service.register_model(
+            "cli",
+            compiled,
+            max_batch_size=args.batch_size,
+            encrypted_model=not args.plaintext_model,
+        )
+        print(f"serving {registered.describe()}")
+        results = service.classify_many("cli", queries)
+        stats = service.stats()
+    failures = sum(1 for r in results if r.oracle_ok is False)
+    print(stats.render())
+    print(
+        f"oracle agreement: "
+        f"{'ok' if failures == 0 else f'{failures} MISMATCHES'}"
+    )
+    return 0 if failures == 0 else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.bench_harness import experiments
 
     names: Optional[List[str]] = None
     if args.workloads:
         names = args.workloads.split(",")
+    queries = args.queries if args.queries is not None else 1
 
+    if args.artifact == "table1":
+        workload = names[0] if names else "width78"
+        for table in experiments.table1(
+            workload_name=workload, queries=queries
+        ):
+            print(table.render())
+            print()
+        return 0
+    if args.artifact == "throughput":
+        workload = names[0] if names else "width78"
+        print(
+            experiments.throughput(
+                workload_name=workload,
+                queries=args.queries if args.queries is not None else 16,
+            ).render()
+        )
+        return 0
     if args.artifact == "fig10":
-        for table in experiments.figure10(queries=args.queries):
+        for table in experiments.figure10(queries=queries):
             print(table.render())
             print()
         return 0
@@ -157,7 +329,7 @@ def _cmd_bench(args) -> int:
         "fig8": experiments.figure8,
         "fig9": experiments.figure9,
     }[args.artifact]
-    print(fn(queries=args.queries, workload_names=names).render())
+    print(fn(queries=queries, workload_names=names).render())
     return 0
 
 
@@ -175,12 +347,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "compile": _cmd_compile,
         "classify": _cmd_classify,
+        "batch-classify": _cmd_batch_classify,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
         "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)
     except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except _FeatureParseError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except CopseError as exc:

@@ -99,6 +99,25 @@ class FheContext:
         """Decrypt to a list of Python ints (convenience)."""
         return [int(b) for b in self.decrypt(ct, secret_key)]
 
+    def adopt(self, ct: Ciphertext) -> Ciphertext:
+        """Re-register a ciphertext produced under another context's tracker.
+
+        The batched inference service encrypts a model once and evaluates
+        it in many per-batch contexts, each with its own tracker.  A node
+        id only has meaning inside the tracker that issued it, so before a
+        foreign ciphertext can participate in this context's DAG it must be
+        adopted: a zero-cost ``LOAD`` leaf is recorded and the ciphertext is
+        re-wrapped with the new node id.  Key identity and noise state are
+        preserved — adoption is bookkeeping, not an FHE operation.  The
+        vector must still fit this context's SIMD slots, like every other
+        ciphertext entering it.
+        """
+        self._check_width(ct.length)
+        node_id = self.tracker.record(OpKind.LOAD)
+        return self._wrap(
+            ct._payload()[: ct.length].copy(), ct.key_id, ct.noise, node_id
+        )
+
     # ------------------------------------------------------------------
     # Primitive homomorphic operations
     # ------------------------------------------------------------------

@@ -42,6 +42,9 @@ from repro.fhe.tracker import OpKind, OpTracker
 DEFAULT_OP_COSTS_MS: Dict[OpKind, float] = {
     OpKind.ENCRYPT: 1.8,
     OpKind.DECRYPT: 0.9,
+    # Reusing an already-encrypted ciphertext (the serve subsystem's cached
+    # model) does no FHE work; it is tracked only to keep the DAG closed.
+    OpKind.LOAD: 0.0,
     OpKind.ADD: 0.012,
     OpKind.CONST_ADD: 0.006,
     OpKind.MULTIPLY: 0.30,

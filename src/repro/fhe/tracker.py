@@ -39,6 +39,10 @@ class OpKind(enum.Enum):
 
     ENCRYPT = "encrypt"
     DECRYPT = "decrypt"
+    # Re-registration of an already-encrypted ciphertext in a new tracker
+    # (the batched service reuses a once-encrypted model across many batch
+    # evaluations; loading cached ciphertext is free — no FHE work happens).
+    LOAD = "load"
     ADD = "add"
     CONST_ADD = "const_add"
     MULTIPLY = "multiply"

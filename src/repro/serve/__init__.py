@@ -1,0 +1,68 @@
+"""repro.serve: batched secure-inference service over the COPSE stack.
+
+The single-query runtime leaves most BGV SIMD slots idle and re-encrypts
+the model on every call.  This subsystem amortizes both across a query
+stream:
+
+* :mod:`repro.serve.packing` — batch geometry (:class:`BatchLayout`):
+  ``B = slot_count // padded_width`` queries per ciphertext, slot packing
+  and result demultiplexing;
+* :mod:`repro.serve.batched_runtime` — Algorithm 1 over a packed batch:
+  block-local gathers replace cyclic rotations so one comparison /
+  reshuffle / levels / accumulate pipeline serves every packed query;
+* :mod:`repro.serve.registry` — :class:`ModelRegistry`: compile,
+  parameter-select, and encrypt each model exactly once;
+* :mod:`repro.serve.batcher` — :class:`QueryBatcher`: validate, queue,
+  cut, evaluate, demultiplex, oracle-verify;
+* :mod:`repro.serve.scheduler` — :class:`Scheduler`: worker pool draining
+  the batch queue (the paper's Figure 7/8 inter-query parallelism);
+* :mod:`repro.serve.service` — :class:`CopseService`: the
+  ``register_model`` / ``submit`` / ``stats`` facade.
+
+Quickstart::
+
+    from repro.serve import CopseService
+
+    with CopseService(threads=4) as service:
+        service.register_model("credit", forest)
+        results = service.classify_many("credit", queries)
+        print(service.stats().render())
+
+See DESIGN.md (serve subsystem inventory) for the architecture and trust
+model, and EXPERIMENTS.md for the throughput measurements.
+"""
+
+from repro.serve.packing import BatchLayout, plan_layout
+from repro.serve.batched_runtime import (
+    BATCH_INFERENCE_PHASES,
+    BatchedCopseServer,
+    BatchedEncryptedModel,
+    build_batched_model,
+    encrypt_batch,
+)
+from repro.serve.registry import ModelRegistry, RegisteredModel
+from repro.serve.batcher import (
+    BatchRecord,
+    ClassificationResult,
+    QueryBatcher,
+)
+from repro.serve.scheduler import Scheduler
+from repro.serve.service import CopseService, ServiceStats
+
+__all__ = [
+    "BatchLayout",
+    "plan_layout",
+    "BATCH_INFERENCE_PHASES",
+    "BatchedCopseServer",
+    "BatchedEncryptedModel",
+    "build_batched_model",
+    "encrypt_batch",
+    "ModelRegistry",
+    "RegisteredModel",
+    "QueryBatcher",
+    "BatchRecord",
+    "ClassificationResult",
+    "Scheduler",
+    "CopseService",
+    "ServiceStats",
+]

@@ -1,0 +1,373 @@
+"""Batched Algorithm 1: one vectorized pipeline over many packed queries.
+
+The single-query runtime (:mod:`repro.core.runtime`) rotates ciphertexts
+cyclically over the *logical* vector width.  With ``B`` queries packed as
+blocks of stride ``S``, a plain rotation would bleed slots across block
+boundaries, so the batched runtime replaces every cyclic access with a
+**block-local gather**: to read ``v[(t + shift) mod w]`` inside every
+block simultaneously, it combines a small number of globally rotated,
+plaintext-masked copies —
+
+    out[k*S + t] = v[k*S + (t + shift) mod w]
+                 = XOR_m  rotate(v, shift - m*w) AND mask_m
+
+where segment ``m`` covers the block offsets ``t`` with
+``floor((t + shift) / w) == m``.  Within a block, ``t + shift - m*w``
+always lands back in ``[0, w)``, and because the stride bounds every
+logical width, no masked rotation ever crosses a block boundary.  A
+gather costs at most ``ceil(rows/w) + 1`` rotations plus the masks —
+amortized over the whole batch, versus one rotation *per query* in the
+unbatched path — while every slot-wise stage (the SecComp comparison,
+the diagonal products, the accumulation) is shared outright.
+
+The circuit is identical for every input shape, so the batched pipeline
+preserves the noninterference property of the single-query runtime; its
+multiplicative depth is unchanged (gathers add only rotation/constant
+slack, never a ciphertext multiply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import RuntimeProtocolError
+from repro.core.compiler import CompiledModel
+from repro.core.runtime import (
+    EncryptedQuery,
+    PHASE_ACCUMULATE,
+    PHASE_COMPARISON,
+    PHASE_DATA_ENCRYPT,
+    PHASE_LEVELS,
+    PHASE_MODEL_ENCRYPT,
+    PHASE_RESHUFFLE,
+)
+from repro.core.seccomp import VARIANT_ALOUFI, secure_compare
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import FheContext, Vector
+from repro.fhe.keys import KeyPair, PublicKey
+from repro.serve.packing import (
+    BatchLayout,
+    pack_query_planes,
+    segment_mask,
+    tile_model_vector,
+)
+
+#: Tracker phase for re-registering cached model ciphertexts in a fresh
+#: per-batch context.  Excluded from inference timings (like model_encrypt);
+#: the LOAD operations it records are free in the cost model anyway.
+PHASE_MODEL_CACHE = "model_cache"
+
+#: The inference phases of the batched pipeline, in execution order.
+BATCH_INFERENCE_PHASES = (
+    PHASE_COMPARISON,
+    PHASE_RESHUFFLE,
+    PHASE_LEVELS,
+    PHASE_ACCUMULATE,
+)
+
+
+@dataclass
+class BatchedEncryptedModel:
+    """A compiled model padded to the batch stride and tiled per block.
+
+    Structurally the same data as
+    :class:`~repro.core.runtime.EncryptedModel`, but every vector spans
+    the full batched width so one slot-wise operation applies the model
+    to all packed queries.  Built once per registered model and reused
+    (via :meth:`adopt_into`) by every batch evaluation.
+    """
+
+    layout: BatchLayout
+    threshold_planes: List[Vector]
+    reshuffle_diagonals: List[Vector]
+    level_diagonals: List[List[Vector]]
+    level_masks: List[Vector]
+    max_depth: int
+
+    @property
+    def is_encrypted(self) -> bool:
+        return isinstance(self.threshold_planes[0], Ciphertext)
+
+    def adopt_into(self, ctx: FheContext) -> "BatchedEncryptedModel":
+        """Re-register the cached ciphertexts in ``ctx``'s tracker.
+
+        Plaintext vectors carry no tracker state and pass through; each
+        ciphertext is adopted as a zero-cost ``LOAD`` leaf under the
+        ``model_cache`` phase so the per-batch DAG stays closed without
+        re-charging the one-time encryption.
+        """
+
+        def _adopt(vec: Vector) -> Vector:
+            if isinstance(vec, Ciphertext):
+                return ctx.adopt(vec)
+            return vec
+
+        with ctx.tracker.phase(PHASE_MODEL_CACHE):
+            return BatchedEncryptedModel(
+                layout=self.layout,
+                threshold_planes=[_adopt(v) for v in self.threshold_planes],
+                reshuffle_diagonals=[
+                    _adopt(v) for v in self.reshuffle_diagonals
+                ],
+                level_diagonals=[
+                    [_adopt(v) for v in level] for level in self.level_diagonals
+                ],
+                level_masks=[_adopt(v) for v in self.level_masks],
+                max_depth=self.max_depth,
+            )
+
+
+def build_batched_model(
+    ctx: FheContext,
+    compiled: CompiledModel,
+    layout: BatchLayout,
+    public_key: Optional[PublicKey] = None,
+) -> BatchedEncryptedModel:
+    """Tile a compiled model across the batch and (optionally) encrypt it.
+
+    With ``public_key`` this is the offloading configuration: every tiled
+    structure is encrypted once, under the ``model_encrypt`` phase, and
+    the resulting ciphertexts are cached for the model's lifetime.
+    Without it the model stays in plaintext packed vectors (the
+    Maurice-equals-Sally configuration).
+    """
+
+    def _pack(vector) -> Vector:
+        tiled = tile_model_vector(layout, vector)
+        if public_key is not None:
+            return ctx.encrypt(tiled, public_key)
+        return ctx.encode(tiled)
+
+    with ctx.tracker.phase(PHASE_MODEL_ENCRYPT):
+        thresholds = [_pack(plane) for plane in compiled.threshold_planes]
+        reshuffle = [
+            _pack(compiled.reshuffle.diagonal(i))
+            for i in range(compiled.reshuffle.num_diagonals)
+        ]
+        levels = [
+            [
+                _pack(matrix.diagonal(i))
+                for i in range(matrix.num_diagonals)
+            ]
+            for matrix in compiled.level_matrices
+        ]
+        masks = [_pack(mask) for mask in compiled.level_masks]
+    return BatchedEncryptedModel(
+        layout=layout,
+        threshold_planes=thresholds,
+        reshuffle_diagonals=reshuffle,
+        level_diagonals=levels,
+        level_masks=masks,
+        max_depth=compiled.max_depth,
+    )
+
+
+def encrypt_batch(
+    ctx: FheContext,
+    layout: BatchLayout,
+    queries,
+    keys: KeyPair,
+) -> EncryptedQuery:
+    """Pack up to ``capacity`` queries and encrypt the shared bit planes.
+
+    One encryption per bit plane serves the whole batch — this is where
+    the per-query ``data_encrypt`` cost collapses by a factor of the
+    batch fill.
+    """
+    planes = pack_query_planes(layout, queries)
+    with ctx.tracker.phase(PHASE_DATA_ENCRYPT):
+        encrypted = [
+            ctx.encrypt(planes[i], keys.public)
+            for i in range(planes.shape[0])
+        ]
+    return EncryptedQuery(planes=encrypted, public_key=keys.public)
+
+
+# ---------------------------------------------------------------------------
+# Block-local gathers
+# ---------------------------------------------------------------------------
+
+
+def block_gather(
+    ctx: FheContext,
+    vector: Ciphertext,
+    shift: int,
+    width: int,
+    rows: int,
+    layout: BatchLayout,
+) -> Ciphertext:
+    """Block-local cyclic access: ``out[k*S+t] = v[k*S + (t+shift) % width]``.
+
+    Valid at block offsets ``t in [0, rows)``; slots beyond each block's
+    ``rows`` are zero or unspecified and must be masked by the caller's
+    diagonal product (COPSE's diagonals are zero outside their logical
+    length, so the Halevi-Shoup AND does exactly that).
+
+    ``width`` is the logical width the rotation wraps over (the current
+    stage's per-query vector length); ``rows`` is how many output offsets
+    the caller consumes — more than ``width`` when the target matrix has
+    more rows than columns (the cyclic extension of Section 4.1.2).
+    """
+    if not 0 <= shift < width:
+        raise RuntimeProtocolError(
+            f"gather shift {shift} outside the logical width {width}"
+        )
+    if rows < 1 or rows > layout.stride or width > layout.stride:
+        raise RuntimeProtocolError(
+            f"gather shape rows={rows} width={width} exceeds the "
+            f"stride {layout.stride}"
+        )
+    segments: List[tuple] = []
+    for m in range((rows - 1 + shift) // width + 1):
+        lo = max(0, m * width - shift)
+        hi = min(rows, (m + 1) * width - shift)
+        if lo >= hi:
+            continue
+        segments.append((shift - m * width, lo, hi))
+
+    if len(segments) == 1:
+        amount, _, _ = segments[0]
+        # A single segment needs no selection mask: every consumed offset
+        # comes from the same rotation, and the caller's diagonal zeroes
+        # the rest of the block.
+        return ctx.rotate(vector, amount) if amount else vector
+
+    terms: List[Vector] = []
+    for amount, lo, hi in segments:
+        rotated = ctx.rotate(vector, amount) if amount else vector
+        mask = ctx.encode(segment_mask(layout, lo, hi))
+        terms.append(ctx.and_any(rotated, mask))
+    combined = ctx.xor_all(terms)
+    if not isinstance(combined, Ciphertext):  # pragma: no cover
+        raise RuntimeProtocolError("gather of a ciphertext must stay encrypted")
+    return combined
+
+
+def batched_matvec(
+    ctx: FheContext,
+    diagonals: List[Vector],
+    rows: int,
+    cols: int,
+    vector: Ciphertext,
+    layout: BatchLayout,
+) -> Vector:
+    """Halevi-Shoup product applied independently inside every block.
+
+    ``diagonals`` are the model's generalized diagonals, already tiled to
+    the batched width; ``rows``/``cols`` are the per-query matrix shape.
+    The only change from :func:`repro.core.matmul.halevi_shoup_matvec` is
+    that each rotation becomes a block-local gather.
+    """
+    products: List[Vector] = []
+    for i, diagonal in enumerate(diagonals):
+        gathered = block_gather(ctx, vector, i, cols, rows, layout)
+        products.append(ctx.and_any(diagonal, gathered))
+    return ctx.xor_all(products)
+
+
+# ---------------------------------------------------------------------------
+# The batched server
+# ---------------------------------------------------------------------------
+
+
+class BatchedCopseServer:
+    """Sally with cross-query SIMD packing: Algorithm 1 over a batch.
+
+    The four stages mirror :class:`~repro.core.runtime.CopseServer` —
+    comparison, reshuffle, levels, accumulate — recorded under the same
+    tracker phases so every existing per-phase report applies unchanged.
+    """
+
+    def __init__(self, ctx: FheContext, seccomp_variant: str = VARIANT_ALOUFI):
+        self.ctx = ctx
+        self.seccomp_variant = seccomp_variant
+
+    def classify_batch(
+        self, model: BatchedEncryptedModel, query: EncryptedQuery
+    ) -> Ciphertext:
+        ctx = self.ctx
+        layout = model.layout
+        if query.precision != layout.precision:
+            raise RuntimeProtocolError(
+                f"batch precision {query.precision} does not match the "
+                f"model precision {layout.precision}"
+            )
+        if query.width != layout.batched_width:
+            raise RuntimeProtocolError(
+                f"batch width {query.width} does not match the layout "
+                f"width {layout.batched_width}; was the batch packed "
+                f"with the model's layout?"
+            )
+        local = model.adopt_into(ctx)
+
+        with ctx.tracker.phase(PHASE_COMPARISON):
+            not_one = None
+            if self.seccomp_variant == VARIANT_ALOUFI:
+                if query.public_key is None:
+                    raise RuntimeProtocolError(
+                        "the Aloufi SecComp variant needs the batch's "
+                        "public key to encrypt the all-ones helper"
+                    )
+                not_one = ctx.encrypt(
+                    ctx.ones(query.width).to_array(), query.public_key
+                )
+            decisions = secure_compare(
+                ctx,
+                query.planes,
+                local.threshold_planes,
+                variant=self.seccomp_variant,
+                not_one=not_one,
+            )
+
+        with ctx.tracker.phase(PHASE_RESHUFFLE):
+            branches = batched_matvec(
+                ctx,
+                local.reshuffle_diagonals,
+                rows=layout.branching,
+                cols=layout.quantized_branching,
+                vector=decisions,
+                layout=layout,
+            )
+
+        with ctx.tracker.phase(PHASE_LEVELS):
+            level_results = self._process_levels(local, branches)
+
+        with ctx.tracker.phase(PHASE_ACCUMULATE):
+            result = ctx.multiply_all(level_results)
+
+        if not isinstance(result, Ciphertext):  # pragma: no cover
+            raise RuntimeProtocolError("batched result must be encrypted")
+        return result
+
+    def _process_levels(
+        self, model: BatchedEncryptedModel, branches: Vector
+    ) -> List[Vector]:
+        """All levels against shared block-gathered branch vectors.
+
+        As in the single-query runtime, the gathers of the branch vector
+        are identical across levels, so they are computed once and reused
+        by all ``d`` diagonal products.
+        """
+        ctx = self.ctx
+        layout = model.layout
+        if not isinstance(branches, Ciphertext):  # pragma: no cover
+            raise RuntimeProtocolError("branch decisions must be encrypted")
+        b = layout.branching
+        gathered = [
+            block_gather(
+                ctx, branches, i, width=b, rows=layout.num_labels,
+                layout=layout,
+            )
+            for i in range(b)
+        ]
+        results: List[Vector] = []
+        for level_index in range(model.max_depth):
+            diagonals = model.level_diagonals[level_index]
+            mask = model.level_masks[level_index]
+            products: List[Vector] = []
+            for i, diagonal in enumerate(diagonals):
+                products.append(ctx.and_any(diagonal, gathered[i]))
+            level_decisions = ctx.xor_all(products)
+            results.append(ctx.xor_any(level_decisions, mask))
+        return results

@@ -1,0 +1,256 @@
+"""Query batching: collect submissions, evaluate batches, demultiplex.
+
+A :class:`QueryBatcher` fronts one registered model.  Submissions are
+validated eagerly (bad queries fail at ``submit`` time, before they can
+poison a batch), queued, and cut into batches of at most the layout's
+capacity.  Evaluating a batch runs the whole amortized pipeline:
+
+1. pack the queries' replicated-and-padded bit planes into shared slots
+   and encrypt them once per plane (``data_encrypt``),
+2. run the batched Algorithm 1 against the model's cached, once-encrypted
+   :class:`~repro.serve.batched_runtime.BatchedEncryptedModel`,
+3. decrypt the single result ciphertext and demultiplex the slot blocks
+   back into per-query label bitvectors,
+4. optionally verify every bitvector against the plaintext oracle
+   (``forest.label_bitvector``), and
+5. resolve each query's future with a :class:`ClassificationResult`.
+
+Every batch evaluation uses a fresh :class:`~repro.fhe.context.FheContext`
+(same parameters, private tracker), so concurrent workers never share
+mutable tracker state; the per-batch tracker travels in the
+:class:`BatchRecord` for thread-safe aggregation by the service.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.core.runtime import InferenceResult, PHASE_DATA_ENCRYPT
+from repro.core.seccomp import VARIANT_ALOUFI
+from repro.fhe.context import FheContext
+from repro.fhe.tracker import OpTracker
+from repro.serve.batched_runtime import (
+    BATCH_INFERENCE_PHASES,
+    BatchedCopseServer,
+    encrypt_batch,
+)
+from repro.serve.packing import demux_bitvectors, validate_features
+from repro.serve.registry import RegisteredModel
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """One query's demultiplexed result, with batch provenance."""
+
+    model: str
+    features: List[int]
+    result: InferenceResult
+    batch_id: int
+    batch_fill: int
+    batch_capacity: int
+    #: Simulated inference ms of the batch divided by its real queries.
+    amortized_ms: float
+    #: Oracle agreement (None when verification was disabled or no source
+    #: forest is available).
+    oracle_ok: Optional[bool] = None
+
+    @property
+    def bitvector(self) -> List[int]:
+        return self.result.bitvector
+
+    def plurality_name(self) -> str:
+        return self.result.plurality_name()
+
+
+@dataclass
+class BatchRecord:
+    """Measurements from one evaluated batch (for stats aggregation)."""
+
+    model: str
+    batch_id: int
+    size: int
+    capacity: int
+    tracker: OpTracker
+    phase_ms: Dict[str, float]
+    inference_ms: float
+    data_encrypt_ms: float
+    #: Number of queries whose bitvector disagreed with the plaintext
+    #: oracle (None when verification was disabled).
+    oracle_failures: Optional[int]
+
+    @property
+    def oracle_ok(self) -> Optional[bool]:
+        if self.oracle_failures is None:
+            return None
+        return self.oracle_failures == 0
+
+    @property
+    def amortized_ms(self) -> float:
+        return self.inference_ms / self.size if self.size else 0.0
+
+
+@dataclass
+class PendingQuery:
+    """A validated submission waiting to be packed into a batch."""
+
+    features: List[int]
+    future: "Future[ClassificationResult]" = field(default_factory=Future)
+
+
+@dataclass
+class CutBatch:
+    """A batch cut from the pending queue, ready for evaluation."""
+
+    batch_id: int
+    entries: List[PendingQuery]
+
+
+class QueryBatcher:
+    """Collects queries for one model and evaluates them in batches."""
+
+    def __init__(
+        self,
+        registered: RegisteredModel,
+        seccomp_variant: str = VARIANT_ALOUFI,
+        verify_oracle: bool = True,
+    ):
+        self.registered = registered
+        self.seccomp_variant = seccomp_variant
+        self.verify_oracle = verify_oracle and registered.forest is not None
+        self._pending: Deque[PendingQuery] = deque()
+        self._lock = threading.Lock()
+        self._batch_counter = 0
+
+    # ------------------------------------------------------------------
+    # Submission / batch cutting
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.registered.layout.capacity
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, features) -> "Future[ClassificationResult]":
+        """Validate and enqueue one query; returns its future."""
+        validated = validate_features(self.registered.layout, features)
+        entry = PendingQuery(features=validated)
+        with self._lock:
+            self._pending.append(entry)
+        return entry.future
+
+    def cut_batch(self) -> Optional[CutBatch]:
+        """Pop up to ``capacity`` pending queries as one batch.
+
+        Queries whose future was cancelled while queued are dropped here
+        (``set_running_or_notify_cancel`` returns False for them), so a
+        caller's cancel never occupies a slot or poisons result delivery
+        for the other queries sharing the batch.
+        """
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return None
+                entries = [
+                    self._pending.popleft()
+                    for _ in range(min(self.capacity, len(self._pending)))
+                ]
+                self._batch_counter += 1
+                batch_id = self._batch_counter
+            live = [
+                e for e in entries
+                if e.future.set_running_or_notify_cancel()
+            ]
+            if live:
+                return CutBatch(batch_id=batch_id, entries=live)
+
+    def has_full_batch(self) -> bool:
+        with self._lock:
+            return len(self._pending) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, batch: CutBatch) -> BatchRecord:
+        """Run one batch end to end and resolve its futures.
+
+        An evaluation failure is propagated through every future in the
+        batch before being re-raised, so submitters always learn the
+        outcome and the failure stays contained to those queries.
+        """
+        try:
+            return self._evaluate(batch)
+        except BaseException as exc:
+            for entry in batch.entries:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+            raise
+
+    def _evaluate(self, batch: CutBatch) -> BatchRecord:
+        entries = batch.entries
+        registered = self.registered
+        layout = registered.layout
+        ctx = FheContext(registered.params)
+        server = BatchedCopseServer(ctx, seccomp_variant=self.seccomp_variant)
+
+        query = encrypt_batch(
+            ctx, layout, [e.features for e in entries], registered.keys
+        )
+        encrypted = server.classify_batch(registered.batched_model, query)
+        bits = ctx.decrypt_bits(encrypted, registered.keys.secret)
+        bitvectors = demux_bitvectors(layout, bits, len(entries))
+
+        cost = registered.cost_model
+        phase_ms = {
+            phase: cost.phase_sequential_ms(ctx.tracker, phase)
+            for phase in (PHASE_DATA_ENCRYPT,) + BATCH_INFERENCE_PHASES
+        }
+        inference_ms = sum(phase_ms[p] for p in BATCH_INFERENCE_PHASES)
+        batch_id = batch.batch_id
+
+        oracle_failures: Optional[int] = 0 if self.verify_oracle else None
+        spec = registered.spec
+        size = len(entries)
+        for k, entry in enumerate(entries):
+            result = InferenceResult(
+                bitvector=bitvectors[k],
+                codebook=list(spec.codebook),
+                label_names=list(spec.label_names),
+            )
+            oracle_ok: Optional[bool] = None
+            if self.verify_oracle:
+                expected = registered.forest.label_bitvector(entry.features)
+                oracle_ok = bitvectors[k] == expected
+                if not oracle_ok:
+                    oracle_failures += 1
+            entry.future.set_result(
+                ClassificationResult(
+                    model=registered.name,
+                    features=list(entry.features),
+                    result=result,
+                    batch_id=batch_id,
+                    batch_fill=size,
+                    batch_capacity=layout.capacity,
+                    amortized_ms=inference_ms / size,
+                    oracle_ok=oracle_ok,
+                )
+            )
+        return BatchRecord(
+            model=registered.name,
+            batch_id=batch_id,
+            size=size,
+            capacity=layout.capacity,
+            tracker=ctx.tracker,
+            phase_ms=phase_ms,
+            inference_ms=inference_ms,
+            data_encrypt_ms=phase_ms[PHASE_DATA_ENCRYPT],
+            oracle_failures=oracle_failures,
+        )

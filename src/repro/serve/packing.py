@@ -1,0 +1,240 @@
+"""Cross-query SIMD packing: batch geometry, slot packing, demultiplexing.
+
+A single COPSE query occupies at most ``required_width`` SIMD slots (the
+widest vector its pipeline manipulates: ``max(q, b, labels)``), but the
+paper's chosen parameters provide ``slot_count`` slots — 960 for the
+Table 5 winner — leaving most of every ciphertext idle.  The serve
+subsystem packs ``B`` independent queries into those idle slots:
+
+* every logical per-query vector is padded to a fixed **stride**
+  ``S = required_width`` and placed in its query's **block**
+  ``[k*S, (k+1)*S)``;
+* the batch **capacity** is ``B = slot_count // S`` (optionally capped);
+* model structures are padded to the stride and **tiled** ``B`` times, so
+  one slot-wise operation applies the model to every packed query at once;
+* partial batches are padded with all-zero dummy queries so every batch
+  runs the identical (input-independent) circuit at full width.
+
+Demultiplexing slices the decrypted result bitvector back into per-query
+label bitvectors: query ``k`` owns slots ``[k*S, k*S + labels)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.core.compiler import CompiledModel
+from repro.fhe.params import EncryptionParams
+from repro.fhe.simd import replicate, to_bitplanes
+
+
+@dataclass(frozen=True)
+class BatchLayout:
+    """Slot geometry shared by every batch evaluated against one model.
+
+    ``stride`` is the padded per-query block width; ``capacity`` is the
+    number of query blocks packed per ciphertext.  The per-stage logical
+    widths (``quantized_branching`` for the comparison, ``branching``
+    after the reshuffle, ``num_labels`` after the levels) are carried so
+    the batched runtime can rotate *within* each stage's width.
+    """
+
+    stride: int
+    capacity: int
+    precision: int
+    n_features: int
+    max_multiplicity: int
+    quantized_branching: int
+    branching: int
+    num_labels: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValidationError(
+                f"batch capacity must be >= 1, got {self.capacity}"
+            )
+        if self.stride < max(
+            self.quantized_branching, self.branching, self.num_labels
+        ):
+            raise ValidationError(
+                f"stride {self.stride} is narrower than the widest "
+                f"pipeline vector"
+            )
+
+    @property
+    def batched_width(self) -> int:
+        """Total slots occupied by one fully packed batch."""
+        return self.stride * self.capacity
+
+    def block_slice(self, k: int) -> slice:
+        """The slot range owned by query ``k``."""
+        if not 0 <= k < self.capacity:
+            raise ValidationError(
+                f"block {k} outside batch capacity {self.capacity}"
+            )
+        return slice(k * self.stride, (k + 1) * self.stride)
+
+    def describe(self) -> str:
+        return (
+            f"stride={self.stride} capacity={self.capacity} "
+            f"width={self.batched_width}"
+        )
+
+
+def plan_layout(
+    compiled: CompiledModel,
+    params: EncryptionParams,
+    max_batch_size: int | None = None,
+) -> BatchLayout:
+    """Compute the batch geometry for a compiled model under ``params``.
+
+    The capacity is ``slot_count // stride`` — how many padded queries fit
+    in one ciphertext — optionally capped by ``max_batch_size`` (useful to
+    trade amortization for latency).  Models too wide to pack twice
+    degrade gracefully to ``capacity == 1``.
+    """
+    stride = compiled.required_width()
+    if not params.supports_width(stride):
+        raise ValidationError(
+            f"model width {stride} does not fit in {params.slot_count} "
+            f"SIMD slots ({params.describe()})"
+        )
+    capacity = params.slot_count // stride
+    if max_batch_size is not None:
+        if max_batch_size < 1:
+            raise ValidationError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        capacity = min(capacity, max_batch_size)
+    return BatchLayout(
+        stride=stride,
+        capacity=capacity,
+        precision=compiled.precision,
+        n_features=compiled.n_features,
+        max_multiplicity=compiled.max_multiplicity,
+        quantized_branching=compiled.quantized_branching,
+        branching=compiled.branching,
+        num_labels=compiled.num_labels,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Packing
+# ---------------------------------------------------------------------------
+
+
+def validate_features(layout: BatchLayout, features: Sequence[int]) -> List[int]:
+    """Check one query's features against the layout's public spec."""
+    if len(features) != layout.n_features:
+        raise ValidationError(
+            f"model expects {layout.n_features} features, got {len(features)}"
+        )
+    limit = 1 << layout.precision
+    out: List[int] = []
+    for value in features:
+        v = int(value)
+        if not 0 <= v < limit:
+            raise ValidationError(
+                f"feature value {value} does not fit in "
+                f"{layout.precision} unsigned bits"
+            )
+        out.append(v)
+    return out
+
+
+def pack_query_planes(
+    layout: BatchLayout, queries: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Pack up to ``capacity`` queries into batched MSB-first bit planes.
+
+    Each query is replicated to multiplicity ``K`` (Diane's Step 0),
+    bit-sliced, padded to the stride, and placed in its block.  Unused
+    blocks stay zero (the all-zero dummy query), so every batch presents
+    the same shape to the input-independent circuit.
+
+    Returns a ``(precision, stride * capacity)`` uint8 array.
+    """
+    if not queries:
+        raise ValidationError("cannot pack an empty batch")
+    if len(queries) > layout.capacity:
+        raise ValidationError(
+            f"{len(queries)} queries exceed the batch capacity "
+            f"{layout.capacity}"
+        )
+    planes = np.zeros(
+        (layout.precision, layout.batched_width), dtype=np.uint8
+    )
+    q = layout.quantized_branching
+    for k, features in enumerate(queries):
+        values = validate_features(layout, features)
+        replicated = replicate(values, layout.max_multiplicity)
+        block = to_bitplanes(replicated, layout.precision)
+        planes[:, k * layout.stride : k * layout.stride + q] = block
+    return planes
+
+
+def tile_model_vector(layout: BatchLayout, vector: Sequence[int]) -> np.ndarray:
+    """Pad a per-query model vector to the stride and tile it per block.
+
+    This is how every model structure (threshold planes, reshuffle and
+    level diagonals, level masks) is broadcast across the batch: the same
+    values appear in every query's block, padding slots stay zero.
+    """
+    arr = np.asarray(vector, dtype=np.uint8)
+    if arr.ndim != 1 or arr.size == 0 or arr.size > layout.stride:
+        raise ValidationError(
+            f"model vector of length {arr.size} does not fit the "
+            f"stride {layout.stride}"
+        )
+    padded = np.zeros(layout.stride, dtype=np.uint8)
+    padded[: arr.size] = arr
+    return np.tile(padded, layout.capacity)
+
+
+def segment_mask(layout: BatchLayout, lo: int, hi: int) -> np.ndarray:
+    """Batched 0/1 mask selecting block offsets ``[lo, hi)`` in every block.
+
+    Used by the batched runtime's masked-rotation gather to choose which
+    rotation supplies each slot of a block-local cyclic access.
+    """
+    if not 0 <= lo < hi <= layout.stride:
+        raise ValidationError(
+            f"mask segment [{lo}, {hi}) outside stride {layout.stride}"
+        )
+    block = np.zeros(layout.stride, dtype=np.uint8)
+    block[lo:hi] = 1
+    return np.tile(block, layout.capacity)
+
+
+# ---------------------------------------------------------------------------
+# Demultiplexing
+# ---------------------------------------------------------------------------
+
+
+def demux_bitvectors(
+    layout: BatchLayout, bits: Sequence[int], count: int
+) -> List[List[int]]:
+    """Slice a decrypted batched result into per-query label bitvectors.
+
+    ``count`` is the number of real (non-dummy) queries; dummy blocks are
+    discarded.  Query ``k``'s bitvector is the first ``num_labels`` slots
+    of its block.
+    """
+    if count < 0 or count > layout.capacity:
+        raise ValidationError(
+            f"cannot demux {count} queries from a batch of capacity "
+            f"{layout.capacity}"
+        )
+    if len(bits) != layout.batched_width:
+        raise ValidationError(
+            f"result has {len(bits)} slots, expected {layout.batched_width}"
+        )
+    out: List[List[int]] = []
+    for k in range(count):
+        start = k * layout.stride
+        out.append([int(b) for b in bits[start : start + layout.num_labels]])
+    return out

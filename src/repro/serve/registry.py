@@ -1,0 +1,185 @@
+"""Model registry: compile, parameter-select, and encrypt each model once.
+
+The unbatched runtime re-encrypts the model on every ``secure_inference``
+call.  At service scale that is the dominant waste: the model never
+changes between queries.  The registry performs the whole offline
+pipeline exactly once per registered model —
+
+1. compile the forest (or accept an already-compiled model),
+2. select encryption parameters (the Table 5 autotuner, or accept a
+   caller-supplied set) and verify they cover the circuit,
+3. plan the batch layout from the parameters' slot capacity,
+4. generate a session key pair and encrypt the tiled, batched model —
+
+and caches the resulting :class:`BatchedEncryptedModel`, query spec, and
+cost model for every subsequent batch evaluation.
+
+Trust model: cross-query packing requires all queries of a batch to be
+encrypted under one key, so the service holds a per-model *session* key
+and acts as the data owner's gateway (one Diane aggregating concurrent
+queries — e.g. a tenant with many end users, or a trusted front end).
+DESIGN.md discusses the configurations this does and does not cover.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ValidationError
+from repro.core.compiler import CompiledModel, CopseCompiler
+from repro.core.runtime import ModelOwner, QuerySpec
+from repro.fhe.context import FheContext
+from repro.fhe.costmodel import CostModel
+from repro.fhe.keys import KeyPair
+from repro.fhe.params import EncryptionParams
+from repro.forest.forest import DecisionForest
+from repro.serve.batched_runtime import BatchedEncryptedModel, build_batched_model
+from repro.serve.packing import BatchLayout, plan_layout
+
+
+@dataclass
+class RegisteredModel:
+    """Everything cached for one registered model."""
+
+    name: str
+    compiled: CompiledModel
+    params: EncryptionParams
+    layout: BatchLayout
+    spec: QuerySpec
+    keys: KeyPair
+    batched_model: BatchedEncryptedModel
+    cost_model: CostModel
+    encrypted_model: bool
+    forest: Optional[DecisionForest] = field(default=None, repr=False)
+    #: One-time simulated cost of encrypting the batched model (ms).
+    setup_ms: float = 0.0
+
+    @property
+    def batch_capacity(self) -> int:
+        return self.layout.capacity
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.compiled.describe()}; "
+            f"batch {self.layout.describe()}; {self.params.describe()}"
+        )
+
+
+class ModelRegistry:
+    """Thread-safe name -> :class:`RegisteredModel` store."""
+
+    def __init__(self, default_params: Optional[EncryptionParams] = None):
+        self._default_params = default_params
+        self._models: Dict[str, RegisteredModel] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        model: Union[DecisionForest, CompiledModel],
+        precision: int = 8,
+        params: Optional[EncryptionParams] = None,
+        autoselect_params: bool = False,
+        max_batch_size: Optional[int] = None,
+        encrypted_model: bool = True,
+    ) -> RegisteredModel:
+        """Compile, parameter-select, and encrypt ``model`` exactly once.
+
+        ``model`` may be a :class:`DecisionForest` (compiled here at
+        ``precision``) or an already-compiled model.  Parameters resolve
+        in priority order: explicit ``params``, then the Table 5 autotuner
+        when ``autoselect_params`` is set, then the registry default, then
+        the paper's defaults.  ``max_batch_size`` caps the packing
+        capacity below what the slots allow (a latency knob);
+        ``encrypted_model=False`` keeps the model in plaintext on the
+        server (Maurice = Sally).
+        """
+        if not name:
+            raise ValidationError("a registered model needs a non-empty name")
+        with self._lock:
+            # Fail before the expensive compile/encrypt pipeline; the
+            # insert below re-checks in case of a registration race.
+            if name in self._models:
+                raise ValidationError(
+                    f"a model named {name!r} is already registered"
+                )
+        forest: Optional[DecisionForest] = None
+        if isinstance(model, CompiledModel):
+            compiled = model
+            forest = model.source_forest
+        elif isinstance(model, DecisionForest):
+            forest = model
+            compiled = CopseCompiler(precision=precision).compile(model)
+        else:
+            raise ValidationError(
+                f"cannot register a {type(model).__name__}; expected a "
+                f"DecisionForest or CompiledModel"
+            )
+
+        compiler = CopseCompiler(precision=compiled.precision)
+        if params is None:
+            if autoselect_params:
+                params = compiler.select_parameters(compiled)
+            else:
+                params = self._default_params or EncryptionParams.paper_defaults()
+        compiled.check_parameters(params)
+        layout = plan_layout(compiled, params, max_batch_size=max_batch_size)
+
+        ctx = FheContext(params)
+        keys = ctx.keygen()
+        cost_model = CostModel(params)
+        batched = build_batched_model(
+            ctx,
+            compiled,
+            layout,
+            public_key=keys.public if encrypted_model else None,
+        )
+        setup_ms = cost_model.sequential_ms(ctx.tracker)
+
+        registered = RegisteredModel(
+            name=name,
+            compiled=compiled,
+            params=params,
+            layout=layout,
+            spec=ModelOwner(compiled).query_spec(),
+            keys=keys,
+            batched_model=batched,
+            cost_model=cost_model,
+            encrypted_model=encrypted_model,
+            forest=forest,
+            setup_ms=setup_ms,
+        )
+        with self._lock:
+            if name in self._models:
+                raise ValidationError(
+                    f"a model named {name!r} is already registered"
+                )
+            self._models[name] = registered
+        return registered
+
+    def get(self, name: str) -> RegisteredModel:
+        with self._lock:
+            if name not in self._models:
+                known = ", ".join(sorted(self._models)) or "none"
+                raise ValidationError(
+                    f"no registered model named {name!r} (registered: {known})"
+                )
+            return self._models[name]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._models.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)

@@ -1,0 +1,97 @@
+"""Worker-pool scheduler: inter-batch parallelism over a job queue.
+
+Figures 7 and 8 of the paper exploit parallelism *inside* one query's
+circuit; a serving system additionally gets parallelism *across* queries.
+The scheduler realizes the latter: a configurable pool of worker threads
+drains a submission queue of batch jobs, each job evaluating one packed
+batch against its model's cached encryption.
+
+Each job carries its own :class:`~repro.fhe.context.FheContext` (created
+inside :meth:`QueryBatcher.evaluate`), so workers never contend on
+tracker state; results funnel through a caller-supplied ``on_record``
+callback, which the service guards with a lock for thread-safe per-phase
+aggregation.  ``drain()`` blocks until every queued job has completed —
+the synchronization point ``flush``/``close`` rely on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, List
+
+from repro.errors import ValidationError
+
+#: Sentinel shutting one worker down.
+_STOP = object()
+
+
+class Scheduler:
+    """Fixed pool of daemon workers draining a FIFO job queue."""
+
+    def __init__(self, threads: int = 2, name: str = "copse-serve"):
+        if threads < 1:
+            raise ValidationError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self._queue: "queue.Queue" = queue.Queue()
+        self._workers: List[threading.Thread] = []
+        self._closed = False
+        self._lock = threading.Lock()
+        for i in range(threads):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"{name}-worker-{i}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Callable[[], None]) -> None:
+        """Enqueue one batch job for the pool."""
+        with self._lock:
+            if self._closed:
+                raise ValidationError(
+                    "cannot submit to a closed scheduler"
+                )
+            self._queue.put(job)
+
+    def drain(self) -> None:
+        """Block until every job enqueued so far has finished."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Finish outstanding jobs, then stop every worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.join()
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join()
+        self._workers.clear()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                self._queue.task_done()
+                return
+            try:
+                job()
+            except Exception:
+                # The job owns error delivery (futures); a failed batch
+                # must not take the worker down with it.
+                pass
+            finally:
+                self._queue.task_done()

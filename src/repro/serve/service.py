@@ -1,0 +1,328 @@
+"""CopseService: the batched secure-inference facade.
+
+Composes the registry (compile + encrypt once), the per-model batchers
+(pack / demux / verify), and the scheduler (worker pool) behind three
+calls — ``register_model`` / ``submit`` / ``stats`` — plus synchronous
+conveniences.  Typical use::
+
+    with CopseService(threads=4) as service:
+        service.register_model("credit", forest, precision=8)
+        results = service.classify_many("credit", feature_lists)
+        print(service.stats().render())
+
+Dispatch policy: a full batch is scheduled the moment the pending queue
+reaches the layout's capacity; partial batches wait for an explicit
+``flush()`` (``classify``/``classify_many`` flush for you).  Latency and
+throughput metrics come from the existing
+:class:`~repro.fhe.costmodel.CostModel` over each batch's operation DAG,
+aggregated thread-safely across workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ValidationError
+from repro.core.compiler import CompiledModel
+from repro.core.seccomp import VARIANT_ALOUFI
+from repro.fhe.params import EncryptionParams
+from repro.forest.forest import DecisionForest
+from repro.serve.batcher import (
+    BatchRecord,
+    ClassificationResult,
+    CutBatch,
+    QueryBatcher,
+)
+from repro.serve.registry import ModelRegistry, RegisteredModel
+from repro.serve.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A consistent snapshot of the service's aggregated measurements.
+
+    All times are *simulated* milliseconds from the cost model (the
+    paper's metric), not wall clock.  ``inference_ms`` covers the four
+    shared pipeline stages; ``data_encrypt_ms`` is the per-batch query
+    encryption; ``setup_ms`` is the one-time model compilation/encryption
+    across registered models.
+    """
+
+    queries: int
+    batches: int
+    capacity_total: int
+    phase_ms: Dict[str, float]
+    op_counts: Dict[str, int]
+    inference_ms: float
+    data_encrypt_ms: float
+    setup_ms: float
+    oracle_failures: int
+    threads: int
+
+    @property
+    def amortized_ms_per_query(self) -> float:
+        """Simulated inference ms per served query (the batching payoff)."""
+        if not self.queries:
+            return 0.0
+        return self.inference_ms / self.queries
+
+    @property
+    def avg_batch_fill(self) -> float:
+        """Mean fraction of each batch's slots holding real queries."""
+        if not self.capacity_total:
+            return 0.0
+        return self.queries / self.capacity_total
+
+    @property
+    def throughput_qps(self) -> float:
+        """Simulated queries/second with batches spread over the pool.
+
+        Batches are the scheduling unit, so the pool's makespan is
+        ``ceil(batches / threads)`` rounds of the mean batch time: a
+        single batch gains nothing from idle workers, and a remainder
+        batch costs a full extra round.
+        """
+        if self.inference_ms <= 0 or not self.batches:
+            return 0.0
+        rounds = -(-self.batches // self.threads)
+        makespan_ms = self.inference_ms * rounds / self.batches
+        return self.queries * 1000.0 / makespan_ms
+
+    def render(self) -> str:
+        lines = [
+            "CopseService stats",
+            f"  queries served      : {self.queries}",
+            f"  batches evaluated   : {self.batches}",
+            f"  avg batch fill      : {self.avg_batch_fill:.2f}",
+            f"  amortized ms/query  : {self.amortized_ms_per_query:.2f}",
+            f"  throughput (q/s)    : {self.throughput_qps:.1f} "
+            f"({self.threads} workers)",
+            f"  one-time setup ms   : {self.setup_ms:.2f}",
+            f"  batch encrypt ms    : {self.data_encrypt_ms:.2f}",
+            f"  oracle failures     : {self.oracle_failures}",
+        ]
+        for phase, ms in self.phase_ms.items():
+            lines.append(f"  phase {phase:<13}: {ms:.2f} ms")
+        return "\n".join(lines)
+
+
+class _StatsAggregator:
+    """Thread-safe accumulator for per-batch records."""
+
+    def __init__(self, threads: int):
+        self._lock = threading.Lock()
+        self._threads = threads
+        self._queries = 0
+        self._batches = 0
+        self._capacity_total = 0
+        self._phase_ms: Dict[str, float] = {}
+        self._op_counts: Dict[str, int] = {}
+        self._inference_ms = 0.0
+        self._data_encrypt_ms = 0.0
+        self._setup_ms = 0.0
+        self._oracle_failures = 0
+
+    def record_setup(self, registered: RegisteredModel) -> None:
+        with self._lock:
+            self._setup_ms += registered.setup_ms
+
+    def record_batch(self, record: BatchRecord) -> None:
+        with self._lock:
+            self._queries += record.size
+            self._batches += 1
+            self._capacity_total += record.capacity
+            for phase, ms in record.phase_ms.items():
+                self._phase_ms[phase] = self._phase_ms.get(phase, 0.0) + ms
+            for phase in record.tracker.phases:
+                for kind, n in record.tracker.phase_stats(phase).counts.items():
+                    key = kind.value
+                    self._op_counts[key] = self._op_counts.get(key, 0) + n
+            self._inference_ms += record.inference_ms
+            self._data_encrypt_ms += record.data_encrypt_ms
+            if record.oracle_failures:
+                self._oracle_failures += record.oracle_failures
+
+    def snapshot(self) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                queries=self._queries,
+                batches=self._batches,
+                capacity_total=self._capacity_total,
+                phase_ms=dict(self._phase_ms),
+                op_counts=dict(self._op_counts),
+                inference_ms=self._inference_ms,
+                data_encrypt_ms=self._data_encrypt_ms,
+                setup_ms=self._setup_ms,
+                oracle_failures=self._oracle_failures,
+                threads=self._threads,
+            )
+
+
+class CopseService:
+    """Batched secure-inference service over the COPSE stack."""
+
+    def __init__(
+        self,
+        params: Optional[EncryptionParams] = None,
+        threads: int = 2,
+        seccomp_variant: str = VARIANT_ALOUFI,
+        verify_oracle: bool = True,
+    ):
+        self.registry = ModelRegistry(default_params=params)
+        self.scheduler = Scheduler(threads=threads)
+        self.seccomp_variant = seccomp_variant
+        self.verify_oracle = verify_oracle
+        self._batchers: Dict[str, QueryBatcher] = {}
+        self._lock = threading.Lock()
+        self._stats = _StatsAggregator(threads=threads)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_model(
+        self,
+        name: str,
+        model: Union[DecisionForest, CompiledModel],
+        precision: int = 8,
+        params: Optional[EncryptionParams] = None,
+        autoselect_params: bool = False,
+        max_batch_size: Optional[int] = None,
+        encrypted_model: bool = True,
+    ) -> RegisteredModel:
+        """Compile, parameter-select, and encrypt ``model`` exactly once."""
+        registered = self.registry.register(
+            name,
+            model,
+            precision=precision,
+            params=params,
+            autoselect_params=autoselect_params,
+            max_batch_size=max_batch_size,
+            encrypted_model=encrypted_model,
+        )
+        batcher = QueryBatcher(
+            registered,
+            seccomp_variant=self.seccomp_variant,
+            verify_oracle=self.verify_oracle,
+        )
+        with self._lock:
+            self._batchers[name] = batcher
+        self._stats.record_setup(registered)
+        return registered
+
+    def unregister_model(self, name: str) -> None:
+        """Retire a model: drop it from the registry and stop serving it.
+
+        Pending queries already submitted for the model are abandoned
+        unresolved, so flush first if they matter.
+        """
+        self.registry.unregister(name)
+        with self._lock:
+            self._batchers.pop(name, None)
+
+    def _batcher(self, name: str) -> QueryBatcher:
+        # The registry owns name resolution (and its lookup-or-raise
+        # message); the batcher map only mirrors it, so a model removed
+        # via ``registry.unregister`` stops serving immediately even if
+        # its mirror entry has not been pruned yet.
+        self.registry.get(name)
+        with self._lock:
+            return self._batchers[name]
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, model_name: str, features: Sequence[int]):
+        """Enqueue one query; returns a future of ClassificationResult.
+
+        Full batches dispatch immediately; partial batches wait for
+        :meth:`flush` (or more submissions).
+        """
+        if self.scheduler.closed:
+            raise ValidationError("cannot submit to a closed service")
+        batcher = self._batcher(model_name)
+        future = batcher.submit(features)
+        while batcher.has_full_batch():
+            batch = batcher.cut_batch()
+            if batch is None:
+                break
+            self._dispatch(batcher, batch)
+        return future
+
+    def flush(self, model_name: Optional[str] = None) -> None:
+        """Dispatch all pending (including partial) batches and wait."""
+        if model_name is not None:
+            batchers = [self._batcher(model_name)]
+        else:
+            with self._lock:
+                # Prune mirrors of models retired directly through the
+                # registry, releasing their cached encrypted structures.
+                for name in list(self._batchers):
+                    if name not in self.registry:
+                        del self._batchers[name]
+                batchers = list(self._batchers.values())
+        for batcher in batchers:
+            while True:
+                batch = batcher.cut_batch()
+                if batch is None:
+                    break
+                self._dispatch(batcher, batch)
+        self.scheduler.drain()
+
+    def classify(
+        self, model_name: str, features: Sequence[int]
+    ) -> ClassificationResult:
+        """Synchronous single query (submits, flushes, waits)."""
+        future = self.submit(model_name, features)
+        if not future.done():
+            self.flush(model_name)
+        return future.result()
+
+    def classify_many(
+        self, model_name: str, feature_lists: Sequence[Sequence[int]]
+    ) -> List[ClassificationResult]:
+        """Submit many queries, dispatch, and return results in order."""
+        futures = [self.submit(model_name, f) for f in feature_lists]
+        self.flush(model_name)
+        return [f.result() for f in futures]
+
+    def _dispatch(self, batcher: QueryBatcher, batch: CutBatch) -> None:
+        def job() -> None:
+            record = batcher.evaluate(batch)
+            self._stats.record_batch(record)
+
+        try:
+            self.scheduler.submit(job)
+        except ValidationError as exc:
+            # close() raced the dispatch: the batch is already cut and its
+            # futures are RUNNING, so deliver the failure instead of
+            # leaving callers blocked on result() forever.
+            for entry in batch.entries:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        return self._stats.snapshot()
+
+    def pending(self, model_name: str) -> int:
+        return self._batcher(model_name).pending_count
+
+    def close(self) -> None:
+        """Flush outstanding work and stop the worker pool."""
+        if not self.scheduler.closed:
+            self.flush()
+            self.scheduler.close()
+
+    def __enter__(self) -> "CopseService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

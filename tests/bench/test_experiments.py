@@ -148,6 +148,47 @@ class TestTable6:
             assert row[1] == row[6]  # max depth == generated d
 
 
+class TestThroughput:
+    def test_batching_pays_on_width78(self):
+        """PR acceptance: amortized per-query cost strictly below the
+        unbatched ``secure_inference`` cost for the width78 workload."""
+        table = experiments.throughput(
+            workload_name="width78", queries=16, threads=2
+        )
+        unbatched_ms = table.rows[0][3]
+        batched_ms = table.rows[1][3]
+        assert batched_ms < unbatched_ms
+        assert table.rows[0][5] == "ok" and table.rows[1][5] == "ok"
+        # One capacity-48 batch absorbs all 16 queries.
+        assert table.rows[1][1] == 1
+        assert table.rows[1][2] > 1
+
+    def test_throughput_scales_with_workers(self):
+        # batch_size=2 splits 8 queries into 4 batches, so a larger pool
+        # genuinely overlaps more work.
+        two = experiments.throughput(
+            "width55", queries=8, threads=2, batch_size=2
+        )
+        four = experiments.throughput(
+            "width55", queries=8, threads=4, batch_size=2
+        )
+        assert four.rows[1][4] > two.rows[1][4]
+
+    def test_single_batch_gains_nothing_from_idle_workers(self):
+        """qps must not claim parallelism beyond the batch count."""
+        one = experiments.throughput("width55", queries=4, threads=1)
+        four = experiments.throughput("width55", queries=4, threads=4)
+        assert one.rows[1][1] == four.rows[1][1] == 1  # one batch each
+        assert four.rows[1][4] == pytest.approx(one.rows[1][4])
+
+    def test_batch_size_cap_respected(self):
+        table = experiments.throughput(
+            "width55", queries=6, threads=2, batch_size=2
+        )
+        assert table.rows[1][2] == 2  # capacity capped
+        assert table.rows[1][1] == 3  # 6 queries -> 3 batches
+
+
 class TestReportHelpers:
     def test_geometric_mean(self):
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)

@@ -1,0 +1,145 @@
+"""Tests for batch geometry, slot packing, and demultiplexing."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CopseCompiler
+from repro.errors import ValidationError
+from repro.fhe.params import EncryptionParams
+from repro.fhe.simd import from_bitplanes, replicate
+from repro.serve.packing import (
+    demux_bitvectors,
+    pack_query_planes,
+    plan_layout,
+    segment_mask,
+    tile_model_vector,
+    validate_features,
+)
+
+
+@pytest.fixture
+def compiled(example_forest):
+    return CopseCompiler(precision=8).compile(example_forest)
+
+
+@pytest.fixture
+def layout(compiled, params):
+    return plan_layout(compiled, params)
+
+
+class TestPlanLayout:
+    def test_stride_is_required_width(self, compiled, layout):
+        assert layout.stride == compiled.required_width()
+
+    def test_capacity_fills_slots(self, compiled, layout, params):
+        assert layout.capacity == params.slot_count // layout.stride
+        assert layout.batched_width <= params.slot_count
+        assert layout.capacity > 1  # the whole point of batching
+
+    def test_max_batch_size_caps_capacity(self, compiled, params):
+        capped = plan_layout(compiled, params, max_batch_size=3)
+        assert capped.capacity == 3
+
+    def test_max_batch_size_cannot_exceed_slots(self, compiled, params):
+        huge = plan_layout(compiled, params, max_batch_size=10**6)
+        assert huge.batched_width <= params.slot_count
+
+    def test_bad_max_batch_size_rejected(self, compiled, params):
+        with pytest.raises(ValidationError):
+            plan_layout(compiled, params, max_batch_size=0)
+
+    def test_too_wide_model_rejected(self, compiled):
+        tiny = EncryptionParams(security=128, bits=400, columns=1)
+        # columns=1 -> 320 slots; the example model fits, so shrink via a
+        # synthetic check instead: capacity degrades to >= 1 when it fits.
+        layout = plan_layout(compiled, tiny)
+        assert layout.capacity >= 1
+
+    def test_block_slice_bounds(self, layout):
+        assert layout.block_slice(0) == slice(0, layout.stride)
+        with pytest.raises(ValidationError):
+            layout.block_slice(layout.capacity)
+
+
+class TestValidateFeatures:
+    def test_accepts_domain_values(self, layout):
+        assert validate_features(layout, [0, 255]) == [0, 255]
+
+    def test_rejects_wrong_arity(self, layout):
+        with pytest.raises(ValidationError):
+            validate_features(layout, [1, 2, 3])
+
+    def test_rejects_out_of_domain(self, layout):
+        with pytest.raises(ValidationError):
+            validate_features(layout, [0, 256])
+        with pytest.raises(ValidationError):
+            validate_features(layout, [-1, 0])
+
+
+class TestPackQueryPlanes:
+    def test_blocks_hold_replicated_bitplanes(self, layout):
+        queries = [[40, 200], [17, 3]]
+        planes = pack_query_planes(layout, queries)
+        assert planes.shape == (layout.precision, layout.batched_width)
+        q = layout.quantized_branching
+        for k, features in enumerate(queries):
+            block = planes[:, k * layout.stride : k * layout.stride + q]
+            expected = replicate(features, layout.max_multiplicity)
+            assert from_bitplanes(block) == expected
+
+    def test_unused_blocks_are_zero(self, layout):
+        planes = pack_query_planes(layout, [[1, 2]])
+        assert not planes[:, layout.stride :].any()
+
+    def test_rejects_empty_and_overfull(self, layout):
+        with pytest.raises(ValidationError):
+            pack_query_planes(layout, [])
+        too_many = [[0, 0]] * (layout.capacity + 1)
+        with pytest.raises(ValidationError):
+            pack_query_planes(layout, too_many)
+
+
+class TestTileAndMask:
+    def test_tile_pads_and_repeats(self, layout):
+        vec = [1, 0, 1]
+        tiled = tile_model_vector(layout, vec)
+        assert tiled.size == layout.batched_width
+        block = np.zeros(layout.stride, dtype=np.uint8)
+        block[:3] = vec
+        for k in range(layout.capacity):
+            assert np.array_equal(tiled[layout.block_slice(k)], block)
+
+    def test_tile_rejects_oversize(self, layout):
+        with pytest.raises(ValidationError):
+            tile_model_vector(layout, [1] * (layout.stride + 1))
+
+    def test_segment_mask_selects_offsets(self, layout):
+        mask = segment_mask(layout, 2, 5)
+        for k in range(layout.capacity):
+            block = mask[layout.block_slice(k)]
+            assert block[2:5].all() and block.sum() == 3
+
+    def test_segment_mask_bounds(self, layout):
+        with pytest.raises(ValidationError):
+            segment_mask(layout, 3, 3)
+        with pytest.raises(ValidationError):
+            segment_mask(layout, 0, layout.stride + 1)
+
+
+class TestDemux:
+    def test_round_trip_blocks(self, layout):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, layout.batched_width)
+        out = demux_bitvectors(layout, [int(b) for b in bits], 2)
+        for k in range(2):
+            start = k * layout.stride
+            assert out[k] == [
+                int(b) for b in bits[start : start + layout.num_labels]
+            ]
+
+    def test_count_and_width_validated(self, layout):
+        bits = [0] * layout.batched_width
+        with pytest.raises(ValidationError):
+            demux_bitvectors(layout, bits, layout.capacity + 1)
+        with pytest.raises(ValidationError):
+            demux_bitvectors(layout, bits[:-1], 1)

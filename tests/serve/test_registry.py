@@ -1,0 +1,76 @@
+"""Tests for the model registry (compile + encrypt exactly once)."""
+
+import pytest
+
+from repro.core.compiler import CopseCompiler
+from repro.errors import ValidationError
+from repro.fhe.params import EncryptionParams
+from repro.serve.registry import ModelRegistry
+
+
+class TestRegister:
+    def test_registers_forest_and_caches_encryption(self, example_forest):
+        registry = ModelRegistry()
+        reg = registry.register("m", example_forest, precision=8)
+        assert reg.batched_model.is_encrypted
+        assert reg.setup_ms > 0  # the one-time encryption was charged
+        assert reg.batch_capacity > 1
+        assert reg.spec.n_features == example_forest.n_features
+        assert registry.get("m") is reg
+        assert "m" in registry and len(registry) == 1
+
+    def test_accepts_compiled_model_and_keeps_forest(self, example_forest):
+        compiled = CopseCompiler(precision=8).compile(example_forest)
+        reg = ModelRegistry().register("m", compiled)
+        assert reg.forest is example_forest  # via source_forest
+        assert reg.compiled is compiled
+
+    def test_rejects_wrong_type_and_empty_name(self, example_forest):
+        registry = ModelRegistry()
+        with pytest.raises(ValidationError):
+            registry.register("m", object())
+        with pytest.raises(ValidationError):
+            registry.register("", example_forest)
+
+    def test_duplicate_name_rejected(self, example_forest):
+        registry = ModelRegistry()
+        registry.register("m", example_forest)
+        with pytest.raises(ValidationError):
+            registry.register("m", example_forest)
+
+    def test_unknown_lookup_names_known_models(self, example_forest):
+        registry = ModelRegistry()
+        registry.register("known", example_forest)
+        with pytest.raises(ValidationError, match="known"):
+            registry.get("missing")
+
+    def test_unregister(self, example_forest):
+        registry = ModelRegistry()
+        registry.register("m", example_forest)
+        registry.unregister("m")
+        assert "m" not in registry
+
+    def test_plaintext_model_option(self, example_forest):
+        reg = ModelRegistry().register(
+            "m", example_forest, encrypted_model=False
+        )
+        assert not reg.batched_model.is_encrypted
+
+    def test_explicit_params_and_batch_cap(self, example_forest):
+        params = EncryptionParams(security=128, bits=500, columns=3)
+        reg = ModelRegistry().register(
+            "m", example_forest, params=params, max_batch_size=2
+        )
+        assert reg.params == params
+        assert reg.batch_capacity == 2
+
+    def test_autoselect_params_feasible(self, example_forest):
+        reg = ModelRegistry().register(
+            "m", example_forest, autoselect_params=True
+        )
+        reg.compiled.check_parameters(reg.params)  # must not raise
+
+    def test_default_params_from_registry(self, example_forest):
+        params = EncryptionParams(security=128, bits=600, columns=3)
+        registry = ModelRegistry(default_params=params)
+        assert registry.register("m", example_forest).params == params

@@ -1,0 +1,244 @@
+"""End-to-end tests for the batched secure-inference service."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import CopseService
+from repro.serve.scheduler import Scheduler
+
+
+def queries_for(forest, count, seed=21, precision=8):
+    rng = np.random.default_rng(seed)
+    limit = 1 << precision
+    return [
+        [int(v) for v in rng.integers(0, limit, forest.n_features)]
+        for _ in range(count)
+    ]
+
+
+class TestRoundTrip:
+    def test_batched_multithreaded_round_trip(self, example_forest):
+        """The PR acceptance round trip: one registration, >= 8 queries,
+        batch_size > 1, threads > 1, every result oracle-exact."""
+        queries = queries_for(example_forest, 9)
+        with CopseService(threads=3) as service:
+            registered = service.register_model(
+                "rt", example_forest, precision=8, max_batch_size=4
+            )
+            assert registered.batch_capacity == 4 > 1
+            results = service.classify_many("rt", queries)
+            stats = service.stats()
+
+        assert len(results) == 9
+        for features, res in zip(queries, results):
+            assert res.oracle_ok is True
+            assert res.bitvector == example_forest.label_bitvector(features)
+            assert res.model == "rt"
+            assert res.amortized_ms > 0
+        # 9 queries across capacity-4 batches -> 3 batches (4+4+1).
+        assert stats.queries == 9
+        assert stats.batches == 3
+        assert stats.oracle_failures == 0
+        assert {r.batch_id for r in results} == {1, 2, 3}
+
+    def test_results_keep_submission_order(self, example_forest):
+        queries = queries_for(example_forest, 6, seed=5)
+        with CopseService(threads=2) as service:
+            service.register_model("m", example_forest, max_batch_size=2)
+            results = service.classify_many("m", queries)
+        assert [r.features for r in results] == queries
+
+
+class TestDispatchPolicy:
+    def test_full_batches_dispatch_without_flush(self, example_forest):
+        with CopseService(threads=2) as service:
+            service.register_model("m", example_forest, max_batch_size=2)
+            futures = [
+                service.submit("m", f) for f in queries_for(example_forest, 4)
+            ]
+            # Two full batches were cut; no flush needed for these.
+            for future in futures:
+                assert future.result(timeout=30).oracle_ok is True
+            assert service.pending("m") == 0
+
+    def test_partial_batch_waits_for_flush(self, example_forest):
+        with CopseService(threads=2) as service:
+            service.register_model("m", example_forest, max_batch_size=4)
+            future = service.submit("m", queries_for(example_forest, 1)[0])
+            assert service.pending("m") == 1
+            assert not future.done()
+            service.flush("m")
+            assert future.result(timeout=30).batch_fill == 1
+
+    def test_classify_single_query(self, example_forest):
+        with CopseService(threads=2) as service:
+            service.register_model("m", example_forest)
+            res = service.classify("m", [40, 200])
+            assert res.bitvector == example_forest.label_bitvector([40, 200])
+
+
+class TestErrors:
+    def test_unknown_model_rejected(self, example_forest):
+        with CopseService() as service:
+            with pytest.raises(ValidationError):
+                service.submit("ghost", [1, 2])
+            with pytest.raises(ValidationError):
+                service.flush("ghost")
+
+    def test_flush_unknown_name_does_not_flush_others(self, example_forest):
+        """Regression: flush('typo') used to silently flush everything."""
+        with CopseService(threads=1) as service:
+            service.register_model("real", example_forest, max_batch_size=4)
+            future = service.submit("real", [1, 2])
+            with pytest.raises(ValidationError):
+                service.flush("typo")
+            assert not future.done()
+            assert service.pending("real") == 1
+
+    def test_bad_query_rejected_at_submit(self, example_forest):
+        with CopseService() as service:
+            service.register_model("m", example_forest)
+            with pytest.raises(ValidationError):
+                service.submit("m", [1])  # wrong arity
+            with pytest.raises(ValidationError):
+                service.submit("m", [0, 999])  # out of domain
+            # Nothing poisoned the queue.
+            assert service.pending("m") == 0
+
+    def test_cancelled_future_does_not_poison_batch(self, example_forest):
+        """Regression: a cancelled future used to abort result delivery
+        for the other queries packed into the same batch."""
+        from concurrent.futures import CancelledError
+
+        queries = queries_for(example_forest, 3)
+        with CopseService(threads=1) as service:
+            service.register_model("m", example_forest, max_batch_size=4)
+            futures = [service.submit("m", f) for f in queries]
+            assert futures[1].cancel()
+            service.flush("m")
+            assert futures[0].result(timeout=30).oracle_ok is True
+            assert futures[2].result(timeout=30).oracle_ok is True
+            with pytest.raises(CancelledError):
+                futures[1].result(timeout=30)
+            stats = service.stats()
+        assert stats.queries == 2  # the cancelled slot was never packed
+        assert futures[0].result().batch_fill == 2
+
+    def test_unregistered_model_stops_serving(self, example_forest):
+        """Regression: registry.unregister left a stale servable batcher."""
+        with CopseService(threads=1) as service:
+            service.register_model("m", example_forest)
+            service.registry.unregister("m")
+            with pytest.raises(ValidationError):
+                service.submit("m", [1, 2])
+            # flush() prunes the stale mirror, releasing the cached model.
+            service.flush()
+            assert "m" not in service._batchers
+
+    def test_unregister_model_releases_batcher(self, example_forest):
+        with CopseService(threads=1) as service:
+            service.register_model("m", example_forest)
+            service.unregister_model("m")
+            assert "m" not in service._batchers
+            with pytest.raises(ValidationError):
+                service.submit("m", [1, 2])
+
+    def test_submit_after_close_rejected(self, example_forest):
+        service = CopseService()
+        service.register_model("m", example_forest)
+        service.close()
+        with pytest.raises(ValidationError):
+            service.submit("m", [1, 2])
+
+
+class TestStats:
+    def test_amortized_cost_and_fill(self, example_forest):
+        with CopseService(threads=2) as service:
+            service.register_model("m", example_forest, max_batch_size=3)
+            service.classify_many("m", queries_for(example_forest, 6))
+            stats = service.stats()
+        assert stats.queries == 6
+        assert stats.batches == 2
+        assert stats.avg_batch_fill == pytest.approx(1.0)
+        assert stats.amortized_ms_per_query > 0
+        assert stats.throughput_qps > 0
+        assert stats.setup_ms > 0
+        for phase in ("comparison", "reshuffle", "levels", "accumulate"):
+            assert stats.phase_ms[phase] > 0
+        assert stats.op_counts["multiply"] > 0
+        assert "CopseService stats" in stats.render()
+
+    def test_oracle_failures_counted_per_query(self, example_forest):
+        """Regression: a bad batch used to count as one failure."""
+
+        class WrongOracle:
+            def __init__(self, forest):
+                self._forest = forest
+
+            def label_bitvector(self, features):
+                real = self._forest.label_bitvector(features)
+                return [1 - b for b in real]  # always disagrees
+
+        with CopseService(threads=1) as service:
+            registered = service.register_model(
+                "m", example_forest, max_batch_size=3
+            )
+            registered.forest = WrongOracle(example_forest)
+            results = service.classify_many(
+                "m", queries_for(example_forest, 3)
+            )
+            stats = service.stats()
+        assert all(r.oracle_ok is False for r in results)
+        assert stats.batches == 1
+        assert stats.oracle_failures == 3  # one per query, not per batch
+
+    def test_qps_accounts_for_remainder_round(self, example_forest):
+        """3 batches on 2 workers take 2 rounds, not 1.5."""
+        from repro.serve import ServiceStats
+
+        stats = ServiceStats(
+            queries=6, batches=3, capacity_total=6, phase_ms={},
+            op_counts={}, inference_ms=300.0, data_encrypt_ms=0.0,
+            setup_ms=0.0, oracle_failures=0, threads=2,
+        )
+        # makespan = ceil(3/2) rounds * 100 ms/batch = 200 ms.
+        assert stats.throughput_qps == pytest.approx(6 * 1000.0 / 200.0)
+        single = ServiceStats(
+            queries=4, batches=1, capacity_total=4, phase_ms={},
+            op_counts={}, inference_ms=100.0, data_encrypt_ms=0.0,
+            setup_ms=0.0, oracle_failures=0, threads=4,
+        )
+        assert single.throughput_qps == pytest.approx(40.0)  # no 4x claim
+
+    def test_plaintext_model_cheaper_than_encrypted(self, example_forest):
+        def run(encrypted):
+            with CopseService(threads=1) as service:
+                service.register_model(
+                    "m", example_forest, encrypted_model=encrypted,
+                    max_batch_size=2,
+                )
+                service.classify_many("m", queries_for(example_forest, 2))
+                return service.stats().amortized_ms_per_query
+
+        assert run(False) < run(True)
+
+
+class TestScheduler:
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValidationError):
+            Scheduler(threads=0)
+
+    def test_failed_job_does_not_kill_worker(self):
+        scheduler = Scheduler(threads=1)
+        hits = []
+
+        def bad():
+            raise RuntimeError("boom")
+
+        scheduler.submit(bad)
+        scheduler.submit(lambda: hits.append(1))
+        scheduler.drain()
+        scheduler.close()
+        assert hits == [1]
+        assert scheduler.closed

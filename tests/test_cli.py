@@ -88,6 +88,105 @@ class TestClassify:
         assert "error" in capsys.readouterr().err
 
 
+class TestBatchClassify:
+    def test_happy_path(self, model_file, capsys):
+        path, forest = model_file
+        assert main(
+            ["batch-classify", path, "--features", "33,99;0,255;12,7",
+             "--threads", "2", "--batch-size", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("oracle ok") == 3
+        assert "amortized ms/query" in out
+
+    def test_features_file(self, model_file, tmp_path, capsys):
+        path, _ = model_file
+        qfile = tmp_path / "queries.txt"
+        qfile.write_text("33,99\n0,255\n")
+        assert main(
+            ["batch-classify", path, "--features-file", str(qfile)]
+        ) == 0
+        assert "queries served      : 2" in capsys.readouterr().out
+
+    def test_missing_model_file(self, capsys):
+        assert main(
+            ["batch-classify", "/nonexistent/model.txt",
+             "--features", "1,2"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_feature_string(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["batch-classify", path, "--features", "a,b"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_features_given(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["batch-classify", path]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_both_feature_sources_given(self, model_file, tmp_path, capsys):
+        path, _ = model_file
+        qfile = tmp_path / "q.txt"
+        qfile.write_text("1,2\n")
+        assert main(
+            ["batch-classify", path, "--features", "1,2",
+             "--features-file", str(qfile)]
+        ) == 2
+
+    def test_empty_features_string(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["batch-classify", path, "--features", ";;"]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_out_of_domain_feature(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["batch-classify", path, "--features", "999,0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_threads_and_batch_size(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["batch-classify", path, "--features", "1,2", "--threads", "0"]
+        ) == 2
+        assert main(
+            ["batch-classify", path, "--features", "1,2",
+             "--batch-size", "0"]
+        ) == 2
+
+
+class TestServe:
+    def test_happy_path(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "5", "--threads", "2",
+             "--batch-size", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "queries served      : 5" in out
+        assert "oracle agreement: ok" in out
+
+    def test_plaintext_model(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "3", "--plaintext-model"]
+        ) == 0
+        assert "oracle agreement: ok" in capsys.readouterr().out
+
+    def test_missing_model_file(self, capsys):
+        assert main(["serve", "/nonexistent/model.txt"]) == 2
+
+    def test_bad_query_count(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--queries", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_threads(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--threads", "-1"]) == 2
+
+
 class TestBench:
     def test_fig6_subset(self, capsys):
         assert main(
@@ -108,6 +207,26 @@ class TestBench:
         assert main(["bench", "fig10"]) == 0
         out = capsys.readouterr().out
         assert "Figure 10a" in out and "Figure 10c" in out
+
+    def test_table1_reachable(self, capsys):
+        """Regression: table1 used to be implemented but not dispatchable."""
+        assert main(["bench", "table1", "--workloads", "width55"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1(a)" in out and "Table 1(c)" in out
+
+    def test_throughput(self, capsys):
+        assert main(["bench", "throughput", "--workloads", "width55"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving throughput" in out and "batched" in out
+        assert "(16 queries)" in out  # default preserved
+
+    def test_throughput_forwards_queries(self, capsys):
+        """Regression: --queries used to be silently ignored."""
+        assert main(
+            ["bench", "throughput", "--workloads", "width55",
+             "--queries", "5"]
+        ) == 0
+        assert "(5 queries)" in capsys.readouterr().out
 
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
