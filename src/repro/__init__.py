@@ -52,6 +52,25 @@ from repro.core import (
     ModelOwner,
     secure_inference,
 )
+from repro.ir import (
+    InferencePlan,
+    IrBuilder,
+    IrGraph,
+    IrNode,
+    IrOp,
+    analyze_cost,
+    analyze_counts,
+    analyze_depth,
+    build_inference_graph,
+    common_subexpression_elimination,
+    dead_code_elimination,
+    execute,
+    fuse_rotations,
+    ir_secure_inference,
+    lower_batched_inference,
+    lower_inference,
+    optimize,
+)
 from repro.serve import (
     BatchLayout,
     ClassificationResult,
@@ -61,7 +80,7 @@ from repro.serve import (
     ServiceStats,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CopseError",
@@ -83,6 +102,23 @@ __all__ = [
     "DataOwner",
     "CopseServer",
     "secure_inference",
+    "InferencePlan",
+    "IrBuilder",
+    "IrGraph",
+    "IrNode",
+    "IrOp",
+    "analyze_cost",
+    "analyze_counts",
+    "analyze_depth",
+    "build_inference_graph",
+    "common_subexpression_elimination",
+    "dead_code_elimination",
+    "execute",
+    "fuse_rotations",
+    "ir_secure_inference",
+    "lower_batched_inference",
+    "lower_inference",
+    "optimize",
     "BatchLayout",
     "ClassificationResult",
     "CopseService",

@@ -5,10 +5,11 @@ evaluation harness::
 
     python -m repro info model.txt             # model statistics + leakage
     python -m repro compile model.txt -o staged.py   # staging compiler
-    python -m repro classify model.txt --features 40,200
+    python -m repro classify model.txt --features 40,200 --engine plan
     python -m repro batch-classify model.txt --features "40,200;17,3"
     python -m repro serve model.txt --queries 64 --threads 4
     python -m repro bench fig6 --workloads depth4,width78
+    python -m repro bench plan-speedup         # eager vs plan engine
     python -m repro sweep                      # Table 5 parameter sweep
 
 ``model.txt`` is the paper's Section 5 serialization (see
@@ -61,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--plaintext-model", action="store_true",
         help="Maurice-equals-Sally configuration (model not encrypted)",
     )
+    classify.add_argument(
+        "--engine", choices=["eager", "plan"], default="eager",
+        help="execution path: the eager Algorithm 1 interpreter or an "
+        "optimized IR inference plan (default: eager)",
+    )
 
     batch = sub.add_parser(
         "batch-classify",
@@ -86,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--plaintext-model", action="store_true",
         help="keep the model in plaintext on the server (Maurice = Sally)",
     )
+    batch.add_argument(
+        "--engine", choices=["eager", "plan"], default="plan",
+        help="batched execution path: the eager interpreter or the "
+        "cached optimized inference plan (default: plan)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -99,13 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--precision", type=int, default=8)
     serve.add_argument("--seed", type=int, default=1234)
     serve.add_argument("--plaintext-model", action="store_true")
+    serve.add_argument(
+        "--engine", choices=["eager", "plan"], default="plan",
+        help="batched execution path (default: plan)",
+    )
 
     bench = sub.add_parser("bench", help="regenerate a paper figure/table")
     bench.add_argument(
         "artifact",
         choices=[
             "fig6", "fig7", "fig8", "fig9", "fig10",
-            "table1", "table2", "table6", "throughput",
+            "table1", "table2", "table6", "throughput", "plan-speedup",
         ],
     )
     bench.add_argument(
@@ -166,11 +181,15 @@ def _cmd_classify(args) -> int:
               file=sys.stderr)
         return 2
     outcome = secure_inference(
-        compiled, features, encrypted_model=not args.plaintext_model
+        compiled,
+        features,
+        encrypted_model=not args.plaintext_model,
+        engine=args.engine,
     )
     result = outcome.result
     expected = forest.label_bitvector(features)
     print(f"features: {features}")
+    print(f"engine: {args.engine}")
     print(f"per-tree labels: "
           f"{[result.label_names[l] for l in result.chosen_labels]}")
     print(f"plurality: {result.plurality_name()}")
@@ -229,7 +248,7 @@ def _cmd_batch_classify(args) -> int:
     _check_service_args(args)
     queries = _load_queries(args)
     forest, compiled = _load_compiled(args.model, args.precision)
-    with CopseService(threads=args.threads) as service:
+    with CopseService(threads=args.threads, engine=args.engine) as service:
         service.register_model(
             "cli",
             compiled,
@@ -266,7 +285,7 @@ def _cmd_serve(args) -> int:
         [int(v) for v in rng.integers(0, limit, compiled.n_features)]
         for _ in range(args.queries)
     ]
-    with CopseService(threads=args.threads) as service:
+    with CopseService(threads=args.threads, engine=args.engine) as service:
         registered = service.register_model(
             "cli",
             compiled,
@@ -307,6 +326,15 @@ def _cmd_bench(args) -> int:
             experiments.throughput(
                 workload_name=workload,
                 queries=args.queries if args.queries is not None else 16,
+            ).render()
+        )
+        return 0
+    if args.artifact == "plan-speedup":
+        workload = names[0] if names else "width78"
+        print(
+            experiments.plan_speedup(
+                workload_name=workload,
+                queries=args.queries if args.queries is not None else 2,
             ).render()
         )
         return 0

@@ -126,6 +126,42 @@ class CompiledModel:
         log_d = int(math.ceil(math.log2(self.max_depth))) if self.max_depth > 1 else 0
         return max(seccomp_depth(self.precision), 2 + log_d)
 
+    def fingerprint(self) -> str:
+        """Stable identity of the compiled structures.
+
+        Two models get the same fingerprint iff every packed structure
+        (threshold planes, reshuffle/level diagonals, masks, codebook)
+        is identical.  Runtime bundles and inference plans both carry
+        it, so a cached plan refuses to execute against a different —
+        even shape-identical — model.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(repr((
+                self.precision,
+                self.n_features,
+                self.branching,
+                self.quantized_branching,
+                self.max_multiplicity,
+                self.max_depth,
+                self.num_labels,
+                tuple(self.codebook),
+            )).encode())
+            digest.update(self.threshold_planes.tobytes())
+            for matrix in [self.reshuffle] + list(self.level_matrices):
+                for i in range(matrix.num_diagonals):
+                    digest.update(
+                        np.asarray(matrix.diagonal(i), dtype=np.uint8).tobytes()
+                    )
+            for mask in self.level_masks:
+                digest.update(np.asarray(mask, dtype=np.uint8).tobytes())
+            cached = digest.hexdigest()[:16]
+            self._fingerprint = cached
+        return cached
+
     def describe(self) -> str:
         return (
             f"compiled model: p={self.precision} b={self.branching} "

@@ -45,6 +45,11 @@ PHASE_RESHUFFLE = "reshuffle"
 PHASE_LEVELS = "levels"
 PHASE_ACCUMULATE = "accumulate"
 
+#: Phase recorded by the plan engine: the whole optimized pipeline (plus
+#: the Aloufi all-ones helper encryption) executes as one IR graph, so it
+#: cannot be split across the four eager stage phases.
+PHASE_PLAN = "plan_inference"
+
 INFERENCE_PHASES = (
     PHASE_COMPARISON,
     PHASE_BOOTSTRAP,
@@ -52,6 +57,13 @@ INFERENCE_PHASES = (
     PHASE_LEVELS,
     PHASE_ACCUMULATE,
 )
+
+#: Execution engines: ``eager`` interprets Algorithm 1 stage by stage;
+#: ``plan`` executes a cached, optimizer-processed
+#: :class:`~repro.ir.plan.InferencePlan` lowering of the same pipeline.
+ENGINE_EAGER = "eager"
+ENGINE_PLAN = "plan"
+ENGINES = (ENGINE_EAGER, ENGINE_PLAN)
 
 
 @dataclass(frozen=True)
@@ -90,6 +102,9 @@ class EncryptedModel:
     reshuffle_diagonals: List[Vector]
     level_diagonals: List[List[Vector]]
     level_masks: List[Vector]
+    #: Source :meth:`CompiledModel.fingerprint`, so cached inference
+    #: plans can refuse to execute against a different model.
+    fingerprint: Optional[str] = None
 
     @property
     def is_encrypted(self) -> bool:
@@ -221,6 +236,7 @@ class ModelOwner:
             reshuffle_diagonals=reshuffle,
             level_diagonals=levels,
             level_masks=masks,
+            fingerprint=self.model.fingerprint(),
         )
 
 
@@ -279,6 +295,12 @@ class CopseServer:
     comparison when the remaining modulus-chain headroom cannot cover the
     reshuffle/levels/accumulation pipeline — letting deep circuits run on
     short chains at the (steep) price of a bootstrap per query.
+
+    ``engine="plan"`` executes a cached
+    :class:`~repro.ir.plan.InferencePlan` (a single-query lowering from
+    :func:`~repro.ir.plan.lower_inference`) instead of interpreting the
+    stages eagerly — same bits, fewer rotations, recorded under the
+    ``plan_inference`` phase.
     """
 
     def __init__(
@@ -286,10 +308,23 @@ class CopseServer:
         ctx: FheContext,
         seccomp_variant: str = VARIANT_ALOUFI,
         auto_bootstrap: bool = False,
+        engine: str = ENGINE_EAGER,
+        plan=None,
     ):
+        if engine not in ENGINES:
+            raise RuntimeProtocolError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if engine == ENGINE_PLAN and auto_bootstrap:
+            raise RuntimeProtocolError(
+                "the plan engine has no bootstrap node; use engine='eager' "
+                "with auto_bootstrap, or parameters deep enough to avoid it"
+            )
         self.ctx = ctx
         self.seccomp_variant = seccomp_variant
         self.auto_bootstrap = auto_bootstrap
+        self.engine = engine
+        self.plan = plan
 
     def classify(self, model: EncryptedModel, query: EncryptedQuery) -> Ciphertext:
         """Run Algorithm 1: compare, reshuffle, process levels, accumulate."""
@@ -305,6 +340,8 @@ class CopseServer:
                 f"quantized branching {model.quantized_branching}; was the "
                 f"feature vector replicated with the right multiplicity?"
             )
+        if self.engine == ENGINE_PLAN:
+            return self._classify_plan(model, query)
 
         with ctx.tracker.phase(PHASE_COMPARISON):
             not_one = None
@@ -356,6 +393,29 @@ class CopseServer:
         if not isinstance(result, Ciphertext):  # pragma: no cover
             raise RuntimeProtocolError("inference result must be encrypted")
         return result
+
+    def _classify_plan(
+        self, model: EncryptedModel, query: EncryptedQuery
+    ) -> Ciphertext:
+        """Execute the cached single-query plan against this query."""
+        plan = self.plan
+        if plan is None:
+            raise RuntimeProtocolError(
+                "engine='plan' needs an InferencePlan; lower one with "
+                "repro.ir.plan.lower_inference (or call "
+                "secure_inference(engine='plan'), which does)"
+            )
+        if plan.batched:
+            raise RuntimeProtocolError(
+                "a batched plan cannot serve the single-query server; "
+                "lower with lower_inference instead"
+            )
+        if plan.variant != self.seccomp_variant:
+            raise RuntimeProtocolError(
+                f"plan was lowered with SecComp variant {plan.variant!r} "
+                f"but the server runs {self.seccomp_variant!r}"
+            )
+        return plan.run(self.ctx, model, query)
 
     def _process_levels(
         self, model: EncryptedModel, branches: Vector
@@ -415,6 +475,8 @@ def secure_inference(
     keys: Optional[KeyPair] = None,
     seccomp_variant: str = VARIANT_ALOUFI,
     auto_bootstrap: bool = False,
+    engine: str = ENGINE_EAGER,
+    plan=None,
 ) -> SecureInferenceOutcome:
     """Run one full secure inference end to end.
 
@@ -422,7 +484,10 @@ def secure_inference(
     Diane, the model travels encrypted); ``False`` is the
     Maurice-equals-Sally configuration where the model stays in plaintext
     on the server.  ``auto_bootstrap`` lets circuits deeper than the
-    modulus chain run by re-encrypting mid-circuit.
+    modulus chain run by re-encrypting mid-circuit.  ``engine="plan"``
+    routes Sally through an optimized :class:`~repro.ir.plan.InferencePlan`
+    (lowered here when ``plan`` is not supplied; pass a prebuilt plan to
+    amortize the lowering across queries).
     """
     if params is None:
         params = EncryptionParams.paper_defaults()
@@ -432,10 +497,22 @@ def secure_inference(
     if keys is None:
         keys = ctx.keygen()
 
+    if engine == ENGINE_PLAN and plan is None:
+        # Imported lazily: repro.ir.plan stages through this module.
+        from repro.ir.plan import lower_inference
+
+        plan = lower_inference(
+            compiled, encrypted_model=encrypted_model, variant=seccomp_variant
+        )
+
     maurice = ModelOwner(compiled)
     diane = DataOwner(maurice.query_spec(), keys)
     sally = CopseServer(
-        ctx, seccomp_variant=seccomp_variant, auto_bootstrap=auto_bootstrap
+        ctx,
+        seccomp_variant=seccomp_variant,
+        auto_bootstrap=auto_bootstrap,
+        engine=engine,
+        plan=plan,
     )
 
     if encrypted_model:

@@ -1,11 +1,16 @@
-"""An encrypted-vector-arithmetic IR with an optimizer (future work).
+"""An encrypted-vector-arithmetic IR with an optimizer.
 
 The paper's conclusion names this as the next step: "implementing
 COPSE's primitives not in terms of low-level FHE libraries like HElib
 but instead in terms of higher-level FHE-based intermediate languages,
 like EVA, allowing for further tuning and optimization."
 
-This subpackage is that layer, scaled to the simulator:
+This subpackage is that layer, scaled to the simulator — and since the
+plan-compiled execution path it is the layer the *live* inference
+pipeline runs through: :mod:`repro.ir.plan` lowers a compiled model
+(single-query or batched) into an :class:`~repro.ir.plan.InferencePlan`
+that :class:`~repro.core.runtime.CopseServer` and the serve registry
+execute with ``engine="plan"`` (the serve default):
 
 * :mod:`repro.ir.nodes` — a small SSA graph over packed vectors: inputs
   (ciphertext or plaintext), constants, XOR/AND (with constant-operand
@@ -19,7 +24,11 @@ This subpackage is that layer, scaled to the simulator:
 * :mod:`repro.ir.executor` — runs a graph against a context and input
   bindings (all costs land in the context's tracker as usual);
 * :mod:`repro.ir.copse_ir` — stages a compiled COPSE model into one
-  inference graph and runs optimized secure inference.
+  inference graph and runs optimized secure inference;
+* :mod:`repro.ir.plan` — :func:`lower_inference` /
+  :func:`lower_batched_inference` wrap the lowered-and-optimized graph,
+  its input-binding spec, and raw-vs-optimized analyses into a cached,
+  executable :class:`InferencePlan`.
 
 The headline win (measured in ``benchmarks/test_ablation_ir.py``): CSE
 discovers that the cyclic extensions of the rotated branch vector are
@@ -30,6 +39,7 @@ identical across all ``d`` level matrices and shares them, saving
 from repro.ir.nodes import IrGraph, IrNode, IrOp
 from repro.ir.builder import IrBuilder
 from repro.ir.passes import (
+    analyze_cost,
     analyze_counts,
     analyze_depth,
     common_subexpression_elimination,
@@ -39,6 +49,13 @@ from repro.ir.passes import (
 )
 from repro.ir.executor import execute
 from repro.ir.copse_ir import build_inference_graph, ir_secure_inference
+from repro.ir.plan import (
+    GraphProfile,
+    InferencePlan,
+    build_batched_inference_graph,
+    lower_batched_inference,
+    lower_inference,
+)
 
 __all__ = [
     "IrOp",
@@ -49,9 +66,15 @@ __all__ = [
     "fuse_rotations",
     "common_subexpression_elimination",
     "dead_code_elimination",
+    "analyze_cost",
     "analyze_counts",
     "analyze_depth",
     "execute",
     "build_inference_graph",
+    "build_batched_inference_graph",
     "ir_secure_inference",
+    "GraphProfile",
+    "InferencePlan",
+    "lower_inference",
+    "lower_batched_inference",
 ]

@@ -16,6 +16,12 @@ surpasses the hand-written runtime's sharing:
 ``ir_secure_inference`` runs the whole pipeline: build, optimize,
 encrypt inputs, execute, decrypt; its results are bit-identical to
 :func:`repro.core.runtime.secure_inference`.
+
+:mod:`repro.ir.plan` builds on this emission: ``lower_inference`` wraps
+the (optimized) graph and its binding spec into a cached
+:class:`~repro.ir.plan.InferencePlan`, the unit the live servers execute
+with ``engine="plan"`` — the input-name templates below are the shared
+contract between the two modules.
 """
 
 from __future__ import annotations

@@ -167,11 +167,21 @@ def analyze_depth(graph: IrGraph) -> int:
     return best
 
 
-def analyze_cost(graph: IrGraph, cost_model: CostModel) -> float:
-    """Simulated sequential milliseconds of the ciphertext operations."""
+def cost_of_counts(counts: Dict[IrOp, int], cost_model: CostModel) -> float:
+    """Simulated sequential ms of an op-count profile (see analyze_cost).
+
+    Exposed separately so cached analyses (an
+    :class:`~repro.ir.plan.InferencePlan` stores the counts of graphs it
+    no longer holds) can be costed without the graph.
+    """
     total = 0.0
-    for op, count in analyze_counts(graph).items():
+    for op, count in counts.items():
         kind = _COST_KIND.get(op)
         if kind is not None:
             total += cost_model.cost_of(kind) * count
     return total
+
+
+def analyze_cost(graph: IrGraph, cost_model: CostModel) -> float:
+    """Simulated sequential milliseconds of the ciphertext operations."""
+    return cost_of_counts(analyze_counts(graph), cost_model)

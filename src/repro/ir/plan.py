@@ -1,0 +1,484 @@
+"""Compiled inference plans: the optimizer as a load-bearing layer.
+
+``lower_inference`` / ``lower_batched_inference`` stage a compiled COPSE
+model's *entire* live pipeline — SecComp bit-plane comparison, reshuffle
+matmul, level products, label accumulation — into one
+:class:`~repro.ir.nodes.IrGraph`, run the standard pass pipeline
+(rotation fusion -> CSE -> DCE) over it, and wrap the result in an
+:class:`InferencePlan`: the optimized graph, its input-binding spec, and
+the raw-vs-optimized analyses (op counts, multiplicative depth, and
+cost-model milliseconds).
+
+A plan is compiled **once per model** and executed per query (or per
+batch): :class:`~repro.serve.registry.ModelRegistry` caches a batched
+plan next to the encrypted model ciphertexts, and
+:class:`~repro.core.runtime.CopseServer` /
+:class:`~repro.serve.batched_runtime.BatchedCopseServer` select it with
+``engine="plan"``.  The batched lowering emits the block-local masked
+gathers of :mod:`repro.serve.batched_runtime` *naively* — one gather per
+(level, diagonal) — and relies on CSE to discover the cross-level
+sharing, so the optimizer does on the real serving workload what the
+batched runtime schedules by hand (and the regression guard in
+``tests/bench/test_plan_baseline.py`` holds it there).
+
+This module deliberately imports nothing from :mod:`repro.serve`: the
+batch geometry is consumed duck-typed (``stride`` / ``capacity`` / the
+per-stage widths), keeping the dependency arrow serve -> ir.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CompileError, RuntimeProtocolError
+from repro.core.compiler import CompiledModel
+from repro.core.runtime import PHASE_PLAN
+from repro.core.seccomp import SECCOMP_VARIANTS, VARIANT_ALOUFI
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import FheContext, Vector
+from repro.fhe.costmodel import CostModel
+from repro.ir.builder import IrBuilder
+from repro.ir.copse_ir import (
+    FEATURE_PLANE,
+    LEVEL_DIAG,
+    LEVEL_MASK,
+    NOT_ONE,
+    OUTPUT_LABELS,
+    RESHUFFLE_DIAG,
+    THRESHOLD_PLANE,
+    _emit_seccomp,
+    build_inference_graph,
+)
+from repro.ir.executor import execute
+from repro.ir.nodes import IrGraph, IrOp
+from repro.ir.passes import (
+    analyze_counts,
+    analyze_depth,
+    cost_of_counts,
+    optimize,
+)
+
+__all__ = [
+    "GraphProfile",
+    "InferencePlan",
+    "build_batched_inference_graph",
+    "gather_segments",
+    "lower_batched_inference",
+    "lower_inference",
+    "tile_blocks",
+]
+
+
+# ---------------------------------------------------------------------------
+# Analyses snapshot
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Static analyses of one graph (kept after the graph is dropped)."""
+
+    num_nodes: int
+    depth: int
+    counts: Dict[IrOp, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, graph: IrGraph) -> "GraphProfile":
+        return cls(
+            num_nodes=graph.num_nodes,
+            depth=analyze_depth(graph),
+            counts=analyze_counts(graph),
+        )
+
+    def count(self, op: IrOp) -> int:
+        return self.counts.get(op, 0)
+
+    @property
+    def rotations(self) -> int:
+        """Rotation work: ROTATE plus EXTEND (an extension costs one)."""
+        return self.count(IrOp.ROTATE) + self.count(IrOp.EXTEND)
+
+    @property
+    def multiplies(self) -> int:
+        return self.count(IrOp.MULTIPLY)
+
+    def cost_ms(self, cost_model: CostModel) -> float:
+        """Simulated sequential ms of the profiled ciphertext operations."""
+        return cost_of_counts(self.counts, cost_model)
+
+
+# ---------------------------------------------------------------------------
+# The plan object
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InferencePlan:
+    """An optimized, executable lowering of one model's inference pipeline.
+
+    ``graph`` is the (optimized) IR; ``raw`` / ``optimized`` profile the
+    graph before and after the pass pipeline, so callers can report what
+    the optimizer bought without re-lowering.  The input-binding spec is
+    the graph's named-input table: :meth:`bindings_for` maps a runtime
+    model bundle (:class:`~repro.core.runtime.EncryptedModel` or the
+    batched equivalent — both expose ``threshold_planes`` /
+    ``reshuffle_diagonals`` / ``level_diagonals`` / ``level_masks``) and
+    an :class:`~repro.core.runtime.EncryptedQuery` onto those names.
+    """
+
+    graph: IrGraph
+    variant: str
+    encrypted_model: bool
+    raw: GraphProfile
+    optimized: GraphProfile
+    #: Total slot width of one execution (stride * capacity for batched
+    #: plans, the per-query width otherwise).
+    width: int = 0
+    #: None for single-query plans; (stride, capacity) for batched ones.
+    batch_shape: Optional[Tuple[int, int]] = None
+    #: :meth:`CompiledModel.fingerprint` of the lowered model; checked
+    #: against the runtime bundle at bind time so a cached plan never
+    #: silently serves a different (even shape-identical) model.
+    model_fingerprint: Optional[str] = None
+
+    @property
+    def batched(self) -> bool:
+        return self.batch_shape is not None
+
+    @property
+    def input_names(self) -> List[str]:
+        """The binding spec: every named input the plan may consume."""
+        return sorted(self.graph.inputs)
+
+    @property
+    def rotations_saved(self) -> int:
+        return self.raw.rotations - self.optimized.rotations
+
+    def cost_ms(self, cost_model: CostModel) -> float:
+        return self.optimized.cost_ms(cost_model)
+
+    def speedup(self, cost_model: CostModel) -> float:
+        opt = self.optimized.cost_ms(cost_model)
+        if opt <= 0:
+            return float("inf")
+        return self.raw.cost_ms(cost_model) / opt
+
+    def describe(self) -> str:
+        shape = (
+            f"batched {self.batch_shape[1]}x{self.batch_shape[0]}"
+            if self.batched
+            else "single-query"
+        )
+        return (
+            f"plan[{shape}, {self.variant}, "
+            f"{'encrypted' if self.encrypted_model else 'plaintext'} model]: "
+            f"nodes {self.raw.num_nodes}->{self.optimized.num_nodes}, "
+            f"rotations {self.raw.rotations}->{self.optimized.rotations}, "
+            f"depth {self.optimized.depth}"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def bindings_for(self, ctx: FheContext, model, query) -> Dict[str, Vector]:
+        """Bind a runtime model bundle and encrypted query to the graph.
+
+        Model structures lower to named inputs only under
+        ``encrypted_model=True``; a plaintext-model plan baked them in as
+        constants, so only the query planes (and the Aloufi all-ones
+        helper) bind.  Inputs the optimizer eliminated are skipped.
+        """
+        if model is not None and model.is_encrypted != self.encrypted_model:
+            raise RuntimeProtocolError(
+                f"plan was lowered for an "
+                f"{'encrypted' if self.encrypted_model else 'plaintext'} "
+                f"model but received the opposite"
+            )
+        if self.model_fingerprint is not None and model is not None:
+            # Fail closed: a bundle without a fingerprint (hand-built,
+            # not via ModelOwner/build_batched_model) cannot prove it is
+            # the model this plan was lowered for.
+            model_fp = getattr(model, "fingerprint", None)
+            if model_fp != self.model_fingerprint:
+                raise RuntimeProtocolError(
+                    f"plan was lowered for model {self.model_fingerprint} "
+                    f"but received model {model_fp}; lower a plan for this "
+                    f"model (or register it, which does)"
+                )
+        bindings: Dict[str, Vector] = {}
+        for i, plane in enumerate(query.planes):
+            bindings[FEATURE_PLANE.format(i=i)] = plane
+        if NOT_ONE in self.graph.inputs:
+            if query.public_key is None:
+                raise RuntimeProtocolError(
+                    "the Aloufi SecComp variant needs the query's public "
+                    "key to encrypt the all-ones helper"
+                )
+            width = self.graph.node(self.graph.inputs[NOT_ONE]).width
+            bindings[NOT_ONE] = ctx.encrypt([1] * width, query.public_key)
+        if self.encrypted_model:
+            for i, vec in enumerate(model.threshold_planes):
+                bindings[THRESHOLD_PLANE.format(i=i)] = vec
+            for i, vec in enumerate(model.reshuffle_diagonals):
+                bindings[RESHUFFLE_DIAG.format(i=i)] = vec
+            for level, diagonals in enumerate(model.level_diagonals):
+                for i, vec in enumerate(diagonals):
+                    bindings[LEVEL_DIAG.format(level=level, i=i)] = vec
+            for level, mask in enumerate(model.level_masks):
+                bindings[LEVEL_MASK.format(level=level)] = mask
+        return {
+            name: value
+            for name, value in bindings.items()
+            if name in self.graph.inputs
+        }
+
+    def run(
+        self,
+        ctx: FheContext,
+        model,
+        query,
+        phase: Optional[str] = PHASE_PLAN,
+    ) -> Ciphertext:
+        """Execute the plan; returns the encrypted label bitvector.
+
+        Everything — including the Aloufi all-ones helper encryption —
+        records under ``phase`` so per-engine stats stay comparable with
+        the eager path (whose helper lands in its comparison phase).
+        """
+        if phase is not None:
+            with ctx.tracker.phase(phase):
+                return self._run(ctx, model, query)
+        return self._run(ctx, model, query)
+
+    def _run(self, ctx: FheContext, model, query) -> Ciphertext:
+        bindings = self.bindings_for(ctx, model, query)
+        outputs = execute(self.graph, ctx, bindings, phase=None)
+        result = outputs[OUTPUT_LABELS]
+        if not isinstance(result, Ciphertext):  # pragma: no cover
+            raise RuntimeProtocolError("plan result must be encrypted")
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Single-query lowering
+# ---------------------------------------------------------------------------
+
+
+def lower_inference(
+    compiled: CompiledModel,
+    encrypted_model: bool = True,
+    variant: str = VARIANT_ALOUFI,
+    optimize_graph: bool = True,
+) -> InferencePlan:
+    """Lower one model's full single-query pipeline into a plan.
+
+    The emission is :func:`~repro.ir.copse_ir.build_inference_graph`'s
+    deliberately naive schedule; ``optimize_graph=False`` keeps it that
+    way (for ablations), otherwise the pass pipeline recovers — and
+    surpasses — the hand-written runtime's sharing.
+    """
+    raw_graph = build_inference_graph(compiled, encrypted_model, variant)
+    raw = GraphProfile.of(raw_graph)
+    graph = optimize(raw_graph) if optimize_graph else raw_graph
+    return InferencePlan(
+        graph=graph,
+        variant=variant,
+        encrypted_model=encrypted_model,
+        raw=raw,
+        optimized=GraphProfile.of(graph) if optimize_graph else raw,
+        width=compiled.num_labels,
+        model_fingerprint=compiled.fingerprint(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched lowering
+# ---------------------------------------------------------------------------
+
+
+def tile_blocks(vector, stride: int, capacity: int) -> np.ndarray:
+    """Pad a per-query model vector to ``stride`` and tile it per block.
+
+    The canonical tiling both the batched lowering and
+    :func:`repro.serve.packing.tile_model_vector` use (serve delegates
+    here, so the plan's baked constants and the eager runtime's tiled
+    vectors cannot drift apart).
+    """
+    arr = np.asarray(vector, dtype=np.uint8)
+    if arr.ndim != 1 or arr.size == 0 or arr.size > stride:
+        raise CompileError(
+            f"model vector of length {arr.size} does not fit the "
+            f"stride {stride}"
+        )
+    padded = np.zeros(stride, dtype=np.uint8)
+    padded[: arr.size] = arr
+    return np.tile(padded, capacity)
+
+
+def gather_segments(shift: int, width: int, rows: int) -> List[Tuple[int, int, int]]:
+    """The (rotation, lo, hi) segments of one block-local gather.
+
+    The canonical decomposition both the batched lowering and
+    :func:`repro.serve.batched_runtime.block_gather` use: segment ``m``
+    supplies block offsets ``t`` with ``floor((t + shift) / width) == m``
+    from the global rotation by ``shift - m * width``.
+    """
+    segments: List[Tuple[int, int, int]] = []
+    for m in range((rows - 1 + shift) // width + 1):
+        lo = max(0, m * width - shift)
+        hi = min(rows, (m + 1) * width - shift)
+        if lo < hi:
+            segments.append((shift - m * width, lo, hi))
+    return segments
+
+
+def _emit_gather(
+    b: IrBuilder, layout, vector: int, shift: int, width: int, rows: int
+) -> int:
+    """Emit ``out[k*S+t] = v[k*S + (t+shift) % width]`` for every block."""
+    if not 0 <= shift < width:
+        raise CompileError(
+            f"gather shift {shift} outside the logical width {width}"
+        )
+    if rows < 1 or rows > layout.stride or width > layout.stride:
+        raise CompileError(
+            f"gather shape rows={rows} width={width} exceeds the "
+            f"stride {layout.stride}"
+        )
+    segments = gather_segments(shift, width, rows)
+    if len(segments) == 1:
+        # One segment needs no selection mask: the caller's diagonal
+        # product zeroes everything outside the consumed offsets.
+        return b.rotate(vector, segments[0][0])
+    terms: List[int] = []
+    for amount, lo, hi in segments:
+        rotated = b.rotate(vector, amount)
+        block = np.zeros(layout.stride, dtype=np.uint8)
+        block[lo:hi] = 1
+        mask = b.const(np.tile(block, layout.capacity))
+        terms.append(b.and_(rotated, mask))
+    return b.xor_all(terms)
+
+
+def _emit_batched_matvec(
+    b: IrBuilder,
+    layout,
+    diagonals: Sequence[int],
+    rows: int,
+    cols: int,
+    vector: int,
+) -> int:
+    """Halevi-Shoup product applied independently inside every block."""
+    products = [
+        b.and_(diagonal, _emit_gather(b, layout, vector, i, cols, rows))
+        for i, diagonal in enumerate(diagonals)
+    ]
+    return b.xor_all(products)
+
+
+def build_batched_inference_graph(
+    compiled: CompiledModel,
+    layout,
+    encrypted_model: bool = True,
+    variant: str = VARIANT_ALOUFI,
+) -> IrGraph:
+    """Emit the batched Algorithm 1 for ``model`` as an unoptimized graph.
+
+    ``layout`` is a :class:`~repro.serve.packing.BatchLayout` (duck-typed:
+    ``stride``/``capacity`` plus the per-stage widths).  Every vector
+    spans ``stride * capacity`` slots; cyclic accesses are the batched
+    runtime's masked-rotation gathers, emitted once per (level, diagonal)
+    so the optimizer — not the emitter — discovers the cross-level
+    sharing.
+    """
+    if variant not in SECCOMP_VARIANTS:
+        raise CompileError(f"unknown SecComp variant {variant!r}")
+    b = IrBuilder()
+    width = layout.stride * layout.capacity
+    p = compiled.precision
+
+    x_planes = [
+        b.input_ct(FEATURE_PLANE.format(i=i), width) for i in range(p)
+    ]
+
+    def model_vector(name: str, bits) -> int:
+        if encrypted_model:
+            return b.input_ct(name, width)
+        return b.const(tile_blocks(bits, layout.stride, layout.capacity))
+
+    y_planes = [
+        model_vector(THRESHOLD_PLANE.format(i=i), compiled.threshold_planes[i])
+        for i in range(p)
+    ]
+    not_one = None
+    if variant == VARIANT_ALOUFI:
+        not_one = b.input_ct(NOT_ONE, width)
+
+    decisions = _emit_seccomp(b, x_planes, y_planes, variant, not_one)
+
+    reshuffle_diags = [
+        model_vector(RESHUFFLE_DIAG.format(i=i), compiled.reshuffle.diagonal(i))
+        for i in range(compiled.quantized_branching)
+    ]
+    branches = _emit_batched_matvec(
+        b,
+        layout,
+        reshuffle_diags,
+        rows=compiled.branching,
+        cols=compiled.quantized_branching,
+        vector=decisions,
+    )
+
+    level_results: List[int] = []
+    for level in range(compiled.max_depth):
+        matrix = compiled.level_matrices[level]
+        diags = [
+            model_vector(
+                LEVEL_DIAG.format(level=level, i=i), matrix.diagonal(i)
+            )
+            for i in range(compiled.branching)
+        ]
+        product = _emit_batched_matvec(
+            b,
+            layout,
+            diags,
+            rows=compiled.num_labels,
+            cols=compiled.branching,
+            vector=branches,
+        )
+        mask = model_vector(
+            LEVEL_MASK.format(level=level), compiled.level_masks[level]
+        )
+        level_results.append(b.xor(product, mask))
+
+    b.output(OUTPUT_LABELS, b.and_all(level_results))
+    return b.build()
+
+
+def lower_batched_inference(
+    compiled: CompiledModel,
+    layout,
+    encrypted_model: bool = True,
+    variant: str = VARIANT_ALOUFI,
+    optimize_graph: bool = True,
+) -> InferencePlan:
+    """Lower one model's batched pipeline (for ``layout``) into a plan."""
+    raw_graph = build_batched_inference_graph(
+        compiled, layout, encrypted_model, variant
+    )
+    raw = GraphProfile.of(raw_graph)
+    graph = optimize(raw_graph) if optimize_graph else raw_graph
+    return InferencePlan(
+        graph=graph,
+        variant=variant,
+        encrypted_model=encrypted_model,
+        raw=raw,
+        optimized=GraphProfile.of(graph) if optimize_graph else raw,
+        width=layout.stride * layout.capacity,
+        batch_shape=(layout.stride, layout.capacity),
+        model_fingerprint=compiled.fingerprint(),
+    )

@@ -11,7 +11,10 @@ stream:
   block-local gathers replace cyclic rotations so one comparison /
   reshuffle / levels / accumulate pipeline serves every packed query;
 * :mod:`repro.serve.registry` — :class:`ModelRegistry`: compile,
-  parameter-select, and encrypt each model exactly once;
+  parameter-select, and encrypt each model exactly once — and, with the
+  default ``engine="plan"``, lower + optimize its batched pipeline into
+  a cached :class:`~repro.ir.plan.InferencePlan` that every batch
+  executes (``engine="eager"`` keeps the hand-scheduled interpreter);
 * :mod:`repro.serve.batcher` — :class:`QueryBatcher`: validate, queue,
   cut, evaluate, demultiplex, oracle-verify;
 * :mod:`repro.serve.scheduler` — :class:`Scheduler`: worker pool draining

@@ -34,18 +34,25 @@ from typing import List, Optional
 from repro.errors import RuntimeProtocolError
 from repro.core.compiler import CompiledModel
 from repro.core.runtime import (
+    ENGINE_EAGER,
+    ENGINE_PLAN,
+    ENGINES,
     EncryptedQuery,
     PHASE_ACCUMULATE,
     PHASE_COMPARISON,
     PHASE_DATA_ENCRYPT,
     PHASE_LEVELS,
     PHASE_MODEL_ENCRYPT,
+    PHASE_PLAN,
     PHASE_RESHUFFLE,
 )
 from repro.core.seccomp import VARIANT_ALOUFI, secure_compare
 from repro.fhe.ciphertext import Ciphertext
 from repro.fhe.context import FheContext, Vector
 from repro.fhe.keys import KeyPair, PublicKey
+# The segment decomposition is shared with the batched IR lowering so the
+# two execution engines cannot drift apart.
+from repro.ir.plan import gather_segments
 from repro.serve.packing import (
     BatchLayout,
     pack_query_planes,
@@ -84,6 +91,9 @@ class BatchedEncryptedModel:
     level_diagonals: List[List[Vector]]
     level_masks: List[Vector]
     max_depth: int
+    #: Source :meth:`CompiledModel.fingerprint`, so cached inference
+    #: plans can refuse to execute against a different model.
+    fingerprint: Optional[str] = None
 
     @property
     def is_encrypted(self) -> bool:
@@ -115,6 +125,7 @@ class BatchedEncryptedModel:
                 ],
                 level_masks=[_adopt(v) for v in self.level_masks],
                 max_depth=self.max_depth,
+                fingerprint=self.fingerprint,
             )
 
 
@@ -160,6 +171,7 @@ def build_batched_model(
         level_diagonals=levels,
         level_masks=masks,
         max_depth=compiled.max_depth,
+        fingerprint=compiled.fingerprint(),
     )
 
 
@@ -218,13 +230,7 @@ def block_gather(
             f"gather shape rows={rows} width={width} exceeds the "
             f"stride {layout.stride}"
         )
-    segments: List[tuple] = []
-    for m in range((rows - 1 + shift) // width + 1):
-        lo = max(0, m * width - shift)
-        hi = min(rows, (m + 1) * width - shift)
-        if lo >= hi:
-            continue
-        segments.append((shift - m * width, lo, hi))
+    segments = gather_segments(shift, width, rows)
 
     if len(segments) == 1:
         amount, _, _ = segments[0]
@@ -277,11 +283,29 @@ class BatchedCopseServer:
     The four stages mirror :class:`~repro.core.runtime.CopseServer` —
     comparison, reshuffle, levels, accumulate — recorded under the same
     tracker phases so every existing per-phase report applies unchanged.
+
+    ``engine="plan"`` executes a cached batched
+    :class:`~repro.ir.plan.InferencePlan` (from
+    :func:`~repro.ir.plan.lower_batched_inference`, lowered for the same
+    layout) instead — one optimized IR graph, recorded under the
+    ``plan_inference`` phase.
     """
 
-    def __init__(self, ctx: FheContext, seccomp_variant: str = VARIANT_ALOUFI):
+    def __init__(
+        self,
+        ctx: FheContext,
+        seccomp_variant: str = VARIANT_ALOUFI,
+        engine: str = ENGINE_EAGER,
+        plan=None,
+    ):
+        if engine not in ENGINES:
+            raise RuntimeProtocolError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.ctx = ctx
         self.seccomp_variant = seccomp_variant
+        self.engine = engine
+        self.plan = plan
 
     def classify_batch(
         self, model: BatchedEncryptedModel, query: EncryptedQuery
@@ -300,6 +324,8 @@ class BatchedCopseServer:
                 f"with the model's layout?"
             )
         local = model.adopt_into(ctx)
+        if self.engine == ENGINE_PLAN:
+            return self._classify_batch_plan(local, query)
 
         with ctx.tracker.phase(PHASE_COMPARISON):
             not_one = None
@@ -339,6 +365,35 @@ class BatchedCopseServer:
         if not isinstance(result, Ciphertext):  # pragma: no cover
             raise RuntimeProtocolError("batched result must be encrypted")
         return result
+
+    def _classify_batch_plan(
+        self, local: BatchedEncryptedModel, query: EncryptedQuery
+    ) -> Ciphertext:
+        """Execute the cached batched plan against an adopted model."""
+        plan = self.plan
+        if plan is None:
+            raise RuntimeProtocolError(
+                "engine='plan' needs a batched InferencePlan; lower one "
+                "with repro.ir.plan.lower_batched_inference (the serve "
+                "registry caches it per model)"
+            )
+        if not plan.batched:
+            raise RuntimeProtocolError(
+                "a single-query plan cannot serve the batched server; "
+                "lower with lower_batched_inference for this layout"
+            )
+        layout = local.layout
+        if plan.batch_shape != (layout.stride, layout.capacity):
+            raise RuntimeProtocolError(
+                f"plan batch shape {plan.batch_shape} does not match the "
+                f"layout ({layout.stride}, {layout.capacity})"
+            )
+        if plan.variant != self.seccomp_variant:
+            raise RuntimeProtocolError(
+                f"plan was lowered with SecComp variant {plan.variant!r} "
+                f"but the server runs {self.seccomp_variant!r}"
+            )
+        return plan.run(self.ctx, local, query, phase=PHASE_PLAN)
 
     def _process_levels(
         self, model: BatchedEncryptedModel, branches: Vector

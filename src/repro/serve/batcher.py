@@ -8,7 +8,10 @@ capacity.  Evaluating a batch runs the whole amortized pipeline:
 1. pack the queries' replicated-and-padded bit planes into shared slots
    and encrypt them once per plane (``data_encrypt``),
 2. run the batched Algorithm 1 against the model's cached, once-encrypted
-   :class:`~repro.serve.batched_runtime.BatchedEncryptedModel`,
+   :class:`~repro.serve.batched_runtime.BatchedEncryptedModel` — through
+   the registered model's cached optimized
+   :class:`~repro.ir.plan.InferencePlan` (``engine="plan"``, the serve
+   default) or the hand-scheduled interpreter (``engine="eager"``),
 3. decrypt the single result ciphertext and demultiplex the slot blocks
    back into per-query label bitvectors,
 4. optionally verify every bitvector against the plaintext oracle
@@ -29,7 +32,12 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
-from repro.core.runtime import InferenceResult, PHASE_DATA_ENCRYPT
+from repro.core.runtime import (
+    ENGINE_PLAN,
+    InferenceResult,
+    PHASE_DATA_ENCRYPT,
+    PHASE_PLAN,
+)
 from repro.core.seccomp import VARIANT_ALOUFI
 from repro.fhe.context import FheContext
 from repro.fhe.tracker import OpTracker
@@ -199,7 +207,12 @@ class QueryBatcher:
         registered = self.registered
         layout = registered.layout
         ctx = FheContext(registered.params)
-        server = BatchedCopseServer(ctx, seccomp_variant=self.seccomp_variant)
+        server = BatchedCopseServer(
+            ctx,
+            seccomp_variant=self.seccomp_variant,
+            engine=registered.engine,
+            plan=registered.plan,
+        )
 
         query = encrypt_batch(
             ctx, layout, [e.features for e in entries], registered.keys
@@ -209,11 +222,16 @@ class QueryBatcher:
         bitvectors = demux_bitvectors(layout, bits, len(entries))
 
         cost = registered.cost_model
+        inference_phases = (
+            (PHASE_PLAN,)
+            if registered.engine == ENGINE_PLAN
+            else BATCH_INFERENCE_PHASES
+        )
         phase_ms = {
             phase: cost.phase_sequential_ms(ctx.tracker, phase)
-            for phase in (PHASE_DATA_ENCRYPT,) + BATCH_INFERENCE_PHASES
+            for phase in (PHASE_DATA_ENCRYPT,) + inference_phases
         }
-        inference_ms = sum(phase_ms[p] for p in BATCH_INFERENCE_PHASES)
+        inference_ms = sum(phase_ms[p] for p in inference_phases)
         batch_id = batch.batch_id
 
         oracle_failures: Optional[int] = 0 if self.verify_oracle else None

@@ -26,10 +26,11 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import CompileError, ValidationError
 from repro.core.compiler import CompiledModel
 from repro.fhe.params import EncryptionParams
 from repro.fhe.simd import replicate, to_bitplanes
+from repro.ir.plan import tile_blocks
 
 
 @dataclass(frozen=True)
@@ -182,17 +183,15 @@ def tile_model_vector(layout: BatchLayout, vector: Sequence[int]) -> np.ndarray:
 
     This is how every model structure (threshold planes, reshuffle and
     level diagonals, level masks) is broadcast across the batch: the same
-    values appear in every query's block, padding slots stay zero.
+    values appear in every query's block, padding slots stay zero.  The
+    tiling (and its validation) is :func:`repro.ir.plan.tile_blocks` —
+    shared with the batched lowering so plan constants match the eager
+    runtime's vectors — re-raised under serve's error type.
     """
-    arr = np.asarray(vector, dtype=np.uint8)
-    if arr.ndim != 1 or arr.size == 0 or arr.size > layout.stride:
-        raise ValidationError(
-            f"model vector of length {arr.size} does not fit the "
-            f"stride {layout.stride}"
-        )
-    padded = np.zeros(layout.stride, dtype=np.uint8)
-    padded[: arr.size] = arr
-    return np.tile(padded, layout.capacity)
+    try:
+        return tile_blocks(vector, layout.stride, layout.capacity)
+    except CompileError as exc:
+        raise ValidationError(str(exc)) from exc
 
 
 def segment_mask(layout: BatchLayout, lo: int, hi: int) -> np.ndarray:

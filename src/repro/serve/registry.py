@@ -9,10 +9,13 @@ pipeline exactly once per registered model —
 2. select encryption parameters (the Table 5 autotuner, or accept a
    caller-supplied set) and verify they cover the circuit,
 3. plan the batch layout from the parameters' slot capacity,
-4. generate a session key pair and encrypt the tiled, batched model —
+4. generate a session key pair and encrypt the tiled, batched model,
+5. (with the default ``engine="plan"``) lower the batched pipeline onto
+   the IR and run the optimizer over it —
 
-and caches the resulting :class:`BatchedEncryptedModel`, query spec, and
-cost model for every subsequent batch evaluation.
+and caches the resulting :class:`BatchedEncryptedModel`, query spec,
+cost model, and :class:`~repro.ir.plan.InferencePlan` for every
+subsequent batch evaluation.
 
 Trust model: cross-query packing requires all queries of a batch to be
 encrypted under one key, so the service holds a per-model *session* key
@@ -29,12 +32,19 @@ from typing import Dict, List, Optional, Union
 
 from repro.errors import ValidationError
 from repro.core.compiler import CompiledModel, CopseCompiler
-from repro.core.runtime import ModelOwner, QuerySpec
+from repro.core.runtime import (
+    ENGINE_PLAN,
+    ENGINES,
+    ModelOwner,
+    QuerySpec,
+)
+from repro.core.seccomp import VARIANT_ALOUFI
 from repro.fhe.context import FheContext
 from repro.fhe.costmodel import CostModel
 from repro.fhe.keys import KeyPair
 from repro.fhe.params import EncryptionParams
 from repro.forest.forest import DecisionForest
+from repro.ir.plan import InferencePlan, lower_batched_inference
 from repro.serve.batched_runtime import BatchedEncryptedModel, build_batched_model
 from repro.serve.packing import BatchLayout, plan_layout
 
@@ -55,16 +65,24 @@ class RegisteredModel:
     forest: Optional[DecisionForest] = field(default=None, repr=False)
     #: One-time simulated cost of encrypting the batched model (ms).
     setup_ms: float = 0.0
+    #: Execution engine batches for this model run under.
+    engine: str = ENGINE_PLAN
+    #: The optimized batched lowering, compiled once at registration and
+    #: cached next to the encrypted ciphertexts (None for eager models).
+    plan: Optional[InferencePlan] = field(default=None, repr=False)
 
     @property
     def batch_capacity(self) -> int:
         return self.layout.capacity
 
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.name}: {self.compiled.describe()}; "
             f"batch {self.layout.describe()}; {self.params.describe()}"
         )
+        if self.plan is not None:
+            base += f"; {self.plan.describe()}"
+        return base
 
 
 class ModelRegistry:
@@ -84,8 +102,10 @@ class ModelRegistry:
         autoselect_params: bool = False,
         max_batch_size: Optional[int] = None,
         encrypted_model: bool = True,
+        engine: str = ENGINE_PLAN,
+        seccomp_variant: str = VARIANT_ALOUFI,
     ) -> RegisteredModel:
-        """Compile, parameter-select, and encrypt ``model`` exactly once.
+        """Compile, parameter-select, encrypt, and plan ``model`` once.
 
         ``model`` may be a :class:`DecisionForest` (compiled here at
         ``precision``) or an already-compiled model.  Parameters resolve
@@ -95,9 +115,19 @@ class ModelRegistry:
         capacity below what the slots allow (a latency knob);
         ``encrypted_model=False`` keeps the model in plaintext on the
         server (Maurice = Sally).
+
+        ``engine="plan"`` (the default) also lowers the batched pipeline
+        onto the IR, optimizes it, and caches the resulting
+        :class:`~repro.ir.plan.InferencePlan` for every batch evaluation;
+        ``engine="eager"`` keeps the hand-scheduled interpreter.  The
+        plan must match the batcher's SecComp ``seccomp_variant``.
         """
         if not name:
             raise ValidationError("a registered model needs a non-empty name")
+        if engine not in ENGINES:
+            raise ValidationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         with self._lock:
             # Fail before the expensive compile/encrypt pipeline; the
             # insert below re-checks in case of a registration race.
@@ -138,6 +168,15 @@ class ModelRegistry:
         )
         setup_ms = cost_model.sequential_ms(ctx.tracker)
 
+        plan: Optional[InferencePlan] = None
+        if engine == ENGINE_PLAN:
+            plan = lower_batched_inference(
+                compiled,
+                layout,
+                encrypted_model=encrypted_model,
+                variant=seccomp_variant,
+            )
+
         registered = RegisteredModel(
             name=name,
             compiled=compiled,
@@ -150,6 +189,8 @@ class ModelRegistry:
             encrypted_model=encrypted_model,
             forest=forest,
             setup_ms=setup_ms,
+            engine=engine,
+            plan=plan,
         )
         with self._lock:
             if name in self._models:

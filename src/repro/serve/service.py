@@ -21,14 +21,16 @@ aggregated thread-safely across workers.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ValidationError
 from repro.core.compiler import CompiledModel
+from repro.core.runtime import ENGINE_PLAN, ENGINES, PHASE_PLAN
 from repro.core.seccomp import VARIANT_ALOUFI
 from repro.fhe.params import EncryptionParams
 from repro.forest.forest import DecisionForest
+from repro.serve.batched_runtime import BATCH_INFERENCE_PHASES
 from repro.serve.batcher import (
     BatchRecord,
     ClassificationResult,
@@ -60,6 +62,34 @@ class ServiceStats:
     setup_ms: float
     oracle_failures: int
     threads: int
+    #: Per-phase operation counts — the plan engine's work lands under
+    #: ``plan_inference`` while eager batches use the four stage phases,
+    #: so the two engines' op counts stay separable after aggregation.
+    phase_op_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def plan_ms(self) -> float:
+        """Simulated inference ms spent in the plan engine."""
+        return self.phase_ms.get(PHASE_PLAN, 0.0)
+
+    @property
+    def eager_ms(self) -> float:
+        """Simulated inference ms spent in the eager four-stage engine."""
+        return sum(self.phase_ms.get(p, 0.0) for p in BATCH_INFERENCE_PHASES)
+
+    @property
+    def plan_op_counts(self) -> Dict[str, int]:
+        """Operation counts recorded by plan-engine batches."""
+        return dict(self.phase_op_counts.get(PHASE_PLAN, {}))
+
+    @property
+    def eager_op_counts(self) -> Dict[str, int]:
+        """Operation counts recorded by eager-engine batches."""
+        merged: Dict[str, int] = {}
+        for phase in BATCH_INFERENCE_PHASES:
+            for kind, n in self.phase_op_counts.get(phase, {}).items():
+                merged[kind] = merged.get(kind, 0) + n
+        return merged
 
     @property
     def amortized_ms_per_query(self) -> float:
@@ -104,7 +134,7 @@ class ServiceStats:
             f"  oracle failures     : {self.oracle_failures}",
         ]
         for phase, ms in self.phase_ms.items():
-            lines.append(f"  phase {phase:<13}: {ms:.2f} ms")
+            lines.append(f"  phase {phase:<14}: {ms:.2f} ms")
         return "\n".join(lines)
 
 
@@ -119,6 +149,7 @@ class _StatsAggregator:
         self._capacity_total = 0
         self._phase_ms: Dict[str, float] = {}
         self._op_counts: Dict[str, int] = {}
+        self._phase_op_counts: Dict[str, Dict[str, int]] = {}
         self._inference_ms = 0.0
         self._data_encrypt_ms = 0.0
         self._setup_ms = 0.0
@@ -136,9 +167,11 @@ class _StatsAggregator:
             for phase, ms in record.phase_ms.items():
                 self._phase_ms[phase] = self._phase_ms.get(phase, 0.0) + ms
             for phase in record.tracker.phases:
+                per_phase = self._phase_op_counts.setdefault(phase, {})
                 for kind, n in record.tracker.phase_stats(phase).counts.items():
                     key = kind.value
                     self._op_counts[key] = self._op_counts.get(key, 0) + n
+                    per_phase[key] = per_phase.get(key, 0) + n
             self._inference_ms += record.inference_ms
             self._data_encrypt_ms += record.data_encrypt_ms
             if record.oracle_failures:
@@ -157,11 +190,22 @@ class _StatsAggregator:
                 setup_ms=self._setup_ms,
                 oracle_failures=self._oracle_failures,
                 threads=self._threads,
+                phase_op_counts={
+                    phase: dict(counts)
+                    for phase, counts in self._phase_op_counts.items()
+                },
             )
 
 
 class CopseService:
-    """Batched secure-inference service over the COPSE stack."""
+    """Batched secure-inference service over the COPSE stack.
+
+    ``engine`` selects the default execution path for registered models:
+    ``"plan"`` (the default) compiles, optimizes, and caches an
+    :class:`~repro.ir.plan.InferencePlan` per model and executes batches
+    through the IR; ``"eager"`` keeps the hand-scheduled interpreter.
+    ``register_model`` can override per model.
+    """
 
     def __init__(
         self,
@@ -169,11 +213,17 @@ class CopseService:
         threads: int = 2,
         seccomp_variant: str = VARIANT_ALOUFI,
         verify_oracle: bool = True,
+        engine: str = ENGINE_PLAN,
     ):
+        if engine not in ENGINES:
+            raise ValidationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.registry = ModelRegistry(default_params=params)
         self.scheduler = Scheduler(threads=threads)
         self.seccomp_variant = seccomp_variant
         self.verify_oracle = verify_oracle
+        self.engine = engine
         self._batchers: Dict[str, QueryBatcher] = {}
         self._lock = threading.Lock()
         self._stats = _StatsAggregator(threads=threads)
@@ -191,8 +241,12 @@ class CopseService:
         autoselect_params: bool = False,
         max_batch_size: Optional[int] = None,
         encrypted_model: bool = True,
+        engine: Optional[str] = None,
     ) -> RegisteredModel:
-        """Compile, parameter-select, and encrypt ``model`` exactly once."""
+        """Compile, parameter-select, encrypt, and plan ``model`` once.
+
+        ``engine`` overrides the service default for this model.
+        """
         registered = self.registry.register(
             name,
             model,
@@ -201,6 +255,8 @@ class CopseService:
             autoselect_params=autoselect_params,
             max_batch_size=max_batch_size,
             encrypted_model=encrypted_model,
+            engine=self.engine if engine is None else engine,
+            seccomp_variant=self.seccomp_variant,
         )
         batcher = QueryBatcher(
             registered,

@@ -189,6 +189,30 @@ class TestThroughput:
         assert table.rows[1][1] == 3  # 6 queries -> 3 batches
 
 
+class TestPlanSpeedup:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return experiments.plan_speedup(workload_name="width78", queries=2)
+
+    def test_plan_at_most_eager_cost(self, table):
+        """ISSUE 2 acceptance: plan-engine per-query simulated cost must
+        be <= the eager engine's, with both paths oracle-exact."""
+        eager = table.row("eager")
+        plan = table.row("plan")
+        assert plan[3] <= eager[3]
+        assert eager[4] == "ok" and plan[4] == "ok"
+
+    def test_optimizer_beats_naive_lowering(self, table):
+        unoptimized = table.row("plan (unoptimized)")
+        plan = table.row("plan")
+        assert plan[1] < unoptimized[1]  # strictly fewer rotations
+        assert plan[3] < unoptimized[3]  # strictly lower cost ms
+
+    def test_plan_reduces_rotations_below_eager(self, table):
+        assert table.row("plan")[1] < table.row("eager")[1]
+        assert any("cheaper per query" in n for n in table.notes)
+
+
 class TestReportHelpers:
     def test_geometric_mean(self):
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)

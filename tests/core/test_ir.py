@@ -1,16 +1,18 @@
-"""Tests for the EVA-style IR: builder, passes, executor, COPSE staging."""
+"""Tests for the EVA-style IR: builder, passes, executor, COPSE staging.
+
+The IR toolkit is exercised through the *public* package API (``repro``
+top-level exports) — since the plan-compiled execution path the IR is a
+load-bearing layer, not an internal detail, and these tests pin the
+export surface along with the behavior.
+"""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import CompileError, RuntimeProtocolError
-from repro.core.compiler import CopseCompiler
-from repro.core.runtime import secure_inference
-from repro.core.seccomp import VARIANT_ALOUFI, VARIANT_OPTIMIZED
-from repro.fhe.context import FheContext
-from repro.forest.synthetic import random_forest
-from repro.ir import (
+from repro import (
+    CopseCompiler,
+    FheContext,
     IrBuilder,
     IrOp,
     analyze_counts,
@@ -23,6 +25,9 @@ from repro.ir import (
     ir_secure_inference,
     optimize,
 )
+from repro.errors import CompileError, RuntimeProtocolError
+from repro.core.seccomp import VARIANT_ALOUFI, VARIANT_OPTIMIZED
+from repro.forest.synthetic import random_forest
 
 
 class TestBuilder:

@@ -1,0 +1,189 @@
+"""Optimizer-pass properties on *lowered* graphs, not hand-built toys.
+
+The pass pipeline became load-bearing with the plan-compiled execution
+path, so its contract is pinned on the graphs it actually optimizes:
+full single-query and batched inference lowerings of compiled models.
+
+Properties: ``optimize`` reaches a fixed point within its iteration
+budget, is idempotent (a second run changes nothing), never increases
+multiplicative depth (or analyzed cost), and preserves executor output
+bit-for-bit on randomized inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    CopseCompiler,
+    FheContext,
+    analyze_cost,
+    analyze_depth,
+    execute,
+    lower_batched_inference,
+    lower_inference,
+    optimize,
+)
+from repro.core.runtime import DataOwner, ModelOwner
+from repro.fhe.costmodel import CostModel
+from repro.fhe.params import EncryptionParams
+from repro.forest.synthetic import random_forest
+from repro.ir.copse_ir import OUTPUT_LABELS, build_inference_graph
+from repro.ir.plan import build_batched_inference_graph
+from repro.serve import plan_layout
+from repro.serve.batched_runtime import encrypt_batch
+
+PRECISION = 6
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    forest = random_forest(
+        np.random.default_rng(3),
+        branches_per_tree=[5, 7],
+        max_depth=4,
+        n_features=3,
+        precision=PRECISION,
+    )
+    compiled = CopseCompiler(precision=PRECISION).compile(forest)
+    return forest, compiled
+
+
+@pytest.fixture(scope="module")
+def layout(compiled):
+    _, model = compiled
+    return plan_layout(
+        model, EncryptionParams.paper_defaults(), max_batch_size=3
+    )
+
+
+def lowered_graphs(compiled, layout):
+    """Every live lowering shape: single/batched x encrypted/plaintext."""
+    _, model = compiled
+    return {
+        "single/enc": build_inference_graph(model, encrypted_model=True),
+        "single/plain": build_inference_graph(model, encrypted_model=False),
+        "batched/enc": build_batched_inference_graph(
+            model, layout, encrypted_model=True
+        ),
+        "batched/plain": build_batched_inference_graph(
+            model, layout, encrypted_model=False
+        ),
+    }
+
+
+def graph_signature(graph):
+    """Structural identity: node keys in order, plus the interface."""
+    return (
+        [(n.op, n.args, n.attr, n.width, n.is_cipher) for n in graph.nodes],
+        dict(graph.inputs),
+        dict(graph.outputs),
+    )
+
+
+class TestFixedPoint:
+    def test_optimize_reaches_fixed_point_and_is_idempotent(
+        self, compiled, layout
+    ):
+        for name, raw in lowered_graphs(compiled, layout).items():
+            once = optimize(raw)
+            twice = optimize(once)
+            assert graph_signature(twice) == graph_signature(once), name
+            # A fixed point of every individual pass, too: one more
+            # whole-pipeline sweep at max_iterations=1 must be identity.
+            assert graph_signature(optimize(once, max_iterations=1)) == (
+                graph_signature(once)
+            ), name
+
+    def test_optimize_never_increases_depth_or_cost(self, compiled, layout):
+        cost_model = CostModel(EncryptionParams.paper_defaults())
+        for name, raw in lowered_graphs(compiled, layout).items():
+            opt = optimize(raw)
+            assert analyze_depth(opt) <= analyze_depth(raw), name
+            assert analyze_cost(opt, cost_model) <= analyze_cost(
+                raw, cost_model
+            ), name
+            assert opt.num_nodes <= raw.num_nodes, name
+
+    def test_optimize_preserves_interface(self, compiled, layout):
+        for name, raw in lowered_graphs(compiled, layout).items():
+            opt = optimize(raw)
+            assert set(opt.inputs) == set(raw.inputs), name
+            assert set(opt.outputs) == set(raw.outputs), name
+
+
+class TestSemanticPreservation:
+    @given(st.lists(
+        st.integers(min_value=0, max_value=(1 << PRECISION) - 1),
+        min_size=3, max_size=3,
+    ))
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_single_query_lowering(self, compiled, layout, features):
+        """Raw and optimized lowered graphs compute identical bits (and
+        match the oracle) on randomized feature vectors."""
+        forest, model = compiled
+        plan_raw = lower_inference(model, optimize_graph=False)
+        plan_opt = lower_inference(model)
+
+        ctx = FheContext()
+        keys = ctx.keygen()
+        maurice = ModelOwner(model)
+        query = DataOwner(maurice.query_spec(), keys).prepare_query(
+            ctx, features
+        )
+        enc_model = maurice.encrypt_model(ctx, keys.public)
+
+        bindings = plan_raw.bindings_for(ctx, enc_model, query)
+        raw_out = execute(plan_raw.graph, ctx, bindings)[OUTPUT_LABELS]
+        opt_out = execute(plan_opt.graph, ctx, dict(bindings))[OUTPUT_LABELS]
+
+        raw_bits = ctx.decrypt_bits(raw_out, keys.secret)
+        opt_bits = ctx.decrypt_bits(opt_out, keys.secret)
+        assert raw_bits == opt_bits == forest.label_bitvector(features)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(
+        max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_batched_lowering(self, compiled, layout, query_seed):
+        """Raw and optimized batched lowerings agree slot-for-slot."""
+        forest, model = compiled
+        plan_raw = lower_batched_inference(
+            model, layout, optimize_graph=False
+        )
+        plan_opt = lower_batched_inference(model, layout)
+
+        rng = np.random.default_rng(query_seed)
+        queries = [
+            [int(v) for v in rng.integers(0, 1 << PRECISION, 3)]
+            for _ in range(layout.capacity)
+        ]
+
+        ctx = FheContext()
+        keys = ctx.keygen()
+        from repro.serve.batched_runtime import build_batched_model
+
+        batched_model = build_batched_model(
+            ctx, model, layout, public_key=keys.public
+        )
+        query = encrypt_batch(ctx, layout, queries, keys)
+
+        bindings = plan_raw.bindings_for(ctx, batched_model, query)
+        raw_out = execute(plan_raw.graph, ctx, bindings)[OUTPUT_LABELS]
+        opt_out = execute(plan_opt.graph, ctx, dict(bindings))[OUTPUT_LABELS]
+        assert ctx.decrypt_bits(raw_out, keys.secret) == ctx.decrypt_bits(
+            opt_out, keys.secret
+        )
+
+        from repro.serve.packing import demux_bitvectors
+
+        demuxed = demux_bitvectors(
+            layout,
+            ctx.decrypt_bits(opt_out, keys.secret),
+            len(queries),
+        )
+        assert demuxed == [forest.label_bitvector(q) for q in queries]

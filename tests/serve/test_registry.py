@@ -74,3 +74,44 @@ class TestRegister:
         params = EncryptionParams(security=128, bits=600, columns=3)
         registry = ModelRegistry(default_params=params)
         assert registry.register("m", example_forest).params == params
+
+
+class TestPlanCache:
+    def test_plan_compiled_and_cached_by_default(self, example_forest):
+        reg = ModelRegistry().register("m", example_forest)
+        assert reg.engine == "plan"
+        assert reg.plan is not None
+        assert reg.plan.batched
+        assert reg.plan.batch_shape == (reg.layout.stride, reg.layout.capacity)
+        assert reg.plan.encrypted_model
+        assert "plan[" in reg.describe()
+
+    def test_plan_optimizer_strictly_wins(self, example_forest):
+        """The cached plan must show the optimizer's payoff: fewer
+        rotations and fewer nodes than the naive lowering."""
+        plan = ModelRegistry().register("m", example_forest).plan
+        assert plan.optimized.rotations < plan.raw.rotations
+        assert plan.optimized.num_nodes < plan.raw.num_nodes
+        assert plan.optimized.depth <= plan.raw.depth
+        assert plan.rotations_saved > 0
+
+    def test_eager_engine_skips_plan(self, example_forest):
+        reg = ModelRegistry().register("m", example_forest, engine="eager")
+        assert reg.engine == "eager"
+        assert reg.plan is None
+
+    def test_unknown_engine_rejected(self, example_forest):
+        with pytest.raises(ValidationError, match="engine"):
+            ModelRegistry().register("m", example_forest, engine="jit")
+
+    def test_plaintext_model_plan_bakes_constants(self, example_forest):
+        reg = ModelRegistry().register(
+            "m", example_forest, encrypted_model=False
+        )
+        assert reg.plan is not None and not reg.plan.encrypted_model
+        # Plaintext-model plans only bind the query (and the SecComp
+        # all-ones helper) — the model itself is baked into the graph.
+        assert all(
+            name.startswith("feat_plane_") or name == "not_one"
+            for name in reg.plan.input_names
+        )

@@ -153,8 +153,9 @@ class TestErrors:
 
 
 class TestStats:
-    def test_amortized_cost_and_fill(self, example_forest):
-        with CopseService(threads=2) as service:
+    @pytest.mark.parametrize("engine", ["plan", "eager"])
+    def test_amortized_cost_and_fill(self, example_forest, engine):
+        with CopseService(threads=2, engine=engine) as service:
             service.register_model("m", example_forest, max_batch_size=3)
             service.classify_many("m", queries_for(example_forest, 6))
             stats = service.stats()
@@ -164,10 +165,46 @@ class TestStats:
         assert stats.amortized_ms_per_query > 0
         assert stats.throughput_qps > 0
         assert stats.setup_ms > 0
-        for phase in ("comparison", "reshuffle", "levels", "accumulate"):
-            assert stats.phase_ms[phase] > 0
+        if engine == "plan":
+            # The whole optimized pipeline records under one phase.
+            assert stats.phase_ms["plan_inference"] > 0
+            assert stats.plan_ms > 0 and stats.eager_ms == 0
+            assert stats.plan_op_counts["multiply"] > 0
+            assert stats.eager_op_counts == {}
+        else:
+            for phase in ("comparison", "reshuffle", "levels", "accumulate"):
+                assert stats.phase_ms[phase] > 0
+            assert stats.eager_ms > 0 and stats.plan_ms == 0
+            assert stats.eager_op_counts["multiply"] > 0
+            assert stats.plan_op_counts == {}
         assert stats.op_counts["multiply"] > 0
         assert "CopseService stats" in stats.render()
+
+    def test_plan_engine_is_default_and_cheaper(self, example_forest):
+        """The registry default is the plan engine; on the same queries it
+        does strictly less simulated inference work than eager."""
+
+        def run(engine):
+            with CopseService(threads=1, engine=engine) as service:
+                registered = service.register_model(
+                    "m", example_forest, max_batch_size=2
+                )
+                service.classify_many("m", queries_for(example_forest, 4))
+                return registered, service.stats()
+
+        default_service = CopseService(threads=1)
+        try:
+            assert default_service.engine == "plan"
+        finally:
+            default_service.close()
+
+        plan_reg, plan_stats = run("plan")
+        eager_reg, eager_stats = run("eager")
+        assert plan_reg.engine == "plan" and plan_reg.plan is not None
+        assert eager_reg.engine == "eager" and eager_reg.plan is None
+        assert plan_stats.oracle_failures == 0
+        assert eager_stats.oracle_failures == 0
+        assert plan_stats.inference_ms < eager_stats.inference_ms
 
     def test_oracle_failures_counted_per_query(self, example_forest):
         """Regression: a bad batch used to count as one failure."""

@@ -87,6 +87,22 @@ class TestClassify:
         assert main(["classify", path, "--features", "999,0"]) == 1
         assert "error" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("extra", [[], ["--plaintext-model"]])
+    def test_plan_engine(self, model_file, capsys, extra):
+        path, _ = model_file
+        assert main(
+            ["classify", path, "--features", "33,99", "--engine", "plan"]
+            + extra
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine: plan" in out
+        assert "oracle agreement: ok" in out
+
+    def test_unknown_engine_rejected(self, model_file, capsys):
+        path, _ = model_file
+        with pytest.raises(SystemExit):
+            main(["classify", path, "--features", "1,2", "--engine", "jit"])
+
 
 class TestBatchClassify:
     def test_happy_path(self, model_file, capsys):
@@ -166,6 +182,19 @@ class TestServe:
         assert "serving" in out
         assert "queries served      : 5" in out
         assert "oracle agreement: ok" in out
+        # The plan engine is the serve default.
+        assert "plan_inference" in out
+
+    def test_eager_engine_selectable(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "4", "--threads", "1",
+             "--engine", "eager"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "oracle agreement: ok" in out
+        assert "plan_inference" not in out
+        assert "phase comparison" in out
 
     def test_plaintext_model(self, model_file, capsys):
         path, _ = model_file
@@ -227,6 +256,16 @@ class TestBench:
              "--queries", "5"]
         ) == 0
         assert "(5 queries)" in capsys.readouterr().out
+
+    def test_plan_speedup(self, capsys):
+        assert main(
+            ["bench", "plan-speedup", "--workloads", "width55",
+             "--queries", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Plan-compiled speedup" in out
+        assert "plan (unoptimized)" in out
+        assert "MISMATCH" not in out
 
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):

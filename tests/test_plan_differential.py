@@ -1,0 +1,204 @@
+"""Differential property suite: eager engine vs plan engine vs oracle.
+
+The plan-compiled execution path (``engine="plan"``) must be
+bit-identical to the eager Algorithm 1 interpreter and to the plaintext
+oracle (``forest.label_bitvector``) on *every* model and query — the
+optimizer may only remove work, never change slots.  Hypothesis
+generates random small forests and feature vectors and checks all three
+against each other, in both the encrypted-model and plaintext-model
+configurations, plus the batched serve path (plan-engine service vs
+eager-engine service vs oracle).
+
+The ``repro-plan-ci`` profile is fixed (derandomized, >= 200 examples)
+so CI runs the exact same case set every time; scale it with
+``REPRO_DIFF_EXAMPLES``.  Compiled models and lowered plans are cached
+per generated forest so the examples pay for inference, not compilation.
+"""
+
+import os
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    CopseCompiler,
+    CopseServer,
+    CopseService,
+    FheContext,
+    lower_inference,
+)
+from repro.core.runtime import DataOwner, ModelOwner
+from repro.forest.synthetic import random_forest
+
+#: Model/query domain: tiny forests keep 200+ full secure inferences
+#: affordable while still varying width, depth, and label structure.
+PRECISION = 4
+N_FEATURES = 2
+FEATURE_LIMIT = 1 << PRECISION
+
+settings.register_profile(
+    "repro-plan-ci",
+    max_examples=int(os.environ.get("REPRO_DIFF_EXAMPLES", "200")),
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+CI_PROFILE = settings.get_profile("repro-plan-ci")
+
+
+@lru_cache(maxsize=128)
+def model_for(branches_a: int, branches_b: int, depth: int, model_seed: int):
+    """Forest + compiled model + both plan lowerings, cached per shape."""
+    forest = random_forest(
+        np.random.default_rng(model_seed),
+        branches_per_tree=[branches_a, branches_b],
+        max_depth=depth,
+        n_features=N_FEATURES,
+        precision=PRECISION,
+    )
+    compiled = CopseCompiler(precision=PRECISION).compile(forest)
+    plans = {
+        encrypted: lower_inference(compiled, encrypted_model=encrypted)
+        for encrypted in (True, False)
+    }
+    return forest, compiled, plans
+
+
+@st.composite
+def forest_shapes(draw):
+    """(branches1, branches2, depth, seed) satisfying the generator's
+    shape constraints: a tree fits ``2**depth - 1`` branches and needs
+    ``depth`` of them to actually reach that depth."""
+    depth = draw(st.integers(min_value=2, max_value=3))
+    lo, hi = depth, min(5, (1 << depth) - 1)
+    branches_a = draw(st.integers(min_value=lo, max_value=hi))
+    branches_b = draw(st.integers(min_value=lo, max_value=hi))
+    seed = draw(st.integers(min_value=0, max_value=15))
+    return branches_a, branches_b, depth, seed
+
+
+FOREST_SHAPES = forest_shapes()
+FEATURES = st.lists(
+    st.integers(min_value=0, max_value=FEATURE_LIMIT - 1),
+    min_size=N_FEATURES,
+    max_size=N_FEATURES,
+)
+
+
+@given(shape=FOREST_SHAPES, features=FEATURES)
+@CI_PROFILE
+def test_eager_plan_and_oracle_agree(shape, features):
+    """Eager classify == plan classify == plaintext oracle, on random
+    forests and queries, for encrypted and plaintext models alike."""
+    forest, compiled, plans = model_for(*shape)
+    oracle = forest.label_bitvector(features)
+
+    ctx = FheContext()
+    keys = ctx.keygen()
+    maurice = ModelOwner(compiled)
+    diane = DataOwner(maurice.query_spec(), keys)
+    query = diane.prepare_query(ctx, features)
+
+    for encrypted in (True, False):
+        if encrypted:
+            model = maurice.encrypt_model(ctx, keys.public)
+        else:
+            model = maurice.plaintext_model(ctx)
+
+        eager = CopseServer(ctx).classify(model, query)
+        assert ctx.decrypt_bits(eager, keys.secret) == oracle, (
+            f"eager/{'enc' if encrypted else 'plain'} disagrees with oracle"
+        )
+
+        planned = CopseServer(
+            ctx, engine="plan", plan=plans[encrypted]
+        ).classify(model, query)
+        assert ctx.decrypt_bits(planned, keys.secret) == oracle, (
+            f"plan/{'enc' if encrypted else 'plain'} disagrees with oracle"
+        )
+
+
+@pytest.mark.parametrize("encrypted_model", [True, False])
+@given(
+    shape=FOREST_SHAPES,
+    query_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(
+    max_examples=15, derandomize=True, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_batched_serve_engines_agree(encrypted_model, shape, query_seed):
+    """The serve registry's plan engine and the eager batched runtime
+    produce identical per-query bitvectors on packed batches — for
+    encrypted models and for plaintext models (where the plan bakes the
+    tiled model in as graph constants)."""
+    forest, compiled, _ = model_for(*shape)
+    rng = np.random.default_rng(query_seed)
+    queries = [
+        [int(v) for v in rng.integers(0, FEATURE_LIMIT, N_FEATURES)]
+        for _ in range(3)
+    ]
+    oracle = [forest.label_bitvector(q) for q in queries]
+
+    outputs = {}
+    for engine in ("plan", "eager"):
+        with CopseService(threads=1, engine=engine) as service:
+            service.register_model(
+                "m", compiled, max_batch_size=2,
+                encrypted_model=encrypted_model,
+            )
+            results = service.classify_many("m", queries)
+        assert all(r.oracle_ok for r in results), f"{engine} failed oracle"
+        outputs[engine] = [r.bitvector for r in results]
+
+    assert outputs["plan"] == outputs["eager"] == oracle
+
+
+@pytest.mark.parametrize("encrypted_model", [True, False])
+def test_plan_refuses_foreign_model(encrypted_model):
+    """A plan lowered for model A must refuse a shape-identical model B
+    (plaintext-model plans bake A's structures in, so silently serving B
+    would return A's labels)."""
+    from repro.errors import RuntimeProtocolError
+    from repro.core.runtime import DataOwner as _DataOwner
+    from repro.forest.forest import DecisionForest
+    from repro.forest.node import Branch, Leaf
+    from repro.forest.tree import DecisionTree
+
+    def forest_with_threshold(threshold):
+        tree = DecisionTree(
+            root=Branch(0, threshold, Leaf(1), Leaf(0))
+        )
+        return DecisionForest(
+            trees=[tree], label_names=["low", "high"], n_features=1
+        )
+
+    compiled_a = CopseCompiler(precision=8).compile(forest_with_threshold(100))
+    compiled_b = CopseCompiler(precision=8).compile(forest_with_threshold(200))
+    plan_a = lower_inference(compiled_a, encrypted_model=encrypted_model)
+
+    ctx = FheContext()
+    keys = ctx.keygen()
+    maurice_b = ModelOwner(compiled_b)
+    query = _DataOwner(maurice_b.query_spec(), keys).prepare_query(ctx, [150])
+    if encrypted_model:
+        model_b = maurice_b.encrypt_model(ctx, keys.public)
+    else:
+        model_b = maurice_b.plaintext_model(ctx)
+
+    server = CopseServer(ctx, engine="plan", plan=plan_a)
+    with pytest.raises(RuntimeProtocolError, match="different|model"):
+        server.classify(model_b, query)
+
+    # The right model still classifies (and matches the oracle).
+    maurice_a = ModelOwner(compiled_a)
+    model_a = (
+        maurice_a.encrypt_model(ctx, keys.public)
+        if encrypted_model
+        else maurice_a.plaintext_model(ctx)
+    )
+    result = server.classify(model_a, query)
+    expected = forest_with_threshold(100).label_bitvector([150])
+    assert ctx.decrypt_bits(result, keys.secret) == expected
