@@ -42,7 +42,18 @@ from repro.errors import (
     NoiseBudgetExceededError,
     RuntimeProtocolError,
 )
-from repro.fhe import EncryptionParams, FheContext, OpTracker, CostModel
+from repro.fhe import (
+    CostModel,
+    EncryptionParams,
+    FheBackend,
+    FheContext,
+    OpTracker,
+    available_backends,
+    backend_description,
+    default_backend,
+    get_backend,
+    register_backend,
+)
 from repro.forest import DecisionForest, DecisionTree
 from repro.core import (
     CompiledModel,
@@ -92,6 +103,12 @@ __all__ = [
     "NoiseBudgetExceededError",
     "EncryptionParams",
     "FheContext",
+    "FheBackend",
+    "available_backends",
+    "backend_description",
+    "default_backend",
+    "get_backend",
+    "register_backend",
     "OpTracker",
     "CostModel",
     "DecisionForest",

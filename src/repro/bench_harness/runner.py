@@ -32,6 +32,7 @@ from repro.core.runtime import (
     ModelOwner,
 )
 from repro.core.seccomp import VARIANT_ALOUFI
+from repro.fhe.backend import canonical_backend_name
 from repro.fhe.context import FheContext
 from repro.fhe.costmodel import CostModel
 from repro.fhe.params import EncryptionParams
@@ -46,7 +47,15 @@ BASELINE_PHASES = ("comparison", "polynomial")
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Configuration for one experiment run."""
+    """Configuration for one experiment run.
+
+    ``backend`` selects the FHE backend each per-query context is built
+    on (``None`` means the process default).  Simulated times come from
+    the cost model over operation *counts*, so they are backend-
+    independent; the backend choice matters for wall-clock measurements
+    and for exercising a backend against the oracle.  Multithreaded
+    estimates (``threads > 1``) need the reference backend's DAG.
+    """
 
     system: str = SYSTEM_COPSE
     encrypted_model: bool = True
@@ -55,6 +64,7 @@ class RunnerConfig:
     seccomp_variant: str = VARIANT_ALOUFI
     queries: int = PAPER_QUERY_COUNT
     query_seed: int = 1234
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.system not in (SYSTEM_COPSE, SYSTEM_BASELINE):
@@ -66,6 +76,8 @@ class RunnerConfig:
             raise ValidationError(f"threads must be >= 1, got {self.threads}")
         if self.queries < 1:
             raise ValidationError(f"queries must be >= 1, got {self.queries}")
+        if self.backend is not None:
+            canonical_backend_name(self.backend)
 
 
 @dataclass
@@ -115,7 +127,7 @@ class InferenceRunner:
         last_tracker: Optional[OpTracker] = None
 
         for features in queries:
-            ctx = FheContext(cfg.params)
+            ctx = FheContext(cfg.params, backend=cfg.backend)
             keys = ctx.keygen()
             maurice = ModelOwner(compiled)
             diane = DataOwner(maurice.query_spec(), keys)
@@ -145,7 +157,7 @@ class InferenceRunner:
         last_tracker: Optional[OpTracker] = None
 
         for features in queries:
-            ctx = FheContext(cfg.params)
+            ctx = FheContext(cfg.params, backend=cfg.backend)
             keys = ctx.keygen()
             maurice = BaselineModelOwner(poly)
             diane = BaselineDataOwner(poly, keys)

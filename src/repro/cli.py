@@ -10,7 +10,13 @@ evaluation harness::
     python -m repro serve model.txt --queries 64 --threads 4
     python -m repro bench fig6 --workloads depth4,width78
     python -m repro bench plan-speedup         # eager vs plan engine
+    python -m repro bench backend-speedup      # wall-clock per FHE backend
     python -m repro sweep                      # Table 5 parameter sweep
+
+Every inference command accepts ``--backend`` (reference / vector /
+plaintext — see ``repro.fhe.backend``); ``--precision``, ``--engine``,
+``--seed``, and ``--backend`` are shared option groups declared once on
+parent parsers and attached where they apply.
 
 ``model.txt`` is the paper's Section 5 serialization (see
 ``repro.forest.serialize``).  ``batch-classify`` and ``serve`` route
@@ -32,46 +38,79 @@ from repro.forest.serialize import loads_forest
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.fhe.backend import available_backends
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="COPSE: vectorized secure evaluation of decision forests",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    info = sub.add_parser("info", help="print model statistics and leakage")
+    # Shared option groups (argparse parent parsers), so the knobs every
+    # command repeats are declared once.  ``--engine`` defaults per
+    # command via set_defaults: single-query classification interprets
+    # eagerly, the batched service prefers the cached plan.
+    model_opts = argparse.ArgumentParser(add_help=False)
+    model_opts.add_argument(
+        "--precision", type=int, default=8,
+        help="fixed-point precision in bits (default: 8)",
+    )
+
+    backend_opts = argparse.ArgumentParser(add_help=False)
+    backend_opts.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="FHE backend to evaluate on (default: $REPRO_BACKEND or "
+        "'reference'; 'vector' is the fast engine, 'plaintext' the "
+        "no-noise debug engine)",
+    )
+
+    run_opts = argparse.ArgumentParser(add_help=False, parents=[backend_opts])
+    run_opts.add_argument(
+        "--engine", choices=["eager", "plan"], default=None,
+        help="execution path: the eager Algorithm 1 interpreter or the "
+        "optimized IR inference plan (default: eager for classify, "
+        "plan for the batched commands)",
+    )
+
+    seed_opts = argparse.ArgumentParser(add_help=False)
+    seed_opts.add_argument(
+        "--seed", type=int, default=1234,
+        help="random seed for synthetic query generation",
+    )
+
+    info = sub.add_parser(
+        "info", parents=[model_opts],
+        help="print model statistics and leakage",
+    )
     info.add_argument("model", help="serialized model file (Section 5 format)")
-    info.add_argument("--precision", type=int, default=8)
 
     compile_cmd = sub.add_parser(
-        "compile", help="stage a model into a specialized Python module"
+        "compile", parents=[model_opts],
+        help="stage a model into a specialized Python module",
     )
     compile_cmd.add_argument("model")
     compile_cmd.add_argument("-o", "--output", required=True)
-    compile_cmd.add_argument("--precision", type=int, default=8)
 
     classify = sub.add_parser(
-        "classify", help="run one secure inference end to end"
+        "classify", parents=[model_opts, run_opts],
+        help="run one secure inference end to end",
     )
+    classify.set_defaults(engine="eager")
     classify.add_argument("model")
     classify.add_argument(
         "--features", required=True,
         help="comma-separated integer feature values",
     )
-    classify.add_argument("--precision", type=int, default=8)
     classify.add_argument(
         "--plaintext-model", action="store_true",
         help="Maurice-equals-Sally configuration (model not encrypted)",
     )
-    classify.add_argument(
-        "--engine", choices=["eager", "plan"], default="eager",
-        help="execution path: the eager Algorithm 1 interpreter or an "
-        "optimized IR inference plan (default: eager)",
-    )
 
     batch = sub.add_parser(
-        "batch-classify",
+        "batch-classify", parents=[model_opts, run_opts],
         help="classify many queries at once via cross-query SIMD packing",
     )
+    batch.set_defaults(engine="plan")
     batch.add_argument("model")
     batch.add_argument(
         "--features",
@@ -82,7 +121,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--features-file",
         help="file with one comma-separated feature list per line",
     )
-    batch.add_argument("--precision", type=int, default=8)
     batch.add_argument("--threads", type=int, default=2)
     batch.add_argument(
         "--batch-size", type=int, default=None,
@@ -92,35 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--plaintext-model", action="store_true",
         help="keep the model in plaintext on the server (Maurice = Sally)",
     )
-    batch.add_argument(
-        "--engine", choices=["eager", "plan"], default="plan",
-        help="batched execution path: the eager interpreter or the "
-        "cached optimized inference plan (default: plan)",
-    )
 
     serve = sub.add_parser(
-        "serve",
+        "serve", parents=[model_opts, run_opts, seed_opts],
         help="drive the batched inference service with a synthetic "
         "query stream and report throughput",
     )
+    serve.set_defaults(engine="plan")
     serve.add_argument("model")
     serve.add_argument("--queries", type=int, default=32)
     serve.add_argument("--threads", type=int, default=2)
     serve.add_argument("--batch-size", type=int, default=None)
-    serve.add_argument("--precision", type=int, default=8)
-    serve.add_argument("--seed", type=int, default=1234)
     serve.add_argument("--plaintext-model", action="store_true")
-    serve.add_argument(
-        "--engine", choices=["eager", "plan"], default="plan",
-        help="batched execution path (default: plan)",
-    )
 
-    bench = sub.add_parser("bench", help="regenerate a paper figure/table")
+    bench = sub.add_parser(
+        "bench", parents=[backend_opts],
+        help="regenerate a paper figure/table",
+    )
     bench.add_argument(
         "artifact",
         choices=[
             "fig6", "fig7", "fig8", "fig9", "fig10",
             "table1", "table2", "table6", "throughput", "plan-speedup",
+            "backend-speedup",
         ],
     )
     bench.add_argument(
@@ -185,11 +217,13 @@ def _cmd_classify(args) -> int:
         features,
         encrypted_model=not args.plaintext_model,
         engine=args.engine,
+        backend=args.backend,
     )
     result = outcome.result
     expected = forest.label_bitvector(features)
     print(f"features: {features}")
     print(f"engine: {args.engine}")
+    print(f"backend: {outcome.backend}")
     print(f"per-tree labels: "
           f"{[result.label_names[l] for l in result.chosen_labels]}")
     print(f"plurality: {result.plurality_name()}")
@@ -248,7 +282,9 @@ def _cmd_batch_classify(args) -> int:
     _check_service_args(args)
     queries = _load_queries(args)
     forest, compiled = _load_compiled(args.model, args.precision)
-    with CopseService(threads=args.threads, engine=args.engine) as service:
+    with CopseService(
+        threads=args.threads, engine=args.engine, backend=args.backend
+    ) as service:
         service.register_model(
             "cli",
             compiled,
@@ -285,7 +321,9 @@ def _cmd_serve(args) -> int:
         [int(v) for v in rng.integers(0, limit, compiled.n_features)]
         for _ in range(args.queries)
     ]
-    with CopseService(threads=args.threads, engine=args.engine) as service:
+    with CopseService(
+        threads=args.threads, engine=args.engine, backend=args.backend
+    ) as service:
         registered = service.register_model(
             "cli",
             compiled,
@@ -305,6 +343,27 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    import os
+
+    from repro.fhe.backend import BACKEND_ENV_VAR
+
+    if args.backend is None:
+        return _cmd_bench_inner(args)
+    # The figure/table pipelines build many contexts internally; the
+    # process-default mechanism threads the choice everywhere.  Restored
+    # afterwards so in-process callers (tests) see no leaked default.
+    previous = os.environ.get(BACKEND_ENV_VAR)
+    os.environ[BACKEND_ENV_VAR] = args.backend
+    try:
+        return _cmd_bench_inner(args)
+    finally:
+        if previous is None:
+            os.environ.pop(BACKEND_ENV_VAR, None)
+        else:
+            os.environ[BACKEND_ENV_VAR] = previous
+
+
+def _cmd_bench_inner(args) -> int:
     from repro.bench_harness import experiments
 
     names: Optional[List[str]] = None
@@ -312,6 +371,15 @@ def _cmd_bench(args) -> int:
         names = args.workloads.split(",")
     queries = args.queries if args.queries is not None else 1
 
+    if args.artifact == "backend-speedup":
+        workload = names[0] if names else "width78"
+        print(
+            experiments.backend_speedup(
+                workload_name=workload,
+                queries=args.queries if args.queries is not None else 8,
+            ).render()
+        )
+        return 0
     if args.artifact == "table1":
         workload = names[0] if names else "width78"
         for table in experiments.table1(

@@ -465,6 +465,11 @@ class SecureInferenceOutcome:
     def tracker(self):
         return self.context.tracker
 
+    @property
+    def backend(self) -> str:
+        """Registry name of the FHE backend the inference ran on."""
+        return getattr(self.context, "backend_name", "unknown")
+
 
 def secure_inference(
     compiled: CompiledModel,
@@ -477,6 +482,7 @@ def secure_inference(
     auto_bootstrap: bool = False,
     engine: str = ENGINE_EAGER,
     plan=None,
+    backend: Optional[str] = None,
 ) -> SecureInferenceOutcome:
     """Run one full secure inference end to end.
 
@@ -487,13 +493,23 @@ def secure_inference(
     modulus chain run by re-encrypting mid-circuit.  ``engine="plan"``
     routes Sally through an optimized :class:`~repro.ir.plan.InferencePlan`
     (lowered here when ``plan`` is not supplied; pass a prebuilt plan to
-    amortize the lowering across queries).
+    amortize the lowering across queries).  ``backend`` selects the FHE
+    backend the context is built on (a registered name from
+    :func:`repro.fhe.available_backends`; default ``$REPRO_BACKEND`` or
+    ``"reference"``) — ignored when an explicit ``ctx`` is supplied,
+    since a context *is* a backend instance.
     """
     if params is None:
         params = EncryptionParams.paper_defaults()
     compiled.check_parameters(params, allow_bootstrapping=auto_bootstrap)
     if ctx is None:
-        ctx = FheContext(params)
+        ctx = FheContext(params, backend=backend)
+    elif backend is not None and getattr(ctx, "backend_name", None) != backend:
+        raise RuntimeProtocolError(
+            f"explicit ctx implements backend "
+            f"{getattr(ctx, 'backend_name', 'unknown')!r}, but "
+            f"backend={backend!r} was requested; pass one or the other"
+        )
     if keys is None:
         keys = ctx.keygen()
 

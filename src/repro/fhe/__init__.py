@@ -33,7 +33,19 @@ from repro.fhe.noise import NoiseModel, NoiseState
 from repro.fhe.keys import KeyPair, PublicKey, SecretKey
 from repro.fhe.ciphertext import Ciphertext, PlainVector
 from repro.fhe.context import FheContext
-from repro.fhe.tracker import OpKind, OpTracker, PhaseStats
+from repro.fhe.backend import (
+    FheBackend,
+    available_backends,
+    backend_description,
+    canonical_backend_name,
+    default_backend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.fhe.vector import PlaintextFheContext, VectorFheContext
+from repro.fhe.tracker import CountingTracker, OpKind, OpTracker, PhaseStats
 from repro.fhe.costmodel import CostModel, TimingEstimate
 from repro.fhe.ahe import AheCiphertext, AheContext
 from repro.fhe.multikey import (
@@ -56,6 +68,18 @@ __all__ = [
     "Ciphertext",
     "PlainVector",
     "FheContext",
+    "FheBackend",
+    "VectorFheContext",
+    "PlaintextFheContext",
+    "available_backends",
+    "backend_description",
+    "canonical_backend_name",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "unregister_backend",
+    "CountingTracker",
     "OpKind",
     "OpTracker",
     "PhaseStats",

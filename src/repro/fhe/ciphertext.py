@@ -168,6 +168,31 @@ class Ciphertext:
         """Raw slot contents.  Package-private: only FheContext may call."""
         return self._slots
 
+    @classmethod
+    def _make(
+        cls,
+        slots: np.ndarray,
+        length: int,
+        key_id: int,
+        noise: NoiseState,
+        node_id: int,
+    ) -> "Ciphertext":
+        """Allocation-light construction for backend-internal results.
+
+        Skips the length validation and the read-only flag flip of
+        ``__init__`` — safe only for arrays the backend itself just
+        produced (fresh numpy results no other code holds), which is why
+        this is package-private like ``_payload``.
+        """
+        ct = object.__new__(cls)
+        ct._slots = slots
+        ct._length = length
+        ct._key_id = key_id
+        ct._noise = noise
+        ct._node_id = node_id
+        ct._ct_id = next(_CT_COUNTER)
+        return ct
+
 
 def iter_bits(values: Iterable[int]):
     """Yield validated bits from an iterable (helper for tests/examples)."""

@@ -30,8 +30,10 @@ import numpy as np
 from repro.errors import (
     DomainError,
     KeyMismatchError,
+    ParameterError,
     SlotCapacityError,
 )
+from repro.fhe.backend import register_backend_if_missing, resolve_backend
 from repro.fhe.ciphertext import BitsLike, Ciphertext, PlainVector, coerce_bits
 from repro.fhe.keys import KeyPair, PublicKey, SecretKey
 from repro.fhe.noise import NoiseModel
@@ -42,16 +44,69 @@ Vector = Union[Ciphertext, PlainVector]
 
 
 class FheContext:
-    """Evaluation context binding parameters, noise model, and tracker."""
+    """Evaluation context binding parameters, noise model, and tracker.
+
+    ``FheContext`` is both the **reference backend** — the full-fidelity
+    simulator described in this module's docstring — and the
+    construction seam for every other backend: ``FheContext(params,
+    backend="vector")`` consults the registry of
+    :mod:`repro.fhe.backend` and returns that backend's context instead
+    (the default is ``$REPRO_BACKEND`` or ``"reference"``).  Built-in
+    backends subclass ``FheContext``, so ``isinstance`` checks and the
+    shared combinators keep working; a registered factory that is not a
+    subclass is simply called as ``factory(params, tracker)``.
+    """
+
+    #: Registry name of this backend (the protocol's identity field).
+    backend_name = "reference"
+    #: Reference noise states are the fidelity baseline.
+    noise_fidelity = "exact"
+
+    def __new__(
+        cls,
+        params: Optional[EncryptionParams] = None,
+        tracker: Optional[OpTracker] = None,
+        backend: Optional[str] = None,
+    ):
+        if cls is FheContext:
+            impl = resolve_backend(backend)
+            if impl is not FheContext:
+                if isinstance(impl, type) and issubclass(impl, FheContext):
+                    # A subclass: allocate it here and let Python run its
+                    # __init__ with our arguments, exactly once.
+                    return impl.__new__(impl, params, tracker, backend)
+                # A foreign factory: construct the backend fully.  If
+                # the factory happens to return an FheContext-derived
+                # instance, Python will re-invoke __init__ on it (with
+                # our backend alias, which need not match the instance's
+                # own backend_name) — flag it so __init__ is a no-op and
+                # the factory's construction stands as-is.
+                obj = impl(params, tracker)
+                if isinstance(obj, FheContext):
+                    obj._factory_constructed = True
+                return obj
+        return super().__new__(cls)
 
     def __init__(
         self,
         params: Optional[EncryptionParams] = None,
         tracker: Optional[OpTracker] = None,
+        backend: Optional[str] = None,
     ):
+        if self.__dict__.pop("_factory_constructed", False):
+            return  # fully built by a registered factory in __new__
+        if backend is not None and backend != type(self).backend_name:
+            raise ParameterError(
+                f"{type(self).__name__} implements backend "
+                f"{type(self).backend_name!r}, not {backend!r}"
+            )
         self.params = params if params is not None else EncryptionParams.paper_defaults()
-        self.tracker = tracker if tracker is not None else OpTracker()
+        self.tracker = tracker if tracker is not None else self._make_tracker()
         self.noise_model = NoiseModel(self.params)
+
+    def _make_tracker(self) -> OpTracker:
+        """The tracker this backend uses when the caller supplies none."""
+        return OpTracker()
 
     # ------------------------------------------------------------------
     # Keys, encoding, encryption
@@ -97,7 +152,7 @@ class FheContext:
 
     def decrypt_bits(self, ct: Ciphertext, secret_key: SecretKey) -> List[int]:
         """Decrypt to a list of Python ints (convenience)."""
-        return [int(b) for b in self.decrypt(ct, secret_key)]
+        return self.decrypt(ct, secret_key).tolist()
 
     def adopt(self, ct: Ciphertext) -> Ciphertext:
         """Re-register a ciphertext produced under another context's tracker.
@@ -342,3 +397,16 @@ class FheContext:
                 f"ciphertext length {a.length} does not match plaintext "
                 f"length {plain.length}"
             )
+
+
+def _register_builtin() -> None:
+    """Idempotent registration hook (import time + on-demand restore)."""
+    register_backend_if_missing(
+        "reference",
+        FheContext,
+        description="full-fidelity simulator: per-op noise states and a "
+        "complete dependency-DAG tracker (work/span, traces)",
+    )
+
+
+_register_builtin()

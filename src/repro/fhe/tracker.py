@@ -252,3 +252,108 @@ class OpTracker:
         self._nodes.clear()
         self._phase_stack.clear()
         self._phase_counts.clear()
+
+
+class CountingTracker(OpTracker):
+    """An :class:`OpTracker` that keeps counts and depth but no DAG.
+
+    The vector backend's tracker: per-phase operation counts (everything
+    the cost model's sequential estimates and the serve stats consume)
+    and the exact multiplicative depth, without allocating an
+    :class:`OpNode` per operation.  The trick making depth exact with no
+    node storage: the "node id" returned by :meth:`record` *is* the
+    node's multiplicative depth, so a later operation's depth is just
+    ``max(parent ids)`` (+1 for a multiply) — the same recurrence the
+    full tracker runs over stored nodes.  Node ids only ever flow back
+    into the tracker that issued them, so redefining their meaning is
+    invisible to callers.
+
+    DAG-shaped analyses degrade explicitly: :meth:`trace` is empty (no
+    noninterference checking), and :meth:`work_and_span` reports
+    ``span == work`` (no parallelism estimate) since the critical path
+    is unknown without the DAG.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._max_depth = 0
+        self._total = 0
+        #: Count dict of the phase currently recording; bound lazily on
+        #: the first record of each phase scope, so a phase with no
+        #: operations never appears in the stats (matching OpTracker).
+        self._active_counts: Optional[Dict[OpKind, int]] = None
+
+    def _counts_for(self, phase: str) -> Dict[OpKind, int]:
+        stats = self._phase_counts.get(phase)
+        if stats is None:
+            stats = PhaseStats(phase)
+            self._phase_counts[phase] = stats
+        return stats.counts
+
+    @contextmanager
+    def phase(self, name: str):
+        """Scope subsequent operations under ``name`` (nestable).
+
+        Overridden to keep the active phase's count dict cached, so
+        :meth:`record` touches one dict instead of resolving the phase
+        stack on every operation.
+        """
+        self._phase_stack.append(name)
+        previous = self._active_counts
+        self._active_counts = None
+        try:
+            yield self
+        finally:
+            self._phase_stack.pop()
+            self._active_counts = previous
+
+    def record(self, kind: OpKind, parents: Iterable[int] = ()) -> int:
+        if type(parents) is not tuple:
+            parents = tuple(parents)
+        depth = max(parents) if parents else 0
+        if kind is OpKind.MULTIPLY:
+            depth += 1
+            if depth > self._max_depth:
+                self._max_depth = depth
+        counts = self._active_counts
+        if counts is None:
+            phase = (
+                self._phase_stack[-1] if self._phase_stack else UNSCOPED_PHASE
+            )
+            counts = self._active_counts = self._counts_for(phase)
+        counts[kind] = counts.get(kind, 0) + 1
+        self._total += 1
+        return depth
+
+    @property
+    def num_nodes(self) -> int:
+        return self._total
+
+    def multiplicative_depth(self) -> int:
+        return self._max_depth
+
+    def work_and_span(self, cost_of, phases=None) -> Tuple[float, float]:
+        """Work from counts; span degrades to work (no DAG to walk)."""
+        include = None if phases is None else set(phases)
+        work = 0.0
+        for phase, stats in self._phase_counts.items():
+            if include is not None and phase not in include:
+                continue
+            for kind, n in stats.counts.items():
+                work += cost_of(kind) * n
+        return work, work
+
+    def dag_level_count(self, phases=None) -> int:
+        """No DAG, no barrier structure: report zero levels.  Combined
+        with ``span == work`` this makes the cost model's multithreaded
+        estimate degrade to the sequential time, never below it."""
+        return 0
+
+    def trace(self) -> List[Tuple[str, str, Tuple[int, ...]]]:
+        return []
+
+    def reset(self) -> None:
+        super().reset()
+        self._max_depth = 0
+        self._total = 0
+        self._active_counts = None

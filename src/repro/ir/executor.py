@@ -1,10 +1,14 @@
-"""IR execution against an FHE context.
+"""IR execution against any FHE backend.
 
 ``execute`` walks a graph in topological order, mapping each node to the
-corresponding :class:`~repro.fhe.context.FheContext` operation, so every
-cost and noise effect is accounted by the context exactly as in the
-direct runtime path.  Inputs are bound by name; outputs come back as a
-name-to-vector dictionary.
+corresponding :class:`~repro.fhe.backend.FheBackend` operation — the
+context is consumed purely through the protocol surface (``encode`` /
+``xor_any`` / ``and_any`` / ``rotate_any`` / ``cyclic_extend`` /
+``truncate``), so plans run identically on the reference simulator, the
+vector backend, or any registered engine, and every cost and noise
+effect is accounted by that backend exactly as in the direct runtime
+path.  Inputs are bound by name; outputs come back as a name-to-vector
+dictionary.
 """
 
 from __future__ import annotations
@@ -12,14 +16,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import CompileError, RuntimeProtocolError
+from repro.fhe.backend import FheBackend
 from repro.fhe.ciphertext import Ciphertext, PlainVector
-from repro.fhe.context import FheContext, Vector
+from repro.fhe.context import Vector
 from repro.ir.nodes import IrGraph, IrOp
 
 
 def execute(
     graph: IrGraph,
-    ctx: FheContext,
+    ctx: FheBackend,
     bindings: Dict[str, Vector],
     phase: Optional[str] = None,
 ) -> Dict[str, Vector]:
@@ -42,8 +47,14 @@ def execute(
     return _run(graph, ctx, bindings)
 
 
-def _run(graph: IrGraph, ctx: FheContext, bindings) -> Dict[str, Vector]:
+def _run(graph: IrGraph, ctx: FheBackend, bindings) -> Dict[str, Vector]:
     values: List[Optional[Vector]] = [None] * graph.num_nodes
+    # Plaintext constants are immutable and identical across executions,
+    # so each graph encodes them once and reuses the PlainVectors on
+    # every subsequent run (plans execute per batch, graphs are shared).
+    consts: Dict[int, PlainVector] = graph.__dict__.setdefault(
+        "_const_cache", {}
+    )
 
     for node in graph.nodes:
         if node.op is IrOp.INPUT_CT:
@@ -71,7 +82,11 @@ def _run(graph: IrGraph, ctx: FheContext, bindings) -> Dict[str, Vector]:
                 )
             values[node.node_id] = value
         elif node.op is IrOp.CONST_PT:
-            values[node.node_id] = ctx.encode(list(node.attr))
+            value = consts.get(node.node_id)
+            if value is None:
+                value = ctx.encode(list(node.attr))
+                consts[node.node_id] = value
+            values[node.node_id] = value
         elif node.op in (IrOp.ADD, IrOp.CONST_ADD):
             a, b = (values[i] for i in node.args)
             values[node.node_id] = ctx.xor_any(a, b)

@@ -37,10 +37,15 @@ def execution_trace(
     full information a timing/schedule observer could collect.  A fresh
     context (and key pair) is used per call so traces are comparable
     position by position.
+
+    The context is pinned to the ``reference`` backend regardless of the
+    process default: only its full-DAG tracker records traces, and a
+    security check must never pass vacuously because a fast backend
+    (whose ``trace()`` is always empty) happened to be the default.
     """
     if params is None:
         params = EncryptionParams.paper_defaults()
-    ctx = FheContext(params)
+    ctx = FheContext(params, backend="reference")
     outcome = secure_inference(
         compiled,
         features,
@@ -48,7 +53,13 @@ def execution_trace(
         encrypted_model=encrypted_model,
         ctx=ctx,
     )
-    return outcome.tracker.trace()
+    trace = outcome.tracker.trace()
+    if not trace:
+        raise LeakageError(
+            "execution produced an empty operation trace; the "
+            "noninterference checker needs a full-DAG tracker"
+        )
+    return trace
 
 
 def check_noninterference(

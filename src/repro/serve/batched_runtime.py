@@ -29,6 +29,7 @@ slack, never a ciphertext multiply).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.errors import RuntimeProtocolError
@@ -201,6 +202,20 @@ def encrypt_batch(
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=4096)
+def _mask_plain(layout: BatchLayout, lo: int, hi: int) -> "PlainVector":
+    """The encoded selection mask for one gather segment.
+
+    Masks depend only on the (hashable, frozen) layout and the segment
+    bounds, and :class:`~repro.fhe.ciphertext.PlainVector` is immutable,
+    so one encoding serves every batch of every model sharing the
+    geometry — this keeps mask construction off the per-batch hot path.
+    """
+    from repro.fhe.ciphertext import PlainVector
+
+    return PlainVector(segment_mask(layout, lo, hi))
+
+
 def block_gather(
     ctx: FheContext,
     vector: Ciphertext,
@@ -242,8 +257,7 @@ def block_gather(
     terms: List[Vector] = []
     for amount, lo, hi in segments:
         rotated = ctx.rotate(vector, amount) if amount else vector
-        mask = ctx.encode(segment_mask(layout, lo, hi))
-        terms.append(ctx.and_any(rotated, mask))
+        terms.append(ctx.and_any(rotated, _mask_plain(layout, lo, hi)))
     combined = ctx.xor_all(terms)
     if not isinstance(combined, Ciphertext):  # pragma: no cover
         raise RuntimeProtocolError("gather of a ciphertext must stay encrypted")

@@ -19,9 +19,10 @@ capacity.  Evaluating a batch runs the whole amortized pipeline:
 5. resolve each query's future with a :class:`ClassificationResult`.
 
 Every batch evaluation uses a fresh :class:`~repro.fhe.context.FheContext`
-(same parameters, private tracker), so concurrent workers never share
-mutable tracker state; the per-batch tracker travels in the
-:class:`BatchRecord` for thread-safe aggregation by the service.
+built on the registered model's FHE backend (same parameters, private
+tracker), so concurrent workers never share mutable tracker state; the
+per-batch tracker travels in the :class:`BatchRecord` for thread-safe
+aggregation by the service.
 """
 
 from __future__ import annotations
@@ -206,7 +207,7 @@ class QueryBatcher:
         entries = batch.entries
         registered = self.registered
         layout = registered.layout
-        ctx = FheContext(registered.params)
+        ctx = FheContext(registered.params, backend=registered.backend)
         server = BatchedCopseServer(
             ctx,
             seccomp_variant=self.seccomp_variant,

@@ -29,7 +29,6 @@ import numpy as np
 from repro.errors import CompileError, ValidationError
 from repro.core.compiler import CompiledModel
 from repro.fhe.params import EncryptionParams
-from repro.fhe.simd import replicate, to_bitplanes
 from repro.ir.plan import tile_blocks
 
 
@@ -166,16 +165,21 @@ def pack_query_planes(
             f"{len(queries)} queries exceed the batch capacity "
             f"{layout.capacity}"
         )
-    planes = np.zeros(
-        (layout.precision, layout.batched_width), dtype=np.uint8
-    )
+    validated = [validate_features(layout, f) for f in queries]
+    p = layout.precision
     q = layout.quantized_branching
-    for k, features in enumerate(queries):
-        values = validate_features(layout, features)
-        replicated = replicate(values, layout.max_multiplicity)
-        block = to_bitplanes(replicated, layout.precision)
-        planes[:, k * layout.stride : k * layout.stride + q] = block
-    return planes
+    # One vectorized pass over the whole batch: replicate every query's
+    # features to multiplicity K (np.repeat) and slice all bit planes
+    # with shifts — no per-query or per-slot Python loops.
+    values = np.asarray(validated, dtype=np.int64)
+    replicated = np.repeat(values, layout.max_multiplicity, axis=1)  # (B, q)
+    shifts = np.arange(p - 1, -1, -1, dtype=np.int64)  # MSB-first
+    bits = ((replicated[:, None, :] >> shifts[None, :, None]) & 1).astype(
+        np.uint8
+    )  # (B, p, q)
+    blocks = np.zeros((p, layout.capacity, layout.stride), dtype=np.uint8)
+    blocks[:, : len(queries), :q] = bits.transpose(1, 0, 2)
+    return blocks.reshape(p, layout.batched_width)
 
 
 def tile_model_vector(layout: BatchLayout, vector: Sequence[int]) -> np.ndarray:
@@ -232,8 +236,11 @@ def demux_bitvectors(
         raise ValidationError(
             f"result has {len(bits)} slots, expected {layout.batched_width}"
         )
+    if isinstance(bits, np.ndarray):
+        bits = bits.tolist()
     out: List[List[int]] = []
     for k in range(count):
         start = k * layout.stride
-        out.append([int(b) for b in bits[start : start + layout.num_labels]])
+        block = bits[start : start + layout.num_labels]
+        out.append(block if isinstance(block, list) else [int(b) for b in block])
     return out

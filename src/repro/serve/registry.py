@@ -39,6 +39,7 @@ from repro.core.runtime import (
     QuerySpec,
 )
 from repro.core.seccomp import VARIANT_ALOUFI
+from repro.fhe.backend import canonical_backend_name
 from repro.fhe.context import FheContext
 from repro.fhe.costmodel import CostModel
 from repro.fhe.keys import KeyPair
@@ -67,6 +68,8 @@ class RegisteredModel:
     setup_ms: float = 0.0
     #: Execution engine batches for this model run under.
     engine: str = ENGINE_PLAN
+    #: FHE backend every evaluation context for this model is built on.
+    backend: str = "reference"
     #: The optimized batched lowering, compiled once at registration and
     #: cached next to the encrypted ciphertexts (None for eager models).
     plan: Optional[InferencePlan] = field(default=None, repr=False)
@@ -78,7 +81,8 @@ class RegisteredModel:
     def describe(self) -> str:
         base = (
             f"{self.name}: {self.compiled.describe()}; "
-            f"batch {self.layout.describe()}; {self.params.describe()}"
+            f"batch {self.layout.describe()}; {self.params.describe()}; "
+            f"backend {self.backend}"
         )
         if self.plan is not None:
             base += f"; {self.plan.describe()}"
@@ -104,6 +108,7 @@ class ModelRegistry:
         encrypted_model: bool = True,
         engine: str = ENGINE_PLAN,
         seccomp_variant: str = VARIANT_ALOUFI,
+        backend: Optional[str] = None,
     ) -> RegisteredModel:
         """Compile, parameter-select, encrypt, and plan ``model`` once.
 
@@ -121,6 +126,11 @@ class ModelRegistry:
         :class:`~repro.ir.plan.InferencePlan` for every batch evaluation;
         ``engine="eager"`` keeps the hand-scheduled interpreter.  The
         plan must match the batcher's SecComp ``seccomp_variant``.
+
+        ``backend`` picks the FHE backend this model is encrypted under
+        and every batch is evaluated on (a registered name; default
+        ``$REPRO_BACKEND`` or ``"reference"``).  An unknown name fails
+        here, before the expensive compile/encrypt pipeline runs.
         """
         if not name:
             raise ValidationError("a registered model needs a non-empty name")
@@ -128,6 +138,7 @@ class ModelRegistry:
             raise ValidationError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
+        backend = canonical_backend_name(backend)
         with self._lock:
             # Fail before the expensive compile/encrypt pipeline; the
             # insert below re-checks in case of a registration race.
@@ -157,7 +168,7 @@ class ModelRegistry:
         compiled.check_parameters(params)
         layout = plan_layout(compiled, params, max_batch_size=max_batch_size)
 
-        ctx = FheContext(params)
+        ctx = FheContext(params, backend=backend)
         keys = ctx.keygen()
         cost_model = CostModel(params)
         batched = build_batched_model(
@@ -190,6 +201,7 @@ class ModelRegistry:
             forest=forest,
             setup_ms=setup_ms,
             engine=engine,
+            backend=backend,
             plan=plan,
         )
         with self._lock:

@@ -28,6 +28,7 @@ from repro.errors import ValidationError
 from repro.core.compiler import CompiledModel
 from repro.core.runtime import ENGINE_PLAN, ENGINES, PHASE_PLAN
 from repro.core.seccomp import VARIANT_ALOUFI
+from repro.fhe.backend import canonical_backend_name
 from repro.fhe.params import EncryptionParams
 from repro.forest.forest import DecisionForest
 from repro.serve.batched_runtime import BATCH_INFERENCE_PHASES
@@ -66,6 +67,9 @@ class ServiceStats:
     #: ``plan_inference`` while eager batches use the four stage phases,
     #: so the two engines' op counts stay separable after aggregation.
     phase_op_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: FHE backend each registered model evaluates on (model -> backend
+    #: registry name), recorded at registration time.
+    model_backends: Dict[str, str] = field(default_factory=dict)
 
     @property
     def plan_ms(self) -> float:
@@ -133,6 +137,12 @@ class ServiceStats:
             f"  batch encrypt ms    : {self.data_encrypt_ms:.2f}",
             f"  oracle failures     : {self.oracle_failures}",
         ]
+        if self.model_backends:
+            backends = ", ".join(
+                f"{model}={backend}"
+                for model, backend in sorted(self.model_backends.items())
+            )
+            lines.append(f"  fhe backends        : {backends}")
         for phase, ms in self.phase_ms.items():
             lines.append(f"  phase {phase:<14}: {ms:.2f} ms")
         return "\n".join(lines)
@@ -154,10 +164,12 @@ class _StatsAggregator:
         self._data_encrypt_ms = 0.0
         self._setup_ms = 0.0
         self._oracle_failures = 0
+        self._model_backends: Dict[str, str] = {}
 
     def record_setup(self, registered: RegisteredModel) -> None:
         with self._lock:
             self._setup_ms += registered.setup_ms
+            self._model_backends[registered.name] = registered.backend
 
     def record_batch(self, record: BatchRecord) -> None:
         with self._lock:
@@ -194,6 +206,7 @@ class _StatsAggregator:
                     phase: dict(counts)
                     for phase, counts in self._phase_op_counts.items()
                 },
+                model_backends=dict(self._model_backends),
             )
 
 
@@ -214,6 +227,7 @@ class CopseService:
         seccomp_variant: str = VARIANT_ALOUFI,
         verify_oracle: bool = True,
         engine: str = ENGINE_PLAN,
+        backend: Optional[str] = None,
     ):
         if engine not in ENGINES:
             raise ValidationError(
@@ -224,6 +238,9 @@ class CopseService:
         self.seccomp_variant = seccomp_variant
         self.verify_oracle = verify_oracle
         self.engine = engine
+        #: Default FHE backend for registered models; validated eagerly
+        #: so a typo fails at service construction, not first batch.
+        self.backend = canonical_backend_name(backend)
         self._batchers: Dict[str, QueryBatcher] = {}
         self._lock = threading.Lock()
         self._stats = _StatsAggregator(threads=threads)
@@ -242,10 +259,13 @@ class CopseService:
         max_batch_size: Optional[int] = None,
         encrypted_model: bool = True,
         engine: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> RegisteredModel:
         """Compile, parameter-select, encrypt, and plan ``model`` once.
 
-        ``engine`` overrides the service default for this model.
+        ``engine`` and ``backend`` override the service defaults for
+        this model (per-model backend choice is recorded in
+        :attr:`ServiceStats.model_backends`).
         """
         registered = self.registry.register(
             name,
@@ -257,6 +277,7 @@ class CopseService:
             encrypted_model=encrypted_model,
             engine=self.engine if engine is None else engine,
             seccomp_variant=self.seccomp_variant,
+            backend=self.backend if backend is None else backend,
         )
         batcher = QueryBatcher(
             registered,

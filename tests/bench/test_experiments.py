@@ -213,6 +213,41 @@ class TestPlanSpeedup:
         assert any("cheaper per query" in n for n in table.notes)
 
 
+class TestBackendSpeedup:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return experiments.backend_speedup(
+            workload_name="width55", queries=2, repeats=1
+        )
+
+    def test_covers_every_builtin_backend_and_mode(self, table):
+        pairs = {(r[0], r[1]) for r in table.rows}
+        for backend in ("reference", "vector", "plaintext"):
+            for mode in ("single", "batched/plan", "batched/eager"):
+                assert (backend, mode) in pairs
+
+    def test_all_backends_oracle_exact(self, table):
+        assert all(ok == "ok" for ok in table.column("oracle"))
+
+    def test_reference_is_the_unit_baseline(self, table):
+        for row in table.rows:
+            if row[0] == "reference":
+                assert row[3] == pytest.approx(1.0)
+
+    def test_wall_clock_positive(self, table):
+        assert all(ms > 0 for ms in table.column("wall_ms_per_query"))
+
+    def test_rejects_bad_arguments(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            experiments.backend_speedup(queries=0)
+        with pytest.raises(ValidationError):
+            experiments.backend_speedup(repeats=0)
+        with pytest.raises(ValidationError):
+            experiments.backend_speedup(backends=["vector"])  # no baseline
+
+
 class TestReportHelpers:
     def test_geometric_mean(self):
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)

@@ -1,0 +1,521 @@
+"""Backend-conformance suite: every registered backend, same semantics.
+
+The :class:`~repro.fhe.backend.FheBackend` protocol promises that every
+backend produces identical bits, identical protocol errors, and (unless
+``noise_fidelity == "none"``) identical noise failures.  This suite
+parametrizes the op-semantics checks over **every registered backend**
+and additionally cross-checks each backend against the reference
+simulator op by op, so ``reference``, ``vector``, and ``plaintext``
+provably agree — and any third-party backend registered before the
+suite runs is held to the same contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DomainError,
+    KeyMismatchError,
+    NoiseBudgetExceededError,
+    ParameterError,
+    SlotCapacityError,
+)
+from repro.fhe import (
+    Ciphertext,
+    CountingTracker,
+    EncryptionParams,
+    FheBackend,
+    FheContext,
+    OpKind,
+    OpTracker,
+    PlainVector,
+    PlaintextFheContext,
+    VectorFheContext,
+    available_backends,
+    backend_description,
+    default_backend,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+
+BACKENDS = available_backends()
+NOISY_BACKENDS = [
+    name
+    for name in BACKENDS
+    if getattr(resolve_backend(name), "noise_fidelity", "exact") != "none"
+]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def bctx(backend) -> FheContext:
+    return FheContext(backend=backend)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"reference", "vector", "plaintext"} <= set(BACKENDS)
+
+    def test_descriptions_exist(self):
+        for name in ("reference", "vector", "plaintext"):
+            assert backend_description(name)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ParameterError, match="unknown FHE backend"):
+            get_backend("no-such-engine")
+        with pytest.raises(ParameterError, match="unknown FHE backend"):
+            FheContext(backend="no-such-engine")
+
+    def test_duplicate_registration_guarded(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_backend("reference", FheContext)
+
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(ParameterError, match="callable"):
+            register_backend("broken", object())
+
+    def test_register_replace_unregister_cycle(self):
+        class StubContext(VectorFheContext):
+            backend_name = "conformance-stub"
+
+        try:
+            register_backend("conformance-stub", StubContext)
+            assert "conformance-stub" in available_backends()
+            ctx = FheContext(backend="conformance-stub")
+            assert type(ctx) is StubContext
+            assert ctx.backend_name == "conformance-stub"
+            register_backend("conformance-stub", StubContext, replace=True)
+        finally:
+            unregister_backend("conformance-stub")
+        assert "conformance-stub" not in available_backends()
+
+    def test_non_subclass_factory_supported(self):
+        """A registered plain callable works, even when it returns an
+        FheContext-derived instance under an alias name — the factory's
+        construction stands, __init__ is not re-run on it."""
+
+        def factory(params=None, tracker=None):
+            ctx = VectorFheContext(params, tracker)
+            ctx.factory_made = True
+            return ctx
+
+        try:
+            register_backend("aliased-vector", factory)
+            ctx = FheContext(
+                EncryptionParams(bits=500), backend="aliased-vector"
+            )
+            assert type(ctx) is VectorFheContext
+            assert ctx.factory_made  # construction survived __init__
+            assert ctx.params.bits == 500
+            keys = ctx.keygen()
+            ct = ctx.encrypt([1, 0, 1], keys.public)
+            assert ctx.decrypt_bits(ct, keys.secret) == [1, 0, 1]
+        finally:
+            unregister_backend("aliased-vector")
+
+    def test_unregistered_builtin_restores_on_demand(self):
+        unregister_backend("vector")
+        try:
+            assert type(FheContext(backend="vector")) is VectorFheContext
+            assert "vector" in available_backends()
+        finally:
+            # Restoration is permanent, but be explicit for test isolation.
+            assert "vector" in available_backends()
+
+    def test_default_backend_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert default_backend() == "reference"
+        monkeypatch.setenv("REPRO_BACKEND", "vector")
+        assert default_backend() == "vector"
+        assert type(FheContext()) is VectorFheContext
+
+    def test_explicit_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "vector")
+        assert type(FheContext(backend="reference")) is FheContext
+
+
+# ---------------------------------------------------------------------------
+# Construction and protocol shape
+# ---------------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_context_satisfies_protocol(self, bctx):
+        assert isinstance(bctx, FheBackend)
+
+    def test_backend_name_matches(self, backend, bctx):
+        assert bctx.backend_name == backend
+        assert bctx.noise_fidelity in ("exact", "aggregate", "none")
+
+    def test_builtin_backends_are_contexts(self, bctx):
+        assert isinstance(bctx, FheContext)
+
+    def test_direct_subclass_construction(self):
+        assert type(VectorFheContext()) is VectorFheContext
+        assert type(PlaintextFheContext()) is PlaintextFheContext
+
+    def test_conflicting_backend_kwarg_rejected(self):
+        with pytest.raises(ParameterError, match="implements backend"):
+            VectorFheContext(backend="reference")
+
+    def test_params_travel(self, backend):
+        params = EncryptionParams(bits=500)
+        ctx = FheContext(params, backend=backend)
+        assert ctx.params is params
+
+    def test_explicit_tracker_honored(self, backend):
+        tracker = OpTracker()
+        ctx = FheContext(tracker=tracker, backend=backend)
+        assert ctx.tracker is tracker
+
+
+# ---------------------------------------------------------------------------
+# Op semantics: each backend against numpy and against reference
+# ---------------------------------------------------------------------------
+
+
+def _pair(backend):
+    """A backend context and a reference context on the same inputs."""
+    return FheContext(backend=backend), FheContext(backend="reference")
+
+
+def _bits(rng, n):
+    return rng.integers(0, 2, n).tolist()
+
+
+class TestOpConformance:
+    def test_roundtrip(self, bctx):
+        keys = bctx.keygen()
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        ct = bctx.encrypt(bits, keys.public)
+        assert bctx.decrypt_bits(ct, keys.secret) == bits
+        assert all(isinstance(b, int) for b in bctx.decrypt_bits(ct, keys.secret))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_every_op_matches_reference(self, backend, seed):
+        """One mixed program, op by op, against the reference backend."""
+        rng = np.random.default_rng(seed)
+        ctx, ref = _pair(backend)
+        keys, ref_keys = ctx.keygen(), ref.keygen()
+        n = 12
+
+        a_bits, b_bits, plain_bits = (_bits(rng, n) for _ in range(3))
+        a, ra = ctx.encrypt(a_bits, keys.public), ref.encrypt(a_bits, ref_keys.public)
+        b, rb = ctx.encrypt(b_bits, keys.public), ref.encrypt(b_bits, ref_keys.public)
+        p, rp = ctx.encode(plain_bits), ref.encode(plain_bits)
+
+        steps = [
+            (lambda c, x, y, q: c.add(x, y)),
+            (lambda c, x, y, q: c.multiply(x, y)),
+            (lambda c, x, y, q: c.const_add(x, q)),
+            (lambda c, x, y, q: c.const_mult(x, q)),
+            (lambda c, x, y, q: c.rotate(x, 3)),
+            (lambda c, x, y, q: c.rotate(x, -2)),
+            (lambda c, x, y, q: c.rotate(x, 0)),
+            (lambda c, x, y, q: c.cyclic_extend(x, 30)),
+            (lambda c, x, y, q: c.truncate(x, 5)),
+            (lambda c, x, y, q: c.negate(x)),
+            (lambda c, x, y, q: c.xor_any(x, q)),
+            (lambda c, x, y, q: c.and_any(q, x)),
+            (lambda c, x, y, q: c.multiply_all([x, y, x])),
+            (lambda c, x, y, q: c.xor_all([x, y, q])),
+        ]
+        for i, step in enumerate(steps):
+            out = step(ctx, a, b, p)
+            ref_out = step(ref, ra, rb, rp)
+            got = ctx.decrypt_bits(out, keys.secret)
+            want = ref.decrypt_bits(ref_out, ref_keys.secret)
+            assert got == want, f"step {i} disagrees with reference"
+            assert len(out) == len(ref_out)
+
+    def test_plain_plain_stays_plaintext(self, bctx):
+        x = bctx.encode([1, 0, 1])
+        y = bctx.encode([1, 1, 0])
+        assert isinstance(bctx.xor_any(x, y), PlainVector)
+        assert isinstance(bctx.and_any(x, y), PlainVector)
+        assert bctx.rotate_any(x, 1) == x.rotated(1)
+        assert bctx.negate(x).bits() == [0, 1, 0]
+
+    def test_ones_zeros(self, bctx):
+        assert bctx.ones(4).bits() == [1, 1, 1, 1]
+        assert bctx.zeros(3).bits() == [0, 0, 0]
+
+    def test_adopt_across_contexts(self, backend):
+        source = FheContext(backend=backend)
+        keys = source.keygen()
+        ct = source.encrypt([1, 0, 1], keys.public)
+        target = FheContext(backend=backend)
+        adopted = target.adopt(ct)
+        assert target.decrypt_bits(adopted, keys.secret) == [1, 0, 1]
+        assert target.tracker.count(OpKind.LOAD) == 1
+        # Adoption preserves key identity and noise state.
+        assert adopted.key_id == ct.key_id
+        assert adopted.noise.effective_depth == ct.noise.effective_depth
+
+    def test_key_mismatch_raises(self, bctx):
+        k1, k2 = bctx.keygen(), bctx.keygen()
+        a = bctx.encrypt([1, 0], k1.public)
+        b = bctx.encrypt([0, 1], k2.public)
+        with pytest.raises(KeyMismatchError):
+            bctx.add(a, b)
+        with pytest.raises(KeyMismatchError):
+            bctx.multiply(a, b)
+        with pytest.raises(KeyMismatchError):
+            bctx.decrypt(a, k2.secret)
+
+    def test_length_mismatch_raises(self, bctx):
+        keys = bctx.keygen()
+        a = bctx.encrypt([1, 0, 1], keys.public)
+        b = bctx.encrypt([1, 0], keys.public)
+        with pytest.raises(SlotCapacityError):
+            bctx.add(a, b)
+        with pytest.raises(SlotCapacityError):
+            bctx.const_add(a, bctx.encode([1, 0]))
+        with pytest.raises(SlotCapacityError):
+            bctx.const_mult(a, bctx.encode([1, 0]))
+
+    def test_width_overflow_raises(self, bctx):
+        keys = bctx.keygen()
+        too_wide = bctx.params.slot_count + 1
+        with pytest.raises(SlotCapacityError):
+            bctx.encrypt([1] * too_wide, keys.public)
+        ct = bctx.encrypt([1, 0], keys.public)
+        with pytest.raises(SlotCapacityError):
+            bctx.cyclic_extend(ct, too_wide)
+        with pytest.raises(SlotCapacityError):
+            bctx.truncate(ct, 5)
+        with pytest.raises(SlotCapacityError):
+            bctx.cyclic_extend(ct, 1)
+
+    def test_domain_errors(self, bctx):
+        keys = bctx.keygen()
+        with pytest.raises(DomainError):
+            bctx.encrypt([0, 2, 1], keys.public)
+        with pytest.raises(DomainError):
+            bctx.encode([0, -1])
+        with pytest.raises(DomainError):
+            bctx.multiply_all([])
+        with pytest.raises(DomainError):
+            bctx.xor_all([])
+
+
+# ---------------------------------------------------------------------------
+# Noise semantics
+# ---------------------------------------------------------------------------
+
+
+SHALLOW = EncryptionParams(bits=160)  # depth capacity 4
+
+
+def _multiply_until_failure(ctx, limit=64):
+    keys = ctx.keygen()
+    x = ctx.encrypt([1, 1, 0], keys.public)
+    for i in range(limit):
+        try:
+            x = ctx.multiply(x, x)
+        except NoiseBudgetExceededError:
+            return i
+    return None
+
+
+class TestNoiseSemantics:
+    @pytest.mark.parametrize("noisy", NOISY_BACKENDS)
+    def test_budget_fails_at_reference_point(self, noisy):
+        reference_failure = _multiply_until_failure(
+            FheContext(SHALLOW, backend="reference")
+        )
+        assert reference_failure is not None
+        assert (
+            _multiply_until_failure(FheContext(SHALLOW, backend=noisy))
+            == reference_failure
+        )
+
+    @pytest.mark.parametrize("noisy", NOISY_BACKENDS)
+    def test_slack_accumulation_matches_reference(self, noisy):
+        """Rotation/const slack crosses level thresholds identically."""
+
+        def run(name):
+            ctx = FheContext(SHALLOW, backend=name)
+            keys = ctx.keygen()
+            x = ctx.encrypt([1, 0, 1], keys.public)
+            depths = []
+            for i in range(120):
+                try:
+                    x = ctx.rotate(x, 1)
+                    x = ctx.const_mult(x, ctx.encode([1, 1, 1]))
+                except NoiseBudgetExceededError:
+                    return (i, depths)
+                depths.append(x.noise.effective_depth)
+            return (None, depths)
+
+        assert run(noisy) == run("reference")
+
+    @pytest.mark.parametrize("noisy", NOISY_BACKENDS)
+    def test_depth_headroom_and_bootstrap(self, noisy):
+        ctx = FheContext(backend=noisy)
+        ref = FheContext(backend="reference")
+        for c in (ctx, ref):
+            keys = c.keygen()
+            x = c.encrypt([1, 1], keys.public)
+            assert c.depth_headroom(x) == c.noise_model.capacity
+            y = c.multiply(x, x)
+            assert c.depth_headroom(y) == c.noise_model.capacity - 1
+            z = c.bootstrap(y)
+            assert z.noise.level == 0
+            assert c.decrypt_bits(z, keys.secret) == [1, 1]
+
+    def test_plaintext_backend_never_exhausts(self):
+        ctx = FheContext(SHALLOW, backend="plaintext")
+        assert _multiply_until_failure(ctx, limit=32) is None
+        # ... and still decrypts correctly at absurd depth.
+        keys = ctx.keygen()
+        x = ctx.encrypt([1, 0], keys.public)
+        for _ in range(32):
+            x = ctx.multiply(x, x)
+        assert ctx.decrypt_bits(x, keys.secret) == [1, 0]
+
+
+# ---------------------------------------------------------------------------
+# Tracker parity
+# ---------------------------------------------------------------------------
+
+
+def _run_phased_program(ctx):
+    keys = ctx.keygen()
+    with ctx.tracker.phase("setup"):
+        a = ctx.encrypt([1, 0, 1, 1], keys.public)
+        b = ctx.encrypt([0, 1, 1, 0], keys.public)
+    with ctx.tracker.phase("work"):
+        c = ctx.multiply(a, b)
+        d = ctx.add(c, a)
+        e = ctx.rotate(d, 2)
+        f = ctx.multiply(e, c)
+        g = ctx.bootstrap(f)
+        h = ctx.multiply(g, g)
+    ctx.decrypt(h, keys.secret)
+    return ctx
+
+
+class TestTrackerParity:
+    def test_phase_counts_match_reference(self, backend):
+        got = _run_phased_program(FheContext(backend=backend)).tracker
+        want = _run_phased_program(FheContext(backend="reference")).tracker
+        assert got.phases == want.phases
+        for phase in want.phases:
+            assert (
+                got.phase_stats(phase).as_dict()
+                == want.phase_stats(phase).as_dict()
+            ), f"phase {phase} counts diverge"
+        assert got.total_counts() == want.total_counts()
+
+    def test_multiplicative_depth_matches_reference(self, backend):
+        got = _run_phased_program(FheContext(backend=backend)).tracker
+        want = _run_phased_program(FheContext(backend="reference")).tracker
+        assert got.multiplicative_depth() == want.multiplicative_depth()
+
+    def test_sequential_cost_matches_reference(self, backend):
+        from repro.fhe import CostModel
+
+        cost = CostModel(EncryptionParams.paper_defaults())
+        got = _run_phased_program(FheContext(backend=backend)).tracker
+        want = _run_phased_program(FheContext(backend="reference")).tracker
+        assert cost.sequential_ms(got) == pytest.approx(
+            cost.sequential_ms(want)
+        )
+        assert cost.phase_sequential_ms(got, "work") == pytest.approx(
+            cost.phase_sequential_ms(want, "work")
+        )
+
+
+class TestCountingTracker:
+    def test_depth_recurrence(self):
+        t = CountingTracker()
+        a = t.record(OpKind.ENCRYPT)
+        b = t.record(OpKind.ENCRYPT)
+        c = t.record(OpKind.MULTIPLY, (a, b))
+        d = t.record(OpKind.ADD, (c, a))
+        e = t.record(OpKind.MULTIPLY, (d, c))
+        assert t.multiplicative_depth() == 2
+        t.record(OpKind.BOOTSTRAP, (e,))
+        assert t.multiplicative_depth() == 2
+        assert t.num_nodes == 6
+
+    def test_work_equals_span_without_dag(self):
+        t = CountingTracker()
+        t.record(OpKind.MULTIPLY)
+        t.record(OpKind.ROTATE)
+        cost = {OpKind.MULTIPLY: 2.0, OpKind.ROTATE: 1.0}
+        work, span = t.work_and_span(lambda k: cost[k])
+        assert work == span == 3.0
+        assert t.dag_level_count() == 0
+        assert t.trace() == []
+
+    def test_reset(self):
+        t = CountingTracker()
+        with t.phase("p"):
+            t.record(OpKind.MULTIPLY, (0,))
+        assert t.count(OpKind.MULTIPLY) == 1
+        t.reset()
+        assert t.count(OpKind.MULTIPLY) == 0
+        assert t.multiplicative_depth() == 0
+        assert t.num_nodes == 0
+        # Still usable after reset (the active-phase cache re-arms).
+        t.record(OpKind.ADD)
+        assert t.count(OpKind.ADD) == 1
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the live pipeline on every backend
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_secure_inference_oracle(self, backend, compiled_example,
+                                     example_forest):
+        from repro.core.runtime import secure_inference
+
+        features = [40, 200]
+        outcome = secure_inference(
+            compiled_example, features, backend=backend
+        )
+        assert outcome.backend == backend
+        assert outcome.result.bitvector == example_forest.label_bitvector(
+            features
+        )
+
+    def test_serve_batch_oracle(self, backend, compiled_example,
+                                example_forest):
+        from repro.serve import CopseService
+
+        queries = [[40, 200], [17, 3], [250, 90]]
+        with CopseService(threads=1, backend=backend) as service:
+            service.register_model("m", example_forest, precision=8)
+            results = service.classify_many("m", queries)
+            stats = service.stats()
+        assert all(r.oracle_ok for r in results)
+        assert stats.model_backends == {"m": backend}
+
+    def test_explicit_ctx_conflicting_backend_rejected(
+        self, compiled_example
+    ):
+        from repro.errors import RuntimeProtocolError
+        from repro.core.runtime import secure_inference
+
+        ctx = FheContext(backend="vector")
+        with pytest.raises(RuntimeProtocolError, match="implements backend"):
+            secure_inference(
+                compiled_example, [1, 2], ctx=ctx, backend="reference"
+            )

@@ -68,8 +68,14 @@ class TestPartialDecryption:
         assert combine_partials(product, partials) == [1, 0, 1, 0, 0]
 
     def test_single_partial_does_not_reveal_payload(self, joint_setup):
-        ctx, joint, ct = joint_setup
-        payload = [1, 0, 1, 1, 0]
+        # A wide payload keeps this statistical check deterministic in
+        # practice: each fragment is payload ^ hash-derived-pad (or the
+        # pad itself), so a w-bit payload collides with probability
+        # 2**-w per share — at 5 bits that flaked ~6% of full-suite
+        # runs (the pad seed shifts with the global ciphertext counter).
+        ctx, joint, _ = joint_setup
+        payload = [1, 0] * 16
+        ct = ctx.encrypt(payload, joint.public)
         for share in joint.shares:
             partial = partial_decrypt(ctx, ct, share)
             assert list(partial.fragment) != payload

@@ -38,6 +38,28 @@ class TestRegister:
         with pytest.raises(ValidationError):
             registry.register("m", example_forest)
 
+    def test_backend_recorded_and_described(self, example_forest):
+        reg = ModelRegistry().register("m", example_forest, backend="vector")
+        assert reg.backend == "vector"
+        assert "backend vector" in reg.describe()
+
+    def test_backend_defaults_to_process_default(self, example_forest,
+                                                 monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert ModelRegistry().register("m", example_forest).backend == (
+            "reference"
+        )
+        monkeypatch.setenv("REPRO_BACKEND", "vector")
+        assert ModelRegistry().register("m2", example_forest).backend == (
+            "vector"
+        )
+
+    def test_unknown_backend_fails_before_compile(self, example_forest):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="unknown FHE backend"):
+            ModelRegistry().register("m", example_forest, backend="helib")
+
     def test_unknown_lookup_names_known_models(self, example_forest):
         registry = ModelRegistry()
         registry.register("known", example_forest)

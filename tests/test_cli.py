@@ -272,6 +272,90 @@ class TestBench:
             main(["bench", "fig99"])
 
 
+class TestBackendFlag:
+    """``--backend`` rides the shared parent parser on every inference
+    command (classify / batch-classify / serve / bench)."""
+
+    def test_classify_vector_backend(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["classify", path, "--features", "33,99", "--backend", "vector"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend: vector" in out
+        assert "oracle agreement: ok" in out
+
+    def test_classify_plaintext_backend(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["classify", path, "--features", "33,99",
+             "--backend", "plaintext"]
+        ) == 0
+        assert "backend: plaintext" in capsys.readouterr().out
+
+    def test_batch_classify_vector_backend(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["batch-classify", path, "--features", "33,99;0,255",
+             "--backend", "vector", "--threads", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fhe backends        : cli=vector" in out
+        assert "MISMATCH" not in out
+
+    def test_serve_vector_backend(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "4", "--threads", "1",
+             "--backend", "vector"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend vector" in out  # registered.describe()
+        assert "oracle agreement: ok" in out
+
+    def test_bench_backend_speedup(self, capsys):
+        assert main(
+            ["bench", "backend-speedup", "--workloads", "width55",
+             "--queries", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Backend speedup" in out
+        assert "vector" in out
+        assert "MISMATCH" not in out
+
+    def test_bench_backend_forwarded_and_restored(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert main(
+            ["bench", "table2", "--workloads", "width55",
+             "--backend", "vector"]
+        ) == 0
+        assert "Table 2" in capsys.readouterr().out
+        # The process default is restored after the command returns.
+        assert "REPRO_BACKEND" not in os.environ
+
+    def test_unknown_backend_rejected(self, model_file):
+        path, _ = model_file
+        with pytest.raises(SystemExit):
+            main(["classify", path, "--features", "1,2",
+                  "--backend", "helib"])
+
+    def test_seed_scoped_to_query_generating_commands(self, model_file,
+                                                      capsys):
+        path, _ = model_file
+        # serve generates synthetic queries and accepts --seed ...
+        assert main(
+            ["serve", path, "--queries", "2", "--threads", "1",
+             "--seed", "7"]
+        ) == 0
+        capsys.readouterr()
+        # ... classify takes explicit features, so --seed is rejected
+        # rather than silently ignored.
+        with pytest.raises(SystemExit):
+            main(["classify", path, "--features", "33,99", "--seed", "7"])
+
+
 def test_no_command_rejected():
     with pytest.raises(SystemExit):
         main([])

@@ -9,6 +9,12 @@ against each other, in both the encrypted-model and plaintext-model
 configurations, plus the batched serve path (plan-engine service vs
 eager-engine service vs oracle).
 
+The oracle check runs under **every registered FHE backend** (the
+pluggable-backend redesign's acceptance property: eager == plan ==
+plaintext-oracle must hold on ``reference``, ``vector``, and
+``plaintext`` alike), and the batched serve check on both the reference
+and vector backends.
+
 The ``repro-plan-ci`` profile is fixed (derandomized, >= 200 examples)
 so CI runs the exact same case set every time; scale it with
 ``REPRO_DIFF_EXAMPLES``.  Compiled models and lowered plans are cached
@@ -27,6 +33,7 @@ from repro import (
     CopseServer,
     CopseService,
     FheContext,
+    available_backends,
     lower_inference,
 )
 from repro.core.runtime import DataOwner, ModelOwner
@@ -87,15 +94,17 @@ FEATURES = st.lists(
 )
 
 
+@pytest.mark.parametrize("backend", available_backends())
 @given(shape=FOREST_SHAPES, features=FEATURES)
 @CI_PROFILE
-def test_eager_plan_and_oracle_agree(shape, features):
+def test_eager_plan_and_oracle_agree(backend, shape, features):
     """Eager classify == plan classify == plaintext oracle, on random
-    forests and queries, for encrypted and plaintext models alike."""
+    forests and queries, for encrypted and plaintext models alike —
+    under every registered FHE backend."""
     forest, compiled, plans = model_for(*shape)
     oracle = forest.label_bitvector(features)
 
-    ctx = FheContext()
+    ctx = FheContext(backend=backend)
     keys = ctx.keygen()
     maurice = ModelOwner(compiled)
     diane = DataOwner(maurice.query_spec(), keys)
@@ -120,6 +129,7 @@ def test_eager_plan_and_oracle_agree(shape, features):
         )
 
 
+@pytest.mark.parametrize("backend", ["reference", "vector"])
 @pytest.mark.parametrize("encrypted_model", [True, False])
 @given(
     shape=FOREST_SHAPES,
@@ -129,11 +139,14 @@ def test_eager_plan_and_oracle_agree(shape, features):
     max_examples=15, derandomize=True, deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-def test_batched_serve_engines_agree(encrypted_model, shape, query_seed):
+def test_batched_serve_engines_agree(
+    backend, encrypted_model, shape, query_seed
+):
     """The serve registry's plan engine and the eager batched runtime
     produce identical per-query bitvectors on packed batches — for
     encrypted models and for plaintext models (where the plan bakes the
-    tiled model in as graph constants)."""
+    tiled model in as graph constants), on the reference and vector
+    backends alike."""
     forest, compiled, _ = model_for(*shape)
     rng = np.random.default_rng(query_seed)
     queries = [
@@ -144,7 +157,7 @@ def test_batched_serve_engines_agree(encrypted_model, shape, query_seed):
 
     outputs = {}
     for engine in ("plan", "eager"):
-        with CopseService(threads=1, engine=engine) as service:
+        with CopseService(threads=1, engine=engine, backend=backend) as service:
             service.register_model(
                 "m", compiled, max_batch_size=2,
                 encrypted_model=encrypted_model,
