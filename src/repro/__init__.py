@@ -86,9 +86,17 @@ from repro.serve import (
     BatchLayout,
     ClassificationResult,
     CopseService,
+    FaultPlan,
+    ModelProfile,
     ModelRegistry,
     QueryBatcher,
+    Scheduler,
+    SchedulerStats,
     ServiceStats,
+    SimRunner,
+    TenantSpec,
+    VirtualClock,
+    generate_arrivals,
 )
 
 __version__ = "1.2.0"
@@ -139,8 +147,16 @@ __all__ = [
     "BatchLayout",
     "ClassificationResult",
     "CopseService",
+    "FaultPlan",
+    "ModelProfile",
     "ModelRegistry",
     "QueryBatcher",
+    "Scheduler",
+    "SchedulerStats",
     "ServiceStats",
+    "SimRunner",
+    "TenantSpec",
+    "VirtualClock",
+    "generate_arrivals",
     "__version__",
 ]

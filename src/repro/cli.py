@@ -7,10 +7,12 @@ evaluation harness::
     python -m repro compile model.txt -o staged.py   # staging compiler
     python -m repro classify model.txt --features 40,200 --engine plan
     python -m repro batch-classify model.txt --features "40,200;17,3"
-    python -m repro serve model.txt --queries 64 --threads 4
+    python -m repro serve model.txt --queries 64 --threads 4 \
+        --deadline-ms 250 --max-queue 128
     python -m repro bench fig6 --workloads depth4,width78
     python -m repro bench plan-speedup         # eager vs plan engine
     python -m repro bench backend-speedup      # wall-clock per FHE backend
+    python -m repro bench soak                 # simulated load vs deadlines
     python -m repro sweep                      # Table 5 parameter sweep
 
 Every inference command accepts ``--backend`` (reference / vector /
@@ -142,6 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--threads", type=int, default=2)
     serve.add_argument("--batch-size", type=int, default=None)
     serve.add_argument("--plaintext-model", action="store_true")
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query deadline in ms: partial batches dispatch when "
+        "the oldest query's slack runs out, and misses are reported "
+        "(default: no deadlines, best-effort)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None,
+        help="bound the pending queue; over-admission is rejected with "
+        "an explicit error instead of queueing without bound "
+        "(default: unbounded)",
+    )
 
     bench = sub.add_parser(
         "bench", parents=[backend_opts],
@@ -152,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig6", "fig7", "fig8", "fig9", "fig10",
             "table1", "table2", "table6", "throughput", "plan-speedup",
-            "backend-speedup",
+            "backend-speedup", "soak",
         ],
     )
     bench.add_argument(
@@ -273,6 +287,16 @@ def _check_service_args(args) -> None:
         raise _FeatureParseError(
             f"--batch-size must be >= 1, got {args.batch_size}"
         )
+    deadline_ms = getattr(args, "deadline_ms", None)
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise _FeatureParseError(
+            f"--deadline-ms must be > 0, got {deadline_ms}"
+        )
+    max_queue = getattr(args, "max_queue", None)
+    if max_queue is not None and max_queue < 1:
+        raise _FeatureParseError(
+            f"--max-queue must be >= 1, got {max_queue}"
+        )
 
 
 def _cmd_batch_classify(args) -> int:
@@ -309,6 +333,7 @@ def _cmd_batch_classify(args) -> int:
 def _cmd_serve(args) -> int:
     import numpy as np
 
+    from repro.errors import RejectedQuery
     from repro.serve import CopseService
 
     _check_service_args(args)
@@ -321,8 +346,13 @@ def _cmd_serve(args) -> int:
         [int(v) for v in rng.integers(0, limit, compiled.n_features)]
         for _ in range(args.queries)
     ]
+    rejected = 0
     with CopseService(
-        threads=args.threads, engine=args.engine, backend=args.backend
+        threads=args.threads,
+        engine=args.engine,
+        backend=args.backend,
+        default_deadline_ms=args.deadline_ms,
+        max_queue=args.max_queue,
     ) as service:
         registered = service.register_model(
             "cli",
@@ -331,10 +361,22 @@ def _cmd_serve(args) -> int:
             encrypted_model=not args.plaintext_model,
         )
         print(f"serving {registered.describe()}")
-        results = service.classify_many("cli", queries)
+        futures = []
+        for features in queries:
+            try:
+                futures.append(service.submit("cli", features))
+            except RejectedQuery:
+                # Bounded queue at capacity: shed and keep driving (the
+                # open-loop load generator's behavior).
+                rejected += 1
+        service.flush("cli")
+        results = [f.result() for f in futures]
         stats = service.stats()
     failures = sum(1 for r in results if r.oracle_ok is False)
     print(stats.render())
+    if rejected:
+        print(f"admission control shed {rejected} queries (--max-queue "
+              f"{args.max_queue})")
     print(
         f"oracle agreement: "
         f"{'ok' if failures == 0 else f'{failures} MISMATCHES'}"
@@ -371,6 +413,15 @@ def _cmd_bench_inner(args) -> int:
         names = args.workloads.split(",")
     queries = args.queries if args.queries is not None else 1
 
+    if args.artifact == "soak":
+        workload = names[0] if names else "width78"
+        print(
+            experiments.soak(
+                workload_name=workload,
+                queries=args.queries if args.queries is not None else 2000,
+            ).render()
+        )
+        return 0
     if args.artifact == "backend-speedup":
         workload = names[0] if names else "width78"
         print(

@@ -91,3 +91,31 @@ class RuntimeProtocolError(CopseError):
 
 class LeakageError(CopseError):
     """A security-analysis query was malformed (unknown scenario, etc.)."""
+
+
+# ---------------------------------------------------------------------------
+# Serving errors
+# ---------------------------------------------------------------------------
+
+
+class ServeError(CopseError):
+    """The serving layer rejected an operation (lifecycle, admission,
+    or scheduling), as opposed to the query itself being malformed."""
+
+
+class RejectedQuery(ServeError):
+    """Admission control rejected a query instead of queueing it.
+
+    Raised at ``submit`` time when the target model's pending queue is at
+    its configured bound — the overload signal callers are expected to
+    handle (back off, shed, or retry elsewhere), instead of the queue
+    growing without bound.
+    """
+
+    def __init__(self, message: str, *, model: str = "",
+                 tenant: str = "", queue_depth: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.model = model
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+        self.limit = limit

@@ -15,10 +15,19 @@ stream:
   default ``engine="plan"``, lower + optimize its batched pipeline into
   a cached :class:`~repro.ir.plan.InferencePlan` that every batch
   executes (``engine="eager"`` keeps the hand-scheduled interpreter);
-* :mod:`repro.serve.batcher` — :class:`QueryBatcher`: validate, queue,
-  cut, evaluate, demultiplex, oracle-verify;
-* :mod:`repro.serve.scheduler` — :class:`Scheduler`: worker pool draining
-  the batch queue (the paper's Figure 7/8 inter-query parallelism);
+* :mod:`repro.serve.batcher` — :class:`QueryBatcher`: validate,
+  evaluate, demultiplex, oracle-verify;
+* :mod:`repro.serve.scheduler` — the event-driven, deadline-aware,
+  multi-tenant scheduler: per-model bounded queues with admission
+  control, adaptive batch cutting (full *or* out of deadline slack),
+  weighted fair sharing, crash retries.  A pure decision core
+  (:class:`SchedulerCore`) drives both the threaded :class:`Scheduler`
+  and the simulator;
+* :mod:`repro.serve.simclock` — the :class:`Clock` seam (real vs
+  :class:`VirtualClock`) that makes scheduling decisions simulable;
+* :mod:`repro.serve.loadgen` — seeded open-loop load generation
+  (Poisson + bursts, heterogeneous tenants), fault injection, and the
+  deterministic discrete-event :class:`SimRunner`;
 * :mod:`repro.serve.service` — :class:`CopseService`: the
   ``register_model`` / ``submit`` / ``stats`` facade.
 
@@ -49,7 +58,24 @@ from repro.serve.batcher import (
     ClassificationResult,
     QueryBatcher,
 )
-from repro.serve.scheduler import Scheduler
+from repro.serve.simclock import Clock, RealClock, VirtualClock
+from repro.serve.scheduler import (
+    Assignment,
+    QueryTicket,
+    Scheduler,
+    SchedulerCore,
+    SchedulerStats,
+)
+from repro.serve.loadgen import (
+    Arrival,
+    FaultPlan,
+    ModelProfile,
+    SimReport,
+    SimRunner,
+    TenantSpec,
+    generate_arrivals,
+    offered_load,
+)
 from repro.serve.service import CopseService, ServiceStats
 
 __all__ = [
@@ -65,7 +91,22 @@ __all__ = [
     "QueryBatcher",
     "BatchRecord",
     "ClassificationResult",
+    "Clock",
+    "RealClock",
+    "VirtualClock",
+    "Assignment",
+    "QueryTicket",
     "Scheduler",
+    "SchedulerCore",
+    "SchedulerStats",
+    "Arrival",
+    "FaultPlan",
+    "ModelProfile",
+    "SimReport",
+    "SimRunner",
+    "TenantSpec",
+    "generate_arrivals",
+    "offered_load",
     "CopseService",
     "ServiceStats",
 ]

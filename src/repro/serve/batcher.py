@@ -1,9 +1,11 @@
-"""Query batching: collect submissions, evaluate batches, demultiplex.
+"""Query batching: validate submissions, evaluate batches, demultiplex.
 
 A :class:`QueryBatcher` fronts one registered model.  Submissions are
-validated eagerly (bad queries fail at ``submit`` time, before they can
-poison a batch), queued, and cut into batches of at most the layout's
-capacity.  Evaluating a batch runs the whole amortized pipeline:
+validated eagerly (bad queries fail at ``prepare`` time, before they can
+poison a batch); queueing and batch *cutting* belong to the
+deadline-aware :class:`~repro.serve.scheduler.Scheduler`, which hands
+cut batches back here for evaluation.  Evaluating a batch runs the whole
+amortized pipeline:
 
 1. pack the queries' replicated-and-padded bit planes into shared slots
    and encrypt them once per plane (``data_encrypt``),
@@ -27,12 +29,11 @@ aggregation by the service.
 
 from __future__ import annotations
 
-import threading
-from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
+from repro.errors import ValidationError
 from repro.core.runtime import (
     ENGINE_PLAN,
     InferenceResult,
@@ -119,7 +120,7 @@ class CutBatch:
 
 
 class QueryBatcher:
-    """Collects queries for one model and evaluates them in batches."""
+    """Validates queries for one model and evaluates its cut batches."""
 
     def __init__(
         self,
@@ -130,59 +131,35 @@ class QueryBatcher:
         self.registered = registered
         self.seccomp_variant = seccomp_variant
         self.verify_oracle = verify_oracle and registered.forest is not None
-        self._pending: Deque[PendingQuery] = deque()
-        self._lock = threading.Lock()
-        self._batch_counter = 0
 
     # ------------------------------------------------------------------
-    # Submission / batch cutting
+    # Submission-time validation
     # ------------------------------------------------------------------
 
     @property
     def capacity(self) -> int:
         return self.registered.layout.capacity
 
-    @property
-    def pending_count(self) -> int:
-        with self._lock:
-            return len(self._pending)
+    def prepare(self, features) -> PendingQuery:
+        """Validate one query and wrap it for scheduling.
 
-    def submit(self, features) -> "Future[ClassificationResult]":
-        """Validate and enqueue one query; returns its future."""
-        validated = validate_features(self.registered.layout, features)
-        entry = PendingQuery(features=validated)
-        with self._lock:
-            self._pending.append(entry)
-        return entry.future
-
-    def cut_batch(self) -> Optional[CutBatch]:
-        """Pop up to ``capacity`` pending queries as one batch.
-
-        Queries whose future was cancelled while queued are dropped here
-        (``set_running_or_notify_cancel`` returns False for them), so a
-        caller's cancel never occupies a slot or poisons result delivery
-        for the other queries sharing the batch.
+        Fails here — before the query can occupy a queue slot or poison
+        a batch — on arity/domain errors and on the pathological case of
+        a layout whose per-query block is wider than the ciphertext
+        itself (possible only with a hand-built layout, since
+        :func:`~repro.serve.packing.plan_layout` rejects it at
+        registration).
         """
-        while True:
-            with self._lock:
-                if not self._pending:
-                    return None
-                entries = [
-                    self._pending.popleft()
-                    for _ in range(min(self.capacity, len(self._pending)))
-                ]
-                self._batch_counter += 1
-                batch_id = self._batch_counter
-            live = [
-                e for e in entries
-                if e.future.set_running_or_notify_cancel()
-            ]
-            if live:
-                return CutBatch(batch_id=batch_id, entries=live)
-
-    def has_full_batch(self) -> bool:
-        with self._lock:
-            return len(self._pending) >= self.capacity
+        layout = self.registered.layout
+        slots = self.registered.params.slot_count
+        if layout.stride > slots:
+            raise ValidationError(
+                f"query width {layout.stride} exceeds the {slots} SIMD "
+                f"slots of the registered parameters; this model cannot "
+                f"pack even one query per ciphertext"
+            )
+        validated = validate_features(layout, features)
+        return PendingQuery(features=validated)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -1,0 +1,490 @@
+"""Deterministic load generation + discrete-event scheduler simulation.
+
+The scheduler's interesting behaviors — deadline-forced cuts, admission
+rejections, fair sharing under skew, crash retries — only show up under
+sustained, bursty, multi-tenant load, which wall-clock tests cannot
+exercise without flakiness.  This module replays exactly that load under
+a :class:`~repro.serve.simclock.VirtualClock`:
+
+* :func:`generate_arrivals` — a seeded open-loop arrival schedule:
+  per-tenant Poisson processes (``rate_qps``) plus periodic bursts,
+  merged into one deterministic timeline;
+* :class:`FaultPlan` — injected worker crashes (at fixed virtual times)
+  and slowed batches (every Nth batch takes ``slow_factor`` longer);
+* :class:`SimRunner` — a discrete-event loop driving the *same*
+  :class:`~repro.serve.scheduler.SchedulerCore` production uses, with
+  per-model service times taken from the cost model (the circuits are
+  input-independent, so a batch's simulated cost is a constant of the
+  model — no FHE evaluation is needed to know how long it takes).
+
+Everything is seeded and the virtual clock never sleeps, so a
+5,000-query soak with mixed tenants, bursts, and a mid-run worker crash
+replays in well under ten seconds of real time and makes *identical*
+scheduling decisions (and byte-identical stats) on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RejectedQuery, ValidationError
+from repro.serve.scheduler import (
+    OUTCOME_OK,
+    SchedulerCore,
+    SchedulerStats,
+    deliver_failures,
+)
+from repro.serve.simclock import MS, VirtualClock
+
+__all__ = [
+    "ModelProfile",
+    "TenantSpec",
+    "FaultPlan",
+    "Arrival",
+    "generate_arrivals",
+    "offered_load",
+    "SimReport",
+    "SimRunner",
+]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """What the simulator needs to know about one served model."""
+
+    name: str
+    #: Queries packed per batch (the layout capacity).
+    capacity: int
+    #: Simulated service time of one batch evaluation, in ms.  Constant
+    #: per model because the batched circuit is input-independent.
+    service_ms: float
+    weight: float = 1.0
+    max_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValidationError(
+                f"profile {self.name!r}: capacity must be >= 1"
+            )
+        if self.service_ms <= 0:
+            raise ValidationError(
+                f"profile {self.name!r}: service_ms must be > 0"
+            )
+
+    @classmethod
+    def from_registered(cls, registered, weight: float = 1.0,
+                        max_pending: Optional[int] = None) -> "ModelProfile":
+        """Profile a :class:`~repro.serve.registry.RegisteredModel`.
+
+        The service time is the cached plan's analyzed cost — the same
+        estimate the production scheduler uses for slack cuts.
+        """
+        service_ms = registered.estimated_batch_ms
+        if service_ms is None:
+            raise ValidationError(
+                f"model {registered.name!r} has no cached plan to "
+                f"estimate batch cost from; pass an explicit profile"
+            )
+        return cls(
+            name=registered.name,
+            capacity=registered.layout.capacity,
+            service_ms=service_ms,
+            weight=weight,
+            max_pending=max_pending,
+        )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape against one model."""
+
+    name: str
+    model: str
+    #: Open-loop Poisson arrival rate (queries/second of virtual time).
+    rate_qps: float = 0.0
+    #: Optional periodic bursts: every ``burst_every_s`` seconds,
+    #: ``burst_size`` queries arrive at the same instant.
+    burst_every_s: Optional[float] = None
+    burst_size: int = 0
+    #: Relative deadline applied to every query (None = best-effort).
+    deadline_ms: Optional[float] = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_qps < 0:
+            raise ValidationError(
+                f"tenant {self.name!r}: rate_qps must be >= 0"
+            )
+        if self.rate_qps == 0 and not self.burst_size:
+            raise ValidationError(
+                f"tenant {self.name!r} generates no traffic: give it a "
+                f"rate_qps or a burst"
+            )
+        if self.burst_size and not self.burst_every_s:
+            raise ValidationError(
+                f"tenant {self.name!r}: burst_size needs burst_every_s"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault injection for one simulation run."""
+
+    #: Virtual times at which a worker dies mid-whatever-it-is-doing.
+    #: The k-th crash hits worker ``k % threads``; the worker restarts
+    #: immediately (the pool keeps its size) but its in-flight batch
+    #: takes the crash/retry path.
+    worker_crashes: Tuple[float, ...] = ()
+    #: Every Nth dispatched batch takes ``slow_factor`` times its normal
+    #: service time (0 disables).  Models stragglers/GC pauses.
+    slow_every: int = 0
+    slow_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slow_every < 0:
+            raise ValidationError("slow_every must be >= 0")
+        if self.slow_every and self.slow_factor < 1.0:
+            raise ValidationError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One query arriving at a fixed virtual time."""
+
+    time: float
+    tenant: str
+    model: str
+    deadline_ms: Optional[float]
+    priority: int
+
+
+def generate_arrivals(
+    tenants: Sequence[TenantSpec],
+    seed: int,
+    total_queries: Optional[int] = None,
+    duration_s: Optional[float] = None,
+) -> List[Arrival]:
+    """A deterministic merged arrival timeline for ``tenants``.
+
+    Each tenant gets its own child RNG (derived from ``seed`` and its
+    position), so adding a tenant never perturbs the others' streams.
+    Stop after ``total_queries`` arrivals or at ``duration_s`` of
+    virtual time, whichever is given (at least one must be).
+    """
+    if total_queries is None and duration_s is None:
+        raise ValidationError(
+            "generate_arrivals needs total_queries or duration_s"
+        )
+    if not tenants:
+        raise ValidationError("generate_arrivals needs at least one tenant")
+
+    def tenant_stream(index: int, spec: TenantSpec):
+        rng = np.random.default_rng([seed, index])
+        t = 0.0
+        burst_k = 1
+        while True:
+            nxt_poisson = (
+                t + float(rng.exponential(1.0 / spec.rate_qps))
+                if spec.rate_qps > 0 else None
+            )
+            nxt_burst = (
+                spec.burst_every_s * burst_k if spec.burst_size else None
+            )
+            if nxt_burst is not None and (
+                nxt_poisson is None or nxt_burst <= nxt_poisson
+            ):
+                for _ in range(spec.burst_size):
+                    yield Arrival(
+                        time=nxt_burst,
+                        tenant=spec.name,
+                        model=spec.model,
+                        deadline_ms=spec.deadline_ms,
+                        priority=spec.priority,
+                    )
+                burst_k += 1
+                t = nxt_burst
+            else:
+                t = nxt_poisson
+                yield Arrival(
+                    time=t,
+                    tenant=spec.name,
+                    model=spec.model,
+                    deadline_ms=spec.deadline_ms,
+                    priority=spec.priority,
+                )
+
+    # Merge the per-tenant streams by (time, tenant index) — a total,
+    # deterministic order even for simultaneous (burst) arrivals.
+    streams = [
+        iter(tenant_stream(i, spec)) for i, spec in enumerate(tenants)
+    ]
+    heads: List[Tuple[float, int, int, Arrival]] = []
+    tiebreak = itertools.count()
+    for i, stream in enumerate(streams):
+        arrival = next(stream)
+        heads.append((arrival.time, i, next(tiebreak), arrival))
+    heapq.heapify(heads)
+
+    out: List[Arrival] = []
+    while heads:
+        _, i, _, arrival = heapq.heappop(heads)
+        if duration_s is not None and arrival.time > duration_s:
+            continue  # this tenant's stream ran past the horizon
+        out.append(arrival)
+        if total_queries is not None and len(out) >= total_queries:
+            break
+        nxt = next(streams[i])
+        heapq.heappush(heads, (nxt.time, i, next(tiebreak), nxt))
+    return out
+
+
+def offered_load(
+    tenants: Sequence[TenantSpec],
+    profiles: Sequence[ModelProfile],
+    threads: int,
+) -> float:
+    """Mean worker utilization the tenants' rates imply.
+
+    Each model contributes ``rate / capacity`` batches per second, each
+    costing ``service_ms``; dividing by the pool size gives the classic
+    rho.  Bursts add load on top, so treat this as a lower bound.
+    """
+    by_model = {p.name: p for p in profiles}
+    rho = 0.0
+    for spec in tenants:
+        profile = by_model[spec.model]
+        rate = spec.rate_qps
+        if spec.burst_size and spec.burst_every_s:
+            rate += spec.burst_size / spec.burst_every_s
+        rho += rate / profile.capacity * profile.service_ms * MS
+    return rho / threads
+
+
+class _SimQuery:
+    """Minimal scheduler payload: just a future."""
+
+    __slots__ = ("future",)
+
+    def __init__(self):
+        self.future: "Future" = Future()
+
+
+@dataclass
+class SimReport:
+    """Everything one simulation run produced."""
+
+    stats: SchedulerStats
+    #: The decision log: (batch_id, queue, worker, size, first_seq,
+    #: cut_time) per dispatched batch — the determinism witness.
+    decisions: List[Tuple]
+    #: Virtual seconds from first arrival to last completion.
+    duration_s: float
+    #: Total simulated batch-evaluation ms across the run.
+    service_ms_total: float
+    #: Slots available across all dispatched batches (for fill rate).
+    capacity_total: int
+    threads: int
+    #: The order queries were packed into batches: tenant -> seq list.
+    #: FIFO-within-tenant holds iff each list is sorted.
+    packed_order: Dict[str, List[int]] = field(default_factory=dict)
+
+    def service_stats(self):
+        """The run as a :class:`~repro.serve.service.ServiceStats`.
+
+        FHE-op fields are zero (the simulator never evaluates circuits);
+        scheduling fields carry the full picture.  Byte-identical across
+        same-seed runs — the soak determinism lock compares exactly
+        this object's ``render()``.
+        """
+        from repro.serve.service import ServiceStats
+
+        return ServiceStats(
+            queries=self.stats.completed,
+            batches=self.stats.batches,
+            capacity_total=self.capacity_total,
+            phase_ms={},
+            op_counts={},
+            inference_ms=round(self.service_ms_total, 6),
+            data_encrypt_ms=0.0,
+            setup_ms=0.0,
+            oracle_failures=0,
+            threads=self.threads,
+            scheduler=self.stats,
+        )
+
+
+#: Event kinds, in processing order at equal timestamps: completions
+#: free workers before crashes/arrivals/timers look at the pool.
+_COMPLETION, _CRASH, _ARRIVAL, _TIMER = 0, 1, 2, 3
+
+
+class SimRunner:
+    """Discrete-event execution of a :class:`SchedulerCore`.
+
+    One instance runs one simulation (the core's counters are
+    cumulative).  ``run`` replays an arrival list against the given
+    model profiles, injecting the fault plan, and returns a
+    :class:`SimReport`.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[ModelProfile],
+        threads: int = 2,
+        max_retries: int = 1,
+    ):
+        if not profiles:
+            raise ValidationError("SimRunner needs at least one profile")
+        self.profiles: Dict[str, ModelProfile] = {
+            p.name: p for p in profiles
+        }
+        self.threads = threads
+        self.clock = VirtualClock()
+        self.core = SchedulerCore(
+            workers=threads,
+            max_retries=max_retries,
+            record_decisions=True,
+        )
+        for profile in profiles:
+            self.core.add_queue(
+                profile.name,
+                capacity=profile.capacity,
+                weight=profile.weight,
+                max_pending=profile.max_pending,
+                service_ms=profile.service_ms,
+            )
+        self._used = False
+
+    def run(self, arrivals: Sequence[Arrival],
+            faults: FaultPlan = FaultPlan()) -> SimReport:
+        if self._used:
+            raise ValidationError(
+                "a SimRunner runs once; build a fresh one per run"
+            )
+        self._used = True
+        clock, core = self.clock, self.core
+
+        events: List[Tuple[float, int, int, object]] = []
+        order = itertools.count()
+
+        def push(time: float, kind: int, data: object) -> None:
+            heapq.heappush(events, (time, kind, next(order), data))
+
+        for arrival in arrivals:
+            push(arrival.time, _ARRIVAL, arrival)
+        for k, crash_time in enumerate(faults.worker_crashes):
+            push(crash_time, _CRASH, k % self.threads)
+
+        #: Per-worker epoch: bumped on crash so the stale completion
+        #: event of an interrupted batch is ignored when it pops.
+        epochs = [0] * self.threads
+        batch_counter = 0
+        service_ms_total = 0.0
+        capacity_total = 0
+        packed_order: Dict[str, List[int]] = {}
+        timers_scheduled: set = set()
+        remaining_arrivals = len(arrivals)
+        flushed = False
+        last_completion_t = 0.0
+
+        def dispatch(now: float) -> None:
+            nonlocal batch_counter, service_ms_total, capacity_total
+            while True:
+                assignment = core.assign(now)
+                if assignment is None:
+                    break
+                batch_counter += 1
+                profile = self.profiles[assignment.queue]
+                service_ms = profile.service_ms
+                if (
+                    faults.slow_every
+                    and batch_counter % faults.slow_every == 0
+                ):
+                    service_ms *= faults.slow_factor
+                service_ms_total += service_ms
+                capacity_total += profile.capacity
+                for ticket in assignment.tickets:
+                    packed_order.setdefault(ticket.tenant, []).append(
+                        ticket.seq
+                    )
+                push(
+                    now + service_ms * MS,
+                    _COMPLETION,
+                    (assignment, epochs[assignment.worker]),
+                )
+            cut_at = core.next_cut_time()
+            if cut_at is not None and cut_at > now:
+                key = round(cut_at, 9)
+                if key not in timers_scheduled:
+                    timers_scheduled.add(key)
+                    push(cut_at, _TIMER, None)
+
+        while events or core.outstanding:
+            if not events:
+                # Only partial batches remain and nothing will ever cut
+                # them: the end-of-run flush (mirrors service.flush()).
+                core.flush()
+                dispatch(clock.now())
+                if not events:
+                    break  # every remaining future is terminal
+                continue
+            time, kind, _, data = heapq.heappop(events)
+            now = clock.advance_to(time)
+            if kind == _COMPLETION:
+                assignment, epoch = data
+                if epochs[assignment.worker] != epoch:
+                    continue  # interrupted by a crash; already requeued
+                core.complete(assignment, now, OUTCOME_OK)
+                last_completion_t = now
+            elif kind == _CRASH:
+                worker = data
+                epochs[worker] += 1
+                core.crash_worker(worker, now)
+            elif kind == _ARRIVAL:
+                arrival = data
+                remaining_arrivals -= 1
+                deadline = (
+                    None if arrival.deadline_ms is None
+                    else now + arrival.deadline_ms * MS
+                )
+                try:
+                    core.submit(
+                        arrival.model,
+                        _SimQuery(),
+                        now,
+                        tenant=arrival.tenant,
+                        deadline=deadline,
+                        priority=arrival.priority,
+                    )
+                except RejectedQuery:
+                    pass  # counted by the core; open-loop load sheds
+            # _TIMER carries no state: popping it (advancing the clock)
+            # is what makes the due slack cut visible to dispatch().
+            if remaining_arrivals == 0 and not flushed:
+                core.flush()
+                flushed = True
+            dispatch(now)
+            # Resolve retry-exhaustion failures as they happen (the sim
+            # is single-threaded, so "outside the lock" is trivially
+            # satisfied here).
+            deliver_failures(core.drain_failures())
+
+        deliver_failures(core.drain_failures())
+        first_t = arrivals[0].time if arrivals else 0.0
+        return SimReport(
+            stats=core.stats(),
+            decisions=list(core.decisions or []),
+            duration_s=max(0.0, last_completion_t - first_t),
+            service_ms_total=service_ms_total,
+            capacity_total=capacity_total,
+            threads=self.threads,
+            packed_order=packed_order,
+        )

@@ -78,6 +78,21 @@ class RegisteredModel:
     def batch_capacity(self) -> int:
         return self.layout.capacity
 
+    @property
+    def estimated_batch_ms(self) -> Optional[float]:
+        """Analyzed cost of evaluating one batch, in simulated ms.
+
+        Comes from the cached plan's optimized profile, so it is known
+        *before* the first batch runs — the scheduler seeds its
+        slack-cut service estimate with it (then refines with observed
+        batch durations, since simulated ms are not wall ms), and the
+        simulator uses it as the model's exact service time.  ``None``
+        for eager models (no analyzed graph to price).
+        """
+        if self.plan is None:
+            return None
+        return self.plan.cost_ms(self.cost_model)
+
     def describe(self) -> str:
         base = (
             f"{self.name}: {self.compiled.describe()}; "

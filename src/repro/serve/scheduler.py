@@ -1,45 +1,737 @@
-"""Worker-pool scheduler: inter-batch parallelism over a job queue.
+"""Event-driven, deadline-aware, multi-tenant batch scheduler.
 
-Figures 7 and 8 of the paper exploit parallelism *inside* one query's
-circuit; a serving system additionally gets parallelism *across* queries.
-The scheduler realizes the latter: a configurable pool of worker threads
-drains a submission queue of batch jobs, each job evaluating one packed
-batch against its model's cached encryption.
+The first serve iteration was a FIFO thread pool: callers cut batches
+themselves and workers drained a job queue.  That shape cannot express
+the regimes a production service actually lives in — deadlines, tenant
+fairness, overload, worker failure — so the scheduler now owns the whole
+scheduling problem:
 
-Each job carries its own :class:`~repro.fhe.context.FheContext` (created
-inside :meth:`QueryBatcher.evaluate`), so workers never contend on
-tracker state; results funnel through a caller-supplied ``on_record``
-callback, which the service guards with a lock for thread-safe per-phase
-aggregation.  ``drain()`` blocks until every queued job has completed —
-the synchronization point ``flush``/``close`` rely on.
+* **Per-model bounded queues with admission control.**  Every registered
+  model gets a queue with an optional ``max_pending`` bound; a submit
+  against a full queue raises :class:`~repro.errors.RejectedQuery`
+  instead of growing without bound.
+* **Adaptive batch cutting.**  A batch is cut when it fills *or* when the
+  oldest queued query's slack runs out (its deadline minus the model's
+  estimated batch service time), not only on a count trigger.  Partial
+  batches with no deadline pressure wait for an explicit flush.
+* **Weighted fair sharing across models.**  Queues carry weights; ready
+  queues are served in virtual-time order (served queries divided by
+  weight), so a hot model cannot starve a cold one.
+* **Priorities and FIFO-within-tenant.**  Within a queue, queries order
+  by descending priority then submission order, so equal-priority
+  queries of one tenant are always packed in the order they arrived.
+* **Retry on worker failure.**  A crashed worker's batch is requeued
+  (bounded by ``max_retries``) at its original queue position; queries
+  that exhaust their retries fail loudly with
+  :class:`~repro.errors.ServeError`.  "Crash" means the worker died
+  mid-batch (``crash_worker`` — the fault-injection harness today, a
+  lost remote/process worker in a distributed deployment).  A batch
+  whose *evaluation raises* is deliberately not retried: the pipeline
+  is deterministic, so a retry would fail identically — those queries
+  fail immediately with the original exception.
+
+The design splits into a **pure decision core** (:class:`SchedulerCore`:
+no threads, no clock ownership — every method takes ``now``) and thin
+execution engines.  :class:`Scheduler` here drives the core with real
+worker threads and a :class:`~repro.serve.simclock.Clock`;
+:mod:`repro.serve.loadgen` drives the *same* core from a deterministic
+discrete-event loop under a :class:`~repro.serve.simclock.VirtualClock`.
+Because every scheduling decision lives in the core and depends only on
+(queue state, time, free workers), the simulated decisions are exactly
+the decisions production would make.
 """
 
 from __future__ import annotations
 
-import queue
+import heapq
+import itertools
 import threading
-from typing import Callable, List
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ValidationError
+from repro.errors import RejectedQuery, ServeError, ValidationError
+from repro.serve.simclock import MS, Clock, RealClock
 
-#: Sentinel shutting one worker down.
-_STOP = object()
+#: Completions whose latencies feed the percentile window; older samples
+#: age out so a long-lived service neither grows without bound nor pays
+#: an ever-larger sort per stats() snapshot.
+LATENCY_WINDOW = 65536
+
+#: ``complete()`` outcomes.
+OUTCOME_OK = "ok"          #: batch evaluated, futures resolved
+OUTCOME_ERROR = "error"    #: evaluation raised — deterministic, no retry
+OUTCOME_CRASH = "crash"    #: worker died mid-batch — requeue and retry
+
+
+@dataclass
+class QueryTicket:
+    """One admitted query: its payload plus scheduling metadata.
+
+    ``payload`` is opaque to the scheduler except for a ``future``
+    attribute (a :class:`concurrent.futures.Future`), which the scheduler
+    uses to drop cancelled work and to deliver scheduling failures.
+    ``deadline`` is absolute clock seconds (None = best-effort).
+    """
+
+    queue: str
+    tenant: str
+    payload: Any
+    submit_time: float
+    deadline: Optional[float]
+    priority: int
+    seq: int
+    retries: int = 0
+
+    @property
+    def future(self):
+        return self.payload.future
+
+    def sort_key(self) -> Tuple[int, int]:
+        # Higher priority first; FIFO (submission order) within a
+        # priority level — which makes FIFO-within-tenant structural.
+        return (-self.priority, self.seq)
+
+
+@dataclass
+class Assignment:
+    """A cut batch bound to a worker, ready to evaluate."""
+
+    batch_id: int
+    queue: str
+    worker: int
+    tickets: List[QueryTicket]
+    cut_time: float
+
+    @property
+    def size(self) -> int:
+        return len(self.tickets)
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Immutable snapshot of the scheduler's counters.
+
+    Conservation invariant (once drained):
+    ``submitted == completed + rejected + failed + cancelled``.
+    Latency percentiles are nearest-rank, in ms, over a sliding window
+    of the most recent :data:`LATENCY_WINDOW` completions (bounded
+    memory under sustained load); the max is exact and all-time.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    retries: int = 0
+    deadline_misses: int = 0
+    worker_crashes: int = 0
+    batches: int = 0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_max_ms: float = 0.0
+    per_tenant_submitted: Dict[str, int] = field(default_factory=dict)
+    per_tenant_completed: Dict[str, int] = field(default_factory=dict)
+    per_queue_completed: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of completed queries that finished past deadline."""
+        if not self.completed:
+            return 0.0
+        return self.deadline_misses / self.completed
+
+    def render(self) -> str:
+        lines = [
+            f"  submitted / completed: {self.submitted} / {self.completed}",
+            f"  rejected (admission) : {self.rejected}",
+            f"  failed / cancelled   : {self.failed} / {self.cancelled}",
+            f"  retries / crashes    : {self.retries} / "
+            f"{self.worker_crashes}",
+            f"  deadline misses      : {self.deadline_misses} "
+            f"({100.0 * self.deadline_miss_rate:.2f}%)",
+            f"  latency p50 / p99 ms : {self.latency_p50_ms:.3f} / "
+            f"{self.latency_p99_ms:.3f}",
+        ]
+        if self.per_tenant_completed:
+            tenants = ", ".join(
+                f"{t}={n}" for t, n in sorted(
+                    self.per_tenant_completed.items()
+                )
+            )
+            lines.append(f"  completed per tenant : {tenants}")
+        return "\n".join(lines)
+
+
+def _percentile(ranked: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not ranked:
+        return 0.0
+    rank = max(1, -(-int(q * len(ranked) * 100) // 100))  # ceil(q * n)
+    rank = min(rank, len(ranked))
+    return ranked[rank - 1]
+
+
+class _ModelQueue:
+    """Pending queries and fair-share bookkeeping for one model."""
+
+    __slots__ = (
+        "name", "capacity", "weight", "max_pending", "service_s",
+        "heap", "flush_pending", "vtime", "_cut_at", "_cut_dirty",
+    )
+
+    def __init__(self, name: str, capacity: int, weight: float,
+                 max_pending: Optional[int], service_ms: Optional[float]):
+        if capacity < 1:
+            raise ValidationError(
+                f"queue {name!r}: batch capacity must be >= 1, got "
+                f"{capacity}"
+            )
+        if weight <= 0:
+            raise ValidationError(
+                f"queue {name!r}: fair-share weight must be > 0, got "
+                f"{weight}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ValidationError(
+                f"queue {name!r}: max_pending must be >= 1, got "
+                f"{max_pending}"
+            )
+        self.name = name
+        self.capacity = capacity
+        self.weight = weight
+        self.max_pending = max_pending
+        #: Estimated batch service time in seconds, for slack cuts.
+        #: Seeded from the caller's estimate (the plan's analyzed cost,
+        #: whose simulated ms are *not* wall ms) and then refined by
+        #: :meth:`observe_service` with each completed batch's measured
+        #: duration in the engine's own clock units — so the real-clock
+        #: engine converges on wall time and the simulator stays exact.
+        self.service_s = (service_ms or 0.0) * MS
+        self.heap: List[Tuple[Tuple[int, int], QueryTicket]] = []
+        self.flush_pending = False
+        #: Fair-share virtual time: served queries / weight.
+        self.vtime = 0.0
+        self._cut_at: Optional[float] = None
+        self._cut_dirty = True
+
+    def push(self, ticket: QueryTicket) -> None:
+        heapq.heappush(self.heap, (ticket.sort_key(), ticket))
+        if ticket.deadline is None or self._cut_dirty:
+            return  # no new cut pressure / cache already needs a rescan
+        # A push can only *advance* the cut frontier, so the cached
+        # minimum updates in O(1) — a burst of N submissions must not
+        # trigger N full heap rescans from the workers it wakes.
+        cut = ticket.deadline - self.service_s
+        self._cut_at = cut if self._cut_at is None else min(self._cut_at, cut)
+
+    def invalidate_cut_cache(self) -> None:
+        self._cut_dirty = True
+
+    def observe_service(self, seconds: float) -> None:
+        """Fold one completed batch's measured duration into the
+        service-time estimate (EWMA), tightening future slack cuts."""
+        if seconds < 0:
+            return
+        if self.service_s <= 0:
+            self.service_s = seconds
+        else:
+            self.service_s += 0.3 * (seconds - self.service_s)
+        self._cut_dirty = True
+
+    def cut_deadline(self) -> Optional[float]:
+        """Earliest time any queued ticket forces a cut (slack = 0).
+
+        Cached between queue mutations: workers re-poll this on every
+        wake, so recomputing by heap scan each time would make a burst
+        of N submissions cost O(N^2) across the pool.
+        """
+        if self._cut_dirty:
+            times = [
+                t.deadline - self.service_s
+                for _, t in self.heap
+                if t.deadline is not None
+            ]
+            self._cut_at = min(times) if times else None
+            self._cut_dirty = False
+        return self._cut_at
+
+    def ready(self, now: float) -> bool:
+        if not self.heap:
+            return False
+        if len(self.heap) >= self.capacity or self.flush_pending:
+            return True
+        cut_at = self.cut_deadline()
+        return cut_at is not None and cut_at <= now
+
+
+class SchedulerCore:
+    """The pure scheduling state machine.
+
+    Thread-unsafe by design: callers (the threaded engine, the
+    discrete-event simulator) serialize access.  Every method takes the
+    current time explicitly, so the core itself never reads a clock —
+    that is what makes simulated and real scheduling decisions
+    identical.
+    """
+
+    def __init__(self, workers: int, max_retries: int = 1,
+                 record_decisions: bool = False):
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        self.workers = workers
+        self.max_retries = max_retries
+        self._queues: Dict[str, _ModelQueue] = {}
+        self._free: List[int] = list(range(workers))
+        self._running: Dict[int, Assignment] = {}
+        self._seq = itertools.count()
+        self._batch_ids = itertools.count(1)
+        self._closed = False
+        #: Optional audit log of (batch_id, queue, worker, size,
+        #: first_seq, cut_time) — the determinism witness.
+        self.decisions: Optional[List[Tuple]] = (
+            [] if record_decisions else None
+        )
+        # ---- counters -------------------------------------------------
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._retries = 0
+        self._deadline_misses = 0
+        self._worker_crashes = 0
+        self._batches = 0
+        #: Latency percentiles are computed over a sliding window of the
+        #: most recent completions — bounded memory and a bounded sort
+        #: per stats() call under sustained load (the max is tracked
+        #: exactly, all-time).
+        self._latencies_ms: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._latency_max_ms = 0.0
+        self._tenant_submitted: Dict[str, int] = {}
+        self._tenant_completed: Dict[str, int] = {}
+        self._queue_completed: Dict[str, int] = {}
+        self._pending_failures: List[Tuple[Any, Exception]] = []
+
+    # ------------------------------------------------------------------
+    # Queue management
+    # ------------------------------------------------------------------
+
+    def add_queue(
+        self,
+        name: str,
+        capacity: int,
+        weight: float = 1.0,
+        max_pending: Optional[int] = None,
+        service_ms: Optional[float] = None,
+    ) -> None:
+        if name in self._queues:
+            raise ValidationError(f"queue {name!r} already exists")
+        queue = _ModelQueue(name, capacity, weight, max_pending, service_ms)
+        # A late joiner starts at the least-served peer's virtual time:
+        # it cannot replay the service it "missed" before registering
+        # (starting at 0 would let it monopolize the pool to catch up),
+        # yet it is not handicapped beyond the current fairness frontier.
+        if self._queues:
+            queue.vtime = min(q.vtime for q in self._queues.values())
+        self._queues[name] = queue
+
+    def remove_queue(self, name: str) -> int:
+        """Drop a queue, failing its still-pending tickets.  Returns the
+        number of tickets failed."""
+        queue = self._queues.pop(name, None)
+        if queue is None:
+            return 0
+        failed = 0
+        for _, ticket in queue.heap:
+            self._fail_ticket(
+                ticket,
+                ServeError(
+                    f"model {name!r} was unregistered with the query "
+                    f"still queued"
+                ),
+            )
+            failed += 1
+        return failed
+
+    def queue_names(self) -> List[str]:
+        return sorted(self._queues)
+
+    def pending(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            queue = self._queues.get(name)
+            return len(queue.heap) if queue else 0
+        return sum(len(q.heap) for q in self._queues.values())
+
+    @property
+    def running(self) -> int:
+        """Tickets currently being evaluated on workers."""
+        return sum(a.size for a in self._running.values())
+
+    @property
+    def outstanding(self) -> int:
+        """Admitted tickets not yet terminal (queued or running)."""
+        return self.pending() + self.running
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Refuse new submissions (idempotent)."""
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Submission / flush
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        payload: Any,
+        now: float,
+        tenant: str = "default",
+        deadline: Optional[float] = None,
+        priority: int = 0,
+    ) -> QueryTicket:
+        """Admit one query (or raise).
+
+        Raises :class:`ServeError` once closed and
+        :class:`RejectedQuery` when the queue is at its bound — the two
+        explicit overload/lifecycle signals.
+        """
+        if self._closed:
+            raise ServeError(
+                "cannot submit to a closed scheduler: close() has already "
+                "stopped admission (create a new service to keep serving)"
+            )
+        queue = self._queue_or_raise(name)
+        if (
+            queue.max_pending is not None
+            and len(queue.heap) >= queue.max_pending
+        ):
+            self._rejected += 1
+            self._submitted += 1
+            self._tenant_submitted[tenant] = (
+                self._tenant_submitted.get(tenant, 0) + 1
+            )
+            raise RejectedQuery(
+                f"queue for model {name!r} is full "
+                f"({len(queue.heap)}/{queue.max_pending} pending); "
+                f"query from tenant {tenant!r} rejected",
+                model=name,
+                tenant=tenant,
+                queue_depth=len(queue.heap),
+                limit=queue.max_pending,
+            )
+        ticket = QueryTicket(
+            queue=name,
+            tenant=tenant,
+            payload=payload,
+            submit_time=now,
+            deadline=deadline,
+            priority=priority,
+            seq=next(self._seq),
+        )
+        queue.push(ticket)
+        self._submitted += 1
+        self._tenant_submitted[tenant] = (
+            self._tenant_submitted.get(tenant, 0) + 1
+        )
+        return ticket
+
+    def flush(self, name: Optional[str] = None) -> None:
+        """Make partial batches cut-eligible (a no-op on empty queues)."""
+        targets = (
+            [self._queue_or_raise(name)] if name is not None
+            else list(self._queues.values())
+        )
+        for queue in targets:
+            if queue.heap:
+                queue.flush_pending = True
+
+    def _queue_or_raise(self, name: str) -> _ModelQueue:
+        queue = self._queues.get(name)
+        if queue is None:
+            raise ValidationError(
+                f"no scheduler queue named {name!r} "
+                f"(registered: {', '.join(self.queue_names()) or 'none'})"
+            )
+        return queue
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def has_ready(self, now: float) -> bool:
+        return any(q.ready(now) for q in self._queues.values())
+
+    def next_cut_time(self) -> Optional[float]:
+        """Earliest future moment a slack cut becomes due, if any."""
+        times = [
+            t for t in (
+                q.cut_deadline() for q in self._queues.values() if q.heap
+            )
+            if t is not None
+        ]
+        return min(times) if times else None
+
+    def assign(self, now: float,
+               worker: Optional[int] = None) -> Optional[Assignment]:
+        """Cut the next batch and bind it to a free worker, if possible.
+
+        Among ready queues the one with the smallest fair-share virtual
+        time wins (name-ordered tiebreak, so decisions are total-ordered
+        and deterministic).  Cancelled tickets are dropped here — a
+        caller's cancel never occupies a batch slot.
+        """
+        if not self._free:
+            return None
+        while True:
+            ready = [q for q in self._queues.values() if q.ready(now)]
+            if not ready:
+                return None
+            queue = min(ready, key=lambda q: (q.vtime, q.name))
+            tickets: List[QueryTicket] = []
+            while queue.heap and len(tickets) < queue.capacity:
+                _, ticket = heapq.heappop(queue.heap)
+                if ticket.future.set_running_or_notify_cancel():
+                    tickets.append(ticket)
+                else:
+                    self._cancelled += 1
+            queue.invalidate_cut_cache()
+            if not queue.heap:
+                queue.flush_pending = False
+            if not tickets:
+                continue  # the whole cut was cancelled; look again
+            queue.vtime += len(tickets) / queue.weight
+            if worker is None:
+                worker = heapq.heappop(self._free)
+            else:
+                self._free.remove(worker)
+            assignment = Assignment(
+                batch_id=next(self._batch_ids),
+                queue=queue.name,
+                worker=worker,
+                tickets=tickets,
+                cut_time=now,
+            )
+            self._running[worker] = assignment
+            self._batches += 1
+            if self.decisions is not None:
+                self.decisions.append((
+                    assignment.batch_id,
+                    queue.name,
+                    worker,
+                    len(tickets),
+                    tickets[0].seq,
+                    round(now, 9),
+                ))
+            return assignment
+
+    # ------------------------------------------------------------------
+    # Completion / failure
+    # ------------------------------------------------------------------
+
+    def complete(self, assignment: Assignment, now: float,
+                 outcome: str = OUTCOME_OK) -> None:
+        """Return a worker and account for its batch's outcome.
+
+        ``"ok"``: count completions, latencies, deadline misses.
+        ``"error"``: the evaluation raised — deterministic, so the
+        tickets fail (their futures already carry the exception).
+        ``"crash"``: the worker died mid-batch — requeue every ticket at
+        its original position, up to ``max_retries`` attempts each.
+        """
+        if self._running.get(assignment.worker) is not assignment:
+            raise ValidationError(
+                f"worker {assignment.worker} is not running batch "
+                f"{assignment.batch_id}"
+            )
+        del self._running[assignment.worker]
+        heapq.heappush(self._free, assignment.worker)
+        if outcome == OUTCOME_OK:
+            finished_queue = self._queues.get(assignment.queue)
+            if finished_queue is not None:
+                finished_queue.observe_service(now - assignment.cut_time)
+            for ticket in assignment.tickets:
+                self._completed += 1
+                latency_ms = (now - ticket.submit_time) / MS
+                self._latencies_ms.append(latency_ms)
+                if latency_ms > self._latency_max_ms:
+                    self._latency_max_ms = latency_ms
+                if ticket.deadline is not None and now > ticket.deadline:
+                    self._deadline_misses += 1
+                self._tenant_completed[ticket.tenant] = (
+                    self._tenant_completed.get(ticket.tenant, 0) + 1
+                )
+                self._queue_completed[ticket.queue] = (
+                    self._queue_completed.get(ticket.queue, 0) + 1
+                )
+        elif outcome == OUTCOME_ERROR:
+            for ticket in assignment.tickets:
+                self._fail_ticket(ticket, ServeError(
+                    f"batch {assignment.batch_id} evaluation failed"
+                ))
+        elif outcome == OUTCOME_CRASH:
+            self._worker_crashes += 1
+            queue = self._queues.get(assignment.queue)
+            for ticket in assignment.tickets:
+                if queue is not None and ticket.retries < self.max_retries:
+                    ticket.retries += 1
+                    self._retries += 1
+                    # A fresh future: the old one is already RUNNING and
+                    # cannot re-enter the cancelled/pending protocol.
+                    ticket.payload.future = _replace_future(
+                        ticket.payload.future
+                    )
+                    queue.push(ticket)
+                else:
+                    self._fail_ticket(ticket, ServeError(
+                        f"query from tenant {ticket.tenant!r} failed "
+                        f"{ticket.retries + 1} worker crash(es) on model "
+                        f"{ticket.queue!r} (max_retries="
+                        f"{self.max_retries})"
+                    ))
+        else:
+            raise ValidationError(f"unknown completion outcome {outcome!r}")
+
+    def crash_worker(self, worker: int, now: float) -> Optional[Assignment]:
+        """Simulate a worker dying.  Its in-flight batch (if any) takes
+        the crash path; an idle worker just restarts.  Returns the
+        interrupted assignment, if there was one."""
+        assignment = self._running.get(worker)
+        if assignment is None:
+            self._worker_crashes += 1
+            return None
+        self.complete(assignment, now, OUTCOME_CRASH)
+        return assignment
+
+    def _fail_ticket(self, ticket: QueryTicket, exc: Exception) -> None:
+        # Deferred delivery: resolving a future can run arbitrary
+        # caller done-callbacks, and the threaded engine invokes core
+        # methods under its condition lock — a callback that touches the
+        # scheduler (stats, result() on a sibling query) would deadlock
+        # the pool.  Counters update here; the future resolves when the
+        # caller drains, outside any lock.
+        self._failed += 1
+        self._pending_failures.append((ticket.future, exc))
+
+    def drain_failures(self) -> List[Tuple[Any, Exception]]:
+        """Take the accumulated (future, exception) deliveries.
+
+        Callers MUST pass the result to :func:`deliver_failures` after
+        releasing any lock guarding this core.
+        """
+        failures, self._pending_failures = self._pending_failures, []
+        return failures
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> SchedulerStats:
+        ranked = sorted(self._latencies_ms)
+        return SchedulerStats(
+            submitted=self._submitted,
+            completed=self._completed,
+            rejected=self._rejected,
+            failed=self._failed,
+            cancelled=self._cancelled,
+            retries=self._retries,
+            deadline_misses=self._deadline_misses,
+            worker_crashes=self._worker_crashes,
+            batches=self._batches,
+            latency_p50_ms=round(_percentile(ranked, 0.50), 6),
+            latency_p99_ms=round(_percentile(ranked, 0.99), 6),
+            latency_max_ms=round(self._latency_max_ms, 6),
+            per_tenant_submitted=dict(sorted(
+                self._tenant_submitted.items()
+            )),
+            per_tenant_completed=dict(sorted(
+                self._tenant_completed.items()
+            )),
+            per_queue_completed=dict(sorted(
+                self._queue_completed.items()
+            )),
+        )
+
+
+def deliver_failures(failures: List[Tuple[Any, Exception]]) -> None:
+    """Resolve drained failure deliveries (call with no locks held)."""
+    for future, exc in failures:
+        if not future.done():
+            try:
+                future.set_exception(exc)
+            except Exception:  # already transitioned under our feet
+                pass
+
+
+def _replace_future(old):
+    """A fresh, cancelled-unaware future carrying the old one's waiters.
+
+    concurrent.futures has no public "reset to pending", so a retried
+    ticket gets a new future and the old future is resolved from the new
+    one when it completes (callers hold the *old* future).
+    """
+    from concurrent.futures import Future
+
+    fresh: "Future" = Future()
+
+    def _propagate(done: "Future") -> None:
+        if old.done():
+            return
+        exc = done.exception()
+        if exc is not None:
+            old.set_exception(exc)
+        else:
+            old.set_result(done.result())
+
+    fresh.add_done_callback(_propagate)
+    return fresh
+
+
+# ---------------------------------------------------------------------------
+# Threaded execution engine
+# ---------------------------------------------------------------------------
 
 
 class Scheduler:
-    """Fixed pool of daemon workers draining a FIFO job queue."""
+    """Worker threads driving a :class:`SchedulerCore` in real time.
 
-    def __init__(self, threads: int = 2, name: str = "copse-serve"):
+    ``evaluate`` callbacks are registered per queue (by
+    :meth:`add_queue`); each worker repeatedly asks the core for an
+    assignment, runs the queue's evaluator outside the lock, and reports
+    the outcome.  Waiting workers wake on submissions, flushes, *and* on
+    the earliest pending slack-cut deadline, so deadline-forced partial
+    batches dispatch without any caller involvement.
+    """
+
+    def __init__(
+        self,
+        threads: int = 2,
+        clock: Optional[Clock] = None,
+        name: str = "copse-serve",
+        max_retries: int = 1,
+    ):
         if threads < 1:
             raise ValidationError(f"threads must be >= 1, got {threads}")
         self.threads = threads
-        self._queue: "queue.Queue" = queue.Queue()
+        self.clock: Clock = clock if clock is not None else RealClock()
+        self._core = SchedulerCore(workers=threads, max_retries=max_retries)
+        self._evaluators: Dict[str, Callable[[Assignment], None]] = {}
+        self._cond = threading.Condition()
+        self._stopping = False
         self._workers: List[threading.Thread] = []
-        self._closed = False
-        self._lock = threading.Lock()
         for i in range(threads):
             worker = threading.Thread(
                 target=self._worker_loop,
+                args=(i,),
                 name=f"{name}-worker-{i}",
                 daemon=True,
             )
@@ -48,50 +740,149 @@ class Scheduler:
 
     # ------------------------------------------------------------------
 
-    def submit(self, job: Callable[[], None]) -> None:
-        """Enqueue one batch job for the pool."""
-        with self._lock:
-            if self._closed:
-                raise ValidationError(
-                    "cannot submit to a closed scheduler"
-                )
-            self._queue.put(job)
+    def add_queue(
+        self,
+        name: str,
+        capacity: int,
+        evaluate: Callable[[Assignment], None],
+        weight: float = 1.0,
+        max_pending: Optional[int] = None,
+        service_ms: Optional[float] = None,
+    ) -> None:
+        """Register a model queue and its batch evaluator."""
+        with self._cond:
+            self._core.add_queue(
+                name,
+                capacity=capacity,
+                weight=weight,
+                max_pending=max_pending,
+                service_ms=service_ms,
+            )
+            self._evaluators[name] = evaluate
+
+    def remove_queue(self, name: str) -> int:
+        with self._cond:
+            failed = self._core.remove_queue(name)
+            self._evaluators.pop(name, None)
+            failures = self._core.drain_failures()
+        deliver_failures(failures)  # outside the lock: callbacks may
+        return failed               # re-enter the scheduler
+
+    def submit(
+        self,
+        name: str,
+        payload: Any,
+        tenant: str = "default",
+        deadline_ms: Optional[float] = None,
+        priority: int = 0,
+    ) -> QueryTicket:
+        """Admit one query; ``deadline_ms`` is relative to now."""
+        with self._cond:
+            now = self.clock.now()
+            deadline = None if deadline_ms is None else now + deadline_ms * MS
+            ticket = self._core.submit(
+                name,
+                payload,
+                now,
+                tenant=tenant,
+                deadline=deadline,
+                priority=priority,
+            )
+            self._cond.notify_all()
+            return ticket
+
+    def flush(self, name: Optional[str] = None) -> None:
+        """Make partial batches dispatchable (no-op on empty queues)."""
+        with self._cond:
+            self._core.flush(name)
+            self._cond.notify_all()
 
     def drain(self) -> None:
-        """Block until every job enqueued so far has finished."""
-        self._queue.join()
+        """Block until no dispatchable or in-flight work remains.
 
-    def close(self) -> None:
-        """Finish outstanding jobs, then stop every worker."""
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-        self._queue.join()
-        for _ in self._workers:
-            self._queue.put(_STOP)
-        for worker in self._workers:
-            worker.join()
-        self._workers.clear()
+        Partial batches that are neither flushed nor deadline-due stay
+        queued — drain does not wait for future slack cuts.
+        """
+        with self._cond:
+            while (
+                self._core.running
+                or self._core.has_ready(self.clock.now())
+            ):
+                self._cond.wait(timeout=0.05)
+
+    def pending(self, name: Optional[str] = None) -> int:
+        with self._cond:
+            return self._core.pending(name)
+
+    def stats(self) -> SchedulerStats:
+        with self._cond:
+            return self._core.stats()
 
     @property
     def closed(self) -> bool:
-        with self._lock:
-            return self._closed
+        with self._cond:
+            return self._core.closed
+
+    def close(self) -> None:
+        """Stop admission, finish admitted work, stop workers.
+
+        Idempotent: the second and every later call returns immediately.
+        ``submit()`` after (or during) close raises
+        :class:`~repro.errors.ServeError`.
+        """
+        with self._cond:
+            if self._core.closed:
+                if not self._workers:
+                    return  # fully closed already
+            else:
+                self._core.close()
+                self._core.flush()
+            self._cond.notify_all()
+        self.drain()
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+            workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.join()
 
     # ------------------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, worker_id: int) -> None:
         while True:
-            job = self._queue.get()
-            if job is _STOP:
-                self._queue.task_done()
-                return
-            try:
-                job()
-            except Exception:
-                # The job owns error delivery (futures); a failed batch
-                # must not take the worker down with it.
-                pass
-            finally:
-                self._queue.task_done()
+            with self._cond:
+                assignment = None
+                while assignment is None:
+                    if self._stopping:
+                        return
+                    assignment = self._core.assign(
+                        self.clock.now(), worker=worker_id
+                    )
+                    if assignment is None:
+                        cut_at = self._core.next_cut_time()
+                        timeout = None
+                        if cut_at is not None:
+                            timeout = max(0.0, cut_at - self.clock.now())
+                            timeout = min(timeout, 0.5)
+                        self._cond.wait(timeout)
+                evaluate = self._evaluators.get(assignment.queue)
+            outcome = OUTCOME_OK
+            if evaluate is None:
+                outcome = OUTCOME_ERROR
+            else:
+                try:
+                    evaluate(assignment)
+                except BaseException:
+                    # The evaluator owns error delivery to futures; a bad
+                    # batch must not take the worker down with it.
+                    outcome = OUTCOME_ERROR
+            with self._cond:
+                self._core.complete(
+                    assignment, self.clock.now(), outcome
+                )
+                failures = self._core.drain_failures()
+                self._cond.notify_all()
+            # Failure futures resolve outside the lock: a caller's
+            # done-callback may legitimately call back into the
+            # scheduler (stats, another query's result()).
+            deliver_failures(failures)

@@ -1,21 +1,27 @@
 """CopseService: the batched secure-inference facade.
 
 Composes the registry (compile + encrypt once), the per-model batchers
-(pack / demux / verify), and the scheduler (worker pool) behind three
-calls — ``register_model`` / ``submit`` / ``stats`` — plus synchronous
+(pack / demux / verify), and the deadline-aware scheduler (bounded
+queues, fair sharing, worker pool) behind three calls —
+``register_model`` / ``submit`` / ``stats`` — plus synchronous
 conveniences.  Typical use::
 
-    with CopseService(threads=4) as service:
+    with CopseService(threads=4, default_deadline_ms=250.0) as service:
         service.register_model("credit", forest, precision=8)
         results = service.classify_many("credit", feature_lists)
         print(service.stats().render())
 
 Dispatch policy: a full batch is scheduled the moment the pending queue
-reaches the layout's capacity; partial batches wait for an explicit
-``flush()`` (``classify``/``classify_many`` flush for you).  Latency and
+reaches the layout's capacity; a *partial* batch dispatches when its
+oldest query's deadline slack runs out, or on an explicit ``flush()``
+(``classify``/``classify_many`` flush for you).  Queues are bounded when
+``max_queue`` is set — an over-admission raises
+:class:`~repro.errors.RejectedQuery` at submit time.  Latency and
 throughput metrics come from the existing
 :class:`~repro.fhe.costmodel.CostModel` over each batch's operation DAG,
-aggregated thread-safely across workers.
+aggregated thread-safely across workers; scheduling metrics (wall/virtual
+latency percentiles, deadline misses, rejections, retries) come from the
+scheduler's :class:`~repro.serve.scheduler.SchedulerStats`.
 """
 
 from __future__ import annotations
@@ -39,7 +45,8 @@ from repro.serve.batcher import (
     QueryBatcher,
 )
 from repro.serve.registry import ModelRegistry, RegisteredModel
-from repro.serve.scheduler import Scheduler
+from repro.serve.scheduler import Assignment, Scheduler, SchedulerStats
+from repro.serve.simclock import Clock
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,22 @@ class ServiceStats:
     #: FHE backend each registered model evaluates on (model -> backend
     #: registry name), recorded at registration time.
     model_backends: Dict[str, str] = field(default_factory=dict)
+    #: Scheduling counters (admission, deadlines, retries, latency
+    #: percentiles) from the deadline-aware scheduler; None for
+    #: hand-built snapshots that never scheduled anything.
+    scheduler: Optional[SchedulerStats] = None
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of completed queries that finished past deadline."""
+        if self.scheduler is None:
+            return 0.0
+        return self.scheduler.deadline_miss_rate
+
+    @property
+    def rejected(self) -> int:
+        """Queries refused by admission control."""
+        return self.scheduler.rejected if self.scheduler else 0
 
     @property
     def plan_ms(self) -> float:
@@ -145,6 +168,9 @@ class ServiceStats:
             lines.append(f"  fhe backends        : {backends}")
         for phase, ms in self.phase_ms.items():
             lines.append(f"  phase {phase:<14}: {ms:.2f} ms")
+        if self.scheduler is not None and self.scheduler.submitted:
+            lines.append("  scheduling:")
+            lines.append(self.scheduler.render())
         return "\n".join(lines)
 
 
@@ -189,9 +215,12 @@ class _StatsAggregator:
             if record.oracle_failures:
                 self._oracle_failures += record.oracle_failures
 
-    def snapshot(self) -> ServiceStats:
+    def snapshot(
+        self, scheduler: Optional[SchedulerStats] = None
+    ) -> ServiceStats:
         with self._lock:
             return ServiceStats(
+                scheduler=scheduler,
                 queries=self._queries,
                 batches=self._batches,
                 capacity_total=self._capacity_total,
@@ -218,6 +247,17 @@ class CopseService:
     :class:`~repro.ir.plan.InferencePlan` per model and executes batches
     through the IR; ``"eager"`` keeps the hand-scheduled interpreter.
     ``register_model`` can override per model.
+
+    Scheduling knobs: ``default_deadline_ms`` applies a relative
+    deadline to every query that does not bring its own (deadline slack
+    also forces partial-batch cuts); ``max_queue`` bounds each model's
+    pending queue (admission control — :class:`RejectedQuery` on
+    overflow); ``max_retries`` bounds retry attempts per query when a
+    *worker dies mid-batch* (the fault-injection harness today;
+    deterministic evaluation errors are never retried — they fail the
+    batch's futures immediately); ``clock`` injects a time source (a
+    :class:`~repro.serve.simclock.VirtualClock` makes deadline behavior
+    unit-testable without sleeps).
     """
 
     def __init__(
@@ -228,16 +268,28 @@ class CopseService:
         verify_oracle: bool = True,
         engine: str = ENGINE_PLAN,
         backend: Optional[str] = None,
+        clock: Optional[Clock] = None,
+        default_deadline_ms: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        max_retries: int = 1,
     ):
         if engine not in ENGINES:
             raise ValidationError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValidationError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}"
+            )
         self.registry = ModelRegistry(default_params=params)
-        self.scheduler = Scheduler(threads=threads)
+        self.scheduler = Scheduler(
+            threads=threads, clock=clock, max_retries=max_retries
+        )
         self.seccomp_variant = seccomp_variant
         self.verify_oracle = verify_oracle
         self.engine = engine
+        self.default_deadline_ms = default_deadline_ms
+        self.max_queue = max_queue
         #: Default FHE backend for registered models; validated eagerly
         #: so a typo fails at service construction, not first batch.
         self.backend = canonical_backend_name(backend)
@@ -260,12 +312,16 @@ class CopseService:
         encrypted_model: bool = True,
         engine: Optional[str] = None,
         backend: Optional[str] = None,
+        weight: float = 1.0,
+        max_queue: Optional[int] = None,
     ) -> RegisteredModel:
         """Compile, parameter-select, encrypt, and plan ``model`` once.
 
         ``engine`` and ``backend`` override the service defaults for
         this model (per-model backend choice is recorded in
-        :attr:`ServiceStats.model_backends`).
+        :attr:`ServiceStats.model_backends`).  ``weight`` is the model's
+        fair-share weight against other registered models;
+        ``max_queue`` overrides the service-wide pending-queue bound.
         """
         registered = self.registry.register(
             name,
@@ -284,6 +340,27 @@ class CopseService:
             seccomp_variant=self.seccomp_variant,
             verify_oracle=self.verify_oracle,
         )
+
+        def evaluate(assignment: Assignment) -> None:
+            batch = CutBatch(
+                batch_id=assignment.batch_id,
+                entries=[t.payload for t in assignment.tickets],
+            )
+            record = batcher.evaluate(batch)
+            self._stats.record_batch(record)
+
+        try:
+            self.scheduler.add_queue(
+                name,
+                capacity=registered.layout.capacity,
+                evaluate=evaluate,
+                weight=weight,
+                max_pending=self.max_queue if max_queue is None else max_queue,
+                service_ms=registered.estimated_batch_ms,
+            )
+        except ValidationError:
+            self.registry.unregister(name)
+            raise
         with self._lock:
             self._batchers[name] = batcher
         self._stats.record_setup(registered)
@@ -292,10 +369,12 @@ class CopseService:
     def unregister_model(self, name: str) -> None:
         """Retire a model: drop it from the registry and stop serving it.
 
-        Pending queries already submitted for the model are abandoned
-        unresolved, so flush first if they matter.
+        Queries still pending for the model fail with
+        :class:`~repro.errors.ServeError`, so submitters always learn
+        the outcome; flush first if the answers matter.
         """
         self.registry.unregister(name)
+        self.scheduler.remove_queue(name)
         with self._lock:
             self._batchers.pop(name, None)
 
@@ -312,41 +391,60 @@ class CopseService:
     # Submission
     # ------------------------------------------------------------------
 
-    def submit(self, model_name: str, features: Sequence[int]):
+    def submit(
+        self,
+        model_name: str,
+        features: Sequence[int],
+        tenant: str = "default",
+        deadline_ms: Optional[float] = None,
+        priority: int = 0,
+    ):
         """Enqueue one query; returns a future of ClassificationResult.
 
-        Full batches dispatch immediately; partial batches wait for
-        :meth:`flush` (or more submissions).
+        Full batches dispatch immediately; partial batches dispatch when
+        their deadline slack runs out, on :meth:`flush`, or when more
+        submissions fill them.  Raises
+        :class:`~repro.errors.RejectedQuery` when the model's queue is
+        at its bound and :class:`~repro.errors.ServeError` after
+        :meth:`close`.
         """
-        if self.scheduler.closed:
-            raise ValidationError("cannot submit to a closed service")
         batcher = self._batcher(model_name)
-        future = batcher.submit(features)
-        while batcher.has_full_batch():
-            batch = batcher.cut_batch()
-            if batch is None:
-                break
-            self._dispatch(batcher, batch)
-        return future
+        entry = batcher.prepare(features)
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        self.scheduler.submit(
+            model_name,
+            entry,
+            tenant=tenant,
+            deadline_ms=deadline_ms,
+            priority=priority,
+        )
+        return entry.future
 
     def flush(self, model_name: Optional[str] = None) -> None:
-        """Dispatch all pending (including partial) batches and wait."""
+        """Dispatch all pending (including partial) batches and wait.
+
+        Flushing a model with nothing pending is a no-op.
+        """
         if model_name is not None:
-            batchers = [self._batcher(model_name)]
+            self._batcher(model_name)  # name resolution (or raise)
         else:
             with self._lock:
                 # Prune mirrors of models retired directly through the
-                # registry, releasing their cached encrypted structures.
-                for name in list(self._batchers):
-                    if name not in self.registry:
-                        del self._batchers[name]
-                batchers = list(self._batchers.values())
-        for batcher in batchers:
-            while True:
-                batch = batcher.cut_batch()
-                if batch is None:
-                    break
-                self._dispatch(batcher, batch)
+                # registry, releasing their cached encrypted structures
+                # (and failing their still-queued queries loudly).
+                stale = [
+                    name for name in self._batchers
+                    if name not in self.registry
+                ]
+                for name in stale:
+                    del self._batchers[name]
+            # Queue removal resolves the orphaned queries' failure
+            # futures, whose done-callbacks may re-enter the service —
+            # so it must run outside self._lock.
+            for name in stale:
+                self.scheduler.remove_queue(name)
+        self.scheduler.flush(model_name)
         self.scheduler.drain()
 
     def classify(
@@ -366,37 +464,24 @@ class CopseService:
         self.flush(model_name)
         return [f.result() for f in futures]
 
-    def _dispatch(self, batcher: QueryBatcher, batch: CutBatch) -> None:
-        def job() -> None:
-            record = batcher.evaluate(batch)
-            self._stats.record_batch(record)
-
-        try:
-            self.scheduler.submit(job)
-        except ValidationError as exc:
-            # close() raced the dispatch: the batch is already cut and its
-            # futures are RUNNING, so deliver the failure instead of
-            # leaving callers blocked on result() forever.
-            for entry in batch.entries:
-                if not entry.future.done():
-                    entry.future.set_exception(exc)
-            raise
-
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        return self._stats.snapshot()
+        return self._stats.snapshot(scheduler=self.scheduler.stats())
 
     def pending(self, model_name: str) -> int:
-        return self._batcher(model_name).pending_count
+        self._batcher(model_name)  # name resolution (or raise)
+        return self.scheduler.pending(model_name)
 
     def close(self) -> None:
-        """Flush outstanding work and stop the worker pool."""
-        if not self.scheduler.closed:
-            self.flush()
-            self.scheduler.close()
+        """Stop admission, finish admitted work, stop the worker pool.
+
+        Idempotent; :meth:`submit` afterwards raises
+        :class:`~repro.errors.ServeError`.
+        """
+        self.scheduler.close()
 
     def __enter__(self) -> "CopseService":
         return self

@@ -1,9 +1,27 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures, the CI hypothesis profile, and the suite timeout cap.
+
+Besides the model fixtures, this file centralizes two pieces of suite
+infrastructure:
+
+* the ``repro-plan-ci`` hypothesis profile (derandomized, scaled by
+  ``$REPRO_DIFF_EXAMPLES``) — registered once here so every
+  property-based suite shares the same fixed CI case set;
+* a suite-wide per-test timeout.  With the ``pytest-timeout`` plugin
+  installed (CI does) the ``timeout`` ini option applies; without it, a
+  SIGALRM fallback below enforces the same cap, so a hung scheduler
+  test can never wedge a local run either way.
+"""
 
 from __future__ import annotations
 
+import importlib.util
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.compiler import CopseCompiler
 from repro.fhe.context import FheContext
@@ -12,6 +30,63 @@ from repro.forest.forest import DecisionForest
 from repro.forest.node import Branch, Leaf
 from repro.forest.synthetic import random_forest
 from repro.forest.tree import DecisionTree
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: the fixed CI profile (registered once, used suite-wide)
+# ---------------------------------------------------------------------------
+
+settings.register_profile(
+    "repro-plan-ci",
+    max_examples=int(os.environ.get("REPRO_DIFF_EXAMPLES", "200")),
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Suite-wide timeout: pytest-timeout when available, SIGALRM fallback
+# ---------------------------------------------------------------------------
+
+#: Cap applied when neither pytest.ini's ``timeout`` nor the plugin is
+#: in play.  Generous: the slowest legitimate test is a fraction of it.
+DEFAULT_TIMEOUT_S = 300.0
+
+_HAVE_TIMEOUT_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+
+
+class SuiteTimeout(Exception):
+    """A test exceeded the suite-wide per-test cap (fallback enforcer)."""
+
+
+if not _HAVE_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item, nextitem):
+        seconds = float(
+            item.config.inicfg.get("timeout", DEFAULT_TIMEOUT_S)
+        )
+        if seconds <= 0 or threading.current_thread() is not (
+            threading.main_thread()
+        ):
+            yield
+            return
+
+        def on_alarm(signum, frame):
+            raise SuiteTimeout(
+                f"{item.nodeid} exceeded the suite-wide "
+                f"{seconds:.0f}s timeout (install pytest-timeout for "
+                f"richer diagnostics)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

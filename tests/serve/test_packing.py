@@ -143,3 +143,79 @@ class TestDemux:
             demux_bitvectors(layout, bits, layout.capacity + 1)
         with pytest.raises(ValidationError):
             demux_bitvectors(layout, bits[:-1], 1)
+
+
+class _WideCompiled:
+    """Stand-in compiled model whose padded width is chosen exactly.
+
+    ``plan_layout`` only reads the public geometry attributes, so a stub
+    lets the corner cases pin the width precisely — a real forest's
+    padded width is an emergent quantity.
+    """
+
+    def __init__(self, width: int):
+        self._width = width
+        self.precision = 4
+        self.n_features = 2
+        # The compiler's identity q = K * n_features must hold for the
+        # packer's replication step to line up with the layout.
+        self.max_multiplicity = width // 2
+        self.quantized_branching = 2 * (width // 2)
+        self.branching = width
+        self.num_labels = 3
+
+    def required_width(self) -> int:
+        return self._width
+
+
+class TestWidthCorners:
+    """Geometry corner cases: the batch degenerates gracefully."""
+
+    def test_width_exactly_slot_count_packs_one_query(self, params):
+        compiled = _WideCompiled(params.slot_count)
+        layout = plan_layout(compiled, params)
+        assert layout.stride == params.slot_count
+        assert layout.capacity == 1  # exactly one query fits
+        assert layout.batched_width == params.slot_count
+
+        planes = pack_query_planes(layout, [[3, 1]])
+        assert planes.shape == (layout.precision, params.slot_count)
+        bits = [0] * layout.batched_width
+        bits[: layout.num_labels] = [1, 0, 1]
+        assert demux_bitvectors(layout, bits, 1) == [[1, 0, 1]]
+
+    def test_width_one_over_slot_count_rejected(self, params):
+        with pytest.raises(ValidationError, match="does not fit"):
+            plan_layout(_WideCompiled(params.slot_count + 1), params)
+
+    def test_batch_of_one_query_in_wide_batch(self, layout):
+        """A single query in a many-slot batch: the other blocks stay
+        zero (dummy queries) and demux returns exactly one bitvector."""
+        assert layout.capacity > 1
+        planes = pack_query_planes(layout, [[40, 200]])
+        for k in range(1, layout.capacity):
+            block = planes[:, k * layout.stride : (k + 1) * layout.stride]
+            assert not block.any()
+        bits = list(np.arange(layout.batched_width) % 2)
+        out = demux_bitvectors(layout, [int(b) for b in bits], 1)
+        assert len(out) == 1
+        assert out[0] == [int(b) for b in bits[: layout.num_labels]]
+
+    def test_single_query_batch_serves_end_to_end(self, example_forest):
+        """capacity == 1 through the whole service (batch of 1 is just
+        the degenerate batch, not a special path)."""
+        from repro.serve import CopseService
+
+        with CopseService(threads=1) as service:
+            registered = service.register_model(
+                "one", example_forest, max_batch_size=1
+            )
+            assert registered.batch_capacity == 1
+            results = service.classify_many(
+                "one", [[40, 200], [17, 3], [250, 250]]
+            )
+            stats = service.stats()
+        assert all(r.oracle_ok for r in results)
+        assert all(r.batch_fill == 1 for r in results)
+        assert stats.batches == 3
+        assert stats.avg_batch_fill == 1.0

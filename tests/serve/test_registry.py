@@ -98,6 +98,66 @@ class TestRegister:
         assert registry.register("m", example_forest).params == params
 
 
+class TestFingerprintParity:
+    """A cached plan refuses a different — even shape-identical — model,
+    and does so *identically* under every FHE backend: the fail-closed
+    check is backend-independent bookkeeping, not simulator behavior."""
+
+    @staticmethod
+    def shape_twin(forest):
+        """A forest with identical compiled geometry but one different
+        threshold — the hardest case for the fingerprint to catch."""
+        from dataclasses import replace
+
+        from repro.forest.forest import DecisionForest
+        from repro.forest.node import Branch
+        from repro.forest.tree import DecisionTree
+
+        def bump(node):
+            if isinstance(node, Branch):
+                return Branch(
+                    feature=node.feature,
+                    threshold=node.threshold,
+                    true_child=bump(node.true_child),
+                    false_child=bump(node.false_child),
+                )
+            return node
+
+        first = forest.trees[0]
+        twin_root = bump(first.root)
+        twin_root = replace(twin_root, threshold=twin_root.threshold + 1)
+        trees = [DecisionTree(root=twin_root)] + list(forest.trees[1:])
+        return DecisionForest(
+            trees=trees,
+            label_names=list(forest.label_names),
+            n_features=forest.n_features,
+        )
+
+    def messages_for(self, backend, example_forest):
+        from repro.errors import RuntimeProtocolError
+        from repro.serve import CopseService
+
+        twin = self.shape_twin(example_forest)
+        with CopseService(threads=1, backend=backend) as service:
+            a = service.register_model("a", example_forest)
+            b = service.register_model("b", twin)
+            assert a.compiled.fingerprint() != b.compiled.fingerprint()
+            assert a.layout == b.layout  # genuinely shape-identical
+            # Cross the wires: model a's cached plan, model b's bundle.
+            a.batched_model = b.batched_model
+            with pytest.raises(RuntimeProtocolError) as excinfo:
+                service.classify("a", [40, 200])
+            return str(excinfo.value)
+
+    def test_mismatch_raised_identically_on_all_backends(
+        self, example_forest
+    ):
+        reference = self.messages_for("reference", example_forest)
+        vector = self.messages_for("vector", example_forest)
+        assert "plan was lowered for model" in reference
+        assert reference == vector
+
+
 class TestPlanCache:
     def test_plan_compiled_and_cached_by_default(self, example_forest):
         reg = ModelRegistry().register("m", example_forest)

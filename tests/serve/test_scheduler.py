@@ -1,0 +1,452 @@
+"""Unit tests for the deadline-aware scheduler (core + threaded engine).
+
+The decision core is exercised directly under a
+:class:`~repro.serve.simclock.VirtualClock`-style explicit ``now`` — no
+threads, no sleeps, fully deterministic.  The threaded engine's tests
+stick to lifecycle (close/idempotence/submit-after-close) and use
+generous timeouts on futures, never wall-clock assertions.
+"""
+
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import RejectedQuery, ServeError, ValidationError
+from repro.serve.scheduler import (
+    OUTCOME_CRASH,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    Scheduler,
+    SchedulerCore,
+    _percentile,
+    deliver_failures,
+)
+from repro.serve.simclock import RealClock, VirtualClock
+
+
+class Payload:
+    """Minimal scheduler payload (the batcher's PendingQuery stand-in)."""
+
+    def __init__(self):
+        self.future = Future()
+
+
+def submit_n(core, queue, n, now=0.0, tenant="t", deadline=None, priority=0):
+    return [
+        core.submit(
+            queue, Payload(), now, tenant=tenant, deadline=deadline,
+            priority=priority,
+        )
+        for _ in range(n)
+    ]
+
+
+class TestAdmission:
+    def test_bounded_queue_rejects_with_context(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=4, max_pending=2)
+        submit_n(core, "m", 2)
+        with pytest.raises(RejectedQuery) as excinfo:
+            core.submit("m", Payload(), 0.0, tenant="alice")
+        err = excinfo.value
+        assert err.model == "m" and err.tenant == "alice"
+        assert err.queue_depth == 2 and err.limit == 2
+        assert "2/2" in str(err)
+        stats = core.stats()
+        assert stats.rejected == 1 and stats.submitted == 3
+
+    def test_unbounded_queue_never_rejects(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=4)
+        submit_n(core, "m", 100)
+        assert core.stats().rejected == 0
+
+    def test_unknown_queue_names_known_ones(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("real", capacity=1)
+        with pytest.raises(ValidationError, match="real"):
+            core.submit("ghost", Payload(), 0.0)
+
+    def test_flush_unknown_queue_raises_validation_error(self):
+        """Regression: flush('typo') used to escape as a raw KeyError
+        instead of the hierarchy error submit() raises."""
+        core = SchedulerCore(workers=1)
+        core.add_queue("real", capacity=1)
+        with pytest.raises(ValidationError, match="real"):
+            core.flush("ghost")
+
+    def test_bad_queue_config_rejected(self):
+        core = SchedulerCore(workers=1)
+        with pytest.raises(ValidationError, match="capacity"):
+            core.add_queue("m", capacity=0)
+        with pytest.raises(ValidationError, match="weight"):
+            core.add_queue("m", capacity=1, weight=0.0)
+        with pytest.raises(ValidationError, match="max_pending"):
+            core.add_queue("m", capacity=1, max_pending=0)
+        core.add_queue("m", capacity=1)
+        with pytest.raises(ValidationError, match="already"):
+            core.add_queue("m", capacity=1)
+
+
+class TestBatchCutting:
+    def test_full_batch_is_ready_immediately(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=3)
+        submit_n(core, "m", 2)
+        assert not core.has_ready(0.0)
+        submit_n(core, "m", 1)
+        assert core.has_ready(0.0)
+        assignment = core.assign(0.0)
+        assert assignment.size == 3
+
+    def test_partial_batch_waits_without_deadline(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=4)
+        submit_n(core, "m", 2)
+        assert core.assign(0.0) is None
+        core.flush("m")
+        assert core.assign(0.0).size == 2
+
+    def test_slack_cut_fires_at_deadline_minus_service(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=8, service_ms=100.0)
+        core.submit("m", Payload(), 0.0, deadline=0.5)
+        # Slack runs out at 0.5 s - 0.1 s = 0.4 s, not at the deadline.
+        assert core.next_cut_time() == pytest.approx(0.4)
+        assert core.assign(0.39) is None
+        assignment = core.assign(0.4)
+        assert assignment is not None and assignment.size == 1
+
+    def test_cut_takes_earliest_deadline_across_queue(self):
+        """Interleaved reads exercise the O(1) incremental cut-cache
+        update: each push must advance the cached frontier without a
+        rescan, and a later pop must force the rescan."""
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=8, service_ms=0.0)
+        core.submit("m", Payload(), 0.0, deadline=2.0)
+        assert core.next_cut_time() == pytest.approx(2.0)  # cache clean
+        core.submit("m", Payload(), 0.0, deadline=1.0)
+        assert core.next_cut_time() == pytest.approx(1.0)  # incremental
+        core.submit("m", Payload(), 0.0, deadline=3.0)
+        assert core.next_cut_time() == pytest.approx(1.0)  # no regress
+        assignment = core.assign(1.0)  # pops everything (capacity 8)
+        assert assignment.size == 3
+        assert core.next_cut_time() is None  # rescan after the pop
+
+    def test_observed_service_time_refines_slack_cuts(self):
+        """The service estimate is only *seeded* by the caller (the
+        plan's simulated cost, which is not wall time); completed-batch
+        durations fold in via EWMA so later slack cuts use reality.
+        Regression for wall-deadline-vs-simulated-cost unit mixing."""
+        core = SchedulerCore(workers=1)
+        # Wildly pessimistic seed: 10 s per batch.
+        core.add_queue("m", capacity=8, service_ms=10_000.0)
+        core.submit("m", Payload(), 0.0, deadline=1.0)
+        # Seeded estimate says the cut is already overdue.
+        assert core.next_cut_time() == pytest.approx(1.0 - 10.0)
+        assignment = core.assign(0.0)
+        core.complete(assignment, 0.05, OUTCOME_OK)  # actually 50 ms
+        # One observation pulls the estimate far toward reality
+        # (EWMA 0.3): 10 + 0.3*(0.05-10) = 7.015 s, and each further
+        # batch converges geometrically.
+        core.submit("m", Payload(), 0.1, deadline=10.0)
+        assert core.next_cut_time() == pytest.approx(10.0 - 7.015)
+        second = core.assign(10.0 - 7.015)
+        core.complete(second, 10.0 - 7.015 + 0.05, OUTCOME_OK)
+        third_estimate = 7.015 + 0.3 * (0.05 - 7.015)
+        core.submit("m", Payload(), 5.0, deadline=10.0)
+        assert core.next_cut_time() == pytest.approx(10.0 - third_estimate)
+
+    def test_flush_on_empty_queue_is_noop(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=4)
+        core.flush("m")
+        core.flush()
+        assert not core.has_ready(0.0)
+        assert core.assign(0.0) is None
+        # The flag must not linger: a later submit is not auto-flushed.
+        submit_n(core, "m", 1)
+        assert core.assign(0.0) is None
+
+    def test_priority_orders_within_queue_fifo_within_level(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=4)
+        low = submit_n(core, "m", 2, priority=0)
+        high = submit_n(core, "m", 2, priority=5)
+        core.flush("m")
+        assignment = core.assign(0.0)
+        assert [t.seq for t in assignment.tickets] == [
+            high[0].seq, high[1].seq, low[0].seq, low[1].seq,
+        ]
+
+    def test_cancelled_tickets_never_occupy_slots(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=2)
+        tickets = submit_n(core, "m", 3)
+        assert tickets[0].future.cancel()
+        assignment = core.assign(0.0)
+        assert [t.seq for t in assignment.tickets] == [
+            tickets[1].seq, tickets[2].seq,
+        ]
+        assert core.stats().cancelled == 1
+
+
+class TestFairSharing:
+    def test_weighted_round_robin_between_hot_queues(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("a", capacity=1, weight=1.0)
+        core.add_queue("b", capacity=1, weight=3.0)
+        submit_n(core, "a", 8)
+        submit_n(core, "b", 8)
+        served = []
+        for _ in range(8):
+            assignment = core.assign(0.0)
+            served.append(assignment.queue)
+            core.complete(assignment, 0.0, OUTCOME_OK)
+        # Weight 3 queue gets ~3 of every 4 dispatches.
+        assert served.count("b") == 6 and served.count("a") == 2
+
+    def test_hot_queue_cannot_starve_cold_one(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("hot", capacity=2, weight=1.0)
+        core.add_queue("cold", capacity=2, weight=1.0)
+        submit_n(core, "hot", 40)
+        submit_n(core, "cold", 2)
+        served = []
+        for _ in range(5):
+            assignment = core.assign(0.0)
+            served.append(assignment.queue)
+            core.complete(assignment, 0.0, OUTCOME_OK)
+        assert "cold" in served[:2]  # served long before hot drains
+
+    def test_late_joiner_does_not_replay_missed_service(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("old", capacity=1)
+        submit_n(core, "old", 10)
+        for _ in range(5):
+            assignment = core.assign(0.0)
+            core.complete(assignment, 0.0, OUTCOME_OK)
+        core.add_queue("new", capacity=1)
+        submit_n(core, "new", 10)
+        served = []
+        for _ in range(6):
+            assignment = core.assign(0.0)
+            served.append(assignment.queue)
+            core.complete(assignment, 0.0, OUTCOME_OK)
+        # Alternates instead of the newcomer monopolizing the worker.
+        assert served.count("old") == 3 and served.count("new") == 3
+
+
+class TestCompletionAccounting:
+    def test_latency_and_deadline_miss_counted(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=2)
+        core.submit("m", Payload(), 0.0, deadline=0.25)
+        core.submit("m", Payload(), 0.0, deadline=2.0)
+        assignment = core.assign(0.0)
+        core.complete(assignment, 0.5, OUTCOME_OK)
+        stats = core.stats()
+        assert stats.completed == 2
+        assert stats.deadline_misses == 1
+        assert stats.deadline_miss_rate == pytest.approx(0.5)
+        assert stats.latency_p50_ms == pytest.approx(500.0)
+
+    def test_error_outcome_fails_tickets(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=2)
+        tickets = submit_n(core, "m", 2)
+        core.flush("m")
+        assignment = core.assign(0.0)
+        core.complete(assignment, 0.1, OUTCOME_ERROR)
+        stats = core.stats()
+        assert stats.failed == 2 and stats.completed == 0
+        # Delivery is deferred: the core never resolves futures itself
+        # (an engine could be holding a lock); draining delivers.
+        assert not any(t.future.done() for t in tickets)
+        deliver_failures(core.drain_failures())
+        for ticket in tickets:
+            with pytest.raises(ServeError):
+                ticket.future.result(timeout=0)
+        assert core.drain_failures() == []  # drained exactly once
+
+    def test_crash_requeues_then_completes(self):
+        core = SchedulerCore(workers=1, max_retries=1)
+        core.add_queue("m", capacity=2)
+        tickets = submit_n(core, "m", 2)
+        futures = [t.future for t in tickets]
+        assignment = core.assign(0.0)
+        core.complete(assignment, 0.1, OUTCOME_CRASH)
+        assert core.pending("m") == 2  # both requeued
+        retry = core.assign(0.2)
+        assert [t.seq for t in retry.tickets] == [t.seq for t in tickets]
+        core.complete(retry, 0.3, OUTCOME_OK)
+        for ticket in retry.tickets:
+            ticket.future.set_result("served")
+        # The caller-held (original) futures resolve via propagation.
+        assert all(f.result(timeout=1) == "served" for f in futures)
+        stats = core.stats()
+        assert stats.retries == 2 and stats.completed == 2
+        assert stats.worker_crashes == 1
+
+    def test_retry_exhaustion_fails_loudly(self):
+        core = SchedulerCore(workers=1, max_retries=1)
+        core.add_queue("m", capacity=1)
+        (ticket,) = submit_n(core, "m", 1, tenant="alice")
+        original = ticket.future
+        for _ in range(2):
+            assignment = core.assign(0.0)
+            core.complete(assignment, 0.1, OUTCOME_CRASH)
+        assert core.pending("m") == 0
+        deliver_failures(core.drain_failures())
+        with pytest.raises(ServeError, match="alice.*crash"):
+            original.result(timeout=1)
+        stats = core.stats()
+        assert stats.failed == 1 and stats.retries == 1
+        assert stats.worker_crashes == 2
+
+    def test_idle_worker_crash_only_counts(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=1)
+        assert core.crash_worker(0, 0.0) is None
+        assert core.stats().worker_crashes == 1
+
+    def test_remove_queue_fails_pending(self):
+        core = SchedulerCore(workers=1)
+        core.add_queue("m", capacity=4)
+        tickets = submit_n(core, "m", 2)
+        assert core.remove_queue("m") == 2
+        deliver_failures(core.drain_failures())
+        for ticket in tickets:
+            with pytest.raises(ServeError, match="unregistered"):
+                ticket.future.result(timeout=0)
+        stats = core.stats()
+        assert stats.failed == 2
+        assert stats.submitted == stats.failed + stats.completed + (
+            stats.rejected + stats.cancelled
+        )
+
+    def test_conservation_across_mixed_outcomes(self):
+        core = SchedulerCore(workers=2, max_retries=0)
+        core.add_queue("m", capacity=2, max_pending=4)
+        accepted = []
+        for _ in range(6):
+            try:
+                accepted.append(core.submit("m", Payload(), 0.0))
+            except RejectedQuery:
+                pass
+        accepted[0].future.cancel()
+        core.flush("m")
+        first = core.assign(0.0)
+        core.complete(first, 0.1, OUTCOME_OK)
+        second = core.assign(0.1)
+        core.complete(second, 0.2, OUTCOME_CRASH)  # max_retries=0 -> fail
+        stats = core.stats()
+        assert stats.submitted == 6
+        assert stats.rejected == 2
+        assert stats.cancelled == 1
+        assert (
+            stats.submitted
+            == stats.completed + stats.rejected + stats.failed
+            + stats.cancelled
+        )
+        assert core.outstanding == 0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        ranked = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert _percentile(ranked, 0.50) == 3.0
+        assert _percentile(ranked, 0.99) == 5.0
+        assert _percentile([7.0], 0.99) == 7.0
+        assert _percentile([], 0.5) == 0.0
+
+
+class TestThreadedLifecycle:
+    def run_noop(self, assignment):
+        for ticket in assignment.tickets:
+            ticket.future.set_result("done")
+
+    def test_close_is_idempotent(self):
+        scheduler = Scheduler(threads=2)
+        scheduler.add_queue("m", capacity=2, evaluate=self.run_noop)
+        scheduler.close()
+        assert scheduler.closed
+        scheduler.close()  # regression: second close must not hang/raise
+        scheduler.close()
+        assert scheduler.closed
+
+    def test_submit_after_close_raises_serve_error(self):
+        scheduler = Scheduler(threads=1)
+        scheduler.add_queue("m", capacity=2, evaluate=self.run_noop)
+        scheduler.close()
+        with pytest.raises(ServeError, match="closed scheduler"):
+            scheduler.submit("m", Payload())
+
+    def test_close_finishes_admitted_work(self):
+        scheduler = Scheduler(threads=2)
+        scheduler.add_queue("m", capacity=8, evaluate=self.run_noop)
+        tickets = [scheduler.submit("m", Payload()) for _ in range(5)]
+        scheduler.close()  # flushes the partial batch before stopping
+        for ticket in tickets:
+            assert ticket.future.result(timeout=30) == "done"
+        assert scheduler.stats().completed == 5
+
+    def test_deadline_forces_partial_cut_without_flush(self):
+        scheduler = Scheduler(threads=1)
+        scheduler.add_queue(
+            "m", capacity=64, evaluate=self.run_noop, service_ms=1.0
+        )
+        ticket = scheduler.submit("m", Payload(), deadline_ms=30.0)
+        # Never flushed: the slack cut alone must dispatch the batch.
+        assert ticket.future.result(timeout=30) == "done"
+        scheduler.close()
+
+    def test_failure_callback_may_reenter_scheduler(self):
+        """Regression: failure futures used to resolve while the worker
+        held the scheduler lock, so a done-callback touching the
+        scheduler (stats(), a sibling result()) deadlocked the pool."""
+        scheduler = Scheduler(threads=1)
+
+        def explode(assignment):
+            raise RuntimeError("boom")
+
+        scheduler.add_queue("m", capacity=1, evaluate=explode)
+        reentry = []
+        ticket = scheduler.submit("m", Payload())
+        ticket.future.add_done_callback(
+            lambda f: reentry.append(scheduler.stats().failed)
+        )
+        with pytest.raises(ServeError):
+            ticket.future.result(timeout=30)
+        scheduler.close()
+        assert reentry == [1]  # the callback ran and saw the scheduler
+
+    def test_virtual_clock_timestamps(self):
+        clock = VirtualClock(start=100.0)
+        scheduler = Scheduler(threads=1, clock=clock)
+        scheduler.add_queue("m", capacity=1, evaluate=self.run_noop)
+        ticket = scheduler.submit("m", Payload(), deadline_ms=250.0)
+        assert ticket.submit_time == 100.0
+        assert ticket.deadline == pytest.approx(100.25)
+        ticket.future.result(timeout=30)
+        scheduler.close()
+        # Virtual time never moved, so latency is exactly zero.
+        assert scheduler.stats().latency_p50_ms == 0.0
+
+
+class TestClocks:
+    def test_real_clock_monotonic(self):
+        clock = RealClock()
+        a, b = clock.now(), clock.now()
+        assert b >= a
+
+    def test_virtual_clock_advances_and_refuses_rewind(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+        with pytest.raises(ValidationError):
+            clock.advance(-0.1)
+        with pytest.raises(ValidationError):
+            clock.advance_to(1.0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ValidationError
+from repro.errors import ServeError, ValidationError
 from repro.serve import CopseService
 from repro.serve.scheduler import Scheduler
 
@@ -148,8 +148,119 @@ class TestErrors:
         service = CopseService()
         service.register_model("m", example_forest)
         service.close()
-        with pytest.raises(ValidationError):
+        with pytest.raises(ServeError, match="closed"):
             service.submit("m", [1, 2])
+
+    def test_service_close_is_idempotent(self, example_forest):
+        service = CopseService()
+        service.register_model("m", example_forest)
+        future = service.submit("m", [1, 2])
+        service.close()  # flushes the partial batch
+        assert future.result(timeout=30).oracle_ok is True
+        service.close()  # second close is a no-op
+        service.close()
+
+
+class TestFlushAndWidthEdgeCases:
+    def test_flush_empty_queue_is_noop(self, example_forest):
+        """Regression: flushing with nothing pending must not dispatch
+        an empty batch, hang, or disturb stats."""
+        with CopseService(threads=1) as service:
+            service.register_model("m", example_forest)
+            service.flush("m")
+            service.flush()
+            service.flush("m")
+            stats = service.stats()
+        assert stats.batches == 0
+        assert stats.queries == 0
+        assert stats.scheduler.submitted == 0
+
+    def test_flush_empty_then_serve_still_works(self, example_forest):
+        with CopseService(threads=1) as service:
+            service.register_model("m", example_forest)
+            service.flush("m")
+            result = service.classify("m", [40, 200])
+            assert result.oracle_ok is True
+
+    def test_query_wider_than_slots_rejected_at_submit(self, example_forest):
+        """A layout whose per-query block exceeds the ciphertext width
+        (only constructible by hand) fails at submit time with the width
+        and the limit in the message — not deep inside evaluation."""
+        import dataclasses
+
+        from repro.serve.batcher import QueryBatcher
+
+        with CopseService(threads=1) as service:
+            registered = service.register_model("m", example_forest)
+            slots = registered.params.slot_count
+            registered.layout = dataclasses.replace(
+                registered.layout, stride=slots + 17
+            )
+            batcher = QueryBatcher(registered)
+            with pytest.raises(ValidationError) as excinfo:
+                batcher.prepare([1, 2])
+            message = str(excinfo.value)
+            assert str(slots + 17) in message  # the offending width
+            assert str(slots) in message  # the limit
+
+
+class TestSchedulingFeatures:
+    def test_rejected_query_when_bounded_queue_full(self, example_forest):
+        from repro.errors import RejectedQuery
+
+        with CopseService(threads=1, max_queue=2) as service:
+            service.register_model("m", example_forest, max_batch_size=8)
+            service.submit("m", [1, 2])
+            service.submit("m", [3, 4])
+            with pytest.raises(RejectedQuery) as excinfo:
+                service.submit("m", [5, 6], tenant="alice")
+            assert excinfo.value.model == "m"
+            assert excinfo.value.tenant == "alice"
+            service.flush("m")
+            stats = service.stats()
+        assert stats.scheduler.rejected == 1
+        assert stats.scheduler.completed == 2
+
+    def test_per_model_max_queue_overrides_service_default(
+        self, example_forest
+    ):
+        from repro.errors import RejectedQuery
+
+        with CopseService(threads=1, max_queue=1) as service:
+            service.register_model(
+                "roomy", example_forest, max_batch_size=8, max_queue=4
+            )
+            for features in ([1, 2], [3, 4], [5, 6], [7, 8]):
+                service.submit("roomy", features)
+            with pytest.raises(RejectedQuery):
+                service.submit("roomy", [9, 10])
+            service.flush()
+
+    def test_deadline_forces_partial_dispatch_without_flush(
+        self, example_forest
+    ):
+        """A deadline-bearing query in a partial batch is served by the
+        slack cut alone — no flush, no batch-filling traffic."""
+        with CopseService(threads=1) as service:
+            service.register_model("m", example_forest, max_batch_size=8)
+            future = service.submit("m", [40, 200], deadline_ms=50.0)
+            result = future.result(timeout=30)
+            assert result.oracle_ok is True
+            assert result.batch_fill == 1
+
+    def test_tenants_and_misses_reported_in_stats(self, example_forest):
+        with CopseService(threads=2) as service:
+            service.register_model("m", example_forest, max_batch_size=4)
+            for i in range(4):
+                service.submit(
+                    "m", [i, i], tenant="a" if i % 2 else "b",
+                    deadline_ms=10_000.0,
+                )
+            service.flush("m")
+            stats = service.stats()
+        assert stats.scheduler.per_tenant_completed == {"a": 2, "b": 2}
+        assert stats.deadline_miss_rate == 0.0
+        assert "scheduling:" in stats.render()
 
 
 class TestStats:
@@ -262,20 +373,31 @@ class TestStats:
 
 
 class TestScheduler:
+    # The scheduler's own behaviors (deadline cuts, fair sharing,
+    # admission, retries, lifecycle) live in test_scheduler.py and
+    # test_simulation.py; here we only keep the service-facing basics.
+
     def test_rejects_bad_thread_count(self):
         with pytest.raises(ValidationError):
             Scheduler(threads=0)
 
-    def test_failed_job_does_not_kill_worker(self):
-        scheduler = Scheduler(threads=1)
-        hits = []
-
-        def bad():
-            raise RuntimeError("boom")
-
-        scheduler.submit(bad)
-        scheduler.submit(lambda: hits.append(1))
-        scheduler.drain()
-        scheduler.close()
-        assert hits == [1]
-        assert scheduler.closed
+    def test_failed_batch_does_not_kill_worker(self, example_forest):
+        """An evaluation failure fails its own queries and nothing else."""
+        with CopseService(threads=1) as service:
+            service.register_model("m", example_forest, max_batch_size=2)
+            # Sabotage the cached model so evaluation raises.
+            broken = service.registry.get("m")
+            real_model = broken.batched_model
+            broken.batched_model = None
+            bad = service.submit("m", [1, 2])
+            service.flush("m")
+            with pytest.raises(Exception):
+                bad.result(timeout=30)
+            # The worker survived: restore the model and serve again.
+            broken.batched_model = real_model
+            ok = service.submit("m", [1, 2])
+            service.flush("m")
+            assert ok.result(timeout=30).oracle_ok is True
+            stats = service.stats()
+        assert stats.scheduler.failed == 1
+        assert stats.scheduler.completed == 1

@@ -267,9 +267,53 @@ class TestBench:
         assert "plan (unoptimized)" in out
         assert "MISMATCH" not in out
 
+    def test_soak(self, capsys):
+        assert main(
+            ["bench", "soak", "--workloads", "width55", "--queries", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Soak: deadline scheduling vs offered load" in out
+        assert "p99_ms" in out and "miss_rate" in out
+        assert "offered_load" in out
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
             main(["bench", "fig99"])
+
+
+class TestServeScheduling:
+    def test_serve_with_deadline_and_max_queue(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "8", "--threads", "2",
+             "--batch-size", "4", "--deadline-ms", "10000",
+             "--max-queue", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "oracle agreement: ok" in out
+        assert "deadline misses" in out
+        assert "scheduling:" in out
+
+    def test_serve_rejects_bad_deadline(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--deadline-ms", "0"]) == 2
+        assert "--deadline-ms" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_max_queue(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--max-queue", "0"]) == 2
+        assert "--max-queue" in capsys.readouterr().err
+
+    def test_serve_sheds_when_queue_bounded(self, model_file, capsys):
+        """A tiny bound on a single worker forces visible admission
+        control instead of unbounded queueing."""
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "24", "--threads", "1",
+             "--batch-size", "2", "--max-queue", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "oracle agreement: ok" in out
 
 
 class TestBackendFlag:

@@ -21,7 +21,6 @@ so CI runs the exact same case set every time; scale it with
 per generated forest so the examples pay for inference, not compilation.
 """
 
-import os
 from functools import lru_cache
 
 import numpy as np
@@ -45,13 +44,8 @@ PRECISION = 4
 N_FEATURES = 2
 FEATURE_LIMIT = 1 << PRECISION
 
-settings.register_profile(
-    "repro-plan-ci",
-    max_examples=int(os.environ.get("REPRO_DIFF_EXAMPLES", "200")),
-    derandomize=True,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+# Registered centrally in tests/conftest.py (one fixed case set for
+# every property suite); fetched here so @CI_PROFILE stays declarative.
 CI_PROFILE = settings.get_profile("repro-plan-ci")
 
 
