@@ -64,6 +64,7 @@ from repro.core import (
     secure_inference,
 )
 from repro.ir import (
+    CompiledTape,
     InferencePlan,
     IrBuilder,
     IrGraph,
@@ -81,6 +82,7 @@ from repro.ir import (
     lower_batched_inference,
     lower_inference,
     optimize,
+    schedule_rotations,
 )
 from repro.serve import (
     BatchLayout,
@@ -128,6 +130,7 @@ __all__ = [
     "CopseServer",
     "secure_inference",
     "InferencePlan",
+    "CompiledTape",
     "IrBuilder",
     "IrGraph",
     "IrNode",
@@ -144,6 +147,7 @@ __all__ = [
     "lower_batched_inference",
     "lower_inference",
     "optimize",
+    "schedule_rotations",
     "BatchLayout",
     "ClassificationResult",
     "CopseService",

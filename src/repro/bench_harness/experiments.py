@@ -762,6 +762,129 @@ def plan_speedup(workload_name: str = "width78", queries: int = 2) -> Table:
 
 
 # ---------------------------------------------------------------------------
+# Tape speedup: compiled-tape engine vs the plan engine, wall clock
+# ---------------------------------------------------------------------------
+
+
+def tape_speedup(
+    workload_name: str = "width78",
+    repeats: int = 5,
+    backend: str = "vector",
+) -> Table:
+    """Wall-clock of the compiled-tape engine vs the plan engine on the
+    batched serve pipeline (the ISSUE 5 acceptance artifact).
+
+    One full-capacity batch of ``workload_name`` queries is evaluated
+    end to end — per-batch context, cached-model adoption, batch
+    encryption, engine execution, decryption — under ``backend``
+    (default ``vector``, the fast serve configuration).  Three rows:
+
+    * ``plan`` — the graph-walking plan executor (the previous serve
+      default);
+    * ``tape`` — the compiled tape: linearized instructions, scheduled
+      rotations, register reuse, fused kernels;
+    * ``tape (de-fused)`` — the same tape with fusion disabled, to
+      split the win between instruction compilation and fused kernels.
+
+    Each row is the best of ``repeats`` runs; decrypted bitvectors are
+    checked against the plaintext oracle *and* against each other, so
+    the table doubles as a bit-identity witness.  Rotation counts come
+    from the tracker (the plan baseline guard pins the tape's strictly
+    below the plan's).
+    """
+    import time
+
+    from repro.errors import ValidationError
+    from repro.fhe.context import FheContext
+    from repro.fhe.tracker import OpKind
+    from repro.serve.batched_runtime import BatchedCopseServer, encrypt_batch
+    from repro.serve.packing import demux_bitvectors
+    from repro.serve.registry import ModelRegistry
+
+    if repeats < 1:
+        raise ValidationError(
+            f"tape_speedup needs at least one repeat, got {repeats}"
+        )
+    workload = _workloads([workload_name])[0]
+    compiled = workload.compiled
+    params = EncryptionParams.paper_defaults()
+    registered = ModelRegistry().register(
+        f"tape-bench-{workload_name}", compiled, params=params,
+        backend=backend, engine="tape",
+    )
+    layout = registered.layout
+    queries = workload.query_features(layout.capacity)
+    oracle = [workload.forest.label_bitvector(f) for f in queries]
+    defused = registered.plan.compile_tape(fuse=False)
+
+    modes = (
+        ("plan", "plan", registered.plan, None, "plan_inference"),
+        ("tape", "tape", None, registered.tape, "tape_inference"),
+        ("tape (de-fused)", "tape", None, defused, "tape_inference"),
+    )
+    results = {}
+    for label, engine, plan, tape, phase in modes:
+        rotations = 0
+        bits_ok = True
+
+        def run_batch():
+            nonlocal rotations, bits_ok
+            ctx = FheContext(params, backend=backend)
+            server = BatchedCopseServer(
+                ctx, engine=engine, plan=plan, tape=tape
+            )
+            query = encrypt_batch(ctx, layout, queries, registered.keys)
+            encrypted = server.classify_batch(
+                registered.batched_model, query
+            )
+            bits = ctx.decrypt_bits(encrypted, registered.keys.secret)
+            demuxed = demux_bitvectors(layout, bits, len(queries))
+            bits_ok = bits_ok and demuxed == oracle
+            rotations = ctx.tracker.phase_stats(phase).counts.get(
+                OpKind.ROTATE, 0
+            )
+
+        run_batch()  # warm caches (masks, flyweights, index matrices)
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_batch()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        results[label] = (
+            best * 1000.0 / len(queries), rotations, bits_ok,
+        )
+
+    table = Table(
+        title=(
+            f"Tape speedup — {workload_name} batched serve "
+            f"({len(queries)}-query batches, {backend} backend, "
+            f"best of {repeats})"
+        ),
+        columns=["engine", "rotations", "wall_ms_per_query", "speedup",
+                 "oracle"],
+    )
+    plan_ms = results["plan"][0]
+    for label, (ms, rotations, ok) in results.items():
+        table.add_row(
+            label,
+            rotations,
+            ms,
+            plan_ms / ms if ms > 0 else float("inf"),
+            "ok" if ok else "MISMATCH",
+        )
+    tape = registered.tape
+    table.add_note(
+        f"tape vs plan: {plan_ms / results['tape'][0]:.2f}x wall-clock "
+        f"(target >= 1.5x); rotations "
+        f"{results['plan'][1]} -> {results['tape'][1]} "
+        f"(strictly below the plan baseline); {tape.describe()}"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
 # Backend speedup: wall-clock per FHE backend
 # ---------------------------------------------------------------------------
 

@@ -11,6 +11,8 @@ evaluation harness::
         --deadline-ms 250 --max-queue 128
     python -m repro bench fig6 --workloads depth4,width78
     python -m repro bench plan-speedup         # eager vs plan engine
+    python -m repro bench tape-speedup         # plan vs compiled-tape engine
+    python -m repro bench report               # regenerate benchmark_report.txt + BENCH_5.json
     python -m repro bench backend-speedup      # wall-clock per FHE backend
     python -m repro bench soak                 # simulated load vs deadlines
     python -m repro sweep                      # Table 5 parameter sweep
@@ -68,10 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_opts = argparse.ArgumentParser(add_help=False, parents=[backend_opts])
     run_opts.add_argument(
-        "--engine", choices=["eager", "plan"], default=None,
-        help="execution path: the eager Algorithm 1 interpreter or the "
-        "optimized IR inference plan (default: eager for classify, "
-        "plan for the batched commands)",
+        "--engine", choices=["eager", "plan", "tape"], default=None,
+        help="execution path: the eager Algorithm 1 interpreter, the "
+        "optimized IR inference plan, or the compiled tape (linearized "
+        "plan with register reuse and fused kernels; default: eager for "
+        "classify, tape for the batched commands)",
     )
 
     seed_opts = argparse.ArgumentParser(add_help=False)
@@ -112,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
         "batch-classify", parents=[model_opts, run_opts],
         help="classify many queries at once via cross-query SIMD packing",
     )
-    batch.set_defaults(engine="plan")
+    batch.set_defaults(engine="tape")
     batch.add_argument("model")
     batch.add_argument(
         "--features",
@@ -138,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the batched inference service with a synthetic "
         "query stream and report throughput",
     )
-    serve.set_defaults(engine="plan")
+    serve.set_defaults(engine="tape")
     serve.add_argument("model")
     serve.add_argument("--queries", type=int, default=32)
     serve.add_argument("--threads", type=int, default=2)
@@ -166,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig6", "fig7", "fig8", "fig9", "fig10",
             "table1", "table2", "table6", "throughput", "plan-speedup",
-            "backend-speedup", "soak",
+            "tape-speedup", "backend-speedup", "soak", "report",
         ],
     )
     bench.add_argument(
@@ -177,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--queries", type=int, default=None,
         help="queries per run (default: 1, or 16 for throughput)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="for 'report': trim to the quick suite (also triggered by "
+        "REPRO_BENCH_QUICK=1); annotated in the regenerated report",
     )
 
     sub.add_parser("sweep", help="run the Table 5 parameter sweep")
@@ -456,6 +464,18 @@ def _cmd_bench_inner(args) -> int:
                 queries=args.queries if args.queries is not None else 2,
             ).render()
         )
+        return 0
+    if args.artifact == "tape-speedup":
+        workload = names[0] if names else "width78"
+        print(experiments.tape_speedup(workload_name=workload).render())
+        return 0
+    if args.artifact == "report":
+        from repro.bench_harness.report_gen import generate_report
+
+        quick = args.quick or None  # None: honor $REPRO_BENCH_QUICK
+        paths = generate_report(quick=quick)
+        for path in paths:
+            print(f"wrote {path}")
         return 0
     if args.artifact == "fig10":
         for table in experiments.figure10(queries=queries):

@@ -50,6 +50,10 @@ PHASE_ACCUMULATE = "accumulate"
 #: cannot be split across the four eager stage phases.
 PHASE_PLAN = "plan_inference"
 
+#: Phase recorded by the tape engine (the compiled, register-allocated
+#: execution tier of :mod:`repro.ir.tape`), mirroring ``plan_inference``.
+PHASE_TAPE = "tape_inference"
+
 INFERENCE_PHASES = (
     PHASE_COMPARISON,
     PHASE_BOOTSTRAP,
@@ -60,10 +64,15 @@ INFERENCE_PHASES = (
 
 #: Execution engines: ``eager`` interprets Algorithm 1 stage by stage;
 #: ``plan`` executes a cached, optimizer-processed
-#: :class:`~repro.ir.plan.InferencePlan` lowering of the same pipeline.
+#: :class:`~repro.ir.plan.InferencePlan` lowering of the same pipeline;
+#: ``tape`` executes the plan's compiled
+#: :class:`~repro.ir.tape.CompiledTape` — linearized instructions with
+#: register reuse, scheduled rotations, and fused kernels (the serve
+#: default).
 ENGINE_EAGER = "eager"
 ENGINE_PLAN = "plan"
-ENGINES = (ENGINE_EAGER, ENGINE_PLAN)
+ENGINE_TAPE = "tape"
+ENGINES = (ENGINE_EAGER, ENGINE_PLAN, ENGINE_TAPE)
 
 
 @dataclass(frozen=True)
@@ -300,7 +309,10 @@ class CopseServer:
     :class:`~repro.ir.plan.InferencePlan` (a single-query lowering from
     :func:`~repro.ir.plan.lower_inference`) instead of interpreting the
     stages eagerly — same bits, fewer rotations, recorded under the
-    ``plan_inference`` phase.
+    ``plan_inference`` phase.  ``engine="tape"`` executes the plan's
+    compiled :class:`~repro.ir.tape.CompiledTape` (linearized, register
+    reused, rotation-scheduled) under ``tape_inference`` — same bits,
+    strictly fewer rotations again.
     """
 
     def __init__(
@@ -310,21 +322,24 @@ class CopseServer:
         auto_bootstrap: bool = False,
         engine: str = ENGINE_EAGER,
         plan=None,
+        tape=None,
     ):
         if engine not in ENGINES:
             raise RuntimeProtocolError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
-        if engine == ENGINE_PLAN and auto_bootstrap:
+        if engine in (ENGINE_PLAN, ENGINE_TAPE) and auto_bootstrap:
             raise RuntimeProtocolError(
-                "the plan engine has no bootstrap node; use engine='eager' "
-                "with auto_bootstrap, or parameters deep enough to avoid it"
+                "the plan/tape engines have no bootstrap node; use "
+                "engine='eager' with auto_bootstrap, or parameters deep "
+                "enough to avoid it"
             )
         self.ctx = ctx
         self.seccomp_variant = seccomp_variant
         self.auto_bootstrap = auto_bootstrap
         self.engine = engine
         self.plan = plan
+        self.tape = tape
 
     def classify(self, model: EncryptedModel, query: EncryptedQuery) -> Ciphertext:
         """Run Algorithm 1: compare, reshuffle, process levels, accumulate."""
@@ -342,6 +357,8 @@ class CopseServer:
             )
         if self.engine == ENGINE_PLAN:
             return self._classify_plan(model, query)
+        if self.engine == ENGINE_TAPE:
+            return self._classify_tape(model, query)
 
         with ctx.tracker.phase(PHASE_COMPARISON):
             not_one = None
@@ -417,6 +434,29 @@ class CopseServer:
             )
         return plan.run(self.ctx, model, query)
 
+    def _classify_tape(
+        self, model: EncryptedModel, query: EncryptedQuery
+    ) -> Ciphertext:
+        """Execute the cached single-query compiled tape."""
+        tape = self.tape
+        if tape is None:
+            raise RuntimeProtocolError(
+                "engine='tape' needs a CompiledTape; compile one with "
+                "InferencePlan.compile_tape (or call "
+                "secure_inference(engine='tape'), which does)"
+            )
+        if tape.batched:
+            raise RuntimeProtocolError(
+                "a batched tape cannot serve the single-query server; "
+                "compile from a lower_inference plan instead"
+            )
+        if tape.variant != self.seccomp_variant:
+            raise RuntimeProtocolError(
+                f"tape was compiled with SecComp variant {tape.variant!r} "
+                f"but the server runs {self.seccomp_variant!r}"
+            )
+        return tape.run(self.ctx, model, query)
+
     def _process_levels(
         self, model: EncryptedModel, branches: Vector
     ) -> List[Vector]:
@@ -482,6 +522,7 @@ def secure_inference(
     auto_bootstrap: bool = False,
     engine: str = ENGINE_EAGER,
     plan=None,
+    tape=None,
     backend: Optional[str] = None,
 ) -> SecureInferenceOutcome:
     """Run one full secure inference end to end.
@@ -493,7 +534,10 @@ def secure_inference(
     modulus chain run by re-encrypting mid-circuit.  ``engine="plan"``
     routes Sally through an optimized :class:`~repro.ir.plan.InferencePlan`
     (lowered here when ``plan`` is not supplied; pass a prebuilt plan to
-    amortize the lowering across queries).  ``backend`` selects the FHE
+    amortize the lowering across queries); ``engine="tape"`` additionally
+    compiles the plan into a :class:`~repro.ir.tape.CompiledTape`
+    (rotation-scheduled, register-reused, fused) — pass a prebuilt
+    ``tape`` to amortize compilation.  ``backend`` selects the FHE
     backend the context is built on (a registered name from
     :func:`repro.fhe.available_backends`; default ``$REPRO_BACKEND`` or
     ``"reference"``) — ignored when an explicit ``ctx`` is supplied,
@@ -513,13 +557,19 @@ def secure_inference(
     if keys is None:
         keys = ctx.keygen()
 
-    if engine == ENGINE_PLAN and plan is None:
+    needs_plan = (
+        engine == ENGINE_PLAN
+        or (engine == ENGINE_TAPE and tape is None)
+    )
+    if needs_plan and plan is None:
         # Imported lazily: repro.ir.plan stages through this module.
         from repro.ir.plan import lower_inference
 
         plan = lower_inference(
             compiled, encrypted_model=encrypted_model, variant=seccomp_variant
         )
+    if engine == ENGINE_TAPE and tape is None:
+        tape = plan.compile_tape()
 
     maurice = ModelOwner(compiled)
     diane = DataOwner(maurice.query_spec(), keys)
@@ -529,6 +579,7 @@ def secure_inference(
         auto_bootstrap=auto_bootstrap,
         engine=engine,
         plan=plan,
+        tape=tape,
     )
 
     if encrypted_model:

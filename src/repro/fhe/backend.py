@@ -132,6 +132,43 @@ class FheBackend(Protocol):
     def zeros(self, length: int) -> "PlainVector": ...
     def negate(self, a): ...
 
+    # -- optional capabilities --------------------------------------------
+    # ``fused_ops`` is an *optional* capability surface, discovered with
+    # ``getattr(ctx, "fused_ops", None)`` rather than declared here (so
+    # backends that predate it remain protocol-conformant).  A non-None
+    # value must expose ``execute(spec, regs) -> Ciphertext`` consuming
+    # the fused-instruction specs of :mod:`repro.ir.tape`
+    # (``rotate-mask-xor`` single-source gathers and
+    # ``mask-mult-accumulate`` product accumulations), with observable
+    # semantics — result bits, noise evolution and failure points,
+    # tracker op counts, error types — byte-identical to executing the
+    # spec's recorded de-fused op sequence on the same backend.  The
+    # vector backend implements it
+    # (:class:`~repro.fhe.vector.VectorFusedOps`); the reference and
+    # plaintext backends leave it ``None`` and take the de-fused path.
+
+
+def fold_balanced(items, combine):
+    """The canonical balanced pairwise fold of the fused-ops contract.
+
+    The single definition of the pairing shape shared by ``xor_all`` /
+    ``multiply_all`` style reductions, the tape compiler, the fused
+    kernels, and their de-fused fallbacks: items combine pairwise per
+    layer, an odd tail carries to the next layer.  Fused bookkeeping and
+    de-fused execution folding in exactly this shape is what keeps their
+    noise evolution — including the term at which a budget overflow
+    raises — byte-identical.
+    """
+    layer = list(items)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(combine(layer[i], layer[i + 1]))
+        if len(layer) % 2 == 1:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
 
 #: A backend factory: called as ``factory(params, tracker)`` (both
 #: optional) and returning an :class:`FheBackend`.  FheContext

@@ -61,6 +61,11 @@ class FheContext:
     backend_name = "reference"
     #: Reference noise states are the fidelity baseline.
     noise_fidelity = "exact"
+    #: Optional fused-kernel capability (see ``repro.fhe.backend``): the
+    #: reference backend executes compiled tapes de-fused, one recorded
+    #: primitive at a time, so its DAG tracker and noise states stay the
+    #: per-operation fidelity baseline the fused backends are held to.
+    fused_ops = None
 
     def __new__(
         cls,

@@ -325,6 +325,30 @@ class CountingTracker(OpTracker):
         self._total += 1
         return depth
 
+    def record_fused(self, kinds: Dict[OpKind, int], depth: int = 0) -> int:
+        """Record a fused kernel's constituent operations in one call.
+
+        ``kinds`` are the counts of the primitive operations the kernel
+        replaces (so count parity with the de-fused sequence is exact);
+        ``depth`` is the result's multiplicative depth, which — since
+        this tracker's node ids *are* depths — is also the returned node
+        id, exactly what the equivalent op sequence would have produced.
+        """
+        counts = self._active_counts
+        if counts is None:
+            phase = (
+                self._phase_stack[-1] if self._phase_stack else UNSCOPED_PHASE
+            )
+            counts = self._active_counts = self._counts_for(phase)
+        total = 0
+        for kind, n in kinds.items():
+            counts[kind] = counts.get(kind, 0) + n
+            total += n
+        self._total += total
+        if depth > self._max_depth:
+            self._max_depth = depth
+        return depth
+
     @property
     def num_nodes(self) -> int:
         return self._total

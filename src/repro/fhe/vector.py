@@ -39,7 +39,7 @@ from repro.errors import (
     NoiseBudgetExceededError,
     SlotCapacityError,
 )
-from repro.fhe.backend import register_backend_if_missing
+from repro.fhe.backend import fold_balanced, register_backend_if_missing
 from repro.fhe.ciphertext import Ciphertext, PlainVector
 from repro.fhe.context import FheContext
 from repro.fhe.keys import PublicKey
@@ -256,6 +256,167 @@ class VectorFheContext(FheContext):
             self._ones_cache[length] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    # Fused kernels (the optional ``fused_ops`` capability)
+    # ------------------------------------------------------------------
+
+    @property
+    def fused_ops(self):
+        """The fused-kernel capability (see :mod:`repro.fhe.backend`).
+
+        Available only with this backend's native
+        :class:`~repro.fhe.tracker.CountingTracker`: fused kernels
+        record their constituent operations in bulk, which a DAG
+        tracker cannot represent — a caller-supplied full tracker gets
+        the (bit-identical) de-fused execution path instead.
+        """
+        if type(self.tracker) is not CountingTracker:
+            return None
+        ops = self.__dict__.get("_fused_ops")
+        if ops is None:
+            ops = self.__dict__["_fused_ops"] = VectorFusedOps(self)
+        return ops
+
+
+class VectorFusedOps:
+    """Fused tape kernels for the vector backend.
+
+    Each kernel executes a whole XOR-accumulation group — the tape's
+    ``rotate-mask-xor`` / ``mask-mult-accumulate`` instructions — as a
+    handful of batched numpy operations plus *one* bookkeeping pass,
+    instead of one full simulated op per term.  Observable semantics are
+    byte-identical to the de-fused sequence: the same primitive-op
+    counts land in the tracker (via
+    :meth:`~repro.fhe.tracker.CountingTracker.record_fused`), the noise
+    state is folded through the exact same flyweight combinators in the
+    exact same order (so a budget overflow raises at the identical
+    term), and key mismatches raise the same errors term-by-term.
+    """
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: "VectorFheContext"):
+        self._ctx = ctx
+
+    def execute(self, spec, regs) -> Ciphertext:
+        """Dispatch one fused instruction (spec from the tape compiler)."""
+        if spec.kind == "rmx":
+            return self.rotate_mask_xor(spec, regs)
+        return self.mask_mult_accumulate(spec, regs)
+
+    def _fold_add(self, states):
+        """Balanced XOR fold over noise states (the canonical shape)."""
+        ctx = self._ctx
+        return fold_balanced(
+            states,
+            lambda a, b: ctx._after2(a, b, 0, _ADD_MILLIS, "add"),
+        )
+
+    def _fold_keys(self, sources):
+        """Replay the de-fused XOR fold's compatibility checks.
+
+        Each term value inherits its source's key (rotation and the
+        per-term multiply — whose operand is already checked against
+        its own source — never change it), so folding the source
+        ciphertexts through the same balanced shape raises the same
+        key-mismatch error, on the same pair, as the de-fused
+        ``ctx.add`` fold would."""
+        ctx = self._ctx
+
+        def check(a, b):
+            if a._key_id != b._key_id or a._length != b._length:
+                ctx._check_compatible(a, b)  # raises with the full message
+            return a
+
+        return fold_balanced(sources, check)._key_id
+
+    def rotate_mask_xor(self, spec, regs) -> Ciphertext:
+        """``XOR_k rot(src, a_k) & mask_k`` over one source, one pass.
+
+        The rotations become a single fancy-indexed gather over a
+        precomputed index matrix, the masks one stacked AND, the
+        accumulation one ``xor.reduce`` — k simulated operations in
+        three numpy calls.
+        """
+        ctx = self._ctx
+        src = regs[spec.terms[0][1]]
+        n = src._length
+        idx, maskmat = spec.gather_arrays(n)
+        gathered = src._slots[:n][idx]
+        if maskmat is not None:
+            np.bitwise_and(gathered, maskmat, out=gathered)
+        data = np.bitwise_xor.reduce(gathered, axis=0)
+
+        base = src._noise
+        states = []
+        for amount, _, operand in spec.terms:
+            state = base
+            if amount:
+                state = ctx._after1(state, _ROTATE_MILLIS, "rotate")
+            if operand is not None:
+                state = ctx._after1(
+                    state, _CONST_MULT_MILLIS, "constant multiply"
+                )
+            states.append(state)
+        noise = self._fold_add(states)
+        node_id = ctx.tracker.record_fused(spec.op_counts, src._node_id)
+        return Ciphertext._make(data, n, src._key_id, noise, node_id)
+
+    def mask_mult_accumulate(self, spec, regs) -> Ciphertext:
+        """``XOR_k rot(src_k, a_k) [& operand_k]`` over many sources.
+
+        The Halevi-Shoup combine: per term one slice-rotate and one AND
+        (ciphertext diagonal or plaintext mask), accumulated in place —
+        with a single bulk bookkeeping pass for the whole group.
+        """
+        ctx = self._ctx
+        n = spec.width
+        acc = None
+        states = []
+        depth = 0
+        sources = []
+        for amount, src_slot, operand in spec.terms:
+            src = regs[src_slot]
+            sources.append(src)
+            arr = src._slots[:n]
+            if amount:
+                arr = np.concatenate((arr[amount:], arr[:amount]))
+            state = src._noise
+            term_id = src._node_id
+            if amount:
+                state = ctx._after1(state, _ROTATE_MILLIS, "rotate")
+            if operand is None:
+                data = arr if amount else None
+            elif isinstance(operand, int):
+                other = regs[operand]
+                if other._key_id != src._key_id or other._length != n:
+                    ctx._check_compatible(src, other)  # raises
+                data = np.bitwise_and(arr, other._slots[:n])
+                state = ctx._after2(state, other._noise, 1, 0, "multiply")
+                other_id = other._node_id
+                term_id = (term_id if term_id >= other_id else other_id) + 1
+            else:
+                data = np.bitwise_and(arr, operand._slots)
+                state = ctx._after1(
+                    state, _CONST_MULT_MILLIS, "constant multiply"
+                )
+            states.append(state)
+            if term_id > depth:
+                depth = term_id
+            if data is None:  # bare unrotated term: arr is a view
+                data = arr
+                if acc is None:
+                    acc = arr.copy()
+                    continue
+            if acc is None:
+                acc = data
+            else:
+                np.bitwise_xor(acc, data, out=acc)
+        key_id = self._fold_keys(sources)
+        noise = self._fold_add(states)
+        node_id = ctx.tracker.record_fused(spec.op_counts, depth)
+        return Ciphertext._make(acc, n, key_id, noise, node_id)
+
 
 class _UncheckedNoiseModel(NoiseModel):
     """A noise model whose budget can never be exhausted (debugging)."""
@@ -282,6 +443,10 @@ class PlaintextFheContext(VectorFheContext):
 
     backend_name = "plaintext"
     noise_fidelity = "none"
+    #: The debug backend runs tapes de-fused (per-op, like reference):
+    #: when chasing a miscompile you want one simulated op per primitive,
+    #: not batched kernels hiding the step that went wrong.
+    fused_ops = None
 
     def __init__(
         self,

@@ -28,7 +28,14 @@ execute with ``engine="plan"`` (the serve default):
 * :mod:`repro.ir.plan` — :func:`lower_inference` /
   :func:`lower_batched_inference` wrap the lowered-and-optimized graph,
   its input-binding spec, and raw-vs-optimized analyses into a cached,
-  executable :class:`InferencePlan`.
+  executable :class:`InferencePlan`;
+* :mod:`repro.ir.tape` — :meth:`InferencePlan.compile_tape` lowers the
+  optimized graph one tier further into a :class:`CompiledTape`: a flat
+  instruction array with liveness-based register reuse, the
+  baby-step/giant-step rotation schedule of
+  :func:`~repro.ir.passes.schedule_rotations`, and fused kernels the
+  vector backend executes as single numpy passes (``engine="tape"``,
+  the serve default).
 
 The headline win (measured in ``benchmarks/test_ablation_ir.py``): CSE
 discovers that the cyclic extensions of the rotated branch vector are
@@ -46,6 +53,7 @@ from repro.ir.passes import (
     dead_code_elimination,
     fuse_rotations,
     optimize,
+    schedule_rotations,
 )
 from repro.ir.executor import execute
 from repro.ir.copse_ir import build_inference_graph, ir_secure_inference
@@ -56,6 +64,7 @@ from repro.ir.plan import (
     lower_batched_inference,
     lower_inference,
 )
+from repro.ir.tape import CompiledTape, compile_tape
 
 __all__ = [
     "IrOp",
@@ -64,6 +73,7 @@ __all__ = [
     "IrBuilder",
     "optimize",
     "fuse_rotations",
+    "schedule_rotations",
     "common_subexpression_elimination",
     "dead_code_elimination",
     "analyze_cost",
@@ -75,6 +85,8 @@ __all__ = [
     "ir_secure_inference",
     "GraphProfile",
     "InferencePlan",
+    "CompiledTape",
+    "compile_tape",
     "lower_inference",
     "lower_batched_inference",
 ]

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.errors import CompileError, RuntimeProtocolError
 from repro.fhe.backend import FheBackend
 from repro.fhe.ciphertext import Ciphertext, PlainVector
@@ -102,8 +104,6 @@ def _run(graph: IrGraph, ctx: FheBackend, bindings) -> Dict[str, Vector]:
             if isinstance(source, Ciphertext):
                 values[node.node_id] = ctx.cyclic_extend(source, node.attr[0])
             else:
-                import numpy as np
-
                 arr = source.to_array()
                 reps = -(-node.attr[0] // arr.size)
                 values[node.node_id] = PlainVector(

@@ -12,7 +12,25 @@ standard pipeline (rotation fusion -> CSE -> DCE) to a fixed point.
   pass that discovers COPSE's cross-level sharing: every level matrix
   extends the same rotated branch vectors, so the per-level extensions
   collapse to one set;
-* **dead_code_elimination** — drops everything unreachable from outputs.
+* **dead_code_elimination** — drops everything unreachable from outputs;
+* **schedule_rotations** — the baby-step/giant-step-style rotation
+  scheduler for masked gathers (not part of ``optimize``; the tape
+  compiler of :mod:`repro.ir.tape` runs it).  A masked gather combines
+  several rotations of one vector under plaintext selection masks:
+  ``out = XOR_m rot(v, a_m) & mask_m``.  The pass re-expresses every such
+  group against a shared *pivot* ``p = min(a_m)``::
+
+      out = rot( XOR_m rot(v, a_m - p) & rot(mask_m, -p),  p )
+
+  Rotating a plaintext mask is free, so only the *residual* rotations
+  ``rot(v, a_m - p)`` and one pivot rotation per group cost anything —
+  and the residuals are translation-invariant: every per-shift gather of
+  the same source produces the same residual set ``{0, w, 2w, ...}``,
+  which CSE then shares across all of them.  The per-(level, diagonal)
+  gather rotations of the batched lowering collapse from one rotation
+  per (shift, segment) pair to one per shift plus a handful of shared
+  residuals — strictly fewer rotations at identical bits and unchanged
+  multiplicative depth.
 
 Analyses: ``analyze_counts`` (ops by kind, the Section 6 work measure),
 ``analyze_depth`` (multiplicative depth), ``analyze_cost`` (simulated ms
@@ -21,8 +39,11 @@ under a :class:`~repro.fhe.costmodel.CostModel`).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.fhe.backend import fold_balanced
 from repro.fhe.costmodel import CostModel
 from repro.fhe.tracker import OpKind
 from repro.ir.nodes import IrGraph, IrNode, IrOp
@@ -108,6 +129,185 @@ def dead_code_elimination(graph: IrGraph) -> IrGraph:
             IrNode(node_id, node.op, args, node.attr, node.width, node.is_cipher)
         )
         remap[node.node_id] = node_id
+    return _rebuild(graph, remap, nodes)
+
+
+def _use_counts(graph: IrGraph) -> List[int]:
+    uses = [0] * graph.num_nodes
+    for node in graph.nodes:
+        for a in node.args:
+            uses[a] += 1
+    return uses
+
+
+def collect_xor_tree(
+    graph: IrGraph, root: int, uses: List[int], pinned
+) -> Tuple[List[int], List[int]]:
+    """Expand the maximal XOR-accumulation tree rooted at ADD ``root``.
+
+    Interior nodes are ADDs that are single-use and unobservable (not
+    pinned as a graph input/output); everything else is a leaf.
+    Returns ``(leaves, interior)`` with leaves in the tree's
+    left-to-right order, so rewrites are deterministic.  The single
+    definition of tree eligibility shared by the rotation scheduler and
+    the tape compiler's kernel fuser — the scheduler rewrites gathers
+    into exactly the shape the fuser then matches, so the two must
+    never drift.
+    """
+    leaves: List[int] = []
+    interior: List[int] = []
+    stack = [(root, True)]
+    while stack:
+        nid, is_root = stack.pop()
+        node = graph.node(nid)
+        if node.op is IrOp.ADD and (
+            is_root or (uses[nid] == 1 and nid not in pinned)
+        ):
+            if not is_root:
+                interior.append(nid)
+            # Reversed so the left argument pops first (pre-order).
+            for a in reversed(node.args):
+                stack.append((a, False))
+            continue
+        leaves.append(nid)
+    return leaves, interior
+
+
+def _collect_gather_tree(
+    graph: IrGraph, root: int, uses: List[int], pinned: set
+) -> Optional[Tuple[int, List[Tuple[int, Tuple[int, ...]]], List[int]]]:
+    """Match one masked-gather combine tree rooted at ADD node ``root``.
+
+    Returns ``(source, [(amount, mask_bits), ...], interior_ids)`` when
+    the whole XOR tree under ``root`` consists of single-use
+    ``CONST_MULT(rot(v, a), mask)`` leaves over one ciphertext source
+    ``v`` (interior XORs single-use and unobservable), else ``None``.
+    """
+    leaves, interior = collect_xor_tree(graph, root, uses, pinned)
+    if len(leaves) < 2:
+        return None
+    source = None
+    terms: List[Tuple[int, Tuple[int, ...]]] = []
+    for leaf in leaves:
+        node = graph.node(leaf)
+        if node.op is not IrOp.CONST_MULT or uses[leaf] != 1:
+            return None
+        value, const = node.args
+        mask = graph.node(const)
+        if mask.op is not IrOp.CONST_PT:
+            return None
+        rot = graph.node(value)
+        if rot.op is IrOp.ROTATE:
+            # The rotation must feed this gather exclusively, or the
+            # rewrite would duplicate work another consumer still pays.
+            if uses[value] != 1:
+                return None
+            src, amount = rot.args[0], rot.attr[0]
+        else:
+            src, amount = value, 0
+        if not graph.node(src).is_cipher:
+            return None
+        if source is None:
+            source = src
+        elif source != src:
+            return None
+        terms.append((amount, mask.attr))
+    return source, terms, interior
+
+
+def schedule_rotations(graph: IrGraph) -> IrGraph:
+    """Regroup masked-gather rotations around shared pivots (see module
+    docstring).  Run CSE + DCE afterwards: the rewrite leaves the old
+    rotations/masks dead and emits residual rotations per group that CSE
+    merges across groups."""
+    uses = _use_counts(graph)
+    pinned = set(graph.outputs.values()) | set(graph.inputs.values())
+
+    matched: Dict[int, Tuple[int, List[Tuple[int, Tuple[int, ...]]]]] = {}
+    consumed: set = set()
+    # Reverse order: a tree's root has the highest node id, so it is
+    # visited before its interior XORs (which are then skipped).
+    for node in reversed(graph.nodes):
+        if node.op is not IrOp.ADD or node.node_id in consumed:
+            continue
+        hit = _collect_gather_tree(graph, node.node_id, uses, pinned)
+        if hit is None:
+            continue
+        source, terms, interior = hit
+        if len({a for a, _ in terms}) < 2:
+            continue  # one shared amount: nothing to schedule
+        matched[node.node_id] = (source, terms)
+        consumed.update(interior)
+    if not matched:
+        return graph
+
+    remap: Dict[int, int] = {}
+    nodes: List[IrNode] = []
+
+    def emit(op, args, attr, width, is_cipher) -> int:
+        node_id = len(nodes)
+        nodes.append(
+            IrNode(node_id, op, tuple(args), tuple(attr), width, is_cipher)
+        )
+        return node_id
+
+    def emit_xor_tree(items: List[int], width: int) -> int:
+        def combine(a: int, b: int) -> int:
+            if b < a:
+                a, b = b, a  # canonical argument order (helps CSE)
+            return emit(IrOp.ADD, (a, b), (), width, True)
+
+        return fold_balanced(items, combine)
+
+    residual_cache: Dict[Tuple[int, int], int] = {}
+    for node in graph.nodes:
+        nid = node.node_id
+        hit = matched.get(nid)
+        if hit is None:
+            remap[nid] = emit(
+                node.op,
+                tuple(remap[a] for a in node.args),
+                node.attr,
+                node.width,
+                node.is_cipher,
+            )
+            continue
+        source, terms = hit
+        width = node.width
+        src = remap[source]
+        pivot = min(a for a, _ in terms)
+        parts: List[int] = []
+        for amount, mask_bits in terms:
+            residual = amount - pivot
+            if residual == 0:
+                value = src
+            else:
+                value = residual_cache.get((src, residual))
+                if value is None:
+                    value = emit(
+                        IrOp.ROTATE, (src,), (residual,), width, True
+                    )
+                    residual_cache[(src, residual)] = value
+            # rot(mask, -pivot): free at compile time for plaintext.
+            rolled = np.roll(
+                np.array(mask_bits, dtype=np.uint8), pivot
+            )
+            mask = emit(
+                IrOp.CONST_PT,
+                (),
+                tuple(int(b) for b in rolled),
+                width,
+                False,
+            )
+            parts.append(
+                emit(IrOp.CONST_MULT, (value, mask), (), width, True)
+            )
+        combined = emit_xor_tree(parts, width)
+        if pivot:
+            combined = emit(
+                IrOp.ROTATE, (combined,), (pivot,), width, True
+            )
+        remap[nid] = combined
     return _rebuild(graph, remap, nodes)
 
 

@@ -64,12 +64,77 @@ from repro.ir.passes import (
 __all__ = [
     "GraphProfile",
     "InferencePlan",
+    "bind_model_query",
     "build_batched_inference_graph",
     "gather_segments",
     "lower_batched_inference",
     "lower_inference",
     "tile_blocks",
 ]
+
+
+def bind_model_query(
+    ctx: FheContext,
+    input_widths: Dict[str, int],
+    encrypted_model: bool,
+    model_fingerprint: Optional[str],
+    model,
+    query,
+) -> Dict[str, Vector]:
+    """Bind a runtime model bundle + encrypted query onto named inputs.
+
+    The single source of the binding rules shared by
+    :meth:`InferencePlan.bindings_for` and the compiled tape of
+    :mod:`repro.ir.tape`: model structures bind only for encrypted-model
+    lowerings (plaintext-model programs baked them in as constants), the
+    Aloufi all-ones helper is encrypted under the query's public key,
+    inputs the optimizer eliminated are skipped, and a bundle that
+    cannot prove — via :meth:`CompiledModel.fingerprint` — that it is
+    the model the program was lowered for is refused (fail closed).
+    """
+    if model is not None and model.is_encrypted != encrypted_model:
+        raise RuntimeProtocolError(
+            f"plan was lowered for an "
+            f"{'encrypted' if encrypted_model else 'plaintext'} "
+            f"model but received the opposite"
+        )
+    if model_fingerprint is not None and model is not None:
+        # Fail closed: a bundle without a fingerprint (hand-built, not
+        # via ModelOwner/build_batched_model) cannot prove it is the
+        # model this program was lowered for.
+        model_fp = getattr(model, "fingerprint", None)
+        if model_fp != model_fingerprint:
+            raise RuntimeProtocolError(
+                f"plan was lowered for model {model_fingerprint} "
+                f"but received model {model_fp}; lower a plan for this "
+                f"model (or register it, which does)"
+            )
+    bindings: Dict[str, Vector] = {}
+    for i, plane in enumerate(query.planes):
+        bindings[FEATURE_PLANE.format(i=i)] = plane
+    if NOT_ONE in input_widths:
+        if query.public_key is None:
+            raise RuntimeProtocolError(
+                "the Aloufi SecComp variant needs the query's public "
+                "key to encrypt the all-ones helper"
+            )
+        width = input_widths[NOT_ONE]
+        bindings[NOT_ONE] = ctx.encrypt([1] * width, query.public_key)
+    if encrypted_model:
+        for i, vec in enumerate(model.threshold_planes):
+            bindings[THRESHOLD_PLANE.format(i=i)] = vec
+        for i, vec in enumerate(model.reshuffle_diagonals):
+            bindings[RESHUFFLE_DIAG.format(i=i)] = vec
+        for level, diagonals in enumerate(model.level_diagonals):
+            for i, vec in enumerate(diagonals):
+                bindings[LEVEL_DIAG.format(level=level, i=i)] = vec
+        for level, mask in enumerate(model.level_masks):
+            bindings[LEVEL_MASK.format(level=level)] = mask
+    return {
+        name: value
+        for name, value in bindings.items()
+        if name in input_widths
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -154,6 +219,14 @@ class InferencePlan:
         return sorted(self.graph.inputs)
 
     @property
+    def input_widths(self) -> Dict[str, int]:
+        """Declared width of every named input (the binding spec)."""
+        return {
+            name: self.graph.node(nid).width
+            for name, nid in self.graph.inputs.items()
+        }
+
+    @property
     def rotations_saved(self) -> int:
         return self.raw.rotations - self.optimized.rotations
 
@@ -192,49 +265,14 @@ class InferencePlan:
         constants, so only the query planes (and the Aloufi all-ones
         helper) bind.  Inputs the optimizer eliminated are skipped.
         """
-        if model is not None and model.is_encrypted != self.encrypted_model:
-            raise RuntimeProtocolError(
-                f"plan was lowered for an "
-                f"{'encrypted' if self.encrypted_model else 'plaintext'} "
-                f"model but received the opposite"
-            )
-        if self.model_fingerprint is not None and model is not None:
-            # Fail closed: a bundle without a fingerprint (hand-built,
-            # not via ModelOwner/build_batched_model) cannot prove it is
-            # the model this plan was lowered for.
-            model_fp = getattr(model, "fingerprint", None)
-            if model_fp != self.model_fingerprint:
-                raise RuntimeProtocolError(
-                    f"plan was lowered for model {self.model_fingerprint} "
-                    f"but received model {model_fp}; lower a plan for this "
-                    f"model (or register it, which does)"
-                )
-        bindings: Dict[str, Vector] = {}
-        for i, plane in enumerate(query.planes):
-            bindings[FEATURE_PLANE.format(i=i)] = plane
-        if NOT_ONE in self.graph.inputs:
-            if query.public_key is None:
-                raise RuntimeProtocolError(
-                    "the Aloufi SecComp variant needs the query's public "
-                    "key to encrypt the all-ones helper"
-                )
-            width = self.graph.node(self.graph.inputs[NOT_ONE]).width
-            bindings[NOT_ONE] = ctx.encrypt([1] * width, query.public_key)
-        if self.encrypted_model:
-            for i, vec in enumerate(model.threshold_planes):
-                bindings[THRESHOLD_PLANE.format(i=i)] = vec
-            for i, vec in enumerate(model.reshuffle_diagonals):
-                bindings[RESHUFFLE_DIAG.format(i=i)] = vec
-            for level, diagonals in enumerate(model.level_diagonals):
-                for i, vec in enumerate(diagonals):
-                    bindings[LEVEL_DIAG.format(level=level, i=i)] = vec
-            for level, mask in enumerate(model.level_masks):
-                bindings[LEVEL_MASK.format(level=level)] = mask
-        return {
-            name: value
-            for name, value in bindings.items()
-            if name in self.graph.inputs
-        }
+        return bind_model_query(
+            ctx,
+            self.input_widths,
+            self.encrypted_model,
+            self.model_fingerprint,
+            model,
+            query,
+        )
 
     def run(
         self,
@@ -261,6 +299,33 @@ class InferencePlan:
         if not isinstance(result, Ciphertext):  # pragma: no cover
             raise RuntimeProtocolError("plan result must be encrypted")
         return result
+
+    # ------------------------------------------------------------------
+    # Tape compilation
+    # ------------------------------------------------------------------
+
+    def compile_tape(self, fuse: bool = True) -> "CompiledTape":
+        """Compile this plan into a :class:`~repro.ir.tape.CompiledTape`.
+
+        Runs the rotation scheduler over the optimized graph, linearizes
+        it with liveness-based register reuse, and (with ``fuse=True``)
+        emits fused accumulation instructions.  The tape inherits the
+        plan's binding spec, batch shape, and fail-closed model
+        fingerprint.  Compile once, execute per batch —
+        :class:`~repro.serve.registry.ModelRegistry` caches the tape
+        next to the plan.
+        """
+        from repro.ir.tape import compile_tape
+
+        return compile_tape(
+            self.graph,
+            fuse=fuse,
+            variant=self.variant,
+            encrypted_model=self.encrypted_model,
+            width=self.width,
+            batch_shape=self.batch_shape,
+            model_fingerprint=self.model_fingerprint,
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -12,9 +12,12 @@ stream:
   reshuffle / levels / accumulate pipeline serves every packed query;
 * :mod:`repro.serve.registry` — :class:`ModelRegistry`: compile,
   parameter-select, and encrypt each model exactly once — and, with the
-  default ``engine="plan"``, lower + optimize its batched pipeline into
-  a cached :class:`~repro.ir.plan.InferencePlan` that every batch
-  executes (``engine="eager"`` keeps the hand-scheduled interpreter);
+  default ``engine="tape"``, lower + optimize its batched pipeline into
+  a cached :class:`~repro.ir.plan.InferencePlan` and compile that into
+  a :class:`~repro.ir.tape.CompiledTape` (linearized, register-reused,
+  rotation-scheduled) that every batch executes (``engine="plan"``
+  keeps the graph-walking executor, ``engine="eager"`` the
+  hand-scheduled interpreter);
 * :mod:`repro.serve.batcher` — :class:`QueryBatcher`: validate,
   evaluate, demultiplex, oracle-verify;
 * :mod:`repro.serve.scheduler` — the event-driven, deadline-aware,

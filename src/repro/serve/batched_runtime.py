@@ -37,6 +37,7 @@ from repro.core.compiler import CompiledModel
 from repro.core.runtime import (
     ENGINE_EAGER,
     ENGINE_PLAN,
+    ENGINE_TAPE,
     ENGINES,
     EncryptedQuery,
     PHASE_ACCUMULATE,
@@ -46,6 +47,7 @@ from repro.core.runtime import (
     PHASE_MODEL_ENCRYPT,
     PHASE_PLAN,
     PHASE_RESHUFFLE,
+    PHASE_TAPE,
 )
 from repro.core.seccomp import VARIANT_ALOUFI, secure_compare
 from repro.fhe.ciphertext import Ciphertext
@@ -302,7 +304,10 @@ class BatchedCopseServer:
     :class:`~repro.ir.plan.InferencePlan` (from
     :func:`~repro.ir.plan.lower_batched_inference`, lowered for the same
     layout) instead — one optimized IR graph, recorded under the
-    ``plan_inference`` phase.
+    ``plan_inference`` phase.  ``engine="tape"`` (the serve default)
+    executes the plan's compiled :class:`~repro.ir.tape.CompiledTape`
+    under ``tape_inference`` — the same bits with scheduled rotations,
+    register reuse, and fused kernels.
     """
 
     def __init__(
@@ -311,6 +316,7 @@ class BatchedCopseServer:
         seccomp_variant: str = VARIANT_ALOUFI,
         engine: str = ENGINE_EAGER,
         plan=None,
+        tape=None,
     ):
         if engine not in ENGINES:
             raise RuntimeProtocolError(
@@ -320,6 +326,7 @@ class BatchedCopseServer:
         self.seccomp_variant = seccomp_variant
         self.engine = engine
         self.plan = plan
+        self.tape = tape
 
     def classify_batch(
         self, model: BatchedEncryptedModel, query: EncryptedQuery
@@ -340,6 +347,8 @@ class BatchedCopseServer:
         local = model.adopt_into(ctx)
         if self.engine == ENGINE_PLAN:
             return self._classify_batch_plan(local, query)
+        if self.engine == ENGINE_TAPE:
+            return self._classify_batch_tape(local, query)
 
         with ctx.tracker.phase(PHASE_COMPARISON):
             not_one = None
@@ -408,6 +417,37 @@ class BatchedCopseServer:
                 f"but the server runs {self.seccomp_variant!r}"
             )
         return plan.run(self.ctx, local, query, phase=PHASE_PLAN)
+
+    def _classify_batch_tape(
+        self, local: BatchedEncryptedModel, query: EncryptedQuery
+    ) -> Ciphertext:
+        """Execute the cached batched compiled tape against an adopted
+        model."""
+        tape = self.tape
+        if tape is None:
+            raise RuntimeProtocolError(
+                "engine='tape' needs a batched CompiledTape; compile one "
+                "with InferencePlan.compile_tape (the serve registry "
+                "caches it per model)"
+            )
+        if not tape.batched:
+            raise RuntimeProtocolError(
+                "a single-query tape cannot serve the batched server; "
+                "compile from a lower_batched_inference plan for this "
+                "layout"
+            )
+        layout = local.layout
+        if tape.batch_shape != (layout.stride, layout.capacity):
+            raise RuntimeProtocolError(
+                f"tape batch shape {tape.batch_shape} does not match the "
+                f"layout ({layout.stride}, {layout.capacity})"
+            )
+        if tape.variant != self.seccomp_variant:
+            raise RuntimeProtocolError(
+                f"tape was compiled with SecComp variant {tape.variant!r} "
+                f"but the server runs {self.seccomp_variant!r}"
+            )
+        return tape.run(self.ctx, local, query, phase=PHASE_TAPE)
 
     def _process_levels(
         self, model: BatchedEncryptedModel, branches: Vector

@@ -11,9 +11,11 @@ amortized pipeline:
    and encrypt them once per plane (``data_encrypt``),
 2. run the batched Algorithm 1 against the model's cached, once-encrypted
    :class:`~repro.serve.batched_runtime.BatchedEncryptedModel` — through
-   the registered model's cached optimized
-   :class:`~repro.ir.plan.InferencePlan` (``engine="plan"``, the serve
-   default) or the hand-scheduled interpreter (``engine="eager"``),
+   the registered model's cached compiled
+   :class:`~repro.ir.tape.CompiledTape` (``engine="tape"``, the serve
+   default), its graph-walking
+   :class:`~repro.ir.plan.InferencePlan` (``engine="plan"``), or the
+   hand-scheduled interpreter (``engine="eager"``),
 3. decrypt the single result ciphertext and demultiplex the slot blocks
    back into per-query label bitvectors,
 4. optionally verify every bitvector against the plaintext oracle
@@ -36,9 +38,11 @@ from typing import Dict, List, Optional
 from repro.errors import ValidationError
 from repro.core.runtime import (
     ENGINE_PLAN,
+    ENGINE_TAPE,
     InferenceResult,
     PHASE_DATA_ENCRYPT,
     PHASE_PLAN,
+    PHASE_TAPE,
 )
 from repro.core.seccomp import VARIANT_ALOUFI
 from repro.fhe.context import FheContext
@@ -190,6 +194,7 @@ class QueryBatcher:
             seccomp_variant=self.seccomp_variant,
             engine=registered.engine,
             plan=registered.plan,
+            tape=registered.tape,
         )
 
         query = encrypt_batch(
@@ -200,11 +205,12 @@ class QueryBatcher:
         bitvectors = demux_bitvectors(layout, bits, len(entries))
 
         cost = registered.cost_model
-        inference_phases = (
-            (PHASE_PLAN,)
-            if registered.engine == ENGINE_PLAN
-            else BATCH_INFERENCE_PHASES
-        )
+        if registered.engine == ENGINE_TAPE:
+            inference_phases = (PHASE_TAPE,)
+        elif registered.engine == ENGINE_PLAN:
+            inference_phases = (PHASE_PLAN,)
+        else:
+            inference_phases = BATCH_INFERENCE_PHASES
         phase_ms = {
             phase: cost.phase_sequential_ms(ctx.tracker, phase)
             for phase in (PHASE_DATA_ENCRYPT,) + inference_phases

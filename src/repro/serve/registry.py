@@ -10,12 +10,15 @@ pipeline exactly once per registered model —
    caller-supplied set) and verify they cover the circuit,
 3. plan the batch layout from the parameters' slot capacity,
 4. generate a session key pair and encrypt the tiled, batched model,
-5. (with the default ``engine="plan"``) lower the batched pipeline onto
-   the IR and run the optimizer over it —
+5. (with the default ``engine="tape"``) lower the batched pipeline onto
+   the IR, run the optimizer over it, and compile the optimized plan
+   into a linearized :class:`~repro.ir.tape.CompiledTape` (scheduled
+   rotations, register reuse, fused kernels) —
 
 and caches the resulting :class:`BatchedEncryptedModel`, query spec,
-cost model, and :class:`~repro.ir.plan.InferencePlan` for every
-subsequent batch evaluation.
+cost model, :class:`~repro.ir.plan.InferencePlan`, and
+:class:`~repro.ir.tape.CompiledTape` for every subsequent batch
+evaluation.
 
 Trust model: cross-query packing requires all queries of a batch to be
 encrypted under one key, so the service holds a per-model *session* key
@@ -34,6 +37,7 @@ from repro.errors import ValidationError
 from repro.core.compiler import CompiledModel, CopseCompiler
 from repro.core.runtime import (
     ENGINE_PLAN,
+    ENGINE_TAPE,
     ENGINES,
     ModelOwner,
     QuerySpec,
@@ -46,6 +50,7 @@ from repro.fhe.keys import KeyPair
 from repro.fhe.params import EncryptionParams
 from repro.forest.forest import DecisionForest
 from repro.ir.plan import InferencePlan, lower_batched_inference
+from repro.ir.tape import CompiledTape
 from repro.serve.batched_runtime import BatchedEncryptedModel, build_batched_model
 from repro.serve.packing import BatchLayout, plan_layout
 
@@ -67,12 +72,16 @@ class RegisteredModel:
     #: One-time simulated cost of encrypting the batched model (ms).
     setup_ms: float = 0.0
     #: Execution engine batches for this model run under.
-    engine: str = ENGINE_PLAN
+    engine: str = ENGINE_TAPE
     #: FHE backend every evaluation context for this model is built on.
     backend: str = "reference"
     #: The optimized batched lowering, compiled once at registration and
     #: cached next to the encrypted ciphertexts (None for eager models).
     plan: Optional[InferencePlan] = field(default=None, repr=False)
+    #: The plan's compiled tape — linearized instructions with scheduled
+    #: rotations and register reuse, compiled once at registration
+    #: (None unless ``engine="tape"``, the default).
+    tape: Optional[CompiledTape] = field(default=None, repr=False)
 
     @property
     def batch_capacity(self) -> int:
@@ -82,13 +91,17 @@ class RegisteredModel:
     def estimated_batch_ms(self) -> Optional[float]:
         """Analyzed cost of evaluating one batch, in simulated ms.
 
-        Comes from the cached plan's optimized profile, so it is known
-        *before* the first batch runs — the scheduler seeds its
-        slack-cut service estimate with it (then refines with observed
-        batch durations, since simulated ms are not wall ms), and the
-        simulator uses it as the model's exact service time.  ``None``
-        for eager models (no analyzed graph to price).
+        Comes from the cached program's optimized profile — the tape's
+        when one is compiled (its scheduled rotations price slightly
+        below the plan's), else the plan's — so it is known *before*
+        the first batch runs: the scheduler seeds its slack-cut service
+        estimate with it (then refines with observed batch durations,
+        since simulated ms are not wall ms), and the simulator uses it
+        as the model's exact service time.  ``None`` for eager models
+        (no analyzed graph to price).
         """
+        if self.tape is not None:
+            return self.tape.profile.cost_ms(self.cost_model)
         if self.plan is None:
             return None
         return self.plan.cost_ms(self.cost_model)
@@ -101,6 +114,8 @@ class RegisteredModel:
         )
         if self.plan is not None:
             base += f"; {self.plan.describe()}"
+        if self.tape is not None:
+            base += f"; {self.tape.describe()}"
         return base
 
 
@@ -121,7 +136,7 @@ class ModelRegistry:
         autoselect_params: bool = False,
         max_batch_size: Optional[int] = None,
         encrypted_model: bool = True,
-        engine: str = ENGINE_PLAN,
+        engine: str = ENGINE_TAPE,
         seccomp_variant: str = VARIANT_ALOUFI,
         backend: Optional[str] = None,
     ) -> RegisteredModel:
@@ -136,11 +151,14 @@ class ModelRegistry:
         ``encrypted_model=False`` keeps the model in plaintext on the
         server (Maurice = Sally).
 
-        ``engine="plan"`` (the default) also lowers the batched pipeline
-        onto the IR, optimizes it, and caches the resulting
-        :class:`~repro.ir.plan.InferencePlan` for every batch evaluation;
+        ``engine="tape"`` (the default) also lowers the batched pipeline
+        onto the IR, optimizes it, and compiles the resulting
+        :class:`~repro.ir.plan.InferencePlan` into a cached
+        :class:`~repro.ir.tape.CompiledTape` (scheduled rotations,
+        register reuse, fused kernels) that every batch executes;
+        ``engine="plan"`` stops at the graph-walking plan executor;
         ``engine="eager"`` keeps the hand-scheduled interpreter.  The
-        plan must match the batcher's SecComp ``seccomp_variant``.
+        plan/tape must match the batcher's SecComp ``seccomp_variant``.
 
         ``backend`` picks the FHE backend this model is encrypted under
         and every batch is evaluated on (a registered name; default
@@ -195,13 +213,16 @@ class ModelRegistry:
         setup_ms = cost_model.sequential_ms(ctx.tracker)
 
         plan: Optional[InferencePlan] = None
-        if engine == ENGINE_PLAN:
+        tape: Optional[CompiledTape] = None
+        if engine in (ENGINE_PLAN, ENGINE_TAPE):
             plan = lower_batched_inference(
                 compiled,
                 layout,
                 encrypted_model=encrypted_model,
                 variant=seccomp_variant,
             )
+        if engine == ENGINE_TAPE:
+            tape = plan.compile_tape()
 
         registered = RegisteredModel(
             name=name,
@@ -218,6 +239,7 @@ class ModelRegistry:
             engine=engine,
             backend=backend,
             plan=plan,
+            tape=tape,
         )
         with self._lock:
             if name in self._models:

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ValidationError
 from repro.core.compiler import CompiledModel
-from repro.core.runtime import ENGINE_PLAN, ENGINES, PHASE_PLAN
+from repro.core.runtime import ENGINE_TAPE, ENGINES, PHASE_PLAN, PHASE_TAPE
 from repro.core.seccomp import VARIANT_ALOUFI
 from repro.fhe.backend import canonical_backend_name
 from repro.fhe.params import EncryptionParams
@@ -100,6 +100,11 @@ class ServiceStats:
         return self.phase_ms.get(PHASE_PLAN, 0.0)
 
     @property
+    def tape_ms(self) -> float:
+        """Simulated inference ms spent in the compiled-tape engine."""
+        return self.phase_ms.get(PHASE_TAPE, 0.0)
+
+    @property
     def eager_ms(self) -> float:
         """Simulated inference ms spent in the eager four-stage engine."""
         return sum(self.phase_ms.get(p, 0.0) for p in BATCH_INFERENCE_PHASES)
@@ -108,6 +113,11 @@ class ServiceStats:
     def plan_op_counts(self) -> Dict[str, int]:
         """Operation counts recorded by plan-engine batches."""
         return dict(self.phase_op_counts.get(PHASE_PLAN, {}))
+
+    @property
+    def tape_op_counts(self) -> Dict[str, int]:
+        """Operation counts recorded by tape-engine batches."""
+        return dict(self.phase_op_counts.get(PHASE_TAPE, {}))
 
     @property
     def eager_op_counts(self) -> Dict[str, int]:
@@ -243,9 +253,12 @@ class CopseService:
     """Batched secure-inference service over the COPSE stack.
 
     ``engine`` selects the default execution path for registered models:
-    ``"plan"`` (the default) compiles, optimizes, and caches an
-    :class:`~repro.ir.plan.InferencePlan` per model and executes batches
-    through the IR; ``"eager"`` keeps the hand-scheduled interpreter.
+    ``"tape"`` (the default) lowers and optimizes an
+    :class:`~repro.ir.plan.InferencePlan` per model, compiles it into a
+    :class:`~repro.ir.tape.CompiledTape` (linearized instructions,
+    scheduled rotations, register reuse, fused kernels), and executes
+    every batch through the tape; ``"plan"`` stops at the graph-walking
+    plan executor; ``"eager"`` keeps the hand-scheduled interpreter.
     ``register_model`` can override per model.
 
     Scheduling knobs: ``default_deadline_ms`` applies a relative
@@ -266,7 +279,7 @@ class CopseService:
         threads: int = 2,
         seccomp_variant: str = VARIANT_ALOUFI,
         verify_oracle: bool = True,
-        engine: str = ENGINE_PLAN,
+        engine: str = ENGINE_TAPE,
         backend: Optional[str] = None,
         clock: Optional[Clock] = None,
         default_deadline_ms: Optional[float] = None,

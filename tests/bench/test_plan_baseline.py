@@ -1,11 +1,16 @@
-"""Regression guard for the optimized inference plans.
+"""Regression guard for the optimized inference plans and compiled tapes.
 
 ``plan_baseline.json`` pins, per workload, the optimized plan's op
 counts, multiplicative depth, and cost-model milliseconds (plus the
-unoptimized lowering's, to keep the optimizer's win visible).  A tier-1
+unoptimized lowering's, to keep the optimizer's win visible), and the
+compiled tape's profile: op counts after rotation scheduling, peak live
+ciphertext slots, register count, and instruction count.  A tier-1
 failure here means a change made the optimizer *worse* on the live
-workloads: any op-count increase, or a cost regression beyond 5 %,
-fails — getting strictly better requires regenerating the baseline.
+workloads: any op-count increase, a cost regression beyond 5 %, or a
+peak-live/instruction-count increase fails — getting strictly better
+requires regenerating the baseline.  The tape guard additionally holds
+the scheduler to its claim: tape rotations strictly below the plan's on
+the batched serve lowering, and never above it anywhere.
 
 Regenerate after an intentional improvement with::
 
@@ -40,15 +45,26 @@ def _profile_dict(profile, cost_model):
         "counts": {op.value: n for op, n in sorted(
             profile.counts.items(), key=lambda kv: kv[0].value
         )},
+        "num_nodes": profile.num_nodes,
         "depth": profile.depth,
         "cost_ms": round(profile.cost_ms(cost_model), 4),
     }
 
 
 def _plan_entry(plan, cost_model):
+    tape = plan.compile_tape()
+    tape_profile = _profile_dict(tape.profile, cost_model)
+    tape_profile.update(
+        {
+            "peak_live": tape.peak_live,
+            "slots": tape.num_slots,
+            "instructions": tape.num_instructions,
+        }
+    )
     return {
         "optimized": _profile_dict(plan.optimized, cost_model),
         "raw": _profile_dict(plan.raw, cost_model),
+        "tape": tape_profile,
     }
 
 
@@ -128,6 +144,63 @@ def test_optimizer_strictly_wins(current, key):
     assert rotations(opt) < rotations(raw), key
     assert opt["cost_ms"] < raw["cost_ms"], key
     assert opt["depth"] <= raw["depth"], key
+
+
+@pytest.mark.parametrize(
+    "key",
+    list(SINGLE_WORKLOADS) + [f"{n}@batched" for n in BATCHED_WORKLOADS],
+)
+def test_no_tape_regression(baseline, current, key):
+    """Tape cost within 5 % of baseline; no op-count, peak-live,
+    register, or instruction-count increase."""
+    base = baseline[key]["tape"]
+    cur = current[key]["tape"]
+    assert cur["cost_ms"] <= base["cost_ms"] * COST_TOLERANCE, (
+        f"{key}: tape cost regressed "
+        f"{base['cost_ms']:.2f} -> {cur['cost_ms']:.2f} ms"
+    )
+    assert cur["depth"] <= base["depth"], f"{key}: tape depth regressed"
+    for metric in ("peak_live", "slots", "instructions"):
+        assert cur[metric] <= base[metric], (
+            f"{key}: tape {metric} regressed "
+            f"{base[metric]} -> {cur[metric]}"
+        )
+    for op, count in cur["counts"].items():
+        assert count <= base["counts"].get(op, 0), (
+            f"{key}: tape op {op} count increased "
+            f"{base['counts'].get(op, 0)} -> {count}"
+        )
+
+
+def _rotations(profile):
+    return profile["counts"].get("rotate", 0) + profile["counts"].get(
+        "extend", 0
+    )
+
+
+@pytest.mark.parametrize(
+    "key",
+    list(SINGLE_WORKLOADS) + [f"{n}@batched" for n in BATCHED_WORKLOADS],
+)
+def test_tape_never_loses_to_plan(current, key):
+    """The rotation scheduler may only remove rotation work, and its
+    register allocator must keep peak live ciphertexts below holding
+    every intermediate (what the plan executor does)."""
+    opt = current[key]["optimized"]
+    tape = current[key]["tape"]
+    assert _rotations(tape) <= _rotations(opt), key
+    assert tape["cost_ms"] <= opt["cost_ms"], key
+    assert tape["depth"] <= opt["depth"], key
+    assert tape["peak_live"] < tape["num_nodes"], key
+
+
+@pytest.mark.parametrize("key", [f"{n}@batched" for n in BATCHED_WORKLOADS])
+def test_tape_strictly_beats_plan_on_batched_serve(current, key):
+    """The ISSUE 5 acceptance bar: on the batched serve lowering the
+    scheduled tape performs strictly fewer rotations than the plan."""
+    assert _rotations(current[key]["tape"]) < _rotations(
+        current[key]["optimized"]
+    ), key
 
 
 def regenerate() -> None:

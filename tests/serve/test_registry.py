@@ -159,14 +159,28 @@ class TestFingerprintParity:
 
 
 class TestPlanCache:
-    def test_plan_compiled_and_cached_by_default(self, example_forest):
+    def test_tape_compiled_and_cached_by_default(self, example_forest):
         reg = ModelRegistry().register("m", example_forest)
-        assert reg.engine == "plan"
+        assert reg.engine == "tape"
         assert reg.plan is not None
         assert reg.plan.batched
         assert reg.plan.batch_shape == (reg.layout.stride, reg.layout.capacity)
         assert reg.plan.encrypted_model
+        assert reg.tape is not None
+        assert reg.tape.batched
+        assert reg.tape.batch_shape == reg.plan.batch_shape
+        assert reg.tape.model_fingerprint == reg.plan.model_fingerprint
+        # The tape's rotation schedule must not lose to the plan it was
+        # compiled from.
+        assert reg.tape.rotations <= reg.plan.optimized.rotations
         assert "plan[" in reg.describe()
+        assert "tape[" in reg.describe()
+
+    def test_plan_engine_skips_tape(self, example_forest):
+        reg = ModelRegistry().register("m", example_forest, engine="plan")
+        assert reg.engine == "plan"
+        assert reg.plan is not None
+        assert reg.tape is None
 
     def test_plan_optimizer_strictly_wins(self, example_forest):
         """The cached plan must show the optimizer's payoff: fewer
@@ -181,6 +195,7 @@ class TestPlanCache:
         reg = ModelRegistry().register("m", example_forest, engine="eager")
         assert reg.engine == "eager"
         assert reg.plan is None
+        assert reg.tape is None
 
     def test_unknown_engine_rejected(self, example_forest):
         with pytest.raises(ValidationError, match="engine"):

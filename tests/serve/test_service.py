@@ -291,9 +291,10 @@ class TestStats:
         assert stats.op_counts["multiply"] > 0
         assert "CopseService stats" in stats.render()
 
-    def test_plan_engine_is_default_and_cheaper(self, example_forest):
-        """The registry default is the plan engine; on the same queries it
-        does strictly less simulated inference work than eager."""
+    def test_tape_engine_is_default_and_cheapest(self, example_forest):
+        """The registry default is the compiled-tape engine; on the same
+        queries it does strictly less simulated inference work than the
+        plan engine, which does strictly less than eager."""
 
         def run(engine):
             with CopseService(threads=1, engine=engine) as service:
@@ -305,16 +306,23 @@ class TestStats:
 
         default_service = CopseService(threads=1)
         try:
-            assert default_service.engine == "plan"
+            assert default_service.engine == "tape"
         finally:
             default_service.close()
 
+        tape_reg, tape_stats = run("tape")
         plan_reg, plan_stats = run("plan")
         eager_reg, eager_stats = run("eager")
+        assert tape_reg.engine == "tape" and tape_reg.tape is not None
         assert plan_reg.engine == "plan" and plan_reg.plan is not None
+        assert plan_reg.tape is None
         assert eager_reg.engine == "eager" and eager_reg.plan is None
+        assert tape_stats.oracle_failures == 0
         assert plan_stats.oracle_failures == 0
         assert eager_stats.oracle_failures == 0
+        assert tape_stats.tape_ms > 0 and tape_stats.plan_ms == 0
+        assert tape_stats.tape_op_counts["multiply"] > 0
+        assert tape_stats.inference_ms < plan_stats.inference_ms
         assert plan_stats.inference_ms < eager_stats.inference_ms
 
     def test_oracle_failures_counted_per_query(self, example_forest):

@@ -98,6 +98,17 @@ class TestClassify:
         assert "engine: plan" in out
         assert "oracle agreement: ok" in out
 
+    @pytest.mark.parametrize("extra", [[], ["--plaintext-model"]])
+    def test_tape_engine(self, model_file, capsys, extra):
+        path, _ = model_file
+        assert main(
+            ["classify", path, "--features", "33,99", "--engine", "tape"]
+            + extra
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine: tape" in out
+        assert "oracle agreement: ok" in out
+
     def test_unknown_engine_rejected(self, model_file, capsys):
         path, _ = model_file
         with pytest.raises(SystemExit):
@@ -182,8 +193,8 @@ class TestServe:
         assert "serving" in out
         assert "queries served      : 5" in out
         assert "oracle agreement: ok" in out
-        # The plan engine is the serve default.
-        assert "plan_inference" in out
+        # The compiled-tape engine is the serve default.
+        assert "tape_inference" in out
 
     def test_eager_engine_selectable(self, model_file, capsys):
         path, _ = model_file
@@ -193,7 +204,7 @@ class TestServe:
         ) == 0
         out = capsys.readouterr().out
         assert "oracle agreement: ok" in out
-        assert "plan_inference" not in out
+        assert "tape_inference" not in out
         assert "phase comparison" in out
 
     def test_plaintext_model(self, model_file, capsys):

@@ -1,13 +1,15 @@
-"""Differential property suite: eager engine vs plan engine vs oracle.
+"""Differential property suite: eager vs plan vs tape engines vs oracle.
 
-The plan-compiled execution path (``engine="plan"``) must be
-bit-identical to the eager Algorithm 1 interpreter and to the plaintext
-oracle (``forest.label_bitvector``) on *every* model and query — the
-optimizer may only remove work, never change slots.  Hypothesis
-generates random small forests and feature vectors and checks all three
-against each other, in both the encrypted-model and plaintext-model
-configurations, plus the batched serve path (plan-engine service vs
-eager-engine service vs oracle).
+The plan-compiled execution path (``engine="plan"``) and the compiled
+tape (``engine="tape"`` — linearized, register-reused,
+rotation-scheduled, kernel-fused) must be bit-identical to the eager
+Algorithm 1 interpreter and to the plaintext oracle
+(``forest.label_bitvector``) on *every* model and query — the optimizer
+may only remove work, never change slots, and register reuse may never
+corrupt a live ciphertext.  Hypothesis generates random small forests
+and feature vectors and checks all engines against each other, in both
+the encrypted-model and plaintext-model configurations, plus the
+batched serve path (tape-/plan-/eager-engine services vs oracle).
 
 The oracle check runs under **every registered FHE backend** (the
 pluggable-backend redesign's acceptance property: eager == plan ==
@@ -51,7 +53,8 @@ CI_PROFILE = settings.get_profile("repro-plan-ci")
 
 @lru_cache(maxsize=128)
 def model_for(branches_a: int, branches_b: int, depth: int, model_seed: int):
-    """Forest + compiled model + both plan lowerings, cached per shape."""
+    """Forest + compiled model + plan lowerings + compiled tapes, cached
+    per shape."""
     forest = random_forest(
         np.random.default_rng(model_seed),
         branches_per_tree=[branches_a, branches_b],
@@ -64,7 +67,10 @@ def model_for(branches_a: int, branches_b: int, depth: int, model_seed: int):
         encrypted: lower_inference(compiled, encrypted_model=encrypted)
         for encrypted in (True, False)
     }
-    return forest, compiled, plans
+    tapes = {
+        encrypted: plan.compile_tape() for encrypted, plan in plans.items()
+    }
+    return forest, compiled, plans, tapes
 
 
 @st.composite
@@ -95,7 +101,7 @@ def test_eager_plan_and_oracle_agree(backend, shape, features):
     """Eager classify == plan classify == plaintext oracle, on random
     forests and queries, for encrypted and plaintext models alike —
     under every registered FHE backend."""
-    forest, compiled, plans = model_for(*shape)
+    forest, compiled, plans, _ = model_for(*shape)
     oracle = forest.label_bitvector(features)
 
     ctx = FheContext(backend=backend)
@@ -123,6 +129,39 @@ def test_eager_plan_and_oracle_agree(backend, shape, features):
         )
 
 
+@pytest.mark.parametrize("backend", available_backends())
+@given(shape=FOREST_SHAPES, features=FEATURES)
+@CI_PROFILE
+def test_tape_matches_oracle(backend, shape, features):
+    """Compiled-tape classify == plaintext oracle on random forests and
+    queries, encrypted and plaintext models alike, under every
+    registered FHE backend.  Transitively (previous property) the tape
+    also equals the eager and plan engines bit for bit — and since
+    register slots are aggressively reused, every passing example is
+    also an aliasing check: a reused slot corrupting a live ciphertext
+    would flip output bits."""
+    forest, compiled, plans, tapes = model_for(*shape)
+    oracle = forest.label_bitvector(features)
+
+    ctx = FheContext(backend=backend)
+    keys = ctx.keygen()
+    maurice = ModelOwner(compiled)
+    diane = DataOwner(maurice.query_spec(), keys)
+    query = diane.prepare_query(ctx, features)
+
+    for encrypted in (True, False):
+        if encrypted:
+            model = maurice.encrypt_model(ctx, keys.public)
+        else:
+            model = maurice.plaintext_model(ctx)
+        taped = CopseServer(
+            ctx, engine="tape", tape=tapes[encrypted]
+        ).classify(model, query)
+        assert ctx.decrypt_bits(taped, keys.secret) == oracle, (
+            f"tape/{'enc' if encrypted else 'plain'} disagrees with oracle"
+        )
+
+
 @pytest.mark.parametrize("backend", ["reference", "vector"])
 @pytest.mark.parametrize("encrypted_model", [True, False])
 @given(
@@ -136,12 +175,12 @@ def test_eager_plan_and_oracle_agree(backend, shape, features):
 def test_batched_serve_engines_agree(
     backend, encrypted_model, shape, query_seed
 ):
-    """The serve registry's plan engine and the eager batched runtime
-    produce identical per-query bitvectors on packed batches — for
-    encrypted models and for plaintext models (where the plan bakes the
-    tiled model in as graph constants), on the reference and vector
-    backends alike."""
-    forest, compiled, _ = model_for(*shape)
+    """The serve registry's tape and plan engines and the eager batched
+    runtime produce identical per-query bitvectors on packed batches —
+    for encrypted models and for plaintext models (where the lowering
+    bakes the tiled model in as graph constants), on the reference and
+    vector backends alike."""
+    forest, compiled, _, _ = model_for(*shape)
     rng = np.random.default_rng(query_seed)
     queries = [
         [int(v) for v in rng.integers(0, FEATURE_LIMIT, N_FEATURES)]
@@ -150,7 +189,7 @@ def test_batched_serve_engines_agree(
     oracle = [forest.label_bitvector(q) for q in queries]
 
     outputs = {}
-    for engine in ("plan", "eager"):
+    for engine in ("tape", "plan", "eager"):
         with CopseService(threads=1, engine=engine, backend=backend) as service:
             service.register_model(
                 "m", compiled, max_batch_size=2,
@@ -160,7 +199,7 @@ def test_batched_serve_engines_agree(
         assert all(r.oracle_ok for r in results), f"{engine} failed oracle"
         outputs[engine] = [r.bitvector for r in results]
 
-    assert outputs["plan"] == outputs["eager"] == oracle
+    assert outputs["tape"] == outputs["plan"] == outputs["eager"] == oracle
 
 
 @pytest.mark.parametrize("encrypted_model", [True, False])
