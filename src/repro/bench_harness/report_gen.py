@@ -53,6 +53,7 @@ SECTION_KEYS = (
     "tape-speedup",
     "backend-speedup",
     "soak",
+    "trace-overhead",
 )
 
 #: Sections whose rendered titles do not depend on quick mode — the
@@ -118,6 +119,12 @@ def build_section(key: str, quick: bool) -> List[Table]:
         return [
             experiments.soak(
                 workload_name="width78", queries=600 if quick else 2000
+            )
+        ]
+    if key == "trace-overhead":
+        return [
+            experiments.tracing_overhead(
+                workload_name="width78", repeats=2 if quick else 3
             )
         ]
     raise KeyError(f"unknown report section {key!r}")
@@ -204,6 +211,47 @@ def engine_profiles(workload_name: str = "width78") -> List[Dict]:
     return records
 
 
+def tape_profile(workload_name: str = "width78") -> Dict:
+    """One profiled batched-tape run, as the profiler's JSON record.
+
+    Folded into ``BENCH_*.json`` so the trajectory carries per-opcode
+    wall/op/noise attribution next to the static engine profiles.  Op
+    counts and noise depths are deterministic (the circuits are
+    input-independent); wall milliseconds are the run's measurement.
+    """
+    from repro.fhe.context import FheContext
+    from repro.fhe.params import EncryptionParams
+    from repro.ir.plan import bind_model_query
+    from repro.obs.profiler import TapeProfiler
+    from repro.bench_harness.workloads import workload_by_name
+    from repro.serve.batched_runtime import encrypt_batch
+    from repro.serve.registry import ModelRegistry
+
+    workload = workload_by_name(workload_name)
+    params = EncryptionParams.paper_defaults()
+    registered = ModelRegistry().register(
+        f"profile-{workload_name}", workload.compiled, params=params,
+        engine="tape",
+    )
+    ctx = FheContext(params, backend=registered.backend)
+    queries = workload.query_features(registered.layout.capacity)
+    query = encrypt_batch(ctx, registered.layout, queries, registered.keys)
+    bindings = bind_model_query(
+        ctx,
+        registered.tape.input_widths,
+        registered.tape.encrypted_model,
+        registered.tape.model_fingerprint,
+        registered.batched_model,
+        query,
+    )
+    profiler = TapeProfiler()
+    registered.tape.execute(ctx, bindings, profiler=profiler)
+    record = profiler.as_dict()
+    record["workload"] = workload_name
+    record["shape"] = "batched"
+    return record
+
+
 def render_report(
     sections: Dict[str, List[Table]], quick: bool
 ) -> str:
@@ -265,6 +313,7 @@ def generate_report(
             "mode": "quick" if quick else "full",
             "default_backend": canonical_backend_name(),
             "engine_profiles": engine_profiles(),
+            "tape_profile": tape_profile(),
             "experiments": [
                 _table_record(key, table)
                 for key in SECTION_KEYS

@@ -159,6 +159,63 @@ def build_parser() -> argparse.ArgumentParser:
         "an explicit error instead of queueing without bound "
         "(default: unbounded)",
     )
+    serve.add_argument(
+        "--stats-interval", type=int, default=None,
+        help="emit a metrics-snapshot JSONL line after every N submitted "
+        "queries (and once at the end); pretty-print a captured line "
+        "with 'repro metrics'",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="observability reports: per-opcode tape profile, or a "
+        "Perfetto-loadable trace of a simulated serve run",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_kind", required=True)
+
+    trace_tape = trace_sub.add_parser(
+        "tape", parents=[model_opts, backend_opts],
+        help="profile one full-capacity batched tape evaluation: wall "
+        "time, primitive ops, and noise depth per opcode and per "
+        "instruction range",
+    )
+    trace_tape.add_argument("model")
+    trace_tape.add_argument("--batch-size", type=int, default=None)
+    trace_tape.add_argument(
+        "--seed", type=int, default=1234,
+        help="random seed for synthetic query generation",
+    )
+    trace_tape.add_argument(
+        "--json", dest="json_out", default=None,
+        help="also write the profile as a JSON record to this path",
+    )
+
+    trace_sim = trace_sub.add_parser(
+        "sim", parents=[model_opts],
+        help="run the deterministic scheduler simulation with span "
+        "tracing and export the trace (Chrome trace-event JSON loads "
+        "in Perfetto; JSONL is one span record per line)",
+    )
+    trace_sim.add_argument("model")
+    trace_sim.add_argument("--queries", type=int, default=200)
+    trace_sim.add_argument("--threads", type=int, default=2)
+    trace_sim.add_argument("--seed", type=int, default=4242)
+    trace_sim.add_argument(
+        "--format", choices=["chrome", "jsonl"], default="chrome",
+        help="export format (default: chrome)",
+    )
+    trace_sim.add_argument(
+        "-o", "--out", required=True,
+        help="output path for the exported trace",
+    )
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="pretty-print a metrics snapshot captured from "
+        "'repro serve --stats-interval' (JSON object, or JSONL: the "
+        "last line is used)",
+    )
+    metrics_cmd.add_argument("snapshot", help="snapshot file (JSON/JSONL)")
 
     bench = sub.add_parser(
         "bench", parents=[backend_opts],
@@ -339,6 +396,8 @@ def _cmd_batch_classify(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import json
+
     import numpy as np
 
     from repro.errors import RejectedQuery
@@ -347,6 +406,11 @@ def _cmd_serve(args) -> int:
     _check_service_args(args)
     if args.queries < 1:
         raise _FeatureParseError(f"--queries must be >= 1, got {args.queries}")
+    interval = args.stats_interval
+    if interval is not None and interval < 1:
+        raise _FeatureParseError(
+            f"--stats-interval must be >= 1, got {interval}"
+        )
     forest, compiled = _load_compiled(args.model, args.precision)
     rng = np.random.default_rng(args.seed)
     limit = 1 << compiled.precision
@@ -369,16 +433,24 @@ def _cmd_serve(args) -> int:
             encrypted_model=not args.plaintext_model,
         )
         print(f"serving {registered.describe()}")
+
+        def emit_snapshot() -> None:
+            print(json.dumps(service.metrics_snapshot(), sort_keys=True))
+
         futures = []
-        for features in queries:
+        for i, features in enumerate(queries, start=1):
             try:
                 futures.append(service.submit("cli", features))
             except RejectedQuery:
                 # Bounded queue at capacity: shed and keep driving (the
                 # open-loop load generator's behavior).
                 rejected += 1
+            if interval is not None and i % interval == 0:
+                emit_snapshot()
         service.flush("cli")
         results = [f.result() for f in futures]
+        if interval is not None:
+            emit_snapshot()
         stats = service.stats()
     failures = sum(1 for r in results if r.oracle_ok is False)
     print(stats.render())
@@ -507,6 +579,207 @@ def _cmd_sweep(_args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    if args.trace_kind == "tape":
+        return _cmd_trace_tape(args)
+    return _cmd_trace_sim(args)
+
+
+def _cmd_trace_tape(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.fhe.context import FheContext
+    from repro.ir.plan import bind_model_query
+    from repro.obs.profiler import TapeProfiler
+    from repro.serve.batched_runtime import encrypt_batch
+    from repro.serve.registry import ModelRegistry
+
+    if args.batch_size is not None and args.batch_size < 1:
+        raise _FeatureParseError(
+            f"--batch-size must be >= 1, got {args.batch_size}"
+        )
+    _, compiled = _load_compiled(args.model, args.precision)
+    registered = ModelRegistry().register(
+        "cli", compiled, max_batch_size=args.batch_size,
+        backend=args.backend, engine="tape",
+    )
+    rng = np.random.default_rng(args.seed)
+    limit = 1 << compiled.precision
+    queries = [
+        [int(v) for v in rng.integers(0, limit, compiled.n_features)]
+        for _ in range(registered.layout.capacity)
+    ]
+    ctx = FheContext(registered.params, backend=registered.backend)
+    query = encrypt_batch(ctx, registered.layout, queries, registered.keys)
+    bindings = bind_model_query(
+        ctx,
+        registered.tape.input_widths,
+        registered.tape.encrypted_model,
+        registered.tape.model_fingerprint,
+        registered.batched_model,
+        query,
+    )
+    profiler = TapeProfiler()
+    registered.tape.execute(ctx, bindings, profiler=profiler)
+    print(
+        f"tape profile: {registered.describe()}\n"
+        f"({len(queries)}-query batch, backend {registered.backend})\n"
+    )
+    print(profiler.report())
+    if args.json_out:
+        record = profiler.as_dict()
+        record["model"] = args.model
+        record["backend"] = registered.backend
+        with open(args.json_out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json_out}")
+    return 0
+
+
+def _cmd_trace_sim(args) -> int:
+    import json
+
+    from repro.obs.trace import Tracer
+    from repro.serve import (
+        FaultPlan,
+        ModelProfile,
+        SimRunner,
+        TenantSpec,
+        generate_arrivals,
+    )
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.simclock import MS
+
+    if args.queries < 1:
+        raise _FeatureParseError(
+            f"--queries must be >= 1, got {args.queries}"
+        )
+    if args.threads < 1:
+        raise _FeatureParseError(
+            f"--threads must be >= 1, got {args.threads}"
+        )
+    _, compiled = _load_compiled(args.model, args.precision)
+    registered = ModelRegistry().register("cli", compiled)
+    profile = ModelProfile.from_registered(
+        registered, max_pending=max(64, 4 * registered.batch_capacity)
+    )
+    # The soak experiment's traffic shape: two Poisson tenants and one
+    # bursty one at moderate load, with deadlines at 2x the batch cost.
+    service_s = profile.service_ms * MS
+    rate = 0.6 * args.threads * profile.capacity / service_s
+    deadline_ms = 2.0 * profile.service_ms
+    tenants = [
+        TenantSpec(name="steady-a", model=profile.name,
+                   rate_qps=rate * 0.5, deadline_ms=deadline_ms),
+        TenantSpec(name="steady-b", model=profile.name,
+                   rate_qps=rate * 0.35, deadline_ms=deadline_ms),
+        TenantSpec(name="bursty", model=profile.name,
+                   burst_every_s=40.0 * service_s,
+                   burst_size=max(1, profile.capacity // 2),
+                   deadline_ms=deadline_ms),
+    ]
+    arrivals = generate_arrivals(
+        tenants, seed=args.seed, total_queries=args.queries
+    )
+    crash_at = arrivals[len(arrivals) // 2].time
+    tracer = Tracer()
+    runner = SimRunner([profile], threads=args.threads, tracer=tracer)
+    report = runner.run(
+        arrivals,
+        FaultPlan(worker_crashes=(crash_at,), slow_every=13,
+                  slow_factor=2.0),
+    )
+    spans = tracer.spans()
+    if args.format == "chrome":
+        from repro.obs.trace import chrome_json
+
+        payload = chrome_json(spans)
+    else:
+        from repro.obs.trace import export_jsonl
+
+        payload = export_jsonl(spans)
+    with open(args.out, "w") as handle:
+        handle.write(payload)
+    stats = report.stats
+    print(
+        f"simulated {stats.submitted} submissions on {args.threads} "
+        f"workers (seed {args.seed}): {stats.completed} completed, "
+        f"{stats.rejected} rejected, {stats.failed} failed, "
+        f"{stats.batches} batches"
+    )
+    print(
+        f"wrote {len(spans)} spans ({args.format}, deterministic per "
+        f"seed) to {args.out}"
+    )
+    return 0
+
+
+def _render_metric_block(title: str, entries, fmt) -> List[str]:
+    lines: List[str] = []
+    if entries:
+        lines.append(f"{title}:")
+        width = max(len(name) for name in entries)
+        for name in sorted(entries):
+            lines.append(f"  {name:<{width}} : {fmt(entries[name])}")
+    return lines
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    with open(args.snapshot) as handle:
+        text = handle.read().strip()
+    if not text:
+        raise _FeatureParseError(f"{args.snapshot} is empty")
+    # Accept a plain JSON object or JSONL (use the newest snapshot line).
+    line = text.splitlines()[-1]
+    try:
+        snapshot = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise _FeatureParseError(
+            f"{args.snapshot} is not a metrics snapshot: {exc}"
+        )
+    if not isinstance(snapshot, dict):
+        raise _FeatureParseError(
+            f"{args.snapshot} is not a metrics snapshot (expected a JSON "
+            f"object)"
+        )
+
+    def fmt_number(value) -> str:
+        if isinstance(value, float) and not value.is_integer():
+            return f"{value:.6g}"
+        return str(int(value)) if isinstance(value, (int, float)) else str(value)
+
+    def fmt_histogram(value) -> str:
+        if isinstance(value, dict):
+            return (
+                f"count={fmt_number(value.get('count', 0))} "
+                f"sum={fmt_number(value.get('sum', 0.0))} "
+                f"max={fmt_number(value.get('max', 0.0))} "
+                f"p50={fmt_number(value.get('p50', 0.0))} "
+                f"p99={fmt_number(value.get('p99', 0.0))}"
+            )
+        return str(value)
+
+    lines: List[str] = [f"metrics snapshot ({args.snapshot})"]
+    lines += _render_metric_block(
+        "counters", snapshot.get("counters", {}), fmt_number
+    )
+    lines += _render_metric_block(
+        "gauges", snapshot.get("gauges", {}), fmt_number
+    )
+    lines += _render_metric_block(
+        "histograms", snapshot.get("histograms", {}), fmt_histogram
+    )
+    if len(lines) == 1:
+        lines.append("(no instruments recorded)")
+    print("\n".join(lines))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -518,6 +791,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "bench": _cmd_bench,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }
     try:
         return handlers[args.command](args)

@@ -155,6 +155,15 @@ class OpTracker:
                 totals[kind] = totals.get(kind, 0) + n
         return totals
 
+    def counts_snapshot(self) -> Dict[OpKind, int]:
+        """A point-in-time copy of the total counts, safe to diff later.
+
+        The tape profiler (:mod:`repro.obs.profiler`) brackets each
+        instruction with two snapshots and stores the delta, so summing
+        its samples reconciles exactly with :meth:`total_counts`.
+        """
+        return self.total_counts()
+
     def count(self, kind: OpKind, phase: Optional[str] = None) -> int:
         if phase is None:
             return self.total_counts().get(kind, 0)

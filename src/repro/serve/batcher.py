@@ -131,10 +131,17 @@ class QueryBatcher:
         registered: RegisteredModel,
         seccomp_variant: str = VARIANT_ALOUFI,
         verify_oracle: bool = True,
+        tracer=None,
+        clock=None,
     ):
         self.registered = registered
         self.seccomp_variant = seccomp_variant
         self.verify_oracle = verify_oracle and registered.forest is not None
+        #: Optional span tracer + clock: when both are set, evaluation
+        #: emits pack / execute / demux / resolve stage spans parented
+        #: on the scheduler's batch span (zero-cost when None).
+        self.tracer = tracer
+        self.clock = clock
 
     # ------------------------------------------------------------------
     # Submission-time validation
@@ -169,25 +176,49 @@ class QueryBatcher:
     # Evaluation
     # ------------------------------------------------------------------
 
-    def evaluate(self, batch: CutBatch) -> BatchRecord:
+    def evaluate(
+        self,
+        batch: CutBatch,
+        parent_span: Optional[int] = None,
+        worker: Optional[int] = None,
+    ) -> BatchRecord:
         """Run one batch end to end and resolve its futures.
 
         An evaluation failure is propagated through every future in the
         batch before being re-raised, so submitters always learn the
         outcome and the failure stays contained to those queries.
+
+        ``parent_span``/``worker`` (from the scheduler's
+        :class:`~repro.serve.scheduler.Assignment`) parent the stage
+        spans a tracing-enabled batcher emits.
         """
         try:
-            return self._evaluate(batch)
+            return self._evaluate(batch, parent_span, worker)
         except BaseException as exc:
             for entry in batch.entries:
                 if not entry.future.done():
                     entry.future.set_exception(exc)
             raise
 
-    def _evaluate(self, batch: CutBatch) -> BatchRecord:
+    def _evaluate(
+        self,
+        batch: CutBatch,
+        parent_span: Optional[int] = None,
+        worker: Optional[int] = None,
+    ) -> BatchRecord:
         entries = batch.entries
         registered = self.registered
         layout = registered.layout
+        tracer = self.tracer if self.clock is not None else None
+        if tracer is not None:
+            track = "batcher" if worker is None else f"worker:{worker}"
+
+            def stage(name: str):
+                return tracer.begin(
+                    name, self.clock.now(), parent=parent_span,
+                    track=track, batch_id=batch.batch_id,
+                )
+
         ctx = FheContext(registered.params, backend=registered.backend)
         server = BatchedCopseServer(
             ctx,
@@ -197,12 +228,25 @@ class QueryBatcher:
             tape=registered.tape,
         )
 
+        if tracer is not None:
+            span = stage("pack")
         query = encrypt_batch(
             ctx, layout, [e.features for e in entries], registered.keys
         )
+        if tracer is not None:
+            tracer.end(span, self.clock.now(), size=len(entries))
+            span = stage("execute")
         encrypted = server.classify_batch(registered.batched_model, query)
+        if tracer is not None:
+            tracer.end(
+                span, self.clock.now(), engine=registered.engine
+            )
+            span = stage("demux")
         bits = ctx.decrypt_bits(encrypted, registered.keys.secret)
         bitvectors = demux_bitvectors(layout, bits, len(entries))
+        if tracer is not None:
+            tracer.end(span, self.clock.now())
+            span = stage("resolve")
 
         cost = registered.cost_model
         if registered.engine == ENGINE_TAPE:
@@ -245,7 +289,7 @@ class QueryBatcher:
                     oracle_ok=oracle_ok,
                 )
             )
-        return BatchRecord(
+        record = BatchRecord(
             model=registered.name,
             batch_id=batch_id,
             size=size,
@@ -256,3 +300,9 @@ class QueryBatcher:
             data_encrypt_ms=phase_ms[PHASE_DATA_ENCRYPT],
             oracle_failures=oracle_failures,
         )
+        if tracer is not None:
+            tracer.end(
+                span, self.clock.now(),
+                oracle_failures=oracle_failures or 0,
+            )
+        return record

@@ -340,6 +340,8 @@ class SimRunner:
         profiles: Sequence[ModelProfile],
         threads: int = 2,
         max_retries: int = 1,
+        tracer=None,
+        metrics=None,
     ):
         if not profiles:
             raise ValidationError("SimRunner needs at least one profile")
@@ -348,10 +350,17 @@ class SimRunner:
         }
         self.threads = threads
         self.clock = VirtualClock()
+        #: Optional span tracer threaded into the core.  Every event the
+        #: simulation processes is timestamped by the virtual clock, so a
+        #: traced run exports byte-identical JSONL/Chrome traces per
+        #: seed (the trace-determinism soak locks exactly this).
+        self.tracer = tracer
         self.core = SchedulerCore(
             workers=threads,
             max_retries=max_retries,
             record_decisions=True,
+            tracer=tracer,
+            metrics=metrics,
         )
         for profile in profiles:
             self.core.add_queue(

@@ -120,12 +120,33 @@ class RegisteredModel:
 
 
 class ModelRegistry:
-    """Thread-safe name -> :class:`RegisteredModel` store."""
+    """Thread-safe name -> :class:`RegisteredModel` store.
 
-    def __init__(self, default_params: Optional[EncryptionParams] = None):
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) makes
+    registration observable: a gauge of live models and per-model setup
+    cost counters, written here so the one-time offline pipeline shows
+    up in the same snapshot as the serve-time counters.
+    """
+
+    def __init__(self, default_params: Optional[EncryptionParams] = None,
+                 metrics=None):
         self._default_params = default_params
         self._models: Dict[str, RegisteredModel] = {}
         self._lock = threading.Lock()
+        self.metrics = metrics
+
+    def _record_registration(self, registered: RegisteredModel,
+                             delta: int) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge("registry_models").inc(delta)
+        if delta > 0:
+            self.metrics.counter("registry_setup_ms").inc(
+                registered.setup_ms
+            )
+            self.metrics.counter(
+                "registry_registered", {"model": registered.name}
+            ).inc()
 
     def register(
         self,
@@ -247,6 +268,7 @@ class ModelRegistry:
                     f"a model named {name!r} is already registered"
                 )
             self._models[name] = registered
+        self._record_registration(registered, +1)
         return registered
 
     def get(self, name: str) -> RegisteredModel:
@@ -264,7 +286,9 @@ class ModelRegistry:
 
     def unregister(self, name: str) -> None:
         with self._lock:
-            self._models.pop(name, None)
+            removed = self._models.pop(name, None)
+        if removed is not None:
+            self._record_registration(removed, -1)
 
     def __contains__(self, name: str) -> bool:
         with self._lock:

@@ -46,11 +46,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import RejectedQuery, ServeError, ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    OUTCOME_CANCELLED,
+    OUTCOME_COMPLETED,
+    OUTCOME_FAILED,
+    OUTCOME_REJECTED,
+)
 from repro.serve.simclock import MS, Clock, RealClock
 
 #: Completions whose latencies feed the percentile window; older samples
@@ -82,6 +88,10 @@ class QueryTicket:
     priority: int
     seq: int
     retries: int = 0
+    #: Root ``query`` span id (None when tracing is disabled).
+    span: Optional[int] = None
+    #: The currently-open ``queue_wait`` child span (one per attempt).
+    wait_span: Optional[int] = None
 
     @property
     def future(self):
@@ -102,6 +112,9 @@ class Assignment:
     worker: int
     tickets: List[QueryTicket]
     cut_time: float
+    #: ``batch`` span id, linked to member query spans (None when
+    #: tracing is disabled) — evaluators parent their stage spans on it.
+    span: Optional[int] = None
 
     @property
     def size(self) -> int:
@@ -154,6 +167,13 @@ class SchedulerStats:
             f"  latency p50 / p99 ms : {self.latency_p50_ms:.3f} / "
             f"{self.latency_p99_ms:.3f}",
         ]
+        if self.per_tenant_submitted:
+            tenants = ", ".join(
+                f"{t}={n}" for t, n in sorted(
+                    self.per_tenant_submitted.items()
+                )
+            )
+            lines.append(f"  submitted per tenant : {tenants}")
         if self.per_tenant_completed:
             tenants = ", ".join(
                 f"{t}={n}" for t, n in sorted(
@@ -161,6 +181,13 @@ class SchedulerStats:
                 )
             )
             lines.append(f"  completed per tenant : {tenants}")
+        if self.per_queue_completed:
+            queues = ", ".join(
+                f"{q}={n}" for q, n in sorted(
+                    self.per_queue_completed.items()
+                )
+            )
+            lines.append(f"  completed per queue  : {queues}")
         return "\n".join(lines)
 
 
@@ -277,7 +304,9 @@ class SchedulerCore:
     """
 
     def __init__(self, workers: int, max_retries: int = 1,
-                 record_decisions: bool = False):
+                 record_decisions: bool = False,
+                 tracer=None,
+                 metrics: Optional[MetricsRegistry] = None):
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
         if max_retries < 0:
@@ -297,25 +326,36 @@ class SchedulerCore:
         self.decisions: Optional[List[Tuple]] = (
             [] if record_decisions else None
         )
-        # ---- counters -------------------------------------------------
-        self._submitted = 0
-        self._completed = 0
-        self._rejected = 0
-        self._failed = 0
-        self._cancelled = 0
-        self._retries = 0
-        self._deadline_misses = 0
-        self._worker_crashes = 0
-        self._batches = 0
+        #: Span tracer (``repro.obs.trace.Tracer``), or None.  Every
+        #: tracer call is guarded by ``is not None`` so a traceless core
+        #: pays nothing, and every call passes the caller's explicit
+        #: ``now`` — the core still never reads a clock.
+        self.tracer = tracer
+        # ---- counters (registry-backed: one source of truth) ----------
+        #: All scheduling counters live in a MetricsRegistry; the plain
+        #: attributes below are the cached instruments, so hot-path
+        #: increments stay attribute lookups.  stats() reads the same
+        #: registry back into the immutable SchedulerStats view.
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        m = self.metrics
+        self._submitted = m.counter("sched_submitted")
+        self._completed = m.counter("sched_completed")
+        self._rejected = m.counter("sched_rejected")
+        self._failed = m.counter("sched_failed")
+        self._cancelled = m.counter("sched_cancelled")
+        self._retries = m.counter("sched_retries")
+        self._deadline_misses = m.counter("sched_deadline_misses")
+        self._worker_crashes = m.counter("sched_worker_crashes")
+        self._batches = m.counter("sched_batches")
         #: Latency percentiles are computed over a sliding window of the
         #: most recent completions — bounded memory and a bounded sort
         #: per stats() call under sustained load (the max is tracked
         #: exactly, all-time).
-        self._latencies_ms: Deque[float] = deque(maxlen=LATENCY_WINDOW)
-        self._latency_max_ms = 0.0
-        self._tenant_submitted: Dict[str, int] = {}
-        self._tenant_completed: Dict[str, int] = {}
-        self._queue_completed: Dict[str, int] = {}
+        self._latencies_ms = m.histogram(
+            "sched_latency_ms", window=LATENCY_WINDOW
+        )
         self._pending_failures: List[Tuple[Any, Exception]] = []
 
     # ------------------------------------------------------------------
@@ -341,7 +381,8 @@ class SchedulerCore:
             queue.vtime = min(q.vtime for q in self._queues.values())
         self._queues[name] = queue
 
-    def remove_queue(self, name: str) -> int:
+    def remove_queue(self, name: str,
+                     now: Optional[float] = None) -> int:
         """Drop a queue, failing its still-pending tickets.  Returns the
         number of tickets failed."""
         queue = self._queues.pop(name, None)
@@ -355,6 +396,7 @@ class SchedulerCore:
                     f"model {name!r} was unregistered with the query "
                     f"still queued"
                 ),
+                now=now,
             )
             failed += 1
         return failed
@@ -415,11 +457,19 @@ class SchedulerCore:
             queue.max_pending is not None
             and len(queue.heap) >= queue.max_pending
         ):
-            self._rejected += 1
-            self._submitted += 1
-            self._tenant_submitted[tenant] = (
-                self._tenant_submitted.get(tenant, 0) + 1
-            )
+            self._rejected.inc()
+            self._submitted.inc()
+            self.metrics.counter(
+                "sched_tenant_submitted", {"tenant": tenant}
+            ).inc()
+            if self.tracer is not None:
+                # Rejected queries still get a (zero-duration) root span
+                # so span conservation covers every submission.
+                span = self.tracer.begin(
+                    "query", now, track=f"tenant:{tenant}",
+                    queue=name, tenant=tenant, priority=priority,
+                )
+                self.tracer.end(span, now, outcome=OUTCOME_REJECTED)
             raise RejectedQuery(
                 f"queue for model {name!r} is full "
                 f"({len(queue.heap)}/{queue.max_pending} pending); "
@@ -438,11 +488,22 @@ class SchedulerCore:
             priority=priority,
             seq=next(self._seq),
         )
+        if self.tracer is not None:
+            track = f"tenant:{tenant}"
+            ticket.span = self.tracer.begin(
+                "query", now, track=track,
+                queue=name, tenant=tenant, priority=priority,
+                seq=ticket.seq,
+            )
+            self.tracer.event("admit", now, parent=ticket.span, track=track)
+            ticket.wait_span = self.tracer.begin(
+                "queue_wait", now, parent=ticket.span, track=track
+            )
         queue.push(ticket)
-        self._submitted += 1
-        self._tenant_submitted[tenant] = (
-            self._tenant_submitted.get(tenant, 0) + 1
-        )
+        self._submitted.inc()
+        self.metrics.counter(
+            "sched_tenant_submitted", {"tenant": tenant}
+        ).inc()
         return ticket
 
     def flush(self, name: Optional[str] = None) -> None:
@@ -503,7 +564,14 @@ class SchedulerCore:
                 if ticket.future.set_running_or_notify_cancel():
                     tickets.append(ticket)
                 else:
-                    self._cancelled += 1
+                    self._cancelled.inc()
+                    if self.tracer is not None and ticket.span is not None:
+                        if ticket.wait_span is not None:
+                            self.tracer.end(ticket.wait_span, now)
+                            ticket.wait_span = None
+                        self.tracer.end(
+                            ticket.span, now, outcome=OUTCOME_CANCELLED
+                        )
             queue.invalidate_cut_cache()
             if not queue.heap:
                 queue.flush_pending = False
@@ -521,8 +589,24 @@ class SchedulerCore:
                 tickets=tickets,
                 cut_time=now,
             )
+            if self.tracer is not None:
+                assignment.span = self.tracer.begin(
+                    "batch", now, track=f"worker:{worker}",
+                    queue=queue.name, batch_id=assignment.batch_id,
+                    size=len(tickets),
+                    members=[
+                        t.span for t in tickets if t.span is not None
+                    ],
+                )
+                for ticket in tickets:
+                    if ticket.wait_span is not None:
+                        self.tracer.end(
+                            ticket.wait_span, now,
+                            batch_id=assignment.batch_id,
+                        )
+                        ticket.wait_span = None
             self._running[worker] = assignment
-            self._batches += 1
+            self._batches.inc()
             if self.decisions is not None:
                 self.decisions.append((
                     assignment.batch_id,
@@ -555,41 +639,61 @@ class SchedulerCore:
             )
         del self._running[assignment.worker]
         heapq.heappush(self._free, assignment.worker)
+        tracer = self.tracer
+        if tracer is not None and assignment.span is not None:
+            tracer.end(assignment.span, now, outcome=outcome)
         if outcome == OUTCOME_OK:
             finished_queue = self._queues.get(assignment.queue)
             if finished_queue is not None:
                 finished_queue.observe_service(now - assignment.cut_time)
             for ticket in assignment.tickets:
-                self._completed += 1
+                self._completed.inc()
                 latency_ms = (now - ticket.submit_time) / MS
-                self._latencies_ms.append(latency_ms)
-                if latency_ms > self._latency_max_ms:
-                    self._latency_max_ms = latency_ms
-                if ticket.deadline is not None and now > ticket.deadline:
-                    self._deadline_misses += 1
-                self._tenant_completed[ticket.tenant] = (
-                    self._tenant_completed.get(ticket.tenant, 0) + 1
-                )
-                self._queue_completed[ticket.queue] = (
-                    self._queue_completed.get(ticket.queue, 0) + 1
-                )
+                self._latencies_ms.observe(latency_ms)
+                missed = ticket.deadline is not None and now > ticket.deadline
+                if missed:
+                    self._deadline_misses.inc()
+                self.metrics.counter(
+                    "sched_tenant_completed", {"tenant": ticket.tenant}
+                ).inc()
+                self.metrics.counter(
+                    "sched_queue_completed", {"queue": ticket.queue}
+                ).inc()
+                if tracer is not None and ticket.span is not None:
+                    tracer.end(
+                        ticket.span, now,
+                        outcome=OUTCOME_COMPLETED,
+                        batch_id=assignment.batch_id,
+                        deadline_missed=missed,
+                        retries=ticket.retries,
+                    )
         elif outcome == OUTCOME_ERROR:
             for ticket in assignment.tickets:
                 self._fail_ticket(ticket, ServeError(
                     f"batch {assignment.batch_id} evaluation failed"
-                ))
+                ), now=now)
         elif outcome == OUTCOME_CRASH:
-            self._worker_crashes += 1
+            self._worker_crashes.inc()
             queue = self._queues.get(assignment.queue)
             for ticket in assignment.tickets:
                 if queue is not None and ticket.retries < self.max_retries:
                     ticket.retries += 1
-                    self._retries += 1
+                    self._retries.inc()
                     # A fresh future: the old one is already RUNNING and
                     # cannot re-enter the cancelled/pending protocol.
                     ticket.payload.future = _replace_future(
                         ticket.payload.future
                     )
+                    if tracer is not None and ticket.span is not None:
+                        track = f"tenant:{ticket.tenant}"
+                        tracer.event(
+                            "retry", now, parent=ticket.span, track=track,
+                            attempt=ticket.retries,
+                        )
+                        ticket.wait_span = tracer.begin(
+                            "queue_wait", now, parent=ticket.span,
+                            track=track,
+                        )
                     queue.push(ticket)
                 else:
                     self._fail_ticket(ticket, ServeError(
@@ -597,7 +701,7 @@ class SchedulerCore:
                         f"{ticket.retries + 1} worker crash(es) on model "
                         f"{ticket.queue!r} (max_retries="
                         f"{self.max_retries})"
-                    ))
+                    ), now=now)
         else:
             raise ValidationError(f"unknown completion outcome {outcome!r}")
 
@@ -607,19 +711,28 @@ class SchedulerCore:
         interrupted assignment, if there was one."""
         assignment = self._running.get(worker)
         if assignment is None:
-            self._worker_crashes += 1
+            self._worker_crashes.inc()
             return None
         self.complete(assignment, now, OUTCOME_CRASH)
         return assignment
 
-    def _fail_ticket(self, ticket: QueryTicket, exc: Exception) -> None:
+    def _fail_ticket(self, ticket: QueryTicket, exc: Exception,
+                     now: Optional[float] = None) -> None:
         # Deferred delivery: resolving a future can run arbitrary
         # caller done-callbacks, and the threaded engine invokes core
         # methods under its condition lock — a callback that touches the
         # scheduler (stats, result() on a sibling query) would deadlock
         # the pool.  Counters update here; the future resolves when the
         # caller drains, outside any lock.
-        self._failed += 1
+        self._failed.inc()
+        if self.tracer is not None and ticket.span is not None:
+            # Callers without a clock (queue teardown) fall back to the
+            # submit time: the span still terminates, with zero wait.
+            at = now if now is not None else ticket.submit_time
+            if ticket.wait_span is not None:
+                self.tracer.end(ticket.wait_span, at)
+                ticket.wait_span = None
+            self.tracer.end(ticket.span, at, outcome=OUTCOME_FAILED)
         self._pending_failures.append((ticket.future, exc))
 
     def drain_failures(self) -> List[Tuple[Any, Exception]]:
@@ -636,29 +749,37 @@ class SchedulerCore:
     # ------------------------------------------------------------------
 
     def stats(self) -> SchedulerStats:
-        ranked = sorted(self._latencies_ms)
+        m = self.metrics
+        # Point-in-time queue state rides along in the registry so a
+        # metrics snapshot sees it without a SchedulerStats in hand.
+        m.gauge("sched_pending").set(self.pending())
+        m.gauge("sched_running").set(self.running)
+        ranked = sorted(self._latencies_ms.window_values())
         return SchedulerStats(
-            submitted=self._submitted,
-            completed=self._completed,
-            rejected=self._rejected,
-            failed=self._failed,
-            cancelled=self._cancelled,
-            retries=self._retries,
-            deadline_misses=self._deadline_misses,
-            worker_crashes=self._worker_crashes,
-            batches=self._batches,
+            submitted=int(self._submitted.value),
+            completed=int(self._completed.value),
+            rejected=int(self._rejected.value),
+            failed=int(self._failed.value),
+            cancelled=int(self._cancelled.value),
+            retries=int(self._retries.value),
+            deadline_misses=int(self._deadline_misses.value),
+            worker_crashes=int(self._worker_crashes.value),
+            batches=int(self._batches.value),
             latency_p50_ms=round(_percentile(ranked, 0.50), 6),
             latency_p99_ms=round(_percentile(ranked, 0.99), 6),
-            latency_max_ms=round(self._latency_max_ms, 6),
-            per_tenant_submitted=dict(sorted(
-                self._tenant_submitted.items()
-            )),
-            per_tenant_completed=dict(sorted(
-                self._tenant_completed.items()
-            )),
-            per_queue_completed=dict(sorted(
-                self._queue_completed.items()
-            )),
+            latency_max_ms=round(self._latencies_ms.max, 6),
+            per_tenant_submitted={
+                tenant: int(count) for tenant, count in
+                m.labeled_values("sched_tenant_submitted").items()
+            },
+            per_tenant_completed={
+                tenant: int(count) for tenant, count in
+                m.labeled_values("sched_tenant_completed").items()
+            },
+            per_queue_completed={
+                queue: int(count) for queue, count in
+                m.labeled_values("sched_queue_completed").items()
+            },
         )
 
 
@@ -718,12 +839,17 @@ class Scheduler:
         clock: Optional[Clock] = None,
         name: str = "copse-serve",
         max_retries: int = 1,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if threads < 1:
             raise ValidationError(f"threads must be >= 1, got {threads}")
         self.threads = threads
         self.clock: Clock = clock if clock is not None else RealClock()
-        self._core = SchedulerCore(workers=threads, max_retries=max_retries)
+        self._core = SchedulerCore(
+            workers=threads, max_retries=max_retries,
+            tracer=tracer, metrics=metrics,
+        )
         self._evaluators: Dict[str, Callable[[Assignment], None]] = {}
         self._cond = threading.Condition()
         self._stopping = False
@@ -762,7 +888,7 @@ class Scheduler:
 
     def remove_queue(self, name: str) -> int:
         with self._cond:
-            failed = self._core.remove_queue(name)
+            failed = self._core.remove_queue(name, now=self.clock.now())
             self._evaluators.pop(name, None)
             failures = self._core.drain_failures()
         deliver_failures(failures)  # outside the lock: callbacks may
@@ -817,6 +943,15 @@ class Scheduler:
     def stats(self) -> SchedulerStats:
         with self._cond:
             return self._core.stats()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry backing the core's counters (shared, lock-safe)."""
+        return self._core.metrics
+
+    @property
+    def tracer(self):
+        return self._core.tracer
 
     @property
     def closed(self) -> bool:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry
 from repro.core.compiler import CompiledModel
 from repro.core.runtime import ENGINE_TAPE, ENGINES, PHASE_PLAN, PHASE_TAPE
 from repro.core.seccomp import VARIANT_ALOUFI
@@ -185,66 +186,94 @@ class ServiceStats:
 
 
 class _StatsAggregator:
-    """Thread-safe accumulator for per-batch records."""
+    """Registry-backed accumulator for per-batch records.
 
-    def __init__(self, threads: int):
+    Every numeric aggregate lives in the service's shared
+    :class:`~repro.obs.metrics.MetricsRegistry` — the same store the
+    scheduler core's counters live in — so a metrics snapshot (or the
+    Prometheus export) sees evaluation totals and scheduling counters
+    together, and :class:`ServiceStats` is a pure view over it.  The
+    aggregator's own lock only orders the *multi-instrument* update of
+    one batch record, so a concurrent snapshot never sees half a batch.
+    """
+
+    def __init__(self, threads: int, metrics: MetricsRegistry):
         self._lock = threading.Lock()
         self._threads = threads
-        self._queries = 0
-        self._batches = 0
-        self._capacity_total = 0
-        self._phase_ms: Dict[str, float] = {}
-        self._op_counts: Dict[str, int] = {}
-        self._phase_op_counts: Dict[str, Dict[str, int]] = {}
-        self._inference_ms = 0.0
-        self._data_encrypt_ms = 0.0
-        self._setup_ms = 0.0
-        self._oracle_failures = 0
+        self._metrics = metrics
+        m = metrics
+        self._queries = m.counter("svc_queries")
+        self._batches = m.counter("svc_batches")
+        self._capacity_total = m.counter("svc_capacity_total")
+        self._inference_ms = m.counter("svc_inference_ms")
+        self._data_encrypt_ms = m.counter("svc_data_encrypt_ms")
+        self._setup_ms = m.counter("svc_setup_ms")
+        self._oracle_failures = m.counter("svc_oracle_failures")
+        self._batch_fill = m.histogram("svc_batch_fill")
+        #: model -> backend name: identity metadata, not a metric.
         self._model_backends: Dict[str, str] = {}
 
     def record_setup(self, registered: RegisteredModel) -> None:
         with self._lock:
-            self._setup_ms += registered.setup_ms
+            self._setup_ms.inc(registered.setup_ms)
             self._model_backends[registered.name] = registered.backend
 
     def record_batch(self, record: BatchRecord) -> None:
+        m = self._metrics
         with self._lock:
-            self._queries += record.size
-            self._batches += 1
-            self._capacity_total += record.capacity
+            self._queries.inc(record.size)
+            self._batches.inc()
+            self._capacity_total.inc(record.capacity)
+            if record.capacity:
+                self._batch_fill.observe(record.size / record.capacity)
             for phase, ms in record.phase_ms.items():
-                self._phase_ms[phase] = self._phase_ms.get(phase, 0.0) + ms
+                m.counter("svc_phase_ms", {"phase": phase}).inc(ms)
             for phase in record.tracker.phases:
-                per_phase = self._phase_op_counts.setdefault(phase, {})
-                for kind, n in record.tracker.phase_stats(phase).counts.items():
-                    key = kind.value
-                    self._op_counts[key] = self._op_counts.get(key, 0) + n
-                    per_phase[key] = per_phase.get(key, 0) + n
-            self._inference_ms += record.inference_ms
-            self._data_encrypt_ms += record.data_encrypt_ms
+                counts = record.tracker.phase_stats(phase).counts
+                for kind, n in counts.items():
+                    m.counter("svc_ops", {"op": kind.value}).inc(n)
+                    m.counter(
+                        "svc_phase_ops",
+                        {"phase": phase, "op": kind.value},
+                    ).inc(n)
+            self._inference_ms.inc(record.inference_ms)
+            self._data_encrypt_ms.inc(record.data_encrypt_ms)
             if record.oracle_failures:
-                self._oracle_failures += record.oracle_failures
+                self._oracle_failures.inc(record.oracle_failures)
 
     def snapshot(
         self, scheduler: Optional[SchedulerStats] = None
     ) -> ServiceStats:
+        m = self._metrics
         with self._lock:
+            phase_op_counts: Dict[str, Dict[str, int]] = {}
+            for key, instrument in sorted(m.family("svc_phase_ops").items()):
+                labels = dict(pair.split("=", 1) for pair in key)
+                phase_op_counts.setdefault(labels["phase"], {})[
+                    labels["op"]
+                ] = int(instrument.value)
             return ServiceStats(
                 scheduler=scheduler,
-                queries=self._queries,
-                batches=self._batches,
-                capacity_total=self._capacity_total,
-                phase_ms=dict(self._phase_ms),
-                op_counts=dict(self._op_counts),
-                inference_ms=self._inference_ms,
-                data_encrypt_ms=self._data_encrypt_ms,
-                setup_ms=self._setup_ms,
-                oracle_failures=self._oracle_failures,
-                threads=self._threads,
-                phase_op_counts={
-                    phase: dict(counts)
-                    for phase, counts in self._phase_op_counts.items()
+                queries=int(self._queries.value),
+                batches=int(self._batches.value),
+                capacity_total=int(self._capacity_total.value),
+                phase_ms={
+                    phase: instrument.value
+                    for phase, instrument in sorted(
+                        (key[0].split("=", 1)[1], inst)
+                        for key, inst in m.family("svc_phase_ms").items()
+                    )
                 },
+                op_counts={
+                    op: int(v)
+                    for op, v in m.labeled_values("svc_ops").items()
+                },
+                inference_ms=self._inference_ms.value,
+                data_encrypt_ms=self._data_encrypt_ms.value,
+                setup_ms=self._setup_ms.value,
+                oracle_failures=int(self._oracle_failures.value),
+                threads=self._threads,
+                phase_op_counts=phase_op_counts,
                 model_backends=dict(self._model_backends),
             )
 
@@ -285,6 +314,8 @@ class CopseService:
         default_deadline_ms: Optional[float] = None,
         max_queue: Optional[int] = None,
         max_retries: int = 1,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if engine not in ENGINES:
             raise ValidationError(
@@ -294,9 +325,22 @@ class CopseService:
             raise ValidationError(
                 f"default_deadline_ms must be > 0, got {default_deadline_ms}"
             )
-        self.registry = ModelRegistry(default_params=params)
+        #: One shared registry: the scheduler core's counters, the model
+        #: registry's setup metrics, and the batch aggregates all write
+        #: here, so one snapshot tells the whole story.
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        #: Optional span tracer (``repro.obs.trace.Tracer``): threads
+        #: through scheduler (query/batch spans) and batchers (stage
+        #: spans).  None — the default — costs nothing on any hot path.
+        self.tracer = tracer
+        self.registry = ModelRegistry(
+            default_params=params, metrics=self.metrics
+        )
         self.scheduler = Scheduler(
-            threads=threads, clock=clock, max_retries=max_retries
+            threads=threads, clock=clock, max_retries=max_retries,
+            tracer=tracer, metrics=self.metrics,
         )
         self.seccomp_variant = seccomp_variant
         self.verify_oracle = verify_oracle
@@ -308,7 +352,7 @@ class CopseService:
         self.backend = canonical_backend_name(backend)
         self._batchers: Dict[str, QueryBatcher] = {}
         self._lock = threading.Lock()
-        self._stats = _StatsAggregator(threads=threads)
+        self._stats = _StatsAggregator(threads=threads, metrics=self.metrics)
 
     # ------------------------------------------------------------------
     # Registration
@@ -352,6 +396,8 @@ class CopseService:
             registered,
             seccomp_variant=self.seccomp_variant,
             verify_oracle=self.verify_oracle,
+            tracer=self.tracer,
+            clock=self.scheduler.clock,
         )
 
         def evaluate(assignment: Assignment) -> None:
@@ -359,7 +405,11 @@ class CopseService:
                 batch_id=assignment.batch_id,
                 entries=[t.payload for t in assignment.tickets],
             )
-            record = batcher.evaluate(batch)
+            record = batcher.evaluate(
+                batch,
+                parent_span=assignment.span,
+                worker=assignment.worker,
+            )
             self._stats.record_batch(record)
 
         try:
@@ -483,6 +533,21 @@ class CopseService:
 
     def stats(self) -> ServiceStats:
         return self._stats.snapshot(scheduler=self.scheduler.stats())
+
+    def metrics_snapshot(self) -> Dict:
+        """A JSON-able snapshot of the shared metrics registry.
+
+        Calls ``scheduler.stats()`` first so point-in-time gauges
+        (pending/running) are current — this is the payload of every
+        ``repro serve --stats-interval`` JSONL line.
+        """
+        self.scheduler.stats()
+        return self.metrics.snapshot()
+
+    def render_prometheus(self) -> str:
+        """The shared registry in Prometheus text exposition format."""
+        self.scheduler.stats()
+        return self.metrics.render_prometheus()
 
     def pending(self, model_name: str) -> int:
         self._batcher(model_name)  # name resolution (or raise)

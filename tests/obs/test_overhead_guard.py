@@ -1,0 +1,83 @@
+"""Tracing-disabled overhead guard for the batched serve tape.
+
+The observability contract is *zero-cost when disabled*: with no tracer
+and no profiler, the serve path's tape execution must perform exactly
+the primitive-op sequence the compiled tape's static profile pins —
+instrumentation that leaks into the hot path (an extra encode, a stray
+snapshot that touches the backend, a defensive copy) shows up as extra
+tracked ops.  The guard prices the live execution window with the cost
+model and holds it within 3 % of ``plan_baseline.json``'s
+``width78@batched`` tape cost (in practice the two are equal to the
+rounding digit).  Deterministic — no wall-clock flakiness — and runs
+under whatever ``$REPRO_BACKEND`` CI selects.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fhe.context import FheContext
+from repro.fhe.costmodel import CostModel
+from repro.fhe.params import EncryptionParams
+from repro.ir.plan import bind_model_query
+from repro.serve.batched_runtime import encrypt_batch
+from repro.serve.registry import ModelRegistry
+
+BASELINE_PATH = (
+    Path(__file__).parent.parent / "bench" / "plan_baseline.json"
+)
+
+#: The ISSUE 6 acceptance bar: <3 % regression with tracing disabled.
+OVERHEAD_TOLERANCE = 1.03
+
+
+@pytest.fixture(scope="module")
+def baseline_tape_cost() -> float:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    return baseline["width78@batched"]["tape"]["cost_ms"]
+
+
+def untraced_execute_cost_ms() -> float:
+    """Cost-model ms of one untraced full-capacity tape execution.
+
+    Measured as the tracker's op delta over exactly the execute window
+    (binding/encryption excluded), priced per op — the same recipe that
+    produced the baseline's ``cost_ms`` from the static profile.
+    """
+    from repro.bench_harness.workloads import workload_by_name
+
+    workload = workload_by_name("width78")
+    params = EncryptionParams.paper_defaults()
+    registered = ModelRegistry().register(
+        "guard", workload.compiled, params=params, engine="tape"
+    )
+    ctx = FheContext(params, backend=registered.backend)
+    queries = workload.query_features(registered.layout.capacity)
+    query = encrypt_batch(ctx, registered.layout, queries, registered.keys)
+    bindings = bind_model_query(
+        ctx,
+        registered.tape.input_widths,
+        registered.tape.encrypted_model,
+        registered.tape.model_fingerprint,
+        registered.batched_model,
+        query,
+    )
+    before = ctx.tracker.counts_snapshot()
+    registered.tape.execute(ctx, bindings)  # tracer/profiler disabled
+    after = ctx.tracker.counts_snapshot()
+    cost_model = CostModel(params)
+    return sum(
+        cost_model.cost_of(kind) * (after[kind] - before.get(kind, 0))
+        for kind in after
+    )
+
+
+def test_untraced_serve_tape_within_3pct_of_baseline(baseline_tape_cost):
+    live = untraced_execute_cost_ms()
+    assert live <= baseline_tape_cost * OVERHEAD_TOLERANCE, (
+        f"tracing-disabled tape execution costs {live:.3f} ms vs "
+        f"baseline {baseline_tape_cost:.3f} ms "
+        f"(> {OVERHEAD_TOLERANCE:.0%} bar): instrumentation is leaking "
+        f"into the un-profiled hot path"
+    )

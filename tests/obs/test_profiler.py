@@ -1,0 +1,241 @@
+"""Tests for the opt-in tape/executor profiler.
+
+The acceptance bar: per-instruction op-count deltas must reconcile
+**exactly** with the tracker's own totals over the profiled execution
+window, and profiling must not change results (the instrumented loop is
+a separate walk, not a behavioral fork).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe.tracker import OpKind
+from repro.ir import executor
+from repro.ir.plan import bind_model_query, lower_inference
+from repro.obs.profiler import InstructionSample, TapeProfiler
+
+
+def random_features(rng, n, precision=8):
+    return [int(v) for v in rng.integers(0, 1 << precision, n)]
+
+
+def _counts_delta(before, after):
+    return {
+        kind: after[kind] - before.get(kind, 0)
+        for kind in after
+        if after[kind] != before.get(kind, 0)
+    }
+
+
+@pytest.fixture(scope="module")
+def batched_setup():
+    """A registered batched tape plus live bindings, built once."""
+    from repro.core.compiler import CopseCompiler
+    from repro.fhe.context import FheContext
+    from repro.forest.synthetic import random_forest
+    from repro.serve.batched_runtime import encrypt_batch
+    from repro.serve.registry import ModelRegistry
+
+    forest = random_forest(
+        np.random.default_rng(7), branches_per_tree=[7, 8], max_depth=5
+    )
+    compiled = CopseCompiler(precision=8).compile(forest)
+    registered = ModelRegistry().register("prof", compiled, engine="tape")
+    tape = registered.tape
+    ctx = FheContext(registered.params, backend=registered.backend)
+    rng = np.random.default_rng(3)
+    queries = [
+        random_features(rng, compiled.n_features)
+        for _ in range(registered.layout.capacity)
+    ]
+    query = encrypt_batch(
+        ctx, registered.layout, queries, registered.keys
+    )
+    bindings = bind_model_query(
+        ctx,
+        tape.input_widths,
+        tape.encrypted_model,
+        tape.model_fingerprint,
+        registered.batched_model,
+        query,
+    )
+    return ctx, tape, bindings, registered.keys
+
+
+class TestTapeReconciliation:
+    def test_samples_reconcile_exactly_with_tracker(self, batched_setup):
+        ctx, tape, bindings, keys = batched_setup
+        profiler = TapeProfiler()
+        before = ctx.tracker.counts_snapshot()
+        tape.execute(ctx, bindings, profiler=profiler)
+        after = ctx.tracker.counts_snapshot()
+        assert profiler.op_totals() == _counts_delta(before, after)
+        assert len(profiler.samples) == tape.num_instructions
+        assert profiler.runs == 1
+
+    def test_profiled_and_unprofiled_results_match(self, batched_setup):
+        ctx, tape, bindings, keys = batched_setup
+        plain = tape.execute(ctx, bindings)
+        profiled = tape.execute(ctx, bindings, profiler=TapeProfiler())
+        assert set(plain) == set(profiled)
+        for name in plain:
+            np.testing.assert_array_equal(
+                ctx.decrypt(plain[name], keys.secret),
+                ctx.decrypt(profiled[name], keys.secret),
+            )
+
+    def test_profiling_adds_no_backend_ops(self, batched_setup):
+        ctx, tape, bindings, keys = batched_setup
+
+        def delta(profiler):
+            before = ctx.tracker.counts_snapshot()
+            tape.execute(ctx, bindings, profiler=profiler)
+            return _counts_delta(before, ctx.tracker.counts_snapshot())
+
+        assert delta(None) == delta(TapeProfiler())
+
+    def test_noise_depth_readout(self, batched_setup):
+        ctx, tape, bindings, keys = batched_setup
+        profiler = TapeProfiler()
+        tape.execute(ctx, bindings, profiler=profiler)
+        assert profiler.max_depth == tape.profile.depth
+        depths = [s.depth for s in profiler.samples if s.depth is not None]
+        assert depths and max(depths) == profiler.max_depth
+
+    def test_samples_accumulate_across_runs(self, batched_setup):
+        ctx, tape, bindings, keys = batched_setup
+        profiler = TapeProfiler()
+        tape.execute(ctx, bindings, profiler=profiler)
+        tape.execute(ctx, bindings, profiler=profiler)
+        assert profiler.runs == 2
+        assert len(profiler.samples) == 2 * tape.num_instructions
+
+    def test_phase_scoped_profiling(self, batched_setup):
+        ctx, tape, bindings, keys = batched_setup
+        profiler = TapeProfiler()
+        tape.execute(ctx, bindings, phase="probe", profiler=profiler)
+        phase = ctx.tracker.phase_stats("probe")
+        assert profiler.op_totals() == {
+            kind: n for kind, n in phase.counts.items() if n
+        }
+
+
+def single_query_bindings(compiled, ctx, keys):
+    from repro.core.runtime import DataOwner, ModelOwner
+
+    maurice = ModelOwner(compiled)
+    diane = DataOwner(maurice.query_spec(), keys)
+    rng = np.random.default_rng(11)
+    query = diane.prepare_query(
+        ctx, random_features(rng, compiled.n_features)
+    )
+    model = maurice.encrypt_model(ctx, keys.public)
+    plan = lower_inference(compiled)
+    return plan, plan.bindings_for(ctx, model, query)
+
+
+class TestExecutorReconciliation:
+    def test_graph_walk_reconciles(self, compiled_example, ctx, keys):
+        plan, bindings = single_query_bindings(compiled_example, ctx, keys)
+        profiler = TapeProfiler()
+        before = ctx.tracker.counts_snapshot()
+        profiled = executor.execute(
+            plan.graph, ctx, bindings, profiler=profiler
+        )
+        after = ctx.tracker.counts_snapshot()
+        assert profiler.op_totals() == _counts_delta(before, after)
+        plain = executor.execute(plan.graph, ctx, bindings)
+        for name in plain:
+            np.testing.assert_array_equal(
+                ctx.decrypt(plain[name], keys.secret),
+                ctx.decrypt(profiled[name], keys.secret),
+            )
+
+    def test_binding_nodes_are_not_sampled(self, compiled_example, ctx,
+                                           keys):
+        plan, bindings = single_query_bindings(compiled_example, ctx, keys)
+        profiler = TapeProfiler()
+        executor.execute(
+            plan.graph, ctx, bindings, profiler=profiler
+        )
+        assert profiler.samples
+        opcodes = {s.opcode for s in profiler.samples}
+        assert not opcodes & {"input_ct", "input_pt", "const_pt"}
+
+
+class TestAggregation:
+    def _fake(self):
+        profiler = TapeProfiler(timer=lambda: 0.0)
+        profiler.begin_run()
+        samples = [
+            (0, "mul", 0.002, {OpKind.MULTIPLY: 1}),
+            (1, "mul", 0.004, {OpKind.MULTIPLY: 1}),
+            (2, "rotate", 0.001, {OpKind.ROTATE: 1}),
+            (3, "fused", 0.010, {OpKind.MULTIPLY: 2, OpKind.ADD: 3}),
+        ]
+        for index, opcode, wall, counts in samples:
+            profiler.samples.append(
+                InstructionSample(index, opcode, wall, counts, index + 1)
+            )
+        return profiler
+
+    def test_by_opcode_sorted_by_wall(self):
+        by_op = self._fake().by_opcode()
+        assert list(by_op) == ["fused", "mul", "rotate"]
+        assert by_op["mul"].instructions == 2
+        assert by_op["mul"].wall_s == pytest.approx(0.006)
+        assert by_op["fused"].ops == 5
+        assert by_op["fused"].max_depth == 4
+
+    def test_range_totals_half_open(self):
+        totals = self._fake().range_totals(1, 3)
+        assert totals.instructions == 2
+        assert totals.ops == 2
+        assert totals.wall_s == pytest.approx(0.005)
+
+    def test_totals_and_max_depth(self):
+        profiler = self._fake()
+        assert profiler.total_wall_s == pytest.approx(0.017)
+        assert profiler.max_depth == 4
+        assert profiler.op_totals() == {
+            OpKind.MULTIPLY: 4, OpKind.ROTATE: 1, OpKind.ADD: 3,
+        }
+
+    def test_report_renders(self):
+        text = self._fake().report(ranges=2)
+        assert "profiled runs: 1, samples: 4" in text
+        assert "fused" in text
+        assert "[0:2)" in text and "[2:4)" in text
+
+    def test_as_dict_shape(self):
+        record = self._fake().as_dict()
+        assert record["runs"] == 1
+        assert record["samples"] == 4
+        assert record["max_depth"] == 4
+        assert record["op_totals"] == {"add": 3, "multiply": 4, "rotate": 1}
+        assert record["opcodes"]["fused"]["op_counts"] == {
+            "add": 3, "multiply": 2,
+        }
+        import json
+
+        json.dumps(record)
+
+    def test_instruction_delta_and_depth_capture(self, ctx, keys):
+        profiler = TapeProfiler()
+        ct = ctx.encrypt([1, 0, 1], keys.public)
+        squared = ctx.multiply(ct, ct)
+        profiler.instruction(
+            0, "mul", 0.001,
+            {OpKind.MULTIPLY: 3}, {OpKind.MULTIPLY: 5, OpKind.ADD: 0},
+            squared,
+        )
+        (sample,) = profiler.samples
+        assert sample.op_counts == {OpKind.MULTIPLY: 2}
+        assert sample.depth == squared.noise.effective_depth
+        assert sample.ops == 2
+
+    def test_plaintext_result_has_no_depth(self):
+        profiler = TapeProfiler()
+        profiler.instruction(0, "const_add", 0.0, {}, {OpKind.ADD: 1},
+                             "not-a-ciphertext")
+        assert profiler.samples[0].depth is None

@@ -1,0 +1,205 @@
+"""Tests for the span tracer and its deterministic exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.trace import (
+    NullTracer,
+    QUERY_OUTCOMES,
+    Tracer,
+    chrome_json,
+    export_chrome,
+    export_jsonl,
+)
+
+
+class TestTracer:
+    def test_span_ids_count_from_one(self):
+        tracer = Tracer()
+        assert tracer.begin("a", now=0.0) == 1
+        assert tracer.begin("b", now=0.0) == 2
+        assert tracer.event("c", now=0.0) == 3
+
+    def test_begin_end_records_interval(self):
+        tracer = Tracer()
+        sid = tracer.begin("query", now=1.0, track="tenant:t", seq=4)
+        tracer.end(sid, now=3.5, outcome="completed")
+        (span,) = tracer.spans()
+        assert span.name == "query"
+        assert span.track == "tenant:t"
+        assert (span.start, span.end, span.duration) == (1.0, 3.5, 2.5)
+        assert span.attrs == {"seq": 4, "outcome": "completed"}
+
+    def test_event_is_instant(self):
+        tracer = Tracer()
+        tracer.event("admit", now=2.0, parent=7)
+        (span,) = tracer.spans()
+        assert span.duration == 0.0
+        assert span.parent == 7
+
+    def test_unknown_end_is_ignored(self):
+        tracer = Tracer()
+        tracer.end(99, now=1.0)  # must not raise
+        sid = tracer.begin("a", now=0.0)
+        tracer.end(sid, now=1.0)
+        tracer.end(sid, now=2.0)  # double end: second ignored
+        (span,) = tracer.spans()
+        assert span.end == 1.0
+
+    def test_annotate_open_span(self):
+        tracer = Tracer()
+        sid = tracer.begin("a", now=0.0)
+        tracer.annotate(sid, batch_id=3)
+        tracer.annotate(999, nope=True)  # unknown id: no-op
+        tracer.end(sid, now=1.0)
+        assert tracer.spans()[0].attrs == {"batch_id": 3}
+
+    def test_open_spans_excluded_by_default(self):
+        tracer = Tracer()
+        tracer.begin("open", now=0.0)
+        done = tracer.begin("done", now=0.0)
+        tracer.end(done, now=1.0)
+        assert [s.name for s in tracer.spans()] == ["done"]
+        assert [s.name for s in tracer.spans(include_open=True)] == [
+            "open", "done",
+        ]
+        assert tracer.open_spans == 1
+
+    def test_ring_bound_drops_oldest(self):
+        tracer = Tracer(max_spans=2)
+        for k in range(4):
+            tracer.event(f"e{k}", now=float(k))
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans()] == ["e2", "e3"]
+
+    def test_max_spans_validated(self):
+        with pytest.raises(ValidationError):
+            Tracer(max_spans=0)
+
+    def test_outcome_alphabet(self):
+        assert QUERY_OUTCOMES == (
+            "completed", "rejected", "failed", "cancelled",
+        )
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    q = tracer.begin("query", now=0.001, track="tenant:acme", seq=0)
+    tracer.event("admit", now=0.001, parent=q, track="tenant:acme")
+    w = tracer.begin("queue_wait", now=0.001, parent=q, track="tenant:acme")
+    b = tracer.begin("batch", now=0.002, track="worker:0", members=[q])
+    tracer.end(w, now=0.002)
+    tracer.end(b, now=0.005, size=1)
+    tracer.end(q, now=0.005, outcome="completed")
+    return tracer
+
+
+class TestJsonlExport:
+    def test_one_record_per_span_in_id_order(self):
+        text = _sample_tracer().to_jsonl()
+        records = [json.loads(line) for line in text.splitlines()]
+        assert [r["span"] for r in records] == [1, 2, 3, 4]
+        assert text.endswith("\n")
+
+    def test_records_are_deterministic(self):
+        assert _sample_tracer().to_jsonl() == _sample_tracer().to_jsonl()
+
+    def test_record_shape(self):
+        record = json.loads(_sample_tracer().to_jsonl().splitlines()[0])
+        assert record == {
+            "span": 1,
+            "parent": None,
+            "name": "query",
+            "track": "tenant:acme",
+            "t0": 0.001,
+            "t1": 0.005,
+            "attrs": {"outcome": "completed", "seq": 0},
+        }
+
+    def test_keys_sorted_within_record(self):
+        line = _sample_tracer().to_jsonl().splitlines()[0]
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_empty_exports_empty(self):
+        assert export_jsonl([]) == ""
+
+
+class TestChromeExport:
+    def test_document_shape(self):
+        doc = _sample_tracer().to_chrome()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "b", "e", "X"}
+
+    def test_metadata_names_process_and_tracks(self):
+        doc = _sample_tracer().to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e["args"]["name"] for e in meta}
+        assert names["process_name"] == "repro.serve"
+        tracks = [
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        ]
+        assert sorted(tracks) == ["tenant:acme", "worker:0"]
+
+    def test_tenant_tracks_export_async_pairs(self):
+        doc = _sample_tracer().to_chrome()
+        pairs = [
+            e for e in doc["traceEvents"]
+            if e["ph"] in ("b", "e") and e["name"] == "query"
+        ]
+        assert [e["ph"] for e in pairs] == ["b", "e"]
+        assert pairs[0]["id"] == pairs[1]["id"] == 1
+        # Timestamps are microseconds of the span's second-valued clock.
+        assert pairs[0]["ts"] == 1000.0
+        assert pairs[1]["ts"] == 5000.0
+
+    def test_worker_tracks_export_complete_events(self):
+        doc = _sample_tracer().to_chrome()
+        (batch,) = [
+            e for e in doc["traceEvents"] if e.get("name") == "batch"
+        ]
+        assert batch["ph"] == "X"
+        assert batch["ts"] == 2000.0
+        assert batch["dur"] == 3000.0
+        assert batch["cat"] == "worker"
+        assert batch["args"]["members"] == [1]
+        assert batch["args"]["span"] == 4
+
+    def test_parent_links_survive_in_args(self):
+        doc = _sample_tracer().to_chrome()
+        (wait_b,) = [
+            e for e in doc["traceEvents"]
+            if e.get("name") == "queue_wait" and e["ph"] == "b"
+        ]
+        assert wait_b["args"]["parent"] == 1
+
+    def test_chrome_json_is_deterministic_and_loadable(self):
+        a = chrome_json(_sample_tracer().spans())
+        b = chrome_json(_sample_tracer().spans())
+        assert a == b
+        assert a.endswith("\n")
+        doc = json.loads(a)
+        assert doc["traceEvents"]
+
+    def test_empty_trace_still_valid(self):
+        doc = export_chrome([])
+        assert doc["traceEvents"][0]["name"] == "process_name"
+        json.dumps(doc)
+
+
+class TestNullTracer:
+    def test_all_methods_are_stubs(self):
+        null = NullTracer()
+        assert null.begin("a", now=0.0) == 0
+        null.end(0, now=1.0)
+        assert null.event("b", now=0.0) == 0
+        null.annotate(0, k=1)
+        assert null.spans() == []
+        assert null.to_jsonl() == ""
+        assert null.to_chrome()["traceEvents"]
+        assert null.dropped == 0
+        assert null.open_spans == 0

@@ -411,6 +411,142 @@ class TestBackendFlag:
             main(["classify", path, "--features", "33,99", "--seed", "7"])
 
 
+class TestTrace:
+    def test_trace_tape_report(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["trace", "tape", path, "--batch-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tape profile" in out
+        assert "profiled runs: 1" in out
+        assert "opcode" in out and "op breakdown" in out
+        assert "range" in out
+
+    def test_trace_tape_json_record(self, model_file, tmp_path, capsys):
+        import json
+
+        path, _ = model_file
+        out_path = tmp_path / "profile.json"
+        assert main(
+            ["trace", "tape", path, "--batch-size", "4",
+             "--json", str(out_path)]
+        ) == 0
+        record = json.loads(out_path.read_text())
+        assert record["runs"] == 1
+        assert record["samples"] > 0
+        assert record["op_totals"]
+        assert record["model"] == path
+
+    def test_trace_tape_rejects_bad_batch_size(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["trace", "tape", path, "--batch-size", "0"]) == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+    def test_trace_sim_chrome_export(self, model_file, tmp_path, capsys):
+        import json
+
+        path, _ = model_file
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "sim", path, "--queries", "40",
+             "-o", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "simulated 40 submissions" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "b" for e in doc["traceEvents"])
+
+    def test_trace_sim_jsonl_export(self, model_file, tmp_path, capsys):
+        import json
+
+        path, _ = model_file
+        out_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "sim", path, "--queries", "40",
+             "--format", "jsonl", "-o", str(out_path)]
+        ) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert {"span", "name", "track", "t0", "t1"} <= set(first)
+
+    def test_trace_sim_deterministic_per_seed(self, model_file, tmp_path,
+                                              capsys):
+        path, _ = model_file
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for out_path in (a, b):
+            assert main(
+                ["trace", "sim", path, "--queries", "40",
+                 "--seed", "99", "-o", str(out_path)]
+            ) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_trace_requires_kind(self, model_file):
+        path, _ = model_file
+        with pytest.raises(SystemExit):
+            main(["trace", path])
+
+
+class TestMetricsCommand:
+    def test_serve_stats_interval_emits_snapshots(self, model_file,
+                                                  capsys):
+        import json
+
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "4", "--threads", "1",
+             "--stats-interval", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        snapshots = [
+            json.loads(line) for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        # One line per 2 submissions plus the post-flush snapshot.
+        assert len(snapshots) == 3
+        for snap in snapshots:
+            assert {"counters", "gauges", "histograms"} <= set(snap)
+        final = snapshots[-1]
+        assert final["counters"]["sched_completed"] == 4.0
+
+    def test_serve_rejects_bad_stats_interval(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--stats-interval", "0"]) == 2
+        assert "--stats-interval" in capsys.readouterr().err
+
+    def test_metrics_pretty_prints_snapshot(self, model_file, tmp_path,
+                                            capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "2", "--threads", "1",
+             "--stats-interval", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("{")]
+        snap_file = tmp_path / "snap.jsonl"
+        snap_file.write_text("\n".join(lines) + "\n")
+        assert main(["metrics", str(snap_file)]) == 0
+        pretty = capsys.readouterr().out
+        assert "metrics snapshot" in pretty
+        assert "counters:" in pretty
+        assert "sched_submitted" in pretty
+        assert "histograms:" in pretty
+
+    def test_metrics_rejects_non_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json\n")
+        assert main(["metrics", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics_rejects_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert main(["metrics", str(empty)]) == 2
+
+    def test_metrics_missing_file(self, capsys):
+        assert main(["metrics", "/nonexistent/snap.json"]) == 2
+
+
 def test_no_command_rejected():
     with pytest.raises(SystemExit):
         main([])
