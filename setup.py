@@ -32,7 +32,11 @@ setup(
     python_requires=">=3.9",
     install_requires=["numpy"],
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        # pytest-timeout backs pytest.ini's ``timeout = 300``; without
+        # it conftest.py falls back to a SIGALRM enforcer (and asserts
+        # at configure time that one of the two is actually active).
+        "test": ["pytest", "pytest-benchmark", "pytest-timeout",
+                 "hypothesis"],
     },
     entry_points={
         "console_scripts": ["repro=repro.cli:main"],

@@ -1190,6 +1190,115 @@ def backend_speedup(
 
 
 # ---------------------------------------------------------------------------
+# Cluster speedup: multi-process serving vs a single worker
+# ---------------------------------------------------------------------------
+
+
+def cluster_speedup(
+    workload_name: str = "width78",
+    workers: Sequence[int] = (1, 2, 4),
+    batches: int = 4,
+    backend: str = "vector",
+) -> Table:
+    """Wall-clock of the multi-process serve cluster by pool size.
+
+    For each pool size a fresh :class:`~repro.serve.cluster.ClusterService`
+    registers ``workload_name`` once, warms the pool (one throwaway batch
+    per worker, so model shipping and worker-side cache builds are off
+    the clock), then serves ``batches`` full-capacity batches of seeded
+    queries end to end — router placement, pipe transport, worker-side
+    encrypt/evaluate/decrypt, oracle verification.  One row per pool
+    size: wall clock, queries/s, speedup over the 1-worker row, oracle
+    agreement, and the batch/crash accounting from the router.
+
+    Speedup comes from genuine process parallelism, so it is bounded by
+    the host's core count (recorded in the note): on a single-core host
+    every pool size serializes and the larger pools only measure
+    transport overhead.
+    """
+    import os as _os
+    import time
+
+    from repro.errors import ValidationError
+    from repro.serve.cluster import ClusterService
+
+    workers = tuple(workers)
+    if not workers or min(workers) < 1:
+        raise ValidationError(
+            f"cluster_speedup needs pool sizes >= 1, got {workers!r}"
+        )
+    if batches < 1:
+        raise ValidationError(
+            f"cluster_speedup needs at least one batch, got {batches}"
+        )
+    workload = _workloads([workload_name])[0]
+    params = EncryptionParams.paper_defaults()
+
+    results = {}
+    capacity = None
+    for pool in workers:
+        with ClusterService(workers=pool, backend=backend) as service:
+            registered = service.register_model(
+                f"cluster-bench-{workload_name}", workload.compiled,
+                params=params,
+            )
+            capacity = registered.layout.capacity
+            name = registered.name
+            queries = workload.query_features(capacity * batches)
+            # Warm every worker: preload ships the envelope, one batch
+            # per worker builds the lazy gather caches off the clock.
+            service.preload(name)
+            warm = [
+                service.submit(name, q)
+                for q in queries[: capacity * pool]
+            ]
+            service.flush(name)
+            for future in warm:
+                future.result()
+
+            start = time.perf_counter()
+            futures = [service.submit(name, q) for q in queries]
+            service.flush(name)
+            outcomes = [f.result() for f in futures]
+            wall_s = time.perf_counter() - start
+            stats = service.stats()
+
+        oracle_ok = all(r.oracle_ok for r in outcomes)
+        results[pool] = (wall_s, len(queries), oracle_ok, stats)
+
+    table = Table(
+        title=(
+            f"Cluster speedup — {workload_name} over real worker "
+            f"processes ({batches} x {capacity}-query batches, "
+            f"{backend} backend)"
+        ),
+        columns=["workers", "wall_s", "queries_per_s", "speedup",
+                 "batches", "crashes", "oracle"],
+    )
+    base_wall = results[workers[0]][0]
+    for pool in workers:
+        wall_s, n_queries, oracle_ok, stats = results[pool]
+        table.add_row(
+            pool,
+            wall_s,
+            n_queries / wall_s if wall_s > 0 else float("inf"),
+            base_wall / wall_s if wall_s > 0 else float("inf"),
+            stats.batches,
+            stats.worker_crashes,
+            "ok" if oracle_ok else "MISMATCH",
+        )
+    cores = _os.cpu_count() or 1
+    table.add_note(
+        f"speedup is vs the {workers[0]}-worker pool on this host "
+        f"({cores} core{'s' if cores != 1 else ''}); process "
+        f"parallelism cannot beat the core count — identical decrypted "
+        f"bits at every pool size is the invariant, the speedup is "
+        f"host-dependent"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
 # Table 6: microbenchmark suite
 # ---------------------------------------------------------------------------
 

@@ -9,7 +9,9 @@ artifacts deterministically:
   writer, one ordering: the regeneration drift that used to creep in
   when ``pytest benchmarks/`` rewrote the file in collection order
   cannot recur (the benchmark suite no longer writes it);
-* ``BENCH_5.json`` — the machine-readable perf trajectory: per-engine
+* ``BENCH_<n>.json`` (``n`` = :data:`BENCH_INDEX`, overridable with
+  ``repro bench report --out``) — the machine-readable perf trajectory:
+  per-engine
   op-count/rotation/peak-live profiles for the serve workload plus
   every experiment's rows (ms/query, wall clock, throughput, backend,
   engine), uploaded by CI on every run.
@@ -32,7 +34,12 @@ from repro.bench_harness import experiments
 from repro.bench_harness.report import Table
 
 REPORT_PATH = "benchmark_report.txt"
-BENCH_JSON_PATH = "BENCH_5.json"
+#: Index of the current perf-trajectory artifact.  Bumped whenever a PR
+#: changes what the trajectory records (new sections, new profile
+#: fields) so successive ``BENCH_<n>.json`` files remain comparable
+#: within an index and the trajectory across PRs stays append-only.
+BENCH_INDEX = 7
+BENCH_JSON_PATH = f"BENCH_{BENCH_INDEX}.json"
 BENCH_SCHEMA = 1
 
 #: Canonical section order.  Append-only by convention: a new experiment
@@ -54,6 +61,7 @@ SECTION_KEYS = (
     "backend-speedup",
     "soak",
     "trace-overhead",
+    "cluster-speedup",
 )
 
 #: Sections whose rendered titles do not depend on quick mode — the
@@ -125,6 +133,14 @@ def build_section(key: str, quick: bool) -> List[Table]:
         return [
             experiments.tracing_overhead(
                 workload_name="width78", repeats=2 if quick else 3
+            )
+        ]
+    if key == "cluster-speedup":
+        return [
+            experiments.cluster_speedup(
+                workload_name="width78",
+                workers=(1, 2) if quick else (1, 2, 4),
+                batches=2 if quick else 4,
             )
         ]
     raise KeyError(f"unknown report section {key!r}")
@@ -280,7 +296,7 @@ def generate_report(
     report_path: Optional[str] = REPORT_PATH,
     json_path: Optional[str] = BENCH_JSON_PATH,
 ) -> List[str]:
-    """Regenerate the benchmark report (and BENCH_5.json); returns the
+    """Regenerate the benchmark report (and BENCH_<n>.json); returns the
     written paths.  ``sections`` restricts regeneration (used by the
     structure test); the JSON artifact is only written for full-section
     runs, so a partial regeneration can never publish a partial
@@ -307,9 +323,10 @@ def generate_report(
         written.append(report_path)
 
     if json_path is not None and set(keys) == set(SECTION_KEYS):
+        artifact = os.path.splitext(os.path.basename(json_path))[0]
         payload = {
             "schema": BENCH_SCHEMA,
-            "artifact": "BENCH_5",
+            "artifact": artifact,
             "mode": "quick" if quick else "full",
             "default_backend": canonical_backend_name(),
             "engine_profiles": engine_profiles(),

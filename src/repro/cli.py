@@ -12,7 +12,7 @@ evaluation harness::
     python -m repro bench fig6 --workloads depth4,width78
     python -m repro bench plan-speedup         # eager vs plan engine
     python -m repro bench tape-speedup         # plan vs compiled-tape engine
-    python -m repro bench report               # regenerate benchmark_report.txt + BENCH_5.json
+    python -m repro bench report               # regenerate benchmark_report.txt + BENCH_<n>.json
     python -m repro bench backend-speedup      # wall-clock per FHE backend
     python -m repro bench soak                 # simulated load vs deadlines
     python -m repro sweep                      # Table 5 parameter sweep
@@ -145,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("model")
     serve.add_argument("--queries", type=int, default=32)
     serve.add_argument("--threads", type=int, default=2)
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="serve from a multi-process cluster with this many worker "
+        "processes (router ships the compiled model to each worker "
+        "once, crashes respawn under a new epoch); 0 (default) keeps "
+        "the in-process threaded service",
+    )
     serve.add_argument("--batch-size", type=int, default=None)
     serve.add_argument("--plaintext-model", action="store_true")
     serve.add_argument(
@@ -226,7 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig6", "fig7", "fig8", "fig9", "fig10",
             "table1", "table2", "table6", "throughput", "plan-speedup",
-            "tape-speedup", "backend-speedup", "soak", "report",
+            "tape-speedup", "backend-speedup", "soak", "cluster-speedup",
+            "report",
         ],
     )
     bench.add_argument(
@@ -242,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="for 'report': trim to the quick suite (also triggered by "
         "REPRO_BENCH_QUICK=1); annotated in the regenerated report",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="for 'report': path of the JSON perf-trajectory artifact "
+        "(default: BENCH_<n>.json for the current trajectory index)",
     )
 
     sub.add_parser("sweep", help="run the Table 5 parameter sweep")
@@ -401,11 +414,15 @@ def _cmd_serve(args) -> int:
     import numpy as np
 
     from repro.errors import RejectedQuery
-    from repro.serve import CopseService
+    from repro.serve import ClusterService, CopseService
 
     _check_service_args(args)
     if args.queries < 1:
         raise _FeatureParseError(f"--queries must be >= 1, got {args.queries}")
+    if args.workers < 0:
+        raise _FeatureParseError(
+            f"--workers must be >= 0, got {args.workers}"
+        )
     interval = args.stats_interval
     if interval is not None and interval < 1:
         raise _FeatureParseError(
@@ -419,20 +436,34 @@ def _cmd_serve(args) -> int:
         for _ in range(args.queries)
     ]
     rejected = 0
-    with CopseService(
-        threads=args.threads,
-        engine=args.engine,
-        backend=args.backend,
-        default_deadline_ms=args.deadline_ms,
-        max_queue=args.max_queue,
-    ) as service:
+    if args.workers > 0:
+        service_cm = ClusterService(
+            workers=args.workers,
+            engine=args.engine,
+            backend=args.backend,
+            default_deadline_ms=args.deadline_ms,
+            max_queue=args.max_queue,
+        )
+    else:
+        service_cm = CopseService(
+            threads=args.threads,
+            engine=args.engine,
+            backend=args.backend,
+            default_deadline_ms=args.deadline_ms,
+            max_queue=args.max_queue,
+        )
+    with service_cm as service:
         registered = service.register_model(
             "cli",
             compiled,
             max_batch_size=args.batch_size,
             encrypted_model=not args.plaintext_model,
         )
-        print(f"serving {registered.describe()}")
+        mode = (
+            f"{args.workers} worker processes" if args.workers > 0
+            else f"{args.threads} threads"
+        )
+        print(f"serving {registered.describe()} ({mode})")
 
         def emit_snapshot() -> None:
             print(json.dumps(service.metrics_snapshot(), sort_keys=True))
@@ -541,11 +572,19 @@ def _cmd_bench_inner(args) -> int:
         workload = names[0] if names else "width78"
         print(experiments.tape_speedup(workload_name=workload).render())
         return 0
+    if args.artifact == "cluster-speedup":
+        workload = names[0] if names else "width78"
+        print(experiments.cluster_speedup(workload_name=workload).render())
+        return 0
     if args.artifact == "report":
-        from repro.bench_harness.report_gen import generate_report
+        from repro.bench_harness.report_gen import (
+            BENCH_JSON_PATH,
+            generate_report,
+        )
 
         quick = args.quick or None  # None: honor $REPRO_BENCH_QUICK
-        paths = generate_report(quick=quick)
+        json_path = args.out if args.out is not None else BENCH_JSON_PATH
+        paths = generate_report(quick=quick, json_path=json_path)
         for path in paths:
             print(f"wrote {path}")
         return 0

@@ -161,6 +161,17 @@ class FusedSpec:
             self._idx = idx
         return self._idx, self._maskmat
 
+    # ``__slots__`` classes pickle their slot dict by default, which
+    # would ship the lazily-built gather caches (dense index/mask
+    # matrices) to every spawned serve worker.  Ship only the defining
+    # fields; ``__init__`` recomputes kind/op_counts and the caches
+    # rebuild lazily on first worker-side execution.
+    def __getstate__(self):
+        return (self.terms, self.width)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
 
 def _defused(ctx: FheBackend, spec: FusedSpec, regs: List) -> Ciphertext:
     """Execute a fused instruction as its primitive op sequence."""

@@ -82,14 +82,23 @@ class OpcodeTotals:
 class TapeProfiler:
     """Accumulates per-instruction samples across profiled executions.
 
-    ``timer`` defaults to :func:`time.perf_counter`; tests inject a fake
-    for deterministic wall columns.  The profiler itself never reads the
-    clock mid-run — the executor brackets each instruction and reports
-    the elapsed time, keeping the measurement as close to the dispatch
-    as possible.
+    ``clock`` threads the caller's :class:`~repro.serve.simclock.Clock`
+    into the instruction timer: a run driven by a ``VirtualClock``
+    profiles in virtual time, so its samples (and the ``as_dict()``
+    record folded into trace/bench artifacts) are byte-identical per
+    seed instead of mixing nondeterministic wall time into an otherwise
+    deterministic export.  Without a clock, ``timer`` defaults to
+    :func:`time.perf_counter` (real wall time — the measurement a
+    ``repro trace tape`` profile wants); tests may inject a fake timer
+    directly.  The profiler itself never reads the timer mid-run — the
+    executor brackets each instruction and reports the elapsed time,
+    keeping the measurement as close to the dispatch as possible.
     """
 
-    def __init__(self, timer=time.perf_counter):
+    def __init__(self, timer=None, clock=None):
+        if timer is None:
+            timer = clock.now if clock is not None else time.perf_counter
+        self.clock = clock
         self.timer = timer
         self.samples: List[InstructionSample] = []
         self.runs = 0

@@ -32,7 +32,15 @@ stream:
   (Poisson + bursts, heterogeneous tenants), fault injection, and the
   deterministic discrete-event :class:`SimRunner`;
 * :mod:`repro.serve.service` — :class:`CopseService`: the
-  ``register_model`` / ``submit`` / ``stats`` facade.
+  ``register_model`` / ``submit`` / ``stats`` facade;
+* :mod:`repro.serve.cluster` — the multi-process serve cluster:
+  :class:`RouterCore` (pure placement/failover over the scheduler core:
+  ship-once model distribution keyed by compiled-model fingerprints,
+  worker epochs, heartbeats, draining restarts),
+  :class:`ClusterSimRunner` (deterministic soaks with injected worker
+  crashes), and :class:`ClusterService` (real ``multiprocessing``
+  workers behind :mod:`repro.serve.transport` pipes, each running
+  :func:`repro.serve.worker.worker_main`).
 
 Quickstart::
 
@@ -80,6 +88,12 @@ from repro.serve.loadgen import (
     offered_load,
 )
 from repro.serve.service import CopseService, ServiceStats
+from repro.serve.transport import BatchRequest, BatchResult, ShippedModel
+from repro.serve.cluster import (
+    ClusterService,
+    ClusterSimRunner,
+    RouterCore,
+)
 
 __all__ = [
     "BatchLayout",
@@ -112,4 +126,10 @@ __all__ = [
     "offered_load",
     "CopseService",
     "ServiceStats",
+    "ShippedModel",
+    "BatchRequest",
+    "BatchResult",
+    "RouterCore",
+    "ClusterSimRunner",
+    "ClusterService",
 ]

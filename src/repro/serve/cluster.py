@@ -1,0 +1,1099 @@
+"""Multi-process serve cluster: a placing/verifying router over workers.
+
+The threaded :class:`~repro.serve.service.CopseService` keeps every
+batch evaluation inside one GIL-bound process.  This module shards the
+same scheduler over a pool of **worker processes** in the PR 4 style —
+one pure decision core, thin engines:
+
+* :class:`RouterCore` — the pure front end.  It wraps the existing
+  :class:`~repro.serve.scheduler.SchedulerCore` (bounded queues,
+  fair-share batch cutting, requeue-at-original-seq crash retries) and
+  adds the cluster concerns: deterministic model->worker **placement**
+  (each model prefers a stable rotation of the pool), **ship-once**
+  tracking (a worker receives a model's
+  :class:`~repro.serve.transport.ShippedModel` envelope exactly once
+  per (worker, epoch), keyed by the compiled model's fingerprint),
+  **worker epochs** (a crash bumps the epoch; completions that echo a
+  stale epoch are dropped, generalizing the simulator's epoch guard to
+  real processes), **heartbeat liveness**, and **draining restarts**
+  for redeploys.  Every method takes an explicit ``now`` and every
+  choice lands in an ordered decision record — the determinism witness.
+* :class:`ClusterSimRunner` — the discrete-event engine: replays a
+  seeded arrival timeline with injected worker crashes under a
+  :class:`~repro.serve.simclock.VirtualClock`.  A 10^5-query soak with
+  mid-run crashes replays with byte-identical routing decisions and
+  stats per seed.
+* :class:`ClusterService` — the thin real engine: actual
+  ``multiprocessing`` (spawn) workers behind pipes, a receiver thread
+  that completes batches, detects dead pipes, respawns crashed workers
+  under a new epoch, and re-dispatches.  Queries submitted to a
+  1-worker and an N-worker cluster decrypt to identical bits — the
+  workers are pure functions of (shipped model, features).
+
+Decision records are ``(kind, ...)`` tuples ordered by emission:
+``("ship", worker, epoch, model, t)``,
+``("assign", batch_id, queue, worker, epoch, size, first_seq, t)``,
+``("crash", worker, new_epoch, t)``, ``("restart", worker, epoch, t)``,
+``("drain", worker, t)``, ``("redeploy", model, fingerprint, t)`` and
+``("stale", batch_id, worker, epoch, t)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import zlib
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RejectedQuery, ServeError, ValidationError
+from repro.serve.loadgen import (
+    Arrival,
+    FaultPlan,
+    ModelProfile,
+    SimReport,
+)
+from repro.serve.scheduler import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    Assignment,
+    SchedulerCore,
+    SchedulerStats,
+    deliver_failures,
+)
+from repro.serve.simclock import MS, RealClock, VirtualClock
+from repro.serve.transport import (
+    MSG_EVAL,
+    MSG_LOAD,
+    MSG_PING,
+    MSG_PONG,
+    MSG_READY,
+    MSG_RESULT,
+    MSG_STOP,
+    BatchRequest,
+    ShippedModel,
+)
+
+__all__ = [
+    "ShipAction",
+    "AssignAction",
+    "RouterCore",
+    "ClusterSimRunner",
+    "ClusterService",
+]
+
+#: Default liveness horizon: a worker silent for this long is declared
+#: dead by :meth:`RouterCore.check_health`.  Generous, because a worker
+#: evaluating a batch cannot answer pings until it finishes — pipe EOF,
+#: not the heartbeat, is the fast path for real process death.
+DEFAULT_HEARTBEAT_TIMEOUT_S = 60.0
+
+
+@dataclass(frozen=True)
+class ShipAction:
+    """Engine instruction: send ``model``'s envelope to ``worker``."""
+
+    worker: int
+    epoch: int
+    model: str
+
+
+@dataclass
+class AssignAction:
+    """Engine instruction: evaluate ``assignment`` on its bound worker."""
+
+    assignment: Assignment
+    epoch: int
+    #: True when a ShipAction for the same worker precedes this batch —
+    #: the simulator charges the ship latency to this batch.
+    newly_shipped: bool = False
+
+
+class RouterCore:
+    """Pure cluster placement/failover over a :class:`SchedulerCore`.
+
+    Thread-unsafe by design, like the scheduler core it wraps: engines
+    serialize access and pass ``now`` explicitly, so simulated and real
+    clusters make identical routing decisions from identical inputs.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        max_retries: int = 1,
+        record_decisions: bool = True,
+        tracer=None,
+        metrics=None,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+    ):
+        if workers < 1:
+            raise ValidationError(
+                f"cluster workers must be >= 1, got {workers}"
+            )
+        if heartbeat_timeout_s <= 0:
+            raise ValidationError(
+                f"heartbeat_timeout_s must be > 0, got "
+                f"{heartbeat_timeout_s}"
+            )
+        self.core = SchedulerCore(
+            workers=workers,
+            max_retries=max_retries,
+            record_decisions=False,  # the router keeps the richer log
+            tracer=tracer,
+            metrics=metrics,
+        )
+        self.workers = workers
+        self.tracer = tracer
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.epochs: List[int] = [0] * workers
+        self.alive: List[bool] = [True] * workers
+        self.draining: List[bool] = [False] * workers
+        #: Last heartbeat per worker (None until the engine reports one).
+        self.last_heartbeat: List[Optional[float]] = [None] * workers
+        #: Per-worker map of model name -> shipped fingerprint, reset on
+        #: every epoch change: the ship-exactly-once ledger.
+        self.shipped: List[Dict[str, str]] = [{} for _ in range(workers)]
+        self._busy: Dict[int, Assignment] = {}
+        #: model name -> current fingerprint (the placement/ship key).
+        self._models: Dict[str, str] = {}
+        self.decisions: Optional[List[Tuple]] = (
+            [] if record_decisions else None
+        )
+        m = self.metrics
+        self._ships = m.counter("cluster_ships")
+        self._crashes = m.counter("cluster_crashes")
+        self._restarts = m.counter("cluster_restarts")
+        self._drains = m.counter("cluster_drains")
+        self._heartbeats = m.counter("cluster_heartbeats")
+        self._stale = m.counter("cluster_epoch_invalidated")
+        self._redeploys = m.counter("cluster_redeploys")
+        m.gauge("cluster_workers").set(workers)
+
+    # ------------------------------------------------------------------
+    # Shared surface (delegated to the scheduler core)
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        return self.core.metrics
+
+    def add_model(
+        self,
+        name: str,
+        capacity: int,
+        weight: float = 1.0,
+        max_pending: Optional[int] = None,
+        service_ms: Optional[float] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        """Register one served model (queue + placement identity).
+
+        ``fingerprint`` keys the ship-once ledger; profile-only callers
+        (the simulator) may omit it and get a synthetic stand-in.
+        """
+        self.core.add_queue(
+            name,
+            capacity=capacity,
+            weight=weight,
+            max_pending=max_pending,
+            service_ms=service_ms,
+        )
+        self._models[name] = (
+            fingerprint if fingerprint is not None else f"profile:{name}"
+        )
+
+    def remove_model(self, name: str,
+                     now: Optional[float] = None) -> int:
+        self._models.pop(name, None)
+        for ledger in self.shipped:
+            ledger.pop(name, None)
+        return self.core.remove_queue(name, now=now)
+
+    def submit(self, name: str, payload, now: float, tenant="default",
+               deadline=None, priority: int = 0):
+        return self.core.submit(
+            name, payload, now, tenant=tenant, deadline=deadline,
+            priority=priority,
+        )
+
+    def flush(self, name: Optional[str] = None) -> None:
+        self.core.flush(name)
+
+    def drain_failures(self):
+        return self.core.drain_failures()
+
+    def stats(self) -> SchedulerStats:
+        stats = self.core.stats()
+        self.metrics.gauge("cluster_workers_alive").set(
+            sum(1 for a in self.alive if a)
+        )
+        return stats
+
+    @property
+    def outstanding(self) -> int:
+        return self.core.outstanding
+
+    def next_cut_time(self) -> Optional[float]:
+        return self.core.next_cut_time()
+
+    def close(self) -> None:
+        self.core.close()
+
+    # ------------------------------------------------------------------
+    # Decision recording
+    # ------------------------------------------------------------------
+
+    def _record(self, *fields) -> None:
+        if self.decisions is not None:
+            self.decisions.append(fields)
+
+    # ------------------------------------------------------------------
+    # Placement + dispatch
+    # ------------------------------------------------------------------
+
+    def placement_order(self, model: str) -> List[int]:
+        """The model's stable preferred-worker rotation.
+
+        Sharding by a deterministic hash of the model name spreads
+        *first choices* across the pool (so co-served models do not all
+        pile onto worker 0) while keeping each model's batches sticky to
+        the same few workers — which is what makes the ship-once ledger
+        pay off.  Salted hashes (``hash``) are banned here: placement
+        must replay across processes and runs.
+        """
+        start = zlib.crc32(model.encode()) % self.workers
+        return [(start + k) % self.workers for k in range(self.workers)]
+
+    def _place(self, model: str) -> Optional[int]:
+        for worker in self.placement_order(model):
+            if (
+                self.alive[worker]
+                and not self.draining[worker]
+                and worker not in self._busy
+            ):
+                return worker
+        return None
+
+    def dispatch(self, now: float) -> List[object]:
+        """Cut and place every batch that can run right now.
+
+        Walks the scheduler's ready queues in fair-share order, pins
+        each cut to the first eligible worker of the model's placement
+        rotation, and emits the engine's work list: a
+        :class:`ShipAction` the first time a (worker, epoch) sees a
+        model (or a redeployed fingerprint), then the
+        :class:`AssignAction` for the batch itself.  A queue no eligible
+        worker can take is skipped without starving the others.
+        """
+        actions: List[object] = []
+        while True:
+            progressed = False
+            for name in self.core.ready_queues(now):
+                worker = self._place(name)
+                if worker is None:
+                    continue
+                assignment = self.core.assign(now, worker=worker,
+                                              queue=name)
+                if assignment is None:
+                    continue  # the whole cut was cancelled
+                epoch = self.epochs[worker]
+                fingerprint = self._models[name]
+                newly = self.shipped[worker].get(name) != fingerprint
+                if newly:
+                    self.shipped[worker][name] = fingerprint
+                    self._ships.inc()
+                    self._record("ship", worker, epoch, name,
+                                 round(now, 9))
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "ship", now, track=f"worker:{worker}",
+                            model=name, epoch=epoch,
+                        )
+                    actions.append(ShipAction(worker=worker, epoch=epoch,
+                                              model=name))
+                self._busy[worker] = assignment
+                self._record(
+                    "assign", assignment.batch_id, name, worker, epoch,
+                    assignment.size, assignment.tickets[0].seq,
+                    round(now, 9),
+                )
+                actions.append(AssignAction(
+                    assignment=assignment, epoch=epoch,
+                    newly_shipped=newly,
+                ))
+                progressed = True
+                break  # re-evaluate fair-share order after every cut
+            if not progressed:
+                return actions
+
+    # ------------------------------------------------------------------
+    # Completion + the epoch guard
+    # ------------------------------------------------------------------
+
+    def complete(self, assignment: Assignment, epoch: int, now: float,
+                 outcome: str = OUTCOME_OK) -> bool:
+        """Account one finished batch — unless its worker epoch is stale.
+
+        A completion echoing an epoch the router has since bumped comes
+        from a superseded worker incarnation: its tickets were already
+        requeued (crash) or belong to a drained-and-restarted worker.
+        Counting it would double-complete queries, so it is dropped and
+        recorded.  Returns True when the completion was accepted.
+        """
+        worker = assignment.worker
+        if (
+            epoch != self.epochs[worker]
+            or self._busy.get(worker) is not assignment
+        ):
+            self._stale.inc()
+            self._record("stale", assignment.batch_id, worker, epoch,
+                         round(now, 9))
+            return False
+        del self._busy[worker]
+        self.core.complete(assignment, now, outcome)
+        return True
+
+    # ------------------------------------------------------------------
+    # Liveness: heartbeats, crashes, restarts, draining
+    # ------------------------------------------------------------------
+
+    def worker_started(self, worker: int, now: float) -> None:
+        """Seed the liveness clock when the engine spawns/hears a worker."""
+        self.last_heartbeat[worker] = now
+
+    def heartbeat(self, worker: int, epoch: int, now: float) -> bool:
+        """Record a worker heartbeat; stale-epoch beats are ignored."""
+        if epoch != self.epochs[worker] or not self.alive[worker]:
+            return False
+        self.last_heartbeat[worker] = now
+        self._heartbeats.inc()
+        return True
+
+    def check_health(self, now: float) -> List[int]:
+        """Workers whose heartbeats have gone silent past the timeout.
+
+        The caller decides the response (normally
+        :meth:`crash_worker` + respawn + :meth:`restart_worker`).
+        """
+        dead = []
+        for worker in range(self.workers):
+            beat = self.last_heartbeat[worker]
+            if (
+                self.alive[worker]
+                and beat is not None
+                and now - beat > self.heartbeat_timeout_s
+            ):
+                dead.append(worker)
+        return dead
+
+    def crash_worker(self, worker: int,
+                     now: float) -> Optional[Assignment]:
+        """Declare a worker dead: bump its epoch, requeue its batch.
+
+        The epoch bump is what invalidates any completion the dead
+        incarnation still manages to deliver; the in-flight batch (if
+        any) takes the scheduler core's crash path — every ticket
+        requeues at its original sequence position, bounded by
+        ``max_retries``.  The worker stays out of placement until
+        :meth:`restart_worker`.
+        """
+        self.epochs[worker] += 1
+        self.alive[worker] = False
+        self.draining[worker] = False
+        self.shipped[worker] = {}
+        self._busy.pop(worker, None)
+        interrupted = self.core.crash_worker(worker, now)
+        self._crashes.inc()
+        self._record("crash", worker, self.epochs[worker], round(now, 9))
+        if self.tracer is not None:
+            self.tracer.event(
+                "crash", now, track=f"worker:{worker}",
+                epoch=self.epochs[worker],
+            )
+        return interrupted
+
+    def restart_worker(self, worker: int, now: float) -> int:
+        """Bring a worker (back) into placement under a fresh epoch.
+
+        Used both to replace a crashed worker and to finish a draining
+        redeploy.  The ship ledger is cleared — the new incarnation owns
+        nothing until the router ships it — and the new epoch is
+        returned for the engine to hand to the spawned process.
+        """
+        if worker in self._busy:
+            raise ValidationError(
+                f"cannot restart worker {worker} with batch "
+                f"{self._busy[worker].batch_id} in flight; drain first"
+            )
+        self.epochs[worker] += 1
+        self.alive[worker] = True
+        self.draining[worker] = False
+        self.shipped[worker] = {}
+        self.last_heartbeat[worker] = now
+        self._restarts.inc()
+        self._record("restart", worker, self.epochs[worker],
+                     round(now, 9))
+        if self.tracer is not None:
+            self.tracer.event(
+                "restart", now, track=f"worker:{worker}",
+                epoch=self.epochs[worker],
+            )
+        return self.epochs[worker]
+
+    def drain(self, worker: int, now: float) -> None:
+        """Stop placing new batches on a worker (in-flight work finishes)."""
+        if not self.draining[worker]:
+            self.draining[worker] = True
+            self._drains.inc()
+            self._record("drain", worker, round(now, 9))
+
+    def drained(self, worker: int) -> bool:
+        return worker not in self._busy
+
+    def redeploy_model(self, name: str, fingerprint: str,
+                       now: float) -> None:
+        """Publish a new fingerprint for ``name``.
+
+        Every worker's ledger entry is now stale, so the next batch
+        placed on each worker re-ships the new envelope first — a
+        rolling redeploy with no restart needed.  (Engines that must
+        also replace worker *code* drain + restart each worker instead.)
+        """
+        if name not in self._models:
+            raise ValidationError(f"no cluster model named {name!r}")
+        self._models[name] = fingerprint
+        self._redeploys.inc()
+        self._record("redeploy", name, fingerprint, round(now, 9))
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event engine (the determinism harness)
+# ---------------------------------------------------------------------------
+
+#: Event kinds, in processing order at equal timestamps (mirrors
+#: :mod:`repro.serve.loadgen`): completions free workers before crashes,
+#: arrivals, and timers look at the pool.
+_COMPLETION, _CRASH, _ARRIVAL, _TIMER = 0, 1, 2, 3
+
+
+class _SimQuery:
+    """Minimal router payload: just a future."""
+
+    __slots__ = ("future",)
+
+    def __init__(self):
+        self.future: "Future" = Future()
+
+
+class ClusterSimRunner:
+    """Discrete-event execution of a :class:`RouterCore`.
+
+    The cluster-shaped sibling of
+    :class:`~repro.serve.loadgen.SimRunner`: same seeded arrival
+    timelines and :class:`~repro.serve.loadgen.FaultPlan`, but crashes
+    go through the router's epoch protocol (crash -> immediate respawn
+    under a new epoch -> re-ship on next placement), and every routing
+    decision — ship, assign, crash, restart, stale-drop — lands in the
+    report's decision log.  ``ship_ms`` charges a simulated one-time
+    shipping latency to the first batch a (worker, epoch) runs per
+    model.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[ModelProfile],
+        workers: int = 2,
+        max_retries: int = 1,
+        tracer=None,
+        metrics=None,
+        ship_ms: float = 0.0,
+    ):
+        if not profiles:
+            raise ValidationError(
+                "ClusterSimRunner needs at least one profile"
+            )
+        if ship_ms < 0:
+            raise ValidationError(f"ship_ms must be >= 0, got {ship_ms}")
+        self.profiles: Dict[str, ModelProfile] = {
+            p.name: p for p in profiles
+        }
+        self.workers = workers
+        self.ship_ms = ship_ms
+        self.clock = VirtualClock()
+        self.tracer = tracer
+        self.router = RouterCore(
+            workers=workers,
+            max_retries=max_retries,
+            record_decisions=True,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        for profile in profiles:
+            self.router.add_model(
+                profile.name,
+                capacity=profile.capacity,
+                weight=profile.weight,
+                max_pending=profile.max_pending,
+                service_ms=profile.service_ms,
+            )
+        self._used = False
+
+    def run(self, arrivals: Sequence[Arrival],
+            faults: FaultPlan = FaultPlan()) -> SimReport:
+        if self._used:
+            raise ValidationError(
+                "a ClusterSimRunner runs once; build a fresh one per run"
+            )
+        self._used = True
+        clock, router = self.clock, self.router
+        for worker in range(self.workers):
+            router.worker_started(worker, 0.0)
+
+        events: List[Tuple[float, int, int, object]] = []
+        order = itertools.count()
+
+        def push(time: float, kind: int, data: object) -> None:
+            heapq.heappush(events, (time, kind, next(order), data))
+
+        for arrival in arrivals:
+            push(arrival.time, _ARRIVAL, arrival)
+        for k, crash_time in enumerate(faults.worker_crashes):
+            push(crash_time, _CRASH, k % self.workers)
+
+        batch_counter = 0
+        service_ms_total = 0.0
+        capacity_total = 0
+        packed_order: Dict[str, List[int]] = {}
+        timers_scheduled: set = set()
+        remaining_arrivals = len(arrivals)
+        flushed = False
+        last_completion_t = 0.0
+
+        def dispatch(now: float) -> None:
+            nonlocal batch_counter, service_ms_total, capacity_total
+            ship_delay: Dict[int, float] = {}
+            for action in router.dispatch(now):
+                if isinstance(action, ShipAction):
+                    ship_delay[action.worker] = (
+                        ship_delay.get(action.worker, 0.0) + self.ship_ms
+                    )
+                    continue
+                assignment = action.assignment
+                batch_counter += 1
+                profile = self.profiles[assignment.queue]
+                service_ms = profile.service_ms
+                if (
+                    faults.slow_every
+                    and batch_counter % faults.slow_every == 0
+                ):
+                    service_ms *= faults.slow_factor
+                service_ms += ship_delay.pop(assignment.worker, 0.0)
+                service_ms_total += service_ms
+                capacity_total += profile.capacity
+                for ticket in assignment.tickets:
+                    packed_order.setdefault(ticket.tenant, []).append(
+                        ticket.seq
+                    )
+                push(
+                    now + service_ms * MS,
+                    _COMPLETION,
+                    (assignment, action.epoch),
+                )
+            cut_at = router.next_cut_time()
+            if cut_at is not None and cut_at > now:
+                key = round(cut_at, 9)
+                if key not in timers_scheduled:
+                    timers_scheduled.add(key)
+                    push(cut_at, _TIMER, None)
+
+        while events or router.outstanding:
+            if not events:
+                # Only partial batches remain and nothing will ever cut
+                # them: the end-of-run flush.
+                router.flush()
+                dispatch(clock.now())
+                if not events:
+                    break  # every remaining future is terminal
+                continue
+            time, kind, _, data = heapq.heappop(events)
+            now = clock.advance_to(time)
+            if kind == _COMPLETION:
+                assignment, epoch = data
+                if router.complete(assignment, epoch, now, OUTCOME_OK):
+                    last_completion_t = now
+                # else: a superseded incarnation's batch — dropped and
+                # recorded; the crash path already requeued its tickets.
+            elif kind == _CRASH:
+                worker = data
+                router.crash_worker(worker, now)
+                # The pool keeps its size: the replacement spawns
+                # immediately under the bumped epoch with an empty ship
+                # ledger (its first batch per model pays ship_ms again).
+                router.restart_worker(worker, now)
+            elif kind == _ARRIVAL:
+                arrival = data
+                remaining_arrivals -= 1
+                deadline = (
+                    None if arrival.deadline_ms is None
+                    else now + arrival.deadline_ms * MS
+                )
+                try:
+                    router.submit(
+                        arrival.model,
+                        _SimQuery(),
+                        now,
+                        tenant=arrival.tenant,
+                        deadline=deadline,
+                        priority=arrival.priority,
+                    )
+                except RejectedQuery:
+                    pass  # counted by the core; open-loop load sheds
+            # _TIMER carries no state: popping it (advancing the clock)
+            # makes the due slack cut visible to dispatch().
+            if remaining_arrivals == 0 and not flushed:
+                router.flush()
+                flushed = True
+            dispatch(now)
+            deliver_failures(router.drain_failures())
+
+        deliver_failures(router.drain_failures())
+        first_t = arrivals[0].time if arrivals else 0.0
+        return SimReport(
+            stats=router.stats(),
+            decisions=list(router.decisions or []),
+            duration_s=max(0.0, last_completion_t - first_t),
+            service_ms_total=service_ms_total,
+            capacity_total=capacity_total,
+            threads=self.workers,
+            packed_order=packed_order,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Real engine: multiprocessing workers behind pipes
+# ---------------------------------------------------------------------------
+
+
+class _ClusterQuery:
+    """Router payload for one real query: features plus its future."""
+
+    __slots__ = ("features", "future")
+
+    def __init__(self, features):
+        self.features = features
+        self.future: "Future" = Future()
+
+
+class ClusterService:
+    """The ``register / submit / flush / stats`` facade over real workers.
+
+    A thin engine in the PR 4 sense: all placement/failover logic lives
+    in the :class:`RouterCore`; this class only moves bytes — spawning
+    ``workers`` processes (``multiprocessing`` *spawn* context, so every
+    shipped object must pickle), sending ship/eval messages from
+    :meth:`RouterCore.dispatch`, and running one receiver thread that
+    completes batches, answers the router's cut timers, pings for
+    heartbeats, and replaces crashed workers under a fresh epoch.
+
+    The registry, session keys, and every query future stay router-side;
+    workers see raw integer features and return plain numbers.
+    """
+
+    #: Receiver wake-up granularity: the loop re-checks cut timers and
+    #: liveness at least this often (slack cuts in real mode are
+    #: best-effort at this resolution).
+    POLL_INTERVAL_S = 0.05
+
+    def __init__(
+        self,
+        workers: int = 2,
+        engine: str = "tape",
+        backend: Optional[str] = None,
+        max_retries: int = 1,
+        default_deadline_ms: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        verify_oracle: bool = True,
+        tracer=None,
+        metrics=None,
+        clock=None,
+        heartbeat_interval_s: float = 5.0,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+    ):
+        from multiprocessing import get_context
+
+        from repro.serve.registry import ModelRegistry
+
+        self.clock = clock if clock is not None else RealClock()
+        self.engine = engine
+        self.backend = backend
+        self.verify_oracle = verify_oracle
+        self.default_deadline_ms = default_deadline_ms
+        self.max_queue = max_queue
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.router = RouterCore(
+            workers=workers,
+            max_retries=max_retries,
+            record_decisions=True,
+            tracer=tracer,
+            metrics=metrics,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+        )
+        self.registry = ModelRegistry(metrics=self.router.metrics)
+        self._mp = get_context("spawn")
+        self._lock = threading.Lock()
+        self._completion = threading.Condition(self._lock)
+        self._envelopes: Dict[str, ShippedModel] = {}
+        self._registered: Dict[str, object] = {}
+        #: batch_id -> (assignment, epoch) awaiting a worker result.
+        self._inflight: Dict[int, Tuple[Assignment, int]] = {}
+        self._procs: List[object] = [None] * workers
+        self._conns: List[object] = [None] * workers
+        self._closed = False
+        now = self.clock.now()
+        for worker in range(workers):
+            self._spawn(worker, self.router.epochs[worker], now)
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name="cluster-receiver", daemon=True
+        )
+        self._receiver.start()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _spawn(self, worker: int, epoch: int, now: float) -> None:
+        from repro.serve.worker import worker_main
+
+        parent, child = self._mp.Pipe()
+        proc = self._mp.Process(
+            target=worker_main,
+            args=(child, worker, epoch),
+            daemon=True,
+            name=f"copse-worker-{worker}",
+        )
+        proc.start()
+        child.close()
+        self._procs[worker] = proc
+        self._conns[worker] = parent
+        self.router.worker_started(worker, now)
+
+    def close(self) -> None:
+        """Stop the pool (idempotent).  Pending queries fail loudly."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.router.close()
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.send((MSG_STOP,))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        self._receiver.join(timeout=5.0)
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        failures = self.router.drain_failures()
+        deliver_failures(failures)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- registration ---------------------------------------------------
+
+    def register_model(self, name: str, model, **kwargs):
+        """Compile/encrypt once router-side and announce to the router.
+
+        The worker pool receives the resulting
+        :class:`~repro.serve.transport.ShippedModel` lazily, exactly
+        once per (worker, epoch), when placement first assigns the model
+        there.  Accepts :meth:`ModelRegistry.register` keywords.
+        """
+        kwargs.setdefault("engine", self.engine)
+        kwargs.setdefault("backend", self.backend)
+        registered = self.registry.register(name, model, **kwargs)
+        envelope = ShippedModel.from_registered(registered)
+        with self._lock:
+            self.router.add_model(
+                name,
+                capacity=registered.layout.capacity,
+                max_pending=self.max_queue,
+                service_ms=registered.estimated_batch_ms,
+                fingerprint=envelope.fingerprint,
+            )
+            self._envelopes[name] = envelope
+            self._registered[name] = registered
+        return registered
+
+    def preload(self, name: str) -> None:
+        """Eagerly ship ``name`` to every live worker (warm the pool)."""
+        now = self.clock.now()
+        with self._lock:
+            envelope = self._envelopes[name]
+            for worker in range(self.router.workers):
+                if not self.router.alive[worker]:
+                    continue
+                if self.router.shipped[worker].get(name) == (
+                    envelope.fingerprint
+                ):
+                    continue
+                self.router.shipped[worker][name] = envelope.fingerprint
+                self.router._ships.inc()
+                self.router._record(
+                    "ship", worker, self.router.epochs[worker], name,
+                    round(now, 9),
+                )
+                self._conns[worker].send((MSG_LOAD, envelope))
+
+    # -- serving --------------------------------------------------------
+
+    def submit(self, name: str, features, tenant: str = "default",
+               deadline_ms: Optional[float] = None,
+               priority: int = 0) -> "Future":
+        """Admit one query; returns a future of its
+        :class:`~repro.serve.batcher.ClassificationResult`."""
+        from repro.serve.packing import validate_features
+
+        registered = self.registry.get(name)
+        validated = validate_features(registered.layout, features)
+        payload = _ClusterQuery(validated)
+        future = payload.future  # retries chain new futures onto this one
+        effective = (
+            deadline_ms if deadline_ms is not None
+            else self.default_deadline_ms
+        )
+        now = self.clock.now()
+        with self._lock:
+            deadline = None if effective is None else now + effective * MS
+            self.router.submit(
+                name, payload, now, tenant=tenant, deadline=deadline,
+                priority=priority,
+            )
+            self._dispatch_locked(now)
+            failures = self.router.drain_failures()
+        deliver_failures(failures)
+        return future
+
+    def classify_many(self, name: str, queries,
+                      tenant: str = "default") -> List:
+        futures = [self.submit(name, q, tenant=tenant) for q in queries]
+        self.flush(name)
+        return [f.result() for f in futures]
+
+    def flush(self, name: Optional[str] = None) -> None:
+        now = self.clock.now()
+        with self._lock:
+            self.router.flush(name)
+            self._dispatch_locked(now)
+            failures = self.router.drain_failures()
+        deliver_failures(failures)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no admitted query is queued or in flight."""
+        with self._completion:
+            return self._completion.wait_for(
+                lambda: self.router.outstanding == 0, timeout=timeout
+            )
+
+    def stats(self) -> SchedulerStats:
+        with self._lock:
+            return self.router.stats()
+
+    def metrics_snapshot(self) -> Dict:
+        with self._lock:
+            self.router.stats()
+            return self.router.metrics.snapshot()
+
+    @property
+    def decisions(self) -> List[Tuple]:
+        with self._lock:
+            return list(self.router.decisions or [])
+
+    # -- engine internals ----------------------------------------------
+
+    def _dispatch_locked(self, now: float) -> None:
+        for action in self.router.dispatch(now):
+            if isinstance(action, ShipAction):
+                self._conns[action.worker].send(
+                    (MSG_LOAD, self._envelopes[action.model])
+                )
+                continue
+            assignment = action.assignment
+            request = BatchRequest(
+                batch_id=assignment.batch_id,
+                model=assignment.queue,
+                epoch=action.epoch,
+                features=tuple(
+                    tuple(t.payload.features) for t in assignment.tickets
+                ),
+                verify_oracle=self.verify_oracle,
+            )
+            self._inflight[assignment.batch_id] = (assignment,
+                                                   action.epoch)
+            self._conns[assignment.worker].send((MSG_EVAL, request))
+
+    def _receive_loop(self) -> None:
+        from multiprocessing.connection import wait as conn_wait
+
+        last_ping = self.clock.now()
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                conns = [c for c in self._conns if c is not None]
+                cut_at = self.router.next_cut_time()
+            now = self.clock.now()
+            timeout = self.POLL_INTERVAL_S
+            if cut_at is not None:
+                timeout = min(timeout, max(0.0, cut_at - now))
+            try:
+                ready = conn_wait(conns, timeout)
+            except OSError:
+                ready = []
+            resolutions = []
+            with self._lock:
+                if self._closed:
+                    return
+                now = self.clock.now()
+                for conn in ready:
+                    try:
+                        worker = self._conns.index(conn)
+                    except ValueError:
+                        continue  # replaced while we waited
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        self._handle_crash_locked(worker, now)
+                        continue
+                    resolution = self._handle_message_locked(
+                        worker, message, now
+                    )
+                    if resolution is not None:
+                        resolutions.append(resolution)
+                for worker in self.router.check_health(now):
+                    self._kill_locked(worker)
+                    self._handle_crash_locked(worker, now)
+                if now - last_ping >= self.heartbeat_interval_s:
+                    last_ping = now
+                    for worker, conn in enumerate(self._conns):
+                        try:
+                            conn.send((MSG_PING,))
+                        except (OSError, ValueError, BrokenPipeError):
+                            pass
+                self._dispatch_locked(now)
+                failures = self.router.drain_failures()
+                self._completion.notify_all()
+            deliver_failures(failures)
+            for resolve in resolutions:
+                resolve()
+
+    def _handle_message_locked(self, worker: int, message, now: float):
+        tag = message[0]
+        if tag == MSG_RESULT:
+            return self._handle_result_locked(message[1], now)
+        if tag in (MSG_READY, MSG_PONG):
+            self.router.heartbeat(worker, message[2], now)
+        # MSG_LOADED is informational; the ledger was updated at ship time.
+        return None
+
+    def _handle_result_locked(self, result, now: float):
+        entry = self._inflight.pop(result.batch_id, None)
+        if entry is None:
+            return None
+        assignment, epoch = entry
+        if result.error is not None:
+            # Deterministic worker-side failure: no retry (a second run
+            # would fail identically); every ticket fails loudly.
+            self.router.complete(assignment, epoch, now, OUTCOME_ERROR)
+            return None
+        if not self.router.complete(assignment, epoch, now, OUTCOME_OK):
+            return None  # stale epoch: tickets already requeued
+        registered = self._registered[assignment.queue]
+        tickets = list(assignment.tickets)
+
+        def resolve() -> None:
+            from repro.core.runtime import InferenceResult
+            from repro.serve.batcher import ClassificationResult
+
+            spec = registered.spec
+            size = len(tickets)
+            for k, ticket in enumerate(tickets):
+                bits = list(result.bitvectors[k])
+                oracle_ok = (
+                    None if result.oracle_ok is None
+                    else bool(result.oracle_ok[k])
+                )
+                outcome = ClassificationResult(
+                    model=registered.name,
+                    features=list(ticket.payload.features),
+                    result=InferenceResult(
+                        bitvector=bits,
+                        codebook=list(spec.codebook),
+                        label_names=list(spec.label_names),
+                    ),
+                    batch_id=result.batch_id,
+                    batch_fill=size,
+                    batch_capacity=registered.layout.capacity,
+                    amortized_ms=(
+                        result.inference_ms / size if size else 0.0
+                    ),
+                    oracle_ok=oracle_ok,
+                )
+                future = ticket.payload.future
+                if not future.done():
+                    future.set_result(outcome)
+
+        return resolve
+
+    def _kill_locked(self, worker: int) -> None:
+        proc = self._procs[worker]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+
+    def _handle_crash_locked(self, worker: int, now: float) -> None:
+        """Pipe EOF / liveness timeout: crash, respawn, re-place."""
+        if not self.router.alive[worker]:
+            return
+        interrupted = self.router.crash_worker(worker, now)
+        if interrupted is not None:
+            self._inflight.pop(interrupted.batch_id, None)
+            # The interrupted tickets were already cut once (full batch
+            # or explicit flush); re-flush their queue so a requeued
+            # partial batch re-cuts immediately instead of waiting for
+            # a flush nobody will send again.
+            self.router.flush(interrupted.queue)
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        proc = self._procs[worker]
+        if proc is not None:
+            proc.join(timeout=0.5)
+            if proc.is_alive():
+                proc.terminate()
+        if self._closed:
+            return
+        epoch = self.router.restart_worker(worker, now)
+        # restart_worker reset the liveness clock; _spawn re-seeds it
+        # once the replacement is up.
+        self._spawn(worker, epoch, now)
+
+
+def _check_cluster_args(workers: int) -> None:
+    if workers < 1:
+        raise ValidationError(f"--workers must be >= 1, got {workers}")

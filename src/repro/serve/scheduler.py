@@ -532,6 +532,19 @@ class SchedulerCore:
     def has_ready(self, now: float) -> bool:
         return any(q.ready(now) for q in self._queues.values())
 
+    def ready_queues(self, now: float) -> List[str]:
+        """Cut-ready queue names in fair-share dispatch order.
+
+        The order :meth:`assign` would consider them: ascending virtual
+        time, name-ordered tiebreak.  Placement-aware callers (the
+        cluster router) walk this list and pin each cut to a worker via
+        ``assign(now, worker=..., queue=...)``, skipping queues no
+        eligible worker can take without starving the rest.
+        """
+        ready = [q for q in self._queues.values() if q.ready(now)]
+        ready.sort(key=lambda q: (q.vtime, q.name))
+        return [q.name for q in ready]
+
     def next_cut_time(self) -> Optional[float]:
         """Earliest future moment a slack cut becomes due, if any."""
         times = [
@@ -543,24 +556,35 @@ class SchedulerCore:
         return min(times) if times else None
 
     def assign(self, now: float,
-               worker: Optional[int] = None) -> Optional[Assignment]:
+               worker: Optional[int] = None,
+               queue: Optional[str] = None) -> Optional[Assignment]:
         """Cut the next batch and bind it to a free worker, if possible.
 
         Among ready queues the one with the smallest fair-share virtual
         time wins (name-ordered tiebreak, so decisions are total-ordered
-        and deterministic).  Cancelled tickets are dropped here — a
-        caller's cancel never occupies a batch slot.
+        and deterministic).  ``worker`` pins the cut to a specific free
+        worker; ``queue`` pins it to a specific ready queue (the cluster
+        router uses both to couple placement with fair-share order).
+        Cancelled tickets are dropped here — a caller's cancel never
+        occupies a batch slot.
         """
         if not self._free:
             return None
         while True:
-            ready = [q for q in self._queues.values() if q.ready(now)]
+            if queue is not None:
+                target = self._queues.get(queue)
+                ready = (
+                    [target]
+                    if target is not None and target.ready(now) else []
+                )
+            else:
+                ready = [q for q in self._queues.values() if q.ready(now)]
             if not ready:
                 return None
-            queue = min(ready, key=lambda q: (q.vtime, q.name))
+            chosen = min(ready, key=lambda q: (q.vtime, q.name))
             tickets: List[QueryTicket] = []
-            while queue.heap and len(tickets) < queue.capacity:
-                _, ticket = heapq.heappop(queue.heap)
+            while chosen.heap and len(tickets) < chosen.capacity:
+                _, ticket = heapq.heappop(chosen.heap)
                 if ticket.future.set_running_or_notify_cancel():
                     tickets.append(ticket)
                 else:
@@ -572,19 +596,19 @@ class SchedulerCore:
                         self.tracer.end(
                             ticket.span, now, outcome=OUTCOME_CANCELLED
                         )
-            queue.invalidate_cut_cache()
-            if not queue.heap:
-                queue.flush_pending = False
+            chosen.invalidate_cut_cache()
+            if not chosen.heap:
+                chosen.flush_pending = False
             if not tickets:
                 continue  # the whole cut was cancelled; look again
-            queue.vtime += len(tickets) / queue.weight
+            chosen.vtime += len(tickets) / chosen.weight
             if worker is None:
                 worker = heapq.heappop(self._free)
             else:
                 self._free.remove(worker)
             assignment = Assignment(
                 batch_id=next(self._batch_ids),
-                queue=queue.name,
+                queue=chosen.name,
                 worker=worker,
                 tickets=tickets,
                 cut_time=now,
@@ -592,7 +616,7 @@ class SchedulerCore:
             if self.tracer is not None:
                 assignment.span = self.tracer.begin(
                     "batch", now, track=f"worker:{worker}",
-                    queue=queue.name, batch_id=assignment.batch_id,
+                    queue=chosen.name, batch_id=assignment.batch_id,
                     size=len(tickets),
                     members=[
                         t.span for t in tickets if t.span is not None
@@ -610,7 +634,7 @@ class SchedulerCore:
             if self.decisions is not None:
                 self.decisions.append((
                     assignment.batch_id,
-                    queue.name,
+                    chosen.name,
                     worker,
                     len(tickets),
                     tickets[0].seq,

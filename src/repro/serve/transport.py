@@ -1,0 +1,201 @@
+"""Picklable envelopes for the multi-process serve cluster.
+
+Everything that crosses a router/worker process boundary is defined
+here, and everything here must survive ``pickle`` under the ``spawn``
+start method (no lambdas, locks, futures, open trackers, or lazily
+cached derived state — :class:`~repro.ir.tape.FusedSpec` drops its
+gather caches in ``__getstate__`` for exactly this reason):
+
+* :class:`ShippedModel` — the compiled model bundle a worker receives
+  **exactly once** per (worker, epoch): the registered model's cached
+  parameters, layout, keys, once-encrypted batched model, and compiled
+  plan/tape.  Binding is fail-closed by the existing
+  :meth:`~repro.core.compiler.CompiledModel.fingerprint`: the envelope
+  carries the fingerprint it was shipped under, and :meth:`verify`
+  recomputes and cross-checks it against every cached artifact before
+  the worker will evaluate a single batch.
+* :class:`BatchRequest` / :class:`BatchResult` — one cut batch's raw
+  integer features out, and its distilled measurements back (decrypted
+  bitvectors, phase milliseconds, oracle verdicts).  The worker's
+  :class:`~repro.fhe.tracker.OpTracker` never crosses the boundary —
+  results carry plain numbers only.
+
+Messages are ``(tag, payload...)`` tuples; the tags are the protocol
+constants below.  Every message except ``MSG_LOAD`` is small; a worker
+always returns to ``recv`` between evaluations, so the router can ship
+a multi-megabyte envelope without a send/send deadlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServeError
+
+__all__ = [
+    "ShippedModel",
+    "BatchRequest",
+    "BatchResult",
+    "MSG_LOAD",
+    "MSG_EVAL",
+    "MSG_PING",
+    "MSG_STOP",
+    "MSG_READY",
+    "MSG_LOADED",
+    "MSG_PONG",
+    "MSG_RESULT",
+]
+
+# Router -> worker message tags.
+MSG_LOAD = "load"    #: ("load", ShippedModel)
+MSG_EVAL = "eval"    #: ("eval", BatchRequest)
+MSG_PING = "ping"    #: ("ping",)
+MSG_STOP = "stop"    #: ("stop",)
+
+# Worker -> router message tags.
+MSG_READY = "ready"      #: ("ready", worker_id, epoch)
+MSG_LOADED = "loaded"    #: ("loaded", worker_id, epoch, model, fingerprint)
+MSG_PONG = "pong"        #: ("pong", worker_id, epoch)
+MSG_RESULT = "result"    #: ("result", BatchResult)
+
+
+@dataclass(frozen=True)
+class ShippedModel:
+    """A registered model, packaged for one-shot shipment to a worker.
+
+    Field-for-field the picklable core of
+    :class:`~repro.serve.registry.RegisteredModel`.  ``fingerprint`` is
+    the :meth:`CompiledModel.fingerprint` recorded at packaging time;
+    :meth:`verify` is the fail-closed gate every receiver runs before
+    rebuilding a worker-side registered model.
+    """
+
+    name: str
+    fingerprint: str
+    compiled: object
+    params: object
+    layout: object
+    spec: object
+    keys: object
+    batched_model: object
+    cost_model: object
+    encrypted_model: bool
+    engine: str
+    backend: str
+    plan: Optional[object] = field(default=None, repr=False)
+    tape: Optional[object] = field(default=None, repr=False)
+    forest: Optional[object] = field(default=None, repr=False)
+    setup_ms: float = 0.0
+
+    @classmethod
+    def from_registered(cls, registered) -> "ShippedModel":
+        """Package a :class:`RegisteredModel` (fingerprint recorded now)."""
+        return cls(
+            name=registered.name,
+            fingerprint=registered.compiled.fingerprint(),
+            compiled=registered.compiled,
+            params=registered.params,
+            layout=registered.layout,
+            spec=registered.spec,
+            keys=registered.keys,
+            batched_model=registered.batched_model,
+            cost_model=registered.cost_model,
+            encrypted_model=registered.encrypted_model,
+            engine=registered.engine,
+            backend=registered.backend,
+            plan=registered.plan,
+            tape=registered.tape,
+            forest=registered.forest,
+            setup_ms=registered.setup_ms,
+        )
+
+    def verify(self) -> str:
+        """Fail-closed integrity check; returns the verified fingerprint.
+
+        Recomputes the compiled model's fingerprint and requires every
+        cached artifact in the envelope — the batched ciphertext bundle,
+        the lowered plan, the compiled tape — to carry exactly it.  An
+        envelope that cannot prove it is one consistent model is
+        refused before any batch can be evaluated against it.
+        """
+        actual = self.compiled.fingerprint()
+        if actual != self.fingerprint:
+            raise ServeError(
+                f"shipped model {self.name!r} fails verification: "
+                f"envelope fingerprint {self.fingerprint} != compiled "
+                f"model fingerprint {actual}"
+            )
+        checks = (
+            ("batched model", getattr(self.batched_model, "fingerprint",
+                                      None)),
+            ("plan", getattr(self.plan, "model_fingerprint", None)
+             if self.plan is not None else actual),
+            ("tape", getattr(self.tape, "model_fingerprint", None)
+             if self.tape is not None else actual),
+        )
+        for what, fp in checks:
+            if fp != actual:
+                raise ServeError(
+                    f"shipped model {self.name!r} fails verification: "
+                    f"{what} fingerprint {fp} != compiled model "
+                    f"fingerprint {actual}"
+                )
+        return actual
+
+    def to_registered(self):
+        """Rebuild the worker-side :class:`RegisteredModel` (verified)."""
+        from repro.serve.registry import RegisteredModel
+
+        self.verify()
+        return RegisteredModel(
+            name=self.name,
+            compiled=self.compiled,
+            params=self.params,
+            layout=self.layout,
+            spec=self.spec,
+            keys=self.keys,
+            batched_model=self.batched_model,
+            cost_model=self.cost_model,
+            encrypted_model=self.encrypted_model,
+            forest=self.forest,
+            setup_ms=self.setup_ms,
+            engine=self.engine,
+            backend=self.backend,
+            plan=self.plan,
+            tape=self.tape,
+        )
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One cut batch, router -> worker: raw integer features only."""
+
+    batch_id: int
+    model: str
+    #: Router's epoch for the target worker at dispatch time; echoed in
+    #: the result so a completion from a superseded worker incarnation
+    #: is recognized and dropped.
+    epoch: int
+    features: Tuple[Tuple[int, ...], ...]
+    verify_oracle: bool = False
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One evaluated batch, worker -> router: distilled numbers only."""
+
+    batch_id: int
+    model: str
+    worker: int
+    epoch: int
+    #: Per-query decrypted label bitvectors (None when ``error`` is set).
+    bitvectors: Optional[Tuple[Tuple[int, ...], ...]]
+    phase_ms: Dict[str, float]
+    inference_ms: float
+    data_encrypt_ms: float
+    #: Per-query oracle agreement (None when verification was off).
+    oracle_ok: Optional[Tuple[bool, ...]] = None
+    oracle_failures: Optional[int] = None
+    #: repr of the worker-side exception, when evaluation failed.
+    error: Optional[str] = None

@@ -1,0 +1,193 @@
+"""The serve-cluster worker process: receive models once, evaluate batches.
+
+:func:`worker_main` is the ``spawn`` target of every pool process.  A
+worker is deliberately dumb — the detect/schedule/verify intelligence
+lives in the router — and holds no scheduling state at all:
+
+* ``("load", ShippedModel)`` — verify the envelope fail-closed
+  (:meth:`~repro.serve.transport.ShippedModel.verify`) and cache the
+  rebuilt registered model.  The router ships each model at most once
+  per (worker, epoch), so this is the only time the multi-megabyte
+  bundle crosses the pipe.
+* ``("eval", BatchRequest)`` — run the full amortized pipeline on a
+  fresh per-batch :class:`~repro.fhe.context.FheContext` (pack +
+  encrypt, engine execution, decrypt, demux, optional oracle check) and
+  send back a :class:`~repro.serve.transport.BatchResult` of plain
+  numbers.  Worker-side failures are caught and returned as an
+  ``error`` result — the router decides retry vs. fail, the worker
+  never dies on a bad batch.
+* ``("ping",)`` / ``("stop",)`` — heartbeat and shutdown.
+
+Everything a worker computes is a pure function of the shipped model
+and the batch's features, which is what makes 1-worker and N-worker
+clusters bit-identical: the same batches produce the same bitvectors no
+matter which process evaluates them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.runtime import (
+    ENGINE_PLAN,
+    ENGINE_TAPE,
+    PHASE_DATA_ENCRYPT,
+    PHASE_PLAN,
+    PHASE_TAPE,
+)
+from repro.fhe.context import FheContext
+from repro.serve.batched_runtime import (
+    BATCH_INFERENCE_PHASES,
+    BatchedCopseServer,
+    encrypt_batch,
+)
+from repro.serve.packing import demux_bitvectors
+from repro.serve.transport import (
+    MSG_EVAL,
+    MSG_LOAD,
+    MSG_LOADED,
+    MSG_PING,
+    MSG_PONG,
+    MSG_READY,
+    MSG_RESULT,
+    MSG_STOP,
+    BatchRequest,
+    BatchResult,
+)
+
+__all__ = ["evaluate_batch", "worker_main"]
+
+
+def evaluate_batch(
+    registered,
+    features: List[List[int]],
+    verify_oracle: bool = False,
+) -> Tuple[List[List[int]], dict, float, float, Optional[List[bool]]]:
+    """Evaluate one batch of raw features against a registered model.
+
+    The worker-side mirror of
+    :meth:`~repro.serve.batcher.QueryBatcher._evaluate`, minus futures
+    and spans (those live router-side): fresh context, batch encryption,
+    engine execution, decryption, demux, cost-model phase attribution.
+    Returns ``(bitvectors, phase_ms, inference_ms, data_encrypt_ms,
+    oracle_ok)``.
+    """
+    ctx = FheContext(registered.params, backend=registered.backend)
+    server = BatchedCopseServer(
+        ctx,
+        engine=registered.engine,
+        plan=registered.plan,
+        tape=registered.tape,
+    )
+    query = encrypt_batch(ctx, registered.layout, features, registered.keys)
+    encrypted = server.classify_batch(registered.batched_model, query)
+    bits = ctx.decrypt_bits(encrypted, registered.keys.secret)
+    bitvectors = demux_bitvectors(registered.layout, bits, len(features))
+
+    cost = registered.cost_model
+    if registered.engine == ENGINE_TAPE:
+        inference_phases = (PHASE_TAPE,)
+    elif registered.engine == ENGINE_PLAN:
+        inference_phases = (PHASE_PLAN,)
+    else:
+        inference_phases = BATCH_INFERENCE_PHASES
+    phase_ms = {
+        phase: cost.phase_sequential_ms(ctx.tracker, phase)
+        for phase in (PHASE_DATA_ENCRYPT,) + inference_phases
+    }
+    inference_ms = sum(phase_ms[p] for p in inference_phases)
+
+    oracle_ok: Optional[List[bool]] = None
+    if verify_oracle and registered.forest is not None:
+        oracle_ok = [
+            bitvectors[k] == registered.forest.label_bitvector(f)
+            for k, f in enumerate(features)
+        ]
+    return (
+        bitvectors,
+        phase_ms,
+        inference_ms,
+        phase_ms[PHASE_DATA_ENCRYPT],
+        oracle_ok,
+    )
+
+
+def _eval_result(
+    worker_id: int, request: BatchRequest, models
+) -> BatchResult:
+    try:
+        registered = models.get(request.model)
+        if registered is None:
+            raise KeyError(
+                f"worker {worker_id} has no model {request.model!r} "
+                f"loaded (epoch {request.epoch}); the router must ship "
+                f"before it assigns"
+            )
+        features = [list(f) for f in request.features]
+        bitvectors, phase_ms, inference_ms, data_encrypt_ms, oracle_ok = (
+            evaluate_batch(
+                registered, features, verify_oracle=request.verify_oracle
+            )
+        )
+        return BatchResult(
+            batch_id=request.batch_id,
+            model=request.model,
+            worker=worker_id,
+            epoch=request.epoch,
+            bitvectors=tuple(tuple(b) for b in bitvectors),
+            phase_ms=phase_ms,
+            inference_ms=inference_ms,
+            data_encrypt_ms=data_encrypt_ms,
+            oracle_ok=(
+                None if oracle_ok is None else tuple(oracle_ok)
+            ),
+            oracle_failures=(
+                None if oracle_ok is None
+                else sum(1 for ok in oracle_ok if not ok)
+            ),
+        )
+    except BaseException as exc:  # contained: the router decides
+        return BatchResult(
+            batch_id=request.batch_id,
+            model=request.model,
+            worker=worker_id,
+            epoch=request.epoch,
+            bitvectors=None,
+            phase_ms={},
+            inference_ms=0.0,
+            data_encrypt_ms=0.0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def worker_main(conn, worker_id: int, epoch: int) -> None:
+    """Run one pool worker over ``conn`` until ``("stop",)`` or EOF.
+
+    ``epoch`` is the router's incarnation counter for this worker slot
+    at spawn time; every message the worker sends echoes it, so results
+    from a superseded incarnation are recognizable router-side.
+    """
+    models = {}
+    conn.send((MSG_READY, worker_id, epoch))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # router went away; nothing left to serve
+        tag = message[0]
+        if tag == MSG_LOAD:
+            shipped = message[1]
+            registered = shipped.to_registered()  # verifies fail-closed
+            models[shipped.name] = registered
+            conn.send((
+                MSG_LOADED, worker_id, epoch, shipped.name,
+                shipped.fingerprint,
+            ))
+        elif tag == MSG_EVAL:
+            conn.send((MSG_RESULT, _eval_result(worker_id, message[1],
+                                                models)))
+        elif tag == MSG_PING:
+            conn.send((MSG_PONG, worker_id, epoch))
+        elif tag == MSG_STOP:
+            break
+    conn.close()

@@ -89,6 +89,26 @@ if not _HAVE_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
             signal.signal(signal.SIGALRM, previous)
 
 
+def pytest_configure(config):
+    """Refuse to run with pytest.ini's timeout silently unenforced.
+
+    ``timeout = 300`` in pytest.ini is only honored by the
+    pytest-timeout plugin; a run without the plugin *and* without the
+    SIGALRM fallback above (e.g. a platform with no SIGALRM) would
+    quietly drop the cap — the exact misconfiguration this guard turns
+    into a hard error instead of a hung CI job.
+    """
+    if config.inicfg.get("timeout") is None:
+        return
+    if not _HAVE_TIMEOUT_PLUGIN and not hasattr(signal, "SIGALRM"):
+        raise pytest.UsageError(
+            "pytest.ini sets a timeout, but neither the pytest-timeout "
+            "plugin nor the SIGALRM fallback is available on this "
+            "platform; install pytest-timeout (the 'test' extra "
+            "includes it)"
+        )
+
+
 @pytest.fixture
 def params() -> EncryptionParams:
     return EncryptionParams.paper_defaults()

@@ -73,6 +73,89 @@ class TestByteIdenticalExports:
         assert first.to_jsonl() != second.to_jsonl()
 
 
+class TestProfilerClockDeterminism:
+    """The profiler half of the byte-identity contract.
+
+    ``TapeProfiler`` used to default its instruction timer to
+    ``time.perf_counter`` even when the caller drove everything else
+    off a :class:`~repro.serve.simclock.VirtualClock`, smuggling
+    nondeterministic wall time into otherwise replayable artifacts.
+    With ``clock=`` threaded through, a virtual-clock profile of the
+    same execution is byte-identical across runs.
+    """
+
+    @staticmethod
+    def profiled_run(clock):
+        import numpy as np
+
+        from repro.core.compiler import CopseCompiler
+        from repro.fhe.context import FheContext
+        from repro.forest.synthetic import random_forest
+        from repro.ir.plan import bind_model_query
+        from repro.obs.profiler import TapeProfiler
+        from repro.serve.batched_runtime import encrypt_batch
+        from repro.serve.registry import ModelRegistry
+
+        forest = random_forest(
+            np.random.default_rng(7), branches_per_tree=[7, 8],
+            max_depth=5,
+        )
+        compiled = CopseCompiler(precision=8).compile(forest)
+        registered = ModelRegistry().register(
+            "prof-det", compiled, engine="tape", backend="vector"
+        )
+        tape = registered.tape
+        ctx = FheContext(registered.params, backend=registered.backend)
+        rng = np.random.default_rng(3)
+        queries = [
+            [int(v) for v in rng.integers(0, 256, compiled.n_features)]
+            for _ in range(registered.layout.capacity)
+        ]
+        query = encrypt_batch(
+            ctx, registered.layout, queries, registered.keys
+        )
+        bindings = bind_model_query(
+            ctx,
+            tape.input_widths,
+            tape.encrypted_model,
+            tape.model_fingerprint,
+            registered.batched_model,
+            query,
+        )
+        profiler = TapeProfiler(clock=clock)
+        tape.execute(ctx, bindings, profiler=profiler)
+        return profiler
+
+    def test_virtual_clock_profile_byte_identical(self):
+        from repro.serve import VirtualClock
+
+        first = self.profiled_run(VirtualClock())
+        second = self.profiled_run(VirtualClock())
+        a = json.dumps(first.as_dict(), sort_keys=True)
+        b = json.dumps(second.as_dict(), sort_keys=True)
+        assert a.encode() == b.encode()
+        assert first.samples, "the profiled run recorded nothing"
+        # Virtual time never advanced: zero wall, real op counts.
+        assert first.total_wall_s == 0.0
+        assert first.op_totals()
+
+    def test_clock_threads_through_to_timer(self):
+        from repro.obs.profiler import TapeProfiler
+        from repro.serve import VirtualClock
+
+        clock = VirtualClock()
+        profiler = TapeProfiler(clock=clock)
+        assert profiler.timer == clock.now  # same bound method
+        clock.advance_to(2.5)
+        assert profiler.timer() == 2.5
+        # Explicit timer wins; no clock means real wall time.
+        import time
+
+        assert TapeProfiler().timer is time.perf_counter
+        fake = lambda: 1.0  # noqa: E731
+        assert TapeProfiler(timer=fake, clock=clock).timer is fake
+
+
 class TestSpanConservation:
     def test_every_submission_ends_in_exactly_one_outcome(self):
         tracer, report = traced_soak()

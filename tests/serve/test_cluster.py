@@ -1,0 +1,499 @@
+"""Cluster invariants: determinism, crash/epoch protocol, real workers.
+
+Three layers, mirroring the module's pure-core/thin-engine split:
+
+* **RouterCore unit tests** — placement, ship-once, epochs, stale
+  completions, draining restarts, redeploys, heartbeats, all driven
+  with explicit timestamps and no engine at all.
+* **Simulated soaks** (:class:`~repro.serve.cluster.ClusterSimRunner`)
+  — seeded 10^5-query timelines with injected mid-run worker crashes:
+  byte-identical decisions and stats per seed, conservation, and
+  1-worker vs N-worker accounting equivalence.  ``REPRO_BENCH_QUICK=1``
+  trims the big soak for CI replays.
+* **Real multiprocessing tests** (``real`` in the name, so CI's smoke
+  step can select them with ``-k real``) — spawn-grade pickling of the
+  :class:`~repro.serve.transport.ShippedModel` envelope, a 2-worker
+  round trip, 1-vs-2-worker bit identity, and a mid-soak ``kill()``
+  with full recovery.
+"""
+
+import dataclasses
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ServeError, ValidationError
+from repro.serve import (
+    ClusterService,
+    ClusterSimRunner,
+    FaultPlan,
+    ModelProfile,
+    ModelRegistry,
+    RouterCore,
+    ShippedModel,
+    TenantSpec,
+    generate_arrivals,
+)
+from repro.serve.cluster import AssignAction, ShipAction
+from repro.serve.scheduler import OUTCOME_OK
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").lower() not in (
+    "", "0", "false", "no",
+)
+
+#: The acceptance soak: 10^5 queries full, trimmed for CI replays.
+SOAK_QUERIES = 20_000 if QUICK else 100_000
+
+
+# ---------------------------------------------------------------------------
+# RouterCore: pure placement/failover, no engine
+# ---------------------------------------------------------------------------
+
+
+class FakeQuery:
+    """Minimal router payload (just the future the core resolves)."""
+
+    def __init__(self):
+        from concurrent.futures import Future
+
+        self.future = Future()
+
+
+def full_batch(router, name="m", now=0.0, capacity=2):
+    for _ in range(capacity):
+        router.submit(name, FakeQuery(), now)
+
+
+class TestRouterCore:
+    def make(self, workers=2, **kwargs):
+        router = RouterCore(workers=workers, **kwargs)
+        router.add_model("m", capacity=2, service_ms=10.0)
+        for w in range(workers):
+            router.worker_started(w, 0.0)
+        return router
+
+    def test_placement_is_deterministic_and_salted_hash_free(self):
+        router = self.make(workers=4)
+        order = router.placement_order("m")
+        assert sorted(order) == [0, 1, 2, 3]
+        # Stable across router instances (zlib.crc32, not hash()).
+        assert order == self.make(workers=4).placement_order("m")
+
+    def test_dispatch_ships_then_assigns(self):
+        router = self.make()
+        full_batch(router)
+        actions = router.dispatch(0.0)
+        assert [type(a) for a in actions] == [ShipAction, AssignAction]
+        ship, assign = actions
+        assert ship.worker == assign.assignment.worker
+        assert ship.epoch == assign.epoch == 0
+        assert assign.newly_shipped
+
+    def test_ship_exactly_once_per_worker_epoch(self):
+        router = self.make(workers=1)
+        full_batch(router)
+        first = router.dispatch(0.0)
+        router.complete(first[1].assignment, 0, 0.1)
+        full_batch(router, now=0.2)
+        second = router.dispatch(0.2)
+        assert [type(a) for a in first] == [ShipAction, AssignAction]
+        assert [type(a) for a in second] == [AssignAction]
+        assert not second[0].newly_shipped
+
+    def test_stale_epoch_completion_dropped(self):
+        router = self.make(workers=2)
+        full_batch(router)
+        actions = router.dispatch(0.0)
+        assignment = actions[-1].assignment
+        victim = assignment.worker
+        router.crash_worker(victim, 0.5)
+        # The dead incarnation's completion arrives late: dropped.
+        assert router.complete(assignment, 0, 1.0) is False
+        assert router.metrics.counter_value(
+            "cluster_epoch_invalidated") == 1
+        assert ("stale", assignment.batch_id, victim, 0, 1.0) in (
+            router.decisions
+        )
+
+    def test_crash_requeues_and_other_worker_completes(self):
+        router = self.make(workers=2)
+        full_batch(router)
+        first = router.dispatch(0.0)[-1]
+        victim = first.assignment.worker
+        router.crash_worker(victim, 0.5)
+        retry = [
+            a for a in router.dispatch(0.5)
+            if isinstance(a, AssignAction)
+        ]
+        assert len(retry) == 1
+        assert retry[0].assignment.worker != victim  # victim not alive
+        # Original submission order survives the requeue.
+        assert [t.seq for t in retry[0].assignment.tickets] == (
+            [t.seq for t in first.assignment.tickets]
+        )
+        assert router.complete(
+            retry[0].assignment, retry[0].epoch, 1.0, OUTCOME_OK
+        ) is True
+        stats = router.stats()
+        assert stats.completed == 2
+        assert stats.retries == 2
+        assert stats.worker_crashes == 1
+
+    def test_crash_exhausting_retries_fails_queries(self):
+        router = self.make(workers=2, max_retries=0)
+        full_batch(router)
+        actions = router.dispatch(0.0)
+        router.crash_worker(actions[-1].assignment.worker, 0.5)
+        failures = router.drain_failures()
+        assert len(failures) == 2
+        stats = router.stats()
+        assert stats.failed == 2
+        assert stats.submitted == stats.completed + stats.rejected + (
+            stats.failed
+        )
+
+    def test_restart_with_inflight_batch_refused(self):
+        router = self.make()
+        full_batch(router)
+        actions = router.dispatch(0.0)
+        with pytest.raises(ValidationError):
+            router.restart_worker(actions[-1].assignment.worker, 0.5)
+
+    def test_draining_restart_reships(self):
+        router = self.make(workers=2)
+        full_batch(router)
+        actions = router.dispatch(0.0)
+        assignment = actions[-1].assignment
+        target = assignment.worker
+        router.drain(target, 0.2)
+        assert not router.drained(target)
+        # Draining: no new placements on the target, others still serve.
+        full_batch(router, now=0.3)
+        second = [
+            a for a in router.dispatch(0.3)
+            if isinstance(a, AssignAction)
+        ]
+        assert second and second[0].assignment.worker != target
+        router.complete(assignment, 0, 0.5)
+        router.complete(second[0].assignment, second[0].epoch, 0.5)
+        assert router.drained(target)
+        new_epoch = router.restart_worker(target, 0.6)
+        assert new_epoch == 1
+        assert router.shipped[target] == {}  # ledger cleared: re-ship
+        decisions = [d[0] for d in router.decisions]
+        assert "drain" in decisions and "restart" in decisions
+
+    def test_redeploy_reships_new_fingerprint(self):
+        router = self.make(workers=1)
+        full_batch(router)
+        first = router.dispatch(0.0)
+        router.complete(first[-1].assignment, 0, 0.1)
+        router.redeploy_model("m", "profile:m/v2", 0.2)
+        full_batch(router, now=0.3)
+        second = router.dispatch(0.3)
+        assert [type(a) for a in second] == [ShipAction, AssignAction]
+        assert ("redeploy", "m", "profile:m/v2", 0.2) in router.decisions
+
+    def test_heartbeat_and_health_check(self):
+        router = self.make(workers=2, heartbeat_timeout_s=10.0)
+        assert router.heartbeat(0, 0, 5.0) is True
+        assert router.heartbeat(1, 7, 5.0) is False  # wrong epoch
+        # Worker 1's clock still reads its start at t=0: silent too long.
+        assert router.check_health(11.0) == [1]
+        assert router.heartbeat(1, 0, 11.5) is True
+        assert router.check_health(12.0) == []
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValidationError):
+            RouterCore(workers=0)
+        with pytest.raises(ValidationError):
+            RouterCore(workers=1, heartbeat_timeout_s=0.0)
+        with pytest.raises(ValidationError):
+            ClusterSimRunner([], workers=2)
+
+
+# ---------------------------------------------------------------------------
+# Simulated soaks: determinism, conservation, crash handling
+# ---------------------------------------------------------------------------
+
+PROFILES = [
+    ModelProfile(name="credit", capacity=4, service_ms=60.0,
+                 max_pending=64),
+    ModelProfile(name="fraud", capacity=8, service_ms=150.0, weight=2.0,
+                 max_pending=64),
+]
+TENANTS = [
+    TenantSpec(name="acme", model="credit", rate_qps=40.0,
+               deadline_ms=500.0),
+    TenantSpec(name="globex", model="fraud", rate_qps=25.0),
+    TenantSpec(name="spiky", model="credit", rate_qps=5.0,
+               burst_every_s=1.0, burst_size=12, priority=1),
+]
+
+
+def cluster_soak(seed, queries, workers=3, faults=None, ship_ms=25.0):
+    if faults is None:
+        duration = queries / 70.0  # ~offered aggregate qps
+        faults = FaultPlan(
+            worker_crashes=(duration * 0.25, duration * 0.5,
+                            duration * 0.75),
+            slow_every=7,
+            slow_factor=2.5,
+        )
+    arrivals = generate_arrivals(TENANTS, seed=seed,
+                                 total_queries=queries)
+    runner = ClusterSimRunner(PROFILES, workers=workers, max_retries=2,
+                              ship_ms=ship_ms)
+    return runner.run(arrivals, faults)
+
+
+def assert_conserved(stats):
+    assert stats.submitted == (
+        stats.completed + stats.rejected + stats.failed + stats.cancelled
+    ), "conservation violated"
+
+
+class TestClusterSimulation:
+    def test_same_seed_byte_identical(self):
+        a = cluster_soak(seed=7, queries=3000)
+        b = cluster_soak(seed=7, queries=3000)
+        assert json.dumps(a.decisions) == json.dumps(b.decisions)
+        assert a.stats == b.stats
+        assert a.packed_order == b.packed_order
+
+    def test_different_seeds_diverge(self):
+        a = cluster_soak(seed=7, queries=2000)
+        b = cluster_soak(seed=8, queries=2000)
+        assert a.decisions != b.decisions
+
+    def test_crashes_recorded_and_conserved(self):
+        report = cluster_soak(seed=11, queries=3000)
+        assert_conserved(report.stats)
+        kinds = {d[0] for d in report.decisions}
+        assert {"ship", "assign", "crash", "restart"} <= kinds
+        assert report.stats.worker_crashes == 3
+
+    def test_mid_soak_crash_epoch_invalidates_inflight_completion(self):
+        # Crash times chosen inside the busy phase: some worker is
+        # mid-batch, so its completion must come back stale-epoch.
+        report = cluster_soak(seed=3, queries=4000)
+        stales = [d for d in report.decisions if d[0] == "stale"]
+        crashes = [d for d in report.decisions if d[0] == "crash"]
+        assert crashes, "fault plan injected no crashes?"
+        assert stales, (
+            "no stale completion: crashes never caught a busy worker"
+        )
+        assert_conserved(report.stats)
+
+    def test_one_vs_many_workers_same_accounting(self):
+        # No crashes and unbounded queues: every admitted query
+        # completes no matter the pool size — the cluster only changes
+        # *where* batches run, never *what* completes.
+        profiles = [
+            ModelProfile(name="credit", capacity=4, service_ms=60.0),
+            ModelProfile(name="fraud", capacity=8, service_ms=150.0,
+                         weight=2.0),
+        ]
+        arrivals = generate_arrivals(TENANTS, seed=21,
+                                     total_queries=2500)
+        per_pool = {}
+        for workers in (1, 4):
+            runner = ClusterSimRunner(profiles, workers=workers,
+                                      ship_ms=25.0)
+            report = runner.run(arrivals, FaultPlan())
+            assert_conserved(report.stats)
+            per_pool[workers] = report.stats
+        assert per_pool[1].submitted == per_pool[4].submitted == 2500
+        assert per_pool[1].completed == per_pool[4].completed
+        assert per_pool[1].failed == per_pool[4].failed == 0
+
+    def test_acceptance_soak_byte_identical_with_crashes(self):
+        """The PR acceptance artifact: a 10^5-query cluster soak with
+        seeded mid-run worker crashes replays byte-identically."""
+        a = cluster_soak(seed=42, queries=SOAK_QUERIES)
+        b = cluster_soak(seed=42, queries=SOAK_QUERIES)
+        assert json.dumps(a.decisions) == json.dumps(b.decisions)
+        assert a.stats == b.stats
+        assert_conserved(a.stats)
+        assert a.stats.worker_crashes == 3
+        assert a.stats.completed > 0.9 * a.stats.submitted
+
+    def test_runner_is_single_use(self):
+        runner = ClusterSimRunner(PROFILES, workers=2)
+        arrivals = generate_arrivals(TENANTS, seed=1, total_queries=50)
+        runner.run(arrivals)
+        with pytest.raises(ValidationError):
+            runner.run(arrivals)
+
+    def test_ship_latency_charged_per_worker_epoch(self):
+        free = cluster_soak(seed=5, queries=1000, ship_ms=0.0,
+                            faults=FaultPlan())
+        costly = cluster_soak(seed=5, queries=1000, ship_ms=500.0,
+                              faults=FaultPlan())
+        ships = sum(1 for d in costly.decisions if d[0] == "ship")
+        assert ships >= 2  # two models over the pool
+        # Identical routing, but each first batch per (worker, epoch,
+        # model) carries the 500 ms shipping charge on its service time.
+        assert costly.service_ms_total == pytest.approx(
+            free.service_ms_total + 500.0 * ships
+        )
+
+
+# ---------------------------------------------------------------------------
+# Spawn-grade pickling: the envelope survives the process boundary
+# ---------------------------------------------------------------------------
+
+
+class TestShippedModelPickle:
+    @pytest.fixture()
+    def registered(self, example_forest):
+        return ModelRegistry().register(
+            "pickle-me", example_forest, precision=8, max_batch_size=4,
+            backend="vector",
+        )
+
+    def test_envelope_round_trips_and_verifies(self, registered):
+        envelope = ShippedModel.from_registered(registered)
+        # Highest protocol — exactly what multiprocessing spawn uses.
+        clone = pickle.loads(
+            pickle.dumps(envelope, pickle.HIGHEST_PROTOCOL)
+        )
+        assert clone.verify() == registered.compiled.fingerprint()
+        rebuilt = clone.to_registered()
+        assert rebuilt.layout.capacity == registered.layout.capacity
+        assert rebuilt.tape.num_instructions == (
+            registered.tape.num_instructions
+        )
+
+    def test_compiled_tape_round_trips(self, registered):
+        from repro.fhe.ciphertext import PlainVector
+        from repro.ir.tape import OP_FUSED, FusedSpec
+
+        tape = registered.tape
+        clone = pickle.loads(pickle.dumps(tape,
+                                          pickle.HIGHEST_PROTOCOL))
+        assert clone.model_fingerprint == tape.model_fingerprint
+        assert clone.num_slots == tape.num_slots
+        assert clone.peak_live == tape.peak_live
+        assert len(clone.instructions) == len(tape.instructions)
+        fused_seen = 0
+        for got, want in zip(clone.instructions, tape.instructions):
+            assert got[0] == want[0] and got[1] == want[1]
+            if want[0] != OP_FUSED:
+                continue
+            # Fused specs drop their lazy gather caches in transit
+            # (__getstate__) and rebuild worker-side; the terms — the
+            # semantics — survive bit-for-bit.
+            fused_seen += 1
+            spec, orig = got[2], want[2]
+            assert isinstance(spec, FusedSpec)
+            assert spec.width == orig.width and spec.kind == orig.kind
+            assert len(spec.terms) == len(orig.terms)
+            for (a1, s1, op1), (a2, s2, op2) in zip(spec.terms,
+                                                    orig.terms):
+                assert a1 == a2 and s1 == s2
+                assert type(op1) is type(op2)
+                if isinstance(op1, PlainVector):
+                    assert op1.bits() == op2.bits()
+                else:
+                    assert op1 == op2
+        assert fused_seen > 0, "tape has no fused instructions to check"
+
+    def test_tampered_fingerprint_fails_closed(self, registered):
+        envelope = ShippedModel.from_registered(registered)
+        forged = dataclasses.replace(envelope, fingerprint="f" * 16)
+        with pytest.raises(ServeError, match="fails verification"):
+            forged.verify()
+        with pytest.raises(ServeError):
+            forged.to_registered()
+
+    def test_mismatched_tape_fails_closed(self, registered,
+                                          small_random_forest):
+        other = ModelRegistry().register(
+            "other", small_random_forest, precision=8, backend="vector",
+        )
+        franken = dataclasses.replace(
+            ShippedModel.from_registered(registered), tape=other.tape
+        )
+        with pytest.raises(ServeError, match="tape fingerprint"):
+            franken.verify()
+
+
+# ---------------------------------------------------------------------------
+# Real multiprocessing engine (CI selects these with -k real)
+# ---------------------------------------------------------------------------
+
+
+def real_queries(forest, count, seed=21, precision=8):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    limit = 1 << precision
+    return [
+        [int(v) for v in rng.integers(0, limit, forest.n_features)]
+        for _ in range(count)
+    ]
+
+
+class TestRealCluster:
+    def test_real_two_worker_round_trip(self, example_forest):
+        """The acceptance smoke: 2 workers, >= 32 queries, every result
+        oracle-exact, accounting conserved."""
+        queries = real_queries(example_forest, 33)
+        with ClusterService(workers=2, backend="vector") as service:
+            service.register_model(
+                "rt", example_forest, precision=8, max_batch_size=4
+            )
+            results = service.classify_many("rt", queries)
+            stats = service.stats()
+        assert len(results) == 33
+        for features, res in zip(queries, results):
+            assert res.oracle_ok is True
+            assert res.bitvector == example_forest.label_bitvector(
+                features
+            )
+        assert_conserved(stats)
+        assert stats.completed == 33
+
+    def test_real_one_vs_two_workers_identical_bits(self, example_forest):
+        queries = real_queries(example_forest, 12, seed=5)
+        bits = {}
+        for workers in (1, 2):
+            with ClusterService(workers=workers,
+                                backend="vector") as service:
+                service.register_model(
+                    "bits", example_forest, precision=8, max_batch_size=4
+                )
+                results = service.classify_many("bits", queries)
+                stats = service.stats()
+            bits[workers] = [r.bitvector for r in results]
+            assert_conserved(stats)
+        assert bits[1] == bits[2]
+
+    def test_real_worker_kill_mid_soak_recovers(self, example_forest):
+        queries = real_queries(example_forest, 24, seed=9)
+        with ClusterService(workers=2, backend="vector",
+                            max_retries=3) as service:
+            service.register_model(
+                "kill", example_forest, precision=8, max_batch_size=4
+            )
+            futures = [service.submit("kill", q) for q in queries]
+            # Kill a live worker process mid-stream, bluntly.
+            victim = service._procs[0]
+            victim.kill()
+            service.flush("kill")
+            results = [f.result(timeout=120) for f in futures]
+            assert service.drain(timeout=60)
+            stats = service.stats()
+            decisions = service.decisions
+        assert len(results) == 24
+        for features, res in zip(queries, results):
+            assert res.oracle_ok is True
+            assert res.bitvector == example_forest.label_bitvector(
+                features
+            )
+        assert_conserved(stats)
+        kinds = {d[0] for d in decisions}
+        assert "crash" in kinds and "restart" in kinds
