@@ -38,9 +38,12 @@ REPORT_PATH = "benchmark_report.txt"
 #: changes what the trajectory records (new sections, new profile
 #: fields) so successive ``BENCH_<n>.json`` files remain comparable
 #: within an index and the trajectory across PRs stays append-only.
-BENCH_INDEX = 7
+BENCH_INDEX = 8
 BENCH_JSON_PATH = f"BENCH_{BENCH_INDEX}.json"
 BENCH_SCHEMA = 1
+#: The consolidated cross-PR trajectory artifact (see
+#: :func:`generate_trajectory`).
+TRAJECTORY_JSON_PATH = "BENCH_TRAJECTORY.json"
 
 #: Canonical section order.  Append-only by convention: a new experiment
 #: gets a new banner at the position that reads best, and the checked-in
@@ -62,6 +65,7 @@ SECTION_KEYS = (
     "soak",
     "trace-overhead",
     "cluster-speedup",
+    "autoscale",
 )
 
 #: Sections whose rendered titles do not depend on quick mode — the
@@ -143,6 +147,11 @@ def build_section(key: str, quick: bool) -> List[Table]:
                 batches=2 if quick else 4,
             )
         ]
+    if key == "autoscale":
+        # Virtual-clock simulation: quick mode needs no trimming (the
+        # full three-phase ramp runs in a couple of seconds) and the
+        # section stays byte-identical across modes.
+        return [experiments.autoscale(workload_name="width78")]
     raise KeyError(f"unknown report section {key!r}")
 
 
@@ -342,6 +351,144 @@ def generate_report(
             handle.write("\n")
         written.append(json_path)
     return written
+
+
+def _validate_bench_payload(path: str, payload) -> None:
+    """Schema check for one ``BENCH_<n>.json`` (fail with the path)."""
+    from repro.errors import ValidationError
+
+    if not isinstance(payload, dict):
+        raise ValidationError(f"{path}: not a JSON object")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValidationError(
+            f"{path}: schema {payload.get('schema')!r} != {BENCH_SCHEMA}"
+        )
+    for field in ("artifact", "mode", "default_backend", "experiments"):
+        if field not in payload:
+            raise ValidationError(f"{path}: missing field {field!r}")
+    for record in payload["experiments"]:
+        for field in ("section", "title", "columns", "rows"):
+            if field not in record:
+                raise ValidationError(
+                    f"{path}: experiment record missing {field!r}"
+                )
+        width = len(record["columns"])
+        for row in record["rows"]:
+            if len(row) != width:
+                raise ValidationError(
+                    f"{path}: section {record['section']!r} row width "
+                    f"{len(row)} != {width} columns"
+                )
+
+
+def discover_bench_artifacts(directory: str = ".") -> List[Tuple[int, str]]:
+    """``(index, path)`` for every ``BENCH_<n>.json`` present, sorted by
+    index.  The consolidated trajectory file itself never matches."""
+    import glob
+    import re
+
+    found = []
+    for path in glob.glob(os.path.join(directory, "BENCH_*.json")):
+        match = re.fullmatch(
+            r"BENCH_(\d+)\.json", os.path.basename(path)
+        )
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def generate_trajectory(
+    directory: str = ".",
+    json_path: Optional[str] = TRAJECTORY_JSON_PATH,
+) -> Tuple[Optional[str], Table]:
+    """Consolidate every ``BENCH_<n>.json`` into the cross-PR trajectory.
+
+    Globs ``BENCH_<n>.json`` under ``directory``, validates each payload
+    against the bench schema (a malformed artifact fails loudly with its
+    path — the trajectory never silently skips), and writes
+    ``BENCH_TRAJECTORY.json``: one entry per index carrying the full
+    experiment tables plus the headline batched-tape profile, so a
+    regression between trajectory indices is diffable from one file.
+    Returns ``(written_path_or_None, summary_table)``.
+    """
+    from repro.errors import ValidationError
+
+    artifacts = discover_bench_artifacts(directory)
+    if not artifacts:
+        raise ValidationError(
+            f"no BENCH_<n>.json artifacts found under {directory!r}"
+        )
+
+    entries: List[Dict] = []
+    table = Table(
+        title=(
+            f"Perf trajectory: {len(artifacts)} BENCH_<n>.json "
+            f"artifact{'s' if len(artifacts) != 1 else ''} consolidated"
+        ),
+        columns=[
+            "index",
+            "mode",
+            "backend",
+            "sections",
+            "tables",
+            "tape_instr",
+            "tape_peak_live",
+            "tape_cost_ms",
+        ],
+    )
+    for index, path in artifacts:
+        with open(path) as handle:
+            payload = json.load(handle)
+        _validate_bench_payload(path, payload)
+        sections = sorted({
+            record["section"] for record in payload["experiments"]
+        })
+        tape = next(
+            (
+                record
+                for record in payload.get("engine_profiles", [])
+                if record.get("shape") == "batched"
+                and record.get("engine") == "tape"
+            ),
+            None,
+        )
+        entries.append({
+            "index": index,
+            "artifact": payload["artifact"],
+            "mode": payload["mode"],
+            "default_backend": payload["default_backend"],
+            "sections": sections,
+            "experiments": payload["experiments"],
+            "batched_tape_profile": tape,
+        })
+        table.add_row(
+            index,
+            payload["mode"],
+            payload["default_backend"],
+            len(sections),
+            len(payload["experiments"]),
+            tape["instructions"] if tape else "-",
+            tape["peak_live"] if tape else "-",
+            tape["cost_ms"] if tape else "-",
+        )
+    table.add_note(
+        "indices are append-only across PRs; within an index the "
+        "section set is fixed, so row-level diffs between files of the "
+        "same index are real regressions"
+    )
+
+    written = None
+    if json_path is not None:
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "artifact": "BENCH_TRAJECTORY",
+            "entries": entries,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written = json_path
+    return written, table
 
 
 def report_structure(text: str) -> List[Tuple[str, str]]:

@@ -146,11 +146,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queries", type=int, default=32)
     serve.add_argument("--threads", type=int, default=2)
     serve.add_argument(
-        "--workers", type=int, default=0,
+        "--workers", type=int, default=None,
         help="serve from a multi-process cluster with this many worker "
         "processes (router ships the compiled model to each worker "
-        "once, crashes respawn under a new epoch); 0 (default) keeps "
-        "the in-process threaded service",
+        "once, crashes respawn under a new epoch); must be >= 1 when "
+        "given; default keeps the in-process threaded service",
+    )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="run the control plane over the live service: an "
+        "SLO/backlog autoscale policy behind the guard rail, ticked "
+        "every --control-interval seconds; prints the auditable "
+        "decision log at the end",
+    )
+    serve.add_argument(
+        "--workers-min", type=int, default=1,
+        help="autoscale floor for the worker pool (default: 1)",
+    )
+    serve.add_argument(
+        "--workers-max", type=int, default=8,
+        help="autoscale ceiling for the worker pool (default: 8)",
+    )
+    serve.add_argument(
+        "--control-interval", type=float, default=1.0,
+        help="seconds between control-plane ticks under --autoscale "
+        "(default: 1.0)",
     )
     serve.add_argument("--batch-size", type=int, default=None)
     serve.add_argument("--plaintext-model", action="store_true")
@@ -234,7 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig6", "fig7", "fig8", "fig9", "fig10",
             "table1", "table2", "table6", "throughput", "plan-speedup",
             "tape-speedup", "backend-speedup", "soak", "cluster-speedup",
-            "report",
+            "autoscale", "trajectory", "report",
         ],
     )
     bench.add_argument(
@@ -419,14 +439,27 @@ def _cmd_serve(args) -> int:
     _check_service_args(args)
     if args.queries < 1:
         raise _FeatureParseError(f"--queries must be >= 1, got {args.queries}")
-    if args.workers < 0:
+    if args.workers is not None and args.workers < 1:
         raise _FeatureParseError(
-            f"--workers must be >= 0, got {args.workers}"
+            f"--workers must be >= 1, got {args.workers}"
         )
     interval = args.stats_interval
     if interval is not None and interval < 1:
         raise _FeatureParseError(
             f"--stats-interval must be >= 1, got {interval}"
+        )
+    if args.workers_min < 1:
+        raise _FeatureParseError(
+            f"--workers-min must be >= 1, got {args.workers_min}"
+        )
+    if args.workers_max < args.workers_min:
+        raise _FeatureParseError(
+            f"--workers-max must be >= --workers-min, got "
+            f"{args.workers_max} < {args.workers_min}"
+        )
+    if args.control_interval <= 0:
+        raise _FeatureParseError(
+            f"--control-interval must be > 0, got {args.control_interval}"
         )
     forest, compiled = _load_compiled(args.model, args.precision)
     rng = np.random.default_rng(args.seed)
@@ -436,7 +469,8 @@ def _cmd_serve(args) -> int:
         for _ in range(args.queries)
     ]
     rejected = 0
-    if args.workers > 0:
+    clustered = args.workers is not None
+    if clustered:
         service_cm = ClusterService(
             workers=args.workers,
             engine=args.engine,
@@ -460,10 +494,39 @@ def _cmd_serve(args) -> int:
             encrypted_model=not args.plaintext_model,
         )
         mode = (
-            f"{args.workers} worker processes" if args.workers > 0
+            f"{args.workers} worker processes" if clustered
             else f"{args.threads} threads"
         )
         print(f"serving {registered.describe()} ({mode})")
+
+        controller = None
+        last_tick = None
+        if args.autoscale:
+            import time as _time
+
+            from repro.control import (
+                AutoscalePolicy,
+                ClusterPlant,
+                Controller,
+                GuardConfig,
+                GuardRail,
+                ServicePlant,
+            )
+
+            plant = (
+                ClusterPlant(service) if clustered
+                else ServicePlant(service)
+            )
+            controller = Controller(
+                plant,
+                [AutoscalePolicy(slo_p99_ms=args.deadline_ms)],
+                GuardRail(GuardConfig(
+                    workers_min=args.workers_min,
+                    workers_max=args.workers_max,
+                )),
+            )
+            last_tick = _time.monotonic()
+            controller.tick(last_tick)
 
         def emit_snapshot() -> None:
             print(json.dumps(service.metrics_snapshot(), sort_keys=True))
@@ -478,6 +541,13 @@ def _cmd_serve(args) -> int:
                 rejected += 1
             if interval is not None and i % interval == 0:
                 emit_snapshot()
+            if controller is not None:
+                import time as _time
+
+                now = _time.monotonic()
+                if now - last_tick >= args.control_interval:
+                    controller.tick(now)
+                    last_tick = now
         service.flush("cli")
         results = [f.result() for f in futures]
         if interval is not None:
@@ -488,6 +558,16 @@ def _cmd_serve(args) -> int:
     if rejected:
         print(f"admission control shed {rejected} queries (--max-queue "
               f"{args.max_queue})")
+    if controller is not None:
+        applied = len(controller.applied())
+        vetoed = len(controller.rejections())
+        print(
+            f"control plane: {controller.ticks} ticks, {applied} "
+            f"actuations applied, {vetoed} rejected (every rejection "
+            f"carries a reason)"
+        )
+        for record in controller.decision_log:
+            print("  " + json.dumps(record))
     print(
         f"oracle agreement: "
         f"{'ok' if failures == 0 else f'{failures} MISMATCHES'}"
@@ -575,6 +655,21 @@ def _cmd_bench_inner(args) -> int:
     if args.artifact == "cluster-speedup":
         workload = names[0] if names else "width78"
         print(experiments.cluster_speedup(workload_name=workload).render())
+        return 0
+    if args.artifact == "autoscale":
+        workload = names[0] if names else "width78"
+        print(experiments.autoscale(workload_name=workload).render())
+        return 0
+    if args.artifact == "trajectory":
+        from repro.bench_harness.report_gen import (
+            TRAJECTORY_JSON_PATH,
+            generate_trajectory,
+        )
+
+        out = args.out if args.out is not None else TRAJECTORY_JSON_PATH
+        path, table = generate_trajectory(json_path=out)
+        print(table.render())
+        print(f"wrote {path}")
         return 0
     if args.artifact == "report":
         from repro.bench_harness.report_gen import (

@@ -1,0 +1,96 @@
+"""repro.control: the self-tuning control plane over live serve stats.
+
+PR 4-7 built observability (scheduler stats, the metrics registry,
+per-worker cluster accounting); this package closes the loop and *acts*
+on it.  Split in the established pure-core style:
+
+* :mod:`repro.control.signals` — :class:`ControlSnapshot`: one frozen,
+  deterministic observation per tick, read exclusively from the shared
+  metrics registry (the same source of truth ``repro metrics`` reads);
+* :mod:`repro.control.policy` — pluggable policies producing typed
+  :class:`Proposal`\\ s (:class:`ScaleWorkers`,
+  :class:`AdjustTenantWeight`, :class:`SetAdmissionLimit`,
+  :class:`SwitchEngine`/:class:`SwitchBackend`), each with sustain-count
+  hysteresis so decisions do not flap;
+* :mod:`repro.control.guards` — :class:`GuardRail`: every proposal is
+  verified against declared invariants (worker bounds, in-flight epoch
+  safety, bounded weight steps, fingerprint-matched switches, per-kind
+  cooldowns) before actuation; rejections are recorded with reasons,
+  never dropped — the rail fails closed;
+* :mod:`repro.control.actuator` — plants: the actuation seams over
+  :class:`~repro.serve.service.CopseService`,
+  :class:`~repro.serve.cluster.ClusterService`, and both simulators;
+* :mod:`repro.control.loop` — :class:`Controller`: the caller-clocked
+  observe -> propose -> guard -> actuate cycle, emitting the ordered
+  auditable decision log that is the determinism witness (byte-identical
+  per seed against the discrete-event simulators).
+
+Quickstart (simulated)::
+
+    from repro.control import (
+        AutoscalePolicy, ClusterSimPlant, Controller, GuardConfig,
+        GuardRail,
+    )
+    from repro.serve import ClusterSimRunner
+
+    runner = ClusterSimRunner(profiles, workers=2)
+    controller = Controller(
+        ClusterSimPlant(runner),
+        [AutoscalePolicy(slo_p99_ms=250.0)],
+        GuardRail(GuardConfig(workers_min=1, workers_max=6)),
+    )
+    runner.controller = controller
+    report = runner.run(arrivals, faults)
+    print(controller.decision_log)
+
+``repro serve --autoscale`` wires the same controller over the real
+service; ``repro bench autoscale`` replays the three-phase ramp
+experiment.  See DESIGN.md ("Control plane") for the dataflow and the
+determinism contract.
+"""
+
+from repro.control.signals import ControlSnapshot, QueueSignal
+from repro.control.policy import (
+    AdjustTenantWeight,
+    AdmissionReliefPolicy,
+    AutoscalePolicy,
+    EngineDriftPolicy,
+    Policy,
+    Proposal,
+    ScaleWorkers,
+    SetAdmissionLimit,
+    SwitchBackend,
+    SwitchEngine,
+    WeightBalancePolicy,
+)
+from repro.control.guards import GuardConfig, GuardRail
+from repro.control.actuator import (
+    ClusterPlant,
+    ClusterSimPlant,
+    ServicePlant,
+    SimPlant,
+)
+from repro.control.loop import Controller
+
+__all__ = [
+    "ControlSnapshot",
+    "QueueSignal",
+    "Proposal",
+    "ScaleWorkers",
+    "AdjustTenantWeight",
+    "SetAdmissionLimit",
+    "SwitchEngine",
+    "SwitchBackend",
+    "Policy",
+    "AutoscalePolicy",
+    "WeightBalancePolicy",
+    "AdmissionReliefPolicy",
+    "EngineDriftPolicy",
+    "GuardConfig",
+    "GuardRail",
+    "ServicePlant",
+    "ClusterPlant",
+    "SimPlant",
+    "ClusterSimPlant",
+    "Controller",
+]

@@ -1,0 +1,159 @@
+"""The controller: observe -> propose -> guard -> actuate, audited.
+
+:class:`Controller` owns no clock and no thread.  The caller drives it —
+the discrete-event simulators schedule a ``_CONTROL`` event every
+interval of virtual time, ``repro serve --autoscale`` ticks it from the
+stats loop — and passes ``now`` explicitly, exactly like the scheduler
+and router cores.  Given the same snapshot sequence, the same policies,
+and the same guard config, every tick appends the same records to
+:attr:`decision_log`; the seeded autoscale soak compares the log
+byte-for-byte (via ``json.dumps``) across runs.
+
+Decision-log grammar (one tuple per record, in order)::
+
+    ("proposed", tick, policy, kind, *fields, reason, t)
+    ("guard",    tick, kind, "passed", t)
+    ("guard",    tick, kind, "rejected", reason, t)
+    ("applied",  tick, kind, *fields, t)
+    ("apply_failed", tick, kind, reason, t)
+
+Every ``applied`` record is preceded by its ``guard ... passed`` record
+— an actuation that skipped the guards cannot be expressed.  A
+mechanism-level refusal at apply time (the plant raising
+:class:`~repro.errors.ValidationError`) is recorded as ``apply_failed``
+and does **not** arm the guard cooldown, so the next tick may retry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.control.guards import GuardRail
+from repro.control.policy import Policy
+from repro.control.signals import ControlSnapshot
+
+__all__ = ["Controller"]
+
+
+class Controller:
+    """One control loop over one plant.
+
+    ``policies`` are consulted in the given order each tick; their
+    proposals are vetted and applied in that same order, against the
+    snapshot taken at the top of the tick (one observation per tick —
+    policies never see each other's effects until the next tick, which
+    keeps a tick's decisions a pure function of its snapshot).
+    """
+
+    def __init__(
+        self,
+        plant,
+        policies: Sequence[Policy],
+        guards: Optional[GuardRail] = None,
+        tracer=None,
+        metrics=None,
+    ):
+        if not policies:
+            raise ValidationError(
+                "a Controller needs at least one policy"
+            )
+        self.plant = plant
+        self.policies = list(policies)
+        self.guards = guards if guards is not None else GuardRail()
+        self.tracer = tracer
+        self.metrics = metrics
+        #: The auditable, replayable record of every decision.
+        self.decision_log: List[Tuple] = []
+        #: Snapshot observed at the most recent tick (for inspection).
+        self.last_snapshot: Optional[ControlSnapshot] = None
+        self._tick = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _record(self, *fields) -> None:
+        self.decision_log.append(fields)
+
+    def _count(self, name: str, kind: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, {"kind": kind}).inc()
+
+    # -- the loop body -------------------------------------------------
+
+    def tick(self, now: float) -> List[Tuple]:
+        """Run one control cycle; returns the records it appended."""
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "control_tick", now, track="controller",
+                tick=self._tick,
+            )
+        start = len(self.decision_log)
+        t = round(now, 9)
+        tick = self._tick
+        self._tick += 1
+        if self.metrics is not None:
+            self.metrics.counter("control_ticks").inc()
+
+        snapshot = self.plant.observe(now)
+        self.last_snapshot = snapshot
+        applied = 0
+        rejected = 0
+        for policy in self.policies:
+            for proposal in policy.propose(snapshot):
+                self._record(
+                    "proposed", tick, policy.name,
+                    *proposal.log_fields(), proposal.reason, t,
+                )
+                self._count("control_proposed", proposal.kind)
+                reason = self.guards.check(proposal, snapshot, now)
+                if reason is not None:
+                    self._record(
+                        "guard", tick, proposal.kind, "rejected",
+                        reason, t,
+                    )
+                    self._count("control_rejected", proposal.kind)
+                    rejected += 1
+                    continue
+                self._record("guard", tick, proposal.kind, "passed", t)
+                try:
+                    self.plant.apply(proposal, now)
+                except ValidationError as exc:
+                    # The mechanism refused (fail closed): recorded,
+                    # and the cooldown is NOT armed — next tick retries.
+                    self._record(
+                        "apply_failed", tick, proposal.kind, str(exc), t,
+                    )
+                    self._count("control_apply_failed", proposal.kind)
+                    rejected += 1
+                    continue
+                self.guards.record_applied(proposal, now)
+                self._record(
+                    "applied", tick, *proposal.log_fields(), t,
+                )
+                self._count("control_applied", proposal.kind)
+                applied += 1
+
+        if span is not None:
+            self.tracer.end(
+                span, now, applied=applied, rejected=rejected,
+            )
+        return self.decision_log[start:]
+
+    # -- audit views ---------------------------------------------------
+
+    @property
+    def ticks(self) -> int:
+        return self._tick
+
+    def applied(self) -> List[Tuple]:
+        """Every ``applied`` record."""
+        return [r for r in self.decision_log if r[0] == "applied"]
+
+    def rejections(self) -> List[Tuple]:
+        """Every ``guard ... rejected`` and ``apply_failed`` record."""
+        return [
+            r for r in self.decision_log
+            if (r[0] == "guard" and r[3] == "rejected")
+            or r[0] == "apply_failed"
+        ]

@@ -1,0 +1,404 @@
+"""Control policies: pure snapshot -> typed-proposal functions.
+
+A policy never actuates anything.  It looks at one
+:class:`~repro.control.signals.ControlSnapshot` (plus its own bounded
+hysteresis state) and emits zero or more typed :class:`Proposal`s; the
+guard rail (:mod:`repro.control.guards`) decides whether each one may be
+applied, and the plant (:mod:`repro.control.actuator`) applies it.  That
+split keeps policies free to be aggressive — a proposal is a *request*,
+and everything unsafe about it is someone else's veto.
+
+Determinism contract: ``propose`` must be a pure function of the
+snapshot sequence it has seen (no clocks, no randomness, no ambient
+reads), so the decision log replays byte-identically per seed.  All
+built-in policies carry only sustain counters and previous-snapshot
+values as state.
+
+Hysteresis shows up twice, on purpose: policies require a condition to
+*sustain* for N consecutive ticks before proposing (so one noisy sample
+cannot flap the pool), and the guards enforce a per-kind cooldown after
+every actuation (so even a sustained condition actuates at a bounded
+rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.control.signals import ControlSnapshot
+
+__all__ = [
+    "Proposal",
+    "ScaleWorkers",
+    "AdjustTenantWeight",
+    "SetAdmissionLimit",
+    "SwitchEngine",
+    "SwitchBackend",
+    "Policy",
+    "AutoscalePolicy",
+    "WeightBalancePolicy",
+    "AdmissionReliefPolicy",
+    "EngineDriftPolicy",
+]
+
+
+# ---------------------------------------------------------------------------
+# Typed proposals
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Proposal:
+    """Base proposal: a typed, auditable request for one actuation."""
+
+    reason: str
+
+    #: Stable kind tag; keys the guards' cooldown ledger and the
+    #: decision log.
+    kind = "proposal"
+
+    def log_fields(self) -> Tuple:
+        """The deterministic fields recorded in the decision log."""
+        return (self.kind,)
+
+
+@dataclass(frozen=True)
+class ScaleWorkers(Proposal):
+    """Grow (+delta) or shrink (-delta) the worker pool."""
+
+    delta: int = 0
+    kind = "scale_workers"
+
+    def log_fields(self) -> Tuple:
+        return (self.kind, self.delta)
+
+
+@dataclass(frozen=True)
+class AdjustTenantWeight(Proposal):
+    """Retune one model queue's fair-share weight."""
+
+    queue: str = ""
+    weight: float = 1.0
+    kind = "adjust_weight"
+
+    def log_fields(self) -> Tuple:
+        return (self.kind, self.queue, round(self.weight, 9))
+
+
+@dataclass(frozen=True)
+class SetAdmissionLimit(Proposal):
+    """Rebound one model queue's admission limit (None = unbounded)."""
+
+    queue: str = ""
+    limit: Optional[int] = None
+    kind = "set_admission_limit"
+
+    def log_fields(self) -> Tuple:
+        return (self.kind, self.queue,
+                -1 if self.limit is None else self.limit)
+
+
+@dataclass(frozen=True)
+class SwitchEngine(Proposal):
+    """Flip one model's execution engine (eager / plan / tape).
+
+    ``expected_fingerprint`` is mandatory context: the guards refuse
+    any switch whose fingerprint does not match their declared one, and
+    the registry re-verifies it at apply time — fail closed twice.
+    """
+
+    model: str = ""
+    engine: str = ""
+    expected_fingerprint: Optional[str] = None
+    kind = "switch_engine"
+
+    def log_fields(self) -> Tuple:
+        return (self.kind, self.model, self.engine)
+
+
+@dataclass(frozen=True)
+class SwitchBackend(Proposal):
+    """Re-home one model onto a different FHE backend (re-encrypts)."""
+
+    model: str = ""
+    backend: str = ""
+    expected_fingerprint: Optional[str] = None
+    kind = "switch_backend"
+
+    def log_fields(self) -> Tuple:
+        return (self.kind, self.model, self.backend)
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+class Policy:
+    """Base policy: override :meth:`propose`."""
+
+    #: Stable name recorded with every proposal in the decision log.
+    name = "policy"
+
+    def propose(self, snapshot: ControlSnapshot) -> List[Proposal]:
+        raise NotImplementedError
+
+
+class AutoscalePolicy(Policy):
+    """SLO/backlog-driven worker scaling with sustain hysteresis.
+
+    Scale-up pressure: p99 latency above the SLO *while deadline misses
+    are still accruing* (the latency histogram is cumulative, so the
+    windowed miss counter is what distinguishes live overload from the
+    historical tail a past burst left behind), or backlog per live
+    worker at/above ``backlog_high``.  Scale-down pressure: backlog per
+    worker at/below ``backlog_low`` **and** no new deadline misses this
+    window **and** at least one idle worker.  Either condition must
+    hold for ``sustain_up`` / ``sustain_down`` *consecutive* ticks
+    before a proposal is emitted, and the counter resets after
+    proposing — one noisy tick can neither flap the pool nor
+    double-fire.  With no per-query deadlines in the workload the SLO
+    gate never fires and the policy is backlog-driven.
+    """
+
+    name = "autoscale"
+
+    def __init__(
+        self,
+        slo_p99_ms: Optional[float] = None,
+        backlog_high: float = 4.0,
+        backlog_low: float = 0.5,
+        sustain_up: int = 2,
+        sustain_down: int = 4,
+        step: int = 1,
+    ):
+        if slo_p99_ms is not None and slo_p99_ms <= 0:
+            raise ValidationError("slo_p99_ms must be > 0")
+        if backlog_low >= backlog_high:
+            raise ValidationError(
+                f"backlog_low ({backlog_low}) must be < backlog_high "
+                f"({backlog_high})"
+            )
+        if sustain_up < 1 or sustain_down < 1:
+            raise ValidationError("sustain counts must be >= 1")
+        if step < 1:
+            raise ValidationError("step must be >= 1")
+        self.slo_p99_ms = slo_p99_ms
+        self.backlog_high = backlog_high
+        self.backlog_low = backlog_low
+        self.sustain_up = sustain_up
+        self.sustain_down = sustain_down
+        self.step = step
+        self._up = 0
+        self._down = 0
+        self._last_misses: Optional[int] = None
+
+    def propose(self, s: ControlSnapshot) -> List[Proposal]:
+        prev_misses = self._last_misses
+        self._last_misses = s.deadline_misses
+        # Misses accrued since the previous tick: the windowed signal.
+        # The first tick has no window and reads as healthy.
+        new_misses = (
+            0 if prev_misses is None
+            else max(0, s.deadline_misses - prev_misses)
+        )
+        backlog = s.backlog_per_worker
+        slo_miss = (
+            self.slo_p99_ms is not None
+            and s.latency_p99_ms > self.slo_p99_ms
+            and new_misses > 0
+        )
+        over = slo_miss or backlog >= self.backlog_high
+        under = (
+            backlog <= self.backlog_low
+            and s.free_workers > 0
+            and new_misses == 0
+        )
+        if over:
+            self._up += 1
+            self._down = 0
+        elif under:
+            self._down += 1
+            self._up = 0
+        else:
+            self._up = 0
+            self._down = 0
+
+        if self._up >= self.sustain_up:
+            self._up = 0
+            why = (
+                f"p99 {s.latency_p99_ms}ms > slo {self.slo_p99_ms}ms"
+                if slo_miss else
+                f"backlog/worker {round(backlog, 9)} >= "
+                f"{self.backlog_high}"
+            )
+            return [ScaleWorkers(
+                delta=self.step,
+                reason=f"sustained overload x{self.sustain_up}: {why}",
+            )]
+        if self._down >= self.sustain_down:
+            self._down = 0
+            return [ScaleWorkers(
+                delta=-self.step,
+                reason=(
+                    f"sustained underload x{self.sustain_down}: "
+                    f"backlog/worker {round(backlog, 9)} <= "
+                    f"{self.backlog_low}"
+                ),
+            )]
+        return []
+
+
+class WeightBalancePolicy(Policy):
+    """Boost the fair-share weight of a disproportionately backlogged queue.
+
+    When one queue holds more than ``imbalance`` times the mean backlog
+    for ``sustain`` consecutive ticks, propose multiplying its weight by
+    ``boost`` (the guards bound the per-step change and the absolute
+    range).  Only ever proposes for the single worst queue per tick.
+    """
+
+    name = "weight_balance"
+
+    def __init__(self, imbalance: float = 3.0, boost: float = 2.0,
+                 sustain: int = 3, max_weight: float = 8.0):
+        if imbalance <= 1.0:
+            raise ValidationError("imbalance must be > 1")
+        if boost <= 1.0:
+            raise ValidationError("boost must be > 1")
+        self.imbalance = imbalance
+        self.boost = boost
+        self.sustain = sustain
+        self.max_weight = max_weight
+        self._streaks: dict = {}
+
+    def propose(self, s: ControlSnapshot) -> List[Proposal]:
+        if len(s.queues) < 2 or not s.total_depth:
+            self._streaks.clear()
+            return []
+        mean = s.total_depth / len(s.queues)
+        worst = max(s.queues, key=lambda q: (q.depth, q.name))
+        hot = worst.depth > self.imbalance * mean
+        for q in s.queues:
+            if q.name == worst.name and hot:
+                self._streaks[q.name] = self._streaks.get(q.name, 0) + 1
+            else:
+                self._streaks.pop(q.name, None)
+        if not hot or self._streaks.get(worst.name, 0) < self.sustain:
+            return []
+        self._streaks.pop(worst.name, None)
+        target = min(round(worst.weight * self.boost, 9), self.max_weight)
+        if target <= worst.weight:
+            return []
+        return [AdjustTenantWeight(
+            queue=worst.name,
+            weight=target,
+            reason=(
+                f"queue {worst.name!r} backlog {worst.depth} > "
+                f"{self.imbalance}x mean {round(mean, 9)} for "
+                f"{self.sustain} ticks"
+            ),
+        )]
+
+
+class AdmissionReliefPolicy(Policy):
+    """Widen a queue's admission bound while rejections are the failure mode.
+
+    If a queue rejected new work since the last tick while overall
+    deadline misses stayed low, its bound is the bottleneck — propose
+    doubling it (up to ``max_limit``).  The inverse (tightening under
+    sustained misses) is deliberately left to operators: shrinking a
+    bound sheds real traffic and should not happen autonomously.
+    """
+
+    name = "admission_relief"
+
+    def __init__(self, max_limit: int = 4096,
+                 miss_rate_ceiling: float = 0.05):
+        if max_limit < 1:
+            raise ValidationError("max_limit must be >= 1")
+        self.max_limit = max_limit
+        self.miss_rate_ceiling = miss_rate_ceiling
+        self._last_rejected: Optional[int] = None
+
+    def propose(self, s: ControlSnapshot) -> List[Proposal]:
+        prev = self._last_rejected
+        self._last_rejected = s.rejected
+        if prev is None or s.rejected <= prev:
+            return []
+        if s.deadline_miss_rate > self.miss_rate_ceiling:
+            return []  # latency is the failure mode; admitting more hurts
+        proposals: List[Proposal] = []
+        for q in s.queues:
+            if q.limit is None:
+                continue
+            if q.depth < q.limit:
+                continue  # this queue is not the one rejecting
+            target = min(q.limit * 2, self.max_limit)
+            if target <= q.limit:
+                continue
+            proposals.append(SetAdmissionLimit(
+                queue=q.name,
+                limit=target,
+                reason=(
+                    f"{s.rejected - prev} rejections since last tick "
+                    f"with queue {q.name!r} at bound {q.limit}"
+                ),
+            ))
+        return proposals
+
+
+class EngineDriftPolicy(Policy):
+    """Flip a model's engine when its live batch cost drifts from plan.
+
+    Each watched model declares the cost the current engine was chosen
+    for (``reference_ms``), the engine to fall over to, and the compiled
+    fingerprint the decision was made about.  When the scheduler's
+    EWMA-refined estimate exceeds ``drift_factor`` times the reference
+    for ``sustain`` consecutive ticks, propose the switch — once (the
+    model is then dropped from the watch list; flip-flopping engines on
+    a noisy estimate is exactly what this must not do).
+    """
+
+    name = "engine_drift"
+
+    def __init__(self, watch: dict, drift_factor: float = 1.5,
+                 sustain: int = 3):
+        """``watch``: model -> (reference_ms, target_engine, fingerprint)."""
+        if drift_factor <= 1.0:
+            raise ValidationError("drift_factor must be > 1")
+        self.watch = dict(watch)
+        self.drift_factor = drift_factor
+        self.sustain = sustain
+        self._streaks: dict = {}
+
+    def propose(self, s: ControlSnapshot) -> List[Proposal]:
+        proposals: List[Proposal] = []
+        for model in sorted(self.watch):
+            reference_ms, engine, fingerprint = self.watch[model]
+            q = s.queue(model)
+            if q is None or q.estimated_batch_ms <= 0:
+                continue
+            drifted = (
+                q.estimated_batch_ms > self.drift_factor * reference_ms
+            )
+            if not drifted:
+                self._streaks.pop(model, None)
+                continue
+            streak = self._streaks.get(model, 0) + 1
+            self._streaks[model] = streak
+            if streak < self.sustain:
+                continue
+            del self._streaks[model]
+            del self.watch[model]
+            proposals.append(SwitchEngine(
+                model=model,
+                engine=engine,
+                expected_fingerprint=fingerprint,
+                reason=(
+                    f"estimated_batch_ms {q.estimated_batch_ms} > "
+                    f"{self.drift_factor}x reference {reference_ms} "
+                    f"for {self.sustain} ticks"
+                ),
+            ))
+        return proposals

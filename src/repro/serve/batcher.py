@@ -219,11 +219,20 @@ class QueryBatcher:
                     track=track, batch_id=batch.batch_id,
                 )
 
-        ctx = FheContext(registered.params, backend=registered.backend)
+        # One consistent snapshot of the mutable registration fields:
+        # the control plane may flip engine/backend between batches
+        # (registry.set_engine / switch_backend), and a batch must run
+        # entirely under one configuration.
+        engine = registered.engine
+        backend = registered.backend
+        keys = registered.keys
+        batched_model = registered.batched_model
+
+        ctx = FheContext(registered.params, backend=backend)
         server = BatchedCopseServer(
             ctx,
             seccomp_variant=self.seccomp_variant,
-            engine=registered.engine,
+            engine=engine,
             plan=registered.plan,
             tape=registered.tape,
         )
@@ -231,27 +240,27 @@ class QueryBatcher:
         if tracer is not None:
             span = stage("pack")
         query = encrypt_batch(
-            ctx, layout, [e.features for e in entries], registered.keys
+            ctx, layout, [e.features for e in entries], keys
         )
         if tracer is not None:
             tracer.end(span, self.clock.now(), size=len(entries))
             span = stage("execute")
-        encrypted = server.classify_batch(registered.batched_model, query)
+        encrypted = server.classify_batch(batched_model, query)
         if tracer is not None:
             tracer.end(
-                span, self.clock.now(), engine=registered.engine
+                span, self.clock.now(), engine=engine
             )
             span = stage("demux")
-        bits = ctx.decrypt_bits(encrypted, registered.keys.secret)
+        bits = ctx.decrypt_bits(encrypted, keys.secret)
         bitvectors = demux_bitvectors(layout, bits, len(entries))
         if tracer is not None:
             tracer.end(span, self.clock.now())
             span = stage("resolve")
 
         cost = registered.cost_model
-        if registered.engine == ENGINE_TAPE:
+        if engine == ENGINE_TAPE:
             inference_phases = (PHASE_TAPE,)
-        elif registered.engine == ENGINE_PLAN:
+        elif engine == ENGINE_PLAN:
             inference_phases = (PHASE_PLAN,)
         else:
             inference_phases = BATCH_INFERENCE_PHASES

@@ -169,6 +169,8 @@ class RouterCore:
         self._heartbeats = m.counter("cluster_heartbeats")
         self._stale = m.counter("cluster_epoch_invalidated")
         self._redeploys = m.counter("cluster_redeploys")
+        self._scale_ups = m.counter("cluster_scale_ups")
+        self._retires = m.counter("cluster_retires")
         m.gauge("cluster_workers").set(workers)
 
     # ------------------------------------------------------------------
@@ -234,6 +236,22 @@ class RouterCore:
     @property
     def outstanding(self) -> int:
         return self.core.outstanding
+
+    def set_weight(self, name: str, weight: float, now: float) -> float:
+        """Retune a model's fair-share weight; returns the old one."""
+        old = self.core.set_weight(name, weight)
+        self._record("set_weight", name, round(weight, 9), round(now, 9))
+        return old
+
+    def set_admission_limit(self, name: str, limit: Optional[int],
+                            now: float) -> Optional[int]:
+        """Rebound a model's admission limit; returns the old one."""
+        old = self.core.set_max_pending(name, limit)
+        self._record(
+            "set_admission_limit", name,
+            -1 if limit is None else limit, round(now, 9),
+        )
+        return old
 
     def next_cut_time(self) -> Optional[float]:
         return self.core.next_cut_time()
@@ -467,6 +485,92 @@ class RouterCore:
         self._redeploys.inc()
         self._record("redeploy", name, fingerprint, round(now, 9))
 
+    # ------------------------------------------------------------------
+    # Elastic pool: scale-up / scale-down under controller actuation
+    # ------------------------------------------------------------------
+
+    def add_worker(self, now: float) -> int:
+        """Grow the pool by one live worker; returns its (fresh) id.
+
+        The id extends the index space (ids are never reused, like
+        epochs), starts at epoch 0 with an empty ship ledger, and enters
+        placement immediately.  Growing the pool re-shapes every model's
+        placement rotation — deterministically, since the rotation is a
+        pure function of (model, pool size).
+        """
+        worker = self.core.add_worker()
+        # Core ids and router index space only ever grow together, so
+        # the fresh id always lands exactly one past the current lists.
+        while len(self.epochs) <= worker:
+            self.epochs.append(0)
+            self.alive.append(True)
+            self.draining.append(False)
+            self.last_heartbeat.append(None)
+            self.shipped.append({})
+        self.workers = len(self.epochs)
+        self._scale_ups.inc()
+        self.metrics.gauge("cluster_workers").set(self.workers)
+        self._record("add_worker", worker, round(now, 9))
+        if self.tracer is not None:
+            self.tracer.event(
+                "add_worker", now, track=f"worker:{worker}",
+            )
+        return worker
+
+    def retire_worker(self, worker: int, now: float) -> None:
+        """Permanently remove an **idle** worker from placement.
+
+        Unlike :meth:`crash_worker` (which expects a restart), a retired
+        worker never comes back: its id stays dead, its epoch is bumped
+        so any straggling completion from it is dropped as stale, and
+        the scheduler core forgets it.  Refuses while a batch is in
+        flight (drain first — in-flight epoch safety) and refuses to
+        retire the last live worker.
+        """
+        if not self.alive[worker]:
+            raise ValidationError(
+                f"worker {worker} is not alive; only live idle workers "
+                f"can be retired"
+            )
+        if worker in self._busy:
+            raise ValidationError(
+                f"cannot retire worker {worker} with batch "
+                f"{self._busy[worker].batch_id} in flight; drain first"
+            )
+        live = sum(
+            1 for w in range(self.workers)
+            if self.alive[w] and w != worker
+        )
+        if live < 1:
+            raise ValidationError(
+                "cannot retire the last live worker"
+            )
+        self.core.remove_worker(worker)
+        self.epochs[worker] += 1
+        self.alive[worker] = False
+        self.draining[worker] = False
+        self.shipped[worker] = {}
+        self.last_heartbeat[worker] = None
+        self._retires.inc()
+        self._record("retire", worker, self.epochs[worker], round(now, 9))
+        if self.tracer is not None:
+            self.tracer.event(
+                "retire", now, track=f"worker:{worker}",
+                epoch=self.epochs[worker],
+            )
+
+    def idle_live_workers(self) -> List[int]:
+        """Live, non-draining workers with no batch in flight."""
+        return [
+            w for w in range(self.workers)
+            if self.alive[w] and not self.draining[w]
+            and w not in self._busy
+        ]
+
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for a in self.alive if a)
+
 
 # ---------------------------------------------------------------------------
 # Discrete-event engine (the determinism harness)
@@ -474,8 +578,8 @@ class RouterCore:
 
 #: Event kinds, in processing order at equal timestamps (mirrors
 #: :mod:`repro.serve.loadgen`): completions free workers before crashes,
-#: arrivals, and timers look at the pool.
-_COMPLETION, _CRASH, _ARRIVAL, _TIMER = 0, 1, 2, 3
+#: arrivals, timers, and control ticks look at the pool.
+_COMPLETION, _CRASH, _ARRIVAL, _TIMER, _CONTROL = 0, 1, 2, 3, 4
 
 
 class _SimQuery:
@@ -509,6 +613,8 @@ class ClusterSimRunner:
         tracer=None,
         metrics=None,
         ship_ms: float = 0.0,
+        controller=None,
+        control_interval_s: float = 1.0,
     ):
         if not profiles:
             raise ValidationError(
@@ -516,6 +622,10 @@ class ClusterSimRunner:
             )
         if ship_ms < 0:
             raise ValidationError(f"ship_ms must be >= 0, got {ship_ms}")
+        if controller is not None and control_interval_s <= 0:
+            raise ValidationError(
+                f"control_interval_s must be > 0, got {control_interval_s}"
+            )
         self.profiles: Dict[str, ModelProfile] = {
             p.name: p for p in profiles
         }
@@ -538,7 +648,26 @@ class ClusterSimRunner:
                 max_pending=profile.max_pending,
                 service_ms=profile.service_ms,
             )
+        #: Optional control plane (``repro.control.Controller``): ticked
+        #: every ``control_interval_s`` of virtual time while the run
+        #: has work, between event processing and dispatch — so an
+        #: actuation (scale-up, weight change) affects the very next
+        #: placement decision, deterministically.
+        self.controller = controller
+        self.control_interval_s = control_interval_s
         self._used = False
+
+    # -- controller actuation seams (used by repro.control plants) ------
+
+    def add_worker(self, now: float) -> int:
+        """Grow the simulated pool mid-run; returns the new worker id."""
+        worker = self.router.add_worker(now)
+        self.router.worker_started(worker, now)
+        return worker
+
+    def retire_worker(self, worker: int, now: float) -> None:
+        """Retire an idle simulated worker mid-run."""
+        self.router.retire_worker(worker, now)
 
     def run(self, arrivals: Sequence[Arrival],
             faults: FaultPlan = FaultPlan()) -> SimReport:
@@ -561,6 +690,8 @@ class ClusterSimRunner:
             push(arrival.time, _ARRIVAL, arrival)
         for k, crash_time in enumerate(faults.worker_crashes):
             push(crash_time, _CRASH, k % self.workers)
+        if self.controller is not None:
+            push(self.control_interval_s, _CONTROL, None)
 
         batch_counter = 0
         service_ms_total = 0.0
@@ -650,6 +781,12 @@ class ClusterSimRunner:
                     )
                 except RejectedQuery:
                     pass  # counted by the core; open-loop load sheds
+            elif kind == _CONTROL:
+                self.controller.tick(now)
+                # Re-arm only while the run still has work: an idle
+                # control loop must not keep the simulation alive.
+                if remaining_arrivals > 0 or router.outstanding > 0:
+                    push(now + self.control_interval_s, _CONTROL, None)
             # _TIMER carries no state: popping it (advancing the clock)
             # makes the due slack cut visible to dispatch().
             if remaining_arrivals == 0 and not flushed:
@@ -790,7 +927,7 @@ class ClusterService:
                 return
             self._closed = True
             self.router.close()
-            conns = list(self._conns)
+            conns = [c for c in self._conns if c is not None]
         for conn in conns:
             try:
                 conn.send((MSG_STOP,))
@@ -802,7 +939,7 @@ class ClusterService:
                 proc.join(timeout=5.0)
                 if proc.is_alive():
                     proc.terminate()
-        for conn in self._conns:
+        for conn in conns:
             try:
                 conn.close()
             except OSError:
@@ -859,6 +996,88 @@ class ClusterService:
                     round(now, 9),
                 )
                 self._conns[worker].send((MSG_LOAD, envelope))
+
+    # -- control-plane seams --------------------------------------------
+
+    def set_tenant_weight(self, name: str, weight: float) -> float:
+        """Retune a model queue's fair-share weight; returns the old."""
+        now = self.clock.now()
+        with self._lock:
+            return self.router.set_weight(name, weight, now)
+
+    def set_admission_limit(self, name: str,
+                            limit: Optional[int]) -> Optional[int]:
+        """Rebound a model queue's admission limit; returns the old."""
+        now = self.clock.now()
+        with self._lock:
+            return self.router.set_admission_limit(name, limit, now)
+
+    def add_worker(self) -> int:
+        """Grow the pool by one spawned worker; returns its fresh id."""
+        now = self.clock.now()
+        with self._lock:
+            if self._closed:
+                raise ValidationError("cluster is closed")
+            worker = self.router.add_worker(now)
+            while len(self._procs) <= worker:
+                self._procs.append(None)
+                self._conns.append(None)
+            self._spawn(worker, self.router.epochs[worker], now)
+            self._dispatch_locked(now)
+        return worker
+
+    def retire_worker(self, worker: int) -> None:
+        """Permanently stop one **idle** worker (the id is never reused).
+
+        Refuses (via the router) while the worker has a batch in flight
+        or when it is the last live worker — the in-flight epoch-safety
+        invariant the control plane's guards also enforce.
+        """
+        now = self.clock.now()
+        with self._lock:
+            self.router.retire_worker(worker, now)
+            conn = self._conns[worker]
+            proc = self._procs[worker]
+            self._conns[worker] = None
+            self._procs[worker] = None
+        if conn is not None:
+            try:
+                conn.send((MSG_STOP,))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if proc is not None:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+
+    def set_model_engine(self, name: str, engine: str) -> None:
+        """Flip a model's execution engine across the cluster, live.
+
+        Drains in-flight work first (a torn batch must not straddle the
+        flip), mutates the registry entry, and publishes a fresh ship
+        key through :meth:`RouterCore.redeploy_model` — the compiled
+        fingerprint is engine-independent, so the key is suffixed with
+        the engine to force every worker ledger stale.
+        """
+        self.flush()
+        self.drain()
+        now = self.clock.now()
+        with self._lock:
+            registered = self.registry.set_engine(name, engine)
+            envelope = ShippedModel.from_registered(registered)
+            self._envelopes[name] = envelope
+            self.router.redeploy_model(
+                name, f"{envelope.fingerprint}:{registered.engine}", now
+            )
+
+    @property
+    def workers(self) -> int:
+        with self._lock:
+            return self.router.live_workers
 
     # -- serving --------------------------------------------------------
 
@@ -991,6 +1210,8 @@ class ClusterService:
                 if now - last_ping >= self.heartbeat_interval_s:
                     last_ping = now
                     for worker, conn in enumerate(self._conns):
+                        if conn is None:
+                            continue  # retired worker
                         try:
                             conn.send((MSG_PING,))
                         except (OSError, ValueError, BrokenPipeError):

@@ -322,8 +322,9 @@ class SimReport:
 
 
 #: Event kinds, in processing order at equal timestamps: completions
-#: free workers before crashes/arrivals/timers look at the pool.
-_COMPLETION, _CRASH, _ARRIVAL, _TIMER = 0, 1, 2, 3
+#: free workers before crashes/arrivals/timers look at the pool, and
+#: control ticks observe a fully-settled instant.
+_COMPLETION, _CRASH, _ARRIVAL, _TIMER, _CONTROL = 0, 1, 2, 3, 4
 
 
 class SimRunner:
@@ -342,9 +343,13 @@ class SimRunner:
         max_retries: int = 1,
         tracer=None,
         metrics=None,
+        controller=None,
+        control_interval_s: float = 1.0,
     ):
         if not profiles:
             raise ValidationError("SimRunner needs at least one profile")
+        if controller is not None and control_interval_s <= 0:
+            raise ValidationError("control_interval_s must be > 0")
         self.profiles: Dict[str, ModelProfile] = {
             p.name: p for p in profiles
         }
@@ -370,7 +375,30 @@ class SimRunner:
                 max_pending=profile.max_pending,
                 service_ms=profile.service_ms,
             )
+        #: Optional control plane: ``controller.tick(now)`` runs every
+        #: ``control_interval_s`` of virtual time while the run still
+        #: has work, between event processing and dispatch.
+        self.controller = controller
+        self.control_interval_s = control_interval_s
+        #: Per-worker epoch, keyed by worker id (ids grow and are never
+        #: reused under elastic scaling): bumped on crash so the stale
+        #: completion of an interrupted batch is ignored when it pops.
+        self._epochs: Dict[int, int] = {w: 0 for w in range(threads)}
+        self._removed: set = set()
         self._used = False
+
+    # -- control-plane seams ------------------------------------------
+
+    def add_worker(self) -> int:
+        """Grow the simulated pool; returns the new worker's id."""
+        worker = self.core.add_worker()
+        self._epochs[worker] = 0
+        return worker
+
+    def remove_worker(self, worker: int) -> None:
+        """Retire an idle simulated worker (id is never reused)."""
+        self.core.remove_worker(worker)
+        self._removed.add(worker)
 
     def run(self, arrivals: Sequence[Arrival],
             faults: FaultPlan = FaultPlan()) -> SimReport:
@@ -391,10 +419,10 @@ class SimRunner:
             push(arrival.time, _ARRIVAL, arrival)
         for k, crash_time in enumerate(faults.worker_crashes):
             push(crash_time, _CRASH, k % self.threads)
+        if self.controller is not None:
+            push(self.control_interval_s, _CONTROL, None)
 
-        #: Per-worker epoch: bumped on crash so the stale completion
-        #: event of an interrupted batch is ignored when it pops.
-        epochs = [0] * self.threads
+        epochs = self._epochs
         batch_counter = 0
         service_ms_total = 0.0
         capacity_total = 0
@@ -455,6 +483,8 @@ class SimRunner:
                 last_completion_t = now
             elif kind == _CRASH:
                 worker = data
+                if worker in self._removed:
+                    continue  # retired before its scheduled crash
                 epochs[worker] += 1
                 core.crash_worker(worker, now)
             elif kind == _ARRIVAL:
@@ -475,6 +505,12 @@ class SimRunner:
                     )
                 except RejectedQuery:
                     pass  # counted by the core; open-loop load sheds
+            elif kind == _CONTROL:
+                self.controller.tick(now)
+                # Re-arm only while the run still has work: an idle
+                # control loop must not keep the simulation alive.
+                if remaining_arrivals > 0 or core.outstanding:
+                    push(now + self.control_interval_s, _CONTROL, None)
             # _TIMER carries no state: popping it (advancing the clock)
             # is what makes the due slack cut visible to dispatch().
             if remaining_arrivals == 0 and not flushed:

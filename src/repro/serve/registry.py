@@ -280,6 +280,108 @@ class ModelRegistry:
                 )
             return self._models[name]
 
+    # ------------------------------------------------------------------
+    # Live reconfiguration (control-plane actuation seams)
+    # ------------------------------------------------------------------
+
+    def _checked_for_update(self, name: str,
+                            expected_fingerprint: Optional[str]
+                            ) -> RegisteredModel:
+        """Look up ``name`` and fail closed on a fingerprint mismatch.
+
+        Callers that pass ``expected_fingerprint`` (the control plane's
+        guards do) only proceed when the registered compiled model is
+        byte-for-byte the one their decision was made about.
+        """
+        registered = self.get(name)
+        if expected_fingerprint is not None:
+            actual = registered.compiled.fingerprint()
+            if actual != expected_fingerprint:
+                raise ValidationError(
+                    f"model {name!r} fingerprint {actual} does not match "
+                    f"expected {expected_fingerprint}; refusing to "
+                    f"reconfigure a model the decision was not made about"
+                )
+        return registered
+
+    def set_engine(self, name: str, engine: str,
+                   expected_fingerprint: Optional[str] = None
+                   ) -> RegisteredModel:
+        """Flip a registered model's execution engine in place.
+
+        The batcher builds its evaluation server per batch from the
+        registered entry, so the flip takes effect on the next cut — no
+        re-encryption and no restart.  Missing derived artifacts are
+        compiled lazily: flipping an eager model to ``plan``/``tape``
+        lowers the batched pipeline now (under the default SecComp
+        variant), and flipping to ``tape`` compiles the cached plan's
+        tape.  ``expected_fingerprint`` makes the flip fail closed
+        against a concurrently replaced model.
+        """
+        if engine not in ENGINES:
+            raise ValidationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        registered = self._checked_for_update(name, expected_fingerprint)
+        with self._lock:
+            if registered.engine == engine:
+                return registered
+            if engine in (ENGINE_PLAN, ENGINE_TAPE):
+                if registered.plan is None:
+                    registered.plan = lower_batched_inference(
+                        registered.compiled,
+                        registered.layout,
+                        encrypted_model=registered.encrypted_model,
+                        variant=VARIANT_ALOUFI,
+                    )
+                if engine == ENGINE_TAPE and registered.tape is None:
+                    registered.tape = registered.plan.compile_tape()
+            registered.engine = engine
+        if self.metrics is not None:
+            self.metrics.counter(
+                "registry_engine_flips", {"model": name}
+            ).inc()
+        return registered
+
+    def switch_backend(self, name: str, backend: str,
+                       expected_fingerprint: Optional[str] = None
+                       ) -> RegisteredModel:
+        """Re-home a registered model onto a different FHE backend.
+
+        Backends wrap ciphertexts in their own representations, so this
+        is a rebuild, not a flag flip: a fresh context and session key
+        pair on the target backend, and the batched model re-encrypted
+        under them.  In-flight batches must be drained by the caller
+        first (the service seams do); queued queries are unaffected —
+        they carry plaintext features and are encrypted per batch.
+        """
+        backend = canonical_backend_name(backend)
+        registered = self._checked_for_update(name, expected_fingerprint)
+        with self._lock:
+            if registered.backend == backend:
+                return registered
+            ctx = FheContext(registered.params, backend=backend)
+            keys = ctx.keygen()
+            batched = build_batched_model(
+                ctx,
+                registered.compiled,
+                registered.layout,
+                public_key=(
+                    keys.public if registered.encrypted_model else None
+                ),
+            )
+            registered.keys = keys
+            registered.batched_model = batched
+            registered.backend = backend
+            registered.setup_ms += registered.cost_model.sequential_ms(
+                ctx.tracker
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "registry_backend_switches", {"model": name}
+            ).inc()
+        return registered
+
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._models)

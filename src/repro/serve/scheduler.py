@@ -318,6 +318,9 @@ class SchedulerCore:
         self._queues: Dict[str, _ModelQueue] = {}
         self._free: List[int] = list(range(workers))
         self._running: Dict[int, Assignment] = {}
+        #: Worker ids are never reused: a retired worker's id stays dead
+        #: (like epochs), so decision logs and traces are unambiguous.
+        self._next_worker_id = workers
         self._seq = itertools.count()
         self._batch_ids = itertools.count(1)
         self._closed = False
@@ -403,6 +406,84 @@ class SchedulerCore:
 
     def queue_names(self) -> List[str]:
         return sorted(self._queues)
+
+    # ------------------------------------------------------------------
+    # Control seams: live policy actuation, no restart required
+    # ------------------------------------------------------------------
+
+    def set_weight(self, name: str, weight: float) -> float:
+        """Change a queue's fair-share weight; returns the old weight.
+
+        Takes effect on the next :meth:`assign`: virtual time already
+        accrued is kept (a weight change re-prices *future* service, it
+        does not replay the past).
+        """
+        queue = self._queue_or_raise(name)
+        if weight <= 0:
+            raise ValidationError(
+                f"queue {name!r}: fair-share weight must be > 0, got "
+                f"{weight}"
+            )
+        old = queue.weight
+        queue.weight = weight
+        return old
+
+    def set_max_pending(self, name: str,
+                        limit: Optional[int]) -> Optional[int]:
+        """Change a queue's admission bound; returns the old bound.
+
+        ``None`` removes the bound.  Queries already admitted above a
+        tightened bound stay queued — the bound gates *admission*, it
+        never drops accepted work.
+        """
+        queue = self._queue_or_raise(name)
+        if limit is not None and limit < 1:
+            raise ValidationError(
+                f"queue {name!r}: max_pending must be >= 1, got {limit}"
+            )
+        old = queue.max_pending
+        queue.max_pending = limit
+        return old
+
+    def add_worker(self) -> int:
+        """Grow the pool by one idle worker; returns its (fresh) id."""
+        worker = self._next_worker_id
+        self._next_worker_id += 1
+        self.workers += 1
+        heapq.heappush(self._free, worker)
+        return worker
+
+    def remove_worker(self, worker: int) -> None:
+        """Retire an **idle** worker from the pool.
+
+        Refuses to retire a worker with a batch in flight (the caller
+        must drain it first — in-flight work is never abandoned), to
+        retire an unknown/already-retired id, and to shrink below one
+        worker.  The id is never reused.
+        """
+        if self.workers <= 1:
+            raise ValidationError(
+                "cannot retire the last worker (the pool must keep at "
+                "least one)"
+            )
+        if worker in self._running:
+            raise ValidationError(
+                f"cannot retire worker {worker} with batch "
+                f"{self._running[worker].batch_id} in flight; drain it "
+                f"first"
+            )
+        if worker not in self._free:
+            raise ValidationError(
+                f"worker {worker} is not in the pool (retired already, "
+                f"or never existed)"
+            )
+        self._free.remove(worker)
+        heapq.heapify(self._free)
+        self.workers -= 1
+
+    def idle_workers(self) -> List[int]:
+        """Ids of workers with no batch in flight (ascending)."""
+        return sorted(self._free)
 
     def pending(self, name: Optional[str] = None) -> int:
         if name is not None:
@@ -683,6 +764,9 @@ class SchedulerCore:
                 self.metrics.counter(
                     "sched_queue_completed", {"queue": ticket.queue}
                 ).inc()
+                self.metrics.histogram(
+                    "sched_tenant_latency_ms", {"tenant": ticket.tenant}
+                ).observe(latency_ms)
                 if tracer is not None and ticket.span is not None:
                     tracer.end(
                         ticket.span, now,
@@ -775,9 +859,25 @@ class SchedulerCore:
     def stats(self) -> SchedulerStats:
         m = self.metrics
         # Point-in-time queue state rides along in the registry so a
-        # metrics snapshot sees it without a SchedulerStats in hand.
+        # metrics snapshot sees it without a SchedulerStats in hand —
+        # and so the control plane's ControlSnapshot reads the same
+        # source of truth as ``repro metrics``.
         m.gauge("sched_pending").set(self.pending())
         m.gauge("sched_running").set(self.running)
+        m.gauge("sched_live_workers").set(self.workers)
+        m.gauge("sched_free_workers").set(len(self._free))
+        for name, queue in sorted(self._queues.items()):
+            labels = {"queue": name}
+            m.gauge("sched_queue_depth", labels).set(len(queue.heap))
+            m.gauge("sched_estimated_batch_ms", labels).set(
+                round(queue.service_s / MS, 9)
+            )
+            m.gauge("sched_queue_weight", labels).set(queue.weight)
+            # -1 encodes "unbounded": gauges are floats and the JSON
+            # snapshot must stay strict-JSON (no Infinity).
+            m.gauge("sched_queue_limit", labels).set(
+                -1 if queue.max_pending is None else queue.max_pending
+            )
         ranked = sorted(self._latencies_ms.window_values())
         return SchedulerStats(
             submitted=int(self._submitted.value),
@@ -870,6 +970,7 @@ class Scheduler:
             raise ValidationError(f"threads must be >= 1, got {threads}")
         self.threads = threads
         self.clock: Clock = clock if clock is not None else RealClock()
+        self._name = name
         self._core = SchedulerCore(
             workers=threads, max_retries=max_retries,
             tracer=tracer, metrics=metrics,
@@ -877,16 +978,23 @@ class Scheduler:
         self._evaluators: Dict[str, Callable[[Assignment], None]] = {}
         self._cond = threading.Condition()
         self._stopping = False
+        #: Worker ids retired by :meth:`remove_worker`; their threads
+        #: exit on next wake (the core has already forgotten the id, so
+        #: they must never call ``assign`` again).
+        self._retired: set = set()
         self._workers: List[threading.Thread] = []
         for i in range(threads):
-            worker = threading.Thread(
-                target=self._worker_loop,
-                args=(i,),
-                name=f"{name}-worker-{i}",
-                daemon=True,
-            )
-            worker.start()
-            self._workers.append(worker)
+            self._spawn_worker(i)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        worker = threading.Thread(
+            target=self._worker_loop,
+            args=(worker_id,),
+            name=f"{self._name}-worker-{worker_id}",
+            daemon=True,
+        )
+        worker.start()
+        self._workers.append(worker)
 
     # ------------------------------------------------------------------
 
@@ -964,6 +1072,59 @@ class Scheduler:
         with self._cond:
             return self._core.pending(name)
 
+    # ------------------------------------------------------------------
+    # Control seams (live actuation by the control plane)
+    # ------------------------------------------------------------------
+
+    def set_weight(self, name: str, weight: float) -> float:
+        """Change a queue's fair-share weight; returns the old one."""
+        with self._cond:
+            old = self._core.set_weight(name, weight)
+            self._cond.notify_all()
+            return old
+
+    def set_admission_limit(self, name: str,
+                            limit: Optional[int]) -> Optional[int]:
+        """Change a queue's admission bound; returns the old one."""
+        with self._cond:
+            return self._core.set_max_pending(name, limit)
+
+    def add_worker(self) -> int:
+        """Grow the pool by one live worker thread; returns its id."""
+        with self._cond:
+            worker_id = self._core.add_worker()
+            self._spawn_worker(worker_id)
+            self._cond.notify_all()
+            return worker_id
+
+    def remove_worker(self) -> int:
+        """Retire one idle worker (the highest-numbered); returns its id.
+
+        Raises :class:`~repro.errors.ValidationError` when every worker
+        is busy or the pool is at one — callers (the control plane's
+        guards) are expected to check first; the mechanism still fails
+        closed.  The retired thread exits on its next wake; in-flight
+        work elsewhere is untouched.
+        """
+        with self._cond:
+            idle = self._core.idle_workers()
+            if not idle:
+                raise ValidationError(
+                    "no idle worker to retire (all workers have batches "
+                    "in flight)"
+                )
+            worker_id = idle[-1]
+            self._core.remove_worker(worker_id)
+            self._retired.add(worker_id)
+            self._cond.notify_all()
+            return worker_id
+
+    @property
+    def workers(self) -> int:
+        """Current pool size (live, non-retired workers)."""
+        with self._cond:
+            return self._core.workers
+
     def stats(self) -> SchedulerStats:
         with self._cond:
             return self._core.stats()
@@ -1012,7 +1173,7 @@ class Scheduler:
             with self._cond:
                 assignment = None
                 while assignment is None:
-                    if self._stopping:
+                    if self._stopping or worker_id in self._retired:
                         return
                     assignment = self._core.assign(
                         self.clock.now(), worker=worker_id

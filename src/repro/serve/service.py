@@ -528,6 +528,71 @@ class CopseService:
         return [f.result() for f in futures]
 
     # ------------------------------------------------------------------
+    # Control-plane seams (live reconfiguration, no restart)
+    # ------------------------------------------------------------------
+
+    def set_tenant_weight(self, name: str, weight: float) -> float:
+        """Retune a model queue's fair-share weight; returns the old."""
+        self._batcher(name)  # name resolution (or raise)
+        return self.scheduler.set_weight(name, weight)
+
+    def set_admission_limit(self, name: str,
+                            limit: Optional[int]) -> Optional[int]:
+        """Rebound a model queue's admission limit; returns the old.
+
+        ``None`` removes the bound.  Tightening below the current depth
+        never drops already-admitted queries — only new submissions see
+        the new limit.
+        """
+        self._batcher(name)  # name resolution (or raise)
+        return self.scheduler.set_admission_limit(name, limit)
+
+    def add_worker(self) -> int:
+        """Grow the worker pool by one thread; returns its fresh id."""
+        return self.scheduler.add_worker()
+
+    def remove_worker(self) -> int:
+        """Retire one idle worker thread (never below one).
+
+        Raises :class:`~repro.errors.ValidationError` when every worker
+        has a batch in flight — the in-flight safety invariant the
+        control plane's guards also enforce.
+        """
+        return self.scheduler.remove_worker()
+
+    @property
+    def workers(self) -> int:
+        """Current worker-pool size."""
+        return self.scheduler.workers
+
+    def set_model_engine(self, name: str, engine: str,
+                         expected_fingerprint: Optional[str] = None
+                         ) -> RegisteredModel:
+        """Flip a model's execution engine live (next batch uses it).
+
+        Drains in-flight work first so no batch straddles the flip;
+        queued queries are unaffected (they are packed per batch).
+        """
+        self.flush(name)
+        return self.registry.set_engine(
+            name, engine, expected_fingerprint=expected_fingerprint
+        )
+
+    def set_model_backend(self, name: str, backend: str,
+                          expected_fingerprint: Optional[str] = None
+                          ) -> RegisteredModel:
+        """Re-home a model onto another FHE backend, live.
+
+        Backends wrap ciphertexts differently, so this re-keys and
+        re-encrypts the batched model (a real cost, recorded in
+        ``setup_ms``); the drain ensures no batch straddles it.
+        """
+        self.flush(name)
+        return self.registry.switch_backend(
+            name, backend, expected_fingerprint=expected_fingerprint
+        )
+
+    # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
 

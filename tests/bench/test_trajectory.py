@@ -1,0 +1,118 @@
+"""The consolidated perf-trajectory artifact (BENCH_TRAJECTORY.json).
+
+``repro bench trajectory`` globs every ``BENCH_<n>.json``, validates
+each against the bench schema, and consolidates them — a malformed
+artifact must fail loudly with its path, never be skipped.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.bench_harness.report_gen import (
+    BENCH_SCHEMA,
+    discover_bench_artifacts,
+    generate_trajectory,
+)
+
+
+def write_artifact(directory, index, experiments=None, **overrides):
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "artifact": f"BENCH_{index}",
+        "mode": "full",
+        "default_backend": "reference",
+        "engine_profiles": [
+            {
+                "shape": "batched",
+                "engine": "tape",
+                "instructions": 100 + index,
+                "peak_live": 50,
+                "cost_ms": 12.5,
+            },
+        ],
+        "experiments": experiments if experiments is not None else [
+            {
+                "section": "soak",
+                "title": "t",
+                "columns": ["a", "b"],
+                "rows": [[1, 2]],
+                "notes": [],
+            },
+        ],
+    }
+    payload.update(overrides)
+    path = directory / f"BENCH_{index}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestDiscovery:
+    def test_finds_indexed_artifacts_only(self, tmp_path):
+        write_artifact(tmp_path, 3)
+        write_artifact(tmp_path, 10)
+        (tmp_path / "BENCH_TRAJECTORY.json").write_text("{}")
+        (tmp_path / "BENCH_extra.json").write_text("{}")
+        found = discover_bench_artifacts(str(tmp_path))
+        assert [index for index, _ in found] == [3, 10]
+
+    def test_no_artifacts_is_an_error(self, tmp_path):
+        with pytest.raises(ValidationError, match="no BENCH"):
+            generate_trajectory(str(tmp_path), json_path=None)
+
+
+class TestConsolidation:
+    def test_entries_and_table(self, tmp_path):
+        write_artifact(tmp_path, 2)
+        write_artifact(tmp_path, 5)
+        out = tmp_path / "BENCH_TRAJECTORY.json"
+        path, table = generate_trajectory(
+            str(tmp_path), json_path=str(out)
+        )
+        assert path == str(out)
+        payload = json.loads(out.read_text())
+        assert payload["artifact"] == "BENCH_TRAJECTORY"
+        assert [e["index"] for e in payload["entries"]] == [2, 5]
+        assert payload["entries"][0]["sections"] == ["soak"]
+        assert (
+            payload["entries"][1]["batched_tape_profile"]["instructions"]
+            == 105
+        )
+        assert [row[0] for row in table.rows] == [2, 5]
+
+    def test_repo_artifacts_consolidate(self):
+        # The checked-in BENCH_<n>.json files must always validate.
+        _, table = generate_trajectory(".", json_path=None)
+        assert len(table.rows) >= 1
+
+
+class TestValidation:
+    def test_wrong_schema_fails_with_path(self, tmp_path):
+        write_artifact(tmp_path, 1, schema=99)
+        with pytest.raises(ValidationError, match="BENCH_1.json"):
+            generate_trajectory(str(tmp_path), json_path=None)
+
+    def test_missing_field_fails(self, tmp_path):
+        path = tmp_path / "BENCH_1.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(ValidationError, match="missing field"):
+            generate_trajectory(str(tmp_path), json_path=None)
+
+    def test_ragged_rows_fail(self, tmp_path):
+        write_artifact(tmp_path, 1, experiments=[
+            {
+                "section": "soak",
+                "title": "t",
+                "columns": ["a", "b"],
+                "rows": [[1, 2, 3]],
+                "notes": [],
+            },
+        ])
+        with pytest.raises(ValidationError, match="row width"):
+            generate_trajectory(str(tmp_path), json_path=None)
+
+    def test_malformed_record_fails(self, tmp_path):
+        write_artifact(tmp_path, 1, experiments=[{"section": "soak"}])
+        with pytest.raises(ValidationError, match="missing"):
+            generate_trajectory(str(tmp_path), json_path=None)

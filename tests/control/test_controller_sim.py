@@ -1,0 +1,228 @@
+"""The controller closed over the discrete-event simulators.
+
+The determinism witness of the whole control plane: same seed, same
+policies, same guard config => byte-identical decision log (compared
+via ``json.dumps``), with scheduling conservation intact and the audit
+grammar — every ``applied`` preceded by its ``guard ... passed``, every
+rejection carrying a reason — holding on every run.
+"""
+
+import json
+
+import pytest
+
+from repro.control import (
+    AutoscalePolicy,
+    ClusterSimPlant,
+    Controller,
+    GuardConfig,
+    GuardRail,
+    Policy,
+    ScaleWorkers,
+    SimPlant,
+    SwitchEngine,
+)
+from repro.errors import ValidationError
+from repro.serve import (
+    FaultPlan,
+    ModelProfile,
+    SimRunner,
+    TenantSpec,
+    generate_arrivals,
+)
+from repro.serve.cluster import ClusterSimRunner
+
+
+def profile(**kwargs):
+    defaults = dict(name="m", capacity=4, service_ms=50.0,
+                    max_pending=256)
+    defaults.update(kwargs)
+    return ModelProfile(**defaults)
+
+
+def burst_arrivals(seed=11, queries=900):
+    """Underload, then a burst that buries two workers."""
+    tenants = [
+        TenantSpec(name="steady", model="m", rate_qps=40.0,
+                   deadline_ms=200.0),
+        TenantSpec(name="bursty", model="m", burst_every_s=1.0,
+                   burst_size=120, deadline_ms=200.0),
+    ]
+    return generate_arrivals(tenants, seed=seed, total_queries=queries)
+
+
+def autoscaled_sim_run(seed=11, cluster=False):
+    guards = GuardRail(GuardConfig(
+        workers_min=1, workers_max=6, cooldown_s=0.2,
+    ))
+    policy = AutoscalePolicy(
+        slo_p99_ms=200.0, backlog_high=8.0, backlog_low=0.5,
+        sustain_up=2, sustain_down=3,
+    )
+    controller = Controller(None, [policy], guards)
+    if cluster:
+        runner = ClusterSimRunner(
+            [profile()], workers=2, controller=controller,
+            control_interval_s=0.1,
+        )
+        controller.plant = ClusterSimPlant(runner)
+    else:
+        runner = SimRunner(
+            [profile()], threads=2, controller=controller,
+            control_interval_s=0.1,
+        )
+        controller.plant = SimPlant(runner)
+    faults = FaultPlan(worker_crashes=(1.5,))
+    report = runner.run(burst_arrivals(seed=seed), faults)
+    return report, controller
+
+
+class TestControllerConstruction:
+    def test_needs_at_least_one_policy(self):
+        with pytest.raises(ValidationError):
+            Controller(None, [])
+
+    def test_sim_runner_rejects_bad_interval(self):
+        controller = Controller(
+            None, [AutoscalePolicy()], GuardRail(),
+        )
+        with pytest.raises(ValidationError):
+            SimRunner([profile()], threads=2, controller=controller,
+                      control_interval_s=0.0)
+        with pytest.raises(ValidationError):
+            ClusterSimRunner([profile()], workers=2,
+                             controller=controller,
+                             control_interval_s=-1.0)
+
+
+@pytest.mark.parametrize("cluster", [False, True],
+                         ids=["threaded-sim", "cluster-sim"])
+class TestDeterminism:
+    def test_decision_log_byte_identical(self, cluster):
+        first_report, first = autoscaled_sim_run(cluster=cluster)
+        second_report, second = autoscaled_sim_run(cluster=cluster)
+        assert json.dumps(first.decision_log) == json.dumps(
+            second.decision_log
+        )
+        assert first_report.stats == second_report.stats
+        # The run actually scaled: the burst forces at least one
+        # guard-approved actuation.
+        assert len(first.applied()) > 0
+
+    def test_different_seeds_diverge(self, cluster):
+        _, first = autoscaled_sim_run(seed=11, cluster=cluster)
+        _, second = autoscaled_sim_run(seed=12, cluster=cluster)
+        assert json.dumps(first.decision_log) != json.dumps(
+            second.decision_log
+        )
+
+    def test_conservation_under_actuation(self, cluster):
+        report, controller = autoscaled_sim_run(cluster=cluster)
+        stats = report.stats
+        assert stats.submitted == (
+            stats.completed + stats.rejected + stats.failed
+            + stats.cancelled
+        )
+        assert stats.completed > 0
+
+    def test_audit_grammar(self, cluster, audit_grammar):
+        _, controller = autoscaled_sim_run(cluster=cluster)
+        audit_grammar(controller)
+        assert controller.ticks > 0
+
+
+class _AlwaysSwitch(Policy):
+    name = "always_switch"
+
+    def propose(self, snapshot):
+        return [SwitchEngine(
+            model="m", engine="tape", expected_fingerprint="fp",
+            reason="test",
+        )]
+
+
+class _AlwaysScaleUp(Policy):
+    name = "always_up"
+
+    def propose(self, snapshot):
+        return [ScaleWorkers(delta=1, reason="test")]
+
+
+class TestApplyFailurePath:
+    def test_mechanism_refusal_recorded_not_cooled_down(self, audit_grammar):
+        """A guard-approved proposal the plant cannot apply becomes an
+        ``apply_failed`` record and does NOT arm the cooldown."""
+        guards = GuardRail(GuardConfig(
+            cooldown_s=1e9, fingerprints={"m": "fp"},
+        ))
+        controller = Controller(None, [_AlwaysSwitch()], guards)
+        runner = SimRunner(
+            [profile()], threads=2, controller=controller,
+            control_interval_s=0.1,
+        )
+        controller.plant = SimPlant(runner)
+        arrivals = generate_arrivals(
+            [TenantSpec(name="t", model="m", rate_qps=50.0)],
+            seed=3, total_queries=50,
+        )
+        runner.run(arrivals)
+        failures = [
+            r for r in controller.decision_log if r[0] == "apply_failed"
+        ]
+        # Every tick retried (the huge cooldown never armed) and every
+        # failure names the refusing plant.
+        assert len(failures) >= 2
+        assert all("SimPlant" in r[3] for r in failures)
+        assert controller.applied() == []
+        audit_grammar(controller)
+
+    def test_guard_rejections_carry_reasons(self, audit_grammar):
+        guards = GuardRail(GuardConfig(workers_min=1, workers_max=2))
+        controller = Controller(None, [_AlwaysScaleUp()], guards)
+        runner = SimRunner(
+            [profile()], threads=2, controller=controller,
+            control_interval_s=0.1,
+        )
+        controller.plant = SimPlant(runner)
+        arrivals = generate_arrivals(
+            [TenantSpec(name="t", model="m", rate_qps=50.0)],
+            seed=3, total_queries=50,
+        )
+        runner.run(arrivals)
+        rejections = controller.rejections()
+        assert rejections, "the pool was already at workers_max"
+        assert all("workers_max" in r[4] for r in rejections
+                   if r[0] == "guard")
+        audit_grammar(controller)
+
+
+class TestMetricsAndTracing:
+    def test_controller_emits_metrics_and_spans(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        guards = GuardRail(GuardConfig(
+            workers_min=1, workers_max=6, cooldown_s=0.2,
+        ))
+        controller = Controller(
+            None,
+            [AutoscalePolicy(backlog_high=8.0, sustain_up=2)],
+            guards, tracer=tracer, metrics=metrics,
+        )
+        runner = SimRunner(
+            [profile()], threads=2, controller=controller,
+            control_interval_s=0.1,
+        )
+        controller.plant = SimPlant(runner)
+        runner.run(burst_arrivals())
+        assert metrics.counter_value("control_ticks") == controller.ticks
+        applied = sum(
+            metrics.labeled_values("control_applied").values()
+        ) if metrics.family("control_applied") else 0
+        assert applied == len(controller.applied())
+        spans = [
+            s for s in tracer.spans() if s.name == "control_tick"
+        ]
+        assert len(spans) == controller.ticks

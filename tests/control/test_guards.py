@@ -1,0 +1,222 @@
+"""Guard-rail invariants: every proposal vetted, every veto explained.
+
+The rail must fail closed — anything it cannot vouch for is rejected
+with a human-readable reason, never silently dropped or waved through.
+"""
+
+import pytest
+
+from repro.control import (
+    AdjustTenantWeight,
+    GuardConfig,
+    GuardRail,
+    Proposal,
+    ScaleWorkers,
+    SetAdmissionLimit,
+    SwitchBackend,
+    SwitchEngine,
+)
+from repro.errors import ValidationError
+
+
+class TestGuardConfigValidation:
+    def test_defaults_are_valid(self):
+        GuardConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers_min": 0},
+            {"workers_min": 4, "workers_max": 2},
+            {"weight_min": 0.0},
+            {"weight_min": 2.0, "weight_max": 1.0},
+            {"max_weight_step": 0.5},
+            {"admission_min": 0},
+            {"admission_min": 10, "admission_max": 5},
+            {"cooldown_s": -1.0},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            GuardConfig(**kwargs)
+
+
+class TestScaleGuards:
+    def test_in_range_scale_up_passes(self, make_snapshot):
+        rail = GuardRail(GuardConfig(workers_min=1, workers_max=4))
+        snap = make_snapshot(live_workers=2)
+        assert rail.check(ScaleWorkers(delta=1, reason="r"), snap, 0.0) is None
+
+    def test_above_workers_max_rejected(self, make_snapshot):
+        rail = GuardRail(GuardConfig(workers_min=1, workers_max=4))
+        snap = make_snapshot(live_workers=4)
+        reason = rail.check(ScaleWorkers(delta=1, reason="r"), snap, 0.0)
+        assert reason is not None and "workers_max" in reason
+
+    def test_below_workers_min_rejected(self, make_snapshot):
+        rail = GuardRail(GuardConfig(workers_min=2, workers_max=4))
+        snap = make_snapshot(live_workers=2, free_workers=2)
+        reason = rail.check(ScaleWorkers(delta=-1, reason="r"), snap, 0.0)
+        assert reason is not None and "workers_min" in reason
+
+    def test_zero_delta_rejected(self, make_snapshot):
+        rail = GuardRail()
+        reason = rail.check(
+            ScaleWorkers(delta=0, reason="r"), make_snapshot(), 0.0
+        )
+        assert reason is not None
+
+    def test_scale_down_never_exceeds_idle_workers(self, make_snapshot):
+        # In-flight epoch safety: a busy worker is never torn down.
+        rail = GuardRail(GuardConfig(workers_min=1, workers_max=8))
+        snap = make_snapshot(live_workers=4, free_workers=1)
+        reason = rail.check(ScaleWorkers(delta=-2, reason="r"), snap, 0.0)
+        assert reason is not None and "epoch safety" in reason
+
+    def test_scale_down_within_idle_passes(self, make_snapshot):
+        rail = GuardRail(GuardConfig(workers_min=1, workers_max=8))
+        snap = make_snapshot(live_workers=4, free_workers=2)
+        assert rail.check(
+            ScaleWorkers(delta=-2, reason="r"), snap, 0.0
+        ) is None
+
+
+class TestWeightGuards:
+    def test_unknown_queue_rejected(self, make_snapshot):
+        rail = GuardRail()
+        reason = rail.check(
+            AdjustTenantWeight(queue="ghost", weight=2.0, reason="r"),
+            make_snapshot(), 0.0,
+        )
+        assert reason is not None and "ghost" in reason
+
+    def test_out_of_range_weight_rejected(self, make_snapshot, make_queue):
+        rail = GuardRail(GuardConfig(weight_min=0.5, weight_max=4.0))
+        snap = make_snapshot(queues=[make_queue(name="q", weight=1.0)])
+        reason = rail.check(
+            AdjustTenantWeight(queue="q", weight=8.0, reason="r"),
+            snap, 0.0,
+        )
+        assert reason is not None and "outside" in reason
+
+    def test_step_ratio_bounded(self, make_snapshot, make_queue):
+        rail = GuardRail(GuardConfig(max_weight_step=2.0, weight_max=32.0))
+        snap = make_snapshot(queues=[make_queue(name="q", weight=1.0)])
+        reason = rail.check(
+            AdjustTenantWeight(queue="q", weight=8.0, reason="r"),
+            snap, 0.0,
+        )
+        assert reason is not None and "max step" in reason
+        # The same target is fine from a closer starting weight.
+        snap = make_snapshot(queues=[make_queue(name="q", weight=4.0)])
+        assert rail.check(
+            AdjustTenantWeight(queue="q", weight=8.0, reason="r"),
+            snap, 0.0,
+        ) is None
+
+
+class TestAdmissionGuards:
+    def test_unbounding_is_not_guardable(self, make_snapshot):
+        rail = GuardRail()
+        reason = rail.check(
+            SetAdmissionLimit(queue="q", limit=None, reason="r"),
+            make_snapshot(), 0.0,
+        )
+        assert reason is not None
+
+    def test_range_enforced(self, make_snapshot):
+        rail = GuardRail(GuardConfig(admission_min=4, admission_max=64))
+        low = rail.check(
+            SetAdmissionLimit(queue="q", limit=2, reason="r"),
+            make_snapshot(), 0.0,
+        )
+        high = rail.check(
+            SetAdmissionLimit(queue="q", limit=128, reason="r"),
+            make_snapshot(), 0.0,
+        )
+        ok = rail.check(
+            SetAdmissionLimit(queue="q", limit=32, reason="r"),
+            make_snapshot(), 0.0,
+        )
+        assert low is not None and "admission_min" in low
+        assert high is not None and "admission_max" in high
+        assert ok is None
+
+
+class TestSwitchGuards:
+    def test_undeclared_model_fails_closed(self, make_snapshot):
+        rail = GuardRail()
+        reason = rail.check(
+            SwitchEngine(model="m", engine="tape",
+                         expected_fingerprint="abc", reason="r"),
+            make_snapshot(), 0.0,
+        )
+        assert reason is not None and "fail-closed" in reason
+
+    def test_fingerprint_mismatch_rejected(self, make_snapshot):
+        rail = GuardRail(GuardConfig(fingerprints={"m": "good"}))
+        reason = rail.check(
+            SwitchEngine(model="m", engine="tape",
+                         expected_fingerprint="evil", reason="r"),
+            make_snapshot(), 0.0,
+        )
+        assert reason is not None and "does not match" in reason
+
+    def test_matching_fingerprint_passes(self, make_snapshot):
+        rail = GuardRail(GuardConfig(fingerprints={"m": "good"}))
+        assert rail.check(
+            SwitchEngine(model="m", engine="tape",
+                         expected_fingerprint="good", reason="r"),
+            make_snapshot(), 0.0,
+        ) is None
+        assert rail.check(
+            SwitchBackend(model="m", backend="vector",
+                          expected_fingerprint="good", reason="r"),
+            make_snapshot(), 0.0,
+        ) is None
+
+    def test_invalid_engine_rejected(self, make_snapshot):
+        rail = GuardRail(GuardConfig(fingerprints={"m": "good"}))
+        reason = rail.check(
+            SwitchEngine(model="m", engine="jit",
+                         expected_fingerprint="good", reason="r"),
+            make_snapshot(), 0.0,
+        )
+        assert reason is not None and "invalid" in reason
+
+
+class TestCooldownAndFailClosed:
+    def test_cooldown_blocks_within_window_only(self, make_snapshot):
+        rail = GuardRail(GuardConfig(workers_max=8, cooldown_s=5.0))
+        snap = make_snapshot(live_workers=2)
+        up = ScaleWorkers(delta=1, reason="r")
+        assert rail.check(up, snap, 10.0) is None
+        rail.record_applied(up, 10.0)
+        blocked = rail.check(up, snap, 12.0)
+        assert blocked is not None and "cooldown" in blocked
+        assert rail.check(up, snap, 15.0) is None
+
+    def test_cooldown_is_per_kind(self, make_snapshot, make_queue):
+        rail = GuardRail(GuardConfig(cooldown_s=5.0))
+        snap = make_snapshot(
+            live_workers=2,
+            queues=[make_queue(name="q", weight=1.0)],
+        )
+        up = ScaleWorkers(delta=1, reason="r")
+        rail.record_applied(up, 0.0)
+        # A different kind is not gated by the scale cooldown.
+        assert rail.check(
+            AdjustTenantWeight(queue="q", weight=2.0, reason="r"),
+            snap, 1.0,
+        ) is None
+
+    def test_unknown_proposal_kind_fails_closed(self, make_snapshot):
+        class Mystery(Proposal):
+            kind = "mystery"
+
+            def log_fields(self):
+                return (self.kind,)
+
+        rail = GuardRail()
+        reason = rail.check(Mystery(reason="r"), make_snapshot(), 0.0)
+        assert reason is not None and "mystery" in reason

@@ -1,0 +1,218 @@
+"""Policy behavior: hysteresis, windowed signals, single-fire switches.
+
+Policies are pure functions of the snapshot sequence they have seen —
+each test drives one with hand-built snapshots and checks exactly when
+(and what) it proposes.
+"""
+
+import pytest
+
+from repro.control import (
+    AdmissionReliefPolicy,
+    AutoscalePolicy,
+    EngineDriftPolicy,
+    ScaleWorkers,
+    SwitchEngine,
+    WeightBalancePolicy,
+)
+from repro.errors import ValidationError
+
+
+class TestAutoscalePolicy:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AutoscalePolicy(slo_p99_ms=0)
+        with pytest.raises(ValidationError):
+            AutoscalePolicy(backlog_high=1.0, backlog_low=2.0)
+        with pytest.raises(ValidationError):
+            AutoscalePolicy(sustain_up=0)
+        with pytest.raises(ValidationError):
+            AutoscalePolicy(step=0)
+
+    def test_backlog_scale_up_needs_sustain(self, make_snapshot,
+                                            make_queue):
+        policy = AutoscalePolicy(backlog_high=4.0, sustain_up=2)
+        hot = make_snapshot(
+            live_workers=2,
+            queues=[make_queue(name="q", depth=10)],
+        )
+        assert policy.propose(hot) == []  # one tick is noise
+        proposals = policy.propose(hot)  # second consecutive tick fires
+        assert len(proposals) == 1
+        assert isinstance(proposals[0], ScaleWorkers)
+        assert proposals[0].delta == 1
+        assert "backlog" in proposals[0].reason
+        # The counter reset after proposing: no double-fire.
+        assert policy.propose(hot) == []
+
+    def test_noisy_tick_resets_sustain(self, make_snapshot, make_queue):
+        policy = AutoscalePolicy(backlog_high=4.0, sustain_up=2)
+        hot = make_snapshot(
+            live_workers=2, queues=[make_queue(name="q", depth=10)],
+        )
+        calm = make_snapshot(
+            live_workers=2, queues=[make_queue(name="q", depth=2)],
+        )
+        assert policy.propose(hot) == []
+        assert policy.propose(calm) == []
+        assert policy.propose(hot) == []  # streak restarted
+
+    def test_slo_gate_is_windowed_by_fresh_misses(self, make_snapshot,
+                                                  make_queue):
+        """Cumulative p99 above the SLO only counts while misses accrue.
+
+        After a burst the latency histogram keeps its historical tail
+        forever; without fresh deadline misses that must read as
+        healthy, not as chronic overload."""
+        policy = AutoscalePolicy(slo_p99_ms=100.0, sustain_up=1)
+        queues = [make_queue(name="q", depth=0)]
+        burst = make_snapshot(
+            live_workers=2, latency_p99_ms=250.0, deadline_misses=5,
+            queues=queues,
+        )
+        after = make_snapshot(
+            live_workers=2, latency_p99_ms=250.0, deadline_misses=9,
+            queues=queues,
+        )
+        calm = make_snapshot(
+            live_workers=2, latency_p99_ms=250.0, deadline_misses=9,
+            queues=queues,
+        )
+        assert policy.propose(burst) == []  # first tick has no window
+        up = policy.propose(after)  # misses accrued: live overload
+        assert len(up) == 1 and up[0].delta == 1
+        assert "slo" in up[0].reason
+        # Same elevated p99, but no new misses: not overload anymore.
+        assert policy.propose(calm) == []
+
+    def test_scale_down_needs_idle_and_quiet(self, make_snapshot,
+                                             make_queue):
+        policy = AutoscalePolicy(
+            backlog_low=0.5, sustain_down=2, slo_p99_ms=100.0,
+        )
+        idle = make_snapshot(
+            live_workers=3, free_workers=2, latency_p99_ms=250.0,
+            deadline_misses=7,
+            queues=[make_queue(name="q", depth=0)],
+        )
+        assert policy.propose(idle) == []
+        down = policy.propose(idle)
+        assert len(down) == 1 and down[0].delta == -1
+        # No idle head-room: never propose a scale-down.
+        busy = make_snapshot(
+            live_workers=3, free_workers=0, deadline_misses=7,
+            queues=[make_queue(name="q", depth=0)],
+        )
+        assert policy.propose(busy) == []
+        assert policy.propose(busy) == []
+
+
+class TestWeightBalancePolicy:
+    def test_boosts_sustained_hot_queue_only(self, make_snapshot,
+                                             make_queue):
+        policy = WeightBalancePolicy(imbalance=2.0, boost=2.0, sustain=2)
+        skewed = make_snapshot(queues=[
+            make_queue(name="cold", depth=1, weight=1.0),
+            make_queue(name="cool", depth=1, weight=1.0),
+            make_queue(name="hot", depth=20, weight=1.0),
+        ])
+        assert policy.propose(skewed) == []
+        proposals = policy.propose(skewed)
+        assert len(proposals) == 1
+        assert proposals[0].queue == "hot"
+        assert proposals[0].weight == 2.0
+
+    def test_balanced_queues_reset_streak(self, make_snapshot,
+                                          make_queue):
+        policy = WeightBalancePolicy(imbalance=2.0, sustain=2)
+        skewed = make_snapshot(queues=[
+            make_queue(name="a", depth=1), make_queue(name="b", depth=1),
+            make_queue(name="c", depth=20),
+        ])
+        even = make_snapshot(queues=[
+            make_queue(name="a", depth=5), make_queue(name="b", depth=5),
+            make_queue(name="c", depth=5),
+        ])
+        assert policy.propose(skewed) == []
+        assert policy.propose(even) == []
+        assert policy.propose(skewed) == []  # streak restarted
+
+    def test_capped_at_max_weight(self, make_snapshot, make_queue):
+        policy = WeightBalancePolicy(
+            imbalance=2.0, boost=2.0, sustain=1, max_weight=4.0,
+        )
+        at_cap = make_snapshot(queues=[
+            make_queue(name="cold", depth=0, weight=1.0),
+            make_queue(name="cool", depth=0, weight=1.0),
+            make_queue(name="hot", depth=20, weight=4.0),
+        ])
+        assert policy.propose(at_cap) == []  # no headroom: no proposal
+
+
+class TestAdmissionReliefPolicy:
+    def test_doubles_bound_of_rejecting_queue(self, make_snapshot,
+                                              make_queue):
+        policy = AdmissionReliefPolicy(max_limit=64)
+        before = make_snapshot(rejected=0, queues=[
+            make_queue(name="q", depth=16, limit=16),
+        ])
+        after = make_snapshot(rejected=5, completed=100, queues=[
+            make_queue(name="q", depth=16, limit=16),
+        ])
+        assert policy.propose(before) == []
+        proposals = policy.propose(after)
+        assert len(proposals) == 1
+        assert proposals[0].queue == "q" and proposals[0].limit == 32
+
+    def test_misses_veto_relief(self, make_snapshot, make_queue):
+        # Latency is the failure mode: admitting more would hurt.
+        policy = AdmissionReliefPolicy(miss_rate_ceiling=0.05)
+        queues = [make_queue(name="q", depth=16, limit=16)]
+        policy.propose(make_snapshot(rejected=0, queues=queues))
+        missing = make_snapshot(
+            rejected=5, completed=100, deadline_misses=20, queues=queues,
+        )
+        assert policy.propose(missing) == []
+
+    def test_unbounded_queues_skipped(self, make_snapshot, make_queue):
+        policy = AdmissionReliefPolicy()
+        queues = [make_queue(name="q", depth=50, limit=None)]
+        policy.propose(make_snapshot(rejected=0, queues=queues))
+        assert policy.propose(
+            make_snapshot(rejected=5, queues=queues)
+        ) == []
+
+
+class TestEngineDriftPolicy:
+    def test_switches_once_after_sustained_drift(self, make_snapshot,
+                                                 make_queue):
+        policy = EngineDriftPolicy(
+            watch={"m": (50.0, "plan", "fp")},
+            drift_factor=1.5, sustain=2,
+        )
+        drifted = make_snapshot(queues=[
+            make_queue(name="m", estimated_batch_ms=120.0),
+        ])
+        assert policy.propose(drifted) == []
+        proposals = policy.propose(drifted)
+        assert len(proposals) == 1
+        switch = proposals[0]
+        assert isinstance(switch, SwitchEngine)
+        assert switch.model == "m" and switch.engine == "plan"
+        assert switch.expected_fingerprint == "fp"
+        # Single-fire: the model left the watch list.
+        assert policy.propose(drifted) == []
+
+    def test_recovery_resets_streak(self, make_snapshot, make_queue):
+        policy = EngineDriftPolicy(
+            watch={"m": (50.0, "plan", "fp")}, sustain=2,
+        )
+        drifted = make_snapshot(queues=[
+            make_queue(name="m", estimated_batch_ms=120.0),
+        ])
+        fine = make_snapshot(queues=[
+            make_queue(name="m", estimated_batch_ms=55.0),
+        ])
+        assert policy.propose(drifted) == []
+        assert policy.propose(fine) == []
+        assert policy.propose(drifted) == []  # streak restarted

@@ -1,0 +1,145 @@
+"""The control plane over the real threaded service.
+
+Exercises the production actuation seams end to end: a Controller with
+scripted policies drives a live :class:`~repro.serve.CopseService`
+through worker scaling, weight/admission retunes, and an engine flip —
+and every query keeps decrypting to the oracle's bits throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    AdjustTenantWeight,
+    Controller,
+    GuardConfig,
+    GuardRail,
+    Policy,
+    ScaleWorkers,
+    ServicePlant,
+    SetAdmissionLimit,
+    SwitchEngine,
+)
+from repro.serve import CopseService
+
+
+def queries_for(forest, count, seed=21, precision=8):
+    rng = np.random.default_rng(seed)
+    limit = 1 << precision
+    return [
+        [int(v) for v in rng.integers(0, limit, forest.n_features)]
+        for _ in range(count)
+    ]
+
+
+class _Script(Policy):
+    """Emit a fixed proposal list once, then go quiet."""
+
+    name = "script"
+
+    def __init__(self, proposals):
+        self._pending = list(proposals)
+
+    def propose(self, snapshot):
+        out, self._pending = self._pending, []
+        return out
+
+
+class TestServicePlant:
+    def test_observe_reads_live_metrics(self, example_forest):
+        with CopseService(threads=2) as service:
+            service.register_model("m", example_forest, max_batch_size=4)
+            service.classify_many("m", queries_for(example_forest, 4))
+            snapshot = ServicePlant(service).observe(1.0)
+        assert snapshot.live_workers == 2
+        assert snapshot.submitted == 4
+        assert snapshot.completed == 4
+        assert [q.name for q in snapshot.queues] == ["m"]
+
+    def test_scripted_actuations_end_to_end(self, example_forest):
+        """Scale up, retune weight and admission, flip the engine — all
+        through the controller, with oracle-exact serving after each."""
+        with CopseService(threads=2, engine="eager") as service:
+            registered = service.register_model(
+                "m", example_forest, max_batch_size=4
+            )
+            fingerprint = registered.compiled.fingerprint()
+            plant = ServicePlant(service)
+            guards = GuardRail(GuardConfig(
+                workers_min=1, workers_max=4, cooldown_s=0.0,
+                fingerprints={"m": fingerprint},
+            ))
+            controller = Controller(
+                plant,
+                [_Script([
+                    ScaleWorkers(delta=1, reason="warm up"),
+                    AdjustTenantWeight(queue="m", weight=2.0,
+                                       reason="boost"),
+                    SetAdmissionLimit(queue="m", limit=64,
+                                      reason="bound"),
+                    SwitchEngine(model="m", engine="tape",
+                                 expected_fingerprint=fingerprint,
+                                 reason="flip"),
+                ])],
+                guards,
+            )
+            service.classify_many("m", queries_for(example_forest, 4))
+            controller.tick(0.0)
+            assert len(controller.applied()) == 4
+            assert controller.rejections() == []
+            assert service.workers == 3
+            assert service.registry.get("m").engine == "tape"
+
+            # Serving still decrypts to the oracle bits post-actuation.
+            results = service.classify_many(
+                "m", queries_for(example_forest, 5, seed=9)
+            )
+            assert all(r.oracle_ok for r in results)
+
+            # The next snapshot reflects the actuated state.
+            snapshot = plant.observe(1.0)
+            assert snapshot.live_workers == 3
+            assert snapshot.queue("m").weight == 2.0
+            assert snapshot.queue("m").limit == 64
+
+    def test_fingerprint_mismatch_never_reaches_the_registry(
+        self, example_forest
+    ):
+        with CopseService(threads=2, engine="eager") as service:
+            service.register_model("m", example_forest, max_batch_size=4)
+            guards = GuardRail(GuardConfig(
+                fingerprints={"m": "not-the-real-fingerprint"},
+            ))
+            controller = Controller(
+                ServicePlant(service),
+                [_Script([
+                    SwitchEngine(model="m", engine="tape",
+                                 expected_fingerprint="spoofed",
+                                 reason="attack"),
+                ])],
+                guards,
+            )
+            service.classify_many("m", queries_for(example_forest, 2))
+            controller.tick(0.0)
+            assert controller.applied() == []
+            rejection = controller.rejections()[0]
+            assert "does not match" in rejection[4]
+            assert service.registry.get("m").engine == "eager"
+
+    def test_scale_down_via_controller(self, example_forest):
+        with CopseService(threads=3) as service:
+            service.register_model("m", example_forest, max_batch_size=4)
+            service.classify_many("m", queries_for(example_forest, 2))
+            controller = Controller(
+                ServicePlant(service),
+                [_Script([ScaleWorkers(delta=-1, reason="idle")])],
+                GuardRail(GuardConfig(workers_min=1, workers_max=4)),
+            )
+            controller.tick(0.0)
+            assert len(controller.applied()) == 1
+            assert service.workers == 2
+            # Still serving after the retire.
+            results = service.classify_many(
+                "m", queries_for(example_forest, 3, seed=5)
+            )
+            assert all(r.oracle_ok for r in results)

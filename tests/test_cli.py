@@ -327,6 +327,88 @@ class TestServeScheduling:
         assert "oracle agreement: ok" in out
 
 
+class TestServeWorkers:
+    """``--workers`` edges: below-1 counts rejected by name, and a
+    1-worker cluster serves the same bits as the in-process service."""
+
+    def test_workers_zero_rejected(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and ">= 1" in err
+
+    def test_workers_negative_rejected(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--workers", "-3"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and ">= 1" in err
+
+    def test_workers_one_serves_via_cluster(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "4", "--workers", "1",
+             "--batch-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 worker processes" in out
+        assert "oracle agreement: ok" in out
+
+    def test_workers_one_bit_identical_to_in_process(self, model_file):
+        """The cluster transport must not change a single decrypted bit:
+        a 1-process pool and the threaded service agree query for query."""
+        import numpy as np
+
+        from repro.serve import ClusterService, CopseService
+
+        _, forest = model_file
+        rng = np.random.default_rng(99)
+        queries = [
+            [int(v) for v in rng.integers(0, 256, forest.n_features)]
+            for _ in range(5)
+        ]
+        with CopseService(threads=1) as service:
+            service.register_model("m", forest, precision=8,
+                                   max_batch_size=4)
+            in_process = [
+                r.bitvector
+                for r in service.classify_many("m", queries)
+            ]
+        with ClusterService(workers=1) as service:
+            service.register_model("m", forest, precision=8,
+                                   max_batch_size=4)
+            clustered = [
+                r.bitvector
+                for r in service.classify_many("m", queries)
+            ]
+        assert clustered == in_process
+
+    def test_autoscale_flag_validation(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--autoscale", "--workers-min", "0"]
+        ) == 2
+        assert "--workers-min" in capsys.readouterr().err
+        assert main(
+            ["serve", path, "--autoscale", "--workers-min", "4",
+             "--workers-max", "2"]
+        ) == 2
+        assert "--workers-max" in capsys.readouterr().err
+        assert main(
+            ["serve", path, "--autoscale", "--control-interval", "0"]
+        ) == 2
+        assert "--control-interval" in capsys.readouterr().err
+
+    def test_autoscale_prints_decision_log(self, model_file, capsys):
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "4", "--autoscale",
+             "--workers-max", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "control plane:" in out
+        assert "oracle agreement: ok" in out
+
+
 class TestBackendFlag:
     """``--backend`` rides the shared parent parser on every inference
     command (classify / batch-classify / serve / bench)."""
