@@ -885,6 +885,134 @@ def tape_speedup(
 
 
 # ---------------------------------------------------------------------------
+# Megakernel speedup: zero-dispatch executor vs the compiled-tape engine
+# ---------------------------------------------------------------------------
+
+
+def megakernel_speedup(
+    workload_name: str = "width78",
+    repeats: int = 5,
+    backend: str = "vector",
+) -> Table:
+    """Wall-clock of the megakernel engine vs the compiled-tape engine
+    on the batched serve pipeline (the ISSUE 9 acceptance artifact).
+
+    One full-capacity batch of ``workload_name`` queries is evaluated
+    end to end — per-batch context, cached-model adoption, batch
+    encryption, engine execution, decryption — under ``backend``
+    (default ``vector``, the only backend granting the megakernel
+    capability).  Two rows:
+
+    * ``tape`` — the compiled tape: linearized instructions, scheduled
+      rotations, register reuse, fused kernels, but one Python dispatch
+      per instruction;
+    * ``megakernel`` — the same tape compiled once more into vectorized
+      segments over a preallocated register plane: mega-gathers, stacked
+      mask/operand planes, ``xor.reduceat`` combines, and *no*
+      per-instruction Python dispatch.  Tracker bookkeeping is captured
+      on a scratch context the first time each input signature appears
+      and replayed in bulk thereafter.
+
+    Each row is the best of ``repeats`` runs after a warm run (which,
+    for the megakernel, is the capture run — serve batches after the
+    first hit the cached book, exactly the steady state the serve loop
+    lives in).  Decrypted bitvectors are checked against the plaintext
+    oracle *and* against each other, so the table doubles as a
+    bit-identity witness; op counts come from the tracker and must
+    match between rows.
+    """
+    import time
+
+    from repro.errors import ValidationError
+    from repro.fhe.context import FheContext
+    from repro.serve.batched_runtime import BatchedCopseServer, encrypt_batch
+    from repro.serve.packing import demux_bitvectors
+    from repro.serve.registry import ModelRegistry
+
+    if repeats < 1:
+        raise ValidationError(
+            f"megakernel_speedup needs at least one repeat, got {repeats}"
+        )
+    workload = _workloads([workload_name])[0]
+    compiled = workload.compiled
+    params = EncryptionParams.paper_defaults()
+    registered = ModelRegistry().register(
+        f"megakernel-bench-{workload_name}", compiled, params=params,
+        backend=backend, engine="megakernel",
+    )
+    layout = registered.layout
+    queries = workload.query_features(layout.capacity)
+    oracle = [workload.forest.label_bitvector(f) for f in queries]
+
+    modes = (
+        ("tape", "tape", registered.tape, None, "tape_inference"),
+        ("megakernel", "megakernel", None, registered.megakernel,
+         "megakernel_inference"),
+    )
+    results = {}
+    counts = {}
+    for label, engine, tape, kernel, phase in modes:
+        bits_ok = True
+
+        def run_batch():
+            nonlocal bits_ok
+            ctx = FheContext(params, backend=backend)
+            server = BatchedCopseServer(
+                ctx, engine=engine, tape=tape, megakernel=kernel
+            )
+            query = encrypt_batch(ctx, layout, queries, registered.keys)
+            encrypted = server.classify_batch(
+                registered.batched_model, query
+            )
+            bits = ctx.decrypt_bits(encrypted, registered.keys.secret)
+            demuxed = demux_bitvectors(layout, bits, len(queries))
+            bits_ok = bits_ok and demuxed == oracle
+            counts[label] = {
+                kind.name: n
+                for kind, n in
+                ctx.tracker.phase_stats(phase).counts.items()
+                if n
+            }
+
+        run_batch()  # warm caches (and the megakernel's capture run)
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_batch()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        results[label] = (best * 1000.0 / len(queries), bits_ok)
+
+    table = Table(
+        title=(
+            f"Megakernel speedup — {workload_name} batched serve "
+            f"({len(queries)}-query batches, {backend} backend, "
+            f"best of {repeats})"
+        ),
+        columns=["engine", "wall_ms_per_query", "speedup", "oracle"],
+    )
+    tape_ms = results["tape"][0]
+    for label, (ms, ok) in results.items():
+        table.add_row(
+            label,
+            ms,
+            tape_ms / ms if ms > 0 else float("inf"),
+            "ok" if ok else "MISMATCH",
+        )
+    kernel = registered.megakernel
+    counts_ok = counts.get("tape") == counts.get("megakernel")
+    table.add_note(
+        f"megakernel vs tape: "
+        f"{tape_ms / results['megakernel'][0]:.2f}x wall-clock "
+        f"(target >= 2x); op counts "
+        f"{'identical' if counts_ok else 'DIVERGED'}; "
+        f"{kernel.describe()}"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
 # Tracing overhead: the observability layer's zero-cost contract
 # ---------------------------------------------------------------------------
 

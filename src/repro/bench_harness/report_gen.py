@@ -38,7 +38,7 @@ REPORT_PATH = "benchmark_report.txt"
 #: changes what the trajectory records (new sections, new profile
 #: fields) so successive ``BENCH_<n>.json`` files remain comparable
 #: within an index and the trajectory across PRs stays append-only.
-BENCH_INDEX = 8
+BENCH_INDEX = 9
 BENCH_JSON_PATH = f"BENCH_{BENCH_INDEX}.json"
 BENCH_SCHEMA = 1
 #: The consolidated cross-PR trajectory artifact (see
@@ -61,6 +61,7 @@ SECTION_KEYS = (
     "throughput",
     "plan-speedup",
     "tape-speedup",
+    "megakernel-speedup",
     "backend-speedup",
     "soak",
     "trace-overhead",
@@ -118,6 +119,12 @@ def build_section(key: str, quick: bool) -> List[Table]:
     if key == "tape-speedup":
         return [
             experiments.tape_speedup(
+                workload_name="width78", repeats=3 if quick else 5
+            )
+        ]
+    if key == "megakernel-speedup":
+        return [
+            experiments.megakernel_speedup(
                 workload_name="width78", repeats=3 if quick else 5
             )
         ]
@@ -211,6 +218,24 @@ def engine_profiles(workload_name: str = "width78") -> List[Dict]:
             record.update(extra)
         records.append(record)
 
+    from repro.ir.megakernel import compile_megakernel
+
+    def megakernel_record(shape, tape):
+        kernel = compile_megakernel(tape)
+        profile_record(
+            shape, "megakernel", kernel.profile,
+            {
+                "peak_live": kernel.peak_live,
+                "slots": kernel.num_slots,
+                "instructions": kernel.num_instructions,
+                "segments": kernel.num_segments,
+                "steps": kernel.num_blocks,
+                "register_rows": kernel.num_rows,
+                "live_rows": kernel.data_rows,
+                "supported": kernel.supported,
+            },
+        )
+
     single = lower_inference(compiled)
     profile_record("single", "plan", single.optimized)
     single_tape = single.compile_tape()
@@ -222,6 +247,7 @@ def engine_profiles(workload_name: str = "width78") -> List[Dict]:
             "instructions": single_tape.num_instructions,
         },
     )
+    megakernel_record("single", single_tape)
     batched = lower_batched_inference(compiled, layout)
     profile_record("batched", "plan", batched.optimized)
     batched_tape = batched.compile_tape()
@@ -233,6 +259,7 @@ def engine_profiles(workload_name: str = "width78") -> List[Dict]:
             "instructions": batched_tape.num_instructions,
         },
     )
+    megakernel_record("batched", batched_tape)
     return records
 
 

@@ -12,6 +12,7 @@ evaluation harness::
     python -m repro bench fig6 --workloads depth4,width78
     python -m repro bench plan-speedup         # eager vs plan engine
     python -m repro bench tape-speedup         # plan vs compiled-tape engine
+    python -m repro bench megakernel-speedup   # tape vs megakernel engine
     python -m repro bench report               # regenerate benchmark_report.txt + BENCH_<n>.json
     python -m repro bench backend-speedup      # wall-clock per FHE backend
     python -m repro bench soak                 # simulated load vs deadlines
@@ -70,7 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_opts = argparse.ArgumentParser(add_help=False, parents=[backend_opts])
     run_opts.add_argument(
-        "--engine", choices=["eager", "plan", "tape"], default=None,
+        "--engine",
+        choices=["eager", "plan", "tape", "megakernel"],
+        default=None,
         help="execution path: the eager Algorithm 1 interpreter, the "
         "optimized IR inference plan, or the compiled tape (linearized "
         "plan with register reuse and fused kernels; default: eager for "
@@ -253,7 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig6", "fig7", "fig8", "fig9", "fig10",
             "table1", "table2", "table6", "throughput", "plan-speedup",
-            "tape-speedup", "backend-speedup", "soak", "cluster-speedup",
+            "tape-speedup", "megakernel-speedup", "backend-speedup",
+            "soak", "cluster-speedup",
             "autoscale", "trajectory", "report",
         ],
     )
@@ -517,9 +521,12 @@ def _cmd_serve(args) -> int:
                 ClusterPlant(service) if clustered
                 else ServicePlant(service)
             )
+            autoscale_policy = AutoscalePolicy(
+                slo_p99_ms=args.deadline_ms
+            )
             controller = Controller(
                 plant,
-                [AutoscalePolicy(slo_p99_ms=args.deadline_ms)],
+                [autoscale_policy],
                 GuardRail(GuardConfig(
                     workers_min=args.workers_min,
                     workers_max=args.workers_max,
@@ -549,7 +556,31 @@ def _cmd_serve(args) -> int:
                     controller.tick(now)
                     last_tick = now
         service.flush("cli")
-        results = [f.result() for f in futures]
+        results = []
+        for f in futures:
+            results.append(f.result())
+            if controller is not None:
+                import time as _time
+
+                now = _time.monotonic()
+                if now - last_tick >= args.control_interval:
+                    controller.tick(now)
+                    last_tick = now
+        if controller is not None:
+            # The drained system is the half of the story the policy
+            # could never see from inside the submit loop: once load
+            # ends, no further submissions means no further ticks, so
+            # the sustain-down counter could never reach its threshold
+            # and the pool stayed scaled up forever.  A bounded run of
+            # post-drain ticks lets the policy observe the idle plant
+            # long enough to propose (and the guard rail to actuate) a
+            # scale-down before the report prints.
+            import time as _time
+
+            for _ in range(autoscale_policy.sustain_down + 1):
+                now = _time.monotonic()
+                controller.tick(now)
+                last_tick = now
         if interval is not None:
             emit_snapshot()
         stats = service.stats()
@@ -651,6 +682,12 @@ def _cmd_bench_inner(args) -> int:
     if args.artifact == "tape-speedup":
         workload = names[0] if names else "width78"
         print(experiments.tape_speedup(workload_name=workload).render())
+        return 0
+    if args.artifact == "megakernel-speedup":
+        workload = names[0] if names else "width78"
+        print(
+            experiments.megakernel_speedup(workload_name=workload).render()
+        )
         return 0
     if args.artifact == "cluster-speedup":
         workload = names[0] if names else "width78"

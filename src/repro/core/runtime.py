@@ -54,6 +54,10 @@ PHASE_PLAN = "plan_inference"
 #: execution tier of :mod:`repro.ir.tape`), mirroring ``plan_inference``.
 PHASE_TAPE = "tape_inference"
 
+#: Phase recorded by the megakernel engine (the zero-dispatch compiled
+#: tier of :mod:`repro.ir.megakernel`), mirroring ``tape_inference``.
+PHASE_MEGAKERNEL = "megakernel_inference"
+
 INFERENCE_PHASES = (
     PHASE_COMPARISON,
     PHASE_BOOTSTRAP,
@@ -68,11 +72,16 @@ INFERENCE_PHASES = (
 #: ``tape`` executes the plan's compiled
 #: :class:`~repro.ir.tape.CompiledTape` — linearized instructions with
 #: register reuse, scheduled rotations, and fused kernels (the serve
-#: default).
+#: default); ``megakernel`` executes the tape's
+#: :class:`~repro.ir.megakernel.MegaKernel` compilation — the whole
+#: instruction stream as precomputed gather/mask planes with no
+#: per-instruction Python dispatch, falling back to the tape loop on
+#: backends without the ``megakernel_ops`` capability.
 ENGINE_EAGER = "eager"
 ENGINE_PLAN = "plan"
 ENGINE_TAPE = "tape"
-ENGINES = (ENGINE_EAGER, ENGINE_PLAN, ENGINE_TAPE)
+ENGINE_MEGAKERNEL = "megakernel"
+ENGINES = (ENGINE_EAGER, ENGINE_PLAN, ENGINE_TAPE, ENGINE_MEGAKERNEL)
 
 
 @dataclass(frozen=True)
@@ -312,7 +321,11 @@ class CopseServer:
     ``plan_inference`` phase.  ``engine="tape"`` executes the plan's
     compiled :class:`~repro.ir.tape.CompiledTape` (linearized, register
     reused, rotation-scheduled) under ``tape_inference`` — same bits,
-    strictly fewer rotations again.
+    strictly fewer rotations again.  ``engine="megakernel"`` executes
+    the tape's :class:`~repro.ir.megakernel.MegaKernel` compilation
+    under ``megakernel_inference`` — no per-instruction Python
+    dispatch on capable backends, the tape loop elsewhere, same bits
+    and counts everywhere.
     """
 
     def __init__(
@@ -323,16 +336,17 @@ class CopseServer:
         engine: str = ENGINE_EAGER,
         plan=None,
         tape=None,
+        megakernel=None,
     ):
         if engine not in ENGINES:
             raise RuntimeProtocolError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
-        if engine in (ENGINE_PLAN, ENGINE_TAPE) and auto_bootstrap:
+        if engine != ENGINE_EAGER and auto_bootstrap:
             raise RuntimeProtocolError(
-                "the plan/tape engines have no bootstrap node; use "
-                "engine='eager' with auto_bootstrap, or parameters deep "
-                "enough to avoid it"
+                "the plan/tape/megakernel engines have no bootstrap node; "
+                "use engine='eager' with auto_bootstrap, or parameters "
+                "deep enough to avoid it"
             )
         self.ctx = ctx
         self.seccomp_variant = seccomp_variant
@@ -340,6 +354,7 @@ class CopseServer:
         self.engine = engine
         self.plan = plan
         self.tape = tape
+        self.megakernel = megakernel
 
     def classify(self, model: EncryptedModel, query: EncryptedQuery) -> Ciphertext:
         """Run Algorithm 1: compare, reshuffle, process levels, accumulate."""
@@ -359,6 +374,8 @@ class CopseServer:
             return self._classify_plan(model, query)
         if self.engine == ENGINE_TAPE:
             return self._classify_tape(model, query)
+        if self.engine == ENGINE_MEGAKERNEL:
+            return self._classify_megakernel(model, query)
 
         with ctx.tracker.phase(PHASE_COMPARISON):
             not_one = None
@@ -457,6 +474,31 @@ class CopseServer:
             )
         return tape.run(self.ctx, model, query)
 
+    def _classify_megakernel(
+        self, model: EncryptedModel, query: EncryptedQuery
+    ) -> Ciphertext:
+        """Execute the cached single-query megakernel."""
+        kernel = self.megakernel
+        if kernel is None:
+            raise RuntimeProtocolError(
+                "engine='megakernel' needs a MegaKernel; compile one with "
+                "repro.ir.megakernel.compile_megakernel over a "
+                "InferencePlan.compile_tape tape (or call "
+                "secure_inference(engine='megakernel'), which does)"
+            )
+        if kernel.batched:
+            raise RuntimeProtocolError(
+                "a batched megakernel cannot serve the single-query "
+                "server; compile from a lower_inference plan instead"
+            )
+        if kernel.variant != self.seccomp_variant:
+            raise RuntimeProtocolError(
+                f"megakernel was compiled with SecComp variant "
+                f"{kernel.variant!r} but the server runs "
+                f"{self.seccomp_variant!r}"
+            )
+        return kernel.run(self.ctx, model, query)
+
     def _process_levels(
         self, model: EncryptedModel, branches: Vector
     ) -> List[Vector]:
@@ -523,6 +565,7 @@ def secure_inference(
     engine: str = ENGINE_EAGER,
     plan=None,
     tape=None,
+    megakernel=None,
     backend: Optional[str] = None,
 ) -> SecureInferenceOutcome:
     """Run one full secure inference end to end.
@@ -537,7 +580,10 @@ def secure_inference(
     amortize the lowering across queries); ``engine="tape"`` additionally
     compiles the plan into a :class:`~repro.ir.tape.CompiledTape`
     (rotation-scheduled, register-reused, fused) — pass a prebuilt
-    ``tape`` to amortize compilation.  ``backend`` selects the FHE
+    ``tape`` to amortize compilation; ``engine="megakernel"`` compiles
+    that tape once more into a zero-dispatch
+    :class:`~repro.ir.megakernel.MegaKernel` (pass a prebuilt
+    ``megakernel`` to amortize).  ``backend`` selects the FHE
     backend the context is built on (a registered name from
     :func:`repro.fhe.available_backends`; default ``$REPRO_BACKEND`` or
     ``"reference"``) — ignored when an explicit ``ctx`` is supplied,
@@ -557,10 +603,10 @@ def secure_inference(
     if keys is None:
         keys = ctx.keygen()
 
-    needs_plan = (
-        engine == ENGINE_PLAN
-        or (engine == ENGINE_TAPE and tape is None)
-    )
+    needs_tape = (
+        engine == ENGINE_TAPE and tape is None
+    ) or (engine == ENGINE_MEGAKERNEL and megakernel is None and tape is None)
+    needs_plan = engine == ENGINE_PLAN or needs_tape
     if needs_plan and plan is None:
         # Imported lazily: repro.ir.plan stages through this module.
         from repro.ir.plan import lower_inference
@@ -568,8 +614,12 @@ def secure_inference(
         plan = lower_inference(
             compiled, encrypted_model=encrypted_model, variant=seccomp_variant
         )
-    if engine == ENGINE_TAPE and tape is None:
+    if needs_tape:
         tape = plan.compile_tape()
+    if engine == ENGINE_MEGAKERNEL and megakernel is None:
+        from repro.ir.megakernel import compile_megakernel
+
+        megakernel = compile_megakernel(tape)
 
     maurice = ModelOwner(compiled)
     diane = DataOwner(maurice.query_spec(), keys)
@@ -580,6 +630,7 @@ def secure_inference(
         engine=engine,
         plan=plan,
         tape=tape,
+        megakernel=megakernel,
     )
 
     if encrypted_model:

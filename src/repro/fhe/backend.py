@@ -146,6 +146,27 @@ class FheBackend(Protocol):
     # vector backend implements it
     # (:class:`~repro.fhe.vector.VectorFusedOps`); the reference and
     # plaintext backends leave it ``None`` and take the de-fused path.
+    #
+    # ``megakernel_ops`` is the second optional capability, discovered
+    # the same way (``getattr(ctx, "megakernel_ops", None)``) by the
+    # whole-tape megakernel of :mod:`repro.ir.megakernel`.  A non-None
+    # value must expose ``scratch_context() -> ctx`` returning a fresh
+    # context of the same backend class and parameters (fresh tracker),
+    # on which the megakernel runs the tape loop once per input
+    # signature to capture bulk bookkeeping.  Backends leaving it
+    # ``None`` make ``engine="megakernel"`` run the tape loop directly —
+    # same bits, same counts, only the dispatch cost differs.
+    #
+    # ``adopt_many`` is the third optional capability, discovered by the
+    # serve layer's per-batch model adoption
+    # (``getattr(ctx, "adopt_many", None)``).  A non-None value must
+    # accept a sequence of mixed plain/cipher vectors and behave exactly
+    # like adopting each ciphertext in order (plain vectors pass
+    # through): identical ``LOAD`` count deltas — including partial
+    # counts before a width refusal — identical node ids, identical
+    # error types.  The vector backend implements it with one bulk
+    # tracker record per list; backends without it are adopted one
+    # ciphertext at a time.
 
 
 def fold_balanced(items, combine):

@@ -65,7 +65,10 @@ class FheContext:
     #: reference backend executes compiled tapes de-fused, one recorded
     #: primitive at a time, so its DAG tracker and noise states stay the
     #: per-operation fidelity baseline the fused backends are held to.
+    #: The whole-tape megakernel capability is declined for the same
+    #: reason — a megakernel engine on this backend runs the tape loop.
     fused_ops = None
+    megakernel_ops = None
 
     def __new__(
         cls,

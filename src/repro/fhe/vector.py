@@ -171,6 +171,54 @@ class VectorFheContext(FheContext):
             ct._slots[: ct._length], ct._length, ct._key_id, ct._noise, node_id
         )
 
+    def adopt_many(self, vectors):
+        """Bulk :meth:`adopt`: one tracker call for a whole model load.
+
+        The serve path re-registers ~a hundred cached model planes into
+        a fresh per-batch context; one :meth:`adopt` at a time pays a
+        Python round-trip per ciphertext for bookkeeping this backend
+        can predict outright — a ``CountingTracker``'s node ids are
+        depths, and a ``LOAD`` leaf's depth is always 0.  Observable
+        semantics match ``[adopt(v) for v in vectors]`` exactly: the
+        same ``LOAD`` count deltas (on the error path too — loads up to
+        the offending ciphertext land, then the same width refusal),
+        the same node ids, the same shared-payload immutability.  A
+        plane whose wrapper already carries node id 0 and an
+        exact-length payload needs no re-wrap at all and is returned as
+        is.  Plain vectors pass through untouched, mirroring the serve
+        loop's treatment; a context fitted with a foreign tracker falls
+        back to per-ciphertext adoption.
+        """
+        if type(self.tracker) is not CountingTracker:
+            return [
+                self.adopt(v) if isinstance(v, Ciphertext) else v
+                for v in vectors
+            ]
+        supports = self.params.supports_width
+        make = Ciphertext._make
+        record_fused = self.tracker.record_fused
+        out = []
+        append = out.append
+        loads = 0
+        for v in vectors:
+            if not isinstance(v, Ciphertext):
+                append(v)
+                continue
+            length = v._length
+            if not supports(length):
+                if loads:
+                    record_fused({OpKind.LOAD: loads})
+                self._check_width(length)  # raises the canonical error
+            loads += 1
+            slots = v._slots
+            if v._node_id == 0 and slots.shape[0] == length:
+                append(v)
+            else:
+                append(make(slots[:length], length, v._key_id, v._noise, 0))
+        if loads:
+            record_fused({OpKind.LOAD: loads})
+        return out
+
     def _check_pair(self, a: Ciphertext, b: Ciphertext) -> None:
         if a._key_id != b._key_id or a._length != b._length:
             self._check_compatible(a, b)  # raises with the full message
@@ -275,6 +323,23 @@ class VectorFheContext(FheContext):
         ops = self.__dict__.get("_fused_ops")
         if ops is None:
             ops = self.__dict__["_fused_ops"] = VectorFusedOps(self)
+        return ops
+
+    @property
+    def megakernel_ops(self):
+        """The whole-tape megakernel capability (see :mod:`repro.fhe.backend`).
+
+        Gated like :attr:`fused_ops`, and for the same reason: the
+        megakernel records an entire tape's bookkeeping in one
+        :meth:`~repro.fhe.tracker.CountingTracker.record_fused` call,
+        which a DAG tracker cannot represent — a caller-supplied full
+        tracker gets the (bit-identical) tape loop instead.
+        """
+        if type(self.tracker) is not CountingTracker:
+            return None
+        ops = self.__dict__.get("_megakernel_ops")
+        if ops is None:
+            ops = self.__dict__["_megakernel_ops"] = VectorMegakernelOps(self)
         return ops
 
 
@@ -418,6 +483,29 @@ class VectorFusedOps:
         return Ciphertext._make(acc, n, key_id, noise, node_id)
 
 
+class VectorMegakernelOps:
+    """Whole-tape megakernel support for the vector backend.
+
+    The megakernel (:mod:`repro.ir.megakernel`) needs exactly one thing
+    from the backend it cannot get through the arithmetic protocol: a
+    **scratch context** — same backend class, same parameters, fresh
+    tracker — on which it runs the tape loop once per input signature
+    to capture op counts, depth, and output noise/key metadata.  The
+    capture is faithful precisely because the scratch context *is* this
+    backend: the same flyweight noise combinators, the same capacity
+    checks, the same fused kernels.
+    """
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: "VectorFheContext"):
+        self._ctx = ctx
+
+    def scratch_context(self) -> "VectorFheContext":
+        """A fresh same-backend, same-params context for bookkeeping capture."""
+        return type(self._ctx)(self._ctx.params)
+
+
 class _UncheckedNoiseModel(NoiseModel):
     """A noise model whose budget can never be exhausted (debugging)."""
 
@@ -445,8 +533,10 @@ class PlaintextFheContext(VectorFheContext):
     noise_fidelity = "none"
     #: The debug backend runs tapes de-fused (per-op, like reference):
     #: when chasing a miscompile you want one simulated op per primitive,
-    #: not batched kernels hiding the step that went wrong.
+    #: not batched kernels hiding the step that went wrong.  The same
+    #: holds a fortiori for the whole-tape megakernel.
     fused_ops = None
+    megakernel_ops = None
 
     def __init__(
         self,

@@ -17,11 +17,32 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import CompileError, RuntimeProtocolError
+from repro.errors import CompileError, RuntimeProtocolError, ValidationError
 from repro.fhe.backend import FheBackend
 from repro.fhe.ciphertext import Ciphertext, PlainVector
 from repro.fhe.context import Vector
 from repro.ir.nodes import IrGraph, IrOp
+
+
+def tile_plain_extend(arr: np.ndarray, length: int, source: str) -> np.ndarray:
+    """Cyclically tile a plaintext bit array out to ``length`` slots.
+
+    The one shared EXTEND-tiling kernel for every engine — the graph
+    executor, the compiled tape, and the megakernel all call this, so a
+    degenerate operand fails identically everywhere.  A zero-length
+    plain operand has no cyclic extension (the ceil-division tiling
+    would divide by zero), so it raises
+    :class:`~repro.errors.ValidationError` naming the input and its
+    width instead of leaking a bare ``ZeroDivisionError``.
+    """
+    if arr.size == 0:
+        raise ValidationError(
+            f"cannot EXTEND {source} to {length} slots: the plain "
+            f"operand has width 0, and a zero-length vector has no "
+            f"cyclic extension"
+        )
+    reps = -(-length // arr.size)
+    return np.tile(arr, reps)[:length]
 
 
 def execute(
@@ -113,10 +134,11 @@ def _run(graph: IrGraph, ctx: FheBackend, bindings) -> Dict[str, Vector]:
             if isinstance(source, Ciphertext):
                 values[node.node_id] = ctx.cyclic_extend(source, node.attr[0])
             else:
-                arr = source.to_array()
-                reps = -(-node.attr[0] // arr.size)
                 values[node.node_id] = PlainVector(
-                    np.tile(arr, reps)[: node.attr[0]]
+                    tile_plain_extend(
+                        source.to_array(), node.attr[0],
+                        f"IR node {node.args[0]}",
+                    )
                 )
         elif node.op is IrOp.TRUNCATE:
             source = values[node.args[0]]
@@ -200,9 +222,12 @@ def _run_profiled(
             if isinstance(source, Ciphertext):
                 value = ctx.cyclic_extend(source, node.attr[0])
             else:
-                arr = source.to_array()
-                reps = -(-node.attr[0] // arr.size)
-                value = PlainVector(np.tile(arr, reps)[: node.attr[0]])
+                value = PlainVector(
+                    tile_plain_extend(
+                        source.to_array(), node.attr[0],
+                        f"IR node {node.args[0]}",
+                    )
+                )
         elif node.op is IrOp.TRUNCATE:
             source = values[node.args[0]]
             if isinstance(source, Ciphertext):

@@ -1,0 +1,1230 @@
+"""Megakernel execution: a compiled tape with zero per-instruction dispatch.
+
+The compiled tape of :mod:`repro.ir.tape` already removed the per-node
+graph walk, but its hot loop still pays one Python ``if/elif`` dispatch
+per instruction — measured at roughly a microsecond each, a third of a
+batched plan+vector evaluation.  A :class:`MegaKernel` compiles the tape
+one level further, into a **single callable with no per-instruction
+Python dispatch**:
+
+* **one preallocated register plane** — values live as rows of a single
+  ``(rows, lanes)`` ``uint8`` ndarray sized by a liveness pass: the
+  instruction stream is rewritten into SSA values, scheduled by
+  dependency level, and a linear-scan allocator reuses rows the moment
+  their last reader has run, so ``rows`` tracks the peak number of
+  simultaneously live values (plus a deduplicated constant pool and an
+  all-ones row), not the instruction count.  The plane and the step
+  scratch buffers persist across runs per thread — steady-state
+  execution allocates nothing;
+* **segment grammar** — SSA scheduling collapses the stream into one
+  *segment* per dependency level, far fewer than the tape's hazard
+  breaks allow (register reuse in the tape forces a new segment at every
+  write-after-read).  Every instruction lowers to gather **terms**
+  ``rot(src, amount) [& operand]``: adds contribute two bare terms,
+  constant adds and multiplies read a constant-pool row, Halevi-Shoup
+  products pair source and operand rows, and rotations / cyclic extends
+  fold into precomputed fancy indices (``(lane + amount) % width``).  A
+  level executes as a handful of *steps*: one small element-gather for
+  the rotated terms, then per ``(width, terms-per-instruction)`` block
+  one bulk row-gather, one AND against the stacked operand rows, and
+  one ``bitwise_xor.reduce`` over the term axis — single-instruction
+  levels compile to a single in-place ufunc call on row views;
+* **bulk bookkeeping** — noise states, tracker op counts,
+  multiplicative depth, and noise-*failure* points do not depend on
+  slot data, only on input metadata (key partition, noise states, node
+  ids, widths).  The kernel therefore runs the tape loop **once per
+  input signature** on a scratch context of the same backend class,
+  harvests the per-op counts, depth, and output noise/key/node-id
+  metadata — or the exact exception the tape raised — and replays them
+  on every subsequent run via one
+  :meth:`~repro.fhe.tracker.CountingTracker.record_fused` call.  Bits,
+  simulated cost, op counts, and failure points are byte-identical to
+  the tape by construction: the bookkeeping *is* the tape's, recorded
+  in bulk.  Key ids are canonicalized in the signature (serve mints
+  fresh keys per batch; only the partition affects behavior), so the
+  capture cost amortizes across a whole serve session.
+
+The megakernel is an **optional backend capability**, discovered like
+``fused_ops``: ``getattr(ctx, "megakernel_ops", None)``.  The vector
+backend implements it (scratch-context minting, gated on its native
+:class:`~repro.fhe.tracker.CountingTracker`); the reference and
+plaintext backends leave it ``None`` and the kernel transparently falls
+back to the tape loop — as it also does under a profiler (per-
+instruction attribution needs per-instruction execution) and for the
+rare tape shapes the gather grammar does not cover.  Either path runs
+under the caller's phase, so engine-labelled serve stats hold on every
+backend.
+
+A kernel carries its tape's model fingerprint and performs the same
+fail-closed bind check through
+:func:`~repro.ir.plan.bind_model_query`; pickling (cluster
+``ShippedModel`` shipment) ships only the tape — the compiled gather
+planes, the bookkeeping cache, and the per-thread register planes
+rebuild lazily on first worker-side execution, mirroring
+:class:`~repro.ir.tape.FusedSpec`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RuntimeProtocolError
+from repro.fhe.ciphertext import Ciphertext, PlainVector
+from repro.ir.nodes import IrOp
+from repro.ir.tape import (
+    OP_ADD,
+    OP_ANY,
+    OP_CADD,
+    OP_CMUL,
+    OP_EXT,
+    OP_FUSED,
+    OP_MUL,
+    OP_ROT,
+    OP_TRUNC,
+    CompiledTape,
+)
+
+__all__ = ["MegaKernel", "compile_megakernel"]
+
+
+class _Book:
+    """Cached bookkeeping of one tape run for one input signature.
+
+    ``outputs`` maps output names to metadata tuples —
+    ``("c", canonical_key, noise, node_id, length)`` for ciphertexts
+    (the canonical key index resolves against the *current* bindings'
+    key list at replay) or ``("p", length)`` for plain results.
+    ``error`` caches the exact exception the tape raised, with the op
+    counts recorded up to the failure point in ``counts``; replay lands
+    the partial counts first and then re-raises, so the tracker state
+    matches a live failure byte for byte.
+    """
+
+    __slots__ = ("counts", "depth", "outputs", "error")
+
+    def __init__(self, counts, depth, outputs, error):
+        self.counts = counts
+        self.depth = depth
+        self.outputs = outputs
+        self.error = error
+
+
+class _Term:
+    """One gather term during compilation (pre-materialization).
+
+    ``src`` and ``operand`` are SSA value ids; ``operand`` is ``None``
+    for bare XOR terms.  ``amount`` is the left-rotation folded into
+    the term's read.
+    """
+
+    __slots__ = ("src", "amount", "operand")
+
+    def __init__(self, src, amount, operand=None):
+        self.src = src
+        self.amount = amount
+        self.operand = operand
+
+
+class _Instr:
+    """One lowered instruction: ``value = XOR_t rot(src_t) [& op_t]``."""
+
+    __slots__ = ("value", "width", "terms", "level")
+
+    def __init__(self, value, width, terms, level):
+        self.value = value
+        self.width = width
+        self.terms = terms
+        self.level = level
+
+
+class _GatherStep:
+    """One element-gather step: rotated/tiled terms of one level+width.
+
+    ``specs`` is a list of ``(src_value, amount, dest_value)`` — the
+    materializer turns it into one flat-index matrix; execution is one
+    ``np.take`` plus one row store.
+    """
+
+    __slots__ = ("width", "specs")
+
+    def __init__(self, width, specs):
+        self.width = width
+        self.specs = specs
+
+    @property
+    def reads(self):
+        return [s for s, _, _ in self.specs]
+
+    @property
+    def writes(self):
+        return [d for _, _, d in self.specs]
+
+
+class _BlockStep:
+    """One row-gather block: same-level instructions of uniform
+    ``(width, terms-per-instruction)`` shape."""
+
+    __slots__ = ("width", "k", "instrs")
+
+    def __init__(self, width, k, instrs):
+        self.width = width
+        self.k = k
+        self.instrs = instrs
+
+    @property
+    def reads(self):
+        out = []
+        for instr in self.instrs:
+            for term in instr.terms:
+                out.append(term.src)
+                if term.operand is not None:
+                    out.append(term.operand)
+        return out
+
+    @property
+    def writes(self):
+        return [instr.value for instr in self.instrs]
+
+
+class MegaKernel:
+    """A :class:`~repro.ir.tape.CompiledTape` compiled past Python.
+
+    Construction is cheap: the gather program builds lazily on first
+    execution (and after unpickling), and the kernel exposes the tape's
+    profile, fingerprint, and shape metadata unchanged, so baseline
+    guards and cost estimates need no separate accounting.
+    """
+
+    def __init__(self, tape: CompiledTape):
+        self.tape = tape
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._plan: Optional[_Plan] = None
+        self._unsupported: Optional[str] = None
+        self._input_names = sorted(tape.input_slots)
+        self._input_set = frozenset(tape.input_slots)
+        #: input-signature -> :class:`_Book`.  Plain dict: a racing
+        #: duplicate capture is benign (identical value), a torn read is
+        #: impossible (single assignment).
+        self._book: Dict[Tuple, _Book] = {}
+        #: Binding-layout cache: the input names of
+        #: :func:`~repro.ir.plan.bind_model_query` depend only on the
+        #: model/query *structure* (how many planes of each kind), not
+        #: on the objects — and serve adopts the cached model into a
+        #: fresh context every batch, so object identity is useless as
+        #: a key.  The first bind records ``(structure, seats)``; later
+        #: binds with the same structure seat the planes through the
+        #: precomputed name map instead of re-formatting ~a hundred
+        #: input names per batch.  The fail-closed fingerprint and
+        #: encryption-shape checks still run on *every* bind.
+        self._bound_layout = None
+
+    # -- tape metadata passthrough (one source of truth) ----------------
+
+    @property
+    def profile(self):
+        return self.tape.profile
+
+    @property
+    def peak_live(self) -> int:
+        return self.tape.peak_live
+
+    @property
+    def num_slots(self) -> int:
+        return self.tape.num_slots
+
+    @property
+    def num_instructions(self) -> int:
+        return self.tape.num_instructions
+
+    @property
+    def rotations(self) -> int:
+        return self.tape.rotations
+
+    @property
+    def input_widths(self) -> Dict[str, int]:
+        return self.tape.input_widths
+
+    @property
+    def encrypted_model(self) -> bool:
+        return self.tape.encrypted_model
+
+    @property
+    def model_fingerprint(self) -> Optional[str]:
+        return self.tape.model_fingerprint
+
+    @property
+    def variant(self) -> str:
+        return self.tape.variant
+
+    @property
+    def batched(self) -> bool:
+        return self.tape.batched
+
+    @property
+    def batch_shape(self):
+        return self.tape.batch_shape
+
+    # -- compiled-plane metrics (build on demand) ------------------------
+
+    def ensure_compiled(self) -> bool:
+        """Build the gather program if needed; False on tape-loop fallback."""
+        if self._plan is None and self._unsupported is None:
+            with self._lock:
+                if self._plan is None and self._unsupported is None:
+                    try:
+                        self._plan = _compile_plan(self.tape)
+                    except _Unsupported as why:
+                        self._unsupported = str(why)
+        return self._plan is not None
+
+    @property
+    def supported(self) -> bool:
+        return self.ensure_compiled()
+
+    @property
+    def num_rows(self) -> int:
+        """Rows of the register plane (live values + constant pool)."""
+        self.ensure_compiled()
+        return self._plan.rows if self._plan else 0
+
+    @property
+    def data_rows(self) -> int:
+        """Peak simultaneously-live values (the liveness allocator's
+        high-water mark; ``num_rows`` minus the constant pool)."""
+        self.ensure_compiled()
+        return self._plan.data_rows if self._plan else 0
+
+    @property
+    def lanes(self) -> int:
+        self.ensure_compiled()
+        return self._plan.lanes if self._plan else 0
+
+    @property
+    def num_segments(self) -> int:
+        """Dependency levels (each one hazard-free by construction)."""
+        self.ensure_compiled()
+        return self._plan.num_segments if self._plan else 0
+
+    @property
+    def num_blocks(self) -> int:
+        """Execution steps (gathers + blocks) across all segments."""
+        self.ensure_compiled()
+        return len(self._plan.steps) if self._plan else 0
+
+    def describe(self) -> str:
+        if not self.ensure_compiled():
+            return (
+                f"megakernel[fallback: {self._unsupported}] over "
+                f"{self.tape.describe()}"
+            )
+        return (
+            f"megakernel: {self.num_instructions} instructions -> "
+            f"{self.num_segments} segments ({self.num_blocks} steps) "
+            f"over a {self.num_rows}x{self.lanes} register plane "
+            f"({self.data_rows} live rows + constant pool), rotations "
+            f"{self.rotations}, depth {self.profile.depth}"
+        )
+
+    # -- pickling: ship the tape, rebuild everything else lazily ---------
+
+    def __getstate__(self):
+        return self.tape
+
+    def __setstate__(self, state):
+        self.__init__(state)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        ctx,
+        model,
+        query,
+        phase: Optional[str] = None,
+        profiler=None,
+    ) -> Ciphertext:
+        """Execute against a runtime model bundle + encrypted query.
+
+        Binding performs the tape's fail-closed fingerprint check; the
+        phase defaults to the megakernel phase so serve stats attribute
+        the work to this engine on every backend (including tape-loop
+        fallbacks).
+        """
+        from repro.core.runtime import PHASE_MEGAKERNEL
+        from repro.ir.plan import OUTPUT_LABELS
+
+        if phase is None:
+            phase = PHASE_MEGAKERNEL
+        bindings = self._bindings_for(ctx, model, query)
+        outputs = self.execute(ctx, bindings, phase=phase, profiler=profiler)
+        result = outputs[OUTPUT_LABELS]
+        if not isinstance(result, Ciphertext):  # pragma: no cover
+            raise RuntimeProtocolError("megakernel result must be encrypted")
+        return result
+
+    def _bindings_for(self, ctx, model, query):
+        """Bind with the full fail-closed checks, layout-cached.
+
+        First contact goes through
+        :func:`~repro.ir.plan.bind_model_query` — the single source of
+        the binding rules and their exact error messages.  The *name
+        layout* it produced (which input name seats which model/query
+        plane) depends only on the bundle's structure — plane counts
+        per kind — so it is cached against that structure and replayed
+        without re-formatting ~a hundred input names per batch.  The
+        fail-closed checks are **not** cached: every bind re-verifies
+        the encryption shape and the model fingerprint with the same
+        refusal messages, so an impostor bundle is rejected identically
+        on the first batch and the millionth.
+        """
+        from repro.ir.plan import (
+            FEATURE_PLANE,
+            LEVEL_DIAG,
+            LEVEL_MASK,
+            NOT_ONE,
+            RESHUFFLE_DIAG,
+            THRESHOLD_PLANE,
+            bind_model_query,
+        )
+
+        encrypted_model = self.encrypted_model
+        planes = query.planes
+        structure = None
+        if model is not None:
+            if encrypted_model:
+                structure = (
+                    len(planes),
+                    len(model.threshold_planes),
+                    len(model.reshuffle_diagonals),
+                    tuple(len(level) for level in model.level_diagonals),
+                    len(model.level_masks),
+                )
+            else:
+                structure = (len(planes),)
+
+        cached = self._bound_layout
+        if cached is not None and cached[0] == structure:
+            (_, feature_seats, model_seats, not_one_width) = cached
+            if model.is_encrypted != encrypted_model:
+                raise RuntimeProtocolError(
+                    f"plan was lowered for an "
+                    f"{'encrypted' if encrypted_model else 'plaintext'} "
+                    f"model but received the opposite"
+                )
+            fingerprint = self.model_fingerprint
+            if fingerprint is not None:
+                model_fp = getattr(model, "fingerprint", None)
+                if model_fp != fingerprint:
+                    raise RuntimeProtocolError(
+                        f"plan was lowered for model {fingerprint} "
+                        f"but received model {model_fp}; lower a plan "
+                        f"for this model (or register it, which does)"
+                    )
+            bindings = {}
+            for name, i in feature_seats:
+                bindings[name] = planes[i]
+            if not_one_width:
+                if query.public_key is None:
+                    raise RuntimeProtocolError(
+                        "the Aloufi SecComp variant needs the query's "
+                        "public key to encrypt the all-ones helper"
+                    )
+                bindings[NOT_ONE] = ctx.encrypt(
+                    [1] * not_one_width, query.public_key
+                )
+            if model_seats is not None:
+                threshold_seats, reshuffle_seats, diag_seats, \
+                    mask_seats = model_seats
+                tp = model.threshold_planes
+                for name, i in threshold_seats:
+                    bindings[name] = tp[i]
+                rd = model.reshuffle_diagonals
+                for name, i in reshuffle_seats:
+                    bindings[name] = rd[i]
+                ld = model.level_diagonals
+                for name, lv, i in diag_seats:
+                    bindings[name] = ld[lv][i]
+                lm = model.level_masks
+                for name, lv in mask_seats:
+                    bindings[name] = lm[lv]
+            return bindings
+
+        bindings = bind_model_query(
+            ctx,
+            self.input_widths,
+            encrypted_model,
+            self.model_fingerprint,
+            model,
+            query,
+        )
+        if structure is not None:
+            widths = self.input_widths
+            feature_seats = tuple(
+                (FEATURE_PLANE.format(i=i), i)
+                for i in range(len(planes))
+                if FEATURE_PLANE.format(i=i) in widths
+            )
+            model_seats = None
+            if encrypted_model:
+                model_seats = (
+                    tuple(
+                        (THRESHOLD_PLANE.format(i=i), i)
+                        for i in range(len(model.threshold_planes))
+                        if THRESHOLD_PLANE.format(i=i) in widths
+                    ),
+                    tuple(
+                        (RESHUFFLE_DIAG.format(i=i), i)
+                        for i in range(len(model.reshuffle_diagonals))
+                        if RESHUFFLE_DIAG.format(i=i) in widths
+                    ),
+                    tuple(
+                        (LEVEL_DIAG.format(level=lv, i=i), lv, i)
+                        for lv, level in enumerate(model.level_diagonals)
+                        for i in range(len(level))
+                        if LEVEL_DIAG.format(level=lv, i=i) in widths
+                    ),
+                    tuple(
+                        (LEVEL_MASK.format(level=lv), lv)
+                        for lv in range(len(model.level_masks))
+                        if LEVEL_MASK.format(level=lv) in widths
+                    ),
+                )
+            self._bound_layout = (
+                structure,
+                feature_seats,
+                model_seats,
+                widths.get(NOT_ONE, 0),
+            )
+        return bindings
+
+    def execute(
+        self,
+        ctx,
+        bindings,
+        phase: Optional[str] = None,
+        profiler=None,
+    ):
+        """Run with named input bindings (the tape executor API).
+
+        Falls back to the tape loop when the backend lacks the
+        ``megakernel_ops`` capability, when a profiler wants
+        per-instruction attribution, or when the tape's shape escapes
+        the gather grammar — identical bits and bookkeeping either way.
+        """
+        ops = getattr(ctx, "megakernel_ops", None)
+        if profiler is not None or ops is None or not self.ensure_compiled():
+            return self.tape.execute(
+                ctx, bindings, phase=phase, profiler=profiler
+            )
+
+        if not bindings.keys() >= self._input_set:
+            missing = self._input_set - bindings.keys()
+            raise RuntimeProtocolError(
+                f"unbound IR inputs: {sorted(missing)}"
+            )
+
+        signature, keys = self._signature(ctx, bindings)
+        book = self._book.get(signature)
+        if book is None:
+            book = self._capture(ops, bindings, phase)
+            self._book[signature] = book
+
+        # Bookkeeping first, exactly as the tape would have produced it:
+        # on a cached failure the partial counts land and the original
+        # exception re-raises before any slot data moves, leaving the
+        # identical tracker state a live noise overflow would.
+        if phase is not None:
+            with ctx.tracker.phase(phase):
+                if book.counts:
+                    ctx.tracker.record_fused(book.counts, book.depth)
+        elif book.counts:
+            ctx.tracker.record_fused(book.counts, book.depth)
+        if book.error is not None:
+            raise book.error
+
+        plan = self._plan
+        R, program = self._buffer(plan)
+        self._bind(R, plan, bindings)
+        for step in program:
+            step()
+
+        outputs = {}
+        for name, ref in self.tape.output_refs.items():
+            if not isinstance(ref, int):
+                outputs[name] = ref
+                continue
+            row = plan.output_rows[name]
+            meta = book.outputs[name]
+            if meta[0] == "c":
+                _, canon_key, noise, node_id, length = meta
+                outputs[name] = Ciphertext._make(
+                    R[row, :length].copy(), length,
+                    keys[canon_key], noise, node_id,
+                )
+            else:
+                outputs[name] = PlainVector(R[row, : meta[1]].copy())
+        return outputs
+
+    # -- per-run plumbing ------------------------------------------------
+
+    def _signature(self, ctx, bindings):
+        """(cache key, canonical key list) for the current bindings.
+
+        The key covers everything the bookkeeping depends on — backend
+        class, parameters, and per-input metadata — with key ids
+        *canonicalized* to their first-appearance index: operations only
+        ever compare keys for equality, so two binding sets with the
+        same key partition produce identical counts, noise, and failure
+        behavior even though serve mints fresh keys per batch.
+        """
+        canon: Dict[int, int] = {}
+        keys: List[int] = []
+        # One flat tuple: input order is fixed by ``_input_names`` and a
+        # "c"/"p" marker leads each entry, so positions stay unambiguous
+        # without hashing a hundred name strings and nested tuples.
+        items: List = [type(ctx).__name__, ctx.params]
+        extend = items.extend
+        canon_get = canon.get
+        for name in self._input_names:
+            value = bindings[name]
+            if isinstance(value, Ciphertext):
+                key_id = value._key_id
+                index = canon_get(key_id)
+                if index is None:
+                    index = canon[key_id] = len(keys)
+                    keys.append(key_id)
+                extend(
+                    ("c", index, value._noise, value._node_id,
+                     value._length)
+                )
+            else:
+                extend(("p", value.length))
+        return tuple(items), keys
+
+    def _capture(self, ops, bindings, phase) -> _Book:
+        """Run the tape once on a scratch context and harvest its books."""
+        scratch = ops.scratch_context()
+        tracker = scratch.tracker
+        outputs = None
+        error = None
+        try:
+            if phase is not None:
+                with tracker.phase(phase):
+                    outputs = self.tape._execute(scratch, bindings)
+            else:
+                outputs = self.tape._execute(scratch, bindings)
+        except Exception as exc:
+            error = exc
+        counts = {
+            kind: n for kind, n in tracker.total_counts().items() if n
+        }
+        depth = tracker.multiplicative_depth()
+        _, keys = self._signature(scratch, bindings)
+        canon = {key_id: index for index, key_id in enumerate(keys)}
+        meta = {}
+        if outputs is not None:
+            for name, ref in self.tape.output_refs.items():
+                if not isinstance(ref, int):
+                    continue
+                value = outputs[name]
+                if isinstance(value, Ciphertext):
+                    meta[name] = (
+                        "c", canon[value._key_id], value._noise,
+                        value._node_id, value._length,
+                    )
+                else:
+                    meta[name] = ("p", value.length)
+        return _Book(counts, depth, meta, error)
+
+    def _buffer(self, plan):
+        """Per-thread register plane + compiled step closures.
+
+        Constant and ones rows are seated once — no step ever writes a
+        constant-pool row, so they survive every run.  The closures bind
+        this thread's plane and exact-size scratch buffers, so the
+        steady-state loop is pure ufunc calls with no allocation.
+        """
+        state = getattr(self._local, "state", None)
+        if state is None:
+            R = np.zeros((plan.rows, plan.lanes), dtype=np.uint8)
+            for row, arr in plan.const_seats:
+                R[row, : arr.size] = arr
+            if plan.ones_row is not None:
+                R[plan.ones_row, :] = 1
+            program = [_bind_step(R, spec) for spec in plan.steps]
+            state = (R, program)
+            self._local.state = state
+        return state
+
+    def _bind(self, R, plan, bindings) -> None:
+        """Validate bindings with the tape's exact errors; seat the bits.
+
+        When the allocator gave the inputs rows ``0..n-1`` at full lane
+        width (``bind_contig``, the common batched-serve shape), all
+        input slots land with a single ``np.concatenate`` into a flat
+        view of the plane's top rows instead of a hundred row stores.
+        """
+        arrs = []
+        append = arrs.append
+        for name, row, width, is_cipher in plan.bind_specs:
+            value = bindings[name]
+            if is_cipher:
+                if not isinstance(value, Ciphertext):
+                    raise RuntimeProtocolError(
+                        f"input {name!r} must be a ciphertext"
+                    )
+                length = value._length
+            elif isinstance(value, PlainVector):
+                length = value._slots.shape[0]
+            else:
+                raise RuntimeProtocolError(
+                    f"input {name!r} must be a plaintext vector"
+                )
+            if length != width:
+                raise RuntimeProtocolError(
+                    f"input {name!r} has width {length}, "
+                    f"declared {width}"
+                )
+            slots = value._slots
+            append(slots if slots.shape[0] == width else slots[:width])
+        if plan.bind_contig:
+            try:
+                np.concatenate(
+                    arrs, out=R[: len(arrs)].reshape(-1)
+                )
+                return
+            except (TypeError, ValueError):
+                pass  # exotic dtype: fall back to per-row casts
+        for spec, slots in zip(plan.bind_specs, arrs):
+            R[spec[1], : spec[2]] = slots
+
+
+def compile_megakernel(tape: CompiledTape) -> MegaKernel:
+    """Compile a tape into a megakernel (the program builds lazily)."""
+    return MegaKernel(tape)
+
+
+# ---------------------------------------------------------------------------
+# Compilation: tape -> SSA levels -> liveness rows -> gather/block steps
+# ---------------------------------------------------------------------------
+
+
+class _Unsupported(Exception):
+    """Internal marker: this tape shape escapes the gather grammar.
+
+    Raised only during plan compilation and never propagates — the
+    kernel records the reason and falls back to the tape loop, which
+    preserves the exact runtime behavior (including whatever error the
+    tape itself raises for inconsistent widths).
+    """
+
+
+class _Plan:
+    """The materialized program: row layout + executable step specs."""
+
+    __slots__ = (
+        "rows", "lanes", "steps", "const_seats", "ones_row",
+        "input_rows", "output_rows", "num_segments", "data_rows",
+        "bind_specs", "bind_contig",
+    )
+
+    def __init__(self, rows, lanes, steps, const_seats, ones_row,
+                 input_rows, output_rows, num_segments, data_rows,
+                 bind_specs, bind_contig):
+        self.rows = rows
+        self.lanes = lanes
+        self.steps = steps
+        self.const_seats = const_seats
+        self.ones_row = ones_row
+        self.input_rows = input_rows
+        self.output_rows = output_rows
+        self.num_segments = num_segments
+        self.data_rows = data_rows
+        #: ``(name, row, width, is_cipher)`` in allocation order.
+        self.bind_specs = bind_specs
+        #: True when inputs occupy rows ``0..n-1`` in order at full lane
+        #: width, letting ``_bind`` seat them all with one concatenate.
+        self.bind_contig = bind_contig
+
+
+class _Value:
+    """One SSA value: width, dependency level, and liveness extent."""
+
+    __slots__ = ("width", "level", "row")
+
+    def __init__(self, width, level):
+        self.width = width
+        self.level = level
+        self.row = None
+
+
+def _compile_plan(tape: CompiledTape) -> _Plan:
+    """Lower the instruction stream into the level/liveness program."""
+    values: List[_Value] = []
+    const_pool: Dict[bytes, int] = {}
+    const_arrays: List[np.ndarray] = []
+    const_values: List[int] = []
+
+    def new_value(width: int, level: int) -> int:
+        values.append(_Value(width, level))
+        return len(values) - 1
+
+    def const_value(arr: np.ndarray) -> int:
+        """SSA value of the pooled constant (deduplicated by bits)."""
+        arr = np.ascontiguousarray(arr, dtype=np.uint8)
+        key = arr.tobytes()
+        v = const_pool.get(key)
+        if v is None:
+            if arr.size == 0:
+                raise _Unsupported("zero-width constant")
+            v = new_value(arr.size, 0)
+            const_pool[key] = v
+            const_arrays.append(arr)
+            const_values.append(v)
+        return v
+
+    # SSA renaming: tape register slot -> current value id.
+    slot_value: Dict[int, int] = {}
+    input_values: Dict[str, int] = {}
+    for name, slot in tape.input_slots.items():
+        width = tape.input_widths[name]
+        if width <= 0:
+            raise _Unsupported("zero-width input")
+        v = new_value(width, 0)
+        slot_value[slot] = v
+        input_values[name] = v
+
+    def value_of(slot: int) -> int:
+        v = slot_value.get(slot)
+        if v is None:
+            raise _Unsupported(f"read of unwritten slot {slot}")
+        return v
+
+    has_operand = [False]
+    instrs: List[_Instr] = []
+
+    def emit(dest_slot: int, width: int, terms: List[_Term]) -> None:
+        if width <= 0:
+            raise _Unsupported(f"zero-width result in slot {dest_slot}")
+        level = 1 + max(
+            max(
+                values[t.src].level,
+                values[t.operand].level if t.operand is not None else 0,
+            )
+            for t in terms
+        )
+        v = new_value(width, level)
+        instrs.append(_Instr(v, width, terms, level))
+        slot_value[dest_slot] = v
+
+    def mul_term(src: int, operand: int, w: int) -> _Term:
+        has_operand[0] = True
+        return _Term(src, 0, operand=operand)
+
+    for ins in tape.instructions:
+        op, dest = ins[0], ins[1]
+        if op == OP_ADD:
+            a, b = value_of(ins[2]), value_of(ins[3])
+            w = values[a].width
+            if values[b].width != w:
+                raise _Unsupported("ADD width mismatch")
+            emit(dest, w, [_Term(a, 0), _Term(b, 0)])
+        elif op == OP_CADD:
+            a = value_of(ins[2])
+            w = values[a].width
+            arr = ins[3].to_array()
+            if arr.size != w:
+                raise _Unsupported("CADD width mismatch")
+            emit(dest, w, [_Term(a, 0), _Term(const_value(arr), 0)])
+        elif op == OP_MUL:
+            a, b = value_of(ins[2]), value_of(ins[3])
+            w = values[a].width
+            if values[b].width != w:
+                raise _Unsupported("MUL width mismatch")
+            emit(dest, w, [mul_term(a, b, w)])
+        elif op == OP_CMUL:
+            a = value_of(ins[2])
+            w = values[a].width
+            arr = ins[3].to_array()
+            if arr.size != w:
+                raise _Unsupported("CMUL width mismatch")
+            emit(dest, w, [mul_term(a, const_value(arr), w)])
+        elif op == OP_ROT:
+            a = value_of(ins[2])
+            emit(dest, values[a].width, [_Term(a, ins[3])])
+        elif op == OP_EXT:
+            a = value_of(ins[2])
+            length = ins[3]
+            if length <= 0:
+                raise _Unsupported("EXTEND to zero width")
+            # the % source-width in the index build is the cyclic tiling
+            emit(dest, length, [_Term(a, 0)])
+        elif op == OP_TRUNC:
+            a = value_of(ins[2])
+            length = ins[3]
+            if length <= 0 or length > values[a].width:
+                raise _Unsupported("TRUNCATE outside the source width")
+            emit(dest, length, [_Term(a, 0)])
+        elif op == OP_FUSED:
+            spec = ins[2]
+            w = spec.width
+            terms = []
+            for amount, src, operand in spec.terms:
+                a = value_of(src)
+                if values[a].width != w:
+                    raise _Unsupported("fused-term width mismatch")
+                if operand is None:
+                    terms.append(_Term(a, amount))
+                elif isinstance(operand, int):
+                    b = value_of(operand)
+                    if values[b].width != w:
+                        raise _Unsupported("fused-operand width mismatch")
+                    terms.append(_Term(a, amount, operand=b))
+                    has_operand[0] = True
+                else:
+                    arr = operand.to_array()
+                    if arr.size != w:
+                        raise _Unsupported("fused-mask width mismatch")
+                    terms.append(mul_term(a, const_value(arr), w))
+                    # masks apply after rotation; keep the amount
+                    terms[-1].amount = amount
+            emit(dest, w, terms)
+        elif op == OP_ANY:
+            width, terms = _lower_any(
+                ins[2], ins[3], values, value_of, const_value, mul_term
+            )
+            emit(dest, width, terms)
+        else:
+            raise _Unsupported(f"unknown opcode {op}")
+
+    output_values: Dict[str, int] = {}
+    for name, ref in tape.output_refs.items():
+        if isinstance(ref, int):
+            output_values[name] = value_of(ref)
+
+    ones_value = None
+    if has_operand[0]:
+        ones_value = new_value(1, 0)
+
+    return _schedule(
+        tape, values, instrs, const_arrays, const_values, ones_value,
+        input_values, output_values,
+    )
+
+
+def _lower_any(ir_op, args, values, value_of, const_value, mul_term):
+    """Lower one OP_ANY instruction (mixed plain/cipher) to terms.
+
+    Args mirror :func:`repro.ir.tape._run_any`: register slots or
+    inline :class:`PlainVector` constants, with the rotation amount
+    appended for ROTATE.  Plain-plain products and plain rotations
+    resolve at compile time into pooled constant rows.
+    """
+
+    def resolve(ref):
+        return value_of(ref) if isinstance(ref, int) else None
+
+    def resolved_width(ref, v):
+        return values[v].width if v is not None else ref.length
+
+    if ir_op in (IrOp.ADD, IrOp.CONST_ADD):
+        a, b = args
+        va, vb = resolve(a), resolve(b)
+        w = resolved_width(a, va)
+        if resolved_width(b, vb) != w:
+            raise _Unsupported("mixed ADD width mismatch")
+        terms = []
+        for ref, v in ((a, va), (b, vb)):
+            if v is None:
+                v = const_value(ref.to_array())
+            terms.append(_Term(v, 0))
+        return w, terms
+    if ir_op in (IrOp.MULTIPLY, IrOp.CONST_MULT):
+        a, b = args
+        va, vb = resolve(a), resolve(b)
+        w = resolved_width(a, va)
+        if resolved_width(b, vb) != w:
+            raise _Unsupported("mixed MUL width mismatch")
+        if va is None and vb is None:
+            return w, [_Term(const_value(a.to_array() & b.to_array()), 0)]
+        if va is None:
+            va = const_value(a.to_array())
+        if vb is None:
+            vb = const_value(b.to_array())
+        return w, [mul_term(va, vb, w)]
+    if ir_op is IrOp.ROTATE:
+        ref, amount = args[0], args[1]
+        v = resolve(ref)
+        if v is not None:
+            return values[v].width, [_Term(v, amount)]
+        row = const_value(np.roll(ref.to_array(), -amount))
+        return ref.length, [_Term(row, 0)]
+    raise _Unsupported(f"mixed op {ir_op!r}")
+
+
+def _needs_gather(values, term: _Term, width: int) -> bool:
+    """True when the term's read cannot be a plain row copy."""
+    src_width = values[term.src].width
+    return (term.amount % src_width != 0) or src_width < width
+
+
+def _schedule(tape, values, instrs, const_arrays, const_values,
+              ones_value, input_values, output_values) -> _Plan:
+    """Level-schedule instructions, run liveness, materialize steps."""
+    # -- group instructions by dependency level -------------------------
+    by_level: Dict[int, List[_Instr]] = {}
+    for instr in instrs:
+        by_level.setdefault(instr.level, []).append(instr)
+
+    # -- build abstract steps: per level, an element-gather for rotated /
+    #    tiled terms (direct to the instruction's value when it is the
+    #    whole instruction), then blocks grouped by (width, k).
+    steps: List = []
+    for level in sorted(by_level):
+        gathers: Dict[int, List[Tuple[int, int, int]]] = {}
+        blocks: Dict[Tuple[int, int], List[_Instr]] = {}
+        for instr in by_level[level]:
+            w = instr.width
+            direct = (
+                len(instr.terms) == 1
+                and instr.terms[0].operand is None
+                and _needs_gather(values, instr.terms[0], w)
+            )
+            if direct:
+                term = instr.terms[0]
+                gathers.setdefault(w, []).append(
+                    (term.src, term.amount, instr.value)
+                )
+                continue
+            for term in instr.terms:
+                if _needs_gather(values, term, w):
+                    scratch = len(values)
+                    values.append(_Value(w, level))
+                    gathers.setdefault(w, []).append(
+                        (term.src, term.amount, scratch)
+                    )
+                    term.src = scratch
+                    term.amount = 0
+            blocks.setdefault((w, len(instr.terms)), []).append(instr)
+        for w in sorted(gathers):
+            steps.append(_GatherStep(w, gathers[w]))
+        for (w, k) in sorted(blocks):
+            steps.append(_BlockStep(w, k, blocks[(w, k)]))
+
+    # -- liveness: last step reading each value -------------------------
+    last_use = [None] * len(values)
+    for s, step in enumerate(steps):
+        for v in step.reads:
+            last_use[v] = s
+    permanent = set(const_values)
+    if ones_value is not None:
+        permanent.add(ones_value)
+    permanent.update(output_values.values())
+
+    # -- linear scan: rows recycle the step after their last read.
+    #    Reads of step s complete before its writes, so a value last
+    #    read at s can hand its row to a value written at s.
+    free_at: Dict[int, List[int]] = {}
+    for v, value in enumerate(values):
+        if v in permanent:
+            continue
+        if last_use[v] is not None:
+            free_at.setdefault(last_use[v], []).append(v)
+    free_rows: List[int] = []
+    next_row = [0]
+
+    def alloc_row() -> int:
+        if free_rows:
+            return free_rows.pop()
+        row = next_row[0]
+        next_row[0] += 1
+        return row
+
+    for v in input_values.values():
+        values[v].row = alloc_row()
+    for s, step in enumerate(steps):
+        freed = [values[v].row for v in free_at.get(s, ())]
+        if isinstance(step, _GatherStep):
+            # Element gathers may write a destination row view in the
+            # same ``np.take`` that reads the plane, so their writes
+            # must not reuse a row this step still reads; rows read
+            # here free for the *next* step instead.
+            for v in step.writes:
+                values[v].row = alloc_row()
+            free_rows.extend(freed)
+        else:
+            # Block reads are buffered (or exactly row-aligned for the
+            # in-place single-instruction ufuncs), so a row last read
+            # here can seat a value written here.
+            free_rows.extend(freed)
+            for v in step.writes:
+                values[v].row = alloc_row()
+
+    data_rows = next_row[0]
+    # inputs never read (degenerate tapes) still need their seats kept.
+    row = data_rows
+    const_seats: List[Tuple[int, np.ndarray]] = []
+    for v, arr in zip(const_values, const_arrays):
+        values[v].row = row
+        const_seats.append((row, arr))
+        row += 1
+    ones_row = None
+    if ones_value is not None:
+        ones_row = row
+        values[ones_value].row = row
+        row += 1
+    rows = row
+
+    lanes = max(value.width for value in values)
+
+    # -- materialize executable step specs ------------------------------
+    specs = []
+    for step in steps:
+        if isinstance(step, _GatherStep):
+            w = step.width
+            base = np.arange(w, dtype=np.intp)
+            idx = np.stack([
+                values[src].row * lanes
+                + (base + amount) % values[src].width
+                for src, amount, _ in step.specs
+            ])
+            dests = np.array(
+                [values[d].row for _, _, d in step.specs], dtype=np.intp
+            )
+            specs.append(("gather", idx, dests, w))
+        else:
+            n, k = len(step.instrs), step.k
+            s1 = np.array(
+                [
+                    values[t.src].row
+                    for instr in step.instrs for t in instr.terms
+                ],
+                dtype=np.intp,
+            )
+            any_op = any(
+                t.operand is not None
+                for instr in step.instrs for t in instr.terms
+            )
+            s2 = None
+            if any_op:
+                s2 = np.array(
+                    [
+                        values[t.operand].row if t.operand is not None
+                        else ones_row
+                        for instr in step.instrs for t in instr.terms
+                    ],
+                    dtype=np.intp,
+                )
+            dests = np.array(
+                [values[i.value].row for i in step.instrs], dtype=np.intp
+            )
+            specs.append(("block", s1, s2, n, k, dests))
+
+    input_rows = {
+        name: values[v].row for name, v in input_values.items()
+    }
+    output_rows = {
+        name: values[v].row for name, v in output_values.items()
+    }
+    input_cipher = tape.input_cipher
+    bind_specs = tuple(
+        (name, values[v].row, values[v].width, input_cipher[name])
+        for name, v in input_values.items()
+    )
+    bind_contig = bool(bind_specs) and all(
+        spec[1] == i and spec[2] == lanes
+        for i, spec in enumerate(bind_specs)
+    )
+    return _Plan(
+        rows, lanes, specs, const_seats, ones_row, input_rows,
+        output_rows, len(by_level), data_rows, bind_specs, bind_contig,
+    )
+
+
+def _bind_step(R: np.ndarray, spec):
+    """Compile one step spec into a zero-arg closure over this thread's
+    plane.
+
+    Rows past a value's width hold don't-care bytes: element gathers
+    index ``% source width`` and so never read them, row reads only
+    ever feed instructions at most as wide as their source, and outputs
+    slice ``[:length]`` — so every fast path below runs full-lane
+    in-place ufuncs with no per-run slicing or allocation.
+    """
+    flat = R.reshape(-1)
+    lanes = R.shape[1]
+    tag = spec[0]
+    take_flat = flat.take  # bound methods skip the np.take dispatch
+    take_rows = R.take
+    if tag == "gather":
+        _, idx, dests, w = spec
+        if len(dests) == 1:
+            out = R[dests[0], :w]
+            idx0 = idx[0]
+
+            def step():
+                take_flat(idx0, out=out)
+        else:
+            g = np.empty((len(dests), w), dtype=np.uint8)
+
+            def step():
+                take_flat(idx, out=g)
+                R[dests, :w] = g
+        return step
+
+    _, s1, s2, n, k, dests = spec
+    if n == 1 and k == 1:
+        out = R[dests[0]]
+        a = R[s1[0]]
+        if s2 is None:
+            def step():
+                np.copyto(out, a)
+        else:
+            b = R[s2[0]]
+
+            def step():
+                np.bitwise_and(a, b, out=out)
+        return step
+    if n == 1 and k == 2 and s2 is None:
+        out = R[dests[0]]
+        a, b = R[s1[0]], R[s1[1]]
+
+        def step():
+            np.bitwise_xor(a, b, out=out)
+        return step
+
+    g1 = np.empty((n * k, lanes), dtype=np.uint8)
+    g3 = g1.reshape(n, k, lanes)
+    out = np.empty((n, lanes), dtype=np.uint8)
+    if s2 is None:
+        if k == 1:
+            def step():
+                take_rows(s1, axis=0, out=g1)
+                R[dests] = g1
+        else:
+            def step():
+                take_rows(s1, axis=0, out=g1)
+                np.bitwise_xor.reduce(g3, axis=1, out=out)
+                R[dests] = out
+        return step
+    g2 = np.empty((n * k, lanes), dtype=np.uint8)
+    if k == 1:
+        def step():
+            take_rows(s1, axis=0, out=g1)
+            take_rows(s2, axis=0, out=g2)
+            np.bitwise_and(g1, g2, out=g1)
+            R[dests] = g1
+    else:
+        def step():
+            take_rows(s1, axis=0, out=g1)
+            take_rows(s2, axis=0, out=g2)
+            np.bitwise_and(g1, g2, out=g1)
+            np.bitwise_xor.reduce(g3, axis=1, out=out)
+            R[dests] = out
+    return step

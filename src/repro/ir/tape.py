@@ -45,6 +45,7 @@ from repro.fhe.backend import FheBackend, fold_balanced
 from repro.fhe.ciphertext import Ciphertext, PlainVector
 from repro.fhe.context import Vector
 from repro.fhe.tracker import OpKind
+from repro.ir.executor import tile_plain_extend
 from repro.ir.nodes import IrGraph, IrOp
 from repro.ir.passes import (
     _use_counts,
@@ -372,9 +373,12 @@ class CompiledTape:
                 if isinstance(source, Ciphertext):
                     value = ctx.cyclic_extend(source, ins[3])
                 else:
-                    arr = source.to_array()
-                    reps = -(-ins[3] // arr.size)
-                    value = PlainVector(np.tile(arr, reps)[: ins[3]])
+                    value = PlainVector(
+                        tile_plain_extend(
+                            source.to_array(), ins[3],
+                            f"tape register {ins[2]}",
+                        )
+                    )
             elif op == OP_TRUNC:
                 source = regs[ins[2]]
                 if isinstance(source, Ciphertext):
@@ -436,9 +440,12 @@ class CompiledTape:
                 if isinstance(source, Ciphertext):
                     value = ctx.cyclic_extend(source, ins[3])
                 else:
-                    arr = source.to_array()
-                    reps = -(-ins[3] // arr.size)
-                    value = PlainVector(np.tile(arr, reps)[: ins[3]])
+                    value = PlainVector(
+                        tile_plain_extend(
+                            source.to_array(), ins[3],
+                            f"tape register {ins[2]}",
+                        )
+                    )
             elif op == OP_TRUNC:
                 source = regs[ins[2]]
                 if isinstance(source, Ciphertext):

@@ -36,6 +36,7 @@ from repro.errors import RuntimeProtocolError
 from repro.core.compiler import CompiledModel
 from repro.core.runtime import (
     ENGINE_EAGER,
+    ENGINE_MEGAKERNEL,
     ENGINE_PLAN,
     ENGINE_TAPE,
     ENGINES,
@@ -44,6 +45,7 @@ from repro.core.runtime import (
     PHASE_COMPARISON,
     PHASE_DATA_ENCRYPT,
     PHASE_LEVELS,
+    PHASE_MEGAKERNEL,
     PHASE_MODEL_ENCRYPT,
     PHASE_PLAN,
     PHASE_RESHUFFLE,
@@ -110,6 +112,27 @@ class BatchedEncryptedModel:
         ``model_cache`` phase so the per-batch DAG stays closed without
         re-charging the one-time encryption.
         """
+
+        adopt_many = getattr(ctx, "adopt_many", None)
+        if adopt_many is not None:
+            # Bulk capability (the vector backend): one tracker call
+            # per plane list instead of one per ciphertext, identical
+            # counts and node ids.
+            with ctx.tracker.phase(PHASE_MODEL_CACHE):
+                return BatchedEncryptedModel(
+                    layout=self.layout,
+                    threshold_planes=adopt_many(self.threshold_planes),
+                    reshuffle_diagonals=adopt_many(
+                        self.reshuffle_diagonals
+                    ),
+                    level_diagonals=[
+                        adopt_many(level)
+                        for level in self.level_diagonals
+                    ],
+                    level_masks=adopt_many(self.level_masks),
+                    max_depth=self.max_depth,
+                    fingerprint=self.fingerprint,
+                )
 
         def _adopt(vec: Vector) -> Vector:
             if isinstance(vec, Ciphertext):
@@ -307,7 +330,10 @@ class BatchedCopseServer:
     ``plan_inference`` phase.  ``engine="tape"`` (the serve default)
     executes the plan's compiled :class:`~repro.ir.tape.CompiledTape`
     under ``tape_inference`` — the same bits with scheduled rotations,
-    register reuse, and fused kernels.
+    register reuse, and fused kernels.  ``engine="megakernel"`` executes
+    the tape's :class:`~repro.ir.megakernel.MegaKernel` compilation
+    under ``megakernel_inference`` — zero per-instruction dispatch on
+    capable backends, the tape loop elsewhere, same bits everywhere.
     """
 
     def __init__(
@@ -317,6 +343,7 @@ class BatchedCopseServer:
         engine: str = ENGINE_EAGER,
         plan=None,
         tape=None,
+        megakernel=None,
     ):
         if engine not in ENGINES:
             raise RuntimeProtocolError(
@@ -327,6 +354,7 @@ class BatchedCopseServer:
         self.engine = engine
         self.plan = plan
         self.tape = tape
+        self.megakernel = megakernel
 
     def classify_batch(
         self, model: BatchedEncryptedModel, query: EncryptedQuery
@@ -349,6 +377,8 @@ class BatchedCopseServer:
             return self._classify_batch_plan(local, query)
         if self.engine == ENGINE_TAPE:
             return self._classify_batch_tape(local, query)
+        if self.engine == ENGINE_MEGAKERNEL:
+            return self._classify_batch_megakernel(local, query)
 
         with ctx.tracker.phase(PHASE_COMPARISON):
             not_one = None
@@ -448,6 +478,38 @@ class BatchedCopseServer:
                 f"but the server runs {self.seccomp_variant!r}"
             )
         return tape.run(self.ctx, local, query, phase=PHASE_TAPE)
+
+    def _classify_batch_megakernel(
+        self, local: BatchedEncryptedModel, query: EncryptedQuery
+    ) -> Ciphertext:
+        """Execute the cached batched megakernel against an adopted
+        model."""
+        kernel = self.megakernel
+        if kernel is None:
+            raise RuntimeProtocolError(
+                "engine='megakernel' needs a batched MegaKernel; compile "
+                "one with repro.ir.megakernel.compile_megakernel (the "
+                "serve registry caches it per model)"
+            )
+        if not kernel.batched:
+            raise RuntimeProtocolError(
+                "a single-query megakernel cannot serve the batched "
+                "server; compile from a lower_batched_inference plan for "
+                "this layout"
+            )
+        layout = local.layout
+        if kernel.batch_shape != (layout.stride, layout.capacity):
+            raise RuntimeProtocolError(
+                f"megakernel batch shape {kernel.batch_shape} does not "
+                f"match the layout ({layout.stride}, {layout.capacity})"
+            )
+        if kernel.variant != self.seccomp_variant:
+            raise RuntimeProtocolError(
+                f"megakernel was compiled with SecComp variant "
+                f"{kernel.variant!r} but the server runs "
+                f"{self.seccomp_variant!r}"
+            )
+        return kernel.run(self.ctx, local, query, phase=PHASE_MEGAKERNEL)
 
     def _process_levels(
         self, model: BatchedEncryptedModel, branches: Vector

@@ -37,10 +37,12 @@ from typing import Dict, List, Optional
 
 from repro.errors import ValidationError
 from repro.core.runtime import (
+    ENGINE_MEGAKERNEL,
     ENGINE_PLAN,
     ENGINE_TAPE,
     InferenceResult,
     PHASE_DATA_ENCRYPT,
+    PHASE_MEGAKERNEL,
     PHASE_PLAN,
     PHASE_TAPE,
 )
@@ -235,6 +237,7 @@ class QueryBatcher:
             engine=engine,
             plan=registered.plan,
             tape=registered.tape,
+            megakernel=registered.megakernel,
         )
 
         if tracer is not None:
@@ -260,6 +263,8 @@ class QueryBatcher:
         cost = registered.cost_model
         if engine == ENGINE_TAPE:
             inference_phases = (PHASE_TAPE,)
+        elif engine == ENGINE_MEGAKERNEL:
+            inference_phases = (PHASE_MEGAKERNEL,)
         elif engine == ENGINE_PLAN:
             inference_phases = (PHASE_PLAN,)
         else:

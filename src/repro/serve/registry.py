@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Union
 from repro.errors import ValidationError
 from repro.core.compiler import CompiledModel, CopseCompiler
 from repro.core.runtime import (
+    ENGINE_MEGAKERNEL,
     ENGINE_PLAN,
     ENGINE_TAPE,
     ENGINES,
@@ -49,6 +50,7 @@ from repro.fhe.costmodel import CostModel
 from repro.fhe.keys import KeyPair
 from repro.fhe.params import EncryptionParams
 from repro.forest.forest import DecisionForest
+from repro.ir.megakernel import MegaKernel, compile_megakernel
 from repro.ir.plan import InferencePlan, lower_batched_inference
 from repro.ir.tape import CompiledTape
 from repro.serve.batched_runtime import BatchedEncryptedModel, build_batched_model
@@ -80,8 +82,12 @@ class RegisteredModel:
     plan: Optional[InferencePlan] = field(default=None, repr=False)
     #: The plan's compiled tape — linearized instructions with scheduled
     #: rotations and register reuse, compiled once at registration
-    #: (None unless ``engine="tape"``, the default).
+    #: (None unless ``engine="tape"`` — the default — or
+    #: ``engine="megakernel"``, which compiles through it).
     tape: Optional[CompiledTape] = field(default=None, repr=False)
+    #: The tape's zero-dispatch megakernel compilation, cached next to
+    #: the plan and tape (None unless ``engine="megakernel"``).
+    megakernel: Optional[MegaKernel] = field(default=None, repr=False)
 
     @property
     def batch_capacity(self) -> int:
@@ -101,6 +107,7 @@ class RegisteredModel:
         (no analyzed graph to price).
         """
         if self.tape is not None:
+            # The megakernel shares the tape's profile by construction.
             return self.tape.profile.cost_ms(self.cost_model)
         if self.plan is None:
             return None
@@ -116,6 +123,8 @@ class RegisteredModel:
             base += f"; {self.plan.describe()}"
         if self.tape is not None:
             base += f"; {self.tape.describe()}"
+        if self.megakernel is not None:
+            base += f"; {self.megakernel.describe()}"
         return base
 
 
@@ -235,15 +244,18 @@ class ModelRegistry:
 
         plan: Optional[InferencePlan] = None
         tape: Optional[CompiledTape] = None
-        if engine in (ENGINE_PLAN, ENGINE_TAPE):
+        megakernel: Optional[MegaKernel] = None
+        if engine in (ENGINE_PLAN, ENGINE_TAPE, ENGINE_MEGAKERNEL):
             plan = lower_batched_inference(
                 compiled,
                 layout,
                 encrypted_model=encrypted_model,
                 variant=seccomp_variant,
             )
-        if engine == ENGINE_TAPE:
+        if engine in (ENGINE_TAPE, ENGINE_MEGAKERNEL):
             tape = plan.compile_tape()
+        if engine == ENGINE_MEGAKERNEL:
+            megakernel = compile_megakernel(tape)
 
         registered = RegisteredModel(
             name=name,
@@ -261,6 +273,7 @@ class ModelRegistry:
             backend=backend,
             plan=plan,
             tape=tape,
+            megakernel=megakernel,
         )
         with self._lock:
             if name in self._models:
@@ -326,7 +339,7 @@ class ModelRegistry:
         with self._lock:
             if registered.engine == engine:
                 return registered
-            if engine in (ENGINE_PLAN, ENGINE_TAPE):
+            if engine in (ENGINE_PLAN, ENGINE_TAPE, ENGINE_MEGAKERNEL):
                 if registered.plan is None:
                     registered.plan = lower_batched_inference(
                         registered.compiled,
@@ -334,8 +347,14 @@ class ModelRegistry:
                         encrypted_model=registered.encrypted_model,
                         variant=VARIANT_ALOUFI,
                     )
-                if engine == ENGINE_TAPE and registered.tape is None:
+                if engine in (ENGINE_TAPE, ENGINE_MEGAKERNEL) \
+                        and registered.tape is None:
                     registered.tape = registered.plan.compile_tape()
+                if engine == ENGINE_MEGAKERNEL \
+                        and registered.megakernel is None:
+                    registered.megakernel = compile_megakernel(
+                        registered.tape
+                    )
             registered.engine = engine
         if self.metrics is not None:
             self.metrics.counter(

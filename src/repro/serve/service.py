@@ -33,7 +33,13 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.errors import ValidationError
 from repro.obs.metrics import MetricsRegistry
 from repro.core.compiler import CompiledModel
-from repro.core.runtime import ENGINE_TAPE, ENGINES, PHASE_PLAN, PHASE_TAPE
+from repro.core.runtime import (
+    ENGINE_TAPE,
+    ENGINES,
+    PHASE_MEGAKERNEL,
+    PHASE_PLAN,
+    PHASE_TAPE,
+)
 from repro.core.seccomp import VARIANT_ALOUFI
 from repro.fhe.backend import canonical_backend_name
 from repro.fhe.params import EncryptionParams
@@ -106,6 +112,11 @@ class ServiceStats:
         return self.phase_ms.get(PHASE_TAPE, 0.0)
 
     @property
+    def megakernel_ms(self) -> float:
+        """Simulated inference ms spent in the megakernel engine."""
+        return self.phase_ms.get(PHASE_MEGAKERNEL, 0.0)
+
+    @property
     def eager_ms(self) -> float:
         """Simulated inference ms spent in the eager four-stage engine."""
         return sum(self.phase_ms.get(p, 0.0) for p in BATCH_INFERENCE_PHASES)
@@ -119,6 +130,11 @@ class ServiceStats:
     def tape_op_counts(self) -> Dict[str, int]:
         """Operation counts recorded by tape-engine batches."""
         return dict(self.phase_op_counts.get(PHASE_TAPE, {}))
+
+    @property
+    def megakernel_op_counts(self) -> Dict[str, int]:
+        """Operation counts recorded by megakernel-engine batches."""
+        return dict(self.phase_op_counts.get(PHASE_MEGAKERNEL, {}))
 
     @property
     def eager_op_counts(self) -> Dict[str, int]:

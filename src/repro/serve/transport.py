@@ -4,12 +4,14 @@ Everything that crosses a router/worker process boundary is defined
 here, and everything here must survive ``pickle`` under the ``spawn``
 start method (no lambdas, locks, futures, open trackers, or lazily
 cached derived state — :class:`~repro.ir.tape.FusedSpec` drops its
-gather caches in ``__getstate__`` for exactly this reason):
+gather caches in ``__getstate__`` for exactly this reason, and
+:class:`~repro.ir.megakernel.MegaKernel` reduces to its tape and
+recompiles lazily on the other side):
 
 * :class:`ShippedModel` — the compiled model bundle a worker receives
   **exactly once** per (worker, epoch): the registered model's cached
   parameters, layout, keys, once-encrypted batched model, and compiled
-  plan/tape.  Binding is fail-closed by the existing
+  plan/tape/megakernel.  Binding is fail-closed by the existing
   :meth:`~repro.core.compiler.CompiledModel.fingerprint`: the envelope
   carries the fingerprint it was shipped under, and :meth:`verify`
   recomputes and cross-checks it against every cached artifact before
@@ -85,6 +87,7 @@ class ShippedModel:
     backend: str
     plan: Optional[object] = field(default=None, repr=False)
     tape: Optional[object] = field(default=None, repr=False)
+    megakernel: Optional[object] = field(default=None, repr=False)
     forest: Optional[object] = field(default=None, repr=False)
     setup_ms: float = 0.0
 
@@ -106,6 +109,7 @@ class ShippedModel:
             backend=registered.backend,
             plan=registered.plan,
             tape=registered.tape,
+            megakernel=registered.megakernel,
             forest=registered.forest,
             setup_ms=registered.setup_ms,
         )
@@ -115,7 +119,8 @@ class ShippedModel:
 
         Recomputes the compiled model's fingerprint and requires every
         cached artifact in the envelope — the batched ciphertext bundle,
-        the lowered plan, the compiled tape — to carry exactly it.  An
+        the lowered plan, the compiled tape, the megakernel — to
+        carry exactly it.  An
         envelope that cannot prove it is one consistent model is
         refused before any batch can be evaluated against it.
         """
@@ -133,6 +138,9 @@ class ShippedModel:
              if self.plan is not None else actual),
             ("tape", getattr(self.tape, "model_fingerprint", None)
              if self.tape is not None else actual),
+            ("megakernel",
+             getattr(self.megakernel, "model_fingerprint", None)
+             if self.megakernel is not None else actual),
         )
         for what, fp in checks:
             if fp != actual:
@@ -164,6 +172,7 @@ class ShippedModel:
             backend=self.backend,
             plan=self.plan,
             tape=self.tape,
+            megakernel=self.megakernel,
         )
 
 

@@ -29,9 +29,11 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.core.runtime import (
+    ENGINE_MEGAKERNEL,
     ENGINE_PLAN,
     ENGINE_TAPE,
     PHASE_DATA_ENCRYPT,
+    PHASE_MEGAKERNEL,
     PHASE_PLAN,
     PHASE_TAPE,
 )
@@ -78,6 +80,7 @@ def evaluate_batch(
         engine=registered.engine,
         plan=registered.plan,
         tape=registered.tape,
+        megakernel=registered.megakernel,
     )
     query = encrypt_batch(ctx, registered.layout, features, registered.keys)
     encrypted = server.classify_batch(registered.batched_model, query)
@@ -85,7 +88,9 @@ def evaluate_batch(
     bitvectors = demux_bitvectors(registered.layout, bits, len(features))
 
     cost = registered.cost_model
-    if registered.engine == ENGINE_TAPE:
+    if registered.engine == ENGINE_MEGAKERNEL:
+        inference_phases = (PHASE_MEGAKERNEL,)
+    elif registered.engine == ENGINE_TAPE:
         inference_phases = (PHASE_TAPE,)
     elif registered.engine == ENGINE_PLAN:
         inference_phases = (PHASE_PLAN,)

@@ -28,6 +28,7 @@ import pytest
 
 from repro import lower_batched_inference, lower_inference
 from repro.fhe.costmodel import CostModel
+from repro.ir.megakernel import compile_megakernel
 from repro.fhe.params import EncryptionParams
 from repro.serve import plan_layout
 
@@ -61,10 +62,20 @@ def _plan_entry(plan, cost_model):
             "instructions": tape.num_instructions,
         }
     )
+    kernel = compile_megakernel(tape)
     return {
         "optimized": _profile_dict(plan.optimized, cost_model),
         "raw": _profile_dict(plan.raw, cost_model),
         "tape": tape_profile,
+        # The megakernel shares the tape's profile by construction, so
+        # only its compiled-plane shape needs pinning.
+        "megakernel": {
+            "supported": kernel.supported,
+            "segments": kernel.num_segments,
+            "steps": kernel.num_blocks,
+            "register_rows": kernel.num_rows,
+            "live_rows": kernel.data_rows,
+        },
     }
 
 
@@ -192,6 +203,39 @@ def test_tape_never_loses_to_plan(current, key):
     assert tape["cost_ms"] <= opt["cost_ms"], key
     assert tape["depth"] <= opt["depth"], key
     assert tape["peak_live"] < tape["num_nodes"], key
+
+
+@pytest.mark.parametrize(
+    "key",
+    list(SINGLE_WORKLOADS) + [f"{n}@batched" for n in BATCHED_WORKLOADS],
+)
+def test_no_megakernel_regression(baseline, current, key):
+    """Every baselined tape must keep compiling into the gather grammar
+    (no silent tape-loop fallback), and the compiled plane may only
+    shrink: fewer or equal segments, steps, and register rows."""
+    base = baseline[key]["megakernel"]
+    cur = current[key]["megakernel"]
+    assert cur["supported"], f"{key}: megakernel fell back to the tape loop"
+    for metric in ("segments", "steps", "register_rows", "live_rows"):
+        assert cur[metric] <= base[metric], (
+            f"{key}: megakernel {metric} regressed "
+            f"{base[metric]} -> {cur[metric]}"
+        )
+
+
+@pytest.mark.parametrize(
+    "key",
+    list(SINGLE_WORKLOADS) + [f"{n}@batched" for n in BATCHED_WORKLOADS],
+)
+def test_megakernel_plane_bounded_by_liveness(current, key):
+    """The register plane is liveness-sized: live rows bounded by the
+    plane, strictly below one-row-per-instruction, and the schedule
+    never exceeds one step per instruction."""
+    mk = current[key]["megakernel"]
+    tape = current[key]["tape"]
+    assert mk["live_rows"] <= mk["register_rows"]
+    assert mk["live_rows"] < tape["instructions"], key
+    assert mk["segments"] <= mk["steps"] <= tape["instructions"], key
 
 
 @pytest.mark.parametrize("key", [f"{n}@batched" for n in BATCHED_WORKLOADS])

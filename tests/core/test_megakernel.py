@@ -1,0 +1,316 @@
+"""Locks for the zero-dispatch megakernel (`repro.ir.megakernel`).
+
+Covers the megakernel tier's specific risks: the register plane must be
+preallocated once and bounded by the liveness analysis (not one row per
+instruction), the capture/replay bookkeeping must be byte-identical to
+the tape's — counts, multiplicative depth, and noise-*failure* points
+included — the book cache must canonicalize key identity so fresh
+per-batch key sets hit the same entry, the fail-closed fingerprint
+refusal must match the tape's and the plan's byte-for-byte, and a
+pickled kernel must rebuild its compiled plane lazily from nothing but
+the tape.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CopseCompiler
+from repro.core.runtime import CopseServer, DataOwner, ModelOwner
+from repro.errors import (
+    NoiseBudgetExceededError,
+    RuntimeProtocolError,
+    ValidationError,
+)
+from repro.fhe.ciphertext import PlainVector
+from repro.fhe.context import FheContext
+from repro.fhe.params import EncryptionParams
+from repro.forest.synthetic import random_forest
+from repro.ir import IrBuilder, execute, lower_inference
+from repro.ir.executor import tile_plain_extend
+from repro.ir.megakernel import compile_megakernel
+from repro.ir.tape import compile_tape
+
+
+PARAMS = EncryptionParams.paper_defaults()
+SHALLOW = EncryptionParams(bits=160)  # depth capacity 4
+
+
+def small_forest(seed=7, branches=(4, 5), depth=3):
+    return random_forest(
+        np.random.default_rng(seed),
+        branches_per_tree=list(branches),
+        max_depth=depth,
+        n_features=2,
+        precision=4,
+    )
+
+
+def small_compiled(seed=7):
+    return CopseCompiler(precision=4).compile(small_forest(seed))
+
+
+def inference_setup(backend="vector", encrypted_model=True, seed=7):
+    """(tape, kernel, ctx, keys, model, query, expected_bits)."""
+    compiled = small_compiled(seed)
+    plan = lower_inference(compiled, encrypted_model=encrypted_model)
+    tape = plan.compile_tape()
+    kernel = compile_megakernel(tape)
+    ctx = FheContext(PARAMS, backend=backend)
+    keys = ctx.keygen()
+    maurice = ModelOwner(compiled)
+    query = DataOwner(maurice.query_spec(), keys).prepare_query(ctx, [1, 2])
+    model = (
+        maurice.encrypt_model(ctx, keys.public)
+        if encrypted_model
+        else maurice.plaintext_model(ctx)
+    )
+    expected = small_forest(seed).label_bitvector([1, 2])
+    return tape, kernel, ctx, keys, model, query, expected
+
+
+def deep_multiply_tape(width=8, depth=8):
+    """A multiply chain deep enough to exhaust SHALLOW's noise budget."""
+    b = IrBuilder()
+    x = b.input_ct("x", width)
+    acc = x
+    for _ in range(depth):
+        acc = b.and_(acc, x)
+    b.output("out", acc)
+    return compile_tape(b.build())
+
+
+class TestCompiledPlane:
+    def test_preallocation_bounded_by_liveness(self):
+        """The register plane holds peak-live values plus the constant
+        pool — never one row per instruction."""
+        tape, kernel, *_ = inference_setup()
+        assert kernel.supported
+        assert 0 < kernel.data_rows <= kernel.num_rows
+        assert kernel.data_rows < kernel.num_instructions
+        assert 0 < kernel.num_segments <= kernel.num_blocks
+        assert kernel.num_blocks <= kernel.num_instructions
+        # Metadata passthrough: one source of truth, the tape.
+        assert kernel.peak_live == tape.peak_live
+        assert kernel.rotations == tape.rotations
+        assert kernel.describe().startswith("megakernel:")
+
+    def test_register_plane_reused_across_runs(self):
+        """The per-thread buffer is allocated once; repeated runs reuse
+        the same plane and compiled step closures."""
+        _, kernel, ctx, keys, model, query, expected = inference_setup()
+        first = kernel.run(ctx, model, query)
+        state = kernel._local.state
+        second = kernel.run(ctx, model, query)
+        assert kernel._local.state is state
+        assert ctx.decrypt_bits(first, keys.secret) == expected
+        assert ctx.decrypt_bits(second, keys.secret) == expected
+
+
+class TestBookkeepingParity:
+    @pytest.mark.parametrize("encrypted_model", [True, False])
+    def test_counts_depth_and_bits_match_tape(self, encrypted_model):
+        """On the vector backend the replayed bulk bookkeeping must be
+        byte-identical to the tape loop's: same per-kind counts, same
+        multiplicative depth, same decrypted bits."""
+        tape, kernel, ctx_t, keys, model, query, expected = inference_setup(
+            encrypted_model=encrypted_model
+        )
+        taped = tape.run(ctx_t, model, query, phase="parity")
+        ctx_k = FheContext(PARAMS, backend="vector")
+        kerneled = kernel.run(ctx_k, model, query, phase="parity")
+        assert ctx_k.decrypt_bits(kerneled, keys.secret) == expected
+        assert ctx_t.decrypt_bits(taped, keys.secret) == expected
+        assert (
+            ctx_k.tracker.phase_stats("parity").as_dict()
+            == ctx_t.tracker.phase_stats("parity").as_dict()
+        )
+        assert (
+            ctx_k.tracker.multiplicative_depth()
+            == ctx_t.tracker.multiplicative_depth()
+        )
+
+    def test_book_cache_canonicalizes_fresh_key_sets(self):
+        """Serve mints fresh keys per batch; the signature canonicalizes
+        key ids by first appearance, so every batch hits one book."""
+        compiled = small_compiled()
+        tape = lower_inference(compiled).compile_tape()
+        kernel = compile_megakernel(tape)
+        maurice = ModelOwner(compiled)
+        ctx = FheContext(PARAMS, backend="vector")
+        expected = small_forest().label_bitvector([1, 2])
+        for _ in range(2):
+            keys = ctx.keygen()
+            query = DataOwner(maurice.query_spec(), keys).prepare_query(
+                ctx, [1, 2]
+            )
+            model = maurice.encrypt_model(ctx, keys.public)
+            result = kernel.run(ctx, model, query)
+            assert ctx.decrypt_bits(result, keys.secret) == expected
+        assert len(kernel._book) == 1
+
+    def test_noise_failure_replays_identically(self):
+        """A budget overflow must raise the tape's exact error — on the
+        first (captured) run and on cached replays — with the partial
+        counts the tape would have left behind."""
+        tape = deep_multiply_tape()
+        kernel = compile_megakernel(tape)
+
+        setup = FheContext(SHALLOW, backend="vector")
+        keys = setup.keygen()
+        ct = setup.encrypt(np.ones(8, dtype=np.uint8), keys.public)
+
+        ctx_t = FheContext(SHALLOW, backend="vector")
+        with pytest.raises(NoiseBudgetExceededError) as tape_err:
+            tape.execute(ctx_t, {"x": ct}, phase="parity")
+
+        ctx_k = FheContext(SHALLOW, backend="vector")
+        with pytest.raises(NoiseBudgetExceededError) as kernel_err:
+            kernel.execute(ctx_k, {"x": ct}, phase="parity")
+        assert str(kernel_err.value) == str(tape_err.value)
+        assert ctx_k.tracker.total_counts() == ctx_t.tracker.total_counts()
+
+        # Cached replay: same bookkeeping, same exception, no execution.
+        ctx_r = FheContext(SHALLOW, backend="vector")
+        with pytest.raises(NoiseBudgetExceededError) as replay_err:
+            kernel.execute(ctx_r, {"x": ct}, phase="parity")
+        assert str(replay_err.value) == str(tape_err.value)
+        assert ctx_r.tracker.total_counts() == ctx_t.tracker.total_counts()
+        assert len(kernel._book) == 1
+
+
+class TestFingerprintFailClosed:
+    @pytest.mark.parametrize("encrypted_model", [True, False])
+    def test_refuses_foreign_model_like_tape(self, encrypted_model):
+        """A kernel compiled for model A must refuse a shape-identical
+        model B — byte-identically to the tape's refusal."""
+        compiled_a = small_compiled(seed=7)
+        compiled_b = small_compiled(seed=8)
+        assert compiled_a.fingerprint() != compiled_b.fingerprint()
+        tape_a = lower_inference(
+            compiled_a, encrypted_model=encrypted_model
+        ).compile_tape()
+        kernel_a = compile_megakernel(tape_a)
+
+        ctx = FheContext(PARAMS, backend="vector")
+        keys = ctx.keygen()
+        maurice_b = ModelOwner(compiled_b)
+        query = DataOwner(maurice_b.query_spec(), keys).prepare_query(
+            ctx, [1, 2]
+        )
+        model_b = (
+            maurice_b.encrypt_model(ctx, keys.public)
+            if encrypted_model
+            else maurice_b.plaintext_model(ctx)
+        )
+        server = CopseServer(ctx, engine="megakernel", megakernel=kernel_a)
+        with pytest.raises(RuntimeProtocolError) as kernel_err:
+            server.classify(model_b, query)
+        tape_server = CopseServer(ctx, engine="tape", tape=tape_a)
+        with pytest.raises(RuntimeProtocolError) as tape_err:
+            tape_server.classify(model_b, query)
+        assert str(kernel_err.value) == str(tape_err.value)
+
+        # Every bind re-checks: a second impostor after a successful
+        # bind (layout cache warm) is refused with the same message.
+        maurice_a = ModelOwner(compiled_a)
+        query_a = DataOwner(maurice_a.query_spec(), keys).prepare_query(
+            ctx, [1, 2]
+        )
+        model_a = (
+            maurice_a.encrypt_model(ctx, keys.public)
+            if encrypted_model
+            else maurice_a.plaintext_model(ctx)
+        )
+        result = server.classify(model_a, query_a)
+        expected = small_forest(seed=7).label_bitvector([1, 2])
+        assert ctx.decrypt_bits(result, keys.secret) == expected
+        with pytest.raises(RuntimeProtocolError) as warm_err:
+            server.classify(model_b, query)
+        assert str(warm_err.value) == str(tape_err.value)
+
+
+class TestPickleRoundTrip:
+    def test_registered_megakernel_ships_and_rebuilds(self):
+        """ShippedModel carries the kernel; the clone rebuilds its
+        compiled plane and book cache lazily from the tape alone."""
+        from repro.serve.registry import ModelRegistry
+        from repro.serve.transport import ShippedModel
+
+        registered = ModelRegistry().register(
+            "mk-pickle",
+            small_forest(),
+            precision=4,
+            max_batch_size=4,
+            backend="vector",
+            engine="megakernel",
+        )
+        assert registered.megakernel is not None
+        envelope = ShippedModel.from_registered(registered)
+        clone = pickle.loads(pickle.dumps(envelope, pickle.HIGHEST_PROTOCOL))
+        assert clone.verify() == registered.compiled.fingerprint()
+        kernel = clone.megakernel
+        assert kernel is not None
+        # Lazy state dropped in transit, rebuilt worker-side on demand.
+        assert kernel._plan is None and kernel._book == {}
+        assert kernel.model_fingerprint == (
+            registered.tape.model_fingerprint
+        )
+        assert kernel.supported
+        assert kernel.num_instructions == registered.tape.num_instructions
+
+
+class TestExtendZeroWidth:
+    """Bugfix lock: a zero-width plain operand reaching EXTEND must
+    raise ValidationError naming the input — not a bare
+    ZeroDivisionError from the ceil-division tiling — identically on
+    every engine."""
+
+    def test_tile_helper_rejects_empty_operand(self):
+        with pytest.raises(ValidationError) as err:
+            tile_plain_extend(np.zeros(0, dtype=np.uint8), 6, "IR node 0")
+        assert "zero-length vector has no cyclic extension" in str(err.value)
+        # The non-degenerate tiling is the ceil-division cyclic extend.
+        tiled = tile_plain_extend(
+            np.array([1, 0], dtype=np.uint8), 5, "IR node 0"
+        )
+        assert tiled.tolist() == [1, 0, 1, 0, 1]
+
+    def test_engines_raise_validation_error(self):
+        b = IrBuilder()
+        p = b.input_pt("p", 0)
+        b.output("out", b.extend(p, 6))
+        graph = b.build()
+        # A zero-width PlainVector cannot be built through the public
+        # constructor (coerce_bits refuses empties), so forge one — the
+        # hostile binding the executor must survive gracefully.
+        empty = object.__new__(PlainVector)
+        empty._slots = np.zeros(0, dtype=np.uint8)
+        ctx = FheContext(PARAMS, backend="vector")
+
+        with pytest.raises(ValidationError) as graph_err:
+            execute(graph, ctx, {"p": empty}, phase=None)
+
+        # The engines name their own operand (IR node vs tape register)
+        # but share the diagnostic through the one tiling helper.
+        tail = (
+            "to 6 slots: the plain operand has width 0, and a "
+            "zero-length vector has no cyclic extension"
+        )
+        assert str(graph_err.value) == f"cannot EXTEND IR node 0 {tail}"
+
+        tape = compile_tape(graph)
+        with pytest.raises(ValidationError) as tape_err:
+            tape.execute(ctx, {"p": empty})
+        assert str(tape_err.value).startswith("cannot EXTEND ")
+        assert str(tape_err.value).endswith(tail)
+
+        # The megakernel's gather grammar refuses zero-width inputs at
+        # compile time, so it falls back to the tape loop — and raises
+        # the tape's identical error.
+        kernel = compile_megakernel(tape)
+        assert not kernel.supported
+        with pytest.raises(ValidationError) as kernel_err:
+            kernel.execute(ctx, {"p": empty})
+        assert str(kernel_err.value) == str(tape_err.value)

@@ -224,3 +224,79 @@ class TestClassifyBatch:
         query = encrypt_batch(ctx, small, [[1, 2]], keys)
         with pytest.raises(RuntimeProtocolError):
             BatchedCopseServer(ctx).classify_batch(model, query)
+
+
+class TestBulkAdoption:
+    """The vector backend's ``adopt_many`` capability must be invisible:
+    bulk adoption and per-ciphertext adoption leave identical tracker
+    state, node ids, and key identity — including on refusal."""
+
+    @pytest.fixture
+    def layout(self, compiled_example, params):
+        return plan_layout(compiled_example, params, max_batch_size=4)
+
+    def _flatten(self, model):
+        planes = list(model.threshold_planes)
+        planes += list(model.reshuffle_diagonals)
+        for level in model.level_diagonals:
+            planes += list(level)
+        planes += list(model.level_masks)
+        return planes
+
+    def _contexts(self, params):
+        from repro.fhe.vector import VectorFheContext
+
+        class NoBulk(VectorFheContext):
+            adopt_many = None  # hide the capability: per-ct fallback
+
+        return VectorFheContext(params), NoBulk(params)
+
+    def test_bulk_matches_per_ciphertext(
+        self, compiled_example, layout, params
+    ):
+        registry_ctx = FheContext(params, backend="vector")
+        keys = registry_ctx.keygen()
+        model = build_batched_model(
+            registry_ctx, compiled_example, layout, keys.public
+        )
+        bulk_ctx, slow_ctx = self._contexts(params)
+        bulk = model.adopt_into(bulk_ctx)
+        slow = model.adopt_into(slow_ctx)
+        assert (
+            bulk_ctx.tracker.phase_stats(PHASE_MODEL_CACHE).as_dict()
+            == slow_ctx.tracker.phase_stats(PHASE_MODEL_CACHE).as_dict()
+        )
+        for got, want in zip(self._flatten(bulk), self._flatten(slow)):
+            assert type(got) is type(want)
+            if hasattr(got, "node_id"):
+                assert got.node_id == want.node_id == 0
+                assert got.key_id == want.key_id
+                assert got.length == want.length
+                assert np.array_equal(got._slots, want._slots)
+
+    def test_bulk_refusal_matches_per_ciphertext(
+        self, compiled_example, params
+    ):
+        """Oversized planes refuse with the same error and the same
+        partial LOAD counts on both adoption paths."""
+        from repro.errors import SlotCapacityError
+        from repro.fhe.params import EncryptionParams
+
+        registry_ctx = FheContext(params, backend="vector")
+        keys = registry_ctx.keygen()
+        full = plan_layout(compiled_example, params)  # uncapped capacity
+        model = build_batched_model(
+            registry_ctx, compiled_example, full, keys.public
+        )
+        tiny = EncryptionParams(columns=1)  # 320 slots
+        assert model.threshold_planes[0].length > 320
+        bulk_ctx, slow_ctx = self._contexts(tiny)
+        with pytest.raises(SlotCapacityError) as bulk_err:
+            model.adopt_into(bulk_ctx)
+        with pytest.raises(SlotCapacityError) as slow_err:
+            model.adopt_into(slow_ctx)
+        assert str(bulk_err.value) == str(slow_err.value)
+        assert (
+            bulk_ctx.tracker.phase_stats(PHASE_MODEL_CACHE).as_dict()
+            == slow_ctx.tracker.phase_stats(PHASE_MODEL_CACHE).as_dict()
+        )

@@ -457,6 +457,26 @@ class TestRealCluster:
         assert_conserved(stats)
         assert stats.completed == 33
 
+    def test_real_megakernel_engine_round_trip(self, example_forest):
+        """Bugfix lock: workers must seat the shipped megakernel in
+        their BatchedCopseServer (evaluate_batch once dropped it, so
+        every engine="megakernel" batch failed cluster-side)."""
+        queries = real_queries(example_forest, 9, seed=11)
+        with ClusterService(workers=2, backend="vector") as service:
+            service.register_model(
+                "mk", example_forest, precision=8, max_batch_size=4,
+                engine="megakernel",
+            )
+            results = service.classify_many("mk", queries)
+            stats = service.stats()
+        for features, res in zip(queries, results):
+            assert res.oracle_ok is True
+            assert res.bitvector == example_forest.label_bitvector(
+                features
+            )
+        assert_conserved(stats)
+        assert stats.completed == 9
+
     def test_real_one_vs_two_workers_identical_bits(self, example_forest):
         queries = real_queries(example_forest, 12, seed=5)
         bits = {}

@@ -326,6 +326,28 @@ class TestServeScheduling:
         out = capsys.readouterr().out
         assert "oracle agreement: ok" in out
 
+    def test_autoscale_scales_down_after_drain(self, model_file, capsys):
+        """Bugfix lock: once load ends the control plane keeps ticking
+        long enough for the sustain-down counter to fire, so an idle
+        over-provisioned pool scales down before the report prints
+        (previously no post-drain ticks meant no scale-down, ever)."""
+        import re
+
+        path, _ = model_file
+        assert main(
+            ["serve", path, "--queries", "6", "--threads", "2",
+             "--batch-size", "3", "--autoscale",
+             "--workers-min", "1", "--workers-max", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "oracle agreement: ok" in out
+        assert "control plane:" in out
+        # The drained plant is idle with a free worker: the policy must
+        # have proposed — and the guard rail applied — a scale-down.
+        assert "sustained underload" in out
+        applied = re.search(r"(\d+) actuations applied", out)
+        assert applied is not None and int(applied.group(1)) >= 1
+
 
 class TestServeWorkers:
     """``--workers`` edges: below-1 counts rejected by name, and a

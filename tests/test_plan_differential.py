@@ -6,10 +6,14 @@ rotation-scheduled, kernel-fused) must be bit-identical to the eager
 Algorithm 1 interpreter and to the plaintext oracle
 (``forest.label_bitvector``) on *every* model and query — the optimizer
 may only remove work, never change slots, and register reuse may never
-corrupt a live ciphertext.  Hypothesis generates random small forests
-and feature vectors and checks all engines against each other, in both
-the encrypted-model and plaintext-model configurations, plus the
-batched serve path (tape-/plan-/eager-engine services vs oracle).
+corrupt a live ciphertext.  The megakernel (``engine="megakernel"`` —
+the tape compiled once more into vectorized segments over a
+preallocated register plane with bulk bookkeeping) joins the same
+equivalence class: kernel == tape == plan == eager == oracle.
+Hypothesis generates random small forests and feature vectors and
+checks all engines against each other, in both the encrypted-model and
+plaintext-model configurations, plus the batched serve path
+(megakernel-/tape-/plan-/eager-engine services vs oracle).
 
 The oracle check runs under **every registered FHE backend** (the
 pluggable-backend redesign's acceptance property: eager == plan ==
@@ -71,6 +75,20 @@ def model_for(branches_a: int, branches_b: int, depth: int, model_seed: int):
         encrypted: plan.compile_tape() for encrypted, plan in plans.items()
     }
     return forest, compiled, plans, tapes
+
+
+@lru_cache(maxsize=128)
+def megakernel_for(branches_a, branches_b, depth, model_seed):
+    """Megakernels compiled from ``model_for``'s cached tapes — cached
+    separately so every Hypothesis example reuses the compiled register
+    planes (a realistic serve steady state) instead of rebuilding them."""
+    from repro.ir.megakernel import compile_megakernel
+
+    _, _, _, tapes = model_for(branches_a, branches_b, depth, model_seed)
+    return {
+        encrypted: compile_megakernel(tape)
+        for encrypted, tape in tapes.items()
+    }
 
 
 @st.composite
@@ -162,6 +180,50 @@ def test_tape_matches_oracle(backend, shape, features):
         )
 
 
+@pytest.mark.parametrize("backend", available_backends())
+@given(shape=FOREST_SHAPES, features=FEATURES)
+@CI_PROFILE
+def test_megakernel_matches_tape_and_oracle(backend, shape, features):
+    """Megakernel classify == tape classify == plaintext oracle, with
+    byte-identical output metadata (length, noise state, node id), on
+    every registered backend.  On the vector backend this exercises the
+    compiled register plane + bulk-bookkeeping path; on the reference
+    and plaintext backends (no ``megakernel_ops`` capability) it
+    exercises the documented tape-loop fallback — the engine must be
+    indistinguishable either way."""
+    forest, compiled, _, tapes = model_for(*shape)
+    kernels = megakernel_for(*shape)
+    oracle = forest.label_bitvector(features)
+
+    ctx = FheContext(backend=backend)
+    keys = ctx.keygen()
+    maurice = ModelOwner(compiled)
+    diane = DataOwner(maurice.query_spec(), keys)
+    query = diane.prepare_query(ctx, features)
+
+    for encrypted in (True, False):
+        if encrypted:
+            model = maurice.encrypt_model(ctx, keys.public)
+        else:
+            model = maurice.plaintext_model(ctx)
+        taped = CopseServer(
+            ctx, engine="tape", tape=tapes[encrypted]
+        ).classify(model, query)
+        kerneled = CopseServer(
+            ctx, engine="megakernel", megakernel=kernels[encrypted]
+        ).classify(model, query)
+        label = "enc" if encrypted else "plain"
+        assert ctx.decrypt_bits(kerneled, keys.secret) == oracle, (
+            f"megakernel/{label} disagrees with oracle"
+        )
+        assert (
+            ctx.decrypt_bits(kerneled, keys.secret)
+            == ctx.decrypt_bits(taped, keys.secret)
+        ), f"megakernel/{label} disagrees with tape"
+        assert kerneled.length == taped.length
+        assert kerneled.noise == taped.noise
+
+
 @pytest.mark.parametrize("backend", ["reference", "vector"])
 @pytest.mark.parametrize("encrypted_model", [True, False])
 @given(
@@ -175,11 +237,13 @@ def test_tape_matches_oracle(backend, shape, features):
 def test_batched_serve_engines_agree(
     backend, encrypted_model, shape, query_seed
 ):
-    """The serve registry's tape and plan engines and the eager batched
-    runtime produce identical per-query bitvectors on packed batches —
-    for encrypted models and for plaintext models (where the lowering
-    bakes the tiled model in as graph constants), on the reference and
-    vector backends alike."""
+    """The serve registry's megakernel, tape, and plan engines and the
+    eager batched runtime produce identical per-query bitvectors on
+    packed batches — for encrypted models and for plaintext models
+    (where the lowering bakes the tiled model in as graph constants),
+    on the reference and vector backends alike (the megakernel engine
+    exercises its compiled plane on vector and its tape-loop fallback
+    on reference)."""
     forest, compiled, _, _ = model_for(*shape)
     rng = np.random.default_rng(query_seed)
     queries = [
@@ -189,7 +253,7 @@ def test_batched_serve_engines_agree(
     oracle = [forest.label_bitvector(q) for q in queries]
 
     outputs = {}
-    for engine in ("tape", "plan", "eager"):
+    for engine in ("megakernel", "tape", "plan", "eager"):
         with CopseService(threads=1, engine=engine, backend=backend) as service:
             service.register_model(
                 "m", compiled, max_batch_size=2,
@@ -199,7 +263,13 @@ def test_batched_serve_engines_agree(
         assert all(r.oracle_ok for r in results), f"{engine} failed oracle"
         outputs[engine] = [r.bitvector for r in results]
 
-    assert outputs["tape"] == outputs["plan"] == outputs["eager"] == oracle
+    assert (
+        outputs["megakernel"]
+        == outputs["tape"]
+        == outputs["plan"]
+        == outputs["eager"]
+        == oracle
+    )
 
 
 @pytest.mark.parametrize("encrypted_model", [True, False])
