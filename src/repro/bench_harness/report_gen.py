@@ -38,7 +38,7 @@ REPORT_PATH = "benchmark_report.txt"
 #: changes what the trajectory records (new sections, new profile
 #: fields) so successive ``BENCH_<n>.json`` files remain comparable
 #: within an index and the trajectory across PRs stays append-only.
-BENCH_INDEX = 9
+BENCH_INDEX = 10
 BENCH_JSON_PATH = f"BENCH_{BENCH_INDEX}.json"
 BENCH_SCHEMA = 1
 #: The consolidated cross-PR trajectory artifact (see
@@ -67,6 +67,7 @@ SECTION_KEYS = (
     "trace-overhead",
     "cluster-speedup",
     "autoscale",
+    "chaos",
 )
 
 #: Sections whose rendered titles do not depend on quick mode — the
@@ -159,6 +160,11 @@ def build_section(key: str, quick: bool) -> List[Table]:
         # full three-phase ramp runs in a couple of seconds) and the
         # section stays byte-identical across modes.
         return [experiments.autoscale(workload_name="width78")]
+    if key == "chaos":
+        # Also virtual-clock: the full 3x-run acceptance soak (chaos,
+        # replay, fault-free twin) costs a couple of seconds, so quick
+        # mode needs no trimming here either.
+        return [experiments.chaos(workload_name="width78")]
     raise KeyError(f"unknown report section {key!r}")
 
 

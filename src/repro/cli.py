@@ -195,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
         "queries (and once at the end); pretty-print a captured line "
         "with 'repro metrics'",
     )
+    serve.add_argument(
+        "--dlq-out", default=None,
+        help="write the dead-letter queue (quarantined poison queries, "
+        "clustered mode only) as JSON to this path; inspect it with "
+        "'repro dlq'",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -247,6 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics_cmd.add_argument("snapshot", help="snapshot file (JSON/JSONL)")
 
+    dlq_cmd = sub.add_parser(
+        "dlq",
+        help="pretty-print a dead-letter queue dump written by "
+        "'repro serve --dlq-out' (quarantined poison queries with "
+        "their bisection provenance)",
+    )
+    dlq_cmd.add_argument("dump", help="DLQ dump file (JSON)")
+
     bench = sub.add_parser(
         "bench", parents=[backend_opts],
         help="regenerate a paper figure/table",
@@ -258,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table6", "throughput", "plan-speedup",
             "tape-speedup", "megakernel-speedup", "backend-speedup",
             "soak", "cluster-speedup",
-            "autoscale", "trajectory", "report",
+            "autoscale", "chaos", "trajectory", "report",
         ],
     )
     bench.add_argument(
@@ -474,6 +488,11 @@ def _cmd_serve(args) -> int:
     ]
     rejected = 0
     clustered = args.workers is not None
+    if args.dlq_out is not None and not clustered:
+        raise _FeatureParseError(
+            "--dlq-out requires --workers (the dead-letter queue lives "
+            "in the cluster router)"
+        )
     if clustered:
         service_cm = ClusterService(
             workers=args.workers,
@@ -584,8 +603,22 @@ def _cmd_serve(args) -> int:
         if interval is not None:
             emit_snapshot()
         stats = service.stats()
+        dead_letters = service.dlq() if clustered else []
     failures = sum(1 for r in results if r.oracle_ok is False)
     print(stats.render())
+    if args.dlq_out is not None:
+        with open(args.dlq_out, "w") as handle:
+            json.dump(dead_letters, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"dead-letter queue: {len(dead_letters)} entries -> "
+            f"{args.dlq_out} (inspect with 'repro dlq')"
+        )
+    elif dead_letters:
+        print(
+            f"dead-letter queue: {len(dead_letters)} quarantined "
+            f"queries (re-run with --dlq-out to dump them)"
+        )
     if rejected:
         print(f"admission control shed {rejected} queries (--max-queue "
               f"{args.max_queue})")
@@ -696,6 +729,10 @@ def _cmd_bench_inner(args) -> int:
     if args.artifact == "autoscale":
         workload = names[0] if names else "width78"
         print(experiments.autoscale(workload_name=workload).render())
+        return 0
+    if args.artifact == "chaos":
+        workload = names[0] if names else "width78"
+        print(experiments.chaos(workload_name=workload).render())
         return 0
     if args.artifact == "trajectory":
         from repro.bench_harness.report_gen import (
@@ -951,6 +988,41 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_dlq(args) -> int:
+    import json
+
+    with open(args.dump) as handle:
+        text = handle.read().strip()
+    if not text:
+        raise _FeatureParseError(f"{args.dump} is empty")
+    try:
+        entries = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise _FeatureParseError(f"{args.dump} is not a DLQ dump: {exc}")
+    if not isinstance(entries, list) or not all(
+        isinstance(e, dict) for e in entries
+    ):
+        raise _FeatureParseError(
+            f"{args.dump} is not a DLQ dump (expected a JSON array of "
+            f"objects)"
+        )
+    print(f"dead-letter queue ({args.dump}): {len(entries)} entries")
+    if not entries:
+        print("(empty: no query was quarantined)")
+        return 0
+    for i, entry in enumerate(entries):
+        print(
+            f"  [{i}] model={entry.get('model')} "
+            f"tenant={entry.get('tenant')} seq={entry.get('seq')} "
+            f"origin_batch={entry.get('origin_batch')} "
+            f"attempts={entry.get('attempts')} t={entry.get('time')}"
+        )
+        reason = entry.get("reason")
+        if reason:
+            print(f"      {reason}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -964,6 +1036,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "dlq": _cmd_dlq,
     }
     try:
         return handlers[args.command](args)

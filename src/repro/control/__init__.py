@@ -54,6 +54,7 @@ from repro.control.policy import (
     AdjustTenantWeight,
     AdmissionReliefPolicy,
     AutoscalePolicy,
+    DegradationPolicy,
     EngineDriftPolicy,
     Policy,
     Proposal,
@@ -86,6 +87,7 @@ __all__ = [
     "WeightBalancePolicy",
     "AdmissionReliefPolicy",
     "EngineDriftPolicy",
+    "DegradationPolicy",
     "GuardConfig",
     "GuardRail",
     "ServicePlant",

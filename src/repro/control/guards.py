@@ -45,7 +45,7 @@ from repro.control.signals import ControlSnapshot
 __all__ = ["GuardConfig", "GuardRail"]
 
 #: Engines a switch proposal may target (mirrors repro.core.runtime).
-_ENGINES = ("eager", "plan", "tape")
+_ENGINES = ("eager", "plan", "tape", "megakernel")
 
 
 @dataclass(frozen=True)

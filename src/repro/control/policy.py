@@ -41,6 +41,7 @@ __all__ = [
     "WeightBalancePolicy",
     "AdmissionReliefPolicy",
     "EngineDriftPolicy",
+    "DegradationPolicy",
 ]
 
 
@@ -101,7 +102,8 @@ class SetAdmissionLimit(Proposal):
 
 @dataclass(frozen=True)
 class SwitchEngine(Proposal):
-    """Flip one model's execution engine (eager / plan / tape).
+    """Flip one model's execution engine (megakernel / tape / plan /
+    eager).
 
     ``expected_fingerprint`` is mandatory context: the guards refuse
     any switch whose fingerprint does not match their declared one, and
@@ -399,6 +401,75 @@ class EngineDriftPolicy(Policy):
                     f"estimated_batch_ms {q.estimated_batch_ms} > "
                     f"{self.drift_factor}x reference {reference_ms} "
                     f"for {self.sustain} ticks"
+                ),
+            ))
+        return proposals
+
+
+class DegradationPolicy(Policy):
+    """Pin a model one rung down its engine ladder when workers keep
+    falling off it.
+
+    Workers already degrade per batch (megakernel -> tape -> plan ->
+    eager) when an engine raises, and the router counts each audited
+    fallback in the labeled ``cluster_degraded`` metric.  Per-batch
+    degradation retries the broken rung on every batch, though — if the
+    fast path stays broken, that is a steady tax of one failed attempt
+    per batch.  This policy watches the counter and, once fallbacks for
+    a model keep accruing for ``sustain`` consecutive ticks, proposes a
+    guard-checked :class:`SwitchEngine` that re-registers the model one
+    rung down — making the degradation sticky, auditable, and subject
+    to the same fingerprint fail-closed checks as every other switch.
+    Each watched model proposes at most once (recovery — climbing back
+    up the ladder — is an operator decision, not an autonomous one).
+    """
+
+    name = "degradation"
+
+    def __init__(self, watch: dict, sustain: int = 2):
+        """``watch``: model -> (current_engine, fingerprint)."""
+        from repro.serve.faults import degrade_engine
+
+        if sustain < 1:
+            raise ValidationError("sustain must be >= 1")
+        for model, (engine, _) in sorted(watch.items()):
+            if degrade_engine(engine) is None:
+                raise ValidationError(
+                    f"model {model!r} engine {engine!r} has no lower "
+                    f"rung to degrade to"
+                )
+        self.watch = dict(watch)
+        self.sustain = sustain
+        self._streaks: dict = {}
+        self._last_counts: dict = {}
+
+    def propose(self, s: ControlSnapshot) -> List[Proposal]:
+        from repro.serve.faults import degrade_engine
+
+        proposals: List[Proposal] = []
+        for model in sorted(self.watch):
+            engine, fingerprint = self.watch[model]
+            count = s.degraded_count(model)
+            previous = self._last_counts.get(model, 0)
+            self._last_counts[model] = count
+            if count <= previous:
+                self._streaks.pop(model, None)
+                continue
+            streak = self._streaks.get(model, 0) + 1
+            self._streaks[model] = streak
+            if streak < self.sustain:
+                continue
+            del self._streaks[model]
+            del self.watch[model]
+            target = degrade_engine(engine)
+            proposals.append(SwitchEngine(
+                model=model,
+                engine=target,
+                expected_fingerprint=fingerprint,
+                reason=(
+                    f"{count} batches degraded off engine {engine!r} "
+                    f"({count - previous} new) for {self.sustain} "
+                    f"consecutive ticks; pinning {target!r}"
                 ),
             ))
         return proposals

@@ -62,6 +62,11 @@ class ControlSnapshot:
     queues: Tuple[QueueSignal, ...] = ()
     #: tenant name -> windowed p99 completion latency, ms (sorted).
     tenant_p99_ms: Tuple[Tuple[str, float], ...] = ()
+    #: Queries isolated as poison by quarantine bisection (cumulative).
+    dead_lettered: int = 0
+    #: model -> batches that fell down the engine degradation ladder
+    #: (cumulative, sorted by model name).
+    degraded: Tuple[Tuple[str, int], ...] = ()
 
     @classmethod
     def capture(cls, metrics, now: float) -> "ControlSnapshot":
@@ -99,6 +104,14 @@ class ControlSnapshot:
             for name, depth in sorted(depths.items())
         )
 
+        degraded = tuple(
+            sorted(
+                (model, int(count))
+                for model, count in metrics.labeled_values(
+                    "cluster_degraded"
+                ).items()
+            )
+        )
         latency = metrics.family("sched_latency_ms").get(())
         tenant_p99 = tuple(
             sorted(
@@ -127,6 +140,8 @@ class ControlSnapshot:
             ),
             queues=queues,
             tenant_p99_ms=tenant_p99,
+            dead_lettered=counter("sched_dead_lettered"),
+            degraded=degraded,
         )
 
     # -- derived views -------------------------------------------------
@@ -158,3 +173,9 @@ class ControlSnapshot:
             if name == tenant:
                 return p99
         return None
+
+    def degraded_count(self, model: str) -> int:
+        for name, count in self.degraded:
+            if name == model:
+                return count
+        return 0

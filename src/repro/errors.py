@@ -119,3 +119,21 @@ class RejectedQuery(ServeError):
         self.tenant = tenant
         self.queue_depth = queue_depth
         self.limit = limit
+
+
+class PoisonQueryError(ServeError):
+    """Quarantine isolated this query as the one crashing its workers.
+
+    Raised on the query's future after bisection narrowed a repeatedly
+    worker-killing batch down to this single query and moved it to the
+    dead-letter queue.  Carries enough context to find the quarantine
+    trail in the router's decision log.
+    """
+
+    def __init__(self, message: str, *, model: str = "",
+                 tenant: str = "", seq: int = -1, attempts: int = 0):
+        super().__init__(message)
+        self.model = model
+        self.tenant = tenant
+        self.seq = seq
+        self.attempts = attempts

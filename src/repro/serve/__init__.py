@@ -40,7 +40,14 @@ stream:
   :class:`ClusterSimRunner` (deterministic soaks with injected worker
   crashes), and :class:`ClusterService` (real ``multiprocessing``
   workers behind :mod:`repro.serve.transport` pipes, each running
-  :func:`repro.serve.worker.worker_main`).
+  :func:`repro.serve.worker.worker_main`);
+* :mod:`repro.serve.faults` — fault-domain hardening policies:
+  :class:`RetryPolicy` (deterministic exponential backoff + hedged
+  re-execution), :class:`CircuitBreaker` (per (model, worker)
+  closed/open/half-open placement vetoes), the bounded
+  :class:`DeadLetterQueue` fed by poison-batch quarantine bisection,
+  the engine/backend degradation ladders, and the test-only
+  :class:`TransportFaultPlan` chaos shim for real worker processes.
 
 Quickstart::
 
@@ -94,6 +101,18 @@ from repro.serve.cluster import (
     ClusterSimRunner,
     RouterCore,
 )
+from repro.serve.faults import (
+    BACKEND_LADDER,
+    ENGINE_LADDER,
+    CircuitBreaker,
+    DeadLetter,
+    DeadLetterQueue,
+    RetryPolicy,
+    TransportFaultPlan,
+    chaos_worker_main,
+    degrade_backend,
+    degrade_engine,
+)
 
 __all__ = [
     "BatchLayout",
@@ -132,4 +151,14 @@ __all__ = [
     "RouterCore",
     "ClusterSimRunner",
     "ClusterService",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "ENGINE_LADDER",
+    "BACKEND_LADDER",
+    "degrade_engine",
+    "degrade_backend",
+    "TransportFaultPlan",
+    "chaos_worker_main",
 ]

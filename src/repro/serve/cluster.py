@@ -30,12 +30,31 @@ one pure decision core, thin engines:
   1-worker and an N-worker cluster decrypt to identical bits — the
   workers are pure functions of (shipped model, features).
 
+The fault-domain layer (:mod:`repro.serve.faults`) rides on the same
+decision core: crashed batches park behind a **deterministic backoff**
+instead of requeueing immediately, a batch that keeps killing workers is
+**bisected** until the poison query is isolated in a bounded
+**dead-letter queue**, per ``(model, worker)`` **circuit breakers**
+steer placement away from failing pairs, and (when enabled) a batch in
+flight past ``k x`` its cost estimate is **hedged** onto a second worker
+— first valid completion wins, the loser is discarded by the existing
+epoch/busy staleness check.
+
 Decision records are ``(kind, ...)`` tuples ordered by emission:
 ``("ship", worker, epoch, model, t)``,
 ``("assign", batch_id, queue, worker, epoch, size, first_seq, t)``,
 ``("crash", worker, new_epoch, t)``, ``("restart", worker, epoch, t)``,
-``("drain", worker, t)``, ``("redeploy", model, fingerprint, t)`` and
-``("stale", batch_id, worker, epoch, t)``.
+``("drain", worker, t)``, ``("redeploy", model, fingerprint, t)``,
+``("stale", batch_id, worker, epoch, t)``, plus the fault-domain kinds:
+``("park", queue, seq, attempt, release_t, t)``,
+``("bisect", origin_batch, queue, size, left, right, release_t, t)``,
+``("dead_letter", queue, tenant, seq, origin_batch, t)``,
+``("breaker", model, worker, state, t)``,
+``("hedge", batch_id, primary, worker, epoch, t)``,
+``("hedge_win", batch_id, winner, t)``,
+``("hedge_promote", batch_id, dead, survivor, t)``,
+``("hedge_drop", batch_id, dead, t)`` and
+``("degrade", model, from_engine, to_engine, t)``.
 """
 
 from __future__ import annotations
@@ -48,7 +67,18 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import RejectedQuery, ServeError, ValidationError
+from repro.errors import (
+    PoisonQueryError,
+    RejectedQuery,
+    ServeError,
+    ValidationError,
+)
+from repro.serve.faults import (
+    CircuitBreaker,
+    DeadLetter,
+    DeadLetterQueue,
+    RetryPolicy,
+)
 from repro.serve.loadgen import (
     Arrival,
     FaultPlan,
@@ -59,6 +89,7 @@ from repro.serve.scheduler import (
     OUTCOME_ERROR,
     OUTCOME_OK,
     Assignment,
+    QueryTicket,
     SchedulerCore,
     SchedulerStats,
     deliver_failures,
@@ -79,6 +110,7 @@ from repro.serve.transport import (
 __all__ = [
     "ShipAction",
     "AssignAction",
+    "HedgeAction",
     "RouterCore",
     "ClusterSimRunner",
     "ClusterService",
@@ -111,6 +143,37 @@ class AssignAction:
     newly_shipped: bool = False
 
 
+@dataclass
+class HedgeAction:
+    """Engine instruction: *also* evaluate ``assignment`` on ``worker``.
+
+    Emitted when a batch has been in flight past its hedge threshold:
+    the engine sends the same batch to a second worker and lets the
+    first valid completion win (the loser is dropped by the epoch/busy
+    staleness check).  ``assignment.worker`` still names the primary.
+    """
+
+    assignment: Assignment
+    worker: int
+    epoch: int
+    newly_shipped: bool = False
+
+
+class _Flight:
+    """Hedge bookkeeping for one in-flight batch (hedging enabled only)."""
+
+    __slots__ = ("assignment", "started", "estimate_s", "hedge_worker",
+                 "hedge_epoch")
+
+    def __init__(self, assignment: Assignment, started: float,
+                 estimate_s: float):
+        self.assignment = assignment
+        self.started = started
+        self.estimate_s = estimate_s
+        self.hedge_worker: Optional[int] = None
+        self.hedge_epoch: Optional[int] = None
+
+
 class RouterCore:
     """Pure cluster placement/failover over a :class:`SchedulerCore`.
 
@@ -127,6 +190,9 @@ class RouterCore:
         tracer=None,
         metrics=None,
         heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        dlq_limit: int = 64,
     ):
         if workers < 1:
             raise ValidationError(
@@ -161,6 +227,25 @@ class RouterCore:
         self.decisions: Optional[List[Tuple]] = (
             [] if record_decisions else None
         )
+        # -- fault-domain state (see repro.serve.faults) --------------
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.dlq = DeadLetterQueue(limit=dlq_limit)
+        #: Tickets waiting out a crash backoff: (release_t, order, ticket).
+        self._parked: List[Tuple[float, int, QueryTicket]] = []
+        #: Quarantine cohorts awaiting solo re-execution:
+        #: (release_t, order, {"queue", "tickets", "origin"}).
+        self._cohorts: List[Tuple[float, int, dict]] = []
+        self._park_order = itertools.count()
+        #: batch_id -> origin batch_id for in-flight quarantine cohorts.
+        self._quarantined: Dict[int, int] = {}
+        #: batch_id -> hedge bookkeeping (populated only when the retry
+        #: policy enables hedging).
+        self._flights: Dict[int, _Flight] = {}
+        #: (model, to_engine) pairs already logged by record_degrade.
+        self._degraded_seen: set = set()
         m = self.metrics
         self._ships = m.counter("cluster_ships")
         self._crashes = m.counter("cluster_crashes")
@@ -171,6 +256,12 @@ class RouterCore:
         self._redeploys = m.counter("cluster_redeploys")
         self._scale_ups = m.counter("cluster_scale_ups")
         self._retires = m.counter("cluster_retires")
+        self._parks = m.counter("cluster_parks")
+        self._bisections = m.counter("cluster_bisections")
+        self._dead_letters = m.counter("cluster_dead_letters")
+        self._hedges = m.counter("cluster_hedges")
+        self._hedge_wins = m.counter("cluster_hedge_wins")
+        self._breaker_trips = m.counter("cluster_breaker_trips")
         m.gauge("cluster_workers").set(workers)
 
     # ------------------------------------------------------------------
@@ -231,11 +322,22 @@ class RouterCore:
         self.metrics.gauge("cluster_workers_alive").set(
             sum(1 for a in self.alive if a)
         )
+        self.metrics.gauge("cluster_dlq_depth").set(len(self.dlq))
+        self.metrics.gauge("cluster_parked").set(
+            len(self._parked)
+            + sum(len(c["tickets"]) for _, _, c in self._cohorts)
+        )
         return stats
 
     @property
     def outstanding(self) -> int:
-        return self.core.outstanding
+        # Parked tickets and quarantine cohorts left the scheduler's
+        # queues but still owe their callers a resolution.
+        return (
+            self.core.outstanding
+            + len(self._parked)
+            + sum(len(c["tickets"]) for _, _, c in self._cohorts)
+        )
 
     def set_weight(self, name: str, weight: float, now: float) -> float:
         """Retune a model's fair-share weight; returns the old one."""
@@ -284,54 +386,85 @@ class RouterCore:
         start = zlib.crc32(model.encode()) % self.workers
         return [(start + k) % self.workers for k in range(self.workers)]
 
-    def _place(self, model: str) -> Optional[int]:
+    def _place(self, model: str, now: float,
+               exclude: Tuple[int, ...] = ()) -> Optional[int]:
         for worker in self.placement_order(model):
+            if worker in exclude:
+                continue
             if (
                 self.alive[worker]
                 and not self.draining[worker]
                 and worker not in self._busy
             ):
-                return worker
+                allowed, transition = self.breaker.allow(
+                    (model, worker), now
+                )
+                if transition is not None:
+                    self._record("breaker", model, worker, transition,
+                                 round(now, 9))
+                if allowed:
+                    return worker
         return None
+
+    def _ship_if_needed(self, name: str, worker: int, epoch: int,
+                        now: float,
+                        actions: List[object]) -> bool:
+        """Update the ship-once ledger; returns True on a fresh ship."""
+        fingerprint = self._models[name]
+        if self.shipped[worker].get(name) == fingerprint:
+            return False
+        self.shipped[worker][name] = fingerprint
+        self._ships.inc()
+        self._record("ship", worker, epoch, name, round(now, 9))
+        if self.tracer is not None:
+            self.tracer.event(
+                "ship", now, track=f"worker:{worker}",
+                model=name, epoch=epoch,
+            )
+        actions.append(ShipAction(worker=worker, epoch=epoch, model=name))
+        return True
+
+    def _track_flight(self, assignment: Assignment, now: float) -> None:
+        if not self.retry_policy.hedging_enabled:
+            return
+        self._flights[assignment.batch_id] = _Flight(
+            assignment, started=now,
+            estimate_s=self.core.service_estimate_s(assignment.queue),
+        )
 
     def dispatch(self, now: float) -> List[object]:
         """Cut and place every batch that can run right now.
 
-        Walks the scheduler's ready queues in fair-share order, pins
+        First releases due backoff parks and quarantine cohorts, then
+        walks the scheduler's ready queues in fair-share order, pins
         each cut to the first eligible worker of the model's placement
-        rotation, and emits the engine's work list: a
-        :class:`ShipAction` the first time a (worker, epoch) sees a
-        model (or a redeployed fingerprint), then the
-        :class:`AssignAction` for the batch itself.  A queue no eligible
-        worker can take is skipped without starving the others.
+        rotation (circuit breakers veto failing (model, worker) pairs),
+        and emits the engine's work list: a :class:`ShipAction` the
+        first time a (worker, epoch) sees a model (or a redeployed
+        fingerprint), then the :class:`AssignAction` for the batch
+        itself.  A queue no eligible worker can take is skipped without
+        starving the others.  Finally, batches in flight past their
+        hedge threshold get a :class:`HedgeAction` (when hedging is on).
         """
         actions: List[object] = []
+        self._release_parked(now)
+        self._dispatch_cohorts(now, actions)
         while True:
             progressed = False
             for name in self.core.ready_queues(now):
-                worker = self._place(name)
+                worker = self._place(name, now)
                 if worker is None:
                     continue
                 assignment = self.core.assign(now, worker=worker,
                                               queue=name)
                 if assignment is None:
+                    self.breaker.release_probe((name, worker))
                     continue  # the whole cut was cancelled
                 epoch = self.epochs[worker]
-                fingerprint = self._models[name]
-                newly = self.shipped[worker].get(name) != fingerprint
-                if newly:
-                    self.shipped[worker][name] = fingerprint
-                    self._ships.inc()
-                    self._record("ship", worker, epoch, name,
-                                 round(now, 9))
-                    if self.tracer is not None:
-                        self.tracer.event(
-                            "ship", now, track=f"worker:{worker}",
-                            model=name, epoch=epoch,
-                        )
-                    actions.append(ShipAction(worker=worker, epoch=epoch,
-                                              model=name))
+                newly = self._ship_if_needed(name, worker, epoch, now,
+                                             actions)
                 self._busy[worker] = assignment
+                self._track_flight(assignment, now)
                 self._record(
                     "assign", assignment.batch_id, name, worker, epoch,
                     assignment.size, assignment.tickets[0].seq,
@@ -344,23 +477,142 @@ class RouterCore:
                 progressed = True
                 break  # re-evaluate fair-share order after every cut
             if not progressed:
-                return actions
+                break
+        if self.retry_policy.hedging_enabled:
+            self._check_hedges(now, actions)
+        return actions
+
+    # ------------------------------------------------------------------
+    # Fault domains: backoff parks, quarantine cohorts, hedges
+    # ------------------------------------------------------------------
+
+    def _release_parked(self, now: float) -> None:
+        """Requeue parked tickets whose backoff has elapsed."""
+        released: List[str] = []
+        while self._parked and self._parked[0][0] <= now:
+            _, _, ticket = heapq.heappop(self._parked)
+            if self.core.requeue(ticket):
+                released.append(ticket.queue)
+        for name in dict.fromkeys(released):
+            # The crashed tickets were already cut once; re-flush so a
+            # requeued partial batch re-cuts now instead of waiting for
+            # a flush nobody will send again.
+            self.core.flush(name)
+
+    def _dispatch_cohorts(self, now: float,
+                          actions: List[object]) -> None:
+        """Re-execute due quarantine cohorts on breaker-cleared workers."""
+        deferred: List[Tuple[float, int, dict]] = []
+        while self._cohorts and self._cohorts[0][0] <= now:
+            release_t, order, cohort = heapq.heappop(self._cohorts)
+            name = cohort["queue"]
+            worker = self._place(name, now)
+            if worker is None:
+                deferred.append((release_t, order, cohort))
+                continue
+            assignment = self.core.assign_direct(
+                name, cohort["tickets"], worker, now
+            )
+            if assignment is None:
+                self.breaker.release_probe((name, worker))
+                continue  # every cohort ticket was cancelled meanwhile
+            epoch = self.epochs[worker]
+            newly = self._ship_if_needed(name, worker, epoch, now,
+                                         actions)
+            self._busy[worker] = assignment
+            self._quarantined[assignment.batch_id] = cohort["origin"]
+            self._track_flight(assignment, now)
+            self._record(
+                "assign", assignment.batch_id, name, worker, epoch,
+                assignment.size, assignment.tickets[0].seq,
+                round(now, 9),
+            )
+            actions.append(AssignAction(
+                assignment=assignment, epoch=epoch, newly_shipped=newly,
+            ))
+        for entry in deferred:
+            heapq.heappush(self._cohorts, entry)
+
+    def _check_hedges(self, now: float, actions: List[object]) -> None:
+        """Speculatively re-place batches stuck past the hedge threshold."""
+        for batch_id in sorted(self._flights):
+            flight = self._flights[batch_id]
+            if flight.hedge_worker is not None:
+                continue
+            threshold = self.retry_policy.hedge_after_s(flight.estimate_s)
+            if now - flight.started < threshold:
+                continue
+            assignment = flight.assignment
+            name = assignment.queue
+            worker = self._place(name, now,
+                                 exclude=(assignment.worker,))
+            if worker is None:
+                continue
+            self.core.reserve_worker(worker)
+            epoch = self.epochs[worker]
+            newly = self._ship_if_needed(name, worker, epoch, now,
+                                         actions)
+            self._busy[worker] = assignment
+            flight.hedge_worker = worker
+            flight.hedge_epoch = epoch
+            self._hedges.inc()
+            self._record("hedge", batch_id, assignment.worker, worker,
+                         epoch, round(now, 9))
+            actions.append(HedgeAction(
+                assignment=assignment, worker=worker, epoch=epoch,
+                newly_shipped=newly,
+            ))
+
+    def next_wake_time(self, now: float) -> Optional[float]:
+        """Earliest future moment a dispatch could make progress.
+
+        Covers slack-cut deadlines, backoff park releases, quarantine
+        cohort releases, hedge thresholds, and (while retry work is
+        pending) circuit-breaker reopen times — the engine's one timer
+        seam, so parked work can never stall a run.
+        """
+        times: List[float] = []
+        cut = self.core.next_cut_time()
+        if cut is not None:
+            times.append(cut)
+        if self._parked:
+            times.append(self._parked[0][0])
+        if self._cohorts:
+            times.append(self._cohorts[0][0])
+        if self.retry_policy.hedging_enabled:
+            for flight in self._flights.values():
+                if flight.hedge_worker is None:
+                    times.append(
+                        flight.started
+                        + self.retry_policy.hedge_after_s(
+                            flight.estimate_s
+                        )
+                    )
+        if self._parked or self._cohorts:
+            reopen = self.breaker.next_transition_time()
+            if reopen is not None:
+                times.append(reopen)
+        return min(times) if times else None
 
     # ------------------------------------------------------------------
     # Completion + the epoch guard
     # ------------------------------------------------------------------
 
     def complete(self, assignment: Assignment, epoch: int, now: float,
-                 outcome: str = OUTCOME_OK) -> bool:
+                 outcome: str = OUTCOME_OK,
+                 worker: Optional[int] = None) -> bool:
         """Account one finished batch — unless its worker epoch is stale.
 
         A completion echoing an epoch the router has since bumped comes
         from a superseded worker incarnation: its tickets were already
         requeued (crash) or belong to a drained-and-restarted worker.
         Counting it would double-complete queries, so it is dropped and
-        recorded.  Returns True when the completion was accepted.
+        recorded.  ``worker`` identifies the delivering worker when it
+        may differ from the binding (hedged batches); it defaults to
+        ``assignment.worker``.  Returns True when accepted.
         """
-        worker = assignment.worker
+        if worker is None:
+            worker = assignment.worker
         if (
             epoch != self.epochs[worker]
             or self._busy.get(worker) is not assignment
@@ -369,7 +621,27 @@ class RouterCore:
             self._record("stale", assignment.batch_id, worker, epoch,
                          round(now, 9))
             return False
+        flight = self._flights.pop(assignment.batch_id, None)
+        if flight is not None and flight.hedge_worker is not None:
+            # Two executors raced; settle the loser before accounting.
+            if worker == flight.hedge_worker:
+                self._busy.pop(assignment.worker, None)
+                self.core.rebind(assignment, worker)
+                self._hedge_wins.inc()
+            else:
+                self._busy.pop(flight.hedge_worker, None)
+                self.core.release_worker(flight.hedge_worker)
+            self._record("hedge_win", assignment.batch_id, worker,
+                         round(now, 9))
         del self._busy[worker]
+        self._quarantined.pop(assignment.batch_id, None)
+        if outcome == OUTCOME_OK:
+            healed = self.breaker.record_success(
+                (assignment.queue, worker), now
+            )
+            if healed is not None:
+                self._record("breaker", assignment.queue, worker,
+                             healed, round(now, 9))
         self.core.complete(assignment, now, outcome)
         return True
 
@@ -408,21 +680,28 @@ class RouterCore:
 
     def crash_worker(self, worker: int,
                      now: float) -> Optional[Assignment]:
-        """Declare a worker dead: bump its epoch, requeue its batch.
+        """Declare a worker dead: bump its epoch, park its batch.
 
         The epoch bump is what invalidates any completion the dead
-        incarnation still manages to deliver; the in-flight batch (if
-        any) takes the scheduler core's crash path — every ticket
-        requeues at its original sequence position, bounded by
-        ``max_retries``.  The worker stays out of placement until
-        :meth:`restart_worker`.
+        incarnation still manages to deliver.  The in-flight batch (if
+        any) takes the fault-domain path: tickets with retries left
+        **park** behind the policy's deterministic backoff; tickets
+        that exhausted ``max_retries`` enter **quarantine** — bisected
+        into cohorts that re-execute independently until the poison
+        query is isolated in the dead-letter queue.  Hedged batches
+        survive a single crash by promoting the other replica.  The
+        worker stays out of placement until :meth:`restart_worker`, and
+        the (model, worker) breaker records the failure.
+
+        Returns the interrupted assignment when its tickets left the
+        worker (parked/quarantined), or None when the batch survives on
+        a hedge replica or the worker was idle.
         """
         self.epochs[worker] += 1
         self.alive[worker] = False
         self.draining[worker] = False
         self.shipped[worker] = {}
-        self._busy.pop(worker, None)
-        interrupted = self.core.crash_worker(worker, now)
+        assignment = self._busy.pop(worker, None)
         self._crashes.inc()
         self._record("crash", worker, self.epochs[worker], round(now, 9))
         if self.tracer is not None:
@@ -430,7 +709,146 @@ class RouterCore:
                 "crash", now, track=f"worker:{worker}",
                 epoch=self.epochs[worker],
             )
-        return interrupted
+        if assignment is None:
+            self.core.count_crash()
+            return None
+        trip = self.breaker.record_failure(
+            (assignment.queue, worker), now
+        )
+        if trip is not None:
+            self._breaker_trips.inc()
+            self._record("breaker", assignment.queue, worker, trip,
+                         round(now, 9))
+        flight = self._flights.get(assignment.batch_id)
+        if flight is not None and flight.hedge_worker is not None:
+            self.core.count_crash()
+            if worker == flight.hedge_worker:
+                # The hedge replica died; the primary runs on.
+                self.core.release_worker(worker)
+                self._record("hedge_drop", assignment.batch_id, worker,
+                             round(now, 9))
+            else:
+                # The primary died; promote the hedge to sole executor.
+                survivor = flight.hedge_worker
+                self.core.rebind(assignment, survivor)
+                self._record("hedge_promote", assignment.batch_id,
+                             worker, survivor, round(now, 9))
+            flight.hedge_worker = None
+            flight.hedge_epoch = None
+            flight.started = now  # re-arm the hedge window
+            return None
+        self._flights.pop(assignment.batch_id, None)
+        tickets = self.core.release_crashed(assignment, now)
+        self._handle_crashed_tickets(assignment, tickets, now)
+        return assignment
+
+    def _handle_crashed_tickets(self, assignment: Assignment,
+                                tickets: List[QueryTicket],
+                                now: float) -> None:
+        """Decide the fate of every ticket freed by a worker crash."""
+        queue = assignment.queue
+        origin = self._quarantined.pop(assignment.batch_id, None)
+        if origin is not None:
+            # A quarantine cohort crashed again: narrow further.
+            if len(tickets) == 1:
+                self._dead_letter(queue, tickets[0], origin, now)
+            else:
+                self._quarantine(queue, tickets, origin, now)
+            return
+        exhausted: List[QueryTicket] = []
+        for ticket in tickets:
+            if ticket.retries >= self.core.max_retries:
+                exhausted.append(ticket)
+                continue
+            self.core.prepare_retry(ticket, now)
+            release = now + self.retry_policy.backoff_s(
+                ticket.retries, key=f"{queue}:{ticket.seq}"
+            )
+            heapq.heappush(
+                self._parked,
+                (release, next(self._park_order), ticket),
+            )
+            self._parks.inc()
+            self._record("park", queue, ticket.seq, ticket.retries,
+                         round(release, 9), round(now, 9))
+        if exhausted:
+            self._quarantine(queue, exhausted, assignment.batch_id, now)
+
+    def _quarantine(self, queue: str, tickets: List[QueryTicket],
+                    origin: int, now: float) -> None:
+        """Bisect a worker-killing ticket group into re-execution cohorts.
+
+        A group of one gets a single solo cohort (its last chance); a
+        larger group splits in half, so log2(size) crash rounds isolate
+        one poison query while every innocent neighbor completes.
+        """
+        mid = len(tickets) // 2
+        halves = [h for h in (tickets[:mid], tickets[mid:]) if h]
+        release = now + self.retry_policy.backoff_s(
+            1, key=f"bisect:{origin}:{len(tickets)}"
+        )
+        for half in halves:
+            for ticket in half:
+                self.core.prepare_retry(ticket, now)
+            heapq.heappush(
+                self._cohorts,
+                (release, next(self._park_order),
+                 {"queue": queue, "tickets": half, "origin": origin}),
+            )
+        self._bisections.inc()
+        self._record(
+            "bisect", origin, queue, len(tickets), len(halves[0]),
+            len(halves[-1]) if len(halves) > 1 else 0,
+            round(release, 9), round(now, 9),
+        )
+
+    def _dead_letter(self, queue: str, ticket: QueryTicket,
+                     origin: int, now: float) -> None:
+        """Terminally isolate one bisection-convicted poison query."""
+        attempts = ticket.retries + 1
+        self._dead_letters.inc()
+        self.dlq.append(DeadLetter(
+            model=queue,
+            tenant=ticket.tenant,
+            seq=ticket.seq,
+            origin_batch=origin,
+            attempts=attempts,
+            reason=(
+                f"crashed {attempts} worker(s); isolated by quarantine "
+                f"bisection from batch {origin}"
+            ),
+            time=round(now, 9),
+        ))
+        self._record("dead_letter", queue, ticket.tenant, ticket.seq,
+                     origin, round(now, 9))
+        if self.tracer is not None:
+            self.tracer.event(
+                "dead_letter", now, track=f"tenant:{ticket.tenant}",
+                model=queue, seq=ticket.seq,
+            )
+        self.core.dead_letter_ticket(ticket, PoisonQueryError(
+            f"query seq={ticket.seq} (model {queue!r}) crashed "
+            f"{attempts} workers and was quarantined to the "
+            f"dead-letter queue",
+            model=queue, tenant=ticket.tenant, seq=ticket.seq,
+            attempts=attempts,
+        ), now)
+
+    def record_degrade(self, model: str, from_engine: str,
+                       to_engine: str, now: float) -> None:
+        """Account a worker-reported engine degradation (auditable).
+
+        The per-model counter rises on every degraded batch (the
+        control plane's signal); the decision record lands once per
+        (model, to_engine) so a long soak's log stays readable.
+        """
+        self.metrics.counter(
+            "cluster_degraded", labels={"model": model}
+        ).inc()
+        if (model, to_engine) not in self._degraded_seen:
+            self._degraded_seen.add((model, to_engine))
+            self._record("degrade", model, from_engine, to_engine,
+                         round(now, 9))
 
     def restart_worker(self, worker: int, now: float) -> int:
         """Bring a worker (back) into placement under a fresh epoch.
@@ -578,8 +996,15 @@ class RouterCore:
 
 #: Event kinds, in processing order at equal timestamps (mirrors
 #: :mod:`repro.serve.loadgen`): completions free workers before crashes,
-#: arrivals, timers, and control ticks look at the pool.
-_COMPLETION, _CRASH, _ARRIVAL, _TIMER, _CONTROL = 0, 1, 2, 3, 4
+#: arrivals, timers, control ticks, health checks, and hangs look at
+#: the pool.
+_COMPLETION, _CRASH, _ARRIVAL, _TIMER, _CONTROL, _HEALTH, _HANG = (
+    0, 1, 2, 3, 4, 5, 6
+)
+
+#: Completion-event fault flags (decided deterministically at schedule
+#: time from the FaultPlan's counters).
+_F_CORRUPT, _F_DROP, _F_DUP = 1, 2, 4
 
 
 class _SimQuery:
@@ -615,6 +1040,11 @@ class ClusterSimRunner:
         ship_ms: float = 0.0,
         controller=None,
         control_interval_s: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        heartbeat_interval_s: float = 1.0,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        dlq_limit: int = 64,
     ):
         if not profiles:
             raise ValidationError(
@@ -626,11 +1056,17 @@ class ClusterSimRunner:
             raise ValidationError(
                 f"control_interval_s must be > 0, got {control_interval_s}"
             )
+        if heartbeat_interval_s <= 0:
+            raise ValidationError(
+                f"heartbeat_interval_s must be > 0, got "
+                f"{heartbeat_interval_s}"
+            )
         self.profiles: Dict[str, ModelProfile] = {
             p.name: p for p in profiles
         }
         self.workers = workers
         self.ship_ms = ship_ms
+        self.heartbeat_interval_s = heartbeat_interval_s
         self.clock = VirtualClock()
         self.tracer = tracer
         self.router = RouterCore(
@@ -639,6 +1075,10 @@ class ClusterSimRunner:
             record_decisions=True,
             tracer=tracer,
             metrics=metrics,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            retry_policy=retry_policy,
+            breaker=breaker,
+            dlq_limit=dlq_limit,
         )
         for profile in profiles:
             self.router.add_model(
@@ -686,14 +1126,21 @@ class ClusterSimRunner:
         def push(time: float, kind: int, data: object) -> None:
             heapq.heappush(events, (time, kind, next(order), data))
 
-        for arrival in arrivals:
-            push(arrival.time, _ARRIVAL, arrival)
+        for index, arrival in enumerate(arrivals):
+            push(arrival.time, _ARRIVAL, (index, arrival))
         for k, crash_time in enumerate(faults.worker_crashes):
             push(crash_time, _CRASH, k % self.workers)
+        for k, hang_time in enumerate(faults.worker_hangs):
+            push(hang_time, _HANG, k % self.workers)
+        if faults.worker_hangs:
+            push(self.heartbeat_interval_s, _HEALTH, None)
         if self.controller is not None:
             push(self.control_interval_s, _CONTROL, None)
 
         batch_counter = 0
+        slow_hits = 0
+        ship_counter = 0
+        completion_counter = 0
         service_ms_total = 0.0
         capacity_total = 0
         packed_order: Dict[str, List[int]] = {}
@@ -701,17 +1148,48 @@ class ClusterSimRunner:
         remaining_arrivals = len(arrivals)
         flushed = False
         last_completion_t = 0.0
+        poison_indices = set(faults.poison_queries)
+        poison_seqs: set = set()
+        #: ticket seq -> arrival index (the bit-identity key).
+        seq_value: Dict[int, int] = {}
+        results: Dict[int, int] = {}
+        hung: set = set()
+        dropped_batches: set = set()
+
+        def sim_result(queue: str, index: int) -> int:
+            # The simulated "bits": a pure function of (model, query),
+            # so a faulted run must reproduce the fault-free values
+            # exactly or the identity check fails.
+            return zlib.crc32(f"{queue}:{index}".encode())
+
+        def crash_and_respawn(worker: int, now: float) -> None:
+            router.crash_worker(worker, now)
+            # The pool keeps its size: the replacement spawns
+            # immediately under the bumped epoch with an empty ship
+            # ledger (its first batch per model pays ship_ms again).
+            router.restart_worker(worker, now)
+            hung.discard(worker)
 
         def dispatch(now: float) -> None:
-            nonlocal batch_counter, service_ms_total, capacity_total
+            nonlocal batch_counter, slow_hits, ship_counter
+            nonlocal completion_counter, service_ms_total, capacity_total
             ship_delay: Dict[int, float] = {}
+            corrupted_ship: set = set()
             for action in router.dispatch(now):
                 if isinstance(action, ShipAction):
                     ship_delay[action.worker] = (
                         ship_delay.get(action.worker, 0.0) + self.ship_ms
                     )
+                    if faults.corrupt_ship_every:
+                        ship_counter += 1
+                        if ship_counter % faults.corrupt_ship_every == 0:
+                            corrupted_ship.add(action.worker)
                     continue
                 assignment = action.assignment
+                worker = (
+                    action.worker if isinstance(action, HedgeAction)
+                    else assignment.worker
+                )
                 batch_counter += 1
                 profile = self.profiles[assignment.queue]
                 service_ms = profile.service_ms
@@ -719,25 +1197,61 @@ class ClusterSimRunner:
                     faults.slow_every
                     and batch_counter % faults.slow_every == 0
                 ):
-                    service_ms *= faults.slow_factor
-                service_ms += ship_delay.pop(assignment.worker, 0.0)
-                service_ms_total += service_ms
-                capacity_total += profile.capacity
-                for ticket in assignment.tickets:
-                    packed_order.setdefault(ticket.tenant, []).append(
-                        ticket.seq
+                    # Optionally ramp: each hit is slower than the last.
+                    service_ms *= (
+                        faults.slow_factor + faults.slow_ramp * slow_hits
                     )
+                    slow_hits += 1
+                service_ms += ship_delay.pop(worker, 0.0)
+                service_ms_total += service_ms
+                if not isinstance(action, HedgeAction):
+                    capacity_total += profile.capacity
+                    for ticket in assignment.tickets:
+                        packed_order.setdefault(
+                            ticket.tenant, []
+                        ).append(ticket.seq)
+                if worker in corrupted_ship:
+                    # The envelope arrived corrupted: the worker's
+                    # fail-closed verify kills it at load time.
+                    corrupted_ship.discard(worker)
+                    push(now + service_ms * MS, _CRASH,
+                         (worker, router.epochs[worker]))
+                    continue
+                if any(t.seq in poison_seqs
+                       for t in assignment.tickets):
+                    # Poison: the worker dies mid-batch, no completion.
+                    push(now + 0.5 * service_ms * MS, _CRASH,
+                         (worker, router.epochs[worker]))
+                    continue
+                flags = 0
+                completion_counter += 1
+                n = completion_counter
+                if (
+                    faults.corrupt_completion_every
+                    and n % faults.corrupt_completion_every == 0
+                ):
+                    flags |= _F_CORRUPT
+                if (
+                    faults.drop_completion_every
+                    and n % faults.drop_completion_every == 0
+                ):
+                    flags |= _F_DROP
+                if (
+                    faults.duplicate_completion_every
+                    and n % faults.duplicate_completion_every == 0
+                ):
+                    flags |= _F_DUP
                 push(
                     now + service_ms * MS,
                     _COMPLETION,
-                    (assignment, action.epoch),
+                    (assignment, action.epoch, worker, flags),
                 )
-            cut_at = router.next_cut_time()
-            if cut_at is not None and cut_at > now:
-                key = round(cut_at, 9)
+            wake_at = router.next_wake_time(now)
+            if wake_at is not None and wake_at > now:
+                key = round(wake_at, 9)
                 if key not in timers_scheduled:
                     timers_scheduled.add(key)
-                    push(cut_at, _TIMER, None)
+                    push(wake_at, _TIMER, None)
 
         while events or router.outstanding:
             if not events:
@@ -751,27 +1265,69 @@ class ClusterSimRunner:
             time, kind, _, data = heapq.heappop(events)
             now = clock.advance_to(time)
             if kind == _COMPLETION:
-                assignment, epoch = data
-                if router.complete(assignment, epoch, now, OUTCOME_OK):
-                    last_completion_t = now
+                assignment, epoch, worker, flags = data
+                if worker in hung and router.epochs[worker] == epoch:
+                    pass  # frozen mid-batch: the result never arrives
+                elif (
+                    flags & _F_DROP
+                    and assignment.batch_id not in dropped_batches
+                ):
+                    # Lost completion: at most once per batch, so the
+                    # hedge replica's result can still land.
+                    dropped_batches.add(assignment.batch_id)
+                elif flags & _F_CORRUPT:
+                    # Corrupted completion envelope: fail-closed — the
+                    # engine treats the sender as faulty and crashes it
+                    # (the batch takes the normal park/quarantine path).
+                    if (
+                        router.epochs[worker] == epoch
+                        and router.alive[worker]
+                    ):
+                        crash_and_respawn(worker, now)
+                else:
+                    accepted = router.complete(
+                        assignment, epoch, now, OUTCOME_OK,
+                        worker=worker,
+                    )
+                    if accepted:
+                        last_completion_t = now
+                        for ticket in assignment.tickets:
+                            index = seq_value.get(ticket.seq)
+                            if index is not None:
+                                results[index] = sim_result(
+                                    assignment.queue, index
+                                )
+                    if flags & _F_DUP:
+                        # The duplicate arrives on the heels of the
+                        # first copy and must drop as stale.
+                        router.complete(
+                            assignment, epoch, now, OUTCOME_OK,
+                            worker=worker,
+                        )
                 # else: a superseded incarnation's batch — dropped and
-                # recorded; the crash path already requeued its tickets.
+                # recorded; the crash path already parked its tickets.
             elif kind == _CRASH:
-                worker = data
-                router.crash_worker(worker, now)
-                # The pool keeps its size: the replacement spawns
-                # immediately under the bumped epoch with an empty ship
-                # ledger (its first batch per model pays ship_ms again).
-                router.restart_worker(worker, now)
+                if isinstance(data, tuple):
+                    # Dynamic (fault-induced) crash, epoch-guarded: a
+                    # respawned incarnation must not die for its
+                    # predecessor's poison.
+                    worker, guard_epoch = data
+                    if (
+                        router.alive[worker]
+                        and router.epochs[worker] == guard_epoch
+                    ):
+                        crash_and_respawn(worker, now)
+                else:
+                    crash_and_respawn(data, now)
             elif kind == _ARRIVAL:
-                arrival = data
+                index, arrival = data
                 remaining_arrivals -= 1
                 deadline = (
                     None if arrival.deadline_ms is None
                     else now + arrival.deadline_ms * MS
                 )
                 try:
-                    router.submit(
+                    ticket = router.submit(
                         arrival.model,
                         _SimQuery(),
                         now,
@@ -781,14 +1337,32 @@ class ClusterSimRunner:
                     )
                 except RejectedQuery:
                     pass  # counted by the core; open-loop load sheds
+                else:
+                    seq_value[ticket.seq] = index
+                    if index in poison_indices:
+                        poison_seqs.add(ticket.seq)
             elif kind == _CONTROL:
                 self.controller.tick(now)
                 # Re-arm only while the run still has work: an idle
                 # control loop must not keep the simulation alive.
                 if remaining_arrivals > 0 or router.outstanding > 0:
                     push(now + self.control_interval_s, _CONTROL, None)
+            elif kind == _HEALTH:
+                for worker in range(router.workers):
+                    if router.alive[worker] and worker not in hung:
+                        router.heartbeat(
+                            worker, router.epochs[worker], now
+                        )
+                for worker in router.check_health(now):
+                    crash_and_respawn(worker, now)
+                if remaining_arrivals > 0 or router.outstanding > 0:
+                    push(now + self.heartbeat_interval_s, _HEALTH, None)
+            elif kind == _HANG:
+                # The router is NOT told: a hung worker looks alive
+                # until its heartbeats go silent past the timeout.
+                hung.add(data)
             # _TIMER carries no state: popping it (advancing the clock)
-            # makes the due slack cut visible to dispatch().
+            # makes due cuts/parks/hedges visible to dispatch().
             if remaining_arrivals == 0 and not flushed:
                 router.flush()
                 flushed = True
@@ -805,6 +1379,12 @@ class ClusterSimRunner:
             capacity_total=capacity_total,
             threads=self.workers,
             packed_order=packed_order,
+            results=results,
+            dead_letters=[
+                dict(entry.as_dict(),
+                     value=seq_value.get(entry.seq))
+                for entry in router.dlq.entries()
+            ],
         )
 
 
@@ -857,11 +1437,27 @@ class ClusterService:
         clock=None,
         heartbeat_interval_s: float = 5.0,
         heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        dlq_limit: int = 64,
+        worker_entry=None,
     ):
         from multiprocessing import get_context
 
         from repro.serve.registry import ModelRegistry
 
+        if heartbeat_interval_s <= 0:
+            raise ValidationError(
+                f"heartbeat_interval_s must be > 0, got "
+                f"{heartbeat_interval_s}"
+            )
+        if heartbeat_interval_s >= heartbeat_timeout_s:
+            raise ValidationError(
+                f"heartbeat_interval_s ({heartbeat_interval_s}) must be "
+                f"< heartbeat_timeout_s ({heartbeat_timeout_s}); a "
+                f"worker pinged less often than the liveness horizon "
+                f"would always look dead"
+            )
         self.clock = clock if clock is not None else RealClock()
         self.engine = engine
         self.backend = backend
@@ -869,6 +1465,10 @@ class ClusterService:
         self.default_deadline_ms = default_deadline_ms
         self.max_queue = max_queue
         self.heartbeat_interval_s = heartbeat_interval_s
+        #: Spawn target for pool processes; tests swap in a chaos shim
+        #: (see repro.serve.faults.chaos_worker_main).  Must be
+        #: spawn-picklable.
+        self._worker_entry = worker_entry
         self.router = RouterCore(
             workers=workers,
             max_retries=max_retries,
@@ -876,6 +1476,9 @@ class ClusterService:
             tracer=tracer,
             metrics=metrics,
             heartbeat_timeout_s=heartbeat_timeout_s,
+            retry_policy=retry_policy,
+            breaker=breaker,
+            dlq_limit=dlq_limit,
         )
         self.registry = ModelRegistry(metrics=self.router.metrics)
         self._mp = get_context("spawn")
@@ -907,9 +1510,13 @@ class ClusterService:
     def _spawn(self, worker: int, epoch: int, now: float) -> None:
         from repro.serve.worker import worker_main
 
+        entry = (
+            self._worker_entry if self._worker_entry is not None
+            else worker_main
+        )
         parent, child = self._mp.Pipe()
         proc = self._mp.Process(
-            target=worker_main,
+            target=entry,
             args=(child, worker, epoch),
             daemon=True,
             name=f"copse-worker-{worker}",
@@ -921,7 +1528,16 @@ class ClusterService:
         self.router.worker_started(worker, now)
 
     def close(self) -> None:
-        """Stop the pool (idempotent).  Pending queries fail loudly."""
+        """Stop the pool (idempotent).  Pending queries fail loudly.
+
+        A receiver thread that outlives its join timeout is a leak, not
+        a nuisance: it still holds pipe handles and can race a later
+        service in the same process.  The leak is counted
+        (``cluster_receiver_leaked``) and warned about instead of being
+        swallowed.
+        """
+        import warnings
+
         with self._lock:
             if self._closed:
                 return
@@ -934,6 +1550,14 @@ class ClusterService:
             except (OSError, ValueError, BrokenPipeError):
                 pass
         self._receiver.join(timeout=5.0)
+        if self._receiver.is_alive():
+            self.router.metrics.counter("cluster_receiver_leaked").inc()
+            warnings.warn(
+                "ClusterService receiver thread failed to stop within "
+                "5s of close(); leaking it (pipe handles stay held)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for proc in self._procs:
             if proc is not None:
                 proc.join(timeout=5.0)
@@ -1143,6 +1767,11 @@ class ClusterService:
         with self._lock:
             return list(self.router.decisions or [])
 
+    def dlq(self) -> List[Dict]:
+        """The quarantined (dead-lettered) queries, oldest first."""
+        with self._lock:
+            return self.router.dlq.as_dicts()
+
     # -- engine internals ----------------------------------------------
 
     def _dispatch_locked(self, now: float) -> None:
@@ -1153,6 +1782,10 @@ class ClusterService:
                 )
                 continue
             assignment = action.assignment
+            worker = (
+                action.worker if isinstance(action, HedgeAction)
+                else assignment.worker
+            )
             request = BatchRequest(
                 batch_id=assignment.batch_id,
                 model=assignment.queue,
@@ -1162,9 +1795,14 @@ class ClusterService:
                 ),
                 verify_oracle=self.verify_oracle,
             )
+            # A hedge send reuses the primary's inflight entry: results
+            # carry (worker, epoch), so either replica can resolve it.
             self._inflight[assignment.batch_id] = (assignment,
                                                    action.epoch)
-            self._conns[assignment.worker].send((MSG_EVAL, request))
+            try:
+                self._conns[worker].send((MSG_EVAL, request))
+            except (OSError, ValueError, BrokenPipeError):
+                pass  # the pipe just died; EOF handling crashes it
 
     def _receive_loop(self) -> None:
         from multiprocessing.connection import wait as conn_wait
@@ -1175,11 +1813,11 @@ class ClusterService:
                 if self._closed:
                     return
                 conns = [c for c in self._conns if c is not None]
-                cut_at = self.router.next_cut_time()
-            now = self.clock.now()
+                now = self.clock.now()
+                wake_at = self.router.next_wake_time(now)
             timeout = self.POLL_INTERVAL_S
-            if cut_at is not None:
-                timeout = min(timeout, max(0.0, cut_at - now))
+            if wake_at is not None:
+                timeout = min(timeout, max(0.0, wake_at - now))
             try:
                 ready = conn_wait(conns, timeout)
             except OSError:
@@ -1235,14 +1873,48 @@ class ClusterService:
     def _handle_result_locked(self, result, now: float):
         entry = self._inflight.pop(result.batch_id, None)
         if entry is None:
-            return None
-        assignment, epoch = entry
+            return None  # duplicated or hedged-and-already-resolved
+        assignment, _ = entry
+        # Trust what the result *says* about its origin, not what the
+        # dispatch remembered: a hedged batch resolves from whichever
+        # replica answered first.
+        worker = result.worker
+        epoch = result.epoch
         if result.error is not None:
             # Deterministic worker-side failure: no retry (a second run
             # would fail identically); every ticket fails loudly.
-            self.router.complete(assignment, epoch, now, OUTCOME_ERROR)
+            self.router.complete(assignment, epoch, now, OUTCOME_ERROR,
+                                 worker=worker)
             return None
-        if not self.router.complete(assignment, epoch, now, OUTCOME_OK):
+        if (
+            result.bitvectors is None
+            or len(result.bitvectors) != assignment.size
+        ):
+            # A truncated/corrupted completion envelope.  Fail closed:
+            # the sender is lying about the batch shape, so treat it as
+            # a worker fault — kill it and take the crash/respawn path
+            # (the batch parks or quarantines; nothing is resolved from
+            # a malformed result).
+            self._inflight[assignment.batch_id] = entry
+            if (
+                worker < len(self.router.epochs)
+                and epoch == self.router.epochs[worker]
+                and self.router.alive[worker]
+            ):
+                self._kill_locked(worker)
+                self._handle_crash_locked(worker, now)
+            return None
+        if result.degraded_engine is not None:
+            registered = self._registered.get(assignment.queue)
+            from_engine = (
+                registered.engine if registered is not None else ""
+            )
+            self.router.record_degrade(
+                assignment.queue, from_engine, result.degraded_engine,
+                now,
+            )
+        if not self.router.complete(assignment, epoch, now, OUTCOME_OK,
+                                    worker=worker):
             return None  # stale epoch: tickets already requeued
         registered = self._registered[assignment.queue]
         tickets = list(assignment.tickets)
@@ -1287,17 +1959,19 @@ class ClusterService:
             proc.terminate()
 
     def _handle_crash_locked(self, worker: int, now: float) -> None:
-        """Pipe EOF / liveness timeout: crash, respawn, re-place."""
+        """Pipe EOF / liveness timeout: crash, respawn, re-place.
+
+        The router decides the batch's fate (park behind backoff,
+        quarantine-bisect, promote a hedge replica); this engine only
+        drops the dead inflight entry and respawns the process.  A
+        None return means the batch survives on its hedge replica, so
+        the inflight entry stays.
+        """
         if not self.router.alive[worker]:
             return
         interrupted = self.router.crash_worker(worker, now)
         if interrupted is not None:
             self._inflight.pop(interrupted.batch_id, None)
-            # The interrupted tickets were already cut once (full batch
-            # or explicit flush); re-flush their queue so a requeued
-            # partial batch re-cuts immediately instead of waiting for
-            # a flush nobody will send again.
-            self.router.flush(interrupted.queue)
         try:
             self._conns[worker].close()
         except OSError:

@@ -134,7 +134,16 @@ class TenantSpec:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Deterministic fault injection for one simulation run."""
+    """Deterministic fault injection for one simulation run.
+
+    The chaos matrix.  ``worker_crashes``/``slow_every`` are honored by
+    both :class:`~repro.serve.loadgen.SimRunner` and
+    :class:`~repro.serve.cluster.ClusterSimRunner`; the remaining kinds
+    (hangs, transport corruption, completion loss/duplication, poison
+    queries) need the cluster's epoch/quarantine machinery and are
+    cluster-sim only.  Everything is counter- or timeline-based, never
+    random: two runs of the same plan inject byte-identical faults.
+    """
 
     #: Virtual times at which a worker dies mid-whatever-it-is-doing.
     #: The k-th crash hits worker ``k % threads``; the worker restarts
@@ -145,6 +154,30 @@ class FaultPlan:
     #: service time (0 disables).  Models stragglers/GC pauses.
     slow_every: int = 0
     slow_factor: float = 1.0
+    #: Each slowed batch is ``slow_ramp`` slower than the previous one
+    #: (a degrading-worker ramp; 0 keeps the factor flat).
+    slow_ramp: float = 0.0
+    #: Virtual times at which a worker freezes *silently*: no EOF, no
+    #: completions, no heartbeats.  Only the heartbeat-liveness path
+    #: can detect it.  The k-th hang hits worker ``k % threads``.
+    worker_hangs: Tuple[float, ...] = ()
+    #: Every Nth shipped model envelope arrives corrupted; the worker's
+    #: fail-closed verify kills it at load time (0 disables).
+    corrupt_ship_every: int = 0
+    #: Every Nth completion envelope arrives truncated; the router
+    #: fail-closed treats the sender as faulty (0 disables).
+    corrupt_completion_every: int = 0
+    #: Every Nth completion is silently lost in transit (0 disables).
+    #: Recovery needs hedging: enable it in the retry policy or the
+    #: stuck batch never resolves.
+    drop_completion_every: int = 0
+    #: Every Nth completion arrives twice; the duplicate must drop as
+    #: stale (0 disables).
+    duplicate_completion_every: int = 0
+    #: Arrival indices whose query is poison: any worker evaluating a
+    #: batch containing it dies mid-batch.  Quarantine bisection must
+    #: isolate it into the dead-letter queue.
+    poison_queries: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.slow_every < 0:
@@ -152,6 +185,23 @@ class FaultPlan:
         if self.slow_every and self.slow_factor < 1.0:
             raise ValidationError(
                 f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+        if self.slow_ramp < 0:
+            raise ValidationError(
+                f"slow_ramp must be >= 0, got {self.slow_ramp}"
+            )
+        for field_name in (
+            "corrupt_ship_every", "corrupt_completion_every",
+            "drop_completion_every", "duplicate_completion_every",
+        ):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValidationError(
+                    f"{field_name} must be >= 0, got {value}"
+                )
+        if any(index < 0 for index in self.poison_queries):
+            raise ValidationError(
+                "poison_queries are arrival indices and must be >= 0"
             )
 
 
@@ -295,6 +345,11 @@ class SimReport:
     #: The order queries were packed into batches: tenant -> seq list.
     #: FIFO-within-tenant holds iff each list is sorted.
     packed_order: Dict[str, List[int]] = field(default_factory=dict)
+    #: Simulated per-query "bits": arrival index -> deterministic result
+    #: hash (cluster sim only; the bit-identity key of chaos soaks).
+    results: Dict[int, int] = field(default_factory=dict)
+    #: Dead-lettered (quarantined) queries, as dicts (cluster sim only).
+    dead_letters: List[Dict] = field(default_factory=list)
 
     def service_stats(self):
         """The run as a :class:`~repro.serve.service.ServiceStats`.

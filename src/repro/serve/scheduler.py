@@ -125,9 +125,9 @@ class Assignment:
 class SchedulerStats:
     """Immutable snapshot of the scheduler's counters.
 
-    Conservation invariant (once drained):
-    ``submitted == completed + rejected + failed + cancelled``.
-    Latency percentiles are nearest-rank, in ms, over a sliding window
+    Conservation invariant (once drained): ``submitted == completed +
+    rejected + failed + cancelled + dead_lettered``.  Latency
+    percentiles are nearest-rank, in ms, over a sliding window
     of the most recent :data:`LATENCY_WINDOW` completions (bounded
     memory under sustained load); the max is exact and all-time.
     """
@@ -140,6 +140,8 @@ class SchedulerStats:
     retries: int = 0
     deadline_misses: int = 0
     worker_crashes: int = 0
+    #: Queries quarantine isolated as poison (terminal, not in failed).
+    dead_lettered: int = 0
     batches: int = 0
     latency_p50_ms: float = 0.0
     latency_p99_ms: float = 0.0
@@ -162,6 +164,7 @@ class SchedulerStats:
             f"  failed / cancelled   : {self.failed} / {self.cancelled}",
             f"  retries / crashes    : {self.retries} / "
             f"{self.worker_crashes}",
+            f"  dead-lettered        : {self.dead_lettered}",
             f"  deadline misses      : {self.deadline_misses} "
             f"({100.0 * self.deadline_miss_rate:.2f}%)",
             f"  latency p50 / p99 ms : {self.latency_p50_ms:.3f} / "
@@ -351,6 +354,7 @@ class SchedulerCore:
         self._retries = m.counter("sched_retries")
         self._deadline_misses = m.counter("sched_deadline_misses")
         self._worker_crashes = m.counter("sched_worker_crashes")
+        self._dead_lettered = m.counter("sched_dead_lettered")
         self._batches = m.counter("sched_batches")
         #: Latency percentiles are computed over a sliding window of the
         #: most recent completions — bounded memory and a bounded sort
@@ -785,23 +789,7 @@ class SchedulerCore:
             queue = self._queues.get(assignment.queue)
             for ticket in assignment.tickets:
                 if queue is not None and ticket.retries < self.max_retries:
-                    ticket.retries += 1
-                    self._retries.inc()
-                    # A fresh future: the old one is already RUNNING and
-                    # cannot re-enter the cancelled/pending protocol.
-                    ticket.payload.future = _replace_future(
-                        ticket.payload.future
-                    )
-                    if tracer is not None and ticket.span is not None:
-                        track = f"tenant:{ticket.tenant}"
-                        tracer.event(
-                            "retry", now, parent=ticket.span, track=track,
-                            attempt=ticket.retries,
-                        )
-                        ticket.wait_span = tracer.begin(
-                            "queue_wait", now, parent=ticket.span,
-                            track=track,
-                        )
+                    self.prepare_retry(ticket, now)
                     queue.push(ticket)
                 else:
                     self._fail_ticket(ticket, ServeError(
@@ -823,6 +811,192 @@ class SchedulerCore:
             return None
         self.complete(assignment, now, OUTCOME_CRASH)
         return assignment
+
+    # ------------------------------------------------------------------
+    # Fault-domain seams (the cluster router's crash/quarantine surface)
+    # ------------------------------------------------------------------
+
+    def release_crashed(self, assignment: Assignment,
+                        now: float) -> List[QueryTicket]:
+        """Free a crashed worker WITHOUT deciding its tickets' fate.
+
+        The immediate-requeue crash path in :meth:`complete` is the
+        right policy for thread pools; the cluster router instead parks
+        retries behind a deterministic backoff and quarantines repeat
+        offenders, so it takes the raw tickets back and owns the
+        decision.  Counts the crash, ends the batch span, returns the
+        tickets (still holding their RUNNING futures — the router calls
+        :meth:`prepare_retry` / :meth:`dead_letter_ticket` per ticket).
+        """
+        if self._running.get(assignment.worker) is not assignment:
+            raise ValidationError(
+                f"worker {assignment.worker} is not running batch "
+                f"{assignment.batch_id}"
+            )
+        del self._running[assignment.worker]
+        heapq.heappush(self._free, assignment.worker)
+        self._worker_crashes.inc()
+        if self.tracer is not None and assignment.span is not None:
+            self.tracer.end(assignment.span, now, outcome="crash")
+        return list(assignment.tickets)
+
+    def count_crash(self) -> None:
+        """Count a worker crash that interrupted no batch of its own
+        (e.g. a hedge worker dying while the primary still runs)."""
+        self._worker_crashes.inc()
+
+    def prepare_retry(self, ticket: QueryTicket, now: float) -> None:
+        """Account one retry attempt and re-arm the ticket's future.
+
+        Does NOT requeue: immediate-requeue callers push to the queue
+        themselves; the router parks the ticket and calls
+        :meth:`requeue` when its backoff expires.
+        """
+        ticket.retries += 1
+        self._retries.inc()
+        # A fresh future: the old one is already RUNNING and
+        # cannot re-enter the cancelled/pending protocol.
+        ticket.payload.future = _replace_future(ticket.payload.future)
+        if self.tracer is not None and ticket.span is not None:
+            track = f"tenant:{ticket.tenant}"
+            self.tracer.event(
+                "retry", now, parent=ticket.span, track=track,
+                attempt=ticket.retries,
+            )
+            ticket.wait_span = self.tracer.begin(
+                "queue_wait", now, parent=ticket.span, track=track,
+            )
+
+    def requeue(self, ticket: QueryTicket) -> bool:
+        """Return a parked ticket to its queue (False if the queue is
+        gone, in which case the ticket is failed)."""
+        queue = self._queues.get(ticket.queue)
+        if queue is None:
+            self._fail_ticket(ticket, ServeError(
+                f"model {ticket.queue!r} was unregistered while a retry "
+                f"was parked"
+            ))
+            return False
+        queue.push(ticket)
+        return True
+
+    def dead_letter_ticket(self, ticket: QueryTicket, exc: Exception,
+                           now: float) -> None:
+        """Terminally quarantine one ticket (counted apart from failed).
+
+        Same deferred-future protocol as :meth:`_fail_ticket` — the
+        exception reaches the caller when the engine drains — but the
+        conservation ledger books it under ``dead_lettered``.
+        """
+        self._dead_lettered.inc()
+        if self.tracer is not None and ticket.span is not None:
+            if ticket.wait_span is not None:
+                self.tracer.end(ticket.wait_span, now)
+                ticket.wait_span = None
+            self.tracer.end(ticket.span, now, outcome=OUTCOME_FAILED)
+        self._pending_failures.append((ticket.future, exc))
+
+    def assign_direct(self, queue_name: str, tickets: List[QueryTicket],
+                      worker: int, now: float) -> Optional[Assignment]:
+        """Bind an explicit ticket cohort to a free worker as one batch.
+
+        The quarantine path: bisected halves must re-execute with
+        exactly their membership (a heap cut could mix in fresh
+        queries and re-poison them), so the router hands the cohort
+        straight in.  Cancelled tickets are dropped like in
+        :meth:`assign`; returns None when every ticket was cancelled.
+        """
+        live: List[QueryTicket] = []
+        for ticket in tickets:
+            if ticket.future.set_running_or_notify_cancel():
+                live.append(ticket)
+            else:
+                self._cancelled.inc()
+                if self.tracer is not None and ticket.span is not None:
+                    if ticket.wait_span is not None:
+                        self.tracer.end(ticket.wait_span, now)
+                        ticket.wait_span = None
+                    self.tracer.end(
+                        ticket.span, now, outcome=OUTCOME_CANCELLED
+                    )
+        if not live:
+            return None
+        queue = self._queues.get(queue_name)
+        if queue is not None:
+            queue.vtime += len(live) / queue.weight
+        self._free.remove(worker)
+        heapq.heapify(self._free)
+        assignment = Assignment(
+            batch_id=next(self._batch_ids),
+            queue=queue_name,
+            worker=worker,
+            tickets=live,
+            cut_time=now,
+        )
+        if self.tracer is not None:
+            assignment.span = self.tracer.begin(
+                "batch", now, track=f"worker:{worker}",
+                queue=queue_name, batch_id=assignment.batch_id,
+                size=len(live),
+                members=[t.span for t in live if t.span is not None],
+            )
+            for ticket in live:
+                if ticket.wait_span is not None:
+                    self.tracer.end(
+                        ticket.wait_span, now,
+                        batch_id=assignment.batch_id,
+                    )
+                    ticket.wait_span = None
+        self._running[worker] = assignment
+        self._batches.inc()
+        if self.decisions is not None:
+            self.decisions.append((
+                assignment.batch_id,
+                queue_name,
+                worker,
+                len(live),
+                live[0].seq,
+                round(now, 9),
+            ))
+        return assignment
+
+    def rebind(self, assignment: Assignment, new_worker: int) -> None:
+        """Move a running batch's binding to another worker.
+
+        Hedging bookkeeping: when the hedge replica wins (or the
+        primary dies with a hedge in flight), the batch's surviving
+        executor becomes its worker of record.  The old worker returns
+        to the free heap; the new worker must already be reserved
+        (absent from it).
+        """
+        old = assignment.worker
+        if self._running.get(old) is not assignment:
+            raise ValidationError(
+                f"worker {old} is not running batch "
+                f"{assignment.batch_id}; cannot rebind"
+            )
+        del self._running[old]
+        self._running[new_worker] = assignment
+        assignment.worker = new_worker
+        heapq.heappush(self._free, old)
+
+    def reserve_worker(self, worker: int) -> None:
+        """Take a worker out of the free heap (hedge dispatch)."""
+        if worker not in self._free:
+            raise ValidationError(
+                f"worker {worker} is not free; cannot reserve it"
+            )
+        self._free.remove(worker)
+        heapq.heapify(self._free)
+
+    def release_worker(self, worker: int) -> None:
+        """Return a reserved worker to the free heap."""
+        heapq.heappush(self._free, worker)
+
+    def service_estimate_s(self, name: str) -> float:
+        """The queue's live (EWMA) batch service estimate, seconds."""
+        queue = self._queues.get(name)
+        return queue.service_s if queue is not None else 0.0
 
     def _fail_ticket(self, ticket: QueryTicket, exc: Exception,
                      now: Optional[float] = None) -> None:
@@ -888,6 +1062,7 @@ class SchedulerCore:
             retries=int(self._retries.value),
             deadline_misses=int(self._deadline_misses.value),
             worker_crashes=int(self._worker_crashes.value),
+            dead_lettered=int(self._dead_lettered.value),
             batches=int(self._batches.value),
             latency_p50_ms=round(_percentile(ranked, 0.50), 6),
             latency_p99_ms=round(_percentile(ranked, 0.99), 6),

@@ -208,3 +208,6 @@ class BatchResult:
     oracle_failures: Optional[int] = None
     #: repr of the worker-side exception, when evaluation failed.
     error: Optional[str] = None
+    #: Set when the worker fell down the engine ladder mid-batch: the
+    #: engine that actually produced the bitvectors (router audits it).
+    degraded_engine: Optional[str] = None

@@ -64,6 +64,7 @@ def evaluate_batch(
     registered,
     features: List[List[int]],
     verify_oracle: bool = False,
+    engine: Optional[str] = None,
 ) -> Tuple[List[List[int]], dict, float, float, Optional[List[bool]]]:
     """Evaluate one batch of raw features against a registered model.
 
@@ -71,13 +72,16 @@ def evaluate_batch(
     :meth:`~repro.serve.batcher.QueryBatcher._evaluate`, minus futures
     and spans (those live router-side): fresh context, batch encryption,
     engine execution, decryption, demux, cost-model phase attribution.
-    Returns ``(bitvectors, phase_ms, inference_ms, data_encrypt_ms,
-    oracle_ok)``.
+    ``engine`` overrides the registered engine (the degradation ladder
+    re-runs a failed batch on a slower rung).  Returns ``(bitvectors,
+    phase_ms, inference_ms, data_encrypt_ms, oracle_ok)``.
     """
+    if engine is None:
+        engine = registered.engine
     ctx = FheContext(registered.params, backend=registered.backend)
     server = BatchedCopseServer(
         ctx,
-        engine=registered.engine,
+        engine=engine,
         plan=registered.plan,
         tape=registered.tape,
         megakernel=registered.megakernel,
@@ -88,11 +92,11 @@ def evaluate_batch(
     bitvectors = demux_bitvectors(registered.layout, bits, len(features))
 
     cost = registered.cost_model
-    if registered.engine == ENGINE_MEGAKERNEL:
+    if engine == ENGINE_MEGAKERNEL:
         inference_phases = (PHASE_MEGAKERNEL,)
-    elif registered.engine == ENGINE_TAPE:
+    elif engine == ENGINE_TAPE:
         inference_phases = (PHASE_TAPE,)
-    elif registered.engine == ENGINE_PLAN:
+    elif engine == ENGINE_PLAN:
         inference_phases = (PHASE_PLAN,)
     else:
         inference_phases = BATCH_INFERENCE_PHASES
@@ -120,6 +124,9 @@ def evaluate_batch(
 def _eval_result(
     worker_id: int, request: BatchRequest, models
 ) -> BatchResult:
+    from repro.serve.faults import degrade_engine
+
+    degraded: Optional[str] = None
     try:
         registered = models.get(request.model)
         if registered is None:
@@ -129,11 +136,25 @@ def _eval_result(
                 f"before it assigns"
             )
         features = [list(f) for f in request.features]
-        bitvectors, phase_ms, inference_ms, data_encrypt_ms, oracle_ok = (
-            evaluate_batch(
-                registered, features, verify_oracle=request.verify_oracle
-            )
-        )
+        engine = registered.engine
+        while True:
+            # The degradation ladder: when an engine raises, retry the
+            # batch one rung down (megakernel -> tape -> plan -> eager)
+            # instead of failing it — a broken fast path degrades to a
+            # slower correct one, and the router audits the fallback.
+            try:
+                (bitvectors, phase_ms, inference_ms, data_encrypt_ms,
+                 oracle_ok) = evaluate_batch(
+                    registered, features,
+                    verify_oracle=request.verify_oracle, engine=engine,
+                )
+                break
+            except BaseException:
+                lower = degrade_engine(engine)
+                if lower is None:
+                    raise
+                engine = lower
+                degraded = lower
         return BatchResult(
             batch_id=request.batch_id,
             model=request.model,
@@ -150,6 +171,7 @@ def _eval_result(
                 None if oracle_ok is None
                 else sum(1 for ok in oracle_ok if not ok)
             ),
+            degraded_engine=degraded,
         )
     except BaseException as exc:  # contained: the router decides
         return BatchResult(

@@ -48,6 +48,8 @@ def make_snapshot():
         latency_p50_ms=0.0,
         latency_p99_ms=0.0,
         queues=(),
+        dead_lettered=0,
+        degraded=(),
     ):
         return ControlSnapshot(
             now=now,
@@ -62,6 +64,8 @@ def make_snapshot():
             latency_p50_ms=latency_p50_ms,
             latency_p99_ms=latency_p99_ms,
             queues=tuple(queues),
+            dead_lettered=dead_lettered,
+            degraded=tuple(degraded),
         )
 
     return build

@@ -220,3 +220,14 @@ class TestCooldownAndFailClosed:
         rail = GuardRail()
         reason = rail.check(Mystery(reason="r"), make_snapshot(), 0.0)
         assert reason is not None and "mystery" in reason
+
+
+class TestMegakernelSwitch:
+    def test_megakernel_is_a_valid_switch_target(self, make_snapshot):
+        rail = GuardRail(GuardConfig(fingerprints={"m": "fp"}))
+        verdict = rail.check(
+            SwitchEngine(model="m", engine="megakernel",
+                         expected_fingerprint="fp", reason="r"),
+            make_snapshot(), 0.0,
+        )
+        assert verdict is None

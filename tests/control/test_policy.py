@@ -10,6 +10,7 @@ import pytest
 from repro.control import (
     AdmissionReliefPolicy,
     AutoscalePolicy,
+    DegradationPolicy,
     EngineDriftPolicy,
     ScaleWorkers,
     SwitchEngine,
@@ -216,3 +217,49 @@ class TestEngineDriftPolicy:
         assert policy.propose(drifted) == []
         assert policy.propose(fine) == []
         assert policy.propose(drifted) == []  # streak restarted
+
+
+class TestDegradationPolicy:
+    def test_pins_lower_engine_after_sustained_fallbacks(
+        self, make_snapshot
+    ):
+        policy = DegradationPolicy(
+            watch={"m": ("megakernel", "fp")}, sustain=2,
+        )
+        # Tick 1 establishes the baseline count; accrual starts after.
+        assert policy.propose(
+            make_snapshot(degraded=[("m", 3)])
+        ) == []  # count rose 0 -> 3: streak 1
+        proposals = policy.propose(
+            make_snapshot(degraded=[("m", 5)])
+        )  # rose again: streak 2 fires
+        assert len(proposals) == 1
+        switch = proposals[0]
+        assert isinstance(switch, SwitchEngine)
+        assert switch.model == "m" and switch.engine == "tape"
+        assert switch.expected_fingerprint == "fp"
+        # Single-fire: the model left the watch list.
+        assert policy.propose(
+            make_snapshot(degraded=[("m", 9)])
+        ) == []
+
+    def test_stalled_count_resets_streak(self, make_snapshot):
+        policy = DegradationPolicy(
+            watch={"m": ("tape", "fp")}, sustain=2,
+        )
+        assert policy.propose(
+            make_snapshot(degraded=[("m", 1)])
+        ) == []
+        # No new fallbacks this tick: the fast path recovered.
+        assert policy.propose(
+            make_snapshot(degraded=[("m", 1)])
+        ) == []
+        assert policy.propose(
+            make_snapshot(degraded=[("m", 2)])
+        ) == []  # streak restarted at 1
+
+    def test_bottom_rung_is_unwatchable(self):
+        with pytest.raises(ValidationError, match="lower"):
+            DegradationPolicy(watch={"m": ("eager", "fp")})
+        with pytest.raises(ValidationError, match="sustain"):
+            DegradationPolicy(watch={"m": ("tape", "fp")}, sustain=0)

@@ -1,0 +1,341 @@
+"""The deterministic chaos matrix, simulated and real.
+
+The acceptance soak for the fault-domain hardening PR: a seeded
+10^4+-query timeline with >= 4 concurrent fault kinds (worker crashes,
+hung workers, slow-factor ramps, corrupted ships, corrupted / dropped /
+duplicated completions, poison queries) must
+
+* replay **byte-identical** decision logs run-to-run,
+* conserve accounting (``submitted == completed + rejected + failed +
+  cancelled + dead_lettered``),
+* serve every non-poison query with **bits identical** to the
+  fault-free run of the same arrival schedule, and
+* isolate exactly the poison queries in the dead-letter queue, with
+  the quarantine/bisection trail in the decision log.
+
+The real-process half drives the same fault kinds through
+:class:`~repro.serve.faults.TransportFaultPlan` /
+:func:`~repro.serve.faults.chaos_worker_main` — the production
+:func:`worker_main` behind a deliberately misbehaving pipe — so the
+recovery paths are exercised end-to-end, not just in simulation
+(CI selects these with ``-k real``).
+"""
+
+import functools
+import json
+
+import pytest
+
+from repro.errors import PoisonQueryError
+from repro.serve import (
+    ClusterService,
+    ClusterSimRunner,
+    FaultPlan,
+    ModelProfile,
+    RetryPolicy,
+    TenantSpec,
+    TransportFaultPlan,
+    chaos_worker_main,
+    generate_arrivals,
+)
+
+# Open-loop load light enough that a cluster losing workers to the
+# full chaos matrix still drains its backlog: the acceptance bar is
+# "every non-poison query served", so admission shedding is sized out.
+PROFILES = [
+    ModelProfile(name="credit", capacity=4, service_ms=40.0,
+                 max_pending=100_000),
+    ModelProfile(name="fraud", capacity=8, service_ms=100.0, weight=2,
+                 max_pending=100_000),
+]
+TENANTS = [
+    TenantSpec(name="acme", model="credit", rate_qps=25.0),
+    TenantSpec(name="globex", model="fraud", rate_qps=15.0),
+    TenantSpec(name="spiky", model="credit", rate_qps=3.0,
+               burst_every_s=2.0, burst_size=8, priority=1),
+]
+SOAK_QUERIES = 12_000
+POISON = (1234, 5678)
+
+
+def chaos_plan(duration):
+    return FaultPlan(
+        worker_crashes=(duration * 0.2, duration * 0.45,
+                        duration * 0.7),
+        worker_hangs=(duration * 0.3, duration * 0.6),
+        slow_every=11,
+        slow_factor=2.0,
+        slow_ramp=0.2,
+        corrupt_ship_every=5,
+        corrupt_completion_every=97,
+        drop_completion_every=131,
+        duplicate_completion_every=61,
+        poison_queries=POISON,
+    )
+
+
+def chaos_soak(faults, queries=SOAK_QUERIES, seed=42, **runner_kwargs):
+    kwargs = dict(
+        workers=4,
+        max_retries=2,
+        retry_policy=RetryPolicy(hedge_factor=3.0),
+        heartbeat_interval_s=0.25,
+        heartbeat_timeout_s=0.6,
+    )
+    kwargs.update(runner_kwargs)
+    arrivals = generate_arrivals(TENANTS, seed=seed,
+                                 total_queries=queries)
+    return ClusterSimRunner(PROFILES, **kwargs).run(arrivals, faults)
+
+
+def assert_conserved(stats):
+    assert stats.submitted == (
+        stats.completed + stats.rejected + stats.failed
+        + stats.cancelled + stats.dead_lettered
+    ), "conservation violated"
+
+
+class TestChaosSoakAcceptance:
+    """One soak, all four acceptance properties."""
+
+    @pytest.fixture(scope="class")
+    def soak(self):
+        duration = SOAK_QUERIES / 45.0
+        faults = chaos_plan(duration)
+        return (
+            chaos_soak(faults),
+            chaos_soak(faults),
+            chaos_soak(FaultPlan()),  # the fault-free twin
+        )
+
+    def test_replay_is_byte_identical(self, soak):
+        first, second, _ = soak
+        assert json.dumps(first.decisions) == json.dumps(
+            second.decisions
+        )
+        assert first.stats == second.stats
+        assert first.results == second.results
+        assert first.dead_letters == second.dead_letters
+
+    def test_conservation_under_chaos(self, soak):
+        first, _, clean = soak
+        assert first.stats.submitted == SOAK_QUERIES
+        assert first.stats.rejected == 0
+        assert first.stats.failed == 0
+        assert_conserved(first.stats)
+        assert clean.stats.completed == SOAK_QUERIES
+
+    def test_non_poison_bits_identical_to_fault_free_run(self, soak):
+        first, _, clean = soak
+        served = set(first.results)
+        assert not served & set(POISON), "served a poison query"
+        assert set(clean.results) - set(POISON) <= served
+        for index in set(clean.results) - set(POISON):
+            assert first.results[index] == clean.results[index]
+
+    def test_poison_isolated_in_dlq_with_bisection_trail(self, soak):
+        first, _, _ = soak
+        assert first.stats.dead_lettered == len(POISON)
+        assert sorted(e["value"] for e in first.dead_letters) == (
+            sorted(POISON)
+        )
+        for entry in first.dead_letters:
+            assert entry["attempts"] >= 2
+            assert "quarantine" in entry["reason"]
+        kinds = [d[0] for d in first.decisions]
+        assert "bisect" in kinds and "dead_letter" in kinds
+        # The chaos matrix actually fired: every fault family left its
+        # signature in the decision log.
+        assert {"crash", "restart", "park", "hedge", "stale"} <= (
+            set(kinds)
+        )
+
+
+class TestChaosFaultKinds:
+    """Each new fault kind in isolation, against the same load."""
+
+    def test_hung_worker_detected_by_heartbeat_and_drained(self):
+        report = chaos_soak(
+            FaultPlan(worker_hangs=(20.0, 40.0)), queries=3000
+        )
+        assert report.stats.worker_crashes == 2
+        assert {"crash", "restart"} <= {d[0] for d in report.decisions}
+        assert report.stats.completed == 3000
+        assert_conserved(report.stats)
+
+    def test_dropped_completions_recovered_by_hedging(self):
+        report = chaos_soak(
+            FaultPlan(drop_completion_every=37), queries=3000
+        )
+        kinds = {d[0] for d in report.decisions}
+        assert "hedge" in kinds and "hedge_win" in kinds
+        assert report.stats.completed == 3000
+        assert_conserved(report.stats)
+
+    def test_duplicate_completions_dropped_as_stale(self):
+        report = chaos_soak(
+            FaultPlan(duplicate_completion_every=23), queries=3000,
+            retry_policy=RetryPolicy(),  # no hedging needed
+        )
+        assert any(d[0] == "stale" for d in report.decisions)
+        assert report.stats.completed == 3000
+        assert_conserved(report.stats)
+
+    def test_corrupt_completions_crash_the_sender(self):
+        report = chaos_soak(
+            FaultPlan(corrupt_completion_every=151), queries=3000,
+            retry_policy=RetryPolicy(),
+        )
+        assert report.stats.worker_crashes >= 1
+        assert report.stats.completed == 3000
+        assert_conserved(report.stats)
+
+    def test_corrupt_ships_crash_fail_closed(self):
+        report = chaos_soak(
+            FaultPlan(corrupt_ship_every=4), queries=3000,
+            retry_policy=RetryPolicy(),
+        )
+        assert report.stats.worker_crashes >= 1
+        assert report.stats.completed == 3000
+        assert_conserved(report.stats)
+
+    def test_poison_alone_lands_in_dlq(self):
+        report = chaos_soak(
+            FaultPlan(poison_queries=(100,)), queries=3000,
+            retry_policy=RetryPolicy(),
+        )
+        assert report.stats.completed == 2999
+        assert report.stats.dead_lettered == 1
+        assert [e["value"] for e in report.dead_letters] == [100]
+        assert_conserved(report.stats)
+
+
+# ---------------------------------------------------------------------------
+# Real multiprocessing chaos (CI selects with -k real)
+# ---------------------------------------------------------------------------
+
+
+def real_queries(forest, count, seed=21, precision=8):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    limit = 1 << precision
+    return [
+        [int(v) for v in rng.integers(0, limit - 1, forest.n_features)]
+        for _ in range(count)
+    ]
+
+
+def chaos_service(plan, **kwargs):
+    defaults = dict(
+        workers=2,
+        backend="vector",
+        max_retries=1,
+        retry_policy=RetryPolicy(base_delay_ms=10.0),
+        worker_entry=functools.partial(chaos_worker_main, plan),
+    )
+    defaults.update(kwargs)
+    return ClusterService(**defaults)
+
+
+class TestRealChaos:
+    def test_real_poison_query_quarantined_to_dlq(self, example_forest):
+        queries = real_queries(example_forest, 8)
+        limit = 1 << 8
+        poison = [limit - 1] * example_forest.n_features
+        queries[5] = poison
+        plan = TransportFaultPlan(poison_feature=tuple(poison))
+        with chaos_service(plan) as service:
+            service.register_model(
+                "toxic", example_forest, precision=8, max_batch_size=4
+            )
+            futures = [service.submit("toxic", q) for q in queries]
+            service.flush("toxic")
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result(timeout=180))
+                except PoisonQueryError as exc:
+                    outcomes.append(exc)
+            stats = service.stats()
+            decisions = service.decisions
+            dlq = service.dlq()
+        for k, outcome in enumerate(outcomes):
+            if k == 5:
+                assert isinstance(outcome, PoisonQueryError)
+            else:
+                assert outcome.bitvector == (
+                    example_forest.label_bitvector(queries[k])
+                )
+        assert stats.dead_lettered == 1
+        assert stats.completed == 7
+        assert_conserved(stats)
+        assert len(dlq) == 1 and dlq[0]["model"] == "toxic"
+        kinds = {d[0] for d in decisions}
+        assert {"crash", "park", "bisect", "dead_letter"} <= kinds
+
+    def test_real_corrupt_and_duplicate_results_recover(
+        self, example_forest
+    ):
+        plan = TransportFaultPlan(corrupt_result_every=3,
+                                  duplicate_result_every=2)
+        queries = real_queries(example_forest, 24, seed=5)
+        with chaos_service(plan, max_retries=3) as service:
+            service.register_model(
+                "scramble", example_forest, precision=8,
+                max_batch_size=4
+            )
+            results = service.classify_many("scramble", queries)
+            stats = service.stats()
+            decisions = service.decisions
+        for features, res in zip(queries, results):
+            assert res.bitvector == example_forest.label_bitvector(
+                features
+            )
+        assert_conserved(stats)
+        # A truncated result is a fail-closed kill, not a bad answer.
+        assert stats.worker_crashes >= 1
+        assert "crash" in {d[0] for d in decisions}
+
+    def test_real_dropped_results_recovered_by_hedging(
+        self, example_forest
+    ):
+        # Waves keep at most one batch in flight, so the hedge of the
+        # dropped batch always finds a free worker whose per-process
+        # result counter is NOT at a drop point: wave 1 completes on
+        # the sticky first-choice worker (its result #1), wave 2 lands
+        # there too and its result #2 is silently dropped — recovery
+        # must come from the hedge on the idle second worker
+        # (result #1, delivered).  hedge_min_ms sits well above the
+        # cold-start evaluation time: a spurious hedge on wave 1
+        # (the registry's cost-model estimate undershoots real wall
+        # time) would advance both workers' counters in lockstep and
+        # put the wave-2 hedge at a drop point too.
+        plan = TransportFaultPlan(drop_result_every=2)
+        queries = real_queries(example_forest, 12, seed=7)
+        with chaos_service(
+            plan,
+            retry_policy=RetryPolicy(hedge_factor=2.0,
+                                     hedge_min_ms=5000.0),
+        ) as service:
+            service.register_model(
+                "ghost", example_forest, precision=8, max_batch_size=4
+            )
+            results = []
+            for wave in range(3):
+                futures = [
+                    service.submit("ghost", q)
+                    for q in queries[4 * wave:4 * wave + 4]
+                ]
+                service.flush("ghost")
+                results.extend(f.result(timeout=120) for f in futures)
+            stats = service.stats()
+            decisions = service.decisions
+        for features, res in zip(queries, results):
+            assert res.bitvector == example_forest.label_bitvector(
+                features
+            )
+        assert_conserved(stats)
+        assert stats.completed == 12
+        kinds = {d[0] for d in decisions}
+        assert "hedge" in kinds and "hedge_win" in kinds

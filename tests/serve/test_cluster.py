@@ -117,19 +117,32 @@ class TestRouterCore:
             router.decisions
         )
 
-    def test_crash_requeues_and_other_worker_completes(self):
+    def test_crash_parks_then_other_worker_completes(self):
         router = self.make(workers=2)
         full_batch(router)
         first = router.dispatch(0.0)[-1]
         victim = first.assignment.worker
         router.crash_worker(victim, 0.5)
-        retry = [
+        # Backoff: the crashed tickets park instead of requeueing at
+        # the crash instant...
+        assert [
             a for a in router.dispatch(0.5)
+            if isinstance(a, AssignAction)
+        ] == []
+        assert {d[0] for d in router.decisions} >= {"crash", "park"}
+        release = max(d[4] for d in router.decisions if d[0] == "park")
+        assert 0.5 < release <= 0.5 + 2 * 0.025 * 1.25
+        assert router.next_wake_time(0.5) == pytest.approx(
+            min(d[4] for d in router.decisions if d[0] == "park")
+        )
+        # ...and release deterministically once the backoff elapses.
+        retry = [
+            a for a in router.dispatch(release)
             if isinstance(a, AssignAction)
         ]
         assert len(retry) == 1
         assert retry[0].assignment.worker != victim  # victim not alive
-        # Original submission order survives the requeue.
+        # Original submission order survives the park/requeue.
         assert [t.seq for t in retry[0].assignment.tickets] == (
             [t.seq for t in first.assignment.tickets]
         )
@@ -141,17 +154,45 @@ class TestRouterCore:
         assert stats.retries == 2
         assert stats.worker_crashes == 1
 
-    def test_crash_exhausting_retries_fails_queries(self):
+    def test_crash_exhausting_retries_quarantines_then_dead_letters(self):
+        from repro.errors import PoisonQueryError
+
         router = self.make(workers=2, max_retries=0)
         full_batch(router)
         actions = router.dispatch(0.0)
-        router.crash_worker(actions[-1].assignment.worker, 0.5)
+        victim = actions[-1].assignment.worker
+        router.crash_worker(victim, 0.5)
+        router.restart_worker(victim, 0.5)
+        # Retry-exhausted tickets are NOT failed outright: they bisect
+        # into singleton quarantine cohorts that re-execute solo.
+        assert router.drain_failures() == []
+        bisects = [d for d in router.decisions if d[0] == "bisect"]
+        assert len(bisects) == 1 and bisects[0][3] == 2  # group of 2
+        release = bisects[0][6]
+        solo = [
+            a for a in router.dispatch(release)
+            if isinstance(a, AssignAction)
+        ]
+        assert [a.assignment.size for a in solo] == [1, 1]
+        # One cohort completes — its query was innocent all along; the
+        # other kills its second worker and is convicted as poison.
+        assert router.complete(solo[0].assignment, solo[0].epoch,
+                               release + 0.01) is True
+        router.crash_worker(solo[1].assignment.worker, release + 0.02)
         failures = router.drain_failures()
-        assert len(failures) == 2
+        assert len(failures) == 1
+        assert isinstance(failures[0][1], PoisonQueryError)
+        assert len(router.dlq) == 1
+        entry = router.dlq.entries()[0]
+        assert entry.model == "m" and entry.attempts == 2
+        assert any(d[0] == "dead_letter" for d in router.decisions)
         stats = router.stats()
-        assert stats.failed == 2
-        assert stats.submitted == stats.completed + stats.rejected + (
-            stats.failed
+        assert stats.completed == 1
+        assert stats.dead_lettered == 1
+        assert stats.failed == 0
+        assert stats.submitted == (
+            stats.completed + stats.rejected + stats.failed
+            + stats.dead_lettered
         )
 
     def test_restart_with_inflight_batch_refused(self):
@@ -252,6 +293,7 @@ def cluster_soak(seed, queries, workers=3, faults=None, ship_ms=25.0):
 def assert_conserved(stats):
     assert stats.submitted == (
         stats.completed + stats.rejected + stats.failed + stats.cancelled
+        + stats.dead_lettered
     ), "conservation violated"
 
 
@@ -517,3 +559,89 @@ class TestRealCluster:
         assert_conserved(stats)
         kinds = {d[0] for d in decisions}
         assert "crash" in kinds and "restart" in kinds
+
+    def test_real_sigstop_worker_detected_by_heartbeat(
+        self, example_forest
+    ):
+        """A hung worker (SIGSTOP: pipe stays open, so no EOF arrives)
+        must be detected by heartbeat liveness, its in-flight work
+        requeued onto the survivor, and accounting conserved."""
+        import signal
+
+        queries = real_queries(example_forest, 16, seed=13)
+        with ClusterService(workers=2, backend="vector", max_retries=3,
+                            heartbeat_interval_s=0.25,
+                            heartbeat_timeout_s=2.0) as service:
+            service.register_model(
+                "hang", example_forest, precision=8, max_batch_size=4
+            )
+            futures = [service.submit("hang", q) for q in queries]
+            victim = service._procs[0]
+            os.kill(victim.pid, signal.SIGSTOP)
+            service.flush("hang")
+            try:
+                results = [f.result(timeout=120) for f in futures]
+                assert service.drain(timeout=60)
+                stats = service.stats()
+                decisions = service.decisions
+            finally:
+                try:
+                    os.kill(victim.pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+        victim.join(timeout=10)
+        assert len(results) == 16
+        for features, res in zip(queries, results):
+            assert res.bitvector == example_forest.label_bitvector(
+                features
+            )
+        assert_conserved(stats)
+        assert stats.worker_crashes >= 1
+        assert "crash" in {d[0] for d in decisions}
+
+
+# ---------------------------------------------------------------------------
+# Fault-domain satellites: constructor validation and close-leak
+# detection
+# ---------------------------------------------------------------------------
+
+
+class TestClusterGuards:
+    def test_sim_rejects_nonpositive_heartbeat_interval(self):
+        with pytest.raises(ValidationError,
+                           match="heartbeat_interval_s"):
+            ClusterSimRunner(PROFILES, workers=2,
+                             heartbeat_interval_s=0.0)
+
+    def test_service_rejects_nonpositive_heartbeat_interval(self):
+        with pytest.raises(ValidationError,
+                           match="heartbeat_interval_s"):
+            ClusterService(workers=1, heartbeat_interval_s=-1.0)
+
+    def test_service_rejects_interval_at_or_past_timeout(self):
+        with pytest.raises(ValidationError,
+                           match="heartbeat_timeout_s"):
+            ClusterService(workers=1, heartbeat_interval_s=30.0,
+                           heartbeat_timeout_s=10.0)
+
+    def test_close_counts_and_warns_on_leaked_receiver(self):
+        service = ClusterService(workers=1, backend="vector")
+
+        class StuckThread:
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return True
+
+        real = service._receiver
+        service._receiver = StuckThread()
+        try:
+            with pytest.warns(RuntimeWarning, match="receiver thread"):
+                service.close()
+            assert service.router.metrics.counter_value(
+                "cluster_receiver_leaked"
+            ) == 1
+        finally:
+            real.join(timeout=10.0)
+        assert not real.is_alive()

@@ -651,6 +651,72 @@ class TestMetricsCommand:
         assert main(["metrics", "/nonexistent/snap.json"]) == 2
 
 
+class TestDlqCommand:
+    def test_serve_dlq_out_requires_workers(self, model_file, capsys):
+        path, _ = model_file
+        assert main(["serve", path, "--dlq-out", "dlq.json"]) == 2
+        assert "--dlq-out" in capsys.readouterr().err
+
+    def test_serve_dumps_dlq_and_cli_renders_it(self, model_file,
+                                                tmp_path, capsys):
+        """A clean clustered run writes an (empty) DLQ dump that the
+        ``dlq`` command round-trips."""
+        path, _ = model_file
+        dump = tmp_path / "dlq.json"
+        assert main(
+            ["serve", path, "--queries", "4", "--workers", "1",
+             "--batch-size", "4", "--dlq-out", str(dump)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dead-letter queue: 0 entries" in out
+        assert "repro dlq" in out
+        assert main(["dlq", str(dump)]) == 0
+        pretty = capsys.readouterr().out
+        assert "0 entries" in pretty
+        assert "no query was quarantined" in pretty
+
+    def test_dlq_renders_quarantine_entries(self, tmp_path, capsys):
+        import json
+
+        from repro.serve import DeadLetter
+
+        entry = DeadLetter(
+            model="toxic", tenant="acme", seq=7, origin_batch=3,
+            attempts=2, reason="poison quarantine: crashed 2 workers",
+            time=1.25,
+        )
+        dump = tmp_path / "dlq.json"
+        dump.write_text(json.dumps([entry.as_dict()]))
+        assert main(["dlq", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "model=toxic" in out and "seq=7" in out
+        assert "poison quarantine" in out
+
+    def test_dlq_rejects_non_dump(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"a list\"}\n")
+        assert main(["dlq", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_dlq_rejects_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert main(["dlq", str(empty)]) == 2
+
+    def test_dlq_missing_file(self, capsys):
+        assert main(["dlq", "/nonexistent/dlq.json"]) == 2
+
+
+class TestBenchChaos:
+    def test_chaos_section_all_checks_pass(self, capsys):
+        assert main(["bench", "chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos: deterministic fault matrix" in out
+        assert "replay byte-identical=ok" in out
+        assert "FAIL" not in out
+
+
 def test_no_command_rejected():
     with pytest.raises(SystemExit):
         main([])
